@@ -1,0 +1,24 @@
+//! # ls3df-atoms
+//!
+//! Atomic-structure substrate for the LS3DF reproduction: species and
+//! model parameters, periodic supercells, the zinc-blende / ZnTe₁₋ₓOₓ
+//! alloy builders matching the paper's test systems, bonded-topology
+//! detection, and the Keating valence-force-field relaxation the paper
+//! uses for alloy geometries.
+
+#![warn(missing_docs)]
+
+pub mod defects;
+mod species;
+pub mod stats;
+mod structure;
+pub mod vff;
+pub mod xyz;
+pub mod zincblende;
+
+pub use species::{bond_params, BondParams, Species};
+pub use structure::{Atom, Structure};
+pub use stats::{bond_stats, BondStats};
+pub use xyz::{read_xyz, write_xyz};
+pub use vff::{relax, topology_cutoff, Vff, VffResult};
+pub use zincblende::{atom_count, znte_supercell, znteo_alloy, ZNTE_LATTICE};

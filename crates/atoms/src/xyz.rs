@@ -1,0 +1,130 @@
+//! XYZ structure file I/O (Ångström, the format's convention).
+//!
+//! Lets users inspect the generated/relaxed alloys in standard viewers
+//! and feed externally relaxed geometries into the solver.
+
+use crate::{Atom, Species, Structure};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Bohr per Ångström.
+pub const BOHR_PER_ANGSTROM: f64 = 1.8897259886;
+
+/// Writes a structure as an (extended) XYZ file; the comment line records
+/// the periodic box in the common `Lattice="..."` convention.
+pub fn write_xyz(s: &Structure, path: &Path) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "{}", s.len())?;
+    let to_ang = 1.0 / BOHR_PER_ANGSTROM;
+    writeln!(
+        w,
+        "Lattice=\"{:.8} 0 0 0 {:.8} 0 0 0 {:.8}\" Properties=species:S:1:pos:R:3",
+        s.lengths[0] * to_ang,
+        s.lengths[1] * to_ang,
+        s.lengths[2] * to_ang
+    )?;
+    for a in &s.atoms {
+        writeln!(
+            w,
+            "{} {:.8} {:.8} {:.8}",
+            a.species.symbol(),
+            a.pos[0] * to_ang,
+            a.pos[1] * to_ang,
+            a.pos[2] * to_ang
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads an XYZ file written by [`write_xyz`] (requires the `Lattice`
+/// comment for the periodic box).
+pub fn read_xyz(path: &Path) -> std::io::Result<Structure> {
+    let f = std::fs::File::open(path)?;
+    let mut lines = std::io::BufReader::new(f).lines();
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| bad("empty file"))??
+        .trim()
+        .parse()
+        .map_err(|_| bad("bad atom count"))?;
+    let comment = lines.next().ok_or_else(|| bad("missing comment line"))??;
+    let lat_start = comment.find("Lattice=\"").ok_or_else(|| bad("missing Lattice"))? + 9;
+    let lat_end = comment[lat_start..]
+        .find('"')
+        .ok_or_else(|| bad("unterminated Lattice"))?
+        + lat_start;
+    let nums: Vec<f64> = comment[lat_start..lat_end]
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad lattice number")))
+        .collect::<Result<_, _>>()?;
+    if nums.len() != 9 {
+        return Err(bad("lattice must have 9 entries"));
+    }
+    let lengths = [
+        nums[0] * BOHR_PER_ANGSTROM,
+        nums[4] * BOHR_PER_ANGSTROM,
+        nums[8] * BOHR_PER_ANGSTROM,
+    ];
+    let mut atoms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = lines.next().ok_or_else(|| bad("truncated atom list"))??;
+        let mut tok = line.split_whitespace();
+        let sym = tok.next().ok_or_else(|| bad("missing species"))?;
+        let species = match sym {
+            "Zn" => Species::Zn,
+            "Te" => Species::Te,
+            "O" => Species::O,
+            "H" => Species::H,
+            other => return Err(bad(&format!("unknown species {other}"))),
+        };
+        let mut pos = [0.0; 3];
+        for p in pos.iter_mut() {
+            *p = tok
+                .next()
+                .ok_or_else(|| bad("missing coordinate"))?
+                .parse::<f64>()
+                .map_err(|_| bad("bad coordinate"))?
+                * BOHR_PER_ANGSTROM;
+        }
+        atoms.push(Atom { species, pos });
+    }
+    Ok(Structure::new(lengths, atoms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zincblende::{znteo_alloy, ZNTE_LATTICE};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let s = znteo_alloy([2, 2, 2], ZNTE_LATTICE, 0.1, 3);
+        let dir = std::env::temp_dir().join("ls3df_xyz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("alloy.xyz");
+        write_xyz(&s, &path).unwrap();
+        let back = read_xyz(&path).unwrap();
+        assert_eq!(back.len(), s.len());
+        for d in 0..3 {
+            assert!((back.lengths[d] - s.lengths[d]).abs() < 1e-6);
+        }
+        for (a, b) in s.atoms.iter().zip(&back.atoms) {
+            assert_eq!(a.species, b.species);
+            for d in 0..3 {
+                assert!((a.pos[d] - b.pos[d]).abs() < 1e-6);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let dir = std::env::temp_dir().join("ls3df_xyz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.xyz");
+        std::fs::write(&path, "definitely\nnot xyz\n").unwrap();
+        assert!(read_xyz(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

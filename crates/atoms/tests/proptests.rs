@@ -1,0 +1,78 @@
+//! Property-based tests for the atomic-structure substrate.
+
+use ls3df_atoms::{topology_cutoff, znte_supercell, znteo_alloy, Species, Structure, Vff, ZNTE_LATTICE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn neighbor_lists_are_symmetric(seed in 0u64..200, x in 0.0..0.5f64) {
+        let s = znteo_alloy([2, 2, 2], ZNTE_LATTICE, x, seed);
+        let nbrs = s.neighbor_list_within(topology_cutoff(&s));
+        for (i, nb) in nbrs.iter().enumerate() {
+            for &j in nb {
+                prop_assert!(
+                    nbrs[j].contains(&i),
+                    "neighbor relation not symmetric: {i} → {j}"
+                );
+                prop_assert_ne!(i, j, "self-neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn alloy_composition_conserved(seed in 0u64..500, x in 0.0..1.0f64) {
+        let s = znteo_alloy([2, 2, 2], ZNTE_LATTICE, x, seed);
+        // Substitution never changes totals: anion sites = cation sites.
+        prop_assert_eq!(s.count(Species::Zn), 32);
+        prop_assert_eq!(s.count(Species::Te) + s.count(Species::O), 32);
+        let expect_o = ((32.0 * x) as f64).round() as usize;
+        prop_assert_eq!(s.count(Species::O), expect_o);
+    }
+
+    #[test]
+    fn vff_energy_nonnegative_and_zero_only_at_ideal(
+        seed in 0u64..100,
+        amplitude in 0.0..0.5f64,
+    ) {
+        // Keating energy is a sum of squares: ≥ 0 everywhere, 0 at the
+        // ideal geometry, > 0 once atoms are displaced.
+        let s = znte_supercell([2, 2, 2], ZNTE_LATTICE);
+        let nbrs = s.neighbor_list_within(topology_cutoff(&s));
+        let vff = Vff::new(&s, &nbrs);
+        let mut pos: Vec<f64> = s.atoms.iter().flat_map(|a| a.pos).collect();
+        let mut f = vec![0.0; pos.len()];
+        let e0 = vff.energy_forces(&pos, &mut f);
+        prop_assert!(e0.abs() < 1e-10);
+        // Displace deterministically from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for p in pos.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *p += amplitude * (((state >> 33) as f64) / (u32::MAX as f64) - 0.5);
+        }
+        let e1 = vff.energy_forces(&pos, &mut f);
+        prop_assert!(e1 >= 0.0);
+        if amplitude > 0.05 {
+            prop_assert!(e1 > 0.0, "displaced geometry must cost energy");
+        }
+    }
+
+    #[test]
+    fn minimum_image_distance_invariant_under_lattice_translations(
+        i in 0usize..16,
+        j in 0usize..16,
+        shift in prop::array::uniform3(-2i64..3i64),
+    ) {
+        let s = znte_supercell([2, 1, 1], ZNTE_LATTICE);
+        let (i, j) = (i % s.len(), j % s.len());
+        let d0 = s.distance(i, j);
+        // Shift atom j by whole lattice vectors: distance unchanged.
+        let mut s2 = s.clone();
+        for c in 0..3 {
+            s2.atoms[j].pos[c] += shift[c] as f64 * s.lengths[c];
+        }
+        let s2 = Structure::new(s2.lengths, s2.atoms);
+        prop_assert!((s2.distance(i, j) - d0).abs() < 1e-9);
+    }
+}

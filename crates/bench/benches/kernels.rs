@@ -1,0 +1,146 @@
+//! Criterion microbenches for the LS3DF computational kernels — the
+//! quantitative backbone of the paper's §IV optimization claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ls3df_fft::Fft3;
+use ls3df_grid::{Grid3, RealField};
+use ls3df_math::gemm::{matmul, matmul_naive, matmul_nh};
+use ls3df_math::ortho::{cholesky_orthonormalize, gram_schmidt};
+use ls3df_math::{c64, Matrix};
+use ls3df_pw::{Hamiltonian, NonlocalPotential, PwBasis};
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<c64> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+    };
+    Matrix::from_fn(rows, cols, |_, _| c64::new(next(), next()))
+}
+
+/// GEMM at fragment shapes (paper: "a typical matrix size for one of our
+/// fragments would be 3000 × 200") — blocked vs naive.
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    for &(m, k, n) in &[(64usize, 512usize, 64usize), (128, 1024, 128)] {
+        let a = rand_matrix(m, k, 1);
+        let b = rand_matrix(k, n, 2);
+        g.bench_with_input(BenchmarkId::new("blocked", format!("{m}x{k}x{n}")), &(), |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", format!("{m}x{k}x{n}")), &(), |bch, _| {
+            bch.iter(|| matmul_naive(&a, &b))
+        });
+    }
+    // The overlap shape S = Ψ·Ψᴴ of the all-band orthogonalization:
+    // general product vs the specialized half-flop Hermitian kernel
+    // (paper §IV future-work item #2).
+    let psi = rand_matrix(96, 2048, 3);
+    g.bench_function("overlap_general_96x2048", |b| b.iter(|| matmul_nh(&psi, &psi)));
+    g.bench_function("overlap_hermitian_96x2048", |b| {
+        b.iter(|| ls3df_math::overlap_hermitian(&psi, 1.0))
+    });
+    g.finish();
+}
+
+/// 3-D FFTs at fragment-box and global-grid sizes (the PEtot_F H·ψ kernel
+/// and the GENPOT Poisson solve).
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft3");
+    g.sample_size(10);
+    for &n in &[16usize, 24, 32, 40] {
+        let plan = Fft3::new(n, n, n);
+        let data0: Vec<c64> = (0..n * n * n)
+            .map(|i| c64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("roundtrip", n), &(), |b, _| {
+            b.iter(|| {
+                let mut d = data0.clone();
+                plan.forward(&mut d);
+                plan.inverse(&mut d);
+                d
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Orthogonalization: band-by-band Gram–Schmidt vs all-band overlap
+/// matrix (paper optimization #1).
+fn bench_ortho(c: &mut Criterion) {
+    let mut g = c.benchmark_group("orthogonalization");
+    g.sample_size(10);
+    for &(nb, npw) in &[(32usize, 1024usize), (64, 2048)] {
+        let block = rand_matrix(nb, npw, 7);
+        g.bench_with_input(BenchmarkId::new("gram_schmidt", format!("{nb}x{npw}")), &(), |b, _| {
+            b.iter(|| {
+                let mut x = block.clone();
+                gram_schmidt(&mut x, 1.0).unwrap();
+                x
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cholesky", format!("{nb}x{npw}")), &(), |b, _| {
+            b.iter(|| {
+                let mut x = block.clone();
+                cholesky_orthonormalize(&mut x, 1.0).unwrap();
+                x
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Full H·ψ block application at a fragment-like size.
+fn bench_hamiltonian(c: &mut Criterion) {
+    let grid = Grid3::cubic(16, 12.0);
+    let basis = PwBasis::new(grid.clone(), 1.5);
+    let v = RealField::from_fn(grid, |r| 0.1 * (r[0] - 6.0));
+    let positions: Vec<[f64; 3]> = (0..8)
+        .map(|i| [(i % 2) as f64 * 6.0 + 3.0, ((i / 2) % 2) as f64 * 6.0 + 3.0, (i / 4) as f64 * 6.0 + 3.0])
+        .collect();
+    let e_kb = vec![1.0; 8];
+    let nl = NonlocalPotential::new(&basis, &positions, |_, q| (-q * q / 2.0).exp(), &e_kb);
+    let h = Hamiltonian::new(&basis, v, &nl);
+    let psi = {
+        let mut p = rand_matrix(16, basis.len(), 11);
+        cholesky_orthonormalize(&mut p, 1.0).unwrap();
+        p
+    };
+    let mut g = c.benchmark_group("hamiltonian");
+    g.sample_size(10);
+    g.bench_function("apply_block_16_bands", |b| b.iter(|| h.apply_block(&psi)));
+    g.finish();
+}
+
+/// The Gen_VF / Gen_dens data motions (periodic sub-box extract and
+/// signed accumulate).
+fn bench_patching(c: &mut Criterion) {
+    let global = Grid3::cubic(48, 24.0);
+    let field = RealField::from_fn(global.clone(), |r| (r[0] * 0.3).sin() + r[1] - r[2] * 0.1);
+    let sub = Grid3::cubic(20, 10.0);
+    let sub_field = RealField::constant(sub.clone(), 1.0);
+    let mut g = c.benchmark_group("patching");
+    g.sample_size(20);
+    g.bench_function("gen_vf_extract_20cube", |b| {
+        b.iter(|| field.extract_subbox([-3, 11, 40], &sub))
+    });
+    g.bench_function("gen_dens_accumulate_20cube", |b| {
+        b.iter(|| {
+            let mut acc = field.clone();
+            acc.accumulate_subbox([-3, 11, 40], &sub_field, -1.0);
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_fft,
+    bench_ortho,
+    bench_hamiltonian,
+    bench_patching
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates paper **Figure 3**: strong-scaling speedups for LS3DF and
+//! PEtot_F on the 3,456-atom 8×6×9 system (Np = 40, 1,080 → 17,280
+//! Franklin cores), with the Amdahl's-law model fits (paper Eq. 1).
+//!
+//! Run: `cargo run -p ls3df-bench --bin fig3 --release`
+
+use ls3df_hpc::{fig3_core_counts, strong_scaling, MachineSpec, Problem};
+
+fn main() {
+    let machine = MachineSpec::franklin();
+    let problem = Problem::new(8, 6, 9);
+    let cores = fig3_core_counts();
+    let (points, fit_ls3df, fit_petot) = strong_scaling(&machine, &problem, 40, &cores);
+
+    println!("Figure 3 — strong scaling speedups (8x6x9, 3,456 atoms, Np = 40, Franklin)");
+    println!("{}", "-".repeat(78));
+    println!(
+        "{:>8} {:>8} | {:>12} {:>12} | {:>12} {:>12}",
+        "cores", "linear", "LS3DF", "model", "PEtot_F", "model"
+    );
+    let base = cores[0] as f64;
+    for p in &points {
+        println!(
+            "{:>8} {:>8.1} | {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
+            p.cores,
+            p.cores as f64 / base,
+            p.speedup_ls3df,
+            fit_ls3df.speedup(p.cores as f64, base),
+            p.speedup_petot,
+            fit_petot.speedup(p.cores as f64, base),
+        );
+    }
+    println!("{}", "-".repeat(78));
+
+    let last = points.last().unwrap();
+    let n_ratio = *cores.last().unwrap() as f64 / base;
+    println!(
+        "at {} cores: LS3DF speedup {:.1} ({:.1}% parallel efficiency; paper: 13.8, 86.3%)",
+        last.cores,
+        last.speedup_ls3df,
+        100.0 * last.speedup_ls3df / n_ratio
+    );
+    println!(
+        "             PEtot_F speedup {:.1} ({:.1}% parallel efficiency; paper: 15.3, 95.8%)",
+        last.speedup_petot,
+        100.0 * last.speedup_petot / n_ratio
+    );
+    println!("\nAmdahl fits (paper: P_s = 2.39 Gflop/s; α = 1/362,000 PEtot_F, 1/101,000 LS3DF):");
+    println!(
+        "  PEtot_F: P_s = {:.2} Gflop/s, α = 1/{:.0}, mean dev {:.2}%",
+        fit_petot.p_serial / 1e9,
+        1.0 / fit_petot.alpha,
+        fit_petot.mean_abs_rel_dev * 100.0
+    );
+    println!(
+        "  LS3DF:   P_s = {:.2} Gflop/s, α = 1/{:.0}, mean dev {:.2}% (paper fit dev: 0.26%)",
+        fit_ls3df.p_serial / 1e9,
+        1.0 / fit_ls3df.alpha,
+        fit_ls3df.mean_abs_rel_dev * 100.0
+    );
+}

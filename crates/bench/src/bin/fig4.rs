@@ -1,0 +1,72 @@
+//! Regenerates paper **Figure 4**: computational efficiency for the
+//! different problem sizes and concurrency levels on Franklin.
+//!
+//! Run: `cargo run -p ls3df-bench --bin fig4 --release`
+
+use ls3df_hpc::{efficiency_scatter, MachineSpec, Problem};
+
+fn main() {
+    let machine = MachineSpec::franklin();
+    // The Franklin rows of Table I define the Fig. 4 scatter.
+    let runs = [
+        (Problem::new(3, 3, 3), 270, 10),
+        (Problem::new(3, 3, 3), 540, 20),
+        (Problem::new(3, 3, 3), 1080, 40),
+        (Problem::new(4, 4, 4), 1280, 20),
+        (Problem::new(5, 5, 5), 2500, 20),
+        (Problem::new(6, 6, 6), 4320, 20),
+        (Problem::new(8, 6, 9), 1080, 40),
+        (Problem::new(8, 6, 9), 2160, 40),
+        (Problem::new(8, 6, 9), 4320, 40),
+        (Problem::new(8, 6, 9), 8640, 40),
+        (Problem::new(8, 6, 9), 17280, 40),
+        (Problem::new(8, 8, 8), 2560, 20),
+        (Problem::new(8, 8, 8), 10240, 20),
+        (Problem::new(10, 10, 8), 2000, 20),
+        (Problem::new(10, 10, 8), 16000, 20),
+        (Problem::new(12, 12, 12), 17280, 10),
+    ];
+    let pts = efficiency_scatter(&machine, &runs);
+
+    println!("Figure 4 — computational efficiency vs cores on Franklin (model)");
+    println!("{}", "-".repeat(60));
+    println!("{:>8} {:>8} {:>5} {:>12}", "atoms", "cores", "Np", "efficiency");
+    for p in &pts {
+        let bar = "#".repeat((p.efficiency * 100.0).round() as usize / 2);
+        println!(
+            "{:>8} {:>8} {:>5} {:>11.1}% {}",
+            p.atoms,
+            p.cores,
+            p.np,
+            p.efficiency * 100.0,
+            bar
+        );
+    }
+    println!("{}", "-".repeat(60));
+
+    // The paper's two shape observations.
+    let same_cores: Vec<_> = pts.iter().filter(|p| p.cores == 17280).collect();
+    if same_cores.len() >= 2 {
+        let spread = same_cores
+            .iter()
+            .map(|p| p.efficiency)
+            .fold(f64::NEG_INFINITY, f64::max)
+            - same_cores
+                .iter()
+                .map(|p| p.efficiency)
+                .fold(f64::INFINITY, f64::min);
+        println!(
+            "efficiency spread across system sizes at 17,280 cores: {:.1} points \
+             (paper: 'almost independent of the size of the physical system')",
+            spread * 100.0
+        );
+    }
+    let lo = pts.iter().filter(|p| p.cores <= 1080).map(|p| p.efficiency).fold(0.0, f64::max);
+    let hi = pts.iter().filter(|p| p.cores >= 16000).map(|p| p.efficiency).fold(0.0, f64::max);
+    println!(
+        "best efficiency ≤1,080 cores: {:.1}%, ≥16,000 cores: {:.1}% \
+         (paper: slight drop at very high concurrency from Gen_VF/Gen_dens)",
+        lo * 100.0,
+        hi * 100.0
+    );
+}

@@ -1,0 +1,111 @@
+//! Regenerates paper **Figure 6**: LS3DF self-consistency convergence —
+//! `∫|V_out − V_in| d³r` versus outer-iteration count — as a *real
+//! measured run* of this implementation on a scaled-down ZnTe₁₋ₓOₓ alloy.
+//!
+//! The paper's run is Zn₁₇₂₈Te₁₆₇₄O₅₄ (8×6×9 cells, 3.125% O, 60
+//! iterations). The default here is an m×m×m cell alloy at reduced cutoff
+//! sized for a single-core machine; pass arguments to scale up.
+//!
+//! Run: `cargo run -p ls3df-bench --bin fig6 --release -- [m] [iters] [ecut] [piece_pts]`
+
+use ls3df_bench::{arg, to_pw_atoms};
+use ls3df_core::{Ls3df, Ls3dfOptions, Passivation};
+use ls3df_pseudo::PseudoTable;
+use ls3df_pw::Mixer;
+
+fn main() {
+    let m: usize = arg(1, 2);
+    let iters: usize = arg(2, 20);
+    let ecut: f64 = arg(3, 2.0);
+    let piece_pts: usize = arg(4, 8);
+
+    // Build and VFF-relax the alloy (3.125% O — the paper's 54/1728 ratio).
+    let mut s = ls3df_atoms::znteo_alloy([m, m, m], ls3df_atoms::ZNTE_LATTICE, 0.03125, 42);
+    let relax = ls3df_atoms::relax(&mut s, 1e-4, 3000);
+    println!(
+        "system: {} ({} atoms, {} electrons); VFF relaxation: {} steps, max displacement {:.3} Bohr",
+        s.formula(),
+        s.len(),
+        s.num_electrons(),
+        relax.steps,
+        relax.max_displacement
+    );
+
+    let opts = Ls3dfOptions {
+        ecut,
+        piece_pts: [piece_pts; 3],
+        buffer_pts: [3; 3],
+        passivation: Passivation::PseudoH,
+        wall_height: 1.5,
+        n_extra_bands: 4,
+        cg_steps: 12,
+        initial_cg_steps: 40,
+        fragment_tol: 5e-2,
+        mixer: Mixer::Kerker { alpha: 0.4, q0: 1.0 },
+        max_scf: iters,
+        tol: 1e-3,
+        pseudo: PseudoTable::default(),
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let mut ls = Ls3df::new(&s, [m, m, m], opts);
+    println!(
+        "LS3DF: {} fragments, global grid {:?} ({:.0}s setup)",
+        ls.n_fragments(),
+        ls.global_grid.dims,
+        t0.elapsed().as_secs_f64()
+    );
+    let _ = to_pw_atoms(&s, &PseudoTable::default()); // (documented helper; used by fig7)
+
+    let t0 = std::time::Instant::now();
+    println!("\nFigure 6 — ∫|V_out − V_in| d³r vs SCF iteration (measured)");
+    println!("{}", "-".repeat(72));
+    println!("{:>5} {:>14} {:>11} | {:>8} {:>8} {:>8} {:>8}", "iter", "∫|ΔV| (a.u.)", "residual", "Gen_VF", "PEtot_F", "Gendens", "GENPOT");
+    use std::io::Write as _;
+    let res = ls.scf_with(|h| {
+        println!(
+            "{:>5} {:>14.6e} {:>11.2e} | {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s",
+            h.iteration,
+            h.dv_integral,
+            h.worst_residual,
+            h.timings.gen_vf,
+            h.timings.petot_f,
+            h.timings.gen_dens,
+            h.timings.genpot,
+        );
+        let _ = std::io::stdout().flush();
+    });
+    let first = res.history.first().map(|h| h.dv_integral).unwrap_or(1.0);
+    println!("{}", "-".repeat(72));
+    let last = res.history.last().unwrap();
+    println!(
+        "converged = {} after {} iterations ({:.0}s total); ∫|ΔV| dropped {:.1e} → {:.1e} ({:.1}×)",
+        res.converged,
+        res.history.len(),
+        t0.elapsed().as_secs_f64(),
+        first,
+        last.dv_integral,
+        first / last.dv_integral
+    );
+    println!(
+        "paper shape: steady overall decay over 60 iterations with occasional upward jumps \
+         (potential mixing does not guarantee monotonicity), final ≈1e-2 a.u."
+    );
+    // Count the non-monotone jumps, a Fig. 6 feature the paper calls out.
+    let jumps = res
+        .history
+        .windows(2)
+        .filter(|w| w[1].dv_integral > w[0].dv_integral)
+        .count();
+    println!("non-monotone steps in this run: {jumps} (paper: 'a few cases where this difference jumps')");
+
+    // Checkpoint the converged state for fig7 (FSM post-processing).
+    let dir = std::path::Path::new("target/checkpoints");
+    std::fs::create_dir_all(dir).ok();
+    let tag = format!("znteo_m{m}");
+    if ls3df_grid::save_field(&res.v_eff, &dir.join(format!("{tag}_veff.ck"))).is_ok()
+        && ls3df_grid::save_field(&res.rho, &dir.join(format!("{tag}_rho.ck"))).is_ok()
+    {
+        println!("checkpoint written to target/checkpoints/{tag}_*.ck (fig7 will reuse it)");
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates paper **Table I**: Tflop/s and % of peak for all 28
+//! (machine, system, cores, Np) rows, model vs paper.
+//!
+//! Run: `cargo run -p ls3df-bench --bin table1 --release`
+
+use ls3df_hpc::{model_row, paper_table1, Machine};
+
+fn main() {
+    println!("Table I — summary of test results (model vs paper)");
+    println!("{}", "-".repeat(86));
+    println!(
+        "{:<10} {:>9} {:>6} {:>7} {:>4} | {:>9} {:>7} | {:>9} {:>7} | {:>6}",
+        "machine", "sys size", "atoms", "cores", "Np", "model Tf", "model %", "paper Tf", "paper %", "Δ%pk"
+    );
+    println!("{}", "-".repeat(86));
+    let mut last = None;
+    let mut sum_err = 0.0;
+    let mut max_err = 0.0_f64;
+    for row in paper_table1() {
+        if last != Some(row.machine) {
+            let name = match row.machine {
+                Machine::Franklin => "Franklin",
+                Machine::Jaguar => "Jaguar",
+                Machine::Intrepid => "Intrepid",
+            };
+            println!("--- {name} ---");
+            last = Some(row.machine);
+        }
+        let m = model_row(&row);
+        let err = (m.pct_peak - row.paper_pct_peak) * 100.0;
+        sum_err += err.abs();
+        max_err = max_err.max(err.abs());
+        println!(
+            "{:<10} {:>9} {:>6} {:>7} {:>4} | {:>9.2} {:>6.1}% | {:>9.2} {:>6.1}% | {:>+5.1}",
+            "",
+            format!("{}x{}x{}", row.m[0], row.m[1], row.m[2]),
+            row.atoms,
+            row.cores,
+            row.np,
+            m.tflops,
+            m.pct_peak * 100.0,
+            row.paper_tflops,
+            row.paper_pct_peak * 100.0,
+            err
+        );
+    }
+    println!("{}", "-".repeat(86));
+    println!(
+        "mean |Δ%peak| = {:.2} points, max = {:.2} points over 28 rows",
+        sum_err / 28.0,
+        max_err
+    );
+    println!("\nheadlines:");
+    println!("  paper: 60.3 Tflop/s on 30,720 Jaguar cores; 107.5 Tflop/s on 131,072 Intrepid cores");
+    let rows = paper_table1();
+    for r in rows.iter().filter(|r| r.cores == 30_720 && r.np == 20 || r.cores == 131_072) {
+        let m = model_row(r);
+        println!(
+            "  model: {:>6.1} Tflop/s on {:>7} cores ({:.1}% of peak)",
+            m.tflops,
+            r.cores,
+            m.pct_peak * 100.0
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! # ls3df-bench
+//!
+//! Benchmark harness: one report binary per paper table/figure (run with
+//! `cargo run -p ls3df-bench --bin <name> --release`) plus criterion
+//! microbenches for the §IV optimization ablations
+//! (`cargo bench -p ls3df-bench`).
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table I (Tflop/s + %peak, 28 rows, model vs paper) |
+//! | `fig3` | Strong-scaling speedups + Amdahl fits |
+//! | `fig4` | Efficiency vs concurrency scatter |
+//! | `fig5` | Weak-scaling Tflop/s on the three machines |
+//! | `fig6` | Real LS3DF SCF convergence on a scaled ZnTeO alloy |
+//! | `fig7` | FSM band-edge states + O-localization analysis |
+//! | `crossover` | LS3DF vs O(N³) model sweep + real scaled measurement |
+//! | `accuracy` | LS3DF vs direct DFT eigenvalue/density agreement |
+//! | `ablation` | Comm-algorithm + solver-variant ablations |
+
+#![warn(missing_docs)]
+
+use ls3df_atoms::Structure;
+use ls3df_pseudo::PseudoTable;
+use ls3df_pw::PwAtom;
+
+/// Converts a structure + pseudopotential table into planewave atoms.
+pub fn to_pw_atoms(s: &Structure, table: &PseudoTable) -> Vec<PwAtom> {
+    s.atoms
+        .iter()
+        .map(|a| {
+            let p = table.get(a.species);
+            PwAtom { pos: a.pos, local: p.local, kb_rb: p.kb.rb, kb_energy: p.kb.e_kb }
+        })
+        .collect()
+}
+
+/// A deep-well model crystal on a simple-cubic lattice: `m` pieces of one
+/// closed-shell atom each — the cheap gapped system used for real
+/// (measured, not modeled) LS3DF-vs-direct experiments on this machine.
+pub fn model_crystal(m: [usize; 3], a: f64) -> Structure {
+    let mut atoms = Vec::new();
+    for k in 0..m[2] {
+        for j in 0..m[1] {
+            for i in 0..m[0] {
+                atoms.push(ls3df_atoms::Atom {
+                    species: ls3df_atoms::Species::Zn,
+                    pos: [(i as f64 + 0.5) * a, (j as f64 + 0.5) * a, (k as f64 + 0.5) * a],
+                });
+            }
+        }
+    }
+    Structure::new([m[0] as f64 * a, m[1] as f64 * a, m[2] as f64 * a], atoms)
+}
+
+/// Parses a CLI argument by position with a default.
+pub fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_crystal_geometry() {
+        let s = model_crystal([2, 3, 4], 5.0);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.lengths, [10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn pw_atoms_inherit_table() {
+        let s = model_crystal([2, 2, 2], 5.0);
+        let t = PseudoTable::deep_well(2.0, 0.8);
+        let atoms = to_pw_atoms(&s, &t);
+        assert_eq!(atoms.len(), 8);
+        assert!(atoms.iter().all(|a| a.local.z == 2.0 && a.kb_energy == 0.0));
+    }
+}

@@ -1,0 +1,212 @@
+//! Wavefunction analysis for the paper's science results (Fig. 7):
+//! localization of the band-edge and oxygen-induced states.
+
+use ls3df_atoms::{Species, Structure};
+use ls3df_grid::RealField;
+use ls3df_math::c64;
+use ls3df_pw::PwBasis;
+
+/// Converts a planewave state to its grid density `|ψ(r)|²` (integrates
+/// to 1).
+pub fn state_density(basis: &PwBasis, coefficients: &[c64]) -> RealField {
+    let mut buf = vec![c64::ZERO; basis.grid().len()];
+    basis.wave_to_grid(coefficients, &mut buf);
+    let data: Vec<f64> = buf.iter().map(|z| z.norm_sqr()).collect();
+    RealField::from_vec(basis.grid().clone(), data)
+}
+
+/// Inverse participation ratio `IPR = Ω·∫|ψ|⁴ / (∫|ψ|²)²`.
+///
+/// IPR = 1 for a fully extended (uniform) state; it grows as the state
+/// localizes — the metric behind the paper's observation that high-energy
+/// oxygen-band states are "more localized … which will significantly
+/// reduce the electron mobility".
+pub fn inverse_participation_ratio(density: &RealField) -> f64 {
+    let dv = density.grid().dv();
+    let p2: f64 = density.as_slice().iter().map(|&d| d * d).sum::<f64>() * dv;
+    let p1: f64 = density.as_slice().iter().sum::<f64>() * dv;
+    density.grid().volume() * p2 / (p1 * p1).max(1e-300)
+}
+
+/// Fraction of `|ψ|²` within `radius` (Bohr) of any atom of the given
+/// species — e.g. the "oxygen weight" of a state (Fig. 7: O-induced states
+/// cluster on the oxygen atoms).
+pub fn species_weight(
+    density: &RealField,
+    structure: &Structure,
+    species: Species,
+    radius: f64,
+) -> f64 {
+    let grid = density.grid();
+    let sites: Vec<[f64; 3]> = structure
+        .atoms
+        .iter()
+        .filter(|a| a.species == species)
+        .map(|a| a.pos)
+        .collect();
+    if sites.is_empty() {
+        return 0.0;
+    }
+    let mut inside = 0.0;
+    let mut total = 0.0;
+    for (idx, &d) in density.as_slice().iter().enumerate() {
+        let (ix, iy, iz) = grid.coords(idx);
+        let r = grid.position(ix, iy, iz);
+        total += d;
+        if sites.iter().any(|s| grid.distance(*s, r) <= radius) {
+            inside += d;
+        }
+    }
+    inside / total.max(1e-300)
+}
+
+/// Dipole moment `p = ∫ r·ρ(r) d³r` of a density distribution relative to
+/// the box center, computed with minimum-image coordinates so a localized
+/// blob near the boundary is handled correctly. The paper's earlier
+/// validation (ref. [16]) compared thousand-atom quantum-rod dipole
+/// moments between LS3DF and direct LDA to <1%.
+pub fn dipole_moment(density: &RealField) -> [f64; 3] {
+    let grid = density.grid();
+    let center = [
+        grid.lengths[0] * 0.5,
+        grid.lengths[1] * 0.5,
+        grid.lengths[2] * 0.5,
+    ];
+    let dv = grid.dv();
+    let mut p = [0.0_f64; 3];
+    for (idx, &d) in density.as_slice().iter().enumerate() {
+        let (ix, iy, iz) = grid.coords(idx);
+        let r = grid.position(ix, iy, iz);
+        let rel = grid.min_image(center, r);
+        for c in 0..3 {
+            // A point exactly half a box away is equidistant through both
+            // images; its first moment averages to zero.
+            let x = if (rel[c].abs() - 0.5 * grid.lengths[c]).abs() < 1e-9 {
+                0.0
+            } else {
+                rel[c]
+            };
+            p[c] += x * d * dv;
+        }
+    }
+    p
+}
+
+/// Fraction of the cell volume within `radius` of atoms of `species`
+/// (the baseline against which [`species_weight`] indicates clustering).
+pub fn species_volume_fraction(
+    grid: &ls3df_grid::Grid3,
+    structure: &Structure,
+    species: Species,
+    radius: f64,
+) -> f64 {
+    let sites: Vec<[f64; 3]> = structure
+        .atoms
+        .iter()
+        .filter(|a| a.species == species)
+        .map(|a| a.pos)
+        .collect();
+    if sites.is_empty() {
+        return 0.0;
+    }
+    let mut inside = 0usize;
+    for (ix, iy, iz) in grid.iter_points() {
+        let r = grid.position(ix, iy, iz);
+        if sites.iter().any(|s| grid.distance(*s, r) <= radius) {
+            inside += 1;
+        }
+    }
+    inside as f64 / grid.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls3df_atoms::Atom;
+    use ls3df_grid::Grid3;
+
+    #[test]
+    fn uniform_state_has_ipr_one() {
+        let grid = Grid3::cubic(8, 5.0);
+        let basis = PwBasis::new(grid, 1.0);
+        let mut c = vec![c64::ZERO; basis.len()];
+        c[basis.g0_index()] = c64::ONE;
+        let d = state_density(&basis, &c);
+        assert!((inverse_participation_ratio(&d) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn localized_state_has_large_ipr() {
+        let grid = Grid3::cubic(12, 10.0);
+        let d = RealField::from_fn(grid, |r| {
+            let r2 = (r[0] - 5.0).powi(2) + (r[1] - 5.0).powi(2) + (r[2] - 5.0).powi(2);
+            (-r2).exp()
+        });
+        let ipr = inverse_participation_ratio(&d);
+        assert!(ipr > 10.0, "IPR = {ipr}");
+    }
+
+    #[test]
+    fn species_weight_detects_concentration() {
+        let grid = Grid3::cubic(12, 10.0);
+        let s = Structure::new(
+            [10.0, 10.0, 10.0],
+            vec![
+                Atom { species: Species::O, pos: [5.0, 5.0, 5.0] },
+                Atom { species: Species::Zn, pos: [0.0, 0.0, 0.0] },
+            ],
+        );
+        // Density concentrated at the O site.
+        let on_o = RealField::from_fn(grid.clone(), |r| {
+            let r2 = (r[0] - 5.0).powi(2) + (r[1] - 5.0).powi(2) + (r[2] - 5.0).powi(2);
+            (-2.0 * r2).exp()
+        });
+        let w = species_weight(&on_o, &s, Species::O, 2.5);
+        assert!(w > 0.9, "w = {w}");
+        // Uniform density has weight ≈ volume fraction.
+        let uniform = RealField::constant(grid.clone(), 1.0);
+        let wu = species_weight(&uniform, &s, Species::O, 2.5);
+        let vf = species_volume_fraction(&grid, &s, Species::O, 2.5);
+        assert!((wu - vf).abs() < 1e-12);
+        assert!(w > 5.0 * vf, "clustered state must exceed the volume baseline");
+    }
+
+    #[test]
+    fn dipole_of_symmetric_density_vanishes() {
+        let grid = Grid3::cubic(10, 8.0);
+        let sym = RealField::from_fn(grid.clone(), |r| {
+            let d2 = (r[0] - 4.0).powi(2) + (r[1] - 4.0).powi(2) + (r[2] - 4.0).powi(2);
+            (-d2 / 3.0).exp()
+        });
+        let p = dipole_moment(&sym);
+        for c in 0..3 {
+            assert!(p[c].abs() < 1e-10, "p[{c}] = {}", p[c]);
+        }
+    }
+
+    #[test]
+    fn dipole_points_from_center_to_offset_blob() {
+        let grid = Grid3::cubic(12, 9.0);
+        let blob = RealField::from_fn(grid.clone(), |r| {
+            let d2 = (r[0] - 6.5).powi(2) + (r[1] - 4.5).powi(2) + (r[2] - 4.5).powi(2);
+            (-d2).exp()
+        });
+        let p = dipole_moment(&blob);
+        let q = blob.integrate();
+        // Centroid offset ≈ +2 Bohr along x from the box center (4.5).
+        assert!((p[0] / q - 2.0).abs() < 0.05, "⟨x⟩ = {}", p[0] / q);
+        assert!(p[1].abs() / q < 0.05 && p[2].abs() / q < 0.05);
+    }
+
+    #[test]
+    fn absent_species_gives_zero() {
+        let grid = Grid3::cubic(6, 4.0);
+        let s = Structure::new(
+            [4.0, 4.0, 4.0],
+            vec![Atom { species: Species::Zn, pos: [1.0, 1.0, 1.0] }],
+        );
+        let d = RealField::constant(grid.clone(), 1.0);
+        assert_eq!(species_weight(&d, &s, Species::O, 1.0), 0.0);
+        assert_eq!(species_volume_fraction(&grid, &s, Species::O, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Fragment geometry: the heart of the LS3DF patching scheme.
+//!
+//! The periodic supercell is divided into `M = m1 × m2 × m3` *pieces*
+//! (the paper uses one eight-atom zinc-blende cell per piece). From every
+//! piece corner `(i, j, k)`, **eight fragments** are defined with sizes
+//! `{1,2} × {1,2} × {1,2}` pieces and weight
+//!
+//! ```text
+//! α_F = Π_d sign_d,   sign_d = +1 if size_d = 2, −1 if size_d = 1
+//! ```
+//!
+//! (`+1` for 2×2×2; `−1` for the three 2×2×1 types; `+1` for the three
+//! 2×1×1 types; `−1` for 1×1×1 — the 3-D extension of the paper's Fig. 1).
+//! Summing `α_F · (anything accumulated over the fragment interior)` over
+//! all corners covers every piece with net weight exactly **one** while
+//! cancelling every artificial surface, edge and corner term pairwise —
+//! the property tested by [`partition_of_unity`] and exploited by
+//! `Gen_dens`.
+
+use ls3df_grid::Grid3;
+
+/// One fragment: corner piece index, size in pieces, and sign weight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// Piece index of the fragment's low corner `(i, j, k)`.
+    pub corner: [usize; 3],
+    /// Fragment extent in pieces per dimension (1 or 2).
+    pub size: [usize; 3],
+}
+
+impl Fragment {
+    /// The patching weight `α_F`.
+    pub fn alpha(&self) -> f64 {
+        let mut a = 1.0;
+        for d in 0..3 {
+            a *= if self.size[d] == 2 { 1.0 } else { -1.0 };
+        }
+        a
+    }
+
+    /// Number of pieces covered.
+    pub fn n_pieces(&self) -> usize {
+        self.size[0] * self.size[1] * self.size[2]
+    }
+
+    /// Stable identifier `(corner, size)` for logs.
+    pub fn label(&self) -> String {
+        format!(
+            "F[{},{},{}]({}x{}x{})",
+            self.corner[0], self.corner[1], self.corner[2],
+            self.size[0], self.size[1], self.size[2]
+        )
+    }
+}
+
+/// The fragment decomposition of a supercell.
+#[derive(Clone, Debug)]
+pub struct FragmentGrid {
+    /// Pieces per dimension.
+    pub m: [usize; 3],
+    /// Grid points per piece per dimension (global grid must be
+    /// `m[d] · piece_pts[d]` points along axis `d`).
+    pub piece_pts: [usize; 3],
+    /// Physical piece lengths (Bohr).
+    pub piece_len: [f64; 3],
+    /// Buffer width added around the fragment region on each side, in
+    /// grid points per dimension (sets the fragment box ΩF).
+    pub buffer_pts: [usize; 3],
+}
+
+impl FragmentGrid {
+    /// Builds the decomposition for a global grid of `m · piece_pts`
+    /// points. Requires `m[d] ≥ 2` (a size-2 fragment must not wrap onto
+    /// itself).
+    pub fn new(m: [usize; 3], global: &Grid3, buffer_pts: [usize; 3]) -> Self {
+        for d in 0..3 {
+            assert!(m[d] >= 2, "FragmentGrid: need ≥ 2 pieces per dimension (got {})", m[d]);
+            assert_eq!(
+                global.dims[d] % m[d],
+                0,
+                "FragmentGrid: global grid axis {d} ({}) not divisible into {} pieces",
+                global.dims[d],
+                m[d]
+            );
+        }
+        let piece_pts = [global.dims[0] / m[0], global.dims[1] / m[1], global.dims[2] / m[2]];
+        let piece_len = [
+            global.lengths[0] / m[0] as f64,
+            global.lengths[1] / m[1] as f64,
+            global.lengths[2] / m[2] as f64,
+        ];
+        FragmentGrid { m, piece_pts, piece_len, buffer_pts }
+    }
+
+    /// Total number of corners (= pieces).
+    pub fn n_corners(&self) -> usize {
+        self.m[0] * self.m[1] * self.m[2]
+    }
+
+    /// Total number of fragments (8 per corner).
+    pub fn n_fragments(&self) -> usize {
+        8 * self.n_corners()
+    }
+
+    /// Iterates over all fragments of all corners.
+    pub fn fragments(&self) -> Vec<Fragment> {
+        let mut out = Vec::with_capacity(self.n_fragments());
+        for k in 0..self.m[2] {
+            for j in 0..self.m[1] {
+                for i in 0..self.m[0] {
+                    for &s3 in &[1usize, 2] {
+                        for &s2 in &[1usize, 2] {
+                            for &s1 in &[1usize, 2] {
+                                out.push(Fragment { corner: [i, j, k], size: [s1, s2, s3] });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Origin of the fragment *region* in global grid points (may exceed
+    /// the global grid; callers wrap periodically).
+    pub fn region_origin(&self, f: &Fragment) -> [i64; 3] {
+        std::array::from_fn(|d| (f.corner[d] * self.piece_pts[d]) as i64)
+    }
+
+    /// Size of the fragment region in grid points.
+    pub fn region_dims(&self, f: &Fragment) -> [usize; 3] {
+        std::array::from_fn(|d| f.size[d] * self.piece_pts[d])
+    }
+
+    /// Origin of the fragment *box* ΩF (region minus buffer) in global
+    /// grid points.
+    pub fn box_origin(&self, f: &Fragment) -> [i64; 3] {
+        let r = self.region_origin(f);
+        std::array::from_fn(|d| r[d] - self.buffer_pts[d] as i64)
+    }
+
+    /// The fragment box grid (region + buffer on both sides), with the
+    /// same grid spacing as the global grid.
+    pub fn box_grid(&self, f: &Fragment) -> Grid3 {
+        let rd = self.region_dims(f);
+        let dims: [usize; 3] = std::array::from_fn(|d| rd[d] + 2 * self.buffer_pts[d]);
+        let spacing: [f64; 3] = std::array::from_fn(|d| self.piece_len[d] / self.piece_pts[d] as f64);
+        let lengths: [f64; 3] = std::array::from_fn(|d| dims[d] as f64 * spacing[d]);
+        Grid3::new(dims, lengths)
+    }
+
+    /// Physical coordinates (in the global cell, unwrapped) of the box
+    /// origin.
+    pub fn box_origin_pos(&self, f: &Fragment) -> [f64; 3] {
+        let o = self.box_origin(f);
+        let spacing: [f64; 3] = std::array::from_fn(|d| self.piece_len[d] / self.piece_pts[d] as f64);
+        std::array::from_fn(|d| o[d] as f64 * spacing[d])
+    }
+
+    /// Physical bounds (unwrapped) of the fragment region:
+    /// `[origin, origin + size·piece_len)`.
+    pub fn region_bounds(&self, f: &Fragment) -> ([f64; 3], [f64; 3]) {
+        let lo: [f64; 3] = std::array::from_fn(|d| f.corner[d] as f64 * self.piece_len[d]);
+        let hi: [f64; 3] = std::array::from_fn(|d| lo[d] + f.size[d] as f64 * self.piece_len[d]);
+        (lo, hi)
+    }
+
+    /// Offset (in box grid points) of the fragment region inside its box.
+    pub fn region_offset_in_box(&self) -> [usize; 3] {
+        self.buffer_pts
+    }
+
+    /// Verifies the partition of unity: accumulating `α_F` over every
+    /// fragment region covers each global grid point with net weight 1.
+    /// Returns the maximum deviation (0 for a correct decomposition).
+    pub fn partition_of_unity(&self, global: &Grid3) -> f64 {
+        let mut weight = vec![0.0_f64; global.len()];
+        for f in self.fragments() {
+            let alpha = f.alpha();
+            let origin = self.region_origin(&f);
+            let dims = self.region_dims(&f);
+            for dz in 0..dims[2] {
+                for dy in 0..dims[1] {
+                    for dx in 0..dims[0] {
+                        let idx = global.index_wrapped(
+                            origin[0] + dx as i64,
+                            origin[1] + dy as i64,
+                            origin[2] + dz as i64,
+                        );
+                        weight[idx] += alpha;
+                    }
+                }
+            }
+        }
+        weight.iter().map(|w| (w - 1.0).abs()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(m: [usize; 3], pts: usize) -> Grid3 {
+        Grid3::new(
+            [m[0] * pts, m[1] * pts, m[2] * pts],
+            [m[0] as f64 * 4.0, m[1] as f64 * 4.0, m[2] as f64 * 4.0],
+        )
+    }
+
+    #[test]
+    fn alpha_signs_match_paper() {
+        // 2D analogue in the paper: +1 for 1×1 and 2×2, −1 for mixed.
+        // 3D: α = (−1)^(#dims of size 1).
+        let mk = |s: [usize; 3]| Fragment { corner: [0, 0, 0], size: s }.alpha();
+        assert_eq!(mk([2, 2, 2]), 1.0);
+        assert_eq!(mk([1, 2, 2]), -1.0);
+        assert_eq!(mk([2, 1, 2]), -1.0);
+        assert_eq!(mk([2, 2, 1]), -1.0);
+        assert_eq!(mk([1, 1, 2]), 1.0);
+        assert_eq!(mk([1, 2, 1]), 1.0);
+        assert_eq!(mk([2, 1, 1]), 1.0);
+        assert_eq!(mk([1, 1, 1]), -1.0);
+    }
+
+    #[test]
+    fn alpha_sum_per_corner_is_one_piece() {
+        // Σ_S α_S · volume(S) = 1 piece: 8 − 3·4 + 3·2 − 1 = 1.
+        let fg = FragmentGrid::new([2, 2, 2], &grid([2, 2, 2], 4), [1, 1, 1]);
+        let total: f64 = fg
+            .fragments()
+            .iter()
+            .take(8) // one corner
+            .map(|f| f.alpha() * f.n_pieces() as f64)
+            .sum();
+        assert_eq!(total, 1.0);
+    }
+
+    #[test]
+    fn partition_of_unity_exact() {
+        for m in [[2usize, 2, 2], [3, 2, 4], [3, 3, 3]] {
+            let g = grid(m, 3);
+            let fg = FragmentGrid::new(m, &g, [1, 1, 1]);
+            assert_eq!(fg.partition_of_unity(&g), 0.0, "m = {m:?}");
+        }
+    }
+
+    #[test]
+    fn fragment_count() {
+        let g = grid([3, 3, 3], 4);
+        let fg = FragmentGrid::new([3, 3, 3], &g, [2, 2, 2]);
+        assert_eq!(fg.n_fragments(), 8 * 27);
+        assert_eq!(fg.fragments().len(), 8 * 27);
+    }
+
+    #[test]
+    fn box_geometry() {
+        let g = grid([4, 4, 4], 6);
+        let fg = FragmentGrid::new([4, 4, 4], &g, [2, 2, 2]);
+        let f = Fragment { corner: [1, 2, 3], size: [2, 1, 2] };
+        assert_eq!(fg.region_origin(&f), [6, 12, 18]);
+        assert_eq!(fg.region_dims(&f), [12, 6, 12]);
+        assert_eq!(fg.box_origin(&f), [4, 10, 16]);
+        let bg = fg.box_grid(&f);
+        assert_eq!(bg.dims, [16, 10, 16]);
+        // Same spacing as global.
+        let h_global = g.spacing();
+        let h_box = bg.spacing();
+        for d in 0..3 {
+            assert!((h_global[d] - h_box[d]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn region_bounds_physical() {
+        let g = grid([2, 2, 2], 4);
+        let fg = FragmentGrid::new([2, 2, 2], &g, [1, 1, 1]);
+        let f = Fragment { corner: [1, 0, 1], size: [1, 2, 1] };
+        let (lo, hi) = fg.region_bounds(&f);
+        assert_eq!(lo, [4.0, 0.0, 4.0]);
+        assert_eq!(hi, [8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 2 pieces")]
+    fn single_piece_dimension_rejected() {
+        let g = Grid3::new([4, 8, 8], [4.0, 8.0, 8.0]);
+        let _ = FragmentGrid::new([1, 2, 2], &g, [1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_grid_rejected() {
+        let g = Grid3::new([9, 8, 8], [8.0, 8.0, 8.0]);
+        let _ = FragmentGrid::new([2, 2, 2], &g, [1, 1, 1]);
+    }
+}

@@ -1,0 +1,523 @@
+//! The LS3DF self-consistent loop: Gen_VF → PEtot_F → Gen_dens → GENPOT
+//! (paper Fig. 2), with potential mixing between outer iterations.
+//!
+//! Each fragment keeps its wavefunctions between outer iterations (warm
+//! start), and the fragment solves fan out over a rayon pool — the
+//! shared-memory analogue of the paper's processor groups (`Ng` groups of
+//! `Np` cores each). Per-step wall-clock timings are recorded so the
+//! machine-model calibration in `ls3df-hpc` can use measured constants.
+
+use crate::fragment::{Fragment, FragmentGrid};
+use crate::passivate::{boundary_wall, fragment_atoms, FragmentAtoms, Passivation};
+use ls3df_atoms::{topology_cutoff, Structure};
+use ls3df_grid::{Grid3, RealField};
+use ls3df_math::{c64, Matrix};
+use ls3df_pseudo::PseudoTable;
+use ls3df_pw::{
+    density, effective_potential, initial_density, ionic_potential, solver, Hamiltonian, Mixer,
+    MixerState, NonlocalPotential, PwAtom, PwBasis, SolverMethod, SolverOptions,
+};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Options for an LS3DF run.
+#[derive(Clone, Debug)]
+pub struct Ls3dfOptions {
+    /// Planewave cutoff (Hartree), shared by fragments and GENPOT.
+    pub ecut: f64,
+    /// Grid points per piece per dimension.
+    pub piece_pts: [usize; 3],
+    /// Buffer width around each fragment region (grid points).
+    pub buffer_pts: [usize; 3],
+    /// Surface passivation scheme.
+    pub passivation: Passivation,
+    /// Confining-wall height (Hartree) of the ΔV_F boundary potential.
+    pub wall_height: f64,
+    /// Extra empty bands per fragment.
+    pub n_extra_bands: usize,
+    /// Eigensolver steps per fragment per outer iteration.
+    pub cg_steps: usize,
+    /// Eigensolver steps on the *first* outer iteration (burn-in): the
+    /// fragment wavefunctions start from random vectors, and patching
+    /// unconverged fragment densities destabilizes the outer loop for
+    /// many-band fragments.
+    pub initial_cg_steps: usize,
+    /// Per-fragment residual target: each outer iteration runs the
+    /// eigensolver until this residual (or the step cap). Patching
+    /// fragments with wildly different convergence levels destabilizes
+    /// the outer loop; a tolerance equalizes them.
+    pub fragment_tol: f64,
+    /// Eigensolver flavor for PEtot_F (all-band vs band-by-band).
+    pub method: SolverMethod,
+    /// Potential mixing scheme for the outer loop.
+    pub mixer: Mixer,
+    /// Maximum outer (SCF) iterations.
+    pub max_scf: usize,
+    /// Convergence threshold on `∫|V_out − V_in| d³r` (paper Fig. 6).
+    pub tol: f64,
+    /// Pseudopotential table (defaults to the ZnTeO model database).
+    pub pseudo: PseudoTable,
+}
+
+impl Default for Ls3dfOptions {
+    fn default() -> Self {
+        Ls3dfOptions {
+            ecut: 2.0,
+            piece_pts: [12, 12, 12],
+            buffer_pts: [4, 4, 4],
+            passivation: Passivation::PseudoH,
+            wall_height: 1.5,
+            n_extra_bands: 4,
+            cg_steps: 5,
+            initial_cg_steps: 30,
+            fragment_tol: 5e-2,
+            method: SolverMethod::AllBand,
+            mixer: Mixer::Kerker { alpha: 0.7, q0: 1.0 },
+            max_scf: 40,
+            tol: 1e-3,
+            pseudo: PseudoTable::default(),
+        }
+    }
+}
+
+impl Ls3dfOptions {
+    /// The paper's production parameters (§V): 50 Ryd cutoff, 40³ grid
+    /// points per eight-atom piece, pseudo-hydrogen passivation. These
+    /// need cluster-scale compute — provided for users with the hardware
+    /// and for cost-model calibration, not for the test suite.
+    pub fn paper_scale() -> Self {
+        Ls3dfOptions {
+            ecut: 25.0, // 50 Ryd
+            piece_pts: [40, 40, 40],
+            buffer_pts: [12, 12, 12],
+            cg_steps: 8,
+            max_scf: 60,
+            tol: 1e-2, // the paper's Fig. 6 stopping point
+            ..Default::default()
+        }
+    }
+
+    /// Single-machine parameters: reduced cutoff and grids sized so that
+    /// a 2×2×2-cell ZnTeO run completes in minutes per outer iteration on
+    /// one core.
+    pub fn laptop() -> Self {
+        Ls3dfOptions {
+            ecut: 2.0,
+            piece_pts: [8, 8, 8],
+            buffer_pts: [3, 3, 3],
+            n_extra_bands: 2,
+            cg_steps: 6,
+            mixer: Mixer::Kerker { alpha: 0.5, q0: 0.8 },
+            ..Default::default()
+        }
+    }
+}
+
+/// Wall-clock breakdown of one outer iteration (paper §IV reports exactly
+/// these four numbers).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepTimings {
+    /// Gen_VF: global potential → fragment potentials (seconds).
+    pub gen_vf: f64,
+    /// PEtot_F: all fragment eigensolves (seconds).
+    pub petot_f: f64,
+    /// Gen_dens: fragment densities → global density (seconds).
+    pub gen_dens: f64,
+    /// GENPOT: global Poisson + XC + mixing (seconds).
+    pub genpot: f64,
+}
+
+/// One outer-iteration record.
+#[derive(Clone, Copy, Debug)]
+pub struct Ls3dfStep {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// `∫|V_out − V_in| d³r` (Hartree·Bohr³) — the Fig. 6 metric.
+    pub dv_integral: f64,
+    /// Worst fragment eigensolver residual this iteration.
+    pub worst_residual: f64,
+    /// Timing breakdown.
+    pub timings: StepTimings,
+}
+
+/// Per-fragment solver state (persists across outer iterations).
+pub(crate) struct FragmentState {
+    fragment: Fragment,
+    basis: PwBasis,
+    nonlocal: NonlocalPotential,
+    /// Fixed ΔV_F: confining wall + passivant ionic potentials.
+    delta_v: RealField,
+    psi: Matrix<c64>,
+    occupations: Vec<f64>,
+    atoms: FragmentAtoms,
+}
+
+impl FragmentState {
+    pub(crate) fn basis(&self) -> &PwBasis {
+        &self.basis
+    }
+    pub(crate) fn nonlocal(&self) -> &NonlocalPotential {
+        &self.nonlocal
+    }
+    pub(crate) fn psi(&self) -> &Matrix<c64> {
+        &self.psi
+    }
+    pub(crate) fn occupations(&self) -> &[f64] {
+        &self.occupations
+    }
+    pub(crate) fn fragment(&self) -> &Fragment {
+        &self.fragment
+    }
+    pub(crate) fn atoms(&self) -> &FragmentAtoms {
+        &self.atoms
+    }
+}
+
+/// The assembled LS3DF calculation.
+pub struct Ls3df {
+    /// Fragment decomposition.
+    pub fg: FragmentGrid,
+    /// Global grid.
+    pub global_grid: Grid3,
+    global_basis: PwBasis,
+    v_ion_global: RealField,
+    fragments: Vec<FragmentState>,
+    n_electrons: f64,
+    opts: Ls3dfOptions,
+    /// Current global input potential.
+    v_in: RealField,
+    /// Latest patched density.
+    rho: RealField,
+    /// Ion–ion Ewald energy of the real structure (fixed geometry).
+    ewald: f64,
+}
+
+/// Result of an LS3DF SCF run.
+pub struct Ls3dfResult {
+    /// Outer-iteration history.
+    pub history: Vec<Ls3dfStep>,
+    /// Whether the ΔV tolerance was reached.
+    pub converged: bool,
+    /// Final patched density.
+    pub rho: RealField,
+    /// Final self-consistent global potential.
+    pub v_eff: RealField,
+}
+
+/// Occupations allowing a fractional last band (passivated fragments can
+/// carry non-integer electron counts).
+pub fn fragment_occupations(n_bands: usize, n_electrons: f64) -> Vec<f64> {
+    let mut occ = vec![0.0; n_bands];
+    let mut remaining = n_electrons;
+    for o in occ.iter_mut() {
+        let fill = remaining.min(2.0);
+        *o = fill;
+        remaining -= fill;
+        if remaining <= 0.0 {
+            break;
+        }
+    }
+    assert!(
+        remaining <= 1e-9,
+        "fragment_occupations: {n_bands} bands cannot hold {n_electrons} electrons"
+    );
+    occ
+}
+
+impl Ls3df {
+    /// Assembles an LS3DF calculation for `structure` divided into
+    /// `m = [m1, m2, m3]` pieces.
+    pub fn new(structure: &Structure, m: [usize; 3], opts: Ls3dfOptions) -> Self {
+        let global_dims: [usize; 3] = std::array::from_fn(|d| m[d] * opts.piece_pts[d]);
+        let global_grid = Grid3::new(global_dims, structure.lengths);
+        let fg = FragmentGrid::new(m, &global_grid, opts.buffer_pts);
+        let neighbors = structure.neighbor_list_within(topology_cutoff(structure));
+
+        let global_basis = PwBasis::new(global_grid.clone(), opts.ecut);
+        let global_atoms: Vec<PwAtom> = structure
+            .atoms
+            .iter()
+            .map(|a| {
+                let p = opts.pseudo.get(a.species);
+                PwAtom { pos: a.pos, local: p.local, kb_rb: p.kb.rb, kb_energy: p.kb.e_kb }
+            })
+            .collect();
+        let v_ion_global = ionic_potential(&global_basis, &global_atoms);
+        let rho0 = initial_density(&global_basis, &global_atoms, 1.4);
+        let (v_in, _) = effective_potential(&global_basis, &v_ion_global, &rho0);
+
+        // Build fragment states in parallel (basis + projectors + ΔV_F).
+        let fragments: Vec<FragmentState> = fg
+            .fragments()
+            .into_par_iter()
+            .map(|f| {
+                let fa = fragment_atoms(structure, &neighbors, &fg, &f, opts.passivation, &opts.pseudo);
+                let box_grid = fg.box_grid(&f);
+                let basis = PwBasis::new(box_grid, opts.ecut);
+                let positions: Vec<[f64; 3]> = fa.atoms.iter().map(|a| a.pos).collect();
+                let e_kb: Vec<f64> = fa.atoms.iter().map(|a| a.kb_energy).collect();
+                let widths: Vec<f64> = fa.atoms.iter().map(|a| a.kb_rb).collect();
+                let nonlocal = NonlocalPotential::new(
+                    &basis,
+                    &positions,
+                    |a, q| (-q * q * widths[a] * widths[a] / 2.0).exp(),
+                    &e_kb,
+                );
+                // ΔV_F = confining wall + passivant ionic potentials.
+                let mut delta_v = boundary_wall(&fg, &f, opts.wall_height);
+                let passivants: Vec<PwAtom> = fa.atoms[fa.n_real..].to_vec();
+                if !passivants.is_empty() {
+                    let v_h = ionic_potential(&basis, &passivants);
+                    delta_v.add_scaled(1.0, &v_h);
+                }
+                let n_occ = (fa.n_electrons / 2.0).ceil() as usize;
+                let n_bands = (n_occ + opts.n_extra_bands).max(1);
+                let occupations = fragment_occupations(n_bands, fa.n_electrons);
+                // Seed by fragment *type* only: fragments of the same size
+                // start from the same guess, so identical pieces produce
+                // bit-identical fragment solutions (exact patched-density
+                // periodicity for ideal crystals — tested in
+                // tests/ls3df_pipeline.rs).
+                let psi = ls3df_pw::scf::random_start(
+                    n_bands,
+                    &basis,
+                    0xF00D ^ (f.size[0] * 31 + f.size[1] * 37 + f.size[2] * 41) as u64,
+                );
+                FragmentState { fragment: f, basis, nonlocal, delta_v, psi, occupations, atoms: fa }
+            })
+            .collect();
+
+        let n_electrons = structure.num_electrons();
+        let positions: Vec<[f64; 3]> = structure.atoms.iter().map(|a| a.pos).collect();
+        let charges: Vec<f64> = structure.atoms.iter().map(|a| a.species.valence()).collect();
+        let ewald = ls3df_pw::ewald::ewald_energy(&positions, &charges, structure.lengths);
+        Ls3df {
+            fg,
+            global_grid,
+            global_basis,
+            v_ion_global,
+            fragments,
+            n_electrons,
+            opts,
+            v_in,
+            rho: rho0,
+            ewald,
+        }
+    }
+
+    /// Ion–ion Ewald energy of the structure.
+    pub fn ewald_energy(&self) -> f64 {
+        self.ewald
+    }
+
+    /// The latest patched density.
+    pub fn rho_ref(&self) -> &RealField {
+        &self.rho
+    }
+
+    pub(crate) fn fragment_states(&self) -> &[FragmentState] {
+        &self.fragments
+    }
+
+    /// Number of fragments.
+    pub fn n_fragments(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Total electrons of the real (global) system.
+    pub fn n_electrons(&self) -> f64 {
+        self.n_electrons
+    }
+
+    /// Current global input potential.
+    pub fn v_in(&self) -> &RealField {
+        &self.v_in
+    }
+
+    /// Overrides the global input potential (diagnostics; e.g. patching a
+    /// converged direct-DFT potential through one LS3DF cycle).
+    pub fn set_v_in(&mut self, v: RealField) {
+        assert_eq!(v.grid(), &self.global_grid, "set_v_in: grid mismatch");
+        self.v_in = v;
+    }
+
+    /// **Gen_VF**: slices the global potential into per-fragment
+    /// `V_F = V_in|ΩF + ΔV_F`.
+    pub fn gen_vf(&self) -> Vec<RealField> {
+        self.fragments
+            .par_iter()
+            .map(|fs| {
+                let origin = self.fg.box_origin(&fs.fragment);
+                let mut vf = self.v_in.extract_subbox(origin, fs.basis.grid());
+                vf.add_scaled(1.0, &fs.delta_v);
+                vf
+            })
+            .collect()
+    }
+
+    /// **PEtot_F**: advances every fragment's eigenproblem by
+    /// `opts.cg_steps` solver iterations in its current potential.
+    /// Returns the worst residual across fragments.
+    pub fn petot_f(&mut self, vfs: &[RealField]) -> f64 {
+        self.petot_f_steps(vfs, self.opts.cg_steps)
+    }
+
+    /// [`Ls3df::petot_f`] with an explicit step budget (used for the
+    /// burn-in first iteration).
+    pub fn petot_f_steps(&mut self, vfs: &[RealField], steps: usize) -> f64 {
+        let solver_opts = SolverOptions {
+            max_iter: steps,
+            tol: self.opts.fragment_tol,
+            ..Default::default()
+        };
+        let method = self.opts.method;
+        self.fragments
+            .par_iter_mut()
+            .zip(vfs.par_iter())
+            .map(|(fs, vf)| {
+                let h = Hamiltonian::new(&fs.basis, vf.clone(), &fs.nonlocal);
+                let stats = match method {
+                    SolverMethod::AllBand => solver::solve_all_band(&h, &mut fs.psi, &solver_opts),
+                    SolverMethod::BandByBand => {
+                        solver::solve_band_by_band(&h, &mut fs.psi, &solver_opts)
+                    }
+                };
+                stats.residual
+            })
+            .reduce(|| 0.0, f64::max)
+    }
+
+    /// **Gen_dens**: patches fragment densities into the global density
+    /// with the `α_F` signs, then rescales to the exact electron count.
+    pub fn gen_dens(&self) -> RealField {
+        // Compute per-fragment region densities in parallel…
+        let parts: Vec<(usize, RealField)> = self
+            .fragments
+            .par_iter()
+            .enumerate()
+            .map(|(i, fs)| {
+                let rho_f = density::compute_density(&fs.basis, &fs.psi, &fs.occupations);
+                // Extract the region part of the box density.
+                let off = self.fg.region_offset_in_box();
+                let rd = self.fg.region_dims(&fs.fragment);
+                let region_grid = {
+                    let h = fs.basis.grid().spacing();
+                    Grid3::new(rd, [rd[0] as f64 * h[0], rd[1] as f64 * h[1], rd[2] as f64 * h[2]])
+                };
+                let region =
+                    rho_f.extract_subbox([off[0] as i64, off[1] as i64, off[2] as i64], &region_grid);
+                (i, region)
+            })
+            .collect();
+        // …then accumulate sequentially (the global-array reduction).
+        let mut rho = RealField::zeros(self.global_grid.clone());
+        for (i, region) in parts {
+            let fs = &self.fragments[i];
+            let origin = self.fg.region_origin(&fs.fragment);
+            rho.accumulate_subbox(origin, &region, fs.fragment.alpha());
+        }
+        // Charge renormalization.
+        let q = rho.integrate();
+        if q.abs() > 1e-12 {
+            rho.scale(self.n_electrons / q);
+        }
+        rho
+    }
+
+    /// **GENPOT**: global Poisson + XC from the patched density.
+    pub fn genpot(&self, rho: &RealField) -> RealField {
+        let (v_out, _) = effective_potential(&self.global_basis, &self.v_ion_global, rho);
+        v_out
+    }
+
+    /// Runs the full outer SCF loop.
+    pub fn scf(&mut self) -> Ls3dfResult {
+        self.scf_with(|_| {})
+    }
+
+    /// Runs the outer SCF loop, invoking `on_step` after every iteration
+    /// (progress streaming for long runs).
+    pub fn scf_with(&mut self, mut on_step: impl FnMut(&Ls3dfStep)) -> Ls3dfResult {
+        let mut mixer = MixerState::new(self.opts.mixer.clone());
+        let mut history = Vec::new();
+        let mut converged = false;
+
+        for iteration in 1..=self.opts.max_scf {
+            let mut timings = StepTimings::default();
+
+            let t = Instant::now();
+            let vfs = self.gen_vf();
+            timings.gen_vf = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let steps = if iteration == 1 {
+                self.opts.initial_cg_steps.max(self.opts.cg_steps)
+            } else {
+                self.opts.cg_steps
+            };
+            let worst_residual = self.petot_f_steps(&vfs, steps);
+            timings.petot_f = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let rho = self.gen_dens();
+            timings.gen_dens = t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let v_out = self.genpot(&rho);
+            let dv_integral = v_out.diff(&self.v_in).integrate_abs();
+            let mixed = mixer.mix(&self.v_in, &v_out, self.global_basis.fft());
+            timings.genpot = t.elapsed().as_secs_f64();
+
+            self.rho = rho;
+            let step = Ls3dfStep { iteration, dv_integral, worst_residual, timings };
+            on_step(&step);
+            history.push(step);
+
+            if dv_integral < self.opts.tol {
+                self.v_in = v_out;
+                converged = true;
+                break;
+            }
+            self.v_in = mixed;
+        }
+
+        Ls3dfResult {
+            history,
+            converged,
+            rho: self.rho.clone(),
+            v_eff: self.v_in.clone(),
+        }
+    }
+
+    /// The global planewave basis (for post-processing: FSM, full-system
+    /// diagonalization in the converged potential).
+    pub fn global_basis(&self) -> &PwBasis {
+        &self.global_basis
+    }
+
+    /// The global ionic potential.
+    pub fn v_ion(&self) -> &RealField {
+        &self.v_ion_global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_occupations_fractional() {
+        assert_eq!(fragment_occupations(4, 6.0), vec![2.0, 2.0, 2.0, 0.0]);
+        assert_eq!(fragment_occupations(4, 5.0), vec![2.0, 2.0, 1.0, 0.0]);
+        let occ = fragment_occupations(5, 7.5);
+        assert_eq!(occ, vec![2.0, 2.0, 2.0, 1.5, 0.0]);
+        let total: f64 = occ.iter().sum();
+        assert_eq!(total, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn too_many_electrons_rejected() {
+        let _ = fragment_occupations(2, 6.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Naive O(n²) discrete Fourier transform, used as the correctness
+//! reference for the fast algorithms (and for very small transform sizes
+//! where setup costs dominate).
+
+use ls3df_math::c64;
+
+/// Forward DFT: `X_k = Σ_j x_j · e^{-2πi·jk/n}` (unnormalized).
+pub fn dft_forward(x: &[c64]) -> Vec<c64> {
+    dft(x, -1.0)
+}
+
+/// Inverse DFT: `x_j = (1/n)·Σ_k X_k · e^{+2πi·jk/n}`.
+pub fn dft_inverse(x: &[c64]) -> Vec<c64> {
+    let n = x.len();
+    let mut out = dft(x, 1.0);
+    let inv = 1.0 / n as f64;
+    for v in &mut out {
+        *v = v.scale(inv);
+    }
+    out
+}
+
+fn dft(x: &[c64], sign: f64) -> Vec<c64> {
+    let n = x.len();
+    let mut out = vec![c64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = c64::ZERO;
+        for (j, &v) in x.iter().enumerate() {
+            let angle = sign * 2.0 * std::f64::consts::PI * ((j * k) % n) as f64 / n as f64;
+            acc = acc.mul_add(v, c64::cis(angle));
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![c64::ZERO; 8];
+        x[0] = c64::ONE;
+        for v in dft_forward(&x) {
+            assert!((v - c64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let x = vec![c64::ONE; 6];
+        let out = dft_forward(&x);
+        assert!((out[0] - c64::real(6.0)).abs() < 1e-12);
+        for v in &out[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x: Vec<c64> = (0..7).map(|i| c64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let back = dft_inverse(&dft_forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Three-dimensional FFT over periodic supercell grids.
+//!
+//! This is the kernel behind two pieces of the paper's pipeline: the
+//! GENPOT global Poisson solve (one forward + one inverse 3-D FFT per SCF
+//! iteration) and the local-potential application `V(r)·ψ(r)` inside
+//! PEtot_F (a pair of 3-D FFTs per band block per CG step).
+//!
+//! Layout convention (shared with `ls3df-grid`): the **x index is fastest**,
+//! `idx = (iz·n2 + iy)·n1 + ix` for dimensions `(n1, n2, n3)`.
+
+use crate::plan::Fft1d;
+use ls3df_math::c64;
+use rayon::prelude::*;
+
+/// Reusable 3-D FFT plan for a fixed `(n1, n2, n3)` grid.
+pub struct Fft3 {
+    n1: usize,
+    n2: usize,
+    n3: usize,
+    plan_x: Fft1d,
+    plan_y: Fft1d,
+    plan_z: Fft1d,
+}
+
+impl Fft3 {
+    /// Builds a plan for an `(n1, n2, n3)` grid (x fastest).
+    pub fn new(n1: usize, n2: usize, n3: usize) -> Self {
+        assert!(n1 >= 1 && n2 >= 1 && n3 >= 1, "Fft3::new: degenerate grid");
+        Fft3 {
+            n1,
+            n2,
+            n3,
+            plan_x: Fft1d::new(n1),
+            plan_y: Fft1d::new(n2),
+            plan_z: Fft1d::new(n3),
+        }
+    }
+
+    /// Grid dimensions `(n1, n2, n3)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.n1, self.n2, self.n3)
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.n1 * self.n2 * self.n3
+    }
+
+    /// Always false for a valid plan.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward transform (unnormalized).
+    pub fn forward(&self, data: &mut [c64]) {
+        self.run(data, true);
+    }
+
+    /// In-place inverse transform (includes the full `1/(n1·n2·n3)`).
+    pub fn inverse(&self, data: &mut [c64]) {
+        self.run(data, false);
+    }
+
+    fn run(&self, data: &mut [c64], fwd: bool) {
+        assert_eq!(data.len(), self.len(), "Fft3: buffer length mismatch");
+        let (n1, n2, n3) = (self.n1, self.n2, self.n3);
+        // Fragment-box-sized transforms run sequentially: the LS3DF outer
+        // loop already parallelizes over fragments/bands, and rayon task
+        // overhead swamps sub-millisecond line transforms.
+        let parallel = data.len() >= 32_768;
+
+        // X lines are contiguous: one slice per (y,z) pair.
+        if n1 > 1 {
+            let do_line = |line: &mut [c64]| {
+                if fwd {
+                    self.plan_x.forward(line);
+                } else {
+                    self.plan_x.inverse(line);
+                }
+            };
+            if parallel {
+                data.par_chunks_mut(n1).for_each(do_line);
+            } else {
+                data.chunks_mut(n1).for_each(do_line);
+            }
+        }
+
+        // Y lines: stride n1 within each z-plane (planes are contiguous, so
+        // parallelize over planes and gather/scatter lines inside).
+        if n2 > 1 {
+            let do_plane = |plane: &mut [c64]| {
+                let mut line = vec![c64::ZERO; n2];
+                for ix in 0..n1 {
+                    for iy in 0..n2 {
+                        line[iy] = plane[iy * n1 + ix];
+                    }
+                    if fwd {
+                        self.plan_y.forward(&mut line);
+                    } else {
+                        self.plan_y.inverse(&mut line);
+                    }
+                    for iy in 0..n2 {
+                        plane[iy * n1 + ix] = line[iy];
+                    }
+                }
+            };
+            if parallel {
+                data.par_chunks_mut(n1 * n2).for_each(do_plane);
+            } else {
+                data.chunks_mut(n1 * n2).for_each(do_plane);
+            }
+        }
+
+        // Z lines: stride n1·n2. Transpose z to the front in one pass so
+        // each column is contiguous, transform, scatter back.
+        if n3 > 1 {
+            let plane = n1 * n2;
+            let mut scratch = vec![c64::ZERO; data.len()];
+            let gather = |col: usize, line: &mut [c64]| {
+                for (iz, v) in line.iter_mut().enumerate() {
+                    *v = data[iz * plane + col];
+                }
+                if fwd {
+                    self.plan_z.forward(line);
+                } else {
+                    self.plan_z.inverse(line);
+                }
+            };
+            if parallel {
+                scratch
+                    .par_chunks_mut(n3)
+                    .enumerate()
+                    .for_each(|(col, line)| gather(col, line));
+                data.par_chunks_mut(plane).enumerate().for_each(|(iz, out_plane)| {
+                    for (col, o) in out_plane.iter_mut().enumerate() {
+                        *o = scratch[col * n3 + iz];
+                    }
+                });
+            } else {
+                scratch
+                    .chunks_mut(n3)
+                    .enumerate()
+                    .for_each(|(col, line)| gather(col, line));
+                data.chunks_mut(plane).enumerate().for_each(|(iz, out_plane)| {
+                    for (col, o) in out_plane.iter_mut().enumerate() {
+                        *o = scratch[col * n3 + iz];
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn rand_field(n: usize, seed: u64) -> Vec<c64> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        (0..n).map(|_| c64::new(next(), next())).collect()
+    }
+
+    /// Brute-force 3-D DFT for small grids.
+    fn dft3(data: &[c64], n1: usize, n2: usize, n3: usize) -> Vec<c64> {
+        let mut out = vec![c64::ZERO; data.len()];
+        for kz in 0..n3 {
+            for ky in 0..n2 {
+                for kx in 0..n1 {
+                    let mut acc = c64::ZERO;
+                    for iz in 0..n3 {
+                        for iy in 0..n2 {
+                            for ix in 0..n1 {
+                                let phase = -2.0
+                                    * PI
+                                    * ((ix * kx) as f64 / n1 as f64
+                                        + (iy * ky) as f64 / n2 as f64
+                                        + (iz * kz) as f64 / n3 as f64);
+                                acc = acc.mul_add(data[(iz * n2 + iy) * n1 + ix], c64::cis(phase));
+                            }
+                        }
+                    }
+                    out[(kz * n2 + ky) * n1 + kx] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_3d_dft() {
+        for &(n1, n2, n3) in &[(4usize, 4usize, 4usize), (8, 4, 2), (3, 5, 4), (6, 6, 6)] {
+            let data = rand_field(n1 * n2 * n3, (n1 * 100 + n2 * 10 + n3) as u64);
+            let expect = dft3(&data, n1, n2, n3);
+            let mut got = data.clone();
+            Fft3::new(n1, n2, n3).forward(&mut got);
+            let err = got
+                .iter()
+                .zip(&expect)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(err < 1e-9 * (n1 * n2 * n3) as f64, "({n1},{n2},{n3}) err={err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for &(n1, n2, n3) in &[(8usize, 8usize, 8usize), (10, 6, 12), (16, 16, 16), (1, 8, 3)] {
+            let data = rand_field(n1 * n2 * n3, 77);
+            let plan = Fft3::new(n1, n2, n3);
+            let mut work = data.clone();
+            plan.forward(&mut work);
+            plan.inverse(&mut work);
+            let err = work
+                .iter()
+                .zip(&data)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(err < 1e-11, "roundtrip ({n1},{n2},{n3}) err={err}");
+        }
+    }
+
+    #[test]
+    fn plane_wave_lands_in_single_bin() {
+        let (n1, n2, n3) = (8, 8, 8);
+        let (k1, k2, k3) = (2usize, 3usize, 5usize);
+        let mut data = vec![c64::ZERO; n1 * n2 * n3];
+        for iz in 0..n3 {
+            for iy in 0..n2 {
+                for ix in 0..n1 {
+                    let phase = 2.0
+                        * PI
+                        * ((ix * k1) as f64 / n1 as f64
+                            + (iy * k2) as f64 / n2 as f64
+                            + (iz * k3) as f64 / n3 as f64);
+                    data[(iz * n2 + iy) * n1 + ix] = c64::cis(phase);
+                }
+            }
+        }
+        Fft3::new(n1, n2, n3).forward(&mut data);
+        let total = (n1 * n2 * n3) as f64;
+        for iz in 0..n3 {
+            for iy in 0..n2 {
+                for ix in 0..n1 {
+                    let v = data[(iz * n2 + iy) * n1 + ix];
+                    if (ix, iy, iz) == (k1, k2, k3) {
+                        assert!((v.re - total).abs() < 1e-8);
+                    } else {
+                        assert!(v.abs() < 1e-8);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let (n1, n2, n3) = (6, 5, 4);
+        let a = rand_field(n1 * n2 * n3, 1);
+        let b = rand_field(n1 * n2 * n3, 2);
+        let plan = Fft3::new(n1, n2, n3);
+        let mut sum: Vec<c64> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(2.0)).collect();
+        plan.forward(&mut sum);
+        let mut fa = a.clone();
+        plan.forward(&mut fa);
+        let mut fb = b.clone();
+        plan.forward(&mut fb);
+        for i in 0..sum.len() {
+            assert!((sum[i] - (fa[i] + fb[i].scale(2.0))).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # ls3df-fft
+//!
+//! FFT substrate for the LS3DF reproduction (the role FFTW/vendor FFTs play
+//! in the original Fortran code).
+//!
+//! * [`Fft1d`] — radix-2 Cooley–Tukey for power-of-two lengths, Bluestein
+//!   chirp-z for everything else (the paper's grids are 40 points per cell —
+//!   not a power of two);
+//! * [`Fft3`] — rayon-parallel 3-D transforms used by the GENPOT Poisson
+//!   solver and the local-potential application in PEtot_F;
+//! * [`dft`] — O(n²) reference transforms for testing.
+
+#![warn(missing_docs)]
+
+pub mod dft;
+mod fft3;
+mod plan;
+
+pub use fft3::Fft3;
+pub use plan::Fft1d;

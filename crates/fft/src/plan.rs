@@ -1,0 +1,308 @@
+//! One-dimensional FFT plans.
+//!
+//! Power-of-two sizes use an iterative radix-2 Cooley–Tukey kernel with
+//! precomputed twiddles and bit-reversal tables. Every other size goes
+//! through Bluestein's chirp-z algorithm, which re-expresses an arbitrary-n
+//! DFT as a cyclic convolution of power-of-two size — so the planewave code
+//! can use physically natural grid sizes like 40³ (the paper's per-cell
+//! grid) without padding.
+//!
+//! Conventions: `forward` is unnormalized (`Σ x_j e^{-2πi jk/n}`);
+//! `inverse` carries the full `1/n`.
+
+use ls3df_math::c64;
+use std::f64::consts::PI;
+
+/// A reusable 1-D FFT plan for a fixed length.
+pub struct Fft1d {
+    n: usize,
+    kind: Kind,
+}
+
+enum Kind {
+    /// n == 1.
+    Trivial,
+    Radix2(Radix2),
+    Bluestein(Box<Bluestein>),
+}
+
+struct Radix2 {
+    /// Bit-reversal permutation table.
+    rev: Vec<u32>,
+    /// Twiddles for the forward direction, grouped by stage.
+    twiddles_fwd: Vec<c64>,
+    /// Twiddles for the inverse direction.
+    twiddles_inv: Vec<c64>,
+}
+
+struct Bluestein {
+    /// Forward chirp `a_j = e^{-iπ j²/n}`.
+    chirp_fwd: Vec<c64>,
+    /// FFT (size m) of the forward-direction filter `b_j = e^{+iπ j²/n}`.
+    filter_fwd: Vec<c64>,
+    /// Inner power-of-two plan of size m ≥ 2n−1.
+    inner: Radix2,
+    m: usize,
+}
+
+impl Fft1d {
+    /// Builds a plan for transforms of length `n` (n ≥ 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "Fft1d::new: length must be ≥ 1");
+        let kind = if n == 1 {
+            Kind::Trivial
+        } else if n.is_power_of_two() {
+            Kind::Radix2(Radix2::new(n))
+        } else {
+            Kind::Bluestein(Box::new(Bluestein::new(n)))
+        };
+        Fft1d { n, kind }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (a plan has length ≥ 1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward transform (unnormalized).
+    pub fn forward(&self, data: &mut [c64]) {
+        assert_eq!(data.len(), self.n, "Fft1d::forward: length mismatch");
+        match &self.kind {
+            Kind::Trivial => {}
+            Kind::Radix2(r) => r.run(data, Direction::Forward),
+            Kind::Bluestein(b) => b.run(data, Direction::Forward),
+        }
+    }
+
+    /// In-place inverse transform (includes the `1/n` factor).
+    pub fn inverse(&self, data: &mut [c64]) {
+        assert_eq!(data.len(), self.n, "Fft1d::inverse: length mismatch");
+        match &self.kind {
+            Kind::Trivial => {}
+            Kind::Radix2(r) => r.run(data, Direction::Inverse),
+            Kind::Bluestein(b) => b.run(data, Direction::Inverse),
+        }
+        let inv = 1.0 / self.n as f64;
+        for v in data {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+impl Radix2 {
+    fn new(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        let bits = n.trailing_zeros();
+        let rev: Vec<u32> = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        // Stage `s` (half-size h = 2^s) uses h twiddles; total n−1.
+        let mut twiddles_fwd = Vec::with_capacity(n - 1);
+        let mut twiddles_inv = Vec::with_capacity(n - 1);
+        let mut h = 1;
+        while h < n {
+            for k in 0..h {
+                let angle = PI * k as f64 / h as f64;
+                twiddles_fwd.push(c64::cis(-angle));
+                twiddles_inv.push(c64::cis(angle));
+            }
+            h *= 2;
+        }
+        Radix2 { rev, twiddles_fwd, twiddles_inv }
+    }
+
+    fn run(&self, data: &mut [c64], dir: Direction) {
+        let n = data.len();
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let tw = match dir {
+            Direction::Forward => &self.twiddles_fwd,
+            Direction::Inverse => &self.twiddles_inv,
+        };
+        // Iterative butterflies.
+        let mut h = 1;
+        let mut tw_off = 0;
+        while h < n {
+            let step = 2 * h;
+            for start in (0..n).step_by(step) {
+                for k in 0..h {
+                    let w = tw[tw_off + k];
+                    let a = data[start + k];
+                    let b = data[start + k + h] * w;
+                    data[start + k] = a + b;
+                    data[start + k + h] = a - b;
+                }
+            }
+            tw_off += h;
+            h = step;
+        }
+    }
+}
+
+impl Bluestein {
+    fn new(n: usize) -> Self {
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2::new(m);
+        // Chirp with the squared index reduced mod 2n for angle accuracy.
+        let chirp = |j: usize, sign: f64| -> c64 {
+            let q = ((j as u128 * j as u128) % (2 * n as u128)) as f64;
+            c64::cis(sign * PI * q / n as f64)
+        };
+        let chirp_fwd: Vec<c64> = (0..n).map(|j| chirp(j, -1.0)).collect();
+        // Filter b_j = conj(a_j) = e^{+iπ j²/n}, wrapped cyclically into m.
+        let mut filter = vec![c64::ZERO; m];
+        for j in 0..n {
+            let v = chirp(j, 1.0);
+            filter[j] = v;
+            if j != 0 {
+                filter[m - j] = v;
+            }
+        }
+        inner.run(&mut filter, Direction::Forward);
+        Bluestein { chirp_fwd, filter_fwd: filter, inner, m }
+    }
+
+    fn run(&self, data: &mut [c64], dir: Direction) {
+        let n = data.len();
+        // Inverse transform = conj ∘ forward ∘ conj (the 1/n is applied by
+        // the caller).
+        if dir == Direction::Inverse {
+            for v in data.iter_mut() {
+                *v = v.conj();
+            }
+        }
+        let mut buf = vec![c64::ZERO; self.m];
+        for j in 0..n {
+            buf[j] = data[j] * self.chirp_fwd[j];
+        }
+        self.inner.run(&mut buf, Direction::Forward);
+        for (v, &f) in buf.iter_mut().zip(&self.filter_fwd) {
+            *v = *v * f;
+        }
+        self.inner.run(&mut buf, Direction::Inverse);
+        let inv_m = 1.0 / self.m as f64;
+        for k in 0..n {
+            data[k] = (buf[k] * self.chirp_fwd[k]).scale(inv_m);
+        }
+        if dir == Direction::Inverse {
+            for v in data.iter_mut() {
+                *v = v.conj();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft_forward, dft_inverse};
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<c64> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        (0..n).map(|_| c64::new(next(), next())).collect()
+    }
+
+    fn max_err(a: &[c64], b: &[c64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for &n in &[2usize, 4, 8, 16, 64, 256] {
+            let x = rand_signal(n, n as u64);
+            let expect = dft_forward(&x);
+            let mut got = x.clone();
+            Fft1d::new(n).forward(&mut got);
+            assert!(max_err(&got, &expect) < 1e-10 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        for &n in &[3usize, 5, 6, 7, 9, 10, 12, 15, 20, 40, 81, 100] {
+            let x = rand_signal(n, 1000 + n as u64);
+            let expect = dft_forward(&x);
+            let mut got = x.clone();
+            Fft1d::new(n).forward(&mut got);
+            assert!(max_err(&got, &expect) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_and_roundtrips() {
+        for &n in &[8usize, 12, 40, 128] {
+            let x = rand_signal(n, 7 + n as u64);
+            let plan = Fft1d::new(n);
+
+            let mut spec = x.clone();
+            plan.forward(&mut spec);
+            let expect_inv = dft_inverse(&spec);
+            let mut got = spec.clone();
+            plan.inverse(&mut got);
+            assert!(max_err(&got, &expect_inv) < 1e-10 * n as f64);
+            assert!(max_err(&got, &x) < 1e-10 * n as f64, "roundtrip n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        for &n in &[16usize, 30] {
+            let x = rand_signal(n, 99 + n as u64);
+            let energy_t: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+            let mut spec = x.clone();
+            Fft1d::new(n).forward(&mut spec);
+            let energy_f: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+            assert!((energy_t - energy_f).abs() < 1e-10 * energy_t.max(1.0));
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut x = vec![c64::new(2.5, -1.0)];
+        let plan = Fft1d::new(1);
+        plan.forward(&mut x);
+        assert_eq!(x[0], c64::new(2.5, -1.0));
+        plan.inverse(&mut x);
+        assert_eq!(x[0], c64::new(2.5, -1.0));
+    }
+
+    #[test]
+    fn pure_tone_lands_in_single_bin() {
+        let n = 32;
+        let k0 = 5;
+        let x: Vec<c64> = (0..n)
+            .map(|j| c64::cis(2.0 * PI * (j * k0) as f64 / n as f64))
+            .collect();
+        let mut spec = x.clone();
+        Fft1d::new(n).forward(&mut spec);
+        for (k, v) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((v.re - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leak at bin {k}");
+            }
+        }
+    }
+}

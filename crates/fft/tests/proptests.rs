@@ -1,0 +1,71 @@
+//! Property-based tests for the FFT substrate.
+
+use ls3df_fft::{dft, Fft1d, Fft3};
+use ls3df_math::c64;
+use proptest::prelude::*;
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<c64>> {
+    (1..=max_len).prop_flat_map(|n| {
+        prop::collection::vec(
+            (-5.0..5.0f64, -5.0..5.0f64).prop_map(|(re, im)| c64::new(re, im)),
+            n,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn fft_matches_naive_dft_all_lengths(x in signal_strategy(48)) {
+        let plan = Fft1d::new(x.len());
+        let mut got = x.clone();
+        plan.forward(&mut got);
+        let expect = dft::dft_forward(&x);
+        for (a, b) in got.iter().zip(&expect) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (1.0 + x.len() as f64));
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity(x in signal_strategy(64)) {
+        let plan = Fft1d::new(x.len());
+        let mut work = x.clone();
+        plan.forward(&mut work);
+        plan.inverse(&mut work);
+        for (a, b) in work.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in signal_strategy(64)) {
+        let n = x.len() as f64;
+        let e_time: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut spec = x.clone();
+        Fft1d::new(x.len()).forward(&mut spec);
+        let e_freq: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((e_time - e_freq).abs() < 1e-8 * (1.0 + e_time));
+    }
+
+    #[test]
+    fn fft3_linearity_and_roundtrip(
+        n1 in 1usize..6,
+        n2 in 1usize..6,
+        n3 in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let len = n1 * n2 * n3;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let data: Vec<c64> = (0..len).map(|_| c64::new(next(), next())).collect();
+        let plan = Fft3::new(n1, n2, n3);
+        let mut work = data.clone();
+        plan.forward(&mut work);
+        plan.inverse(&mut work);
+        for (a, b) in work.iter().zip(&data) {
+            prop_assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+}

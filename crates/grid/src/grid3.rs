@@ -1,0 +1,231 @@
+//! Periodic orthorhombic real-space grids.
+//!
+//! LS3DF supercells are `m1 × m2 × m3` stacks of cubic eight-atom
+//! zinc-blende cells; both the global supercell and every fragment box are
+//! described by a [`Grid3`]: grid dimensions plus physical box lengths.
+//! The x grid index is fastest, matching `ls3df_fft::Fft3`.
+
+/// A periodic orthorhombic box sampled on a regular grid (x fastest).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid3 {
+    /// Grid points along each axis.
+    pub dims: [usize; 3],
+    /// Physical box lengths (Bohr) along each axis.
+    pub lengths: [f64; 3],
+}
+
+impl Grid3 {
+    /// Creates a grid; panics on degenerate input.
+    pub fn new(dims: [usize; 3], lengths: [f64; 3]) -> Self {
+        assert!(dims.iter().all(|&n| n >= 1), "Grid3: dims must be ≥ 1");
+        assert!(
+            lengths.iter().all(|&l| l > 0.0 && l.is_finite()),
+            "Grid3: lengths must be positive"
+        );
+        Grid3 { dims, lengths }
+    }
+
+    /// Cubic grid helper.
+    pub fn cubic(n: usize, length: f64) -> Self {
+        Grid3::new([n, n, n], [length, length, length])
+    }
+
+    /// Total number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// True only for the (disallowed) empty grid; kept for API hygiene.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Box volume (Bohr³).
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        self.lengths[0] * self.lengths[1] * self.lengths[2]
+    }
+
+    /// Volume element per grid point `dv = V / N`.
+    #[inline]
+    pub fn dv(&self) -> f64 {
+        self.volume() / self.len() as f64
+    }
+
+    /// Grid spacing along each axis.
+    #[inline]
+    pub fn spacing(&self) -> [f64; 3] {
+        [
+            self.lengths[0] / self.dims[0] as f64,
+            self.lengths[1] / self.dims[1] as f64,
+            self.lengths[2] / self.dims[2] as f64,
+        ]
+    }
+
+    /// Linear index of `(ix, iy, iz)` (no wrapping; debug-checked).
+    #[inline(always)]
+    pub fn index(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.dims[0] && iy < self.dims[1] && iz < self.dims[2]);
+        (iz * self.dims[1] + iy) * self.dims[0] + ix
+    }
+
+    /// Linear index with periodic wrapping of possibly-negative indices.
+    #[inline(always)]
+    pub fn index_wrapped(&self, ix: i64, iy: i64, iz: i64) -> usize {
+        let wx = ix.rem_euclid(self.dims[0] as i64) as usize;
+        let wy = iy.rem_euclid(self.dims[1] as i64) as usize;
+        let wz = iz.rem_euclid(self.dims[2] as i64) as usize;
+        self.index(wx, wy, wz)
+    }
+
+    /// Inverse of [`Grid3::index`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        debug_assert!(idx < self.len());
+        let ix = idx % self.dims[0];
+        let iy = (idx / self.dims[0]) % self.dims[1];
+        let iz = idx / (self.dims[0] * self.dims[1]);
+        (ix, iy, iz)
+    }
+
+    /// Physical position of a grid point (Bohr).
+    #[inline]
+    pub fn position(&self, ix: usize, iy: usize, iz: usize) -> [f64; 3] {
+        let h = self.spacing();
+        [ix as f64 * h[0], iy as f64 * h[1], iz as f64 * h[2]]
+    }
+
+    /// Minimum-image displacement from `a` to `b` under periodicity.
+    pub fn min_image(&self, a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        let mut d = [0.0; 3];
+        for k in 0..3 {
+            let l = self.lengths[k];
+            let mut x = b[k] - a[k];
+            x -= (x / l).round() * l;
+            d[k] = x;
+        }
+        d
+    }
+
+    /// Minimum-image distance.
+    pub fn distance(&self, a: [f64; 3], b: [f64; 3]) -> f64 {
+        let d = self.min_image(a, b);
+        (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+    }
+
+    /// Reciprocal-lattice "frequency" of grid index `i` along axis `ax`:
+    /// maps `0..n` to the signed FFT frequency `-n/2..n/2`.
+    #[inline]
+    pub fn freq(&self, i: usize, ax: usize) -> i64 {
+        let n = self.dims[ax] as i64;
+        let i = i as i64;
+        if i <= n / 2 {
+            i
+        } else {
+            i - n
+        }
+    }
+
+    /// Reciprocal vector `G` (Bohr⁻¹) for grid index `(ix, iy, iz)`.
+    #[inline]
+    pub fn g_vector(&self, ix: usize, iy: usize, iz: usize) -> [f64; 3] {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        [
+            two_pi * self.freq(ix, 0) as f64 / self.lengths[0],
+            two_pi * self.freq(iy, 1) as f64 / self.lengths[1],
+            two_pi * self.freq(iz, 2) as f64 / self.lengths[2],
+        ]
+    }
+
+    /// `|G|²` for grid index `(ix, iy, iz)`.
+    #[inline]
+    pub fn g2(&self, ix: usize, iy: usize, iz: usize) -> f64 {
+        let g = self.g_vector(ix, iy, iz);
+        g[0] * g[0] + g[1] * g[1] + g[2] * g[2]
+    }
+
+    /// Iterator over all `(ix, iy, iz)` triples in storage order.
+    pub fn iter_points(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let [n1, n2, _] = self.dims;
+        (0..self.len()).map(move |idx| {
+            let ix = idx % n1;
+            let iy = (idx / n1) % n2;
+            let iz = idx / (n1 * n2);
+            (ix, iy, iz)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let g = Grid3::new([4, 5, 6], [1.0, 2.0, 3.0]);
+        for idx in 0..g.len() {
+            let (x, y, z) = g.coords(idx);
+            assert_eq!(g.index(x, y, z), idx);
+        }
+    }
+
+    #[test]
+    fn wrapped_indexing() {
+        let g = Grid3::cubic(4, 1.0);
+        assert_eq!(g.index_wrapped(-1, 0, 0), g.index(3, 0, 0));
+        assert_eq!(g.index_wrapped(4, 5, -2), g.index(0, 1, 2));
+    }
+
+    #[test]
+    fn volume_and_dv() {
+        let g = Grid3::new([10, 10, 10], [2.0, 3.0, 5.0]);
+        assert!((g.volume() - 30.0).abs() < 1e-14);
+        assert!((g.dv() - 30.0 / 1000.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn min_image_wraps() {
+        let g = Grid3::cubic(8, 10.0);
+        let d = g.min_image([9.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        assert!((d[0] - 2.0).abs() < 1e-14);
+        assert!((g.distance([0.0, 0.0, 9.5], [0.0, 0.0, 0.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_frequencies_signed() {
+        let g = Grid3::cubic(8, 1.0);
+        let freqs: Vec<i64> = (0..8).map(|i| g.freq(i, 0)).collect();
+        assert_eq!(freqs, vec![0, 1, 2, 3, 4, -3, -2, -1]);
+    }
+
+    #[test]
+    fn g_vector_magnitude() {
+        let l = 5.0;
+        let g = Grid3::cubic(8, l);
+        let gv = g.g_vector(1, 0, 0);
+        assert!((gv[0] - 2.0 * std::f64::consts::PI / l).abs() < 1e-14);
+        assert!((g.g2(0, 0, 0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn iter_points_matches_storage_order() {
+        let g = Grid3::new([3, 2, 2], [1.0, 1.0, 1.0]);
+        let pts: Vec<_> = g.iter_points().collect();
+        assert_eq!(pts.len(), g.len());
+        assert_eq!(pts[0], (0, 0, 0));
+        assert_eq!(pts[1], (1, 0, 0));
+        assert_eq!(pts[3], (0, 1, 0));
+        assert_eq!(pts[6], (0, 0, 1));
+        for (idx, (x, y, z)) in pts.into_iter().enumerate() {
+            assert_eq!(g.index(x, y, z), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dims")]
+    fn zero_dim_rejected() {
+        let _ = Grid3::new([0, 4, 4], [1.0, 1.0, 1.0]);
+    }
+}

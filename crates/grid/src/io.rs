@@ -1,0 +1,128 @@
+//! Minimal checkpoint I/O for fields.
+//!
+//! Long LS3DF runs (the fig6/fig7 science binaries) checkpoint the
+//! converged global potential and density so post-processing (folded
+//! spectrum, analysis) can restart without redoing the SCF. The format is
+//! deliberately trivial: a magic tag, the grid header, then the raw
+//! little-endian f64 samples.
+
+use crate::{Grid3, RealField};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LS3DFFLD";
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file is not a field checkpoint or is corrupt.
+    Format(String),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(m) => write!(f, "bad checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Writes a field checkpoint.
+pub fn save_field(field: &RealField, path: &Path) -> Result<(), IoError> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    let g = field.grid();
+    for d in 0..3 {
+        w.write_all(&(g.dims[d] as u64).to_le_bytes())?;
+    }
+    for d in 0..3 {
+        w.write_all(&g.lengths[d].to_le_bytes())?;
+    }
+    for &v in field.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a field checkpoint.
+pub fn load_field(path: &Path) -> Result<RealField, IoError> {
+    let mut r = io::BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Format("wrong magic".into()));
+    }
+    let mut u = [0u8; 8];
+    let mut dims = [0usize; 3];
+    for d in dims.iter_mut() {
+        r.read_exact(&mut u)?;
+        *d = u64::from_le_bytes(u) as usize;
+    }
+    let mut lengths = [0f64; 3];
+    for l in lengths.iter_mut() {
+        r.read_exact(&mut u)?;
+        *l = f64::from_le_bytes(u);
+    }
+    if dims.iter().any(|&d| d == 0 || d > 100_000) {
+        return Err(IoError::Format(format!("implausible dims {dims:?}")));
+    }
+    if lengths.iter().any(|&l| !(l > 0.0) || !l.is_finite()) {
+        return Err(IoError::Format(format!("implausible lengths {lengths:?}")));
+    }
+    let n = dims[0] * dims[1] * dims[2];
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        r.read_exact(&mut u)?;
+        data.push(f64::from_le_bytes(u));
+    }
+    Ok(RealField::from_vec(Grid3::new(dims, lengths), data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_field_exactly() {
+        let g = Grid3::new([5, 7, 3], [2.0, 3.5, 1.25]);
+        let f = RealField::from_fn(g, |r| (r[0] * 1.3).sin() + r[1] - 7.0 * r[2]);
+        let dir = std::env::temp_dir().join("ls3df_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.ck");
+        save_field(&f, &path).unwrap();
+        let back = load_field(&path).unwrap();
+        assert_eq!(back.grid(), f.grid());
+        assert_eq!(back.as_slice(), f.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("ls3df_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.ck");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        assert!(load_field(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = std::env::temp_dir().join("ls3df_io_test/definitely_missing.ck");
+        match load_field(&path) {
+            Err(IoError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

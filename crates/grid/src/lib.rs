@@ -1,0 +1,15 @@
+//! # ls3df-grid
+//!
+//! Periodic real-space grid substrate: the global supercell, the fragment
+//! boxes, and the data motion between them (the serial kernels of the
+//! paper's Gen_VF and Gen_dens steps).
+
+#![warn(missing_docs)]
+
+mod field;
+pub mod io;
+mod grid3;
+
+pub use field::{ComplexField, Field, RealField};
+pub use io::{load_field, save_field};
+pub use grid3::Grid3;

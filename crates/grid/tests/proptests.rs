@@ -1,0 +1,82 @@
+//! Property-based tests for the grid substrate — in particular the
+//! Gen_VF/Gen_dens data motions (periodic sub-box extract / accumulate),
+//! which carry the LS3DF patching.
+
+use ls3df_grid::{Grid3, RealField};
+use proptest::prelude::*;
+
+fn grid_strategy() -> impl Strategy<Value = Grid3> {
+    ((2usize..10), (2usize..10), (2usize..10), (1.0..20.0f64))
+        .prop_map(|(n1, n2, n3, l)| Grid3::new([n1, n2, n3], [l, l * 0.7 + 1.0, l * 1.3]))
+}
+
+proptest! {
+    #[test]
+    fn index_coords_roundtrip(g in grid_strategy(), idx_frac in 0.0..1.0f64) {
+        let idx = ((g.len() - 1) as f64 * idx_frac) as usize;
+        let (x, y, z) = g.coords(idx);
+        prop_assert_eq!(g.index(x, y, z), idx);
+    }
+
+    #[test]
+    fn wrapped_index_periodicity(g in grid_strategy(), ix in -50i64..50, iy in -50i64..50, iz in -50i64..50) {
+        let idx1 = g.index_wrapped(ix, iy, iz);
+        let idx2 = g.index_wrapped(
+            ix + g.dims[0] as i64,
+            iy - 3 * g.dims[1] as i64,
+            iz + 7 * g.dims[2] as i64,
+        );
+        prop_assert_eq!(idx1, idx2);
+    }
+
+    #[test]
+    fn extract_accumulate_cancels(
+        g in grid_strategy(),
+        ox in -12i64..12, oy in -12i64..12, oz in -12i64..12,
+    ) {
+        // Extracting any sub-box and accumulating it back with weight −1
+        // zeroes exactly that sub-box (periodically wrapped).
+        let f = RealField::from_fn(g.clone(), |r| 1.0 + r[0] + 2.0 * r[1] - r[2]);
+        let sub_dims = [
+            1 + g.dims[0] / 2,
+            1 + g.dims[1] / 3,
+            1 + g.dims[2] / 2,
+        ];
+        let sub_grid = Grid3::new(sub_dims, [1.0, 1.0, 1.0]);
+        let sub = f.extract_subbox([ox, oy, oz], &sub_grid);
+        let mut f2 = f.clone();
+        f2.accumulate_subbox([ox, oy, oz], &sub, -1.0);
+        for sz in 0..sub_dims[2] as i64 {
+            for sy in 0..sub_dims[1] as i64 {
+                for sx in 0..sub_dims[0] as i64 {
+                    prop_assert_eq!(f2.at_wrapped(ox + sx, oy + sy, oz + sz), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integrate_abs_triangle_inequality(g in grid_strategy(), c in -3.0..3.0f64) {
+        let a = RealField::from_fn(g.clone(), |r| (r[0] * 1.7).sin());
+        let b = RealField::from_fn(g.clone(), |r| c * (r[2] * 0.9).cos());
+        let mut sum = a.clone();
+        sum.add_scaled(1.0, &b);
+        prop_assert!(sum.integrate_abs() <= a.integrate_abs() + b.integrate_abs() + 1e-10);
+    }
+
+    #[test]
+    fn min_image_distance_symmetric_and_bounded(
+        g in grid_strategy(),
+        p in prop::array::uniform3(0.0..1.0f64),
+        q in prop::array::uniform3(0.0..1.0f64),
+    ) {
+        let a = [p[0] * g.lengths[0], p[1] * g.lengths[1], p[2] * g.lengths[2]];
+        let b = [q[0] * g.lengths[0], q[1] * g.lengths[1], q[2] * g.lengths[2]];
+        let dab = g.distance(a, b);
+        let dba = g.distance(b, a);
+        prop_assert!((dab - dba).abs() < 1e-12);
+        // Bounded by half the diagonal.
+        let half_diag = 0.5 * (g.lengths[0].powi(2) + g.lengths[1].powi(2) + g.lengths[2].powi(2)).sqrt();
+        prop_assert!(dab <= half_diag + 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Amdahl's-law analysis of strong-scaling data (paper Eq. 1 / Fig. 3).
+//!
+//! The paper fits `P_p = P_s·n/(1 + (n−1)·α)` to the measured performance
+//! by least squares, extracting the effective single-core rate `P_s` and
+//! the serial fraction `α` (they find `α = 1/362,000` for PEtot_F and
+//! `1/101,000` for LS3DF overall). We fit the same model by linearizing:
+//! `1/P_p = (1/P_s)·(1/n) + (α/P_s)·((n−1)/n)` is linear in the two
+//! unknowns `1/P_s` and `α/P_s`.
+
+use ls3df_math::{lstsq, Matrix};
+
+/// Result of an Amdahl fit.
+#[derive(Clone, Copy, Debug)]
+pub struct AmdahlFit {
+    /// Effective single-core performance (same units as the input `p`).
+    pub p_serial: f64,
+    /// Serial work fraction α.
+    pub alpha: f64,
+    /// Mean absolute relative deviation of the fit (the paper reports
+    /// 0.26%).
+    pub mean_abs_rel_dev: f64,
+    /// Maximum absolute relative deviation (paper: 0.48%).
+    pub max_abs_rel_dev: f64,
+}
+
+impl AmdahlFit {
+    /// Predicted performance at `n` cores.
+    pub fn predict(&self, n: f64) -> f64 {
+        self.p_serial * n / (1.0 + (n - 1.0) * self.alpha)
+    }
+
+    /// Predicted speedup relative to `n0` cores.
+    pub fn speedup(&self, n: f64, n0: f64) -> f64 {
+        self.predict(n) / self.predict(n0)
+    }
+}
+
+/// Fits Amdahl's law to `(cores, performance)` samples. Panics on fewer
+/// than two samples or on degenerate data.
+pub fn fit_amdahl(cores: &[f64], perf: &[f64]) -> AmdahlFit {
+    assert_eq!(cores.len(), perf.len(), "fit_amdahl: length mismatch");
+    assert!(cores.len() >= 2, "fit_amdahl: need at least two samples");
+    let a = Matrix::from_fn(cores.len(), 2, |i, j| {
+        let n = cores[i];
+        if j == 0 {
+            1.0 / n
+        } else {
+            (n - 1.0) / n
+        }
+    });
+    let b: Vec<f64> = perf.iter().map(|&p| 1.0 / p).collect();
+    let c = lstsq(&a, &b).expect("Amdahl fit: degenerate system");
+    let p_serial = 1.0 / c[0];
+    let alpha = c[1] * p_serial;
+    let mut fit = AmdahlFit { p_serial, alpha, mean_abs_rel_dev: 0.0, max_abs_rel_dev: 0.0 };
+    let mut sum = 0.0;
+    let mut max: f64 = 0.0;
+    for (&n, &p) in cores.iter().zip(perf) {
+        let rel = (fit.predict(n) / p - 1.0).abs();
+        sum += rel;
+        max = max.max(rel);
+    }
+    fit.mean_abs_rel_dev = sum / cores.len() as f64;
+    fit.max_abs_rel_dev = max;
+    fit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_synthetic_parameters() {
+        let ps = 2.39e9; // the paper's fitted 2.39 Gflop/s
+        let alpha = 1.0 / 101_000.0;
+        let cores = [1080.0, 2160.0, 4320.0, 8640.0, 17280.0];
+        let perf: Vec<f64> = cores
+            .iter()
+            .map(|&n| ps * n / (1.0 + (n - 1.0) * alpha))
+            .collect();
+        let fit = fit_amdahl(&cores, &perf);
+        assert!((fit.p_serial / ps - 1.0).abs() < 1e-9);
+        assert!((fit.alpha / alpha - 1.0).abs() < 1e-6);
+        assert!(fit.max_abs_rel_dev < 1e-10);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let ps = 1.0e9;
+        let alpha = 5e-6;
+        let cores: Vec<f64> = (0..8).map(|i| 500.0 * 2.0_f64.powi(i)).collect();
+        let perf: Vec<f64> = cores
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let noise = 1.0 + 0.004 * if i % 2 == 0 { 1.0 } else { -1.0 };
+                ps * n / (1.0 + (n - 1.0) * alpha) * noise
+            })
+            .collect();
+        let fit = fit_amdahl(&cores, &perf);
+        assert!((fit.alpha / alpha - 1.0).abs() < 0.5, "alpha = {}", fit.alpha);
+        assert!(fit.mean_abs_rel_dev < 0.02);
+    }
+
+    #[test]
+    fn speedup_saturates_at_inverse_alpha() {
+        let fit = AmdahlFit {
+            p_serial: 1.0,
+            alpha: 1e-4,
+            mean_abs_rel_dev: 0.0,
+            max_abs_rel_dev: 0.0,
+        };
+        // As n → ∞, speedup vs 1 core → 1/α.
+        let s = fit.predict(1e9) / fit.predict(1.0);
+        assert!((s - 1e4).abs() / 1e4 < 0.01);
+    }
+
+    #[test]
+    fn perfect_scaling_gives_zero_alpha() {
+        let cores = [100.0, 200.0, 400.0, 800.0];
+        let perf: Vec<f64> = cores.iter().map(|&n| 3.0 * n).collect();
+        let fit = fit_amdahl(&cores, &perf);
+        assert!(fit.alpha.abs() < 1e-12);
+        assert!((fit.p_serial - 3.0).abs() < 1e-9);
+    }
+}

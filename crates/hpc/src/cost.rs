@@ -1,0 +1,222 @@
+//! The LS3DF wall-clock / throughput model.
+//!
+//! One outer SCF iteration costs
+//!
+//! ```text
+//! t_iter = t_PEtot_F + t_comm
+//! t_PEtot_F = F(A)/(P·peak·eff(Np)) · imbalance(Ng)  +  F(A)·σ/(peak·eff(Np))
+//! t_comm    = χ·A·mult(algo)
+//! ```
+//!
+//! where `F(A) = flops_per_atom_iter · A` (linear scaling), `P` cores,
+//! `Np` cores per group, `Ng = P/Np` groups, `σ` the Amdahl serial
+//! fraction, and `χ` the per-atom Gen_VF/Gen_dens/GENPOT constant (the
+//! global-grid data volume is set by the system, not the core count —
+//! which is why the paper's Fig. 4 efficiency depends on concurrency but
+//! hardly on system size).
+
+use crate::machine::MachineSpec;
+
+/// An LS3DF problem instance, in the paper's units.
+#[derive(Clone, Copy, Debug)]
+pub struct Problem {
+    /// Supercell in eight-atom cells.
+    pub m: [usize; 3],
+}
+
+impl Problem {
+    /// Creates a problem from the `m1 × m2 × m3` cell counts.
+    pub fn new(m1: usize, m2: usize, m3: usize) -> Self {
+        Problem { m: [m1, m2, m3] }
+    }
+
+    /// Atom count `8·m1·m2·m3`.
+    pub fn atoms(&self) -> usize {
+        8 * self.m[0] * self.m[1] * self.m[2]
+    }
+
+    /// Number of fragments (8 per piece corner).
+    pub fn fragments(&self) -> usize {
+        8 * self.m[0] * self.m[1] * self.m[2]
+    }
+
+    /// Label like `8x6x9`.
+    pub fn label(&self) -> String {
+        format!("{}x{}x{}", self.m[0], self.m[1], self.m[2])
+    }
+}
+
+/// Timing breakdown of one modeled SCF iteration (seconds).
+#[derive(Clone, Copy, Debug)]
+pub struct IterationTime {
+    /// Fragment eigensolves.
+    pub petot_f: f64,
+    /// Gen_VF + Gen_dens + GENPOT combined.
+    pub comm: f64,
+    /// Load-imbalance overhead included in `petot_f` (seconds of it).
+    pub imbalance: f64,
+}
+
+impl IterationTime {
+    /// Total iteration time.
+    pub fn total(&self) -> f64 {
+        self.petot_f + self.comm
+    }
+}
+
+/// The model: wall time of one SCF iteration of `problem` on `cores`
+/// cores with `np` cores per group.
+pub fn iteration_time(machine: &MachineSpec, problem: &Problem, cores: usize, np: usize) -> IterationTime {
+    assert!(cores >= np && np >= 1, "need at least one full group");
+    let atoms = problem.atoms() as f64;
+    let flops = machine.flops_per_atom_iter * atoms;
+    let eff = machine.group_efficiency(np);
+    let effective_rate = machine.peak_per_core * eff;
+
+    // Perfectly parallel part.
+    let t_par = flops / (cores as f64 * effective_rate);
+    // Amdahl serial part (fraction of the one-core time).
+    let t_serial = machine.serial_fraction * flops / effective_rate;
+    // Group-level load imbalance: Ng groups share `fragments` fragments;
+    // the slowest group does ceil(n_frag/Ng) of the average work.
+    let n_groups = (cores / np).max(1) as f64;
+    let n_frag = problem.fragments() as f64;
+    let imbalance_factor = if n_groups <= n_frag {
+        (n_frag / n_groups).ceil() / (n_frag / n_groups)
+    } else {
+        // More groups than fragments: extra groups idle.
+        n_groups / n_frag
+    };
+    let t_petot = t_par * imbalance_factor + t_serial;
+
+    // Gen_VF/Gen_dens/GENPOT: per-atom constant × algorithm multiplier.
+    let comm = machine.comm_seconds_per_atom * atoms * machine.comm_multiplier();
+
+    IterationTime {
+        petot_f: t_petot,
+        comm,
+        imbalance: t_par * (imbalance_factor - 1.0),
+    }
+}
+
+/// Sustained flop rate (flop/s) of the modeled run.
+pub fn sustained_flops(machine: &MachineSpec, problem: &Problem, cores: usize, np: usize) -> f64 {
+    let t = iteration_time(machine, problem, cores, np).total();
+    machine.flops_per_atom_iter * problem.atoms() as f64 / t
+}
+
+/// Fraction of theoretical peak achieved.
+pub fn pct_peak(machine: &MachineSpec, problem: &Problem, cores: usize, np: usize) -> f64 {
+    sustained_flops(machine, problem, cores, np) / machine.peak(cores)
+}
+
+/// The direct planewave-code model (PARATEC/VASP/stand-alone PEtot
+/// stand-in) for the §VI comparison. Time per SCF iteration:
+///
+/// ```text
+/// t = (κ₂·A² + κ₃·A³)/(P·peak·eff)
+/// ```
+///
+/// (the A² term is the FFT `H·ψ` work, the A³ term the orthogonalization/
+/// subspace work that dominates asymptotically).
+///
+/// **Calibration note:** the paper's three quantitative claims —
+/// PARATEC = 340 s/iteration at 216 atoms on 320 cores, a 600-atom
+/// crossover, and "400 times faster" at 13,824 atoms — are mutually
+/// inconsistent by roughly an order of magnitude when combined with its
+/// own Table I rates (the Table I data imply LS3DF is already ~2× faster
+/// at 216 atoms). We anchor on the *measured* PARATEC point and the
+/// abstract's 400× headline; the resulting crossover lands near ~150
+/// atoms, earlier than the stated 600 (EXPERIMENTS.md discusses this).
+#[derive(Clone, Copy, Debug)]
+pub struct DirectCodeModel {
+    /// Quadratic-cost coefficient (flops per atom² per iteration).
+    pub kappa2: f64,
+    /// Cubic-cost coefficient (flops per atom³ per iteration).
+    pub kappa3: f64,
+    /// Sustained fraction of peak (the paper grants these codes high
+    /// efficiency: "close to that of the best planewave codes").
+    pub efficiency: f64,
+}
+
+impl DirectCodeModel {
+    /// Calibrated PARATEC-like model (see struct docs).
+    pub fn paratec() -> Self {
+        DirectCodeModel { kappa2: 5.877e9, kappa3: 1.127e6, efficiency: 0.5 }
+    }
+
+    /// Time per SCF iteration on `cores` cores (perfect scaling granted,
+    /// as the paper generously presumes).
+    pub fn iteration_time(&self, machine: &MachineSpec, atoms: usize, cores: usize) -> f64 {
+        let a = atoms as f64;
+        (self.kappa2 * a * a + self.kappa3 * a * a * a)
+            / (cores as f64 * machine.peak_per_core * self.efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_scaling_in_atoms() {
+        let m = MachineSpec::franklin();
+        let small = iteration_time(&m, &Problem::new(4, 4, 4), 1280, 20).total();
+        let large = iteration_time(&m, &Problem::new(8, 8, 8), 10240, 20).total();
+        // 8× atoms on 8× cores → same time within imbalance noise.
+        assert!((large / small - 1.0).abs() < 0.15, "ratio = {}", large / small);
+    }
+
+    #[test]
+    fn sustained_rate_close_to_paper_anchor() {
+        // The 3,456-atom 8×6×9 run on 17,280 Franklin cores sustained
+        // 31.35 Tflop/s (~1 min/iteration).
+        let m = MachineSpec::franklin();
+        let p = Problem::new(8, 6, 9);
+        let t = iteration_time(&m, &p, 17_280, 40);
+        assert!((t.total() - 60.0).abs() < 12.0, "t_iter = {}", t.total());
+        let tf = sustained_flops(&m, &p, 17_280, 40) / 1e12;
+        assert!((tf - 31.35).abs() < 3.0, "Tflop/s = {tf}");
+    }
+
+    #[test]
+    fn efficiency_mostly_independent_of_system_size() {
+        // Fig. 4: at fixed concurrency the efficiency hardly depends on
+        // the number of atoms.
+        let m = MachineSpec::franklin();
+        let e1 = pct_peak(&m, &Problem::new(8, 6, 9), 4320, 40);
+        let e2 = pct_peak(&m, &Problem::new(12, 12, 12), 4320, 40);
+        assert!((e1 - e2).abs() < 0.04, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn efficiency_decays_with_concurrency() {
+        let m = MachineSpec::franklin();
+        let p = Problem::new(8, 6, 9);
+        let lo = pct_peak(&m, &p, 1080, 40);
+        let hi = pct_peak(&m, &p, 17_280, 40);
+        assert!(lo > hi, "{lo} vs {hi}");
+        assert!(lo > 0.37 && lo < 0.44, "low-P efficiency {lo}");
+        assert!(hi > 0.30 && hi < 0.38, "high-P efficiency {hi}");
+    }
+
+    #[test]
+    fn paratec_calibration_point() {
+        // Paper §VI: PARATEC needs 340 s per SCF iteration for the
+        // 216-atom 3×3×3 system on 320 Franklin cores.
+        let model = DirectCodeModel::paratec();
+        let f = MachineSpec::franklin();
+        let t = model.iteration_time(&f, 216, 320);
+        assert!((t - 340.0).abs() < 10.0, "t = {t}");
+    }
+
+    #[test]
+    fn direct_code_asymptotically_cubic() {
+        let model = DirectCodeModel::paratec();
+        let f = MachineSpec::franklin();
+        let t1 = model.iteration_time(&f, 50_000, 1000);
+        let t2 = model.iteration_time(&f, 100_000, 1000);
+        let growth = t2 / t1;
+        assert!((7.0..8.1).contains(&growth), "growth = {growth}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Machine models for the three systems the paper benchmarks on.
+//!
+//! **Substitution note (DESIGN.md):** the petascale machines are not
+//! available, so Table I and Figs. 3–5 are regenerated from an analytic
+//! performance model whose constants come from (a) the machine
+//! specifications in paper §VI and (b) the timing breakdowns the paper
+//! itself reports (§IV). Shapes — who wins, how efficiency decays with
+//! concurrency and group size — are the reproduction target, not absolute
+//! wall-clock on hardware we do not have.
+
+/// Communication algorithm used by Gen_VF / Gen_dens (the paper's
+/// optimization sequence: file I/O → in-memory collectives → point-to-point
+/// isend/irecv).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommAlgo {
+    /// Original proof-of-concept: data passed through the filesystem.
+    FileIo,
+    /// In-memory MPI collectives (optimizations #2/#3).
+    Collective,
+    /// Point-to-point isend/ireceive (the Intrepid improvement).
+    PointToPoint,
+}
+
+/// A modeled machine.
+#[derive(Clone, Debug)]
+pub struct MachineSpec {
+    /// Machine name.
+    pub name: &'static str,
+    /// Total cores available.
+    pub total_cores: usize,
+    /// Peak flop rate per core (flop/s, 64-bit).
+    pub peak_per_core: f64,
+    /// LS3DF flop count per atom per SCF iteration at this machine's
+    /// production settings (50 Ry/40³ on the XT4s, 40 Ry/32³ on BG/P).
+    pub flops_per_atom_iter: f64,
+    /// Fraction of peak the PEtot_F kernel sustains within one small
+    /// processor group (paper: ~45% on Franklin, lower on Jaguar's
+    /// memory-starved quad cores, ~32% on BG/P).
+    pub group_eff_base: f64,
+    /// Group-size rolloff scale: efficiency falls as
+    /// `1/(1 + (Np/np_rolloff)^np_rolloff_exp)` — the paper observes
+    /// Np = 80 dropping Jaguar from 25.6% to 20.9%.
+    pub np_rolloff: f64,
+    /// Rolloff exponent (machine-specific; calibrated).
+    pub np_rolloff_exp: f64,
+    /// Serial (Amdahl) fraction of PEtot_F work (paper fit: 1/362,000 on
+    /// Franklin).
+    pub serial_fraction: f64,
+    /// Gen_VF + Gen_dens + GENPOT time per atom per iteration (seconds)
+    /// for the collective algorithm; roughly concurrency-independent
+    /// because the global-grid data volume is fixed by the system size.
+    pub comm_seconds_per_atom: f64,
+    /// Communication algorithm in use.
+    pub comm: CommAlgo,
+}
+
+impl MachineSpec {
+    /// Franklin: NERSC Cray XT4, 9,660 dual-core 2.6 GHz Opteron nodes,
+    /// 101.5 Tflop/s peak.
+    pub fn franklin() -> Self {
+        MachineSpec {
+            name: "Franklin (Cray XT4)",
+            total_cores: 19_320,
+            peak_per_core: 101.5e12 / 19_320.0,
+            // Calibrated from the sustained run: 31.35 Tflop/s × 60 s/iter
+            // on the 3,456-atom system → 5.44e11 flop/atom/iter.
+            flops_per_atom_iter: 5.44e11,
+            group_eff_base: 0.410,
+            np_rolloff: 250.0,
+            np_rolloff_exp: 2.5,
+            serial_fraction: 1.0 / 200_000.0,
+            // Calibrated against the Table I Franklin rows; same order as
+            // the §IV breakdown (Gen_VF 2.5 s + Gen_dens 2.2 s + GENPOT
+            // 0.4 s on the 2,000-atom CdSe rod ≈ 2.5e-3 s/atom for the
+            // pre-optimization code).
+            comm_seconds_per_atom: 0.8e-3,
+            comm: CommAlgo::Collective,
+        }
+    }
+
+    /// Jaguar: NCCS Cray XT4, 7,832 quad-core 2.1 GHz Opteron nodes,
+    /// ~263 Tflop/s peak.
+    pub fn jaguar() -> Self {
+        MachineSpec {
+            name: "Jaguar (Cray XT4)",
+            total_cores: 31_328,
+            peak_per_core: 263.0e12 / 31_328.0,
+            flops_per_atom_iter: 5.44e11,
+            // Quad-core memory contention: lower kernel efficiency.
+            group_eff_base: 0.280,
+            np_rolloff: 160.0,
+            np_rolloff_exp: 3.0,
+            serial_fraction: 1.0 / 200_000.0,
+            comm_seconds_per_atom: 2.0e-4,
+            comm: CommAlgo::Collective,
+        }
+    }
+
+    /// Intrepid: ALCF BlueGene/P, 40,960 quad-core 850 MHz PPC450 nodes,
+    /// 556 Tflop/s peak. Runs the improved point-to-point Gen_VF/Gen_dens.
+    pub fn intrepid() -> Self {
+        MachineSpec {
+            name: "Intrepid (BlueGene/P)",
+            total_cores: 163_840,
+            peak_per_core: 556.0e12 / 163_840.0,
+            // 40 Ry cutoff / 32³ grid per cell → fewer flops per atom:
+            // 107.5 Tflop/s × ~60 s/iter on 16,384 atoms → 3.94e11.
+            flops_per_atom_iter: 3.94e11,
+            group_eff_base: 0.350,
+            np_rolloff: 250.0,
+            np_rolloff_exp: 2.0,
+            // BG/P's dedicated networks + p2p comm: smaller serial share.
+            serial_fraction: 1.0 / 800_000.0,
+            // Effective p2p comm ≈ 5e-4 s/atom (×1/6 multiplier below);
+            // cf. §IV Intrepid breakdown: 0.37 + 0.56 + 1.23 s at 16,384
+            // atoms.
+            comm_seconds_per_atom: 3.0e-3,
+            comm: CommAlgo::PointToPoint,
+        }
+    }
+
+    /// Per-group kernel efficiency at group size `np`.
+    pub fn group_efficiency(&self, np: usize) -> f64 {
+        let x = np as f64 / self.np_rolloff;
+        self.group_eff_base / (1.0 + x.powf(self.np_rolloff_exp))
+    }
+
+    /// Communication-time multiplier of the configured algorithm relative
+    /// to the collective baseline (paper §IV: file I/O was ~9× slower;
+    /// point-to-point is ~6× faster — 22 s → 2.5 s → sub-second).
+    pub fn comm_multiplier(&self) -> f64 {
+        match self.comm {
+            CommAlgo::FileIo => 9.0,
+            CommAlgo::Collective => 1.0,
+            CommAlgo::PointToPoint => 1.0 / 6.0,
+        }
+    }
+
+    /// Clone with a different communication algorithm (for the ablation).
+    pub fn with_comm(&self, comm: CommAlgo) -> Self {
+        let mut m = self.clone();
+        m.comm = comm;
+        m
+    }
+
+    /// Theoretical peak of `cores` cores (flop/s).
+    pub fn peak(&self, cores: usize) -> f64 {
+        cores as f64 * self.peak_per_core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rates_match_paper() {
+        // §VI: Franklin 101.5 Tf, Jaguar ≈263 Tf, Intrepid 556 Tf.
+        let f = MachineSpec::franklin();
+        assert!((f.peak(f.total_cores) / 1e12 - 101.5).abs() < 0.1);
+        let j = MachineSpec::jaguar();
+        assert!((j.peak(j.total_cores) / 1e12 - 263.0).abs() < 0.5);
+        let i = MachineSpec::intrepid();
+        assert!((i.peak(i.total_cores) / 1e12 - 556.0).abs() < 0.5);
+        // Paper: "Jaguar has the faster per processor speed".
+        assert!(j.peak_per_core > f.peak_per_core);
+        assert!(f.peak_per_core > i.peak_per_core);
+    }
+
+    #[test]
+    fn group_efficiency_decays_with_np() {
+        let j = MachineSpec::jaguar();
+        let e20 = j.group_efficiency(20);
+        let e40 = j.group_efficiency(40);
+        let e80 = j.group_efficiency(80);
+        assert!(e20 > e40 && e40 > e80);
+        // The Np = 80 penalty is substantial (paper: 25.6% → 20.9%,
+        // i.e. a ≥10% relative kernel-efficiency drop).
+        assert!(e80 / e40 < 0.92);
+    }
+
+    #[test]
+    fn comm_algorithm_ordering() {
+        let f = MachineSpec::franklin();
+        let io = f.with_comm(CommAlgo::FileIo).comm_multiplier();
+        let col = f.with_comm(CommAlgo::Collective).comm_multiplier();
+        let p2p = f.with_comm(CommAlgo::PointToPoint).comm_multiplier();
+        assert!(io > col && col > p2p);
+    }
+}

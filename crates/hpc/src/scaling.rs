@@ -1,0 +1,198 @@
+//! Figure 3–5 series: strong scaling, efficiency vs concurrency, and
+//! weak scaling across machines.
+
+use crate::amdahl::{fit_amdahl, AmdahlFit};
+use crate::cost::{iteration_time, pct_peak, sustained_flops, Problem};
+use crate::machine::MachineSpec;
+
+/// One point of a strong-scaling curve.
+#[derive(Clone, Copy, Debug)]
+pub struct StrongScalingPoint {
+    /// Cores used.
+    pub cores: usize,
+    /// Speedup relative to the baseline core count.
+    pub speedup_ls3df: f64,
+    /// Speedup of the PEtot_F part alone.
+    pub speedup_petot: f64,
+    /// Modeled sustained Tflop/s.
+    pub tflops: f64,
+}
+
+/// The paper's Fig. 3 experiment: the 3,456-atom 8×6×9 system, Np = 40,
+/// concurrency swept from 1,080 to `max_cores` cores. Returns the curve
+/// plus Amdahl fits for both LS3DF and PEtot_F (the paper's model lines).
+pub fn strong_scaling(
+    machine: &MachineSpec,
+    problem: &Problem,
+    np: usize,
+    core_counts: &[usize],
+) -> (Vec<StrongScalingPoint>, AmdahlFit, AmdahlFit) {
+    assert!(!core_counts.is_empty());
+    let base = core_counts[0];
+    let base_t = iteration_time(machine, problem, base, np);
+    let mut points = Vec::with_capacity(core_counts.len());
+    let mut perf_ls3df = Vec::new();
+    let mut perf_petot = Vec::new();
+    let cores_f: Vec<f64> = core_counts.iter().map(|&c| c as f64).collect();
+    for &cores in core_counts {
+        let t = iteration_time(machine, problem, cores, np);
+        points.push(StrongScalingPoint {
+            cores,
+            speedup_ls3df: base_t.total() / t.total(),
+            speedup_petot: base_t.petot_f / t.petot_f,
+            tflops: sustained_flops(machine, problem, cores, np) / 1e12,
+        });
+        let flops = machine.flops_per_atom_iter * problem.atoms() as f64;
+        perf_ls3df.push(flops / t.total());
+        perf_petot.push(flops / t.petot_f);
+    }
+    let fit_ls3df = fit_amdahl(&cores_f, &perf_ls3df);
+    let fit_petot = fit_amdahl(&cores_f, &perf_petot);
+    (points, fit_ls3df, fit_petot)
+}
+
+/// One point of the Fig. 4 efficiency scatter.
+#[derive(Clone, Copy, Debug)]
+pub struct EfficiencyPoint {
+    /// Atoms simulated.
+    pub atoms: usize,
+    /// Cores used.
+    pub cores: usize,
+    /// Cores per group.
+    pub np: usize,
+    /// Fraction of peak.
+    pub efficiency: f64,
+}
+
+/// Fig. 4: computational efficiency for a set of (problem, cores, np)
+/// runs on one machine.
+pub fn efficiency_scatter(
+    machine: &MachineSpec,
+    runs: &[(Problem, usize, usize)],
+) -> Vec<EfficiencyPoint> {
+    runs.iter()
+        .map(|&(p, cores, np)| EfficiencyPoint {
+            atoms: p.atoms(),
+            cores,
+            np,
+            efficiency: pct_peak(machine, &p, cores, np),
+        })
+        .collect()
+}
+
+/// One point of the Fig. 5 weak-scaling curves.
+#[derive(Clone, Copy, Debug)]
+pub struct WeakScalingPoint {
+    /// Cores used.
+    pub cores: usize,
+    /// Atoms simulated (constant atoms/core ratio along a curve).
+    pub atoms: usize,
+    /// Modeled sustained Tflop/s.
+    pub tflops: f64,
+}
+
+/// Fig. 5: weak scaling (constant atoms-per-core) on one machine.
+pub fn weak_scaling(
+    machine: &MachineSpec,
+    runs: &[(Problem, usize, usize)],
+) -> Vec<WeakScalingPoint> {
+    runs.iter()
+        .map(|&(p, cores, np)| WeakScalingPoint {
+            cores,
+            atoms: p.atoms(),
+            tflops: sustained_flops(machine, &p, cores, np) / 1e12,
+        })
+        .collect()
+}
+
+/// The Fig. 3 core counts (Ng 27 → 432 at Np = 40).
+pub fn fig3_core_counts() -> Vec<usize> {
+    vec![1080, 2160, 4320, 8640, 17280]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_speedups_match_paper() {
+        // Paper: at 17,280 cores (vs 1,080 baseline = 16× cores), speedup
+        // 15.3 (95.8% efficiency) for PEtot_F and 13.8 (86.3%) for LS3DF.
+        let m = MachineSpec::franklin();
+        let p = Problem::new(8, 6, 9);
+        let (points, _, _) = strong_scaling(&m, &p, 40, &fig3_core_counts());
+        let last = points.last().unwrap();
+        assert!(
+            (last.speedup_petot - 15.3).abs() < 0.7,
+            "PEtot_F speedup {}",
+            last.speedup_petot
+        );
+        assert!(
+            (last.speedup_ls3df - 13.8).abs() < 1.0,
+            "LS3DF speedup {}",
+            last.speedup_ls3df
+        );
+        // LS3DF always at or below the PEtot_F curve.
+        for pt in &points {
+            assert!(pt.speedup_ls3df <= pt.speedup_petot + 1e-9);
+        }
+    }
+
+    #[test]
+    fn amdahl_fit_parameters_in_paper_range() {
+        // Paper fit: α = 1/362,000 (PEtot_F), 1/101,000 (LS3DF), and an
+        // effective single-core rate of 2.39 Gflop/s.
+        let m = MachineSpec::franklin();
+        let p = Problem::new(8, 6, 9);
+        let (_, fit_ls3df, fit_petot) = strong_scaling(&m, &p, 40, &fig3_core_counts());
+        assert!(fit_petot.alpha < fit_ls3df.alpha, "PEtot_F has less serial work");
+        assert!(
+            fit_ls3df.alpha > 1.0 / 400_000.0 && fit_ls3df.alpha < 1.0 / 40_000.0,
+            "LS3DF α = {}",
+            fit_ls3df.alpha
+        );
+        let gf = fit_petot.p_serial / 1e9;
+        assert!((1.0..4.0).contains(&gf), "P_s = {gf} Gflop/s (paper: 2.39)");
+    }
+
+    #[test]
+    fn weak_scaling_is_straight_on_loglog() {
+        // Fig. 5: "fairly straight lines" — Tflop/s roughly ∝ cores at
+        // constant atoms/core.
+        let m = MachineSpec::intrepid();
+        let runs = [
+            (Problem::new(4, 4, 4), 4096, 64),
+            (Problem::new(8, 4, 4), 8192, 64),
+            (Problem::new(8, 8, 4), 16384, 64),
+            (Problem::new(8, 8, 8), 32768, 64),
+            (Problem::new(16, 8, 8), 65536, 64),
+            (Problem::new(16, 16, 8), 131072, 64),
+        ];
+        let pts = weak_scaling(&m, &runs);
+        for w in pts.windows(2) {
+            let slope = (w[1].tflops / w[0].tflops).log2() / (w[1].cores as f64 / w[0].cores as f64).log2();
+            assert!((0.8..=1.05).contains(&slope), "log-log slope {slope}");
+        }
+        // Ordering across machines at their largest runs: Intrepid tops.
+        let f = MachineSpec::franklin();
+        let franklin_best =
+            sustained_flops(&f, &Problem::new(12, 12, 12), 17280, 10) / 1e12;
+        assert!(pts.last().unwrap().tflops > franklin_best);
+    }
+
+    #[test]
+    fn efficiency_scatter_matches_fig4_shape() {
+        let m = MachineSpec::franklin();
+        let runs = [
+            (Problem::new(3, 3, 3), 270, 10),
+            (Problem::new(6, 6, 6), 4320, 20),
+            (Problem::new(12, 12, 12), 17280, 10),
+        ];
+        let pts = efficiency_scatter(&m, &runs);
+        // All in the paper's 30–45% band, decreasing with concurrency.
+        for p in &pts {
+            assert!((0.30..0.45).contains(&p.efficiency), "{p:?}");
+        }
+        assert!(pts[0].efficiency > pts[2].efficiency);
+    }
+}

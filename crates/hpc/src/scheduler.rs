@@ -1,0 +1,170 @@
+//! Fragment-to-group scheduling.
+//!
+//! The paper distributes fragments over `Ng = P/Np` processor groups
+//! ("The fragments of the LS3DF algorithm can be calculated separately
+//! with different groups of processors"). Fragments are heterogeneous —
+//! per corner there is one 2×2×2 (8 pieces of work), three 2×2×1 (4),
+//! three 2×1×1 (2) and one 1×1×1 (1) — so the assignment policy sets the
+//! PEtot_F load balance. This module provides the standard policies and
+//! the makespan analysis behind the cost model's imbalance factor.
+
+/// One schedulable fragment job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FragmentJob {
+    /// Work units (≈ pieces of volume; the per-corner mix is 8,4,4,4,2,2,2,1).
+    pub cost: f64,
+}
+
+/// The canonical per-corner cost mix (volume in pieces of the 8 fragment
+/// types).
+pub const CORNER_COSTS: [f64; 8] = [8.0, 4.0, 4.0, 4.0, 2.0, 2.0, 2.0, 1.0];
+
+/// Builds the full job list for an `m1 × m2 × m3` decomposition.
+pub fn jobs_for(m: [usize; 3]) -> Vec<FragmentJob> {
+    let corners = m[0] * m[1] * m[2];
+    let mut jobs = Vec::with_capacity(8 * corners);
+    for _ in 0..corners {
+        for &c in &CORNER_COSTS {
+            jobs.push(FragmentJob { cost: c });
+        }
+    }
+    jobs
+}
+
+/// Assignment policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Jobs dealt round-robin in input order (the naive baseline).
+    RoundRobin,
+    /// Longest-processing-time-first greedy (sort descending, place each
+    /// job on the least-loaded group) — the classic 4/3-approximation.
+    LongestFirst,
+}
+
+/// Result of scheduling jobs onto groups.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Total work per group.
+    pub group_loads: Vec<f64>,
+    /// Makespan (the slowest group's load).
+    pub makespan: f64,
+    /// Perfectly balanced load (total / groups).
+    pub ideal: f64,
+}
+
+impl Schedule {
+    /// Load-imbalance factor `makespan / ideal ≥ 1`.
+    pub fn imbalance(&self) -> f64 {
+        self.makespan / self.ideal
+    }
+
+    /// Parallel efficiency of the fragment phase `ideal / makespan`.
+    pub fn efficiency(&self) -> f64 {
+        self.ideal / self.makespan
+    }
+}
+
+/// Schedules `jobs` onto `n_groups` groups under `policy`.
+pub fn schedule(jobs: &[FragmentJob], n_groups: usize, policy: Policy) -> Schedule {
+    assert!(n_groups >= 1, "schedule: need at least one group");
+    let mut loads = vec![0.0_f64; n_groups];
+    match policy {
+        Policy::RoundRobin => {
+            for (i, j) in jobs.iter().enumerate() {
+                loads[i % n_groups] += j.cost;
+            }
+        }
+        Policy::LongestFirst => {
+            let mut sorted: Vec<f64> = jobs.iter().map(|j| j.cost).collect();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            for c in sorted {
+                // Place on the least-loaded group.
+                let (idx, _) = loads
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap();
+                loads[idx] += c;
+            }
+        }
+    }
+    let makespan = loads.iter().cloned().fold(0.0, f64::max);
+    let total: f64 = loads.iter().sum();
+    Schedule { group_loads: loads, makespan, ideal: total / n_groups as f64 }
+}
+
+/// Imbalance factor of the LPT schedule for an LS3DF problem — the
+/// quantity the analytic cost model approximates with
+/// `ceil(n_frag/Ng)/(n_frag/Ng)`.
+pub fn lpt_imbalance(m: [usize; 3], n_groups: usize) -> f64 {
+    schedule(&jobs_for(m), n_groups, Policy::LongestFirst).imbalance()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_mix_sums_to_27_pieces() {
+        // Each corner's 8 fragments cover 27 pieces of volume — the famous
+        // LS3DF ~27× volume prefactor.
+        let total: f64 = CORNER_COSTS.iter().sum();
+        assert_eq!(total, 27.0);
+    }
+
+    #[test]
+    fn job_census() {
+        let jobs = jobs_for([3, 3, 3]);
+        assert_eq!(jobs.len(), 8 * 27);
+        let total: f64 = jobs.iter().map(|j| j.cost).sum();
+        assert_eq!(total, 27.0 * 27.0);
+    }
+
+    #[test]
+    fn lpt_beats_round_robin() {
+        let jobs = jobs_for([4, 4, 4]);
+        for n_groups in [7usize, 13, 40, 100] {
+            let rr = schedule(&jobs, n_groups, Policy::RoundRobin);
+            let lpt = schedule(&jobs, n_groups, Policy::LongestFirst);
+            assert!(
+                lpt.makespan <= rr.makespan + 1e-12,
+                "LPT {} vs RR {} at {n_groups} groups",
+                lpt.makespan,
+                rr.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn lpt_is_near_ideal_with_many_fragments_per_group() {
+        // The paper's regime: Ng ≪ n_fragments → near-perfect balance.
+        let imb = lpt_imbalance([8, 6, 9], 432); // the Fig. 3 run: Ng = 432
+        assert!(imb < 1.05, "imbalance {imb}");
+    }
+
+    #[test]
+    fn imbalance_grows_when_groups_exceed_large_jobs() {
+        // With one group per fragment the 2×2×2 fragments dominate the
+        // makespan: efficiency = mean/size-8 = (27/8)/8.
+        let jobs = jobs_for([2, 2, 2]);
+        let s = schedule(&jobs, jobs.len(), Policy::LongestFirst);
+        assert!((s.imbalance() - 8.0 / (27.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_of_work() {
+        let jobs = jobs_for([3, 2, 2]);
+        for policy in [Policy::RoundRobin, Policy::LongestFirst] {
+            let s = schedule(&jobs, 11, policy);
+            let total: f64 = s.group_loads.iter().sum();
+            assert!((total - 27.0 * 12.0).abs() < 1e-9);
+            assert!(s.makespan >= s.ideal - 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_group_is_trivially_balanced() {
+        let s = schedule(&jobs_for([2, 2, 2]), 1, Policy::LongestFirst);
+        assert_eq!(s.imbalance(), 1.0);
+    }
+}

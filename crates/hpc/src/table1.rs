@@ -1,0 +1,166 @@
+//! Paper Table I: the 28 benchmark rows across Franklin, Jaguar and
+//! Intrepid, with the paper's measured values and this model's outputs
+//! side by side.
+
+use crate::cost::{pct_peak, sustained_flops, Problem};
+use crate::machine::MachineSpec;
+
+/// Which machine a row ran on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Machine {
+    /// NERSC Cray XT4.
+    Franklin,
+    /// NCCS Cray XT4.
+    Jaguar,
+    /// ALCF BlueGene/P.
+    Intrepid,
+}
+
+impl Machine {
+    /// The corresponding model spec.
+    pub fn spec(self) -> MachineSpec {
+        match self {
+            Machine::Franklin => MachineSpec::franklin(),
+            Machine::Jaguar => MachineSpec::jaguar(),
+            Machine::Intrepid => MachineSpec::intrepid(),
+        }
+    }
+}
+
+/// One Table I row.
+#[derive(Clone, Copy, Debug)]
+pub struct Table1Row {
+    /// Machine.
+    pub machine: Machine,
+    /// Supercell (eight-atom cells).
+    pub m: [usize; 3],
+    /// Atom count.
+    pub atoms: usize,
+    /// Total cores used.
+    pub cores: usize,
+    /// Cores per group.
+    pub np: usize,
+    /// Paper's measured Tflop/s.
+    pub paper_tflops: f64,
+    /// Paper's measured % of peak.
+    pub paper_pct_peak: f64,
+}
+
+/// The complete Table I as printed in the paper.
+pub fn paper_table1() -> Vec<Table1Row> {
+    use Machine::*;
+    let row = |machine, m: [usize; 3], cores, np, tf, pct: f64| Table1Row {
+        machine,
+        m,
+        atoms: 8 * m[0] * m[1] * m[2],
+        cores,
+        np,
+        paper_tflops: tf,
+        paper_pct_peak: pct / 100.0,
+    };
+    vec![
+        row(Franklin, [3, 3, 3], 270, 10, 0.57, 40.4),
+        row(Franklin, [3, 3, 3], 540, 20, 1.14, 40.8),
+        row(Franklin, [3, 3, 3], 1080, 40, 2.27, 40.5),
+        row(Franklin, [4, 4, 4], 1280, 20, 2.64, 39.6),
+        row(Franklin, [5, 5, 5], 2500, 20, 5.15, 39.6),
+        row(Franklin, [6, 6, 6], 4320, 20, 8.72, 38.8),
+        row(Franklin, [8, 6, 9], 1080, 40, 2.28, 40.5),
+        row(Franklin, [8, 6, 9], 2160, 40, 4.51, 40.2),
+        row(Franklin, [8, 6, 9], 4320, 40, 8.88, 39.5),
+        row(Franklin, [8, 6, 9], 8640, 40, 17.04, 37.9),
+        row(Franklin, [8, 6, 9], 17280, 40, 31.35, 34.9),
+        row(Franklin, [8, 8, 8], 2560, 20, 5.46, 41.0),
+        row(Franklin, [8, 8, 8], 10240, 20, 19.72, 37.0),
+        row(Franklin, [10, 10, 8], 2000, 20, 4.18, 40.2),
+        row(Franklin, [10, 10, 8], 16000, 20, 29.52, 35.5),
+        row(Franklin, [12, 12, 12], 17280, 10, 32.17, 35.8),
+        row(Jaguar, [8, 8, 6], 7680, 20, 17.3, 26.8),
+        row(Jaguar, [8, 8, 6], 15360, 40, 33.0, 25.6),
+        row(Jaguar, [8, 8, 6], 30720, 80, 53.8, 20.9),
+        row(Jaguar, [8, 6, 9], 17280, 40, 36.5, 25.2),
+        row(Jaguar, [16, 8, 6], 15360, 20, 33.6, 26.0),
+        row(Jaguar, [16, 12, 8], 30720, 20, 60.3, 23.4),
+        row(Intrepid, [4, 4, 4], 4096, 64, 4.4, 31.6),
+        row(Intrepid, [8, 4, 4], 8192, 64, 8.8, 31.5),
+        row(Intrepid, [8, 8, 4], 16384, 64, 17.5, 31.4),
+        row(Intrepid, [8, 8, 8], 32768, 64, 34.5, 31.1),
+        row(Intrepid, [16, 8, 8], 65536, 64, 60.2, 27.1),
+        row(Intrepid, [16, 16, 8], 131072, 64, 107.5, 24.2),
+    ]
+}
+
+/// Model outputs for one row.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelRow {
+    /// Modeled Tflop/s.
+    pub tflops: f64,
+    /// Modeled fraction of peak.
+    pub pct_peak: f64,
+}
+
+/// Evaluates the model on a Table I row.
+pub fn model_row(row: &Table1Row) -> ModelRow {
+    let spec = row.machine.spec();
+    let problem = Problem { m: row.m };
+    ModelRow {
+        tflops: sustained_flops(&spec, &problem, row.cores, row.np) / 1e12,
+        pct_peak: pct_peak(&spec, &problem, row.cores, row.np),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_28_rows_with_paper_atom_counts() {
+        let t = paper_table1();
+        assert_eq!(t.len(), 28);
+        for r in &t {
+            assert_eq!(r.atoms, 8 * r.m[0] * r.m[1] * r.m[2]);
+        }
+        // Headline rows.
+        assert!(t.iter().any(|r| r.cores == 131_072 && (r.paper_tflops - 107.5).abs() < 1e-9));
+        assert!(t.iter().any(|r| r.cores == 30_720 && (r.paper_tflops - 60.3).abs() < 1e-9));
+    }
+
+    #[test]
+    fn model_matches_every_row_within_tolerance() {
+        // The reproduction target: the model's % of peak within 5
+        // percentage points of the paper on every row, and within 2.5 on
+        // average.
+        let mut sum = 0.0;
+        for row in paper_table1() {
+            let m = model_row(&row);
+            let err = (m.pct_peak - row.paper_pct_peak).abs();
+            assert!(
+                err < 0.05,
+                "{:?} {} cores={} np={}: model {:.1}% vs paper {:.1}%",
+                row.machine,
+                Problem { m: row.m }.label(),
+                row.cores,
+                row.np,
+                m.pct_peak * 100.0,
+                row.paper_pct_peak * 100.0
+            );
+            sum += err;
+        }
+        let avg = sum / 28.0;
+        assert!(avg < 0.025, "average |Δ%peak| = {:.3}", avg);
+    }
+
+    #[test]
+    fn model_reproduces_who_wins() {
+        // Intrepid posts the largest total rate (107 Tf), Jaguar the
+        // fastest per-core speed — both shape claims must survive the model.
+        let rows = paper_table1();
+        let best = rows
+            .iter()
+            .map(|r| (r, model_row(r).tflops))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(best.0.machine, Machine::Intrepid);
+        assert_eq!(best.0.cores, 131_072);
+    }
+}

@@ -1,0 +1,341 @@
+//! A minimal, fast double-precision complex number type.
+//!
+//! The offline-crate policy for this reproduction does not include
+//! `num-complex`, so the planewave machinery carries its own `c64`. The type
+//! is `repr(C)` so slices of `c64` can be reinterpreted as interleaved
+//! re/im `f64` pairs, the layout FFT kernels and BLAS-like kernels expect.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Double-precision complex number (`re + i·im`).
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct c64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+#[allow(non_camel_case_types)]
+impl c64 {
+    /// The additive identity.
+    pub const ZERO: c64 = c64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: c64 = c64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: c64 = c64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        c64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    #[inline(always)]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        c64::new(c, s)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        let (s, c) = self.im.sin_cos();
+        c64::new(r * c, r * s)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let m = self.abs();
+        let re = ((m + self.re) * 0.5).max(0.0).sqrt();
+        let im = ((m - self.re) * 0.5).max(0.0).sqrt();
+        c64::new(re, if self.im < 0.0 { -im } else { im })
+    }
+
+    /// Multiplicative inverse `1/z`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64::new(self.re * s, self.im * s)
+    }
+
+    /// Fused `self + a * b`, the complex multiply-accumulate at the heart of
+    /// the GEMM and projector kernels.
+    #[inline(always)]
+    pub fn mul_add(self, a: c64, b: c64) -> Self {
+        c64::new(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// Returns true if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns true if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+.6e}{:+.6e}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for c64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for c64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        c64::real(re)
+    }
+}
+
+impl Add for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn add(self, o: c64) -> c64 {
+        c64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn sub(self, o: c64) -> c64 {
+        c64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, o: c64) -> c64 {
+        c64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn div(self, o: c64) -> c64 {
+        self * o.inv()
+    }
+}
+
+impl Neg for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn neg(self) -> c64 {
+        c64::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn add(self, s: f64) -> c64 {
+        c64::new(self.re + s, self.im)
+    }
+}
+
+impl Sub<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn sub(self, s: f64) -> c64 {
+        c64::new(self.re - s, self.im)
+    }
+}
+
+impl Mul<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, s: f64) -> c64 {
+        self.scale(s)
+    }
+}
+
+impl Div<f64> for c64 {
+    type Output = c64;
+    #[inline(always)]
+    fn div(self, s: f64) -> c64 {
+        self.scale(1.0 / s)
+    }
+}
+
+impl Mul<c64> for f64 {
+    type Output = c64;
+    #[inline(always)]
+    fn mul(self, z: c64) -> c64 {
+        z.scale(self)
+    }
+}
+
+impl AddAssign for c64 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: c64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for c64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: c64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for c64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, o: c64) {
+        *self = *self * o;
+    }
+}
+
+impl DivAssign for c64 {
+    #[inline(always)]
+    fn div_assign(&mut self, o: c64) {
+        *self = *self / o;
+    }
+}
+
+impl MulAssign<f64> for c64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, s: f64) {
+        self.re *= s;
+        self.im *= s;
+    }
+}
+
+impl Sum for c64 {
+    fn sum<I: Iterator<Item = c64>>(iter: I) -> c64 {
+        iter.fold(c64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: c64, b: c64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64::new(3.0, -4.0);
+        assert_eq!(z + c64::ZERO, z);
+        assert_eq!(z * c64::ONE, z);
+        assert!(close(z * z.inv(), c64::ONE, 1e-14));
+        assert_eq!(z + (-z), c64::ZERO);
+        assert_eq!(z.conj().conj(), z);
+    }
+
+    #[test]
+    fn modulus_and_conjugate() {
+        let z = c64::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z * z.conj(), c64::real(25.0), 1e-14));
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = c64::cis(std::f64::consts::PI);
+        assert!(close(z, c64::real(-1.0), 1e-15));
+        let e = (c64::I * std::f64::consts::FRAC_PI_2).exp();
+        assert!(close(e, c64::I, 1e-15));
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -7.0), (-2.5, 1.5)] {
+            let z = c64::new(re, im);
+            let r = z.sqrt();
+            assert!(close(r * r, z, 1e-12), "sqrt({z:?})={r:?}");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = c64::new(1.5, -0.5);
+        let b = c64::new(-2.0, 3.0);
+        let c = c64::new(0.25, 0.75);
+        assert!(close(a.mul_add(b, c), a + b * c, 1e-15));
+    }
+
+    #[test]
+    fn division_by_real_and_complex() {
+        let z = c64::new(6.0, -8.0);
+        assert_eq!(z / 2.0, c64::new(3.0, -4.0));
+        assert!(close(z / z, c64::ONE, 1e-14));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let v = [c64::new(1.0, 1.0), c64::new(2.0, -3.0), c64::new(-0.5, 0.5)];
+        let s: c64 = v.iter().copied().sum();
+        assert!(close(s, c64::new(2.5, -1.5), 1e-15));
+    }
+}

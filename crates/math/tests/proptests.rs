@@ -1,0 +1,112 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use ls3df_math::gemm::{matmul, matmul_naive, matmul_nh};
+use ls3df_math::ortho::{cholesky_orthonormalize, gram_schmidt, orthonormality_residual};
+use ls3df_math::vec_ops::{dotc, nrm2};
+use ls3df_math::{c64, eigh, Cholesky, Matrix};
+use proptest::prelude::*;
+
+fn c64_strategy() -> impl Strategy<Value = c64> {
+    (-10.0..10.0f64, -10.0..10.0f64).prop_map(|(re, im)| c64::new(re, im))
+}
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix<c64>> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(c64_strategy(), r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn square_strategy(max_dim: usize) -> impl Strategy<Value = Matrix<c64>> {
+    (1..=max_dim).prop_flat_map(|n| {
+        prop::collection::vec(c64_strategy(), n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn dotc_cauchy_schwarz(x in prop::collection::vec(c64_strategy(), 1..64)) {
+        let y: Vec<c64> = x.iter().rev().copied().collect();
+        let lhs = dotc(&x, &y).abs();
+        let rhs = nrm2(&x) * nrm2(&y);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-12) + 1e-12);
+    }
+
+    #[test]
+    fn gemm_blocked_matches_naive(a in matrix_strategy(12), b in matrix_strategy(12)) {
+        // Rebuild b with a row count compatible with a.
+        let b = Matrix::from_fn(a.cols(), b.cols(), |i, j| b[(i % b.rows(), j)]);
+        let fast = matmul(&a, &b);
+        let slow = matmul_naive(&a, &b);
+        for i in 0..fast.rows() {
+            for j in 0..fast.cols() {
+                prop_assert!((fast[(i,j)] - slow[(i,j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_is_linear_in_first_argument(
+        a in matrix_strategy(8),
+        s in -5.0..5.0f64,
+    ) {
+        let b = Matrix::from_fn(a.cols(), 5, |i, j| c64::new((i + j) as f64 * 0.1, -(i as f64) * 0.05));
+        let mut a_scaled = a.clone();
+        a_scaled.scale_real(s);
+        let lhs = matmul(&a_scaled, &b);
+        let mut rhs = matmul(&a, &b);
+        rhs.scale_real(s);
+        for i in 0..lhs.rows() {
+            for j in 0..lhs.cols() {
+                prop_assert!((lhs[(i,j)] - rhs[(i,j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigh_trace_and_ordering(m in square_strategy(8)) {
+        // Symmetrize to get a Hermitian input.
+        let n = m.rows();
+        let h = Matrix::from_fn(n, n, |i, j| (m[(i, j)] + m[(j, i)].conj()).scale(0.5));
+        let e = eigh(&h);
+        let trace_sum: f64 = e.values.iter().sum();
+        prop_assert!((trace_sum - h.trace().re).abs() < 1e-8 * (1.0 + h.fro_norm()));
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_roundtrip(m in square_strategy(8)) {
+        // A = M·Mᴴ + n·I is Hermitian positive definite.
+        let n = m.rows();
+        let mut a = matmul_nh(&m, &m);
+        for i in 0..n {
+            a[(i, i)] += c64::real(10.0 * n as f64 + 1.0);
+        }
+        let ch = Cholesky::new(&a).unwrap();
+        let recon = matmul_nh(ch.l(), ch.l());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((recon[(i,j)] - a[(i,j)]).abs() < 1e-7 * (1.0 + a.fro_norm()));
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormalization_methods_agree_on_residual(
+        data in prop::collection::vec(c64_strategy(), 4 * 32)
+    ) {
+        let mut a = Matrix::from_vec(4, 32, data);
+        // Make rows clearly independent by adding distinct unit spikes.
+        for i in 0..4 {
+            a[(i, i)] += c64::real(50.0);
+        }
+        let mut b = a.clone();
+        gram_schmidt(&mut a, 0.25).unwrap();
+        cholesky_orthonormalize(&mut b, 0.25).unwrap();
+        prop_assert!(orthonormality_residual(&a, 0.25) < 1e-10);
+        prop_assert!(orthonormality_residual(&b, 0.25) < 1e-10);
+    }
+}

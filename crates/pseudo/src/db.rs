@@ -1,0 +1,140 @@
+//! Model pseudopotential database for the LS3DF test systems.
+//!
+//! Parameters are *model* values (see DESIGN.md substitution table) chosen
+//! so that the scaled-down calculations reproduce the qualitative physics
+//! the paper relies on:
+//!
+//! * ZnTe is a direct-gap semiconductor (filled anion-derived valence
+//!   bands separated from the conduction band);
+//! * the O site potential is substantially deeper/shorter-ranged than Te,
+//!   so substitutional O pulls localized states below the ZnTe CBM
+//!   (the mid-band-gap physics of paper §VII);
+//! * passivant pseudo-hydrogens carry the fractional charges that saturate
+//!   II–VI dangling bonds (1.5 on cation-side bonds, 0.5 on anion-side).
+
+use crate::{KbProjector, LocalPotential};
+use ls3df_atoms::Species;
+
+/// Full pseudopotential parameter set for one species.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PseudoParams {
+    /// Local part.
+    pub local: LocalPotential,
+    /// Nonlocal KB projector (may have `e_kb = 0` = inactive).
+    pub kb: KbProjector,
+}
+
+/// Looks up the default model parameters for a species.
+pub fn params_for(species: Species) -> PseudoParams {
+    match species {
+        Species::Zn => PseudoParams {
+            local: LocalPotential { z: 2.0, rc: 1.20, a: 3.0, w: 0.95 },
+            kb: KbProjector { rb: 1.00, e_kb: 1.2 },
+        },
+        Species::Te => PseudoParams {
+            local: LocalPotential { z: 6.0, rc: 1.45, a: 5.5, w: 1.15 },
+            kb: KbProjector { rb: 1.20, e_kb: 2.0 },
+        },
+        Species::O => PseudoParams {
+            // Deeper, more compact than Te: this is what creates the
+            // oxygen-induced states inside the ZnTe gap.
+            local: LocalPotential { z: 6.0, rc: 0.90, a: 1.8, w: 0.65 },
+            kb: KbProjector { rb: 0.80, e_kb: 1.0 },
+        },
+        Species::H => passivant_params(1.0),
+    }
+}
+
+/// Parameters for a passivant pseudo-hydrogen with fractional ionic charge
+/// `q` (0.5 for anion-side bonds, 1.5 for cation-side in II–VI crystals).
+pub fn passivant_params(q: f64) -> PseudoParams {
+    PseudoParams {
+        local: LocalPotential { z: q, rc: 0.70, a: 0.0, w: 1.0 },
+        kb: KbProjector { rb: 1.0, e_kb: 0.0 },
+    }
+}
+
+/// A complete species → parameters table, overridable per calculation
+/// (model studies and tests swap in custom potentials; production runs use
+/// [`PseudoTable::default`], which matches [`params_for`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PseudoTable {
+    /// Zn parameters.
+    pub zn: PseudoParams,
+    /// Te parameters.
+    pub te: PseudoParams,
+    /// O parameters.
+    pub o: PseudoParams,
+    /// H / generic-model-atom parameters.
+    pub h: PseudoParams,
+}
+
+impl Default for PseudoTable {
+    fn default() -> Self {
+        PseudoTable {
+            zn: params_for(Species::Zn),
+            te: params_for(Species::Te),
+            o: params_for(Species::O),
+            h: params_for(Species::H),
+        }
+    }
+}
+
+impl PseudoTable {
+    /// Looks up the parameters for a species.
+    pub fn get(&self, species: Species) -> PseudoParams {
+        match species {
+            Species::Zn => self.zn,
+            Species::Te => self.te,
+            Species::O => self.o,
+            Species::H => self.h,
+        }
+    }
+
+    /// A "model crystal" table: every species is a bare deep Gaussian well
+    /// with charge `z` and softening radius `rc` (closed-shell He-like
+    /// atoms for `z = 2`). Used by validation tests where the chemistry is
+    /// irrelevant but a clean band gap is essential.
+    pub fn deep_well(z: f64, rc: f64) -> Self {
+        let p = PseudoParams {
+            local: LocalPotential { z, rc, a: 0.0, w: 1.0 },
+            kb: KbProjector { rb: 1.0, e_kb: 0.0 },
+        };
+        PseudoTable { zn: p, te: p, o: p, h: p }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_match_species_valence() {
+        for s in [Species::Zn, Species::Te, Species::O, Species::H] {
+            assert_eq!(params_for(s).local.z, s.valence(), "{s}");
+        }
+    }
+
+    #[test]
+    fn oxygen_deeper_than_te_at_bond_range() {
+        // At typical bonding distances the O potential must lie below Te's
+        // so that O sites attract states out of the conduction band.
+        let o = params_for(Species::O).local;
+        let te = params_for(Species::Te).local;
+        for r in [1.0, 1.5, 2.0, 3.0] {
+            assert!(
+                o.real_space(r) < te.real_space(r),
+                "O not deeper than Te at r = {r}: {} vs {}",
+                o.real_space(r),
+                te.real_space(r)
+            );
+        }
+    }
+
+    #[test]
+    fn passivants_carry_fractional_charge() {
+        assert_eq!(passivant_params(0.5).local.z, 0.5);
+        assert_eq!(passivant_params(1.5).local.z, 1.5);
+        assert!(!passivant_params(0.5).kb.is_active());
+    }
+}

@@ -1,0 +1,263 @@
+//! Planewave basis within an energy cutoff.
+//!
+//! Conventions (used consistently across the direct solver and LS3DF):
+//!
+//! * orbital `ψ(r) = (1/√Ω)·Σ_G c_G·e^{iG·r}` with `Σ_G |c_G|² = 1`;
+//! * the basis contains every reciprocal vector with kinetic energy
+//!   `|G|²/2 ≤ E_cut` (Hartree units, Γ-point);
+//! * grid transfers: [`PwBasis::wave_to_grid`] produces `ψ(rᵢ)` such that
+//!   `Σᵢ |ψ(rᵢ)|²·dv = 1`, and [`PwBasis::grid_to_wave`] is its exact
+//!   left inverse.
+
+use ls3df_fft::Fft3;
+use ls3df_grid::Grid3;
+use ls3df_math::c64;
+
+/// Planewave basis bound to a periodic grid.
+pub struct PwBasis {
+    grid: Grid3,
+    fft: Fft3,
+    ecut: f64,
+    /// Linear grid index of each basis G-vector.
+    g_slot: Vec<usize>,
+    /// |G|² for each basis vector.
+    g2: Vec<f64>,
+    /// Cartesian G for each basis vector.
+    g_vec: Vec<[f64; 3]>,
+}
+
+impl PwBasis {
+    /// Builds the basis for `grid` with cutoff `ecut` (Hartree).
+    ///
+    /// Panics if the grid is too coarse to hold the cutoff sphere (the
+    /// highest representable frequency must reach `G_max = √(2·E_cut)`).
+    pub fn new(grid: Grid3, ecut: f64) -> Self {
+        Self::new_at_k(grid, ecut, [0.0; 3])
+    }
+
+    /// Builds the basis at a Bloch vector `k` (Cartesian, Bohr⁻¹): selects
+    /// planewaves with `|k+G|²/2 ≤ E_cut`, the variational space a k-point
+    /// calculation needs for exact supercell band folding.
+    pub fn new_at_k(grid: Grid3, ecut: f64, k: [f64; 3]) -> Self {
+        assert!(ecut > 0.0, "PwBasis: cutoff must be positive");
+        let g_max = (2.0 * ecut).sqrt();
+        for ax in 0..3 {
+            let n = grid.dims[ax];
+            let nyquist = std::f64::consts::PI * n as f64 / grid.lengths[ax];
+            assert!(
+                nyquist >= g_max,
+                "PwBasis: grid axis {ax} ({n} points over {:.3} Bohr) cannot represent \
+                 G_max = {g_max:.3}; increase the grid or lower the cutoff",
+                grid.lengths[ax]
+            );
+        }
+        let mut g_slot = Vec::new();
+        let mut g2s = Vec::new();
+        let mut g_vec = Vec::new();
+        for (ix, iy, iz) in grid.iter_points() {
+            let g = grid.g_vector(ix, iy, iz);
+            let kg2 = (g[0] + k[0]).powi(2) + (g[1] + k[1]).powi(2) + (g[2] + k[2]).powi(2);
+            if 0.5 * kg2 <= ecut {
+                g_slot.push(grid.index(ix, iy, iz));
+                g2s.push(grid.g2(ix, iy, iz));
+                g_vec.push(g);
+            }
+        }
+        let fft = Fft3::new(grid.dims[0], grid.dims[1], grid.dims[2]);
+        PwBasis { grid, fft, ecut, g_slot, g2: g2s, g_vec }
+    }
+
+    /// Number of planewaves in the basis.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.g_slot.len()
+    }
+
+    /// True if the basis is empty (never for a valid cutoff).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.g_slot.is_empty()
+    }
+
+    /// The underlying grid.
+    #[inline]
+    pub fn grid(&self) -> &Grid3 {
+        &self.grid
+    }
+
+    /// The FFT plan for this grid.
+    #[inline]
+    pub fn fft(&self) -> &Fft3 {
+        &self.fft
+    }
+
+    /// Energy cutoff (Hartree).
+    #[inline]
+    pub fn ecut(&self) -> f64 {
+        self.ecut
+    }
+
+    /// `|G|²` per basis vector.
+    #[inline]
+    pub fn g2(&self) -> &[f64] {
+        &self.g2
+    }
+
+    /// Cartesian `G` per basis vector.
+    #[inline]
+    pub fn g_vectors(&self) -> &[[f64; 3]] {
+        &self.g_vec
+    }
+
+    /// Index of the `G = 0` planewave within the basis.
+    pub fn g0_index(&self) -> usize {
+        self.g2
+            .iter()
+            .position(|&g2| g2 == 0.0)
+            .expect("basis always contains G = 0")
+    }
+
+    /// Scatters planewave coefficients onto the grid and synthesizes
+    /// `ψ(rᵢ) = (1/√Ω)·Σ_G c_G·e^{iG·rᵢ}` into `buf` (length = grid size).
+    pub fn wave_to_grid(&self, coeffs: &[c64], buf: &mut [c64]) {
+        assert_eq!(coeffs.len(), self.len(), "wave_to_grid: coefficient count");
+        assert_eq!(buf.len(), self.grid.len(), "wave_to_grid: buffer size");
+        buf.fill(c64::ZERO);
+        for (slot, &c) in self.g_slot.iter().zip(coeffs) {
+            buf[*slot] = c;
+        }
+        self.fft.inverse(buf);
+        // inverse = (1/N)·Σ; we need (1/√Ω)·Σ → scale by N/√Ω.
+        let scale = self.grid.len() as f64 / self.grid.volume().sqrt();
+        for v in buf.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+
+    /// Analyzes a grid function back into planewave coefficients: the exact
+    /// left inverse of [`PwBasis::wave_to_grid`] (and the adjoint up to the
+    /// `dv` metric, used to project `V·ψ` onto the basis).
+    pub fn grid_to_wave(&self, buf: &mut [c64], coeffs: &mut [c64]) {
+        assert_eq!(coeffs.len(), self.len(), "grid_to_wave: coefficient count");
+        assert_eq!(buf.len(), self.grid.len(), "grid_to_wave: buffer size");
+        self.fft.forward(buf);
+        // forward = Σ_j …; c_G = (√Ω/N)·forward.
+        let scale = self.grid.volume().sqrt() / self.grid.len() as f64;
+        for (c, slot) in coeffs.iter_mut().zip(&self.g_slot) {
+            *c = buf[*slot].scale(scale);
+        }
+    }
+
+    /// Structure-factor-weighted assembly of a periodic lattice function:
+    /// given per-atom form factors `f_a(|G|)` (Hartree·Bohr³) and positions,
+    /// fills `out_g` (grid-sized, reciprocal layout) with
+    /// `F(G) = (1/Ω)·Σ_a f_a(|G|)·e^{−iG·R_a}` over **all** grid G-vectors
+    /// (not just those inside the wavefunction cutoff, since potentials
+    /// live on the denser grid).
+    pub fn lattice_sum<F: Fn(usize, f64) -> f64>(
+        &self,
+        positions: &[[f64; 3]],
+        form: F,
+        out_g: &mut [c64],
+    ) {
+        assert_eq!(out_g.len(), self.grid.len());
+        let inv_vol = 1.0 / self.grid.volume();
+        for (idx, v) in out_g.iter_mut().enumerate() {
+            let (ix, iy, iz) = self.grid.coords(idx);
+            let g = self.grid.g_vector(ix, iy, iz);
+            let q = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
+            let mut acc = c64::ZERO;
+            for (a, r) in positions.iter().enumerate() {
+                let phase = -(g[0] * r[0] + g[1] * r[1] + g[2] * r[2]);
+                acc = acc.mul_add(c64::real(form(a, q)), c64::cis(phase));
+            }
+            *v = acc.scale(inv_vol);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis() -> PwBasis {
+        PwBasis::new(Grid3::cubic(12, 10.0), 2.0)
+    }
+
+    #[test]
+    fn g0_present_and_counted() {
+        let b = basis();
+        assert!(b.len() > 1);
+        assert_eq!(b.g2()[b.g0_index()], 0.0);
+        // All |G|²/2 within cutoff.
+        for &g2 in b.g2() {
+            assert!(0.5 * g2 <= b.ecut() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn basis_size_close_to_sphere_volume_estimate() {
+        // npw ≈ Ω·G_max³/(6π²)
+        let b = PwBasis::new(Grid3::cubic(20, 12.0), 3.0);
+        let gmax = (2.0_f64 * 3.0).sqrt();
+        let estimate = b.grid().volume() * gmax.powi(3) / (6.0 * std::f64::consts::PI.powi(2));
+        let ratio = b.len() as f64 / estimate;
+        assert!((0.8..1.2).contains(&ratio), "npw = {}, estimate = {estimate}", b.len());
+    }
+
+    #[test]
+    fn wave_grid_roundtrip_exact() {
+        let b = basis();
+        let mut coeffs: Vec<c64> = (0..b.len())
+            .map(|i| c64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let norm: f64 = coeffs.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+        for c in &mut coeffs {
+            *c = c.scale(1.0 / norm);
+        }
+        let mut buf = vec![c64::ZERO; b.grid().len()];
+        b.wave_to_grid(&coeffs, &mut buf);
+        // Normalization on the grid.
+        let total: f64 = buf.iter().map(|v| v.norm_sqr()).sum::<f64>() * b.grid().dv();
+        assert!((total - 1.0).abs() < 1e-10, "grid norm = {total}");
+        // Roundtrip.
+        let mut back = vec![c64::ZERO; b.len()];
+        b.grid_to_wave(&mut buf, &mut back);
+        for (a, c) in back.iter().zip(&coeffs) {
+            assert!((*a - *c).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn g0_coefficient_is_average() {
+        let b = basis();
+        let mut coeffs = vec![c64::ZERO; b.len()];
+        coeffs[b.g0_index()] = c64::ONE;
+        let mut buf = vec![c64::ZERO; b.grid().len()];
+        b.wave_to_grid(&coeffs, &mut buf);
+        // G=0 planewave is the constant 1/√Ω.
+        let expect = 1.0 / b.grid().volume().sqrt();
+        for v in &buf {
+            assert!((*v - c64::real(expect)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lattice_sum_single_atom_at_origin_is_real() {
+        let b = basis();
+        let mut out = vec![c64::ZERO; b.grid().len()];
+        b.lattice_sum(&[[0.0, 0.0, 0.0]], |_, q| (-q * q).exp(), &mut out);
+        for v in &out {
+            assert!(v.im.abs() < 1e-12);
+        }
+        // G=0 term = f(0)/Ω.
+        assert!((out[0].re - 1.0 / b.grid().volume()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot represent")]
+    fn coarse_grid_rejected() {
+        // 4 points over 10 Bohr: Nyquist = π·4/10 ≈ 1.26 < G_max = 2.
+        let _ = PwBasis::new(Grid3::cubic(4, 10.0), 2.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Electron density construction from wavefunction blocks.
+
+use crate::PwBasis;
+use ls3df_grid::RealField;
+use ls3df_math::{c64, Matrix};
+use rayon::prelude::*;
+
+/// Builds `ρ(r) = Σ_b f_b·|ψ_b(r)|²` on the basis grid. Band-parallel
+/// with a tree reduction.
+pub fn compute_density(basis: &PwBasis, psi: &Matrix<c64>, occupations: &[f64]) -> RealField {
+    assert_eq!(psi.rows(), occupations.len(), "density: occupation count mismatch");
+    assert_eq!(psi.cols(), basis.len(), "density: basis mismatch");
+    let ngrid = basis.grid().len();
+    let rho_data = (0..psi.rows())
+        .into_par_iter()
+        .fold(
+            || vec![0.0_f64; ngrid],
+            |mut acc, b| {
+                let f = occupations[b];
+                if f != 0.0 {
+                    let mut buf = vec![c64::ZERO; ngrid];
+                    basis.wave_to_grid(psi.row(b), &mut buf);
+                    for (a, v) in acc.iter_mut().zip(&buf) {
+                        *a += f * v.norm_sqr();
+                    }
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![0.0_f64; ngrid],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    RealField::from_vec(basis.grid().clone(), rho_data)
+}
+
+/// Standard double-occupation vector: the lowest `n_electrons/2` bands get
+/// occupation 2, the rest 0 (spin-unpolarized insulator filling).
+pub fn insulator_occupations(n_bands: usize, n_electrons: f64) -> Vec<f64> {
+    let n_occ = (n_electrons / 2.0).round() as usize;
+    assert!(
+        n_occ <= n_bands,
+        "need at least {n_occ} bands for {n_electrons} electrons, have {n_bands}"
+    );
+    (0..n_bands).map(|b| if b < n_occ { 2.0 } else { 0.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls3df_grid::Grid3;
+
+    #[test]
+    fn density_integrates_to_electron_count() {
+        let grid = Grid3::cubic(10, 6.0);
+        let basis = PwBasis::new(grid, 1.5);
+        let nb = 4;
+        let mut psi = Matrix::from_fn(nb, basis.len(), |i, j| {
+            c64::new(((i * 31 + j * 7) as f64).sin(), ((i * 13 + j) as f64).cos())
+        });
+        ls3df_math::ortho::cholesky_orthonormalize(&mut psi, 1.0).unwrap();
+        let occ = insulator_occupations(nb, 6.0); // 3 bands × 2
+        let rho = compute_density(&basis, &psi, &occ);
+        assert!((rho.integrate() - 6.0).abs() < 1e-9, "N = {}", rho.integrate());
+        assert!(rho.min() >= -1e-12, "density must be non-negative");
+    }
+
+    #[test]
+    fn single_g0_band_gives_uniform_density() {
+        let grid = Grid3::cubic(8, 5.0);
+        let basis = PwBasis::new(grid, 1.0);
+        let mut psi = Matrix::zeros(1, basis.len());
+        psi[(0, basis.g0_index())] = c64::ONE;
+        let rho = compute_density(&basis, &psi, &[2.0]);
+        let expect = 2.0 / basis.grid().volume();
+        for &v in rho.as_slice() {
+            assert!((v - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn occupation_filling() {
+        assert_eq!(insulator_occupations(5, 6.0), vec![2.0, 2.0, 2.0, 0.0, 0.0]);
+        assert_eq!(insulator_occupations(2, 4.0), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_bands_rejected() {
+        let _ = insulator_occupations(2, 6.0);
+    }
+}

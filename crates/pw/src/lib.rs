@@ -1,0 +1,45 @@
+//! # ls3df-pw
+//!
+//! A complete planewave Kohn–Sham LDA solver written from scratch — the
+//! reproduction's stand-in for PEtot (and, as the direct O(N³) baseline,
+//! for PARATEC/VASP in the paper's §VI comparisons).
+//!
+//! Pieces: planewave [`PwBasis`] with the Γ-point conventions, LDA-PZ81
+//! exchange-correlation ([`xc`]), FFT Poisson ([`hartree`], the GENPOT
+//! kernel), Ewald ion–ion energy ([`ewald`]), Kleinman–Bylander nonlocal
+//! projectors and block Hamiltonian ([`hamiltonian`]), all-band and
+//! band-by-band preconditioned CG eigensolvers ([`solver`] — the paper's
+//! BLAS-3 vs BLAS-2 ablation), potential mixing ([`mixing`]) and the SCF
+//! driver ([`scf`]).
+
+#![warn(missing_docs)]
+
+mod basis;
+pub mod davidson;
+pub mod density;
+pub mod dos;
+pub mod fd_reference;
+pub mod ewald;
+pub mod forces;
+pub mod hamiltonian;
+pub mod hartree;
+pub mod kpoints;
+pub mod mixing;
+pub mod potential;
+pub mod realspace_nl;
+pub mod scf;
+pub mod solver;
+pub mod xc;
+
+pub use basis::PwBasis;
+pub use hamiltonian::{Hamiltonian, NonlocalPotential};
+pub use kpoints::{band_structure, gap_from_bands, monkhorst_pack, scf_kpoints, KPoint};
+pub use mixing::{Mixer, MixerState};
+pub use forces::{ewald_forces, local_forces, nonlocal_forces, total_forces};
+pub use potential::{effective_potential, initial_density, ionic_potential, PwAtom};
+pub use davidson::solve_davidson;
+pub use dos::{dos, Dos};
+pub use fd_reference::{apply_fd, fd_ground_state};
+pub use realspace_nl::{apply_block_realspace, RealSpaceNonlocal};
+pub use scf::{grid_for, scf, DftSystem, ScfOptions, ScfResult, ScfStep, SolverMethod};
+pub use solver::{solve_all_band, solve_band_by_band, SolveStats, SolverOptions};

@@ -1,0 +1,152 @@
+//! Local density approximation exchange-correlation (Perdew–Zunger 1981
+//! parametrization of the Ceperley–Alder electron-gas data) — the same
+//! functional class the paper's LDA calculations use.
+//!
+//! All quantities in Hartree atomic units; spin-unpolarized.
+
+use std::f64::consts::PI;
+
+/// Exchange energy density per electron: `ε_x(ρ) = −(3/4)(3ρ/π)^{1/3}`.
+pub fn eps_x(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    -0.75 * (3.0 * rho / PI).powf(1.0 / 3.0)
+}
+
+/// Exchange potential `v_x = (4/3)·ε_x`.
+pub fn v_x(rho: f64) -> f64 {
+    4.0 / 3.0 * eps_x(rho)
+}
+
+/// Wigner–Seitz radius `r_s = (3/4πρ)^{1/3}`.
+pub fn rs_of(rho: f64) -> f64 {
+    (3.0 / (4.0 * PI * rho)).powf(1.0 / 3.0)
+}
+
+// Perdew–Zunger correlation constants (unpolarized).
+const GAMMA: f64 = -0.1423;
+const BETA1: f64 = 1.0529;
+const BETA2: f64 = 0.3334;
+const A: f64 = 0.0311;
+const B: f64 = -0.048;
+const C: f64 = 0.0020;
+const D: f64 = -0.0116;
+
+/// Correlation energy density per electron, PZ81.
+pub fn eps_c(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    let rs = rs_of(rho);
+    if rs >= 1.0 {
+        GAMMA / (1.0 + BETA1 * rs.sqrt() + BETA2 * rs)
+    } else {
+        let ln = rs.ln();
+        A * ln + B + C * rs * ln + D * rs
+    }
+}
+
+/// Correlation potential `v_c = ε_c − (r_s/3)·dε_c/dr_s`, PZ81.
+pub fn v_c(rho: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    let rs = rs_of(rho);
+    if rs >= 1.0 {
+        let sq = rs.sqrt();
+        let denom = 1.0 + BETA1 * sq + BETA2 * rs;
+        let ec = GAMMA / denom;
+        ec * (1.0 + 7.0 / 6.0 * BETA1 * sq + 4.0 / 3.0 * BETA2 * rs) / denom
+    } else {
+        let ln = rs.ln();
+        A * ln + (B - A / 3.0) + 2.0 / 3.0 * C * rs * ln + (2.0 * D - C) / 3.0 * rs
+    }
+}
+
+/// Total XC energy density per electron.
+pub fn eps_xc(rho: f64) -> f64 {
+    eps_x(rho) + eps_c(rho)
+}
+
+/// Total XC potential `v_xc = d(ρ·ε_xc)/dρ`.
+pub fn v_xc(rho: f64) -> f64 {
+    v_x(rho) + v_c(rho)
+}
+
+/// XC energy of a density sampled on a grid: `E_xc = Σᵢ ρᵢ·ε_xc(ρᵢ)·dv`.
+pub fn exc_energy(rho: &[f64], dv: f64) -> f64 {
+    rho.iter().map(|&r| r * eps_xc(r)).sum::<f64>() * dv
+}
+
+/// Fills `v` with the XC potential of `rho` pointwise.
+pub fn vxc_field(rho: &[f64], v: &mut [f64]) {
+    assert_eq!(rho.len(), v.len());
+    for (vi, &r) in v.iter_mut().zip(rho) {
+        *vi = v_xc(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_known_value() {
+        // At ρ = 1: ε_x = −(3/4)(3/π)^{1/3} ≈ −0.738559.
+        assert!((eps_x(1.0) + 0.7385587663).abs() < 1e-9);
+        assert!((v_x(1.0) - 4.0 / 3.0 * eps_x(1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn correlation_continuous_at_rs_1() {
+        // PZ81 is constructed to be continuous at r_s = 1.
+        let rho_at = |rs: f64| 3.0 / (4.0 * PI * rs.powi(3));
+        let e_lo = eps_c(rho_at(0.999999));
+        let e_hi = eps_c(rho_at(1.000001));
+        assert!((e_lo - e_hi).abs() < 1e-4, "{e_lo} vs {e_hi}");
+        let v_lo = v_c(rho_at(0.999999));
+        let v_hi = v_c(rho_at(1.000001));
+        assert!((v_lo - v_hi).abs() < 1e-3, "{v_lo} vs {v_hi}");
+    }
+
+    #[test]
+    fn potential_is_derivative_of_energy_density() {
+        // v_xc = d(ρ ε_xc)/dρ, checked by central differences.
+        for &rho in &[0.01, 0.1, 0.5, 1.0, 3.0] {
+            let h = rho * 1e-6;
+            let fd = ((rho + h) * eps_xc(rho + h) - (rho - h) * eps_xc(rho - h)) / (2.0 * h);
+            assert!(
+                (fd - v_xc(rho)).abs() < 1e-5 * (1.0 + fd.abs()),
+                "rho = {rho}: fd {fd} vs v_xc {}",
+                v_xc(rho)
+            );
+        }
+    }
+
+    #[test]
+    fn xc_negative_and_monotone() {
+        let mut prev = 0.0;
+        for &rho in &[0.001, 0.01, 0.1, 1.0, 10.0] {
+            let e = eps_xc(rho);
+            assert!(e < 0.0);
+            assert!(e < prev, "ε_xc must deepen with density");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn zero_density_safe() {
+        assert_eq!(eps_xc(0.0), 0.0);
+        assert_eq!(v_xc(0.0), 0.0);
+        assert_eq!(eps_xc(-1e-12), 0.0);
+    }
+
+    #[test]
+    fn grid_energy_matches_manual_sum() {
+        let rho = [0.2, 0.4, 0.0, 1.0];
+        let dv = 0.5;
+        let manual: f64 = rho.iter().map(|&r| r * eps_xc(r)).sum::<f64>() * dv;
+        assert!((exc_energy(&rho, dv) - manual).abs() < 1e-15);
+    }
+}

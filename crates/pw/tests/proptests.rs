@@ -1,0 +1,119 @@
+//! Property-based tests for the planewave engine.
+
+use ls3df_grid::{Grid3, RealField};
+use ls3df_math::gemm::matmul_nh;
+use ls3df_math::{c64, Matrix};
+use ls3df_pw::{Hamiltonian, NonlocalPotential, PwBasis};
+use proptest::prelude::*;
+
+fn basis_and_potential(
+    n: usize,
+    l: f64,
+    amp: f64,
+    seed: u64,
+) -> (PwBasis, RealField) {
+    let grid = Grid3::cubic(n, l);
+    let basis = PwBasis::new(grid.clone(), 1.0);
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+    };
+    let v = RealField::from_fn(grid, |_| amp * next());
+    (basis, v)
+}
+
+fn rand_block(nb: usize, npw: usize, seed: u64) -> Matrix<c64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+    };
+    let mut m = Matrix::from_fn(nb, npw, |_, _| c64::new(next(), next()));
+    ls3df_math::ortho::cholesky_orthonormalize(&mut m, 1.0).unwrap();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn hamiltonian_hermitian_for_any_real_potential(
+        amp in 0.0..3.0f64,
+        seed in 1u64..500,
+    ) {
+        let (basis, v) = basis_and_potential(8, 7.0, amp, seed);
+        let nl = NonlocalPotential::new(
+            &basis,
+            &[[2.0, 3.0, 1.0]],
+            |_, q| (-q * q / 2.0).exp(),
+            &[0.7],
+        );
+        let h = Hamiltonian::new(&basis, v, &nl);
+        let psi = rand_block(4, basis.len(), seed.wrapping_add(7));
+        let hpsi = h.apply_block(&psi);
+        let m = matmul_nh(&psi, &hpsi);
+        prop_assert!(m.hermiticity_error() < 1e-9, "err = {}", m.hermiticity_error());
+    }
+
+    #[test]
+    fn hamiltonian_is_linear(seed in 1u64..500, alpha in -2.0..2.0f64) {
+        let (basis, v) = basis_and_potential(8, 6.0, 0.5, seed);
+        let nl = NonlocalPotential::none(&basis);
+        let h = Hamiltonian::new(&basis, v, &nl);
+        let a = rand_block(2, basis.len(), seed);
+        let b = rand_block(2, basis.len(), seed.wrapping_add(1));
+        // H(a + α·b) = H·a + α·H·b
+        let mut combo = a.clone();
+        combo.add_scaled(c64::real(alpha), &b);
+        let lhs = h.apply_block(&combo);
+        let ha = h.apply_block(&a);
+        let hb = h.apply_block(&b);
+        for i in 0..lhs.rows() {
+            for j in 0..lhs.cols() {
+                let rhs = ha[(i, j)] + hb[(i, j)].scale(alpha);
+                prop_assert!((lhs[(i, j)] - rhs).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn density_nonnegative_and_normalized(seed in 1u64..500, nb in 1usize..5) {
+        let (basis, _) = basis_and_potential(8, 6.0, 0.0, seed);
+        let psi = rand_block(nb, basis.len(), seed);
+        let occ: Vec<f64> = (0..nb).map(|b| if b % 2 == 0 { 2.0 } else { 1.0 }).collect();
+        let n_expect: f64 = occ.iter().sum();
+        let rho = ls3df_pw::density::compute_density(&basis, &psi, &occ);
+        prop_assert!(rho.min() >= -1e-12);
+        prop_assert!((rho.integrate() - n_expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hartree_potential_is_linear_functional(seed in 1u64..200) {
+        let grid = Grid3::cubic(8, 5.0);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        let r1 = RealField::from_fn(grid.clone(), |_| next());
+        let r2 = RealField::from_fn(grid.clone(), |_| next());
+        let v1 = ls3df_pw::hartree::hartree_potential(&r1);
+        let v2 = ls3df_pw::hartree::hartree_potential(&r2);
+        let mut sum = r1.clone();
+        sum.add_scaled(1.5, &r2);
+        let v_sum = ls3df_pw::hartree::hartree_potential(&sum);
+        let mut expect = v1.clone();
+        expect.add_scaled(1.5, &v2);
+        prop_assert!(v_sum.diff(&expect).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn xc_potential_monotone_in_density(rho1 in 0.001..5.0f64, factor in 1.01..5.0f64) {
+        // v_xc is negative and deepens with density.
+        let v1 = ls3df_pw::xc::v_xc(rho1);
+        let v2 = ls3df_pw::xc::v_xc(rho1 * factor);
+        prop_assert!(v1 < 0.0);
+        prop_assert!(v2 < v1);
+    }
+}

@@ -1,0 +1,56 @@
+//! ZnTe₁₋ₓOₓ alloy structure study — the paper's §V/§VII material system,
+//! on the structure side (fast; no SCF): random-alloy generation at the
+//! paper's 3% oxygen fraction, Keating VFF relaxation, and the local
+//! distortion statistics that drive the oxygen-state physics.
+//!
+//! Run: `cargo run --example znteo_alloy --release -- [m] [x_percent]`
+
+use ls3df_atoms::{bond_stats, relax, topology_cutoff, znteo_alloy, Species, ZNTE_LATTICE};
+
+fn main() {
+    let m: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(3);
+    let x: f64 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .map(|p: f64| p / 100.0)
+        .unwrap_or(0.03125);
+
+    println!("ZnTe(1-x)Ox alloys, {m}x{m}x{m} cells, x = {:.4} (paper: 3%)\n", x);
+    println!(
+        "{:>5} {:>16} {:>7} {:>22} {:>22} {:>10}",
+        "seed", "formula", "steps", "Zn-O bonds (Bohr)", "Zn-Te bonds (Bohr)", "max disp"
+    );
+
+    for seed in 0..5u64 {
+        let mut s = znteo_alloy([m, m, m], ZNTE_LATTICE, x, seed);
+        let res = relax(&mut s, 1e-4, 4000);
+        let nbrs = s.neighbor_list_within(topology_cutoff(&s));
+        let zno = bond_stats(&s, &nbrs, Species::Zn, Species::O);
+        let znte = bond_stats(&s, &nbrs, Species::Zn, Species::Te).unwrap();
+        let zno_str = zno
+            .map(|b| format!("{:.3} ± {:.3} ({})", b.mean, b.std_dev, b.count))
+            .unwrap_or_else(|| "(no O)".into());
+        println!(
+            "{:>5} {:>16} {:>7} {:>22} {:>22} {:>9.3}",
+            seed,
+            s.formula(),
+            res.steps,
+            zno_str,
+            format!("{:.3} ± {:.3}", znte.mean, znte.std_dev),
+            res.max_displacement
+        );
+    }
+
+    let ideal = 3.0_f64.sqrt() / 4.0 * ZNTE_LATTICE;
+    println!("\nideal Zn–Te bond: {ideal:.3} Bohr; model Zn–O equilibrium: 3.742 Bohr");
+    println!(
+        "physics check: substitutional O pulls its four Zn neighbors inward (bond\n\
+         contraction of ~1 Bohr) while the Zn–Te matrix stays near the bulk length —\n\
+         this local distortion plus the deeper O potential is what creates the\n\
+         oxygen-induced gap states the paper studies (its Fig. 7)."
+    );
+    println!(
+        "\nnext: the full electronic-structure pipeline on these alloys is the fig6/fig7\n\
+         bench binaries (LS3DF SCF + folded spectrum method)."
+    );
+}

@@ -1,0 +1,9 @@
+//! Facade crate for the LS3DF reproduction workspace.
+pub use ls3df_atoms as atoms;
+pub use ls3df_core as core;
+pub use ls3df_fft as fft;
+pub use ls3df_grid as grid;
+pub use ls3df_hpc as hpc;
+pub use ls3df_math as math;
+pub use ls3df_pseudo as pseudo;
+pub use ls3df_pw as pw;

@@ -1,0 +1,92 @@
+//! Integration test of the complete performance-reproduction pipeline —
+//! the quantitative claims the paper's abstract makes, checked end to end
+//! through the facade crate.
+
+use ls3df::hpc::{
+    crossover_atoms, crossover_sweep, fig3_core_counts, model_row, paper_table1, speed_ratio,
+    strong_scaling, DirectCodeModel, Machine, MachineSpec, Problem,
+};
+
+#[test]
+fn abstract_headline_numbers() {
+    // "we were able to achieve 60.3 Tflop/s … on 30,720 Cray XT4 processor
+    //  cores" and "107.5 Tflop/s on 131,072 cores, or 24.2% of peak".
+    let jaguar_row = paper_table1()
+        .into_iter()
+        .find(|r| r.machine == Machine::Jaguar && r.cores == 30_720 && r.np == 20)
+        .unwrap();
+    let m = model_row(&jaguar_row);
+    assert!((m.tflops - 60.3).abs() < 4.0, "Jaguar headline: {}", m.tflops);
+
+    let intrepid_row = paper_table1()
+        .into_iter()
+        .find(|r| r.cores == 131_072)
+        .unwrap();
+    let m = model_row(&intrepid_row);
+    assert!((m.tflops - 107.5).abs() < 4.0, "Intrepid headline: {}", m.tflops);
+    assert!((m.pct_peak - 0.242).abs() < 0.01, "Intrepid %peak: {}", m.pct_peak);
+}
+
+#[test]
+fn abstract_four_hundred_times_claim() {
+    // "Our 13,824-atom ZnTeO alloy calculation runs 400 times faster than
+    //  a direct DFT calculation, even presuming that the direct DFT
+    //  calculation can scale well up to 17,280 processor cores."
+    let machine = MachineSpec::franklin();
+    let direct = DirectCodeModel::paratec();
+    let ratio = speed_ratio(&machine, &direct, &Problem::new(12, 12, 12), 17_280, 10);
+    assert!((ratio - 400.0).abs() < 80.0, "speed ratio = {ratio}");
+}
+
+#[test]
+fn almost_perfect_parallelization_claim() {
+    // "This leads to almost perfect parallelization on over one hundred
+    //  thousand processors": the PEtot_F phase keeps >90% parallel
+    //  efficiency across the paper's strong-scaling range.
+    let machine = MachineSpec::franklin();
+    let problem = Problem::new(8, 6, 9);
+    let (points, _, fit_petot) = strong_scaling(&machine, &problem, 40, &fig3_core_counts());
+    let last = points.last().unwrap();
+    let ideal = last.cores as f64 / points[0].cores as f64;
+    assert!(last.speedup_petot / ideal > 0.9);
+    // And the fitted serial fraction is tiny (paper: ~1/362,000).
+    assert!(fit_petot.alpha < 1e-4, "α = {}", fit_petot.alpha);
+}
+
+#[test]
+fn crossover_pipeline_runs_end_to_end() {
+    let machine = MachineSpec::franklin();
+    let direct = DirectCodeModel::paratec();
+    let sweep = crossover_sweep(&machine, &direct, 17_280, 40, &[2, 3, 4, 6, 8, 12, 16]);
+    assert_eq!(sweep.len(), 7);
+    // LS3DF times grow linearly once every group has work (fragments ≥
+    // groups, i.e. from m = 6 up at Np = 40 on 17,280 cores); the direct
+    // code grows superlinearly everywhere.
+    let base = sweep.iter().find(|p| p.atoms == 1728).unwrap();
+    let last = sweep.last().unwrap();
+    let t_ls_ratio = last.t_ls3df / base.t_ls3df;
+    let atoms_ratio = last.atoms as f64 / base.atoms as f64;
+    assert!(
+        (t_ls_ratio / atoms_ratio - 1.0).abs() < 0.3,
+        "LS3DF not linear: {t_ls_ratio} vs {atoms_ratio}"
+    );
+    let t_d_ratio = last.t_direct / base.t_direct;
+    assert!(t_d_ratio > 10.0 * atoms_ratio, "direct not superlinear");
+    assert!(crossover_atoms(&sweep).is_some());
+}
+
+#[test]
+fn every_paper_row_is_modeled_within_one_point() {
+    for row in paper_table1() {
+        let m = model_row(&row);
+        assert!(
+            (m.pct_peak - row.paper_pct_peak).abs() < 0.01,
+            "{:?} {:?} cores={}: model {:.1}% vs paper {:.1}%",
+            row.machine,
+            row.m,
+            row.cores,
+            m.pct_peak * 100.0,
+            row.paper_pct_peak * 100.0
+        );
+    }
+}
