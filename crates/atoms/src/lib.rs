@@ -17,8 +17,8 @@ pub mod xyz;
 pub mod zincblende;
 
 pub use species::{bond_params, BondParams, Species};
-pub use structure::{Atom, Structure};
 pub use stats::{bond_stats, BondStats};
-pub use xyz::{read_xyz, write_xyz};
+pub use structure::{Atom, Structure};
 pub use vff::{relax, topology_cutoff, Vff, VffResult};
+pub use xyz::{read_xyz, write_xyz};
 pub use zincblende::{atom_count, znte_supercell, znteo_alloy, ZNTE_LATTICE};

@@ -101,17 +101,41 @@ pub struct BondParams {
 /// does not form bonds in these structures.
 pub fn bond_params(a: Species, b: Species) -> Option<BondParams> {
     use Species::*;
-    let key = if (a as u8) <= (b as u8) { (a, b) } else { (b, a) };
+    let key = if (a as u8) <= (b as u8) {
+        (a, b)
+    } else {
+        (b, a)
+    };
     match key {
         // Zn–Te: a₀(ZnTe) = 11.535 Bohr → d₀ = √3/4·a₀ (exact, so the ideal
         // crystal is the exact VFF minimum).
-        (Zn, Te) => Some(BondParams { d0: 4.994801516, alpha: 0.060, beta: 0.009 }),
+        (Zn, Te) => Some(BondParams {
+            d0: 4.994801516,
+            alpha: 0.060,
+            beta: 0.009,
+        }),
         // Zn–O: much shorter (ZnO wurtzite bond ≈ 1.98 Å ≈ 3.74 Bohr) and stiffer.
-        (Zn, O) => Some(BondParams { d0: 3.742, alpha: 0.110, beta: 0.016 }),
+        (Zn, O) => Some(BondParams {
+            d0: 3.742,
+            alpha: 0.110,
+            beta: 0.016,
+        }),
         // Passivant bonds: fractions of the bulk bond length.
-        (Zn, H) => Some(BondParams { d0: 2.95, alpha: 0.120, beta: 0.010 }),
-        (Te, H) => Some(BondParams { d0: 3.10, alpha: 0.120, beta: 0.010 }),
-        (O, H) => Some(BondParams { d0: 1.83, alpha: 0.160, beta: 0.014 }),
+        (Zn, H) => Some(BondParams {
+            d0: 2.95,
+            alpha: 0.120,
+            beta: 0.010,
+        }),
+        (Te, H) => Some(BondParams {
+            d0: 3.10,
+            alpha: 0.120,
+            beta: 0.010,
+        }),
+        (O, H) => Some(BondParams {
+            d0: 1.83,
+            alpha: 0.160,
+            beta: 0.014,
+        }),
         _ => None,
     }
 }
@@ -130,8 +154,14 @@ mod tests {
 
     #[test]
     fn bond_params_symmetric() {
-        assert_eq!(bond_params(Species::Zn, Species::Te), bond_params(Species::Te, Species::Zn));
-        assert_eq!(bond_params(Species::O, Species::Zn), bond_params(Species::Zn, Species::O));
+        assert_eq!(
+            bond_params(Species::Zn, Species::Te),
+            bond_params(Species::Te, Species::Zn)
+        );
+        assert_eq!(
+            bond_params(Species::O, Species::Zn),
+            bond_params(Species::Zn, Species::O)
+        );
     }
 
     #[test]

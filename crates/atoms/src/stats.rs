@@ -89,7 +89,11 @@ mod tests {
         );
         // Zn–Te bonds stay near the bulk value.
         // At 25% O the matrix is visibly strained; stays within ~8% of bulk.
-        assert!((zn_te.mean - 4.9948).abs() < 0.4, "Zn–Te mean {:.3}", zn_te.mean);
+        assert!(
+            (zn_te.mean - 4.9948).abs() < 0.4,
+            "Zn–Te mean {:.3}",
+            zn_te.mean
+        );
     }
 
     #[test]

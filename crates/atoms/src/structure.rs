@@ -23,7 +23,10 @@ pub struct Structure {
 impl Structure {
     /// Creates a structure, wrapping every atom into the home cell.
     pub fn new(lengths: [f64; 3], mut atoms: Vec<Atom>) -> Self {
-        assert!(lengths.iter().all(|&l| l > 0.0), "Structure: box lengths must be positive");
+        assert!(
+            lengths.iter().all(|&l| l > 0.0),
+            "Structure: box lengths must be positive"
+        );
         for a in &mut atoms {
             for k in 0..3 {
                 a.pos[k] = a.pos[k].rem_euclid(lengths[k]);
@@ -128,9 +131,8 @@ impl Structure {
             return nbrs; // no bondable pairs (e.g. single-species model crystals)
         }
         // Cell-list accelerated search for larger systems.
-        let cells: [usize; 3] = std::array::from_fn(|k| {
-            ((self.lengths[k] / max_cut).floor() as usize).clamp(1, 1 + n)
-        });
+        let cells: [usize; 3] =
+            std::array::from_fn(|k| ((self.lengths[k] / max_cut).floor() as usize).clamp(1, 1 + n));
         let cell_of = |pos: [f64; 3]| -> [usize; 3] {
             std::array::from_fn(|k| {
                 (((pos[k] / self.lengths[k]) * cells[k] as f64).floor() as usize).min(cells[k] - 1)
@@ -186,7 +188,10 @@ mod tests {
     fn positions_wrapped_into_cell() {
         let s = Structure::new(
             [10.0, 10.0, 10.0],
-            vec![Atom { species: Species::Zn, pos: [-1.0, 12.0, 5.0] }],
+            vec![Atom {
+                species: Species::Zn,
+                pos: [-1.0, 12.0, 5.0],
+            }],
         );
         assert_eq!(s.atoms[0].pos, [9.0, 2.0, 5.0]);
     }
@@ -196,8 +201,14 @@ mod tests {
         let s = Structure::new(
             [10.0, 10.0, 10.0],
             vec![
-                Atom { species: Species::Zn, pos: [0.0; 3] },
-                Atom { species: Species::Te, pos: [2.0, 0.0, 0.0] },
+                Atom {
+                    species: Species::Zn,
+                    pos: [0.0; 3],
+                },
+                Atom {
+                    species: Species::Te,
+                    pos: [2.0, 0.0, 0.0],
+                },
             ],
         );
         assert_eq!(s.num_electrons(), 8.0);
@@ -209,8 +220,14 @@ mod tests {
         let s = Structure::new(
             [10.0, 10.0, 10.0],
             vec![
-                Atom { species: Species::Zn, pos: [0.5, 0.0, 0.0] },
-                Atom { species: Species::Te, pos: [9.5, 0.0, 0.0] },
+                Atom {
+                    species: Species::Zn,
+                    pos: [0.5, 0.0, 0.0],
+                },
+                Atom {
+                    species: Species::Te,
+                    pos: [9.5, 0.0, 0.0],
+                },
             ],
         );
         assert!((s.distance(0, 1) - 1.0).abs() < 1e-12);
@@ -222,9 +239,18 @@ mod tests {
         let s = Structure::new(
             [20.0, 20.0, 20.0],
             vec![
-                Atom { species: Species::Zn, pos: [0.0; 3] },
-                Atom { species: Species::Te, pos: [2.88, 2.88, 2.88] }, // ~4.99 Bohr away
-                Atom { species: Species::Te, pos: [10.0, 10.0, 10.0] }, // far
+                Atom {
+                    species: Species::Zn,
+                    pos: [0.0; 3],
+                },
+                Atom {
+                    species: Species::Te,
+                    pos: [2.88, 2.88, 2.88],
+                }, // ~4.99 Bohr away
+                Atom {
+                    species: Species::Te,
+                    pos: [10.0, 10.0, 10.0],
+                }, // far
             ],
         );
         let nbrs = s.neighbor_list(1.15);

@@ -38,8 +38,15 @@ pub struct Vff<'a> {
 impl<'a> Vff<'a> {
     /// Creates the force field for a structure and its neighbor topology.
     pub fn new(structure: &'a Structure, neighbors: &'a [Vec<usize>]) -> Self {
-        assert_eq!(structure.len(), neighbors.len(), "Vff: topology size mismatch");
-        Vff { structure, neighbors }
+        assert_eq!(
+            structure.len(),
+            neighbors.len(),
+            "Vff: topology size mismatch"
+        );
+        Vff {
+            structure,
+            neighbors,
+        }
     }
 
     /// Energy and forces at atom positions `pos` (flattened `3n`); the
@@ -73,7 +80,9 @@ impl<'a> Vff<'a> {
                     continue;
                 }
                 let sj = self.structure.atoms[j].species;
-                let Some(bp) = bond_params(si, sj) else { continue };
+                let Some(bp) = bond_params(si, sj) else {
+                    continue;
+                };
                 let r = disp(i, j);
                 let r2 = r[0] * r[0] + r[1] * r[1] + r[2] * r[2];
                 let d2 = bp.d0 * bp.d0;
@@ -94,8 +103,7 @@ impl<'a> Vff<'a> {
                     let (j, k_at) = (nbrs[a], nbrs[b]);
                     let sj = self.structure.atoms[j].species;
                     let sk = self.structure.atoms[k_at].species;
-                    let (Some(bpj), Some(bpk)) = (bond_params(si, sj), bond_params(si, sk))
-                    else {
+                    let (Some(bpj), Some(bpk)) = (bond_params(si, sj), bond_params(si, sk)) else {
                         continue;
                     };
                     let rij = disp(i, j);
@@ -157,7 +165,11 @@ pub fn relax(structure: &mut Structure, ftol: f64, max_steps: usize) -> VffResul
     let mut max_f = max_component(&forces);
     while max_f > ftol && steps < max_steps {
         // Trial move.
-        let trial: Vec<f64> = pos.iter().zip(&forces).map(|(&x, &f)| x + step * f).collect();
+        let trial: Vec<f64> = pos
+            .iter()
+            .zip(&forces)
+            .map(|(&x, &f)| x + step * f)
+            .collect();
         let mut trial_forces = vec![0.0; 3 * n];
         let trial_energy = vff.energy_forces(&trial, &mut trial_forces);
         if trial_energy < energy {
@@ -192,7 +204,12 @@ pub fn relax(structure: &mut Structure, ftol: f64, max_steps: usize) -> VffResul
             atom.pos[c] = pos[3 * i + c].rem_euclid(structure.lengths[c]);
         }
     }
-    VffResult { energy, max_force: max_f, steps, max_displacement: max_disp }
+    VffResult {
+        energy,
+        max_force: max_f,
+        steps,
+        max_displacement: max_disp,
+    }
 }
 
 fn max_component(v: &[f64]) -> f64 {
@@ -269,7 +286,10 @@ mod tests {
         let res = relax(&mut s, 1e-4, 3000);
         let after = s.distance(zn, o);
         assert!(res.energy >= 0.0);
-        assert!(after < before, "Zn–O bond should contract ({before} → {after})");
+        assert!(
+            after < before,
+            "Zn–O bond should contract ({before} → {after})"
+        );
         // It should move toward the ZnO equilibrium length but not all the
         // way (the lattice resists): strictly between d0(ZnO) and d0(ZnTe).
         assert!(after > 3.742 && after < 4.994);

@@ -38,28 +38,46 @@ pub fn write_xyz(s: &Structure, path: &Path) -> std::io::Result<()> {
 
 /// Reads an XYZ file written by [`write_xyz`] (requires the `Lattice`
 /// comment for the periodic box).
+///
+/// Parse errors carry the file path, 1-based line number, and the field
+/// that failed, so a bad geometry in a 10⁵-atom file is locatable.
 pub fn read_xyz(path: &Path) -> std::io::Result<Structure> {
     let f = std::fs::File::open(path)?;
     let mut lines = std::io::BufReader::new(f).lines();
-    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
-    let n: usize = lines
-        .next()
-        .ok_or_else(|| bad("empty file"))??
+    let bad = |line: usize, m: String| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}:{line}: {m}", path.display()),
+        )
+    };
+    let first = lines.next().ok_or_else(|| bad(1, "empty file".into()))??;
+    let n: usize = first
         .trim()
         .parse()
-        .map_err(|_| bad("bad atom count"))?;
-    let comment = lines.next().ok_or_else(|| bad("missing comment line"))??;
-    let lat_start = comment.find("Lattice=\"").ok_or_else(|| bad("missing Lattice"))? + 9;
+        .map_err(|_| bad(1, format!("bad atom count `{}`", first.trim())))?;
+    let comment = lines
+        .next()
+        .ok_or_else(|| bad(2, "missing comment line".into()))??;
+    let lat_start = comment
+        .find("Lattice=\"")
+        .ok_or_else(|| bad(2, "missing `Lattice=\"…\"` in comment line".into()))?
+        + 9;
     let lat_end = comment[lat_start..]
         .find('"')
-        .ok_or_else(|| bad("unterminated Lattice"))?
+        .ok_or_else(|| bad(2, "unterminated `Lattice=\"…\"`".into()))?
         + lat_start;
-    let nums: Vec<f64> = comment[lat_start..lat_end]
-        .split_whitespace()
-        .map(|t| t.parse().map_err(|_| bad("bad lattice number")))
-        .collect::<Result<_, _>>()?;
+    let mut nums = Vec::with_capacity(9);
+    for (k, t) in comment[lat_start..lat_end].split_whitespace().enumerate() {
+        nums.push(
+            t.parse::<f64>()
+                .map_err(|_| bad(2, format!("lattice entry {k} `{t}` is not a number")))?,
+        );
+    }
     if nums.len() != 9 {
-        return Err(bad("lattice must have 9 entries"));
+        return Err(bad(
+            2,
+            format!("lattice must have 9 entries, found {}", nums.len()),
+        ));
     }
     let lengths = [
         nums[0] * BOHR_PER_ANGSTROM,
@@ -67,25 +85,40 @@ pub fn read_xyz(path: &Path) -> std::io::Result<Structure> {
         nums[8] * BOHR_PER_ANGSTROM,
     ];
     let mut atoms = Vec::with_capacity(n);
-    for _ in 0..n {
-        let line = lines.next().ok_or_else(|| bad("truncated atom list"))??;
+    for i in 0..n {
+        let line_no = 3 + i;
+        let line = lines.next().ok_or_else(|| {
+            bad(
+                line_no,
+                format!("truncated atom list: atom {i} of {n} missing"),
+            )
+        })??;
         let mut tok = line.split_whitespace();
-        let sym = tok.next().ok_or_else(|| bad("missing species"))?;
+        let sym = tok
+            .next()
+            .ok_or_else(|| bad(line_no, format!("atom {i}: missing species")))?;
         let species = match sym {
             "Zn" => Species::Zn,
             "Te" => Species::Te,
             "O" => Species::O,
             "H" => Species::H,
-            other => return Err(bad(&format!("unknown species {other}"))),
+            other => return Err(bad(line_no, format!("atom {i}: unknown species `{other}`"))),
         };
         let mut pos = [0.0; 3];
-        for p in pos.iter_mut() {
-            *p = tok
-                .next()
-                .ok_or_else(|| bad("missing coordinate"))?
-                .parse::<f64>()
-                .map_err(|_| bad("bad coordinate"))?
-                * BOHR_PER_ANGSTROM;
+        for (axis, p) in pos.iter_mut().enumerate() {
+            let axis_name = ["x", "y", "z"][axis];
+            let t = tok.next().ok_or_else(|| {
+                bad(
+                    line_no,
+                    format!("atom {i} ({sym}): missing {axis_name} coordinate"),
+                )
+            })?;
+            *p = t.parse::<f64>().map_err(|_| {
+                bad(
+                    line_no,
+                    format!("atom {i} ({sym}): bad {axis_name} coordinate `{t}`"),
+                )
+            })? * BOHR_PER_ANGSTROM;
         }
         atoms.push(Atom { species, pos });
     }
@@ -125,6 +158,37 @@ mod tests {
         let path = dir.join("garbage.xyz");
         std::fs::write(&path, "definitely\nnot xyz\n").unwrap();
         assert!(read_xyz(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_carry_line_and_field_context() {
+        let dir = std::env::temp_dir().join("ls3df_xyz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.xyz");
+        let header = "2\nLattice=\"10 0 0 0 10 0 0 0 10\" Properties=species:S:1:pos:R:3\n";
+
+        std::fs::write(&path, format!("{header}Zn 1.0 2.0 3.0\nTe 4.0 oops 6.0\n")).unwrap();
+        let msg = read_xyz(&path).unwrap_err().to_string();
+        assert!(msg.contains(":4:"), "line number missing: {msg}");
+        assert!(
+            msg.contains("atom 1 (Te): bad y coordinate `oops`"),
+            "field missing: {msg}"
+        );
+
+        std::fs::write(&path, format!("{header}Zn 1.0 2.0 3.0\n")).unwrap();
+        let msg = read_xyz(&path).unwrap_err().to_string();
+        assert!(
+            msg.contains("atom 1 of 2 missing"),
+            "truncation context missing: {msg}"
+        );
+
+        std::fs::write(&path, "x\n").unwrap();
+        let msg = read_xyz(&path).unwrap_err().to_string();
+        assert!(
+            msg.contains(":1:") && msg.contains("bad atom count `x`"),
+            "{msg}"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -69,7 +69,10 @@ pub fn znte_supercell(m: [usize; 3], a: f64) -> Structure {
 ///
 /// The paper uses x ≈ 0.03 ("3% of Te atoms being replaced by oxygen").
 pub fn znteo_alloy(m: [usize; 3], a: f64, x_oxygen: f64, seed: u64) -> Structure {
-    assert!((0.0..=1.0).contains(&x_oxygen), "znteo_alloy: x must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&x_oxygen),
+        "znteo_alloy: x must be in [0,1]"
+    );
     let mut s = znte_supercell(m, a);
     let te_sites: Vec<usize> = s
         .atoms
@@ -157,9 +160,16 @@ mod tests {
         // Paper Fig. 6 caption: Zn1728 Te1674 O54 for the 8×6×9 system at 3%.
         let s = znteo_alloy([8, 6, 9], ZNTE_LATTICE, 0.03, 1);
         assert_eq!(s.count(Species::Zn), 1728);
-        assert_eq!(s.count(Species::O), ((1728.0 * 0.03) as f64).round() as usize);
+        assert_eq!(s.count(Species::O), (1728.0_f64 * 0.03).round() as usize);
         assert_eq!(s.count(Species::Te), 1728 - s.count(Species::O));
-        assert_eq!(s.formula(), format!("Zn1728Te{}O{}", 1728 - s.count(Species::O), s.count(Species::O)));
+        assert_eq!(
+            s.formula(),
+            format!(
+                "Zn1728Te{}O{}",
+                1728 - s.count(Species::O),
+                s.count(Species::O)
+            )
+        );
     }
 
     #[test]

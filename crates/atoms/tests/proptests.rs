@@ -1,6 +1,8 @@
 //! Property-based tests for the atomic-structure substrate.
 
-use ls3df_atoms::{topology_cutoff, znte_supercell, znteo_alloy, Species, Structure, Vff, ZNTE_LATTICE};
+use ls3df_atoms::{
+    topology_cutoff, znte_supercell, znteo_alloy, Species, Structure, Vff, ZNTE_LATTICE,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -27,7 +29,7 @@ proptest! {
         // Substitution never changes totals: anion sites = cation sites.
         prop_assert_eq!(s.count(Species::Zn), 32);
         prop_assert_eq!(s.count(Species::Te) + s.count(Species::O), 32);
-        let expect_o = ((32.0 * x) as f64).round() as usize;
+        let expect_o = (32.0 * x).round() as usize;
         prop_assert_eq!(s.count(Species::O), expect_o);
     }
 

@@ -12,7 +12,9 @@ use ls3df_pw::{Hamiltonian, NonlocalPotential, PwBasis};
 fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<c64> {
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
     };
     Matrix::from_fn(rows, cols, |_, _| c64::new(next(), next()))
@@ -26,18 +28,24 @@ fn bench_gemm(c: &mut Criterion) {
     for &(m, k, n) in &[(64usize, 512usize, 64usize), (128, 1024, 128)] {
         let a = rand_matrix(m, k, 1);
         let b = rand_matrix(k, n, 2);
-        g.bench_with_input(BenchmarkId::new("blocked", format!("{m}x{k}x{n}")), &(), |bch, _| {
-            bch.iter(|| matmul(&a, &b))
-        });
-        g.bench_with_input(BenchmarkId::new("naive", format!("{m}x{k}x{n}")), &(), |bch, _| {
-            bch.iter(|| matmul_naive(&a, &b))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("blocked", format!("{m}x{k}x{n}")),
+            &(),
+            |bch, _| bch.iter(|| matmul(&a, &b)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("naive", format!("{m}x{k}x{n}")),
+            &(),
+            |bch, _| bch.iter(|| matmul_naive(&a, &b)),
+        );
     }
     // The overlap shape S = Ψ·Ψᴴ of the all-band orthogonalization:
     // general product vs the specialized half-flop Hermitian kernel
     // (paper §IV future-work item #2).
     let psi = rand_matrix(96, 2048, 3);
-    g.bench_function("overlap_general_96x2048", |b| b.iter(|| matmul_nh(&psi, &psi)));
+    g.bench_function("overlap_general_96x2048", |b| {
+        b.iter(|| matmul_nh(&psi, &psi))
+    });
     g.bench_function("overlap_hermitian_96x2048", |b| {
         b.iter(|| ls3df_math::overlap_hermitian(&psi, 1.0))
     });
@@ -73,20 +81,28 @@ fn bench_ortho(c: &mut Criterion) {
     g.sample_size(10);
     for &(nb, npw) in &[(32usize, 1024usize), (64, 2048)] {
         let block = rand_matrix(nb, npw, 7);
-        g.bench_with_input(BenchmarkId::new("gram_schmidt", format!("{nb}x{npw}")), &(), |b, _| {
-            b.iter(|| {
-                let mut x = block.clone();
-                gram_schmidt(&mut x, 1.0).unwrap();
-                x
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("cholesky", format!("{nb}x{npw}")), &(), |b, _| {
-            b.iter(|| {
-                let mut x = block.clone();
-                cholesky_orthonormalize(&mut x, 1.0).unwrap();
-                x
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("gram_schmidt", format!("{nb}x{npw}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut x = block.clone();
+                    gram_schmidt(&mut x, 1.0).unwrap();
+                    x
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("cholesky", format!("{nb}x{npw}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut x = block.clone();
+                    cholesky_orthonormalize(&mut x, 1.0).unwrap();
+                    x
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -97,7 +113,13 @@ fn bench_hamiltonian(c: &mut Criterion) {
     let basis = PwBasis::new(grid.clone(), 1.5);
     let v = RealField::from_fn(grid, |r| 0.1 * (r[0] - 6.0));
     let positions: Vec<[f64; 3]> = (0..8)
-        .map(|i| [(i % 2) as f64 * 6.0 + 3.0, ((i / 2) % 2) as f64 * 6.0 + 3.0, (i / 4) as f64 * 6.0 + 3.0])
+        .map(|i| {
+            [
+                (i % 2) as f64 * 6.0 + 3.0,
+                ((i / 2) % 2) as f64 * 6.0 + 3.0,
+                (i / 4) as f64 * 6.0 + 3.0,
+            ]
+        })
         .collect();
     let e_kb = vec![1.0; 8];
     let nl = NonlocalPotential::new(&basis, &positions, |_, q| (-q * q / 2.0).exp(), &e_kb);

@@ -11,14 +11,19 @@
 
 use ls3df_hpc::{iteration_time, CommAlgo, MachineSpec, Problem};
 use ls3df_math::{c64, Matrix};
-use ls3df_pw::{solve_all_band, solve_band_by_band, Hamiltonian, NonlocalPotential, PwBasis, SolverOptions};
+use ls3df_pw::{
+    solve_all_band, solve_band_by_band, Hamiltonian, NonlocalPotential, PwBasis, SolverOptions,
+};
 use std::time::Instant;
 
 fn main() {
     // ---- 1. Communication algorithm (model) ------------------------------
     println!("ablation 1 — Gen_VF/Gen_dens/GENPOT communication algorithm (model)");
     let p = Problem::new(8, 6, 9); // the 2,000-atom CdSe rod analogue scale
-    println!("{:>16} {:>14} {:>20}", "algorithm", "comm (s)", "share of iteration");
+    println!(
+        "{:>16} {:>14} {:>20}",
+        "algorithm", "comm (s)", "share of iteration"
+    );
     for (name, algo) in [
         ("file I/O", CommAlgo::FileIo),
         ("collectives", CommAlgo::Collective),
@@ -48,10 +53,18 @@ fn main() {
     let nl = NonlocalPotential::none(&basis);
     let h = Hamiltonian::new(&basis, v, &nl);
     let nb = 32;
-    println!("  basis: {} planewaves × {} bands, target residual 1e-5", basis.len(), nb);
+    println!(
+        "  basis: {} planewaves × {} bands, target residual 1e-5",
+        basis.len(),
+        nb
+    );
     // Time-to-tolerance comparison (the fair metric: both must reach the
     // same residual).
-    let opts = SolverOptions { max_iter: 120, tol: 1e-5, ..Default::default() };
+    let opts = SolverOptions {
+        max_iter: 120,
+        tol: 1e-5,
+        ..Default::default()
+    };
 
     let mut psi_a = ls3df_pw::scf::random_start(nb, &basis, 1);
     let t = Instant::now();
@@ -104,7 +117,9 @@ fn main() {
     // ---- 4. GEMM kernel (measured; paper's DGEMM-sized matrices) ----------
     println!("\nablation 4 — GEMM kernel at the paper's typical fragment shape (measured)");
     let (m, k, n) = (200, 3000, 200); // paper: 'typical matrix … 3000 × 200'
-    let a = Matrix::from_fn(m, k, |i, j| c64::new((i + j) as f64 * 1e-4, (i as f64 - j as f64) * 1e-4));
+    let a = Matrix::from_fn(m, k, |i, j| {
+        c64::new((i + j) as f64 * 1e-4, (i as f64 - j as f64) * 1e-4)
+    });
     let b = Matrix::from_fn(k, n, |i, j| c64::new((i * j % 17) as f64 * 1e-3, 0.1));
     let t = Instant::now();
     let _ = ls3df_math::gemm::matmul(&a, &b);
@@ -135,13 +150,17 @@ fn main() {
     for z in 0..3 {
         for y in 0..3 {
             for x in 0..3 {
-                positions.push([2.0 + 4.0 * x as f64, 2.0 + 4.0 * y as f64, 2.0 + 4.0 * z as f64]);
+                positions.push([
+                    2.0 + 4.0 * x as f64,
+                    2.0 + 4.0 * y as f64,
+                    2.0 + 4.0 * z as f64,
+                ]);
             }
         }
     }
     let rb = vec![1.2; 27];
     let e_kb = vec![1.0; 27];
-    let nl_q = ls3df_pw::NonlocalPotential::new(
+    let nl_q = NonlocalPotential::new(
         &basis,
         &positions,
         |a, q| (-q * q * rb[a] * rb[a] / 2.0).exp(),

@@ -35,15 +35,29 @@ fn main() {
             Passivation::WallOnly,
         )
     };
-    println!("system: {} ({} atoms, {} electrons)", s.formula(), s.len(), s.num_electrons());
+    println!(
+        "system: {} ({} atoms, {} electrons)",
+        s.formula(),
+        s.len(),
+        s.num_electrons()
+    );
 
     // Direct reference.
     let grid = ls3df_grid::Grid3::new([m * piece_pts; 3], s.lengths);
-    let sys = DftSystem { grid, ecut, atoms: to_pw_atoms(&s, &table) };
+    let sys = DftSystem {
+        grid,
+        ecut,
+        atoms: to_pw_atoms(&s, &table),
+    };
     let t = std::time::Instant::now();
     let direct = ls3df_pw::scf(
         &sys,
-        &ScfOptions { max_scf: 60, tol: 1e-5, n_extra_bands: 4, ..Default::default() },
+        &ScfOptions {
+            max_scf: 60,
+            tol: 1e-5,
+            n_extra_bands: 4,
+            ..Default::default()
+        },
     );
     println!(
         "direct DFT: converged={} ({} iters, {:.0}s), E = {:.6} Ha",
@@ -63,7 +77,10 @@ fn main() {
         n_extra_bands: 2,
         cg_steps: 8,
         fragment_tol: 1e-8,
-        mixer: Mixer::Kerker { alpha: 0.6, q0: 0.8 },
+        mixer: Mixer::Kerker {
+            alpha: 0.6,
+            q0: 0.8,
+        },
         max_scf: 40,
         tol: 3e-3,
         pseudo: table,
@@ -98,13 +115,20 @@ fn main() {
     let stats = solve_all_band(
         &h,
         &mut psi,
-        &SolverOptions { max_iter: 250, tol: 1e-7, ..Default::default() },
+        &SolverOptions {
+            max_iter: 250,
+            tol: 1e-7,
+            ..Default::default()
+        },
     );
 
     let n_occ = sys.n_occupied();
     println!("\naccuracy vs direct LDA (paper §V targets in parentheses):");
     let drho = res.rho.diff(&direct.rho);
-    println!("  ∫|Δρ|/N_e                = {:.3e}", drho.integrate_abs() / s.num_electrons());
+    println!(
+        "  ∫|Δρ|/N_e                = {:.3e}",
+        drho.integrate_abs() / s.num_electrons()
+    );
     let mut max_occ = 0.0_f64;
     let mut mean_occ = 0.0;
     for b in 0..n_occ {
@@ -137,8 +161,8 @@ fn main() {
         .map(|(&v, &r)| v * r)
         .sum::<f64>()
         * basis.grid().dv();
-    let e_ls3df = band - vin_rho + energies.ion_rho + energies.hartree + energies.xc
-        + sys.ewald_energy();
+    let e_ls3df =
+        band - vin_rho + energies.ion_rho + energies.hartree + energies.xc + sys.ewald_energy();
     let de = (e_ls3df - direct.total_energy) / s.len() as f64 * 27211.4;
     println!(
         "  total energy: LS3DF {:.6} vs direct {:.6} Ha → Δ = {:.1} meV/atom   (paper: 'a few meV per atom')",

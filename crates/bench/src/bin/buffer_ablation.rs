@@ -31,7 +31,11 @@ fn main() {
     };
     let direct = ls3df_pw::scf(
         &sys,
-        &ScfOptions { max_scf: 80, tol: 1e-5, ..Default::default() },
+        &ScfOptions {
+            max_scf: 80,
+            tol: 1e-5,
+            ..Default::default()
+        },
     );
     println!(
         "reference: direct DFT on {} ({} iterations, converged = {})\n",
@@ -55,7 +59,10 @@ fn main() {
             cg_steps: 6,
             initial_cg_steps: 25,
             fragment_tol: 1e-7,
-            mixer: Mixer::Kerker { alpha: 0.5, q0: 0.8 },
+            mixer: Mixer::Kerker {
+                alpha: 0.5,
+                q0: 0.8,
+            },
             max_scf: 12,
             tol: 1e-5,
             pseudo: table,
@@ -70,7 +77,10 @@ fn main() {
             buffer,
             piece_pts + 2 * buffer,
             err,
-            res.history.last().map(|h| h.dv_integral).unwrap_or(f64::NAN),
+            res.history
+                .last()
+                .map(|h| h.dv_integral)
+                .unwrap_or(f64::NAN),
             t.elapsed().as_secs_f64()
         );
     }

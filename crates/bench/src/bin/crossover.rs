@@ -11,7 +11,9 @@
 
 use ls3df_bench::{arg, model_crystal, to_pw_atoms};
 use ls3df_core::{Ls3df, Ls3dfOptions, Passivation};
-use ls3df_hpc::{crossover_atoms, crossover_sweep, speed_ratio, DirectCodeModel, MachineSpec, Problem};
+use ls3df_hpc::{
+    crossover_atoms, crossover_sweep, speed_ratio, DirectCodeModel, MachineSpec, Problem,
+};
 use ls3df_pseudo::PseudoTable;
 use ls3df_pw::{DftSystem, Mixer, ScfOptions};
 use std::time::Instant;
@@ -20,9 +22,18 @@ fn main() {
     // ---- Part 1: paper-scale model --------------------------------------
     let machine = MachineSpec::franklin();
     let direct = DirectCodeModel::paratec();
-    let sweep = crossover_sweep(&machine, &direct, 17280, 40, &[2, 3, 4, 5, 6, 8, 10, 12, 16]);
+    let sweep = crossover_sweep(
+        &machine,
+        &direct,
+        17280,
+        40,
+        &[2, 3, 4, 5, 6, 8, 10, 12, 16],
+    );
     println!("crossover (model, Franklin, 17,280 cores): t per SCF iteration");
-    println!("{:>8} {:>14} {:>14} {:>10}", "atoms", "LS3DF (s)", "direct (s)", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "atoms", "LS3DF (s)", "direct (s)", "ratio"
+    );
     for p in &sweep {
         println!(
             "{:>8} {:>14.2} {:>14.2} {:>10.2}",
@@ -70,7 +81,11 @@ fn main() {
         let t = Instant::now();
         let _ = ls3df_pw::scf(
             &sys,
-            &ScfOptions { max_scf: n_iter, tol: 1e-30, ..Default::default() },
+            &ScfOptions {
+                max_scf: n_iter,
+                tol: 1e-30,
+                ..Default::default()
+            },
         );
         let t_direct = t.elapsed().as_secs_f64() / n_iter as f64;
 
@@ -86,7 +101,10 @@ fn main() {
             // Uniform iterations for a fair per-iteration timing.
             initial_cg_steps: 5,
             fragment_tol: 1e-12,
-            mixer: Mixer::Kerker { alpha: 0.6, q0: 0.8 },
+            mixer: Mixer::Kerker {
+                alpha: 0.6,
+                q0: 0.8,
+            },
             max_scf: n_iter,
             tol: 1e-30,
             pseudo: table,

@@ -10,7 +10,8 @@ fn main() {
     let machine = MachineSpec::franklin();
     let problem = Problem::new(8, 6, 9);
     let cores = fig3_core_counts();
-    let (points, fit_ls3df, fit_petot) = strong_scaling(&machine, &problem, 40, &cores);
+    let (points, fit_ls3df, fit_petot) =
+        strong_scaling(&machine, &problem, 40, &cores).expect("Amdahl fit degenerate");
 
     println!("Figure 3 — strong scaling speedups (8x6x9, 3,456 atoms, Np = 40, Franklin)");
     println!("{}", "-".repeat(78));

@@ -30,7 +30,10 @@ fn main() {
 
     println!("Figure 4 — computational efficiency vs cores on Franklin (model)");
     println!("{}", "-".repeat(60));
-    println!("{:>8} {:>8} {:>5} {:>12}", "atoms", "cores", "Np", "efficiency");
+    println!(
+        "{:>8} {:>8} {:>5} {:>12}",
+        "atoms", "cores", "Np", "efficiency"
+    );
     for p in &pts {
         let bar = "#".repeat((p.efficiency * 100.0).round() as usize / 2);
         println!(
@@ -61,8 +64,16 @@ fn main() {
             spread * 100.0
         );
     }
-    let lo = pts.iter().filter(|p| p.cores <= 1080).map(|p| p.efficiency).fold(0.0, f64::max);
-    let hi = pts.iter().filter(|p| p.cores >= 16000).map(|p| p.efficiency).fold(0.0, f64::max);
+    let lo = pts
+        .iter()
+        .filter(|p| p.cores <= 1080)
+        .map(|p| p.efficiency)
+        .fold(0.0, f64::max);
+    let hi = pts
+        .iter()
+        .filter(|p| p.cores >= 16000)
+        .map(|p| p.efficiency)
+        .fold(0.0, f64::max);
     println!(
         "best efficiency ≤1,080 cores: {:.1}%, ≥16,000 cores: {:.1}% \
          (paper: slight drop at very high concurrency from Gen_VF/Gen_dens)",

@@ -6,10 +6,13 @@
 
 use ls3df_hpc::{weak_scaling, MachineSpec, Problem};
 
+/// (problem, cores, cores-per-group) triples for one machine's curve.
+type RunSet = Vec<(Problem, usize, usize)>;
+
 fn main() {
     println!("Figure 5 — weak scaling flop rates on different machines (model)");
 
-    let sets: Vec<(MachineSpec, Vec<(Problem, usize, usize)>)> = vec![
+    let sets: Vec<(MachineSpec, RunSet)> = vec![
         (
             MachineSpec::franklin(),
             vec![
@@ -45,7 +48,10 @@ fn main() {
 
     for (machine, runs) in &sets {
         println!("\n{}", machine.name);
-        println!("{:>9} {:>8} {:>12} {:>12}", "cores", "atoms", "Tflop/s", "log-log slope");
+        println!(
+            "{:>9} {:>8} {:>12} {:>12}",
+            "cores", "atoms", "Tflop/s", "log-log slope"
+        );
         let pts = weak_scaling(machine, runs);
         let mut prev: Option<(usize, f64)> = None;
         for p in &pts {
@@ -53,7 +59,10 @@ fn main() {
                 .map(|(c0, t0)| (p.tflops / t0).log2() / (p.cores as f64 / c0 as f64).log2())
                 .map(|s| format!("{s:.3}"))
                 .unwrap_or_else(|| "-".into());
-            println!("{:>9} {:>8} {:>12.2} {:>12}", p.cores, p.atoms, p.tflops, slope);
+            println!(
+                "{:>9} {:>8} {:>12.2} {:>12}",
+                p.cores, p.atoms, p.tflops, slope
+            );
             prev = Some((p.cores, p.tflops));
         }
     }

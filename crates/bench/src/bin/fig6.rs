@@ -41,7 +41,10 @@ fn main() {
         cg_steps: 12,
         initial_cg_steps: 40,
         fragment_tol: 5e-2,
-        mixer: Mixer::Kerker { alpha: 0.4, q0: 1.0 },
+        mixer: Mixer::Kerker {
+            alpha: 0.4,
+            q0: 1.0,
+        },
         max_scf: iters,
         tol: 1e-3,
         pseudo: PseudoTable::default(),
@@ -60,7 +63,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     println!("\nFigure 6 — ∫|V_out − V_in| d³r vs SCF iteration (measured)");
     println!("{}", "-".repeat(72));
-    println!("{:>5} {:>14} {:>11} | {:>8} {:>8} {:>8} {:>8}", "iter", "∫|ΔV| (a.u.)", "residual", "Gen_VF", "PEtot_F", "Gendens", "GENPOT");
+    println!(
+        "{:>5} {:>14} {:>11} | {:>8} {:>8} {:>8} {:>8}",
+        "iter", "∫|ΔV| (a.u.)", "residual", "Gen_VF", "PEtot_F", "Gendens", "GENPOT"
+    );
     use std::io::Write as _;
     let res = ls.scf_with(|h| {
         println!(

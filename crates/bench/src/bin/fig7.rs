@@ -38,7 +38,10 @@ fn main() {
         cg_steps: 12,
         initial_cg_steps: 40,
         fragment_tol: 5e-2,
-        mixer: Mixer::Kerker { alpha: 0.4, q0: 1.0 },
+        mixer: Mixer::Kerker {
+            alpha: 0.4,
+            q0: 1.0,
+        },
         max_scf: iters,
         tol: 1e-3,
         pseudo: PseudoTable::default(),
@@ -54,7 +57,11 @@ fn main() {
         }
         _ => {
             let res = ls.scf();
-            println!("LS3DF: {} iterations, converged = {}", res.history.len(), res.converged);
+            println!(
+                "LS3DF: {} iterations, converged = {}",
+                res.history.len(),
+                res.converged
+            );
             // Save for reruns (the FSM stage may be iterated on separately).
             std::fs::create_dir_all("target/checkpoints").ok();
             if ls3df_grid::save_field(&res.v_eff, &ck).is_ok() {
@@ -85,23 +92,43 @@ fn main() {
     let t0 = std::time::Instant::now();
     let states = if let Some(e_ref) = std::env::args().nth(4).and_then(|v| v.parse::<f64>().ok()) {
         println!("\nFolded spectrum method at ε_ref = {e_ref} Ha:");
-        folded_spectrum(&h, e_ref, &FsmOptions { n_states, max_iter: 250, tol: 1e-5 }, 17)
+        folded_spectrum(
+            &h,
+            e_ref,
+            &FsmOptions {
+                n_states,
+                max_iter: 250,
+                tol: 1e-5,
+            },
+            17,
+        )
     } else {
         let refs = [0.18, 0.28, 0.38];
         println!("\nFolded spectrum scan at ε_ref ∈ {refs:?} Ha (band-edge states):");
         ls3df_core::scan_band(
             &h,
             &refs,
-            &FsmOptions { n_states: n_states.max(3), max_iter: 250, tol: 1e-5 },
+            &FsmOptions {
+                n_states: n_states.max(3),
+                max_iter: 250,
+                tol: 1e-5,
+            },
             17,
         )
     };
-    println!("  {} states in {:.0}s", states.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "  {} states in {:.0}s",
+        states.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     let o_radius = 4.0; // Bohr sphere around each O site
     let vol_frac =
         analysis::species_volume_fraction(basis.grid(), &s, ls3df_atoms::Species::O, o_radius);
-    println!("\nFigure 7 analysis (O volume fraction baseline = {:.3}):", vol_frac);
+    println!(
+        "\nFigure 7 analysis (O volume fraction baseline = {:.3}):",
+        vol_frac
+    );
     println!("{}", "-".repeat(74));
     println!(
         "{:>3} {:>11} {:>11} {:>8} {:>10} {:>12}",

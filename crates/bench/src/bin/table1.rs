@@ -10,7 +10,16 @@ fn main() {
     println!("{}", "-".repeat(86));
     println!(
         "{:<10} {:>9} {:>6} {:>7} {:>4} | {:>9} {:>7} | {:>9} {:>7} | {:>6}",
-        "machine", "sys size", "atoms", "cores", "Np", "model Tf", "model %", "paper Tf", "paper %", "Δ%pk"
+        "machine",
+        "sys size",
+        "atoms",
+        "cores",
+        "Np",
+        "model Tf",
+        "model %",
+        "paper Tf",
+        "paper %",
+        "Δ%pk"
     );
     println!("{}", "-".repeat(86));
     let mut last = None;
@@ -51,9 +60,14 @@ fn main() {
         max_err
     );
     println!("\nheadlines:");
-    println!("  paper: 60.3 Tflop/s on 30,720 Jaguar cores; 107.5 Tflop/s on 131,072 Intrepid cores");
+    println!(
+        "  paper: 60.3 Tflop/s on 30,720 Jaguar cores; 107.5 Tflop/s on 131,072 Intrepid cores"
+    );
     let rows = paper_table1();
-    for r in rows.iter().filter(|r| r.cores == 30_720 && r.np == 20 || r.cores == 131_072) {
+    for r in rows
+        .iter()
+        .filter(|r| r.cores == 30_720 && r.np == 20 || r.cores == 131_072)
+    {
         let m = model_row(r);
         println!(
             "  model: {:>6.1} Tflop/s on {:>7} cores ({:.1}% of peak)",

@@ -29,7 +29,12 @@ pub fn to_pw_atoms(s: &Structure, table: &PseudoTable) -> Vec<PwAtom> {
         .iter()
         .map(|a| {
             let p = table.get(a.species);
-            PwAtom { pos: a.pos, local: p.local, kb_rb: p.kb.rb, kb_energy: p.kb.e_kb }
+            PwAtom {
+                pos: a.pos,
+                local: p.local,
+                kb_rb: p.kb.rb,
+                kb_energy: p.kb.e_kb,
+            }
         })
         .collect()
 }
@@ -44,7 +49,11 @@ pub fn model_crystal(m: [usize; 3], a: f64) -> Structure {
             for i in 0..m[0] {
                 atoms.push(ls3df_atoms::Atom {
                     species: ls3df_atoms::Species::Zn,
-                    pos: [(i as f64 + 0.5) * a, (j as f64 + 0.5) * a, (k as f64 + 0.5) * a],
+                    pos: [
+                        (i as f64 + 0.5) * a,
+                        (j as f64 + 0.5) * a,
+                        (k as f64 + 0.5) * a,
+                    ],
                 });
             }
         }

@@ -152,8 +152,14 @@ mod tests {
         let s = Structure::new(
             [10.0, 10.0, 10.0],
             vec![
-                Atom { species: Species::O, pos: [5.0, 5.0, 5.0] },
-                Atom { species: Species::Zn, pos: [0.0, 0.0, 0.0] },
+                Atom {
+                    species: Species::O,
+                    pos: [5.0, 5.0, 5.0],
+                },
+                Atom {
+                    species: Species::Zn,
+                    pos: [0.0, 0.0, 0.0],
+                },
             ],
         );
         // Density concentrated at the O site.
@@ -168,7 +174,10 @@ mod tests {
         let wu = species_weight(&uniform, &s, Species::O, 2.5);
         let vf = species_volume_fraction(&grid, &s, Species::O, 2.5);
         assert!((wu - vf).abs() < 1e-12);
-        assert!(w > 5.0 * vf, "clustered state must exceed the volume baseline");
+        assert!(
+            w > 5.0 * vf,
+            "clustered state must exceed the volume baseline"
+        );
     }
 
     #[test]
@@ -203,7 +212,10 @@ mod tests {
         let grid = Grid3::cubic(6, 4.0);
         let s = Structure::new(
             [4.0, 4.0, 4.0],
-            vec![Atom { species: Species::Zn, pos: [1.0, 1.0, 1.0] }],
+            vec![Atom {
+                species: Species::Zn,
+                pos: [1.0, 1.0, 1.0],
+            }],
         );
         let d = RealField::constant(grid.clone(), 1.0);
         assert_eq!(species_weight(&d, &s, Species::O, 1.0), 0.0);

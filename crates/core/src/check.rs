@@ -1,0 +1,256 @@
+//! Runtime numeric invariants for the LS3DF pipeline.
+//!
+//! LS3DF's accuracy claim rests on the sign-alternating patching sum
+//! `ρ_tot = Σ_F α_F ρ_F` reproducing direct DFT to meV/atom (paper
+//! §Gen_dens). A silently-propagated NaN, a non-conserved charge, or a
+//! schedule-dependent reduction order destroys that claim without failing
+//! any test — so the SCF loop re-derives the invariants at every step
+//! when checking is active:
+//!
+//! * **finiteness** — every field/wavefunction produced by an SCF step is
+//!   NaN/Inf-free; the first offending step taints the run with its name
+//!   (`Gen_VF`, `PEtot_F`, `Gen_dens`, `GENPOT`);
+//! * **charge conservation** — the patched density integrates to the
+//!   global electron count *before* Gen_dens renormalizes it;
+//! * **partition of unity** — the `α_F` weights sum to exactly 1 on every
+//!   grid point (checked once at assembly);
+//! * **orthonormality** — fragment wavefunction blocks stay orthonormal
+//!   after each PEtot_F eigensolver pass.
+//!
+//! Checking is compiled in for debug/test builds and for release builds
+//! with the `validate` feature; otherwise [`ENABLED`] is `false` and
+//! every check site folds away to nothing (zero release-mode cost).
+//!
+//! A violated invariant is a programming error (or corrupted state), not
+//! an environmental condition, so [`enforce`] aborts the computation by
+//! panicking with the step name — the same contract as `debug_assert!`.
+
+use ls3df_grid::RealField;
+use ls3df_math::{c64, Matrix};
+
+/// Whether invariant checking is active in this build.
+pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "validate"));
+
+/// Relative tolerance for pre-normalization charge conservation. The
+/// patched charge drifts from the exact electron count while the outer
+/// loop is unconverged (overlap regions disagree between fragments), so
+/// this is a gross-corruption detector, not a convergence test.
+pub const CHARGE_TOL_REL: f64 = 0.25;
+
+/// Orthonormality residual allowed for a fragment wavefunction block
+/// after an eigensolver pass (the solvers re-orthonormalize every
+/// iteration; anything worse than this means the block degenerated).
+pub const ORTHO_TOL: f64 = 1e-6;
+
+/// Allowed deviation of the per-grid-point `Σ_F α_F` patching weight
+/// from 1 (exact integer cancellation — any deviation is a geometry bug).
+pub const WEIGHT_TOL: f64 = 0.0;
+
+/// A violated numeric invariant: which SCF step produced the bad value,
+/// and what was wrong with it.
+#[derive(Clone, Debug)]
+pub struct InvariantViolation {
+    /// SCF step name (`Gen_VF`, `PEtot_F`, `Gen_dens`, `GENPOT`, …).
+    pub step: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LS3DF invariant violated at {}: {}",
+            self.step, self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Panics on a violation (the `debug_assert!` contract: invariant
+/// violations are programming errors and must not propagate silently).
+pub fn enforce(result: Result<(), InvariantViolation>) {
+    if let Err(v) = result {
+        panic!("{v}");
+    }
+}
+
+/// Every sample of `field` is finite; on failure reports the first
+/// offending grid index and value, tainted with `step`.
+pub fn finite_field(step: &str, field: &RealField) -> Result<(), InvariantViolation> {
+    match field.as_slice().iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(idx) => Err(InvariantViolation {
+            step: step.to_string(),
+            detail: format!(
+                "non-finite value {} at grid index {idx} (of {})",
+                field.as_slice()[idx],
+                field.as_slice().len()
+            ),
+        }),
+    }
+}
+
+/// Every coefficient of `m` is finite (wavefunction blocks, overlap
+/// matrices); reports the first offending (band, coefficient) pair.
+pub fn finite_matrix(step: &str, m: &Matrix<c64>) -> Result<(), InvariantViolation> {
+    match m
+        .as_slice()
+        .iter()
+        .position(|v| !v.re.is_finite() || !v.im.is_finite())
+    {
+        None => Ok(()),
+        Some(idx) => {
+            let cols = m.cols().max(1);
+            Err(InvariantViolation {
+                step: step.to_string(),
+                detail: format!(
+                    "non-finite coefficient at band {}, index {}",
+                    idx / cols,
+                    idx % cols
+                ),
+            })
+        }
+    }
+}
+
+/// One finite scalar (residuals, integrals).
+pub fn finite_scalar(step: &str, name: &str, x: f64) -> Result<(), InvariantViolation> {
+    if x.is_finite() {
+        Ok(())
+    } else {
+        Err(InvariantViolation {
+            step: step.to_string(),
+            detail: format!("non-finite {name}: {x}"),
+        })
+    }
+}
+
+/// Pre-normalization charge conservation: the patched density must carry
+/// the global electron count within [`CHARGE_TOL_REL`].
+pub fn charge_conservation(
+    step: &str,
+    patched_charge: f64,
+    n_electrons: f64,
+) -> Result<(), InvariantViolation> {
+    finite_scalar(step, "patched charge", patched_charge)?;
+    let scale = n_electrons.abs().max(1.0);
+    if (patched_charge - n_electrons).abs() > CHARGE_TOL_REL * scale {
+        return Err(InvariantViolation {
+            step: step.to_string(),
+            detail: format!(
+                "charge not conserved: patched density integrates to {patched_charge:.6} \
+                 but the structure carries {n_electrons:.6} electrons \
+                 (tolerance {CHARGE_TOL_REL:.0e} relative)"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The `Σ_F α_F` partition of unity over the global grid (every point
+/// covered with net weight exactly 1).
+pub fn patching_weights(
+    fg: &crate::fragment::FragmentGrid,
+    global: &ls3df_grid::Grid3,
+) -> Result<(), InvariantViolation> {
+    let deviation = fg.partition_of_unity(global);
+    if deviation > WEIGHT_TOL {
+        return Err(InvariantViolation {
+            step: "patching-weights".to_string(),
+            detail: format!(
+                "Σ_F α_F deviates from 1 by {deviation:.3e} somewhere on the global grid \
+                 — fragment geometry is inconsistent"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Fragment wavefunction block orthonormality after an eigensolver pass.
+pub fn orthonormal(step: &str, psi: &Matrix<c64>, metric: f64) -> Result<(), InvariantViolation> {
+    finite_matrix(step, psi)?;
+    let residual = ls3df_math::ortho::orthonormality_residual(psi, metric);
+    if !residual.is_finite() || residual > ORTHO_TOL {
+        return Err(InvariantViolation {
+            step: step.to_string(),
+            detail: format!(
+                "wavefunction block lost orthonormality: residual {residual:.3e} \
+                 (tolerance {ORTHO_TOL:.0e})"
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls3df_grid::Grid3;
+
+    fn small_field(value: f64) -> RealField {
+        RealField::constant(Grid3::cubic(4, 2.0), value)
+    }
+
+    #[test]
+    fn finite_field_accepts_clean_data() {
+        assert!(finite_field("Gen_dens", &small_field(1.0)).is_ok());
+    }
+
+    #[test]
+    fn finite_field_reports_step_and_index() {
+        let mut f = small_field(1.0);
+        f.as_mut_slice()[7] = f64::NAN;
+        let err = finite_field("Gen_VF", &f).unwrap_err();
+        assert_eq!(err.step, "Gen_VF");
+        assert!(err.detail.contains("index 7"), "{}", err.detail);
+        let mut g = small_field(0.0);
+        g.as_mut_slice()[0] = f64::INFINITY;
+        assert!(finite_field("GENPOT", &g).is_err());
+    }
+
+    #[test]
+    fn charge_conservation_window() {
+        assert!(charge_conservation("Gen_dens", 100.0, 100.0).is_ok());
+        assert!(charge_conservation("Gen_dens", 110.0, 100.0).is_ok()); // patching noise
+        let err = charge_conservation("Gen_dens", 160.0, 100.0).unwrap_err();
+        assert!(
+            err.detail.contains("charge not conserved"),
+            "{}",
+            err.detail
+        );
+        assert!(charge_conservation("Gen_dens", f64::NAN, 100.0).is_err());
+    }
+
+    #[test]
+    fn orthonormality_detects_scaling() {
+        let psi = Matrix::<c64>::identity(4);
+        assert!(orthonormal("PEtot_F", &psi, 1.0).is_ok());
+        let mut bad = Matrix::<c64>::identity(4);
+        bad.scale_real(10.0);
+        assert!(orthonormal("PEtot_F", &bad, 1.0).is_err());
+    }
+
+    #[test]
+    fn weights_ok_for_valid_decomposition() {
+        let g = Grid3::new([6, 6, 6], [6.0, 6.0, 6.0]);
+        let fg = crate::fragment::FragmentGrid::new([2, 2, 2], &g, [1, 1, 1]);
+        assert!(patching_weights(&fg, &g).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "LS3DF invariant violated at Gen_dens")]
+    fn enforce_panics_with_step_name() {
+        enforce(charge_conservation("Gen_dens", 0.0, 100.0));
+    }
+
+    #[test]
+    fn checking_is_active_in_test_builds() {
+        let enabled = [false, ENABLED];
+        assert!(
+            enabled[1],
+            "debug/test builds must compile the invariant layer in"
+        );
+    }
+}

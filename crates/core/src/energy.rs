@@ -45,10 +45,7 @@ impl Ls3df {
     pub fn total_energy(&self) -> Ls3dfEnergy {
         // Signed fragment quantum energies.
         let vfs = self.gen_vf();
-        let quantum: f64 = self
-            .fragment_quantum_energies(&vfs)
-            .iter()
-            .sum();
+        let quantum: f64 = self.fragment_quantum_energies(&vfs).iter().sum();
 
         // Global electrostatic + XC pieces from the patched density.
         let rho = self.rho_ref();
@@ -78,8 +75,7 @@ impl Ls3df {
                     if f == 0.0 {
                         continue;
                     }
-                    let eps =
-                        ls3df_math::vec_ops::dotc(fs.psi().row(b), hpsi.row(b)).re;
+                    let eps = ls3df_math::vec_ops::dotc(fs.psi().row(b), hpsi.row(b)).re;
                     band_energy += f * eps;
                 }
                 // Remove the local-potential double count over ΩF.
@@ -111,7 +107,11 @@ mod tests {
                 for i in 0..m {
                     atoms.push(Atom {
                         species: Species::Zn,
-                        pos: [(i as f64 + 0.5) * a, (j as f64 + 0.5) * a, (k as f64 + 0.5) * a],
+                        pos: [
+                            (i as f64 + 0.5) * a,
+                            (j as f64 + 0.5) * a,
+                            (k as f64 + 0.5) * a,
+                        ],
                     });
                 }
             }
@@ -133,7 +133,10 @@ mod tests {
             cg_steps: 6,
             initial_cg_steps: 10,
             fragment_tol: 1e-9,
-            mixer: Mixer::Kerker { alpha: 0.6, q0: 0.8 },
+            mixer: Mixer::Kerker {
+                alpha: 0.6,
+                q0: 0.8,
+            },
             max_scf: 8,
             tol: 1e-4,
             pseudo: table,

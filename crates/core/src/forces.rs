@@ -29,7 +29,12 @@ impl Ls3df {
             .iter()
             .map(|a| {
                 let p = pseudo.get(a.species);
-                PwAtom { pos: a.pos, local: p.local, kb_rb: p.kb.rb, kb_energy: p.kb.e_kb }
+                PwAtom {
+                    pos: a.pos,
+                    local: p.local,
+                    kb_rb: p.kb.rb,
+                    kb_energy: p.kb.e_kb,
+                }
             })
             .collect();
         let mut forces = local_forces(self.global_basis(), &atoms, self.rho_ref());
@@ -52,8 +57,12 @@ impl Ls3df {
                 if fa.atoms[..fa.n_real].iter().all(|a| a.kb_energy == 0.0) {
                     return Vec::new();
                 }
-                let f_nl =
-                    nonlocal_forces(fs.basis(), &fa.atoms[..fa.n_real], fs.psi(), fs.occupations());
+                let f_nl = nonlocal_forces(
+                    fs.basis(),
+                    &fa.atoms[..fa.n_real],
+                    fs.psi(),
+                    fs.occupations(),
+                );
                 fa.global_indices
                     .iter()
                     .zip(f_nl)
@@ -91,7 +100,11 @@ mod tests {
                 for i in 0..2 {
                     atoms.push(Atom {
                         species: Species::Zn,
-                        pos: [(i as f64 + 0.5) * a, (j as f64 + 0.5) * a, (k as f64 + 0.5) * a],
+                        pos: [
+                            (i as f64 + 0.5) * a,
+                            (j as f64 + 0.5) * a,
+                            (k as f64 + 0.5) * a,
+                        ],
                     });
                 }
             }
@@ -108,7 +121,10 @@ mod tests {
             cg_steps: 6,
             initial_cg_steps: 10,
             fragment_tol: 1e-9,
-            mixer: Mixer::Kerker { alpha: 0.6, q0: 0.8 },
+            mixer: Mixer::Kerker {
+                alpha: 0.6,
+                q0: 0.8,
+            },
             max_scf: 8,
             tol: 1e-4,
             pseudo: table,

@@ -47,8 +47,12 @@ impl Fragment {
     pub fn label(&self) -> String {
         format!(
             "F[{},{},{}]({}x{}x{})",
-            self.corner[0], self.corner[1], self.corner[2],
-            self.size[0], self.size[1], self.size[2]
+            self.corner[0],
+            self.corner[1],
+            self.corner[2],
+            self.size[0],
+            self.size[1],
+            self.size[2]
         )
     }
 }
@@ -74,7 +78,11 @@ impl FragmentGrid {
     /// itself).
     pub fn new(m: [usize; 3], global: &Grid3, buffer_pts: [usize; 3]) -> Self {
         for d in 0..3 {
-            assert!(m[d] >= 2, "FragmentGrid: need ≥ 2 pieces per dimension (got {})", m[d]);
+            assert!(
+                m[d] >= 2,
+                "FragmentGrid: need ≥ 2 pieces per dimension (got {})",
+                m[d]
+            );
             assert_eq!(
                 global.dims[d] % m[d],
                 0,
@@ -83,13 +91,22 @@ impl FragmentGrid {
                 m[d]
             );
         }
-        let piece_pts = [global.dims[0] / m[0], global.dims[1] / m[1], global.dims[2] / m[2]];
+        let piece_pts = [
+            global.dims[0] / m[0],
+            global.dims[1] / m[1],
+            global.dims[2] / m[2],
+        ];
         let piece_len = [
             global.lengths[0] / m[0] as f64,
             global.lengths[1] / m[1] as f64,
             global.lengths[2] / m[2] as f64,
         ];
-        FragmentGrid { m, piece_pts, piece_len, buffer_pts }
+        FragmentGrid {
+            m,
+            piece_pts,
+            piece_len,
+            buffer_pts,
+        }
     }
 
     /// Total number of corners (= pieces).
@@ -111,7 +128,10 @@ impl FragmentGrid {
                     for &s3 in &[1usize, 2] {
                         for &s2 in &[1usize, 2] {
                             for &s1 in &[1usize, 2] {
-                                out.push(Fragment { corner: [i, j, k], size: [s1, s2, s3] });
+                                out.push(Fragment {
+                                    corner: [i, j, k],
+                                    size: [s1, s2, s3],
+                                });
                             }
                         }
                     }
@@ -144,7 +164,8 @@ impl FragmentGrid {
     pub fn box_grid(&self, f: &Fragment) -> Grid3 {
         let rd = self.region_dims(f);
         let dims: [usize; 3] = std::array::from_fn(|d| rd[d] + 2 * self.buffer_pts[d]);
-        let spacing: [f64; 3] = std::array::from_fn(|d| self.piece_len[d] / self.piece_pts[d] as f64);
+        let spacing: [f64; 3] =
+            std::array::from_fn(|d| self.piece_len[d] / self.piece_pts[d] as f64);
         let lengths: [f64; 3] = std::array::from_fn(|d| dims[d] as f64 * spacing[d]);
         Grid3::new(dims, lengths)
     }
@@ -153,7 +174,8 @@ impl FragmentGrid {
     /// origin.
     pub fn box_origin_pos(&self, f: &Fragment) -> [f64; 3] {
         let o = self.box_origin(f);
-        let spacing: [f64; 3] = std::array::from_fn(|d| self.piece_len[d] / self.piece_pts[d] as f64);
+        let spacing: [f64; 3] =
+            std::array::from_fn(|d| self.piece_len[d] / self.piece_pts[d] as f64);
         std::array::from_fn(|d| o[d] as f64 * spacing[d])
     }
 
@@ -211,7 +233,13 @@ mod tests {
     fn alpha_signs_match_paper() {
         // 2D analogue in the paper: +1 for 1×1 and 2×2, −1 for mixed.
         // 3D: α = (−1)^(#dims of size 1).
-        let mk = |s: [usize; 3]| Fragment { corner: [0, 0, 0], size: s }.alpha();
+        let mk = |s: [usize; 3]| {
+            Fragment {
+                corner: [0, 0, 0],
+                size: s,
+            }
+            .alpha()
+        };
         assert_eq!(mk([2, 2, 2]), 1.0);
         assert_eq!(mk([1, 2, 2]), -1.0);
         assert_eq!(mk([2, 1, 2]), -1.0);
@@ -256,7 +284,10 @@ mod tests {
     fn box_geometry() {
         let g = grid([4, 4, 4], 6);
         let fg = FragmentGrid::new([4, 4, 4], &g, [2, 2, 2]);
-        let f = Fragment { corner: [1, 2, 3], size: [2, 1, 2] };
+        let f = Fragment {
+            corner: [1, 2, 3],
+            size: [2, 1, 2],
+        };
         assert_eq!(fg.region_origin(&f), [6, 12, 18]);
         assert_eq!(fg.region_dims(&f), [12, 6, 12]);
         assert_eq!(fg.box_origin(&f), [4, 10, 16]);
@@ -274,7 +305,10 @@ mod tests {
     fn region_bounds_physical() {
         let g = grid([2, 2, 2], 4);
         let fg = FragmentGrid::new([2, 2, 2], &g, [1, 1, 1]);
-        let f = Fragment { corner: [1, 0, 1], size: [1, 2, 1] };
+        let f = Fragment {
+            corner: [1, 0, 1],
+            size: [1, 2, 1],
+        };
         let (lo, hi) = fg.region_bounds(&f);
         assert_eq!(lo, [4.0, 0.0, 4.0]);
         assert_eq!(hi, [8.0, 8.0, 8.0]);

@@ -28,7 +28,11 @@ pub struct FsmOptions {
 
 impl Default for FsmOptions {
     fn default() -> Self {
-        FsmOptions { n_states: 4, max_iter: 200, tol: 1e-5 }
+        FsmOptions {
+            n_states: 4,
+            max_iter: 200,
+            tol: 1e-5,
+        }
     }
 }
 
@@ -78,7 +82,15 @@ pub fn folded_spectrum(
         lambdas.copy_from_slice(&eig.values);
         let rotate = |block: &Matrix<c64>| -> Matrix<c64> {
             let mut out = Matrix::zeros(nb, npw);
-            gemm::gemm(c64::ONE, &eig.vectors, Op::Trans, block, Op::None, c64::ZERO, &mut out);
+            gemm::gemm(
+                c64::ONE,
+                &eig.vectors,
+                Op::Trans,
+                block,
+                Op::None,
+                c64::ZERO,
+                &mut out,
+            );
             out
         };
         psi = rotate(&psi);
@@ -110,7 +122,15 @@ pub fn folded_spectrum(
             }
         }
         let overlap = gemm::matmul_nh(&d, &psi);
-        gemm::gemm(-c64::ONE, &overlap, Op::None, &psi, Op::None, c64::ONE, &mut d);
+        gemm::gemm(
+            -c64::ONE,
+            &overlap,
+            Op::None,
+            &psi,
+            Op::None,
+            c64::ONE,
+            &mut d,
+        );
         for b in 0..nb {
             let n = nrm2(d.row(b));
             if n > 1e-300 {
@@ -135,7 +155,11 @@ pub fn folded_spectrum(
             let energy =
                 |t: f64| 0.5 * (a + c) + 0.5 * (a - c) * (2.0 * t).cos() + w_re * (2.0 * t).sin();
             let t2 = theta0 + std::f64::consts::FRAC_PI_2;
-            let theta = if energy(theta0) <= energy(t2) { theta0 } else { t2 };
+            let theta = if energy(theta0) <= energy(t2) {
+                theta0
+            } else {
+                t2
+            };
             let (s, co) = theta.sin_cos();
             let (pr, dr) = (psi.row_mut(b), d.row(b));
             for (x, &y) in pr.iter_mut().zip(dr) {
@@ -169,7 +193,7 @@ pub fn folded_spectrum(
             }
         })
         .collect();
-    states.sort_by(|x, y| x.energy.partial_cmp(&y.energy).unwrap());
+    states.sort_by(|x, y| x.energy.total_cmp(&y.energy));
     states
 }
 
@@ -198,7 +222,7 @@ pub fn scan_band(
             }
         }
     }
-    all.sort_by(|a, b| a.energy.partial_cmp(&b.energy).unwrap());
+    all.sort_by(|a, b| a.energy.total_cmp(&b.energy));
     all
 }
 
@@ -222,7 +246,11 @@ mod tests {
         let states = scan_band(
             &h,
             &[e1, e1 + 0.01],
-            &FsmOptions { n_states: 3, max_iter: 300, tol: 1e-7 },
+            &FsmOptions {
+                n_states: 3,
+                max_iter: 300,
+                tol: 1e-7,
+            },
             3,
         );
         // Sorted ascending…
@@ -233,8 +261,7 @@ mod tests {
         for i in 0..states.len() {
             for j in (i + 1)..states.len() {
                 let same_e = (states[i].energy - states[j].energy).abs() < 1e-4;
-                let overlap =
-                    dotc(&states[i].coefficients, &states[j].coefficients).abs();
+                let overlap = dotc(&states[i].coefficients, &states[j].coefficients).abs();
                 assert!(
                     !(same_e && overlap > 0.5),
                     "states {i} and {j} are duplicates"
@@ -258,7 +285,11 @@ mod tests {
         let states = folded_spectrum(
             &h,
             e_ref,
-            &FsmOptions { n_states: 4, max_iter: 400, tol: 1e-8 },
+            &FsmOptions {
+                n_states: 4,
+                max_iter: 400,
+                tol: 1e-8,
+            },
             7,
         );
         // Every returned energy must be an exact eigenvalue near e_ref.
@@ -290,7 +321,11 @@ mod tests {
         let stats = ls3df_pw::solve_all_band(
             &h,
             &mut psi,
-            &SolverOptions { max_iter: 300, tol: 1e-8, ..Default::default() },
+            &SolverOptions {
+                max_iter: 300,
+                tol: 1e-8,
+                ..Default::default()
+            },
         );
         assert!(stats.converged);
 
@@ -298,13 +333,27 @@ mod tests {
         let states = folded_spectrum(
             &h,
             e_ref,
-            &FsmOptions { n_states: 2, max_iter: 400, tol: 1e-8 },
+            &FsmOptions {
+                n_states: 2,
+                max_iter: 400,
+                tol: 1e-8,
+            },
             11,
         );
         // The two FSM states bracket the reference: bands 2 and 3.
         let mut got: Vec<f64> = states.iter().map(|s| s.energy).collect();
         got.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!((got[0] - stats.eigenvalues[2]).abs() < 1e-3, "{} vs {}", got[0], stats.eigenvalues[2]);
-        assert!((got[1] - stats.eigenvalues[3]).abs() < 1e-3, "{} vs {}", got[1], stats.eigenvalues[3]);
+        assert!(
+            (got[0] - stats.eigenvalues[2]).abs() < 1e-3,
+            "{} vs {}",
+            got[0],
+            stats.eigenvalues[2]
+        );
+        assert!(
+            (got[1] - stats.eigenvalues[3]).abs() < 1e-3,
+            "{} vs {}",
+            got[1],
+            stats.eigenvalues[3]
+        );
     }
 }

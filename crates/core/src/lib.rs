@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod check;
 mod energy;
 mod forces;
 mod fragment;
@@ -26,8 +27,8 @@ pub mod fsm;
 mod passivate;
 pub mod scf;
 
+pub use energy::Ls3dfEnergy;
 pub use fragment::{Fragment, FragmentGrid};
 pub use fsm::{folded_spectrum, scan_band, FsmOptions, FsmState};
 pub use passivate::{boundary_wall, fragment_atoms, FragmentAtoms, Passivation};
-pub use energy::Ls3dfEnergy;
 pub use scf::{fragment_occupations, Ls3df, Ls3dfOptions, Ls3dfResult, Ls3dfStep, StepTimings};

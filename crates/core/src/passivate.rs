@@ -105,8 +105,12 @@ pub fn fragment_atoms(
                 }
                 let si = structure.atoms[g_idx].species;
                 let sj = structure.atoms[j].species;
-                let Some(bond) = bond_params(si, sj) else { continue };
-                let Some(h_bond) = bond_params(si, Species::H) else { continue };
+                let Some(bond) = bond_params(si, sj) else {
+                    continue;
+                };
+                let Some(h_bond) = bond_params(si, Species::H) else {
+                    continue;
+                };
                 let frac = h_bond.d0 / bond.d0;
                 // Minimum-image bond vector in the global cell.
                 let mut dvec = [0.0; 3];
@@ -130,7 +134,12 @@ pub fn fragment_atoms(
         }
     }
 
-    FragmentAtoms { atoms, n_real, n_electrons, global_indices }
+    FragmentAtoms {
+        atoms,
+        n_real,
+        n_electrons,
+        global_indices,
+    }
 }
 
 /// Builds the confining-wall part of ΔV_F on the fragment box grid: zero
@@ -184,7 +193,14 @@ mod tests {
         let mut total = 0;
         for f in fg.fragments() {
             if f.size == [1, 1, 1] {
-                let fa = fragment_atoms(&s, &nbrs, &fg, &f, Passivation::WallOnly, &PseudoTable::default());
+                let fa = fragment_atoms(
+                    &s,
+                    &nbrs,
+                    &fg,
+                    &f,
+                    Passivation::WallOnly,
+                    &PseudoTable::default(),
+                );
                 total += fa.n_real;
                 assert_eq!(fa.n_real, 8, "one zinc-blende cell per piece");
             }
@@ -202,7 +218,15 @@ mod tests {
             .iter()
             .map(|f| {
                 f.alpha()
-                    * fragment_atoms(&s, &nbrs, &fg, f, Passivation::WallOnly, &PseudoTable::default()).n_real as f64
+                    * fragment_atoms(
+                        &s,
+                        &nbrs,
+                        &fg,
+                        f,
+                        Passivation::WallOnly,
+                        &PseudoTable::default(),
+                    )
+                    .n_real as f64
             })
             .sum();
         assert_eq!(signed, s.len() as f64);
@@ -211,21 +235,45 @@ mod tests {
     #[test]
     fn one_cell_fragment_has_expected_passivation() {
         let (s, nbrs, fg, _) = setup();
-        let f = Fragment { corner: [0, 0, 0], size: [1, 1, 1] };
-        let fa = fragment_atoms(&s, &nbrs, &fg, &f, Passivation::PseudoH, &PseudoTable::default());
+        let f = Fragment {
+            corner: [0, 0, 0],
+            size: [1, 1, 1],
+        };
+        let fa = fragment_atoms(
+            &s,
+            &nbrs,
+            &fg,
+            &f,
+            Passivation::PseudoH,
+            &PseudoTable::default(),
+        );
         assert_eq!(fa.n_real, 8);
         // One conventional cell has 18 crossing bonds (9 Zn-side + 9
         // Te-side), each receiving one pseudo-H.
         assert_eq!(fa.atoms.len() - fa.n_real, 18);
         // Electron count: 32 valence + 9·1.5 + 9·0.5 = 50.
-        assert!((fa.n_electrons - 50.0).abs() < 1e-12, "n_e = {}", fa.n_electrons);
+        assert!(
+            (fa.n_electrons - 50.0).abs() < 1e-12,
+            "n_e = {}",
+            fa.n_electrons
+        );
     }
 
     #[test]
     fn passivants_sit_in_buffer_not_region() {
         let (s, nbrs, fg, _) = setup();
-        let f = Fragment { corner: [1, 0, 1], size: [1, 1, 1] };
-        let fa = fragment_atoms(&s, &nbrs, &fg, &f, Passivation::PseudoH, &PseudoTable::default());
+        let f = Fragment {
+            corner: [1, 0, 1],
+            size: [1, 1, 1],
+        };
+        let fa = fragment_atoms(
+            &s,
+            &nbrs,
+            &fg,
+            &f,
+            Passivation::PseudoH,
+            &PseudoTable::default(),
+        );
         let grid = fg.box_grid(&f);
         let off = fg.region_offset_in_box();
         let spacing = grid.spacing();
@@ -237,10 +285,7 @@ mod tests {
             // region surface (within one X–H bond length of some face) —
             // never deep in the region interior or far out in the buffer.
             let depth = (0..3)
-                .map(|d| {
-                    let into = (h.pos[d] - region_lo[d]).min(region_hi[d] - h.pos[d]);
-                    into
-                })
+                .map(|d| (h.pos[d] - region_lo[d]).min(region_hi[d] - h.pos[d]))
                 .fold(f64::INFINITY, f64::min);
             assert!(
                 depth.abs() < 3.2,
@@ -257,7 +302,10 @@ mod tests {
     #[test]
     fn boundary_wall_shape() {
         let (_, _, fg, _) = setup();
-        let f = Fragment { corner: [0, 0, 0], size: [1, 1, 1] };
+        let f = Fragment {
+            corner: [0, 0, 0],
+            size: [1, 1, 1],
+        };
         let wall = boundary_wall(&fg, &f, 2.0);
         // Zero at the box center.
         let g = wall.grid().clone();
@@ -274,8 +322,18 @@ mod tests {
     #[test]
     fn wall_only_electron_count_matches_region_valence() {
         let (s, nbrs, fg, _) = setup();
-        let f = Fragment { corner: [0, 1, 0], size: [2, 1, 1] };
-        let fa = fragment_atoms(&s, &nbrs, &fg, &f, Passivation::WallOnly, &PseudoTable::default());
+        let f = Fragment {
+            corner: [0, 1, 0],
+            size: [2, 1, 1],
+        };
+        let fa = fragment_atoms(
+            &s,
+            &nbrs,
+            &fg,
+            &f,
+            Passivation::WallOnly,
+            &PseudoTable::default(),
+        );
         let manual: f64 = fa
             .global_indices
             .iter()

@@ -7,6 +7,7 @@
 //! `Np` cores each). Per-step wall-clock timings are recorded so the
 //! machine-model calibration in `ls3df-hpc` can use measured constants.
 
+use crate::check;
 use crate::fragment::{Fragment, FragmentGrid};
 use crate::passivate::{boundary_wall, fragment_atoms, FragmentAtoms, Passivation};
 use ls3df_atoms::{topology_cutoff, Structure};
@@ -72,7 +73,10 @@ impl Default for Ls3dfOptions {
             initial_cg_steps: 30,
             fragment_tol: 5e-2,
             method: SolverMethod::AllBand,
-            mixer: Mixer::Kerker { alpha: 0.7, q0: 1.0 },
+            mixer: Mixer::Kerker {
+                alpha: 0.7,
+                q0: 1.0,
+            },
             max_scf: 40,
             tol: 1e-3,
             pseudo: PseudoTable::default(),
@@ -107,7 +111,10 @@ impl Ls3dfOptions {
             buffer_pts: [3, 3, 3],
             n_extra_bands: 2,
             cg_steps: 6,
-            mixer: Mixer::Kerker { alpha: 0.5, q0: 0.8 },
+            mixer: Mixer::Kerker {
+                alpha: 0.5,
+                q0: 0.8,
+            },
             ..Default::default()
         }
     }
@@ -231,6 +238,9 @@ impl Ls3df {
         let global_dims: [usize; 3] = std::array::from_fn(|d| m[d] * opts.piece_pts[d]);
         let global_grid = Grid3::new(global_dims, structure.lengths);
         let fg = FragmentGrid::new(m, &global_grid, opts.buffer_pts);
+        if check::ENABLED {
+            check::enforce(check::patching_weights(&fg, &global_grid));
+        }
         let neighbors = structure.neighbor_list_within(topology_cutoff(structure));
 
         let global_basis = PwBasis::new(global_grid.clone(), opts.ecut);
@@ -239,7 +249,12 @@ impl Ls3df {
             .iter()
             .map(|a| {
                 let p = opts.pseudo.get(a.species);
-                PwAtom { pos: a.pos, local: p.local, kb_rb: p.kb.rb, kb_energy: p.kb.e_kb }
+                PwAtom {
+                    pos: a.pos,
+                    local: p.local,
+                    kb_rb: p.kb.rb,
+                    kb_energy: p.kb.e_kb,
+                }
             })
             .collect();
         let v_ion_global = ionic_potential(&global_basis, &global_atoms);
@@ -251,7 +266,14 @@ impl Ls3df {
             .fragments()
             .into_par_iter()
             .map(|f| {
-                let fa = fragment_atoms(structure, &neighbors, &fg, &f, opts.passivation, &opts.pseudo);
+                let fa = fragment_atoms(
+                    structure,
+                    &neighbors,
+                    &fg,
+                    &f,
+                    opts.passivation,
+                    &opts.pseudo,
+                );
                 let box_grid = fg.box_grid(&f);
                 let basis = PwBasis::new(box_grid, opts.ecut);
                 let positions: Vec<[f64; 3]> = fa.atoms.iter().map(|a| a.pos).collect();
@@ -283,13 +305,25 @@ impl Ls3df {
                     &basis,
                     0xF00D ^ (f.size[0] * 31 + f.size[1] * 37 + f.size[2] * 41) as u64,
                 );
-                FragmentState { fragment: f, basis, nonlocal, delta_v, psi, occupations, atoms: fa }
+                FragmentState {
+                    fragment: f,
+                    basis,
+                    nonlocal,
+                    delta_v,
+                    psi,
+                    occupations,
+                    atoms: fa,
+                }
             })
             .collect();
 
         let n_electrons = structure.num_electrons();
         let positions: Vec<[f64; 3]> = structure.atoms.iter().map(|a| a.pos).collect();
-        let charges: Vec<f64> = structure.atoms.iter().map(|a| a.species.valence()).collect();
+        let charges: Vec<f64> = structure
+            .atoms
+            .iter()
+            .map(|a| a.species.valence())
+            .collect();
         let ewald = ls3df_pw::ewald::ewald_energy(&positions, &charges, structure.lengths);
         Ls3df {
             fg,
@@ -341,6 +375,17 @@ impl Ls3df {
         self.v_in = v;
     }
 
+    /// Scales every coefficient of fragment `index`'s wavefunction block.
+    ///
+    /// Validation-support hook: deliberately corrupting one fragment lets
+    /// tests (and operators chasing a bad node) confirm that the Gen_dens
+    /// charge-conservation invariant catches a fragment whose density has
+    /// gone wrong, instead of letting the renormalization silently absorb
+    /// it.
+    pub fn scale_fragment_psi(&mut self, index: usize, factor: f64) {
+        self.fragments[index].psi.scale_real(factor);
+    }
+
     /// **Gen_VF**: slices the global potential into per-fragment
     /// `V_F = V_in|ΩF + ΔV_F`.
     pub fn gen_vf(&self) -> Vec<RealField> {
@@ -350,6 +395,9 @@ impl Ls3df {
                 let origin = self.fg.box_origin(&fs.fragment);
                 let mut vf = self.v_in.extract_subbox(origin, fs.basis.grid());
                 vf.add_scaled(1.0, &fs.delta_v);
+                if check::ENABLED {
+                    check::enforce(check::finite_field("Gen_VF", &vf));
+                }
                 vf
             })
             .collect()
@@ -371,7 +419,8 @@ impl Ls3df {
             ..Default::default()
         };
         let method = self.opts.method;
-        self.fragments
+        let residuals: Vec<f64> = self
+            .fragments
             .par_iter_mut()
             .zip(vfs.par_iter())
             .map(|(fs, vf)| {
@@ -382,9 +431,15 @@ impl Ls3df {
                         solver::solve_band_by_band(&h, &mut fs.psi, &solver_opts)
                     }
                 };
+                if check::ENABLED {
+                    check::enforce(check::orthonormal("PEtot_F", &fs.psi, 1.0));
+                    check::enforce(check::finite_scalar("PEtot_F", "residual", stats.residual));
+                }
                 stats.residual
             })
-            .reduce(|| 0.0, f64::max)
+            .collect();
+        // Fixed-order max so the reported worst residual is schedule-independent.
+        residuals.into_iter().fold(0.0, f64::max)
     }
 
     /// **Gen_dens**: patches fragment densities into the global density
@@ -402,22 +457,40 @@ impl Ls3df {
                 let rd = self.fg.region_dims(&fs.fragment);
                 let region_grid = {
                     let h = fs.basis.grid().spacing();
-                    Grid3::new(rd, [rd[0] as f64 * h[0], rd[1] as f64 * h[1], rd[2] as f64 * h[2]])
+                    Grid3::new(
+                        rd,
+                        [
+                            rd[0] as f64 * h[0],
+                            rd[1] as f64 * h[1],
+                            rd[2] as f64 * h[2],
+                        ],
+                    )
                 };
-                let region =
-                    rho_f.extract_subbox([off[0] as i64, off[1] as i64, off[2] as i64], &region_grid);
+                let region = rho_f
+                    .extract_subbox([off[0] as i64, off[1] as i64, off[2] as i64], &region_grid);
+                if check::ENABLED {
+                    check::enforce(check::finite_field("Gen_dens", &region));
+                }
                 (i, region)
             })
             .collect();
-        // …then accumulate sequentially (the global-array reduction).
+        // …then accumulate in fixed fragment order (the global-array
+        // reduction): `parts` is index-ordered regardless of how the
+        // parallel map was scheduled, so the patched density is
+        // bit-identical from run to run.
         let mut rho = RealField::zeros(self.global_grid.clone());
         for (i, region) in parts {
             let fs = &self.fragments[i];
             let origin = self.fg.region_origin(&fs.fragment);
             rho.accumulate_subbox(origin, &region, fs.fragment.alpha());
         }
-        // Charge renormalization.
+        // Charge conservation is an invariant of the patching geometry —
+        // verify it *before* the renormalization hides any violation.
         let q = rho.integrate();
+        if check::ENABLED {
+            check::enforce(check::charge_conservation("Gen_dens", q, self.n_electrons));
+        }
+        // Charge renormalization.
         if q.abs() > 1e-12 {
             rho.scale(self.n_electrons / q);
         }
@@ -427,6 +500,9 @@ impl Ls3df {
     /// **GENPOT**: global Poisson + XC from the patched density.
     pub fn genpot(&self, rho: &RealField) -> RealField {
         let (v_out, _) = effective_potential(&self.global_basis, &self.v_ion_global, rho);
+        if check::ENABLED {
+            check::enforce(check::finite_field("GENPOT", &v_out));
+        }
         v_out
     }
 
@@ -469,7 +545,12 @@ impl Ls3df {
             timings.genpot = t.elapsed().as_secs_f64();
 
             self.rho = rho;
-            let step = Ls3dfStep { iteration, dv_integral, worst_residual, timings };
+            let step = Ls3dfStep {
+                iteration,
+                dv_integral,
+                worst_residual,
+                timings,
+            };
             on_step(&step);
             history.push(step);
 

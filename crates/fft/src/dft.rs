@@ -59,7 +59,9 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let x: Vec<c64> = (0..7).map(|i| c64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let x: Vec<c64> = (0..7)
+            .map(|i| c64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
         let back = dft_inverse(&dft_forward(&x));
         for (a, b) in x.iter().zip(&back) {
             assert!((*a - *b).abs() < 1e-12);

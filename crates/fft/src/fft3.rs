@@ -131,21 +131,25 @@ impl Fft3 {
                     .par_chunks_mut(n3)
                     .enumerate()
                     .for_each(|(col, line)| gather(col, line));
-                data.par_chunks_mut(plane).enumerate().for_each(|(iz, out_plane)| {
-                    for (col, o) in out_plane.iter_mut().enumerate() {
-                        *o = scratch[col * n3 + iz];
-                    }
-                });
+                data.par_chunks_mut(plane)
+                    .enumerate()
+                    .for_each(|(iz, out_plane)| {
+                        for (col, o) in out_plane.iter_mut().enumerate() {
+                            *o = scratch[col * n3 + iz];
+                        }
+                    });
             } else {
                 scratch
                     .chunks_mut(n3)
                     .enumerate()
                     .for_each(|(col, line)| gather(col, line));
-                data.chunks_mut(plane).enumerate().for_each(|(iz, out_plane)| {
-                    for (col, o) in out_plane.iter_mut().enumerate() {
-                        *o = scratch[col * n3 + iz];
-                    }
-                });
+                data.chunks_mut(plane)
+                    .enumerate()
+                    .for_each(|(iz, out_plane)| {
+                        for (col, o) in out_plane.iter_mut().enumerate() {
+                            *o = scratch[col * n3 + iz];
+                        }
+                    });
             }
         }
     }
@@ -159,7 +163,9 @@ mod tests {
     fn rand_field(n: usize, seed: u64) -> Vec<c64> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         (0..n).map(|_| c64::new(next(), next())).collect()
@@ -203,13 +209,21 @@ mod tests {
                 .zip(&expect)
                 .map(|(a, b)| (*a - *b).abs())
                 .fold(0.0_f64, f64::max);
-            assert!(err < 1e-9 * (n1 * n2 * n3) as f64, "({n1},{n2},{n3}) err={err}");
+            assert!(
+                err < 1e-9 * (n1 * n2 * n3) as f64,
+                "({n1},{n2},{n3}) err={err}"
+            );
         }
     }
 
     #[test]
     fn roundtrip_identity() {
-        for &(n1, n2, n3) in &[(8usize, 8usize, 8usize), (10, 6, 12), (16, 16, 16), (1, 8, 3)] {
+        for &(n1, n2, n3) in &[
+            (8usize, 8usize, 8usize),
+            (10, 6, 12),
+            (16, 16, 16),
+            (1, 8, 3),
+        ] {
             let data = rand_field(n1 * n2 * n3, 77);
             let plan = Fft3::new(n1, n2, n3);
             let mut work = data.clone();

@@ -121,7 +121,11 @@ impl Radix2 {
             }
             h *= 2;
         }
-        Radix2 { rev, twiddles_fwd, twiddles_inv }
+        Radix2 {
+            rev,
+            twiddles_fwd,
+            twiddles_inv,
+        }
     }
 
     fn run(&self, data: &mut [c64], dir: Direction) {
@@ -177,7 +181,12 @@ impl Bluestein {
             }
         }
         inner.run(&mut filter, Direction::Forward);
-        Bluestein { chirp_fwd, filter_fwd: filter, inner, m }
+        Bluestein {
+            chirp_fwd,
+            filter_fwd: filter,
+            inner,
+            m,
+        }
     }
 
     fn run(&self, data: &mut [c64], dir: Direction) {
@@ -195,7 +204,7 @@ impl Bluestein {
         }
         self.inner.run(&mut buf, Direction::Forward);
         for (v, &f) in buf.iter_mut().zip(&self.filter_fwd) {
-            *v = *v * f;
+            *v *= f;
         }
         self.inner.run(&mut buf, Direction::Inverse);
         let inv_m = 1.0 / self.m as f64;
@@ -218,14 +227,19 @@ mod tests {
     fn rand_signal(n: usize, seed: u64) -> Vec<c64> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         (0..n).map(|_| c64::new(next(), next())).collect()
     }
 
     fn max_err(a: &[c64], b: &[c64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -25,13 +25,19 @@ impl<S: Scalar> Field<S> {
     /// Zero field on `grid`.
     pub fn zeros(grid: Grid3) -> Self {
         let n = grid.len();
-        Field { grid, data: vec![S::ZERO; n] }
+        Field {
+            grid,
+            data: vec![S::ZERO; n],
+        }
     }
 
     /// Field with every point set to `value`.
     pub fn constant(grid: Grid3, value: S) -> Self {
         let n = grid.len();
-        Field { grid, data: vec![value; n] }
+        Field {
+            grid,
+            data: vec![value; n],
+        }
     }
 
     /// Builds a field from a function of the grid point position (Bohr).
@@ -134,8 +140,16 @@ impl<S: Scalar> Field<S> {
     /// Pointwise difference `self − other` as a new field.
     pub fn diff(&self, other: &Field<S>) -> Field<S> {
         assert_eq!(self.grid, other.grid, "diff: grid mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a - b).collect();
-        Field { grid: self.grid.clone(), data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Field {
+            grid: self.grid.clone(),
+            data,
+        }
     }
 
     /// Extracts a periodic sub-box starting at global grid point `origin`

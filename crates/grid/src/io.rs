@@ -55,35 +55,51 @@ pub fn save_field(field: &RealField, path: &Path) -> Result<(), IoError> {
     Ok(())
 }
 
+/// Reads 8 bytes, naming the field being read when the file ends early —
+/// "unexpected EOF" alone is useless for a multi-GB checkpoint.
+fn read8(r: &mut impl Read, what: &dyn Fn() -> String) -> Result<[u8; 8], IoError> {
+    let mut u = [0u8; 8];
+    r.read_exact(&mut u).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            IoError::Format(format!("truncated while reading {}", what()))
+        } else {
+            IoError::Io(e)
+        }
+    })?;
+    Ok(u)
+}
+
 /// Reads a field checkpoint.
 pub fn load_field(path: &Path) -> Result<RealField, IoError> {
     let mut r = io::BufReader::new(std::fs::File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    let magic = read8(&mut r, &|| "magic tag".into())?;
     if &magic != MAGIC {
-        return Err(IoError::Format("wrong magic".into()));
+        return Err(IoError::Format(format!(
+            "wrong magic {:?} (expected {:?})",
+            String::from_utf8_lossy(&magic),
+            String::from_utf8_lossy(MAGIC)
+        )));
     }
-    let mut u = [0u8; 8];
     let mut dims = [0usize; 3];
-    for d in dims.iter_mut() {
-        r.read_exact(&mut u)?;
-        *d = u64::from_le_bytes(u) as usize;
+    for (d, slot) in dims.iter_mut().enumerate() {
+        let u = read8(&mut r, &|| format!("header field dims[{d}]"))?;
+        *slot = u64::from_le_bytes(u) as usize;
     }
     let mut lengths = [0f64; 3];
-    for l in lengths.iter_mut() {
-        r.read_exact(&mut u)?;
-        *l = f64::from_le_bytes(u);
+    for (d, slot) in lengths.iter_mut().enumerate() {
+        let u = read8(&mut r, &|| format!("header field lengths[{d}]"))?;
+        *slot = f64::from_le_bytes(u);
     }
     if dims.iter().any(|&d| d == 0 || d > 100_000) {
         return Err(IoError::Format(format!("implausible dims {dims:?}")));
     }
-    if lengths.iter().any(|&l| !(l > 0.0) || !l.is_finite()) {
+    if lengths.iter().any(|&l| l <= 0.0 || !l.is_finite()) {
         return Err(IoError::Format(format!("implausible lengths {lengths:?}")));
     }
     let n = dims[0] * dims[1] * dims[2];
     let mut data = Vec::with_capacity(n);
-    for _ in 0..n {
-        r.read_exact(&mut u)?;
+    for i in 0..n {
+        let u = read8(&mut r, &|| format!("sample {i} of {n} ({dims:?} grid)"))?;
         data.push(f64::from_le_bytes(u));
     }
     Ok(RealField::from_vec(Grid3::new(dims, lengths), data))
@@ -114,6 +130,25 @@ mod tests {
         let path = dir.join("garbage.ck");
         std::fs::write(&path, b"not a checkpoint at all").unwrap();
         assert!(load_field(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_names_the_missing_sample() {
+        let g = Grid3::new([4, 4, 4], [1.0, 1.0, 1.0]);
+        let f = RealField::from_fn(g, |r| r[0]);
+        let dir = std::env::temp_dir().join("ls3df_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.ck");
+        save_field(&f, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 24]).unwrap(); // drop 3 samples
+        match load_field(&path) {
+            Err(IoError::Format(m)) => {
+                assert!(m.contains("sample 61 of 64"), "context missing: {m}")
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -7,9 +7,9 @@
 #![warn(missing_docs)]
 
 mod field;
-pub mod io;
 mod grid3;
+pub mod io;
 
 pub use field::{ComplexField, Field, RealField};
-pub use io::{load_field, save_field};
 pub use grid3::Grid3;
+pub use io::{load_field, save_field};

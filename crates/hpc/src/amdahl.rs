@@ -36,8 +36,9 @@ impl AmdahlFit {
 }
 
 /// Fits Amdahl's law to `(cores, performance)` samples. Panics on fewer
-/// than two samples or on degenerate data.
-pub fn fit_amdahl(cores: &[f64], perf: &[f64]) -> AmdahlFit {
+/// than two samples; returns `None` when the least-squares system is
+/// degenerate (e.g. all samples at the same core count).
+pub fn fit_amdahl(cores: &[f64], perf: &[f64]) -> Option<AmdahlFit> {
     assert_eq!(cores.len(), perf.len(), "fit_amdahl: length mismatch");
     assert!(cores.len() >= 2, "fit_amdahl: need at least two samples");
     let a = Matrix::from_fn(cores.len(), 2, |i, j| {
@@ -49,10 +50,15 @@ pub fn fit_amdahl(cores: &[f64], perf: &[f64]) -> AmdahlFit {
         }
     });
     let b: Vec<f64> = perf.iter().map(|&p| 1.0 / p).collect();
-    let c = lstsq(&a, &b).expect("Amdahl fit: degenerate system");
+    let c = lstsq(&a, &b).ok()?;
     let p_serial = 1.0 / c[0];
     let alpha = c[1] * p_serial;
-    let mut fit = AmdahlFit { p_serial, alpha, mean_abs_rel_dev: 0.0, max_abs_rel_dev: 0.0 };
+    let mut fit = AmdahlFit {
+        p_serial,
+        alpha,
+        mean_abs_rel_dev: 0.0,
+        max_abs_rel_dev: 0.0,
+    };
     let mut sum = 0.0;
     let mut max: f64 = 0.0;
     for (&n, &p) in cores.iter().zip(perf) {
@@ -62,7 +68,7 @@ pub fn fit_amdahl(cores: &[f64], perf: &[f64]) -> AmdahlFit {
     }
     fit.mean_abs_rel_dev = sum / cores.len() as f64;
     fit.max_abs_rel_dev = max;
-    fit
+    Some(fit)
 }
 
 #[cfg(test)]
@@ -78,7 +84,7 @@ mod tests {
             .iter()
             .map(|&n| ps * n / (1.0 + (n - 1.0) * alpha))
             .collect();
-        let fit = fit_amdahl(&cores, &perf);
+        let fit = fit_amdahl(&cores, &perf).unwrap();
         assert!((fit.p_serial / ps - 1.0).abs() < 1e-9);
         assert!((fit.alpha / alpha - 1.0).abs() < 1e-6);
         assert!(fit.max_abs_rel_dev < 1e-10);
@@ -97,8 +103,12 @@ mod tests {
                 ps * n / (1.0 + (n - 1.0) * alpha) * noise
             })
             .collect();
-        let fit = fit_amdahl(&cores, &perf);
-        assert!((fit.alpha / alpha - 1.0).abs() < 0.5, "alpha = {}", fit.alpha);
+        let fit = fit_amdahl(&cores, &perf).unwrap();
+        assert!(
+            (fit.alpha / alpha - 1.0).abs() < 0.5,
+            "alpha = {}",
+            fit.alpha
+        );
         assert!(fit.mean_abs_rel_dev < 0.02);
     }
 
@@ -119,7 +129,7 @@ mod tests {
     fn perfect_scaling_gives_zero_alpha() {
         let cores = [100.0, 200.0, 400.0, 800.0];
         let perf: Vec<f64> = cores.iter().map(|&n| 3.0 * n).collect();
-        let fit = fit_amdahl(&cores, &perf);
+        let fit = fit_amdahl(&cores, &perf).unwrap();
         assert!(fit.alpha.abs() < 1e-12);
         assert!((fit.p_serial - 3.0).abs() < 1e-9);
     }

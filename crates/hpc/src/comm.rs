@@ -31,12 +31,22 @@ pub struct Network {
 impl Network {
     /// Cray XT4 SeaStar2-class parameters.
     pub fn xt4() -> Self {
-        Network { latency: 6e-6, bandwidth: 2.0e9, fs_bandwidth: 4.0e9, fs_latency: 8e-3 }
+        Network {
+            latency: 6e-6,
+            bandwidth: 2.0e9,
+            fs_bandwidth: 4.0e9,
+            fs_latency: 8e-3,
+        }
     }
 
     /// BlueGene/P torus + collective network parameters.
     pub fn bluegene_p() -> Self {
-        Network { latency: 3e-6, bandwidth: 0.425e9, fs_bandwidth: 4.0e9, fs_latency: 8e-3 }
+        Network {
+            latency: 3e-6,
+            bandwidth: 0.425e9,
+            fs_bandwidth: 4.0e9,
+            fs_latency: 8e-3,
+        }
     }
 }
 
@@ -144,7 +154,10 @@ mod tests {
         let col = p.time(CommAlgo::Collective, &net);
         let p2p = p.time(CommAlgo::PointToPoint, &net);
         assert!(io > col, "file I/O {io} must exceed collectives {col}");
-        assert!(col > p2p, "collectives {col} must exceed point-to-point {p2p}");
+        assert!(
+            col > p2p,
+            "collectives {col} must exceed point-to-point {p2p}"
+        );
         // Order-of-magnitude shape: the paper saw ~10× from dropping file
         // I/O and a further ~6× from isend/irecv.
         assert!(io / col > 3.0, "I/O→collective ratio {}", io / col);
@@ -170,12 +183,12 @@ mod tests {
         let small = CommProblem::for_decomposition([8, 8, 8], 40, 12, 4096, 64);
         let large = CommProblem::for_decomposition([8, 8, 8], 40, 12, 32768, 64);
         // 8× the groups → ~8× faster p2p exchange (same total data).
-        let ratio = small.time(CommAlgo::PointToPoint, &net)
-            / large.time(CommAlgo::PointToPoint, &net);
+        let ratio =
+            small.time(CommAlgo::PointToPoint, &net) / large.time(CommAlgo::PointToPoint, &net);
         assert!((4.0..12.0).contains(&ratio), "scale-out ratio {ratio}");
         // Collectives barely improve (global payload is fixed).
-        let col_ratio = small.time(CommAlgo::Collective, &net)
-            / large.time(CommAlgo::Collective, &net);
+        let col_ratio =
+            small.time(CommAlgo::Collective, &net) / large.time(CommAlgo::Collective, &net);
         assert!(col_ratio < 1.5, "collective ratio {col_ratio}");
     }
 
@@ -184,6 +197,9 @@ mod tests {
         let a = CommProblem::for_decomposition([4, 4, 4], 40, 12, 4096, 64);
         let b = CommProblem::for_decomposition([8, 8, 4], 40, 12, 4096, 64);
         let ratio = b.total_bytes() / a.total_bytes();
-        assert!((ratio - 4.0).abs() < 0.01, "bytes ratio {ratio} for 4× pieces");
+        assert!(
+            (ratio - 4.0).abs() < 0.01,
+            "bytes ratio {ratio} for 4× pieces"
+        );
     }
 }

@@ -66,7 +66,12 @@ impl IterationTime {
 
 /// The model: wall time of one SCF iteration of `problem` on `cores`
 /// cores with `np` cores per group.
-pub fn iteration_time(machine: &MachineSpec, problem: &Problem, cores: usize, np: usize) -> IterationTime {
+pub fn iteration_time(
+    machine: &MachineSpec,
+    problem: &Problem,
+    cores: usize,
+    np: usize,
+) -> IterationTime {
     assert!(cores >= np && np >= 1, "need at least one full group");
     let atoms = problem.atoms() as f64;
     let flops = machine.flops_per_atom_iter * atoms;
@@ -142,7 +147,11 @@ pub struct DirectCodeModel {
 impl DirectCodeModel {
     /// Calibrated PARATEC-like model (see struct docs).
     pub fn paratec() -> Self {
-        DirectCodeModel { kappa2: 5.877e9, kappa3: 1.127e6, efficiency: 0.5 }
+        DirectCodeModel {
+            kappa2: 5.877e9,
+            kappa3: 1.127e6,
+            efficiency: 0.5,
+        }
     }
 
     /// Time per SCF iteration on `cores` cores (perfect scaling granted,
@@ -164,7 +173,11 @@ mod tests {
         let small = iteration_time(&m, &Problem::new(4, 4, 4), 1280, 20).total();
         let large = iteration_time(&m, &Problem::new(8, 8, 8), 10240, 20).total();
         // 8× atoms on 8× cores → same time within imbalance noise.
-        assert!((large / small - 1.0).abs() < 0.15, "ratio = {}", large / small);
+        assert!(
+            (large / small - 1.0).abs() < 0.15,
+            "ratio = {}",
+            large / small
+        );
     }
 
     #[test]

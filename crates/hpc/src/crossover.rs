@@ -116,6 +116,9 @@ mod tests {
         let r1 = speed_ratio(&m, &d, &Problem::new(6, 6, 6), 17280, 40);
         let r2 = speed_ratio(&m, &d, &Problem::new(12, 12, 12), 17280, 40);
         let growth = r2 / r1;
-        assert!((8.0..64.0).contains(&growth), "growth {growth} for 8× atoms");
+        assert!(
+            (8.0..64.0).contains(&growth),
+            "growth {growth} for 8× atoms"
+        );
     }
 }

@@ -21,9 +21,11 @@ pub mod simulate;
 pub mod table1;
 
 pub use amdahl::{fit_amdahl, AmdahlFit};
-pub use cost::{iteration_time, pct_peak, sustained_flops, DirectCodeModel, IterationTime, Problem};
-pub use crossover::{crossover_atoms, crossover_sweep, speed_ratio, CrossoverPoint};
 pub use comm::{CommProblem, Network};
+pub use cost::{
+    iteration_time, pct_peak, sustained_flops, DirectCodeModel, IterationTime, Problem,
+};
+pub use crossover::{crossover_atoms, crossover_sweep, speed_ratio, CrossoverPoint};
 pub use machine::{CommAlgo, MachineSpec};
 pub use scaling::{
     efficiency_scatter, fig3_core_counts, strong_scaling, weak_scaling, EfficiencyPoint,

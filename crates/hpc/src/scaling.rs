@@ -20,13 +20,14 @@ pub struct StrongScalingPoint {
 
 /// The paper's Fig. 3 experiment: the 3,456-atom 8×6×9 system, Np = 40,
 /// concurrency swept from 1,080 to `max_cores` cores. Returns the curve
-/// plus Amdahl fits for both LS3DF and PEtot_F (the paper's model lines).
+/// plus Amdahl fits for both LS3DF and PEtot_F (the paper's model lines),
+/// or `None` when the core counts make the Amdahl fit degenerate.
 pub fn strong_scaling(
     machine: &MachineSpec,
     problem: &Problem,
     np: usize,
     core_counts: &[usize],
-) -> (Vec<StrongScalingPoint>, AmdahlFit, AmdahlFit) {
+) -> Option<(Vec<StrongScalingPoint>, AmdahlFit, AmdahlFit)> {
     assert!(!core_counts.is_empty());
     let base = core_counts[0];
     let base_t = iteration_time(machine, problem, base, np);
@@ -46,9 +47,9 @@ pub fn strong_scaling(
         perf_ls3df.push(flops / t.total());
         perf_petot.push(flops / t.petot_f);
     }
-    let fit_ls3df = fit_amdahl(&cores_f, &perf_ls3df);
-    let fit_petot = fit_amdahl(&cores_f, &perf_petot);
-    (points, fit_ls3df, fit_petot)
+    let fit_ls3df = fit_amdahl(&cores_f, &perf_ls3df)?;
+    let fit_petot = fit_amdahl(&cores_f, &perf_petot)?;
+    Some((points, fit_ls3df, fit_petot))
 }
 
 /// One point of the Fig. 4 efficiency scatter.
@@ -120,7 +121,7 @@ mod tests {
         // 15.3 (95.8% efficiency) for PEtot_F and 13.8 (86.3%) for LS3DF.
         let m = MachineSpec::franklin();
         let p = Problem::new(8, 6, 9);
-        let (points, _, _) = strong_scaling(&m, &p, 40, &fig3_core_counts());
+        let (points, _, _) = strong_scaling(&m, &p, 40, &fig3_core_counts()).unwrap();
         let last = points.last().unwrap();
         assert!(
             (last.speedup_petot - 15.3).abs() < 0.7,
@@ -144,8 +145,11 @@ mod tests {
         // effective single-core rate of 2.39 Gflop/s.
         let m = MachineSpec::franklin();
         let p = Problem::new(8, 6, 9);
-        let (_, fit_ls3df, fit_petot) = strong_scaling(&m, &p, 40, &fig3_core_counts());
-        assert!(fit_petot.alpha < fit_ls3df.alpha, "PEtot_F has less serial work");
+        let (_, fit_ls3df, fit_petot) = strong_scaling(&m, &p, 40, &fig3_core_counts()).unwrap();
+        assert!(
+            fit_petot.alpha < fit_ls3df.alpha,
+            "PEtot_F has less serial work"
+        );
         assert!(
             fit_ls3df.alpha > 1.0 / 400_000.0 && fit_ls3df.alpha < 1.0 / 40_000.0,
             "LS3DF α = {}",
@@ -170,13 +174,13 @@ mod tests {
         ];
         let pts = weak_scaling(&m, &runs);
         for w in pts.windows(2) {
-            let slope = (w[1].tflops / w[0].tflops).log2() / (w[1].cores as f64 / w[0].cores as f64).log2();
+            let slope =
+                (w[1].tflops / w[0].tflops).log2() / (w[1].cores as f64 / w[0].cores as f64).log2();
             assert!((0.8..=1.05).contains(&slope), "log-log slope {slope}");
         }
         // Ordering across machines at their largest runs: Intrepid tops.
         let f = MachineSpec::franklin();
-        let franklin_best =
-            sustained_flops(&f, &Problem::new(12, 12, 12), 17280, 10) / 1e12;
+        let franklin_best = sustained_flops(&f, &Problem::new(12, 12, 12), 17280, 10) / 1e12;
         assert!(pts.last().unwrap().tflops > franklin_best);
     }
 

@@ -76,21 +76,26 @@ pub fn schedule(jobs: &[FragmentJob], n_groups: usize, policy: Policy) -> Schedu
         }
         Policy::LongestFirst => {
             let mut sorted: Vec<f64> = jobs.iter().map(|j| j.cost).collect();
-            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            sorted.sort_by(|a, b| b.total_cmp(a));
             for c in sorted {
-                // Place on the least-loaded group.
-                let (idx, _) = loads
+                // Place on the least-loaded group (`loads` is non-empty:
+                // n_groups >= 1 is asserted above).
+                let idx = loads
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                    .unwrap();
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map_or(0, |(i, _)| i);
                 loads[idx] += c;
             }
         }
     }
     let makespan = loads.iter().cloned().fold(0.0, f64::max);
     let total: f64 = loads.iter().sum();
-    Schedule { group_loads: loads, makespan, ideal: total / n_groups as f64 }
+    Schedule {
+        group_loads: loads,
+        makespan,
+        ideal: total / n_groups as f64,
+    }
 }
 
 /// Imbalance factor of the LPT schedule for an LS3DF problem — the

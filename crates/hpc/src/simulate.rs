@@ -54,12 +54,14 @@ pub fn simulate_iteration(
         .map(|&units| units * flops_per_unit / group_rate)
         .collect();
     let petot_wall = group_busy.iter().cloned().fold(0.0, f64::max)
-        + machine.serial_fraction * total_flops / (machine.peak_per_core * machine.group_efficiency(np));
+        + machine.serial_fraction * total_flops
+            / (machine.peak_per_core * machine.group_efficiency(np));
 
     // Communication: the calibrated per-atom constant split 80/20 between
     // the two patching steps and GENPOT (paper §IV: GENPOT is the smaller
     // piece after optimization).
-    let comm_total = machine.comm_seconds_per_atom * problem.atoms() as f64 * machine.comm_multiplier();
+    let comm_total =
+        machine.comm_seconds_per_atom * problem.atoms() as f64 * machine.comm_multiplier();
     let comm_wall = 0.8 * comm_total;
     let genpot_wall = 0.2 * comm_total;
 
@@ -116,7 +118,7 @@ mod tests {
         let m = MachineSpec::franklin();
         let p = Problem::new(2, 2, 2); // 64 fragments only
         let sim = simulate_iteration(&m, &p, 17280, 40); // 432 groups
-        // Most groups idle → utilization far below 1.
+                                                         // Most groups idle → utilization far below 1.
         assert!(sim.utilization < 0.30, "utilization {}", sim.utilization);
         let idle = sim.group_busy.iter().filter(|&&b| b == 0.0).count();
         assert!(idle >= 432 - 64, "idle groups {idle}");
@@ -132,6 +134,10 @@ mod tests {
         let sim = simulate_iteration(&m, &p, 131_072, 64);
         assert!(sim.petot_wall > 5.0 * (sim.comm_wall + sim.genpot_wall));
         // And the total is around the paper's ~57 s/iteration.
-        assert!((20.0..120.0).contains(&sim.total_wall), "t = {}", sim.total_wall);
+        assert!(
+            (20.0..120.0).contains(&sim.total_wall),
+            "t = {}",
+            sim.total_wall
+        );
     }
 }

@@ -121,8 +121,12 @@ mod tests {
             assert_eq!(r.atoms, 8 * r.m[0] * r.m[1] * r.m[2]);
         }
         // Headline rows.
-        assert!(t.iter().any(|r| r.cores == 131_072 && (r.paper_tflops - 107.5).abs() < 1e-9));
-        assert!(t.iter().any(|r| r.cores == 30_720 && (r.paper_tflops - 60.3).abs() < 1e-9));
+        assert!(t
+            .iter()
+            .any(|r| r.cores == 131_072 && (r.paper_tflops - 107.5).abs() < 1e-9));
+        assert!(t
+            .iter()
+            .any(|r| r.cores == 30_720 && (r.paper_tflops - 60.3).abs() < 1e-9));
     }
 
     #[test]

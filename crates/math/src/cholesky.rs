@@ -166,12 +166,14 @@ pub fn invert_lower<S: Scalar>(l: &Matrix<S>) -> Matrix<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{c64, gemm::matmul_nh, gemm::matmul, Matrix};
+    use crate::{c64, gemm::matmul, gemm::matmul_nh, Matrix};
 
     fn spd_complex(n: usize, seed: u64) -> Matrix<c64> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let b = Matrix::from_fn(n, n, |_, _| c64::new(next(), next()));
@@ -199,7 +201,9 @@ mod tests {
     fn solve_gives_residual_zero() {
         let a = spd_complex(9, 7);
         let ch = Cholesky::new(&a).unwrap();
-        let b: Vec<c64> = (0..9).map(|i| c64::new(i as f64, -(i as f64) / 2.0)).collect();
+        let b: Vec<c64> = (0..9)
+            .map(|i| c64::new(i as f64, -(i as f64) / 2.0))
+            .collect();
         let x = ch.solve(&b);
         let r = a.matvec(&x);
         for i in 0..9 {
@@ -227,7 +231,9 @@ mod tests {
     fn block_solve_matches_columnwise() {
         let a = spd_complex(6, 3);
         let ch = Cholesky::new(&a).unwrap();
-        let x0 = Matrix::from_fn(6, 10, |i, j| c64::new((i + j) as f64, (i as f64) - (j as f64)));
+        let x0 = Matrix::from_fn(6, 10, |i, j| {
+            c64::new((i + j) as f64, (i as f64) - (j as f64))
+        });
         let mut x = x0.clone();
         ch.solve_l_block(&mut x);
         for j in 0..10 {

@@ -176,6 +176,8 @@ impl Mul for c64 {
 
 impl Div for c64 {
     type Output = c64;
+    // Complex division is multiplication by the conjugate inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline(always)]
     fn div(self, o: c64) -> c64 {
         self * o.inv()
@@ -310,7 +312,13 @@ mod tests {
 
     #[test]
     fn sqrt_roundtrip() {
-        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -7.0), (-2.5, 1.5)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (0.0, 2.0),
+            (-1.0, 0.0),
+            (3.0, -7.0),
+            (-2.5, 1.5),
+        ] {
             let z = c64::new(re, im);
             let r = z.sqrt();
             assert!(close(r * r, z, 1e-12), "sqrt({z:?})={r:?}");

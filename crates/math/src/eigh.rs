@@ -59,13 +59,13 @@ pub fn eigh<S: Scalar>(a: &Matrix<S>) -> Eig<S> {
                 let u = apq.scale(1.0 / r);
                 let uc = u.conj();
                 for i in 0..n {
-                    a[(i, q)] = a[(i, q)] * uc;
+                    a[(i, q)] *= uc;
                 }
                 for j in 0..n {
-                    a[(q, j)] = a[(q, j)] * u;
+                    a[(q, j)] *= u;
                 }
                 for i in 0..n {
-                    v[(i, q)] = v[(i, q)] * uc;
+                    v[(i, q)] *= uc;
                 }
 
                 // Real Jacobi rotation zeroing the now-real off-diagonal.
@@ -114,7 +114,7 @@ fn finish<S: Scalar>(a: Matrix<S>, v: Matrix<S>) -> Eig<S> {
     let n = a.rows();
     let mut order: Vec<usize> = (0..n).collect();
     let vals: Vec<f64> = (0..n).map(|i| a[(i, i)].re()).collect();
-    order.sort_by(|&i, &j| vals[i].partial_cmp(&vals[j]).unwrap());
+    order.sort_by(|&i, &j| vals[i].total_cmp(&vals[j]));
     let values: Vec<f64> = order.iter().map(|&i| vals[i]).collect();
     let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
     Eig { values, vectors }
@@ -133,7 +133,9 @@ mod tests {
     fn hermitian_random(n: usize, seed: u64) -> Matrix<c64> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let b = Matrix::from_fn(n, n, |_, _| c64::new(next(), next()));
@@ -226,7 +228,11 @@ mod tests {
         let a = hermitian_random(10, 9);
         let e = eigh(&a);
         let lam = Matrix::from_fn(10, 10, |i, j| {
-            if i == j { c64::real(e.values[i]) } else { c64::ZERO }
+            if i == j {
+                c64::real(e.values[i])
+            } else {
+                c64::ZERO
+            }
         });
         let recon = matmul_nh(&matmul(&e.vectors, &lam), &e.vectors);
         for i in 0..10 {

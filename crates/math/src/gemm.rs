@@ -311,7 +311,9 @@ mod tests {
         // Simple deterministic LCG so tests need no RNG dependency here.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         Matrix::from_fn(rows, cols, |_, _| c64::new(next(), next()))
@@ -333,7 +335,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_nn() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 4), (17, 33, 9), (70, 70, 70), (128, 40, 65)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 4),
+            (17, 33, 9),
+            (70, 70, 70),
+            (128, 40, 65),
+        ] {
             let a = rand_matrix(m, k, 1);
             let b = rand_matrix(k, n, 2);
             assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-11);
@@ -401,9 +409,17 @@ mod tests {
         let b = rand_matrix(120, 90, 15);
         assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-10);
         let bh = rand_matrix(90, 120, 16);
-        assert_close(&matmul_nh(&a, &bh), &matmul_naive(&a, &bh.hermitian()), 1e-10);
+        assert_close(
+            &matmul_nh(&a, &bh),
+            &matmul_naive(&a, &bh.hermitian()),
+            1e-10,
+        );
         let ah = rand_matrix(120, 90, 17);
-        assert_close(&matmul_hn(&ah, &b), &matmul_naive(&ah.hermitian(), &b), 1e-10);
+        assert_close(
+            &matmul_hn(&ah, &b),
+            &matmul_naive(&ah.hermitian(), &b),
+            1e-10,
+        );
     }
 
     #[test]
@@ -424,7 +440,11 @@ mod tests {
                     );
                 }
             }
-            assert_eq!(got.hermiticity_error(), 0.0, "exact Hermiticity by construction");
+            assert_eq!(
+                got.hermiticity_error(),
+                0.0,
+                "exact Hermiticity by construction"
+            );
         }
     }
 

@@ -49,8 +49,8 @@ pub use scalar::Scalar;
 
 pub use cholesky::Cholesky;
 pub use eigh::{eigh, eigvalsh, Eig};
-pub use tridiag::{eigh_tridiagonal, eigh_tridiagonal_real};
 pub use lu::{lstsq, polyfit, polyval, solve, Lu};
+pub use tridiag::{eigh_tridiagonal, eigh_tridiagonal_real};
 
 /// Hermitian eigendecomposition with automatic algorithm choice: cyclic
 /// Jacobi for small matrices (unbeatable constants, bulletproof), the

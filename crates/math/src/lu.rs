@@ -66,7 +66,11 @@ impl<S: Scalar> Lu<S> {
                 }
             }
         }
-        Ok(Lu { lu, piv, sign_flips })
+        Ok(Lu {
+            lu,
+            piv,
+            sign_flips,
+        })
     }
 
     /// Solves `A·x = b`.
@@ -96,7 +100,11 @@ impl<S: Scalar> Lu<S> {
 
     /// Determinant.
     pub fn det(&self) -> S {
-        let mut d = if self.sign_flips % 2 == 0 { S::ONE } else { -S::ONE };
+        let mut d = if self.sign_flips.is_multiple_of(2) {
+            S::ONE
+        } else {
+            -S::ONE
+        };
         for i in 0..self.lu.rows() {
             d *= self.lu[(i, i)];
         }
@@ -158,7 +166,12 @@ mod tests {
         let a = Matrix::from_vec(
             2,
             2,
-            vec![c64::new(1.0, 1.0), c64::real(2.0), c64::I, c64::new(0.0, -3.0)],
+            vec![
+                c64::new(1.0, 1.0),
+                c64::real(2.0),
+                c64::I,
+                c64::new(0.0, -3.0),
+            ],
         );
         let b = [c64::new(3.0, 1.0), c64::new(0.0, -2.0)];
         let x = a.matvec(&solve(&a, &b).unwrap());

@@ -5,7 +5,7 @@
 //! the band-by-band (row slice) and all-band (GEMM on the whole block) code
 //! paths natural.
 
-use crate::{Scalar, c64};
+use crate::{c64, Scalar};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -20,7 +20,11 @@ pub struct Matrix<S: Scalar> {
 impl<S: Scalar> Matrix<S> {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![S::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![S::ZERO; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -45,7 +49,11 @@ impl<S: Scalar> Matrix<S> {
 
     /// Wraps an existing buffer (length must equal `rows * cols`).
     pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
-        assert_eq!(data.len(), rows * cols, "Matrix::from_vec: wrong buffer length");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: wrong buffer length"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -292,7 +300,9 @@ mod tests {
 
     #[test]
     fn matvec_and_matvec_h_are_adjoint() {
-        let a = Matrix::from_fn(3, 2, |i, j| c64::new((i + j) as f64, (i as f64) - (j as f64)));
+        let a = Matrix::from_fn(3, 2, |i, j| {
+            c64::new((i + j) as f64, (i as f64) - (j as f64))
+        });
         let x = vec![c64::new(1.0, 1.0), c64::new(-2.0, 0.5)];
         let y = vec![c64::new(0.0, 1.0), c64::new(2.0, 0.0), c64::new(1.0, -1.0)];
         // ⟨y, A x⟩ = ⟨Aᴴ y, x⟩

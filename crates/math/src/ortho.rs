@@ -33,7 +33,10 @@ pub fn gram_schmidt<S: Scalar>(psi: &mut Matrix<S>, metric: f64) -> Result<(), F
         }
         let norm_sq = nrm2_sqr(psi.row(i)) * metric;
         if norm_sq < 1e-28 {
-            return Err(FactorError::NotPositiveDefinite { pivot: i, value: norm_sq });
+            return Err(FactorError::NotPositiveDefinite {
+                pivot: i,
+                value: norm_sq,
+            });
         }
         dscal(1.0 / norm_sq.sqrt(), psi.row_mut(i));
     }
@@ -86,7 +89,9 @@ mod tests {
     fn rand_block(nb: usize, n: usize, seed: u64) -> Matrix<c64> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         Matrix::from_fn(nb, n, |_, _| c64::new(next(), next()))

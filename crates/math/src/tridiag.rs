@@ -33,7 +33,11 @@ pub fn hermitian_to_tridiagonal(a: &Matrix<c64>) -> (Vec<f64>, Vec<f64>, Matrix<
         }
         // α = −e^{iθ}·‖x‖ where θ = arg(x₀): makes v = x − α·e₁ stable.
         let x0 = x[0];
-        let phase = if x0.abs() < 1e-300 { c64::ONE } else { x0.scale(1.0 / x0.abs()) };
+        let phase = if x0.abs() < 1e-300 {
+            c64::ONE
+        } else {
+            x0.scale(1.0 / x0.abs())
+        };
         let alpha = -(phase.scale(xnorm));
         let mut v = x;
         v[0] -= alpha;
@@ -64,11 +68,7 @@ pub fn hermitian_to_tridiagonal(a: &Matrix<c64>) -> (Vec<f64>, Vec<f64>, Matrix<
         }
         // u = w − K·v ;  A ← A − 2(v·uᴴ + u·vᴴ) − ... (standard rank-2):
         // A ← A − 2v(wᴴ − K̄vᴴ) − 2(w − Kv)vᴴ simplifies with u:
-        let u: Vec<c64> = w
-            .iter()
-            .zip(&v)
-            .map(|(&wi, &vi)| wi - vi * kvw)
-            .collect();
+        let u: Vec<c64> = w.iter().zip(&v).map(|(&wi, &vi)| wi - vi * kvw).collect();
         for i in 0..m {
             for j in 0..m {
                 let upd = (v[i] * u[j].conj() + u[i] * v[j].conj()).scale(2.0);
@@ -109,13 +109,17 @@ pub fn hermitian_to_tridiagonal(a: &Matrix<c64>) -> (Vec<f64>, Vec<f64>, Matrix<
         let e = a[(i + 1, i)];
         let r = e.abs();
         off[i] = r;
-        let phase = if r < 1e-300 { c64::ONE } else { e.scale(1.0 / r) };
+        let phase = if r < 1e-300 {
+            c64::ONE
+        } else {
+            e.scale(1.0 / r)
+        };
         d[i + 1] = d[i] * phase;
     }
     // Fold D into Q: Q ← Q·D.
     for j in 0..n {
         for i in 0..n {
-            q[(i, j)] = q[(i, j)] * d[j];
+            q[(i, j)] *= d[j];
         }
     }
     (diag, off, q)
@@ -203,7 +207,7 @@ pub fn eigh_tridiagonal(a: &Matrix<c64>) -> Eig<c64> {
     tridiagonal_ql(&mut diag, &mut off, &mut q);
     // Sort ascending, permuting eigenvector columns.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).unwrap());
+    order.sort_by(|&i, &j| diag[i].total_cmp(&diag[j]));
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let vectors = Matrix::from_fn(n, n, |i, j| q[(i, order[j])]);
     Eig { values, vectors }
@@ -228,7 +232,9 @@ mod tests {
     fn hermitian_random(n: usize, seed: u64) -> Matrix<c64> {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let b = Matrix::from_fn(n, n, |_, _| c64::new(next(), next()));
@@ -245,7 +251,10 @@ mod tests {
         for i in 0..12 {
             for j in 0..12 {
                 let e = if i == j { c64::ONE } else { c64::ZERO };
-                assert!((qhq[(i, j)] - e).abs() < 1e-10, "Q not unitary at ({i},{j})");
+                assert!(
+                    (qhq[(i, j)] - e).abs() < 1e-10,
+                    "Q not unitary at ({i},{j})"
+                );
             }
         }
         // Q·T·Qᴴ = A with T built from (diag, off).

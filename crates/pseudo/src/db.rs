@@ -28,18 +28,42 @@ pub struct PseudoParams {
 pub fn params_for(species: Species) -> PseudoParams {
     match species {
         Species::Zn => PseudoParams {
-            local: LocalPotential { z: 2.0, rc: 1.20, a: 3.0, w: 0.95 },
-            kb: KbProjector { rb: 1.00, e_kb: 1.2 },
+            local: LocalPotential {
+                z: 2.0,
+                rc: 1.20,
+                a: 3.0,
+                w: 0.95,
+            },
+            kb: KbProjector {
+                rb: 1.00,
+                e_kb: 1.2,
+            },
         },
         Species::Te => PseudoParams {
-            local: LocalPotential { z: 6.0, rc: 1.45, a: 5.5, w: 1.15 },
-            kb: KbProjector { rb: 1.20, e_kb: 2.0 },
+            local: LocalPotential {
+                z: 6.0,
+                rc: 1.45,
+                a: 5.5,
+                w: 1.15,
+            },
+            kb: KbProjector {
+                rb: 1.20,
+                e_kb: 2.0,
+            },
         },
         Species::O => PseudoParams {
             // Deeper, more compact than Te: this is what creates the
             // oxygen-induced states inside the ZnTe gap.
-            local: LocalPotential { z: 6.0, rc: 0.90, a: 1.8, w: 0.65 },
-            kb: KbProjector { rb: 0.80, e_kb: 1.0 },
+            local: LocalPotential {
+                z: 6.0,
+                rc: 0.90,
+                a: 1.8,
+                w: 0.65,
+            },
+            kb: KbProjector {
+                rb: 0.80,
+                e_kb: 1.0,
+            },
         },
         Species::H => passivant_params(1.0),
     }
@@ -49,7 +73,12 @@ pub fn params_for(species: Species) -> PseudoParams {
 /// `q` (0.5 for anion-side bonds, 1.5 for cation-side in II–VI crystals).
 pub fn passivant_params(q: f64) -> PseudoParams {
     PseudoParams {
-        local: LocalPotential { z: q, rc: 0.70, a: 0.0, w: 1.0 },
+        local: LocalPotential {
+            z: q,
+            rc: 0.70,
+            a: 0.0,
+            w: 1.0,
+        },
         kb: KbProjector { rb: 1.0, e_kb: 0.0 },
     }
 }
@@ -97,10 +126,20 @@ impl PseudoTable {
     /// irrelevant but a clean band gap is essential.
     pub fn deep_well(z: f64, rc: f64) -> Self {
         let p = PseudoParams {
-            local: LocalPotential { z, rc, a: 0.0, w: 1.0 },
+            local: LocalPotential {
+                z,
+                rc,
+                a: 0.0,
+                w: 1.0,
+            },
             kb: KbProjector { rb: 1.0, e_kb: 0.0 },
         };
-        PseudoTable { zn: p, te: p, o: p, h: p }
+        PseudoTable {
+            zn: p,
+            te: p,
+            o: p,
+            h: p,
+        }
     }
 }
 

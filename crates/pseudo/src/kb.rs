@@ -57,6 +57,10 @@ mod tests {
     #[test]
     fn inactive_when_zero_strength() {
         assert!(!KbProjector { rb: 1.0, e_kb: 0.0 }.is_active());
-        assert!(KbProjector { rb: 1.0, e_kb: -0.5 }.is_active());
+        assert!(KbProjector {
+            rb: 1.0,
+            e_kb: -0.5
+        }
+        .is_active());
     }
 }

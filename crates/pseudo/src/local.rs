@@ -102,7 +102,11 @@ mod tests {
             (4.0, 0.9999999846),
         ];
         for (x, want) in cases {
-            assert!((erf(x) - want).abs() < 1e-9, "erf({x}) = {} ≠ {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 1e-9,
+                "erf({x}) = {} ≠ {want}",
+                erf(x)
+            );
         }
     }
 
@@ -110,7 +114,12 @@ mod tests {
     fn fourier_continuous_at_origin() {
         // v(q) + 4πZ/q² (screened minus bare Coulomb) must tend smoothly to
         // the regularized v(0) = πZr_c² + A·π^{3/2}w³.
-        let v = LocalPotential { z: 4.0, rc: 1.0, a: 2.0, w: 0.8 };
+        let v = LocalPotential {
+            z: 4.0,
+            rc: 1.0,
+            a: 2.0,
+            w: 0.8,
+        };
         let v0 = v.fourier(0.0);
         let q = 1e-4;
         let vq_plus_coulomb = v.fourier(q) + 4.0 * PI * v.z / (q * q);
@@ -122,7 +131,12 @@ mod tests {
 
     #[test]
     fn real_space_attractive_at_origin_for_bare_ion() {
-        let v = LocalPotential { z: 6.0, rc: 0.8, a: 0.0, w: 1.0 };
+        let v = LocalPotential {
+            z: 6.0,
+            rc: 0.8,
+            a: 0.0,
+            w: 1.0,
+        };
         assert!(v.real_space(0.0) < 0.0);
         // Tends to −Z/r at large r.
         let r = 8.0;
@@ -131,15 +145,30 @@ mod tests {
 
     #[test]
     fn gaussian_core_raises_origin() {
-        let bare = LocalPotential { z: 2.0, rc: 1.0, a: 0.0, w: 1.0 };
-        let repulsive = LocalPotential { z: 2.0, rc: 1.0, a: 5.0, w: 1.0 };
+        let bare = LocalPotential {
+            z: 2.0,
+            rc: 1.0,
+            a: 0.0,
+            w: 1.0,
+        };
+        let repulsive = LocalPotential {
+            z: 2.0,
+            rc: 1.0,
+            a: 5.0,
+            w: 1.0,
+        };
         assert!(repulsive.real_space(0.0) > bare.real_space(0.0));
         assert!(repulsive.fourier(0.0) > bare.fourier(0.0));
     }
 
     #[test]
     fn fourier_decays_with_q() {
-        let v = LocalPotential { z: 6.0, rc: 1.2, a: 4.0, w: 1.0 };
+        let v = LocalPotential {
+            z: 6.0,
+            rc: 1.2,
+            a: 4.0,
+            w: 1.0,
+        };
         let v1 = v.fourier(1.0).abs();
         let v4 = v.fourier(4.0).abs();
         let v8 = v.fourier(8.0).abs();

@@ -14,7 +14,11 @@ use std::f64::consts::PI;
 fn radial_ft(f: impl Fn(f64) -> f64, q: f64, r_max: f64, n: usize) -> f64 {
     let h = r_max / n as f64;
     let integrand = |r: f64| {
-        let sinc = if q * r < 1e-8 { 1.0 } else { (q * r).sin() / (q * r) };
+        let sinc = if q * r < 1e-8 {
+            1.0
+        } else {
+            (q * r).sin() / (q * r)
+        };
         f(r) * sinc * r * r
     };
     let mut s = integrand(0.0) + integrand(r_max);
@@ -27,7 +31,12 @@ fn radial_ft(f: impl Fn(f64) -> f64, q: f64, r_max: f64, n: usize) -> f64 {
 #[test]
 fn gaussian_core_part_transforms_exactly() {
     // The repulsive core A·e^{−r²/w²} ↔ A·π^{3/2}·w³·e^{−q²w²/4}.
-    let v = LocalPotential { z: 0.0, rc: 1.0, a: 2.7, w: 0.9 };
+    let v = LocalPotential {
+        z: 0.0,
+        rc: 1.0,
+        a: 2.7,
+        w: 0.9,
+    };
     for &q in &[0.0, 0.5, 1.0, 2.0, 4.0] {
         let numeric = radial_ft(|r| v.real_space(r), q, 12.0, 2000);
         let analytic = v.fourier(q);
@@ -71,7 +80,12 @@ fn full_form_factor_consistency() {
     // Simplest complete check: FT[v(r) + Z/r·erf-part] vs fourier(q) +
     // coulomb_tail(q) is the same as the two pieces already verified —
     // here we check additivity of the implementation itself.
-    let v = LocalPotential { z: 2.0, rc: 0.8, a: 1.5, w: 1.2 };
+    let v = LocalPotential {
+        z: 2.0,
+        rc: 0.8,
+        a: 1.5,
+        w: 1.2,
+    };
     for &q in &[0.7, 1.8, 3.1] {
         let gauss_only = LocalPotential { z: 0.0, ..v };
         let coul_only = LocalPotential { a: 0.0, ..v };

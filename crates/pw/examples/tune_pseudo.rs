@@ -13,14 +13,27 @@ fn to_pw_atoms(s: &ls3df_atoms::Structure) -> Vec<PwAtom> {
         .iter()
         .map(|a| {
             let p = params_for(a.species);
-            PwAtom { pos: a.pos, local: p.local, kb_rb: p.kb.rb, kb_energy: p.kb.e_kb }
+            PwAtom {
+                pos: a.pos,
+                local: p.local,
+                kb_rb: p.kb.rb,
+                kb_energy: p.kb.e_kb,
+            }
         })
         .collect()
 }
 
 fn main() {
-    let ecut: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3.0);
-    let opts = ScfOptions { n_extra_bands: 6, max_scf: 60, tol: 1e-3, ..Default::default() };
+    let ecut: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0);
+    let opts = ScfOptions {
+        n_extra_bands: 6,
+        max_scf: 60,
+        tol: 1e-3,
+        ..Default::default()
+    };
 
     // 1) Pristine ZnTe, one conventional cell (8 atoms, 32 electrons).
     let s = znte_supercell([1, 1, 1], ZNTE_LATTICE);
@@ -72,7 +85,11 @@ fn main() {
         ecut,
         atoms: to_pw_atoms(&s2),
     };
-    println!("\nZnTe:O {} ({} electrons)", s2.formula(), sys2.n_electrons());
+    println!(
+        "\nZnTe:O {} ({} electrons)",
+        s2.formula(),
+        sys2.n_electrons()
+    );
     let t0 = std::time::Instant::now();
     let res2 = scf(&sys2, &opts);
     let n_occ2 = sys2.n_occupied();

@@ -64,7 +64,14 @@ impl PwBasis {
             }
         }
         let fft = Fft3::new(grid.dims[0], grid.dims[1], grid.dims[2]);
-        PwBasis { grid, fft, ecut, g_slot, g2: g2s, g_vec }
+        PwBasis {
+            grid,
+            fft,
+            ecut,
+            g_slot,
+            g2: g2s,
+            g_vec,
+        }
     }
 
     /// Number of planewaves in the basis.
@@ -202,7 +209,11 @@ mod tests {
         let gmax = (2.0_f64 * 3.0).sqrt();
         let estimate = b.grid().volume() * gmax.powi(3) / (6.0 * std::f64::consts::PI.powi(2));
         let ratio = b.len() as f64 / estimate;
-        assert!((0.8..1.2).contains(&ratio), "npw = {}, estimate = {estimate}", b.len());
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "npw = {}, estimate = {estimate}",
+            b.len()
+        );
     }
 
     #[test]

@@ -61,7 +61,15 @@ pub fn solve_davidson(
         eigenvalues.copy_from_slice(&eig.values);
         let rotate = |block: &Matrix<c64>| {
             let mut out = Matrix::zeros(nb, npw);
-            gemm::gemm(c64::ONE, &eig.vectors, Op::Trans, block, Op::None, c64::ZERO, &mut out);
+            gemm::gemm(
+                c64::ONE,
+                &eig.vectors,
+                Op::Trans,
+                block,
+                Op::None,
+                c64::ZERO,
+                &mut out,
+            );
             out
         };
         *psi = rotate(psi);
@@ -78,7 +86,12 @@ pub fn solve_davidson(
         }
         residual = (0..nb).map(|b| nrm2(resid.row(b))).fold(0.0, f64::max);
         if residual <= opts.tol {
-            return SolveStats { eigenvalues, residual, iterations, converged: true };
+            return SolveStats {
+                eigenvalues,
+                residual,
+                iterations,
+                converged: true,
+            };
         }
 
         // Preconditioned expansion directions.
@@ -110,14 +123,35 @@ pub fn solve_davidson(
             }
         }
         let mut new_psi = Matrix::zeros(nb, npw);
-        gemm::gemm(c64::ONE, &coeff, Op::None, &space, Op::None, c64::ZERO, &mut new_psi);
+        gemm::gemm(
+            c64::ONE,
+            &coeff,
+            Op::None,
+            &space,
+            Op::None,
+            c64::ZERO,
+            &mut new_psi,
+        );
         let mut new_hpsi = Matrix::zeros(nb, npw);
-        gemm::gemm(c64::ONE, &coeff, Op::None, &h_space, Op::None, c64::ZERO, &mut new_hpsi);
+        gemm::gemm(
+            c64::ONE,
+            &coeff,
+            Op::None,
+            &h_space,
+            Op::None,
+            c64::ZERO,
+            &mut new_hpsi,
+        );
         *psi = new_psi;
         hpsi = new_hpsi;
         eigenvalues.copy_from_slice(&eig2.values[..nb]);
     }
-    SolveStats { eigenvalues, residual, iterations, converged: residual <= opts.tol }
+    SolveStats {
+        eigenvalues,
+        residual,
+        iterations,
+        converged: residual <= opts.tol,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +174,11 @@ mod tests {
         let stats = solve_davidson(
             &h,
             &mut psi,
-            &SolverOptions { max_iter: 60, tol: 1e-8, ..Default::default() },
+            &SolverOptions {
+                max_iter: 60,
+                tol: 1e-8,
+                ..Default::default()
+            },
         );
         assert!(stats.converged, "residual {}", stats.residual);
         for b in 0..5 {
@@ -161,9 +199,18 @@ mod tests {
             let d2 = (r[0] - 4.0).powi(2) + (r[1] - 4.0).powi(2) + (r[2] - 4.0).powi(2);
             -0.9 * (-d2 / 5.0).exp()
         });
-        let nl = NonlocalPotential::new(&basis, &[[4.0, 4.0, 4.0]], |_, q| (-q * q / 2.0).exp(), &[0.6]);
+        let nl = NonlocalPotential::new(
+            &basis,
+            &[[4.0, 4.0, 4.0]],
+            |_, q| (-q * q / 2.0).exp(),
+            &[0.6],
+        );
         let h = Hamiltonian::new(&basis, v, &nl);
-        let opts = SolverOptions { max_iter: 100, tol: 1e-7, ..Default::default() };
+        let opts = SolverOptions {
+            max_iter: 100,
+            tol: 1e-7,
+            ..Default::default()
+        };
 
         let mut psi_d = crate::scf::random_start(4, &basis, 7);
         let d = solve_davidson(&h, &mut psi_d, &opts);
@@ -186,10 +233,16 @@ mod tests {
         // than single-vector-update CG for the same tolerance.
         let grid = Grid3::cubic(10, 8.0);
         let basis = PwBasis::new(grid.clone(), 1.2);
-        let v = RealField::from_fn(grid, |r| 0.4 * (2.0 * std::f64::consts::PI * r[0] / 8.0).cos());
+        let v = RealField::from_fn(grid, |r| {
+            0.4 * (2.0 * std::f64::consts::PI * r[0] / 8.0).cos()
+        });
         let nl = NonlocalPotential::none(&basis);
         let h = Hamiltonian::new(&basis, v, &nl);
-        let opts = SolverOptions { max_iter: 200, tol: 1e-7, ..Default::default() };
+        let opts = SolverOptions {
+            max_iter: 200,
+            tol: 1e-7,
+            ..Default::default()
+        };
         let mut psi_d = crate::scf::random_start(4, &basis, 4);
         let d = solve_davidson(&h, &mut psi_d, &opts);
         let mut psi_c = crate::scf::random_start(4, &basis, 4);

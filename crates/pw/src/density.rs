@@ -5,37 +5,65 @@ use ls3df_grid::RealField;
 use ls3df_math::{c64, Matrix};
 use rayon::prelude::*;
 
-/// Builds `ρ(r) = Σ_b f_b·|ψ_b(r)|²` on the basis grid. Band-parallel
-/// with a tree reduction.
+/// Bands per parallel work unit in [`compute_density`]. Fixed (not derived
+/// from the thread count) so the floating-point summation tree is the same
+/// no matter how the runtime schedules the blocks.
+const BAND_BLOCK: usize = 8;
+
+/// Builds `ρ(r) = Σ_b f_b·|ψ_b(r)|²` on the basis grid.
+///
+/// Band-parallel with a **fixed-order tree reduction**: bands are cut into
+/// [`BAND_BLOCK`]-sized blocks, each block accumulates its partial density
+/// in ascending band order, and the ordered partials are combined pairwise.
+/// The summation tree depends only on the band count — never on the rayon
+/// schedule — so repeated runs produce bit-identical densities.
 pub fn compute_density(basis: &PwBasis, psi: &Matrix<c64>, occupations: &[f64]) -> RealField {
-    assert_eq!(psi.rows(), occupations.len(), "density: occupation count mismatch");
+    assert_eq!(
+        psi.rows(),
+        occupations.len(),
+        "density: occupation count mismatch"
+    );
     assert_eq!(psi.cols(), basis.len(), "density: basis mismatch");
     let ngrid = basis.grid().len();
-    let rho_data = (0..psi.rows())
+    let nb = psi.rows();
+    let blocks: Vec<(usize, usize)> = (0..nb.div_ceil(BAND_BLOCK))
+        .map(|i| (i * BAND_BLOCK, ((i + 1) * BAND_BLOCK).min(nb)))
+        .collect();
+    // `collect` keeps the partials in block order regardless of which
+    // worker finished first.
+    let mut partials: Vec<Vec<f64>> = blocks
         .into_par_iter()
-        .fold(
-            || vec![0.0_f64; ngrid],
-            |mut acc, b| {
+        .map(|(lo, hi)| {
+            let mut acc = vec![0.0_f64; ngrid];
+            let mut buf = vec![c64::ZERO; ngrid];
+            for b in lo..hi {
                 let f = occupations[b];
                 if f != 0.0 {
-                    let mut buf = vec![c64::ZERO; ngrid];
                     basis.wave_to_grid(psi.row(b), &mut buf);
                     for (a, v) in acc.iter_mut().zip(&buf) {
                         *a += f * v.norm_sqr();
                     }
                 }
-                acc
-            },
-        )
-        .reduce(
-            || vec![0.0_f64; ngrid],
-            |mut a, b| {
+            }
+            acc
+        })
+        .collect();
+    // Pairwise combine adjacent partials until one remains: a balanced,
+    // deterministic summation tree (also lower round-off than a left fold).
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
                 for (x, y) in a.iter_mut().zip(&b) {
                     *x += y;
                 }
-                a
-            },
-        );
+            }
+            next.push(a);
+        }
+        partials = next;
+    }
+    let rho_data = partials.pop().unwrap_or_else(|| vec![0.0_f64; ngrid]);
     RealField::from_vec(basis.grid().clone(), rho_data)
 }
 
@@ -47,7 +75,9 @@ pub fn insulator_occupations(n_bands: usize, n_electrons: f64) -> Vec<f64> {
         n_occ <= n_bands,
         "need at least {n_occ} bands for {n_electrons} electrons, have {n_bands}"
     );
-    (0..n_bands).map(|b| if b < n_occ { 2.0 } else { 0.0 }).collect()
+    (0..n_bands)
+        .map(|b| if b < n_occ { 2.0 } else { 0.0 })
+        .collect()
 }
 
 #[cfg(test)]
@@ -66,7 +96,11 @@ mod tests {
         ls3df_math::ortho::cholesky_orthonormalize(&mut psi, 1.0).unwrap();
         let occ = insulator_occupations(nb, 6.0); // 3 bands × 2
         let rho = compute_density(&basis, &psi, &occ);
-        assert!((rho.integrate() - 6.0).abs() < 1e-9, "N = {}", rho.integrate());
+        assert!(
+            (rho.integrate() - 6.0).abs() < 1e-9,
+            "N = {}",
+            rho.integrate()
+        );
         assert!(rho.min() >= -1e-12, "density must be non-negative");
     }
 

@@ -17,13 +17,7 @@ pub struct Dos {
 
 /// Builds the DOS of weighted levels on `[e_min, e_max]` with `n_points`
 /// and Gaussian broadening `sigma`.
-pub fn dos(
-    levels: &[(f64, f64)],
-    e_min: f64,
-    e_max: f64,
-    n_points: usize,
-    sigma: f64,
-) -> Dos {
+pub fn dos(levels: &[(f64, f64)], e_min: f64, e_max: f64, n_points: usize, sigma: f64) -> Dos {
     assert!(n_points >= 2, "dos: need at least two mesh points");
     assert!(sigma > 0.0, "dos: broadening must be positive");
     assert!(e_max > e_min, "dos: empty energy window");
@@ -55,15 +49,15 @@ impl Dos {
         self.values.iter().sum::<f64>() * de
     }
 
-    /// Energy of the highest DOS peak.
+    /// Energy of the highest DOS peak (NaN for an empty window).
     pub fn peak(&self) -> f64 {
-        let (i, _) = self
+        let i = self
             .values
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
-        self.energies[i]
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
+        self.energies.get(i).copied().unwrap_or(f64::NAN)
     }
 
     /// Full width of the region where the DOS exceeds `fraction` of its
@@ -93,15 +87,10 @@ mod tests {
 
     #[test]
     fn two_bands_resolved_when_separated() {
-        let levels: Vec<(f64, f64)> =
-            vec![(-0.5, 1.0), (-0.48, 1.0), (0.5, 1.0), (0.52, 1.0)];
+        let levels: Vec<(f64, f64)> = vec![(-0.5, 1.0), (-0.48, 1.0), (0.5, 1.0), (0.52, 1.0)];
         let d = dos(&levels, -1.0, 1.0, 2001, 0.02);
         // A deep valley between the two bands.
-        let mid = d
-            .energies
-            .iter()
-            .position(|&e| e >= 0.0)
-            .unwrap();
+        let mid = d.energies.iter().position(|&e| e >= 0.0).unwrap();
         let peak = d.values.iter().cloned().fold(0.0, f64::max);
         assert!(d.values[mid] < 0.05 * peak);
     }

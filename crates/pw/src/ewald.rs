@@ -24,7 +24,12 @@ pub fn ewald_energy(pos: &[[f64; 3]], q: &[f64], lengths: [f64; 3]) -> f64 {
     let volume = lengths[0] * lengths[1] * lengths[2];
 
     // Split parameter: balance real and reciprocal workloads.
-    let eta = 2.6 / lengths.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-10)
+    let eta = 2.6
+        / lengths
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-10)
         * (n as f64).powf(1.0 / 6.0).max(1.0);
     let eta = eta.max(4.0 / lengths.iter().cloned().fold(f64::INFINITY, f64::min));
 
@@ -56,9 +61,7 @@ pub fn ewald_energy(pos: &[[f64; 3]], q: &[f64], lengths: [f64; 3]) -> f64 {
 
     // Reciprocal-space sum.
     let g_cut = 2.0 * eta * (-(1e-12_f64).ln()).sqrt();
-    let g_n: [i64; 3] = std::array::from_fn(|k| {
-        (g_cut * lengths[k] / (2.0 * PI)).ceil() as i64
-    });
+    let g_n: [i64; 3] = std::array::from_fn(|k| (g_cut * lengths[k] / (2.0 * PI)).ceil() as i64);
     let mut e_recip = 0.0;
     for mx in -g_n[0]..=g_n[0] {
         for my in -g_n[1]..=g_n[1] {
@@ -107,7 +110,12 @@ mod tests {
         let a = 2.0; // conventional cubic cell
         let mut pos = Vec::new();
         let mut q = Vec::new();
-        let fcc = [[0.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5], [0.5, 0.5, 0.0]];
+        let fcc = [
+            [0.0, 0.0, 0.0],
+            [0.0, 0.5, 0.5],
+            [0.5, 0.0, 0.5],
+            [0.5, 0.5, 0.0],
+        ];
         for f in fcc {
             pos.push([f[0] * a, f[1] * a, f[2] * a]);
             q.push(1.0);
@@ -130,7 +138,12 @@ mod tests {
         let a = 3.0;
         let mut pos = Vec::new();
         let mut q = Vec::new();
-        let fcc = [[0.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5], [0.5, 0.5, 0.0]];
+        let fcc = [
+            [0.0, 0.0, 0.0],
+            [0.0, 0.5, 0.5],
+            [0.5, 0.0, 0.5],
+            [0.5, 0.5, 0.0],
+        ];
         for f in fcc {
             pos.push([f[0] * a, f[1] * a, f[2] * a]);
             q.push(1.0);
@@ -152,7 +165,10 @@ mod tests {
         let q = [2.0, -2.0];
         let l = [3.0, 3.0, 3.0];
         let e1 = ewald_energy(&pos, &q, l);
-        let shifted: Vec<[f64; 3]> = pos.iter().map(|r| [r[0] + 0.7, r[1] - 0.2, r[2] + 1.9]).collect();
+        let shifted: Vec<[f64; 3]> = pos
+            .iter()
+            .map(|r| [r[0] + 0.7, r[1] - 0.2, r[2] + 1.9])
+            .collect();
         let e2 = ewald_energy(&shifted, &q, l);
         assert!((e1 - e2).abs() < 1e-8, "{e1} vs {e2}");
     }

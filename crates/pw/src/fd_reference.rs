@@ -17,7 +17,11 @@ pub fn apply_fd(v: &RealField, psi: &[f64], out: &mut [f64]) {
     assert_eq!(psi.len(), n);
     assert_eq!(out.len(), n);
     let h = grid.spacing();
-    let (cx, cy, cz) = (0.5 / (h[0] * h[0]), 0.5 / (h[1] * h[1]), 0.5 / (h[2] * h[2]));
+    let (cx, cy, cz) = (
+        0.5 / (h[0] * h[0]),
+        0.5 / (h[1] * h[1]),
+        0.5 / (h[2] * h[2]),
+    );
     let diag = 2.0 * (cx + cy + cz);
     let [n1, n2, n3] = grid.dims;
     for iz in 0..n3 {
@@ -126,8 +130,8 @@ fn normalize(psi: &mut [f64], dv: f64) {
 mod tests {
     use super::*;
     use crate::hamiltonian::NonlocalPotential;
-    use ls3df_grid::Grid3;
     use crate::{solve_all_band, PwBasis, SolverOptions};
+    use ls3df_grid::Grid3;
 
     #[test]
     fn fd_hamiltonian_is_symmetric() {
@@ -183,7 +187,11 @@ mod tests {
         let stats = solve_all_band(
             &h,
             &mut psi,
-            &SolverOptions { max_iter: 300, tol: 1e-9, ..Default::default() },
+            &SolverOptions {
+                max_iter: 300,
+                tol: 1e-9,
+                ..Default::default()
+            },
         );
         assert!(stats.converged);
         let e_pw = stats.eigenvalues[0];

@@ -68,7 +68,11 @@ pub fn nonlocal_forces(
     let mut forces = vec![[0.0_f64; 3]; atoms.len()];
     // Per-atom projector row (normalized) and its gradient rows.
     let mut beta = vec![c64::ZERO; npw];
-    let mut grad = [vec![c64::ZERO; npw], vec![c64::ZERO; npw], vec![c64::ZERO; npw]];
+    let mut grad = [
+        vec![c64::ZERO; npw],
+        vec![c64::ZERO; npw],
+        vec![c64::ZERO; npw],
+    ];
     for (a, atom) in atoms.iter().enumerate() {
         if atom.kb_energy == 0.0 {
             continue;
@@ -101,7 +105,7 @@ pub fn nonlocal_forces(
             let overlap = dotc(&beta, psi.row(b)); // ⟨β|ψ⟩
             for d in 0..3 {
                 let dover = dotc(&grad[d], psi.row(b)); // ⟨∂β|ψ⟩
-                // F = −f·E·d/dR |⟨β|ψ⟩|² = −2·f·E·Re[conj(⟨β|ψ⟩)·⟨∂β|ψ⟩]
+                                                        // F = −f·E·d/dR |⟨β|ψ⟩|² = −2·f·E·Re[conj(⟨β|ψ⟩)·⟨∂β|ψ⟩]
                 forces[a][d] -= 2.0 * f * atom.kb_energy * (overlap.conj() * dover).re;
             }
         }
@@ -143,7 +147,8 @@ pub fn ewald_forces(pos: &[[f64; 3]], q: &[f64], lengths: [f64; 3]) -> Vec<[f64;
                             continue;
                         }
                         let erfc = 1.0 - erf(eta * r);
-                        let coef = q[i] * q[j]
+                        let coef = q[i]
+                            * q[j]
                             * (erfc / r2 + 2.0 * eta / PI.sqrt() * (-eta * eta * r2).exp() / r)
                             / r;
                         for c in 0..3 {
@@ -228,13 +233,23 @@ mod tests {
         vec![
             PwAtom {
                 pos: [2.0 + shift, 3.0, 3.0],
-                local: LocalPotential { z: 2.0, rc: 0.9, a: 0.5, w: 1.0 },
+                local: LocalPotential {
+                    z: 2.0,
+                    rc: 0.9,
+                    a: 0.5,
+                    w: 1.0,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.8,
             },
             PwAtom {
                 pos: [5.0, 3.5, 3.0],
-                local: LocalPotential { z: 4.0, rc: 1.1, a: 1.0, w: 0.9 },
+                local: LocalPotential {
+                    z: 4.0,
+                    rc: 1.1,
+                    a: 1.0,
+                    w: 0.9,
+                },
                 kb_rb: 1.1,
                 kb_energy: -0.4,
             },
@@ -302,20 +317,35 @@ mod tests {
         let atoms = vec![
             PwAtom {
                 pos: [3.0, 4.0, 4.0],
-                local: LocalPotential { z: 2.0, rc: 0.9, a: 0.0, w: 1.0 },
+                local: LocalPotential {
+                    z: 2.0,
+                    rc: 0.9,
+                    a: 0.0,
+                    w: 1.0,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.0,
             },
             PwAtom {
                 pos: [5.0, 4.0, 4.0],
-                local: LocalPotential { z: 2.0, rc: 0.9, a: 0.0, w: 1.0 },
+                local: LocalPotential {
+                    z: 2.0,
+                    rc: 0.9,
+                    a: 0.0,
+                    w: 1.0,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.0,
             },
         ];
         let rho = initial_density(&basis, &atoms, 1.3);
         let f = local_forces(&basis, &atoms, &rho);
-        assert!((f[0][0] + f[1][0]).abs() < 1e-9, "{} vs {}", f[0][0], f[1][0]);
+        assert!(
+            (f[0][0] + f[1][0]).abs() < 1e-9,
+            "{} vs {}",
+            f[0][0],
+            f[1][0]
+        );
         assert!(f[0][1].abs() < 1e-9 && f[0][2].abs() < 1e-9);
     }
 
@@ -329,20 +359,38 @@ mod tests {
             ecut: 1.4,
             atoms: vec![PwAtom {
                 pos: [4.0, 4.0, 4.0],
-                local: LocalPotential { z: 2.0, rc: 0.9, a: 0.0, w: 1.0 },
+                local: LocalPotential {
+                    z: 2.0,
+                    rc: 0.9,
+                    a: 0.0,
+                    w: 1.0,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.5,
             }],
         };
         let res = crate::scf(
             &sys,
-            &crate::ScfOptions { max_scf: 60, tol: 1e-4, n_extra_bands: 2, ..Default::default() },
+            &crate::ScfOptions {
+                max_scf: 60,
+                tol: 1e-4,
+                n_extra_bands: 2,
+                ..Default::default()
+            },
         );
-        assert!(res.converged, "last ΔV = {:?}", res.history.last().map(|h| h.dv_integral));
+        assert!(
+            res.converged,
+            "last ΔV = {:?}",
+            res.history.last().map(|h| h.dv_integral)
+        );
         let basis = PwBasis::new(grid, sys.ecut);
         let f = total_forces(&basis, &sys.atoms, &res.rho, &res.psi, &res.occupations);
         for c in 0..3 {
-            assert!(f[0][c].abs() < 1e-3, "residual force component {c}: {}", f[0][c]);
+            assert!(
+                f[0][c].abs() < 1e-3,
+                "residual force component {c}: {}",
+                f[0][c]
+            );
         }
     }
 
@@ -354,7 +402,12 @@ mod tests {
         let mk = |shift: f64| {
             vec![PwAtom {
                 pos: [3.0 + shift, 3.5, 3.5],
-                local: LocalPotential { z: 2.0, rc: 0.9, a: 0.0, w: 1.0 },
+                local: LocalPotential {
+                    z: 2.0,
+                    rc: 0.9,
+                    a: 0.0,
+                    w: 1.0,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.9,
             }]

@@ -48,8 +48,7 @@ impl NonlocalPotential {
         k: [f64; 3],
     ) -> Self {
         assert_eq!(positions.len(), e_kb.len());
-        let active: Vec<usize> =
-            (0..positions.len()).filter(|&a| e_kb[a] != 0.0).collect();
+        let active: Vec<usize> = (0..positions.len()).filter(|&a| e_kb[a] != 0.0).collect();
         let npw = basis.len();
         let mut projectors = Matrix::zeros(active.len(), npw);
         let mut energies = Vec::with_capacity(active.len());
@@ -71,12 +70,18 @@ impl NonlocalPotential {
             }
             energies.push(e_kb[a]);
         }
-        NonlocalPotential { projectors, energies }
+        NonlocalPotential {
+            projectors,
+            energies,
+        }
     }
 
     /// An empty nonlocal potential (local-only Hamiltonian).
     pub fn none(basis: &PwBasis) -> Self {
-        NonlocalPotential { projectors: Matrix::zeros(0, basis.len()), energies: Vec::new() }
+        NonlocalPotential {
+            projectors: Matrix::zeros(0, basis.len()),
+            energies: Vec::new(),
+        }
     }
 
     /// Number of active projectors.
@@ -104,7 +109,15 @@ impl NonlocalPotential {
             }
         }
         // hpsi += B·proj.
-        gemm::gemm(c64::ONE, &b, Op::None, &self.projectors, Op::None, c64::ONE, hpsi);
+        gemm::gemm(
+            c64::ONE,
+            &b,
+            Op::None,
+            &self.projectors,
+            Op::None,
+            c64::ONE,
+            hpsi,
+        );
     }
 
     /// Nonlocal energy contribution `Σ_b f_b·Σ_p E_p·|⟨β_p|ψ_b⟩|²`.
@@ -158,15 +171,23 @@ impl<'a> Hamiltonian<'a> {
         nonlocal: &'a NonlocalPotential,
         k: [f64; 3],
     ) -> Self {
-        assert_eq!(v_local.grid(), basis.grid(), "Hamiltonian: potential grid mismatch");
+        assert_eq!(
+            v_local.grid(),
+            basis.grid(),
+            "Hamiltonian: potential grid mismatch"
+        );
         let kg2 = basis
             .g_vectors()
             .iter()
-            .map(|g| {
-                (g[0] + k[0]).powi(2) + (g[1] + k[1]).powi(2) + (g[2] + k[2]).powi(2)
-            })
+            .map(|g| (g[0] + k[0]).powi(2) + (g[1] + k[1]).powi(2) + (g[2] + k[2]).powi(2))
             .collect();
-        Hamiltonian { basis, nonlocal, v_local, k, kg2 }
+        Hamiltonian {
+            basis,
+            nonlocal,
+            v_local,
+            k,
+            kg2,
+        }
     }
 
     /// The Bloch vector this Hamiltonian is built at.
@@ -261,7 +282,9 @@ mod tests {
     fn rand_block(nb: usize, npw: usize, seed: u64) -> Matrix<c64> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let mut m = Matrix::from_fn(nb, npw, |_, _| c64::new(next(), next()));
@@ -283,7 +306,11 @@ mod tests {
         let hpsi = h.apply_block(&psi);
         // ⟨ψ_i|Hψ_j⟩ must be Hermitian for an orthonormal block.
         let m = gemm::matmul_nh(&psi, &hpsi);
-        assert!(m.hermiticity_error() < 1e-10, "err = {}", m.hermiticity_error());
+        assert!(
+            m.hermiticity_error() < 1e-10,
+            "err = {}",
+            m.hermiticity_error()
+        );
     }
 
     #[test]

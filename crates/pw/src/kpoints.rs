@@ -24,7 +24,10 @@ pub struct KPoint {
 /// Monkhorst–Pack grid `n1 × n2 × n3` for an orthorhombic cell of the
 /// given lengths, folded by time-reversal symmetry (`k ↔ −k`).
 pub fn monkhorst_pack(n: [usize; 3], lengths: [f64; 3]) -> Vec<KPoint> {
-    assert!(n.iter().all(|&x| x >= 1), "monkhorst_pack: grid must be ≥ 1");
+    assert!(
+        n.iter().all(|&x| x >= 1),
+        "monkhorst_pack: grid must be ≥ 1"
+    );
     let two_pi = 2.0 * std::f64::consts::PI;
     // Fractional MP coordinates u_i = (2r − n − 1)/(2n), r = 1..n.
     let frac = |r: usize, nn: usize| (2.0 * r as f64 - nn as f64 - 1.0) / (2.0 * nn as f64);
@@ -52,7 +55,10 @@ pub fn monkhorst_pack(n: [usize; 3], lengths: [f64; 3]) -> Vec<KPoint> {
                 continue 'outer;
             }
         }
-        folded.push(KPoint { k, weight: 1.0 / total });
+        folded.push(KPoint {
+            k,
+            weight: 1.0 / total,
+        });
     }
     folded
 }
@@ -105,7 +111,6 @@ pub fn gap_from_bands(bands: &[Vec<f64>], n_occ: usize) -> Option<f64> {
     }
     Some(cbm - vbm)
 }
-
 
 /// Self-consistent field with Brillouin-zone sampling: the density is the
 /// k-weighted sum `ρ(r) = Σ_k w_k·Σ_b f_b·|ψ_{bk}(r)|²`. The paper's
@@ -164,7 +169,7 @@ pub fn scf_kpoints(
 
     for iteration in 1..=opts.max_scf {
         let mut worst = 0.0_f64;
-        let mut rho_new = ls3df_grid::RealField::zeros(system.grid.clone());
+        let mut rho_new = RealField::zeros(system.grid.clone());
         let mut band_energy = 0.0;
         for (i, kp) in kpts.iter().enumerate() {
             let h = Hamiltonian::new_at_k(&kbases[i], v_in.clone(), &nls[i], kp.k);
@@ -176,7 +181,12 @@ pub fn scf_kpoints(
             let rho_k = compute_density(&kbases[i], &psis[i], &occupations);
             rho_new.add_scaled(kp.weight, &rho_k);
             band_energy += kp.weight
-                * stats.eigenvalues.iter().zip(&occupations).map(|(&e, &f)| f * e).sum::<f64>();
+                * stats
+                    .eigenvalues
+                    .iter()
+                    .zip(&occupations)
+                    .map(|(&e, &f)| f * e)
+                    .sum::<f64>();
         }
         let (v_out, energies) = effective_potential(&basis, &v_ion, &rho_new);
         let vin_rho: f64 = v_in
@@ -189,7 +199,12 @@ pub fn scf_kpoints(
         let total_energy =
             band_energy - vin_rho + energies.ion_rho + energies.hartree + energies.xc + e_ii;
         let dv_integral = v_out.diff(&v_in).integrate_abs();
-        history.push(crate::ScfStep { iteration, dv_integral, total_energy, band_residual: worst });
+        history.push(crate::ScfStep {
+            iteration,
+            dv_integral,
+            total_energy,
+            band_residual: worst,
+        });
         rho = rho_new;
         if dv_integral < opts.tol {
             converged = true;
@@ -248,7 +263,11 @@ mod tests {
         let stats = solve_all_band(
             &h,
             &mut psi,
-            &SolverOptions { max_iter: 200, tol: 1e-8, ..Default::default() },
+            &SolverOptions {
+                max_iter: 200,
+                tol: 1e-8,
+                ..Default::default()
+            },
         );
         assert!(stats.converged);
         // Exact: sorted ½|k+G|².
@@ -282,11 +301,20 @@ mod tests {
         });
         let atoms = vec![PwAtom {
             pos: [0.0, 0.0, 0.0],
-            local: LocalPotential { z: 2.0, rc: 1.0, a: 0.0, w: 1.0 },
+            local: LocalPotential {
+                z: 2.0,
+                rc: 1.0,
+                a: 0.0,
+                w: 1.0,
+            },
             kb_rb: 1.0,
             kb_energy: 0.0,
         }];
-        let opts = SolverOptions { max_iter: 250, tol: 1e-8, ..Default::default() };
+        let opts = SolverOptions {
+            max_iter: 250,
+            tol: 1e-8,
+            ..Default::default()
+        };
         // Solve a generous window at each primitive k so the union surely
         // contains the supercell's lowest levels (the 50/50 split is not
         // guaranteed).
@@ -298,8 +326,14 @@ mod tests {
             &v_prim,
             &atoms,
             &[
-                KPoint { k: [0.0; 3], weight: 0.5 },
-                KPoint { k: [kx, 0.0, 0.0], weight: 0.5 },
+                KPoint {
+                    k: [0.0; 3],
+                    weight: 0.5,
+                },
+                KPoint {
+                    k: [kx, 0.0, 0.0],
+                    weight: 0.5,
+                },
             ],
             nb,
             &opts,
@@ -322,17 +356,17 @@ mod tests {
         let sup = solve_all_band(
             &h,
             &mut psi,
-            &SolverOptions { max_iter: 400, tol: 1e-7, ..Default::default() },
+            &SolverOptions {
+                max_iter: 400,
+                tol: 1e-7,
+                ..Default::default()
+            },
         );
         assert!(sup.residual < 1e-3, "supercell residual {}", sup.residual);
 
         // The union of the primitive Γ and X eigenvalues, sorted, must
         // equal the supercell Γ spectrum.
-        let mut union: Vec<f64> = bands[0]
-            .iter()
-            .chain(bands[1].iter())
-            .copied()
-            .collect();
+        let mut union: Vec<f64> = bands[0].iter().chain(bands[1].iter()).copied().collect();
         union.sort_by(|x, y| x.partial_cmp(y).unwrap());
         for b in 0..n_compare {
             // Folding must hold to ~the solver residual level (the test is
@@ -356,12 +390,22 @@ mod tests {
             ecut: 1.2,
             atoms: vec![PwAtom {
                 pos: [3.5, 3.5, 3.5],
-                local: LocalPotential { z: 2.0, rc: 0.9, a: 0.0, w: 1.0 },
+                local: LocalPotential {
+                    z: 2.0,
+                    rc: 0.9,
+                    a: 0.0,
+                    w: 1.0,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.0,
             }],
         };
-        let opts = crate::ScfOptions { max_scf: 40, tol: 1e-4, n_extra_bands: 2, ..Default::default() };
+        let opts = crate::ScfOptions {
+            max_scf: 40,
+            tol: 1e-4,
+            n_extra_bands: 2,
+            ..Default::default()
+        };
         let plain = crate::scf(&sys, &opts);
         let gamma = monkhorst_pack([1, 1, 1], sys.grid.lengths);
         let kp = scf_kpoints(&sys, &gamma, &opts);

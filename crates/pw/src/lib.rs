@@ -18,8 +18,8 @@ mod basis;
 pub mod davidson;
 pub mod density;
 pub mod dos;
-pub mod fd_reference;
 pub mod ewald;
+pub mod fd_reference;
 pub mod forces;
 pub mod hamiltonian;
 pub mod hartree;
@@ -32,14 +32,14 @@ pub mod solver;
 pub mod xc;
 
 pub use basis::PwBasis;
-pub use hamiltonian::{Hamiltonian, NonlocalPotential};
-pub use kpoints::{band_structure, gap_from_bands, monkhorst_pack, scf_kpoints, KPoint};
-pub use mixing::{Mixer, MixerState};
-pub use forces::{ewald_forces, local_forces, nonlocal_forces, total_forces};
-pub use potential::{effective_potential, initial_density, ionic_potential, PwAtom};
 pub use davidson::solve_davidson;
 pub use dos::{dos, Dos};
 pub use fd_reference::{apply_fd, fd_ground_state};
+pub use forces::{ewald_forces, local_forces, nonlocal_forces, total_forces};
+pub use hamiltonian::{Hamiltonian, NonlocalPotential};
+pub use kpoints::{band_structure, gap_from_bands, monkhorst_pack, scf_kpoints, KPoint};
+pub use mixing::{Mixer, MixerState};
+pub use potential::{effective_potential, initial_density, ionic_potential, PwAtom};
 pub use realspace_nl::{apply_block_realspace, RealSpaceNonlocal};
 pub use scf::{grid_for, scf, DftSystem, ScfOptions, ScfResult, ScfStep, SolverMethod};
 pub use solver::{solve_all_band, solve_band_by_band, SolveStats, SolverOptions};

@@ -49,7 +49,10 @@ pub struct MixerState {
 impl MixerState {
     /// Creates the state for a scheme.
     pub fn new(scheme: Mixer) -> Self {
-        MixerState { scheme, history: Vec::new() }
+        MixerState {
+            scheme,
+            history: Vec::new(),
+        }
     }
 
     /// Produces the next input potential from the current `(V_in, V_out)`
@@ -65,8 +68,12 @@ impl MixerState {
             }
             Mixer::Kerker { alpha, q0 } => {
                 let grid = v_in.grid();
-                let mut diff_g: Vec<c64> =
-                    v_out.diff(v_in).as_slice().iter().map(|&x| c64::real(x)).collect();
+                let mut diff_g: Vec<c64> = v_out
+                    .diff(v_in)
+                    .as_slice()
+                    .iter()
+                    .map(|&x| c64::real(x))
+                    .collect();
                 fft.forward(&mut diff_g);
                 for (idx, v) in diff_g.iter_mut().enumerate() {
                     let (ix, iy, iz) = grid.coords(idx);
@@ -221,7 +228,10 @@ mod tests {
             v.add_scaled(1.0, &rest);
             v
         };
-        let mut mixer = MixerState::new(Mixer::Pulay { alpha: 0.5, depth: 5 });
+        let mut mixer = MixerState::new(Mixer::Pulay {
+            alpha: 0.5,
+            depth: 5,
+        });
         let mut v = RealField::zeros(grid);
         for _ in 0..6 {
             let out = response(&v);
@@ -234,7 +244,10 @@ mod tests {
     #[test]
     fn reset_clears_history() {
         let (v_in, v_out, fft) = fields();
-        let mut m = MixerState::new(Mixer::Pulay { alpha: 0.3, depth: 4 });
+        let mut m = MixerState::new(Mixer::Pulay {
+            alpha: 0.3,
+            depth: 4,
+        });
         let _ = m.mix(&v_in, &v_out, &fft);
         assert_eq!(m.history.len(), 1);
         m.reset();

@@ -118,13 +118,23 @@ mod tests {
         vec![
             PwAtom {
                 pos: [2.0, 2.0, 2.0],
-                local: LocalPotential { z: 4.0, rc: 1.0, a: 2.0, w: 0.9 },
+                local: LocalPotential {
+                    z: 4.0,
+                    rc: 1.0,
+                    a: 2.0,
+                    w: 0.9,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.0,
             },
             PwAtom {
                 pos: [6.0, 6.0, 6.0],
-                local: LocalPotential { z: 2.0, rc: 1.2, a: 1.0, w: 1.0 },
+                local: LocalPotential {
+                    z: 2.0,
+                    rc: 1.2,
+                    a: 1.0,
+                    w: 1.0,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.0,
             },
@@ -166,12 +176,7 @@ mod tests {
         assert!(diff.max_abs() > 1e-3);
         // ∫ρ·v_xc ≈ Σρ·v_xc·dv recomputed directly.
         let dv = basis.grid().dv();
-        let manual: f64 = rho
-            .as_slice()
-            .iter()
-            .map(|&r| r * crate::xc::v_xc(r))
-            .sum::<f64>()
-            * dv;
+        let manual: f64 = rho.as_slice().iter().map(|&r| r * xc::v_xc(r)).sum::<f64>() * dv;
         assert!((manual - en.vxc_rho).abs() < 1e-10);
     }
 
@@ -183,7 +188,12 @@ mod tests {
         let mk = |pos: [f64; 3]| {
             vec![PwAtom {
                 pos,
-                local: LocalPotential { z: 3.0, rc: 1.0, a: 0.5, w: 1.0 },
+                local: LocalPotential {
+                    z: 3.0,
+                    rc: 1.0,
+                    a: 0.5,
+                    w: 1.0,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.0,
             }]

@@ -56,16 +56,13 @@ impl RealSpaceNonlocal {
                 let mut values = Vec::new();
                 // Scan the bounding box of the sphere (minimum image).
                 let h = grid.spacing();
-                let n_half: [i64; 3] =
-                    std::array::from_fn(|d| (r_cut / h[d]).ceil() as i64 + 1);
-                let center: [i64; 3] =
-                    std::array::from_fn(|d| (pos[d] / h[d]).round() as i64);
+                let n_half: [i64; 3] = std::array::from_fn(|d| (r_cut / h[d]).ceil() as i64 + 1);
+                let center: [i64; 3] = std::array::from_fn(|d| (pos[d] / h[d]).round() as i64);
                 let h_spacing = h;
                 for dz in -n_half[2]..=n_half[2] {
                     for dy in -n_half[1]..=n_half[1] {
                         for dx in -n_half[0]..=n_half[0] {
-                            let (ix, iy, iz) =
-                                (center[0] + dx, center[1] + dy, center[2] + dz);
+                            let (ix, iy, iz) = (center[0] + dx, center[1] + dy, center[2] + dz);
                             let idx = grid.index_wrapped(ix, iy, iz);
                             // Unwrapped displacement from the atom to this
                             // *image* of the grid point — periodic images
@@ -84,8 +81,7 @@ impl RealSpaceNonlocal {
                 // Sum contributions landing on the same (wrapped) grid
                 // index: that is the periodic image sum of the Gaussian —
                 // exactly what the q-space form factor represents.
-                let mut paired: Vec<(usize, f64)> =
-                    points.into_iter().zip(values).collect();
+                let mut paired: Vec<(usize, f64)> = points.into_iter().zip(values).collect();
                 paired.sort_by_key(|&(i, _)| i);
                 let mut merged: Vec<(usize, f64)> = Vec::with_capacity(paired.len());
                 for (i, v) in paired {
@@ -104,7 +100,10 @@ impl RealSpaceNonlocal {
                 }
             })
             .collect();
-        RealSpaceNonlocal { projectors, grid: grid.clone() }
+        RealSpaceNonlocal {
+            projectors,
+            grid: grid.clone(),
+        }
     }
 
     /// Number of active projectors.
@@ -123,7 +122,10 @@ impl RealSpaceNonlocal {
         if self.projectors.is_empty() {
             return 0.0;
         }
-        self.projectors.iter().map(|p| p.points.len()).sum::<usize>() as f64
+        self.projectors
+            .iter()
+            .map(|p| p.points.len())
+            .sum::<usize>() as f64
             / self.projectors.len() as f64
     }
 
@@ -214,7 +216,9 @@ mod tests {
     fn setup() -> (PwBasis, RealField, Vec<[f64; 3]>, Vec<f64>, Vec<f64>) {
         let grid = Grid3::cubic(16, 12.0);
         let basis = PwBasis::new(grid.clone(), 1.5);
-        let v = RealField::from_fn(grid, |r| 0.1 * (r[0] - 6.0) * (-((r[1] - 6.0) / 4.0).powi(2)).exp());
+        let v = RealField::from_fn(grid, |r| {
+            0.1 * (r[0] - 6.0) * (-((r[1] - 6.0) / 4.0).powi(2)).exp()
+        });
         let positions = vec![[6.0, 6.0, 6.0], [3.0, 9.0, 5.0]];
         // Wide projectors: e^{−q²r_b²/2} ≈ 2e-3 at the basis edge, so the
         // q-space (basis-truncated) and real-space (grid-sampled) versions
@@ -228,7 +232,9 @@ mod tests {
     fn rand_block(nb: usize, npw: usize, seed: u64) -> Matrix<c64> {
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         let mut m = Matrix::from_fn(nb, npw, |_, _| c64::new(next(), next()));
@@ -283,7 +289,11 @@ mod tests {
         );
         let h_q = Hamiltonian::new(&basis, v.clone(), &nl_q);
         let mut psi = rand_block(4, basis.len(), 9);
-        let opts = crate::SolverOptions { max_iter: 150, tol: 1e-7, ..Default::default() };
+        let opts = crate::SolverOptions {
+            max_iter: 150,
+            tol: 1e-7,
+            ..Default::default()
+        };
         let stats_q = crate::solve_all_band(&h_q, &mut psi, &opts);
 
         // Rayleigh quotients of the q-space eigenvectors under the

@@ -48,9 +48,16 @@ impl Default for ScfOptions {
     fn default() -> Self {
         ScfOptions {
             n_extra_bands: 4,
-            solver: SolverOptions { max_iter: 12, tol: 1e-6, ..Default::default() },
+            solver: SolverOptions {
+                max_iter: 12,
+                tol: 1e-6,
+                ..Default::default()
+            },
             method: SolverMethod::AllBand,
-            mixer: Mixer::Kerker { alpha: 0.7, q0: 1.2 },
+            mixer: Mixer::Kerker {
+                alpha: 0.7,
+                q0: 1.2,
+            },
             max_scf: 60,
             tol: 1e-4,
             init_width: 1.4,
@@ -138,7 +145,10 @@ impl ScfResult {
 /// Builds the basis, nonlocal projectors and starting state for a system.
 /// `init_width` is the Gaussian width (Bohr) of the superposed atomic
 /// charges in the starting density.
-pub fn setup(system: &DftSystem, init_width: f64) -> (PwBasis, NonlocalPotential, RealField, RealField) {
+pub fn setup(
+    system: &DftSystem,
+    init_width: f64,
+) -> (PwBasis, NonlocalPotential, RealField, RealField) {
     let basis = PwBasis::new(system.grid.clone(), system.ecut);
     let positions: Vec<[f64; 3]> = system.atoms.iter().map(|a| a.pos).collect();
     let e_kb: Vec<f64> = system.atoms.iter().map(|a| a.kb_energy).collect();
@@ -159,7 +169,9 @@ pub fn setup(system: &DftSystem, init_width: f64) -> (PwBasis, NonlocalPotential
 pub fn random_start(n_bands: usize, basis: &PwBasis, seed: u64) -> Matrix<c64> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
     };
     // Weight low-G components more: better overlap with smooth low states.
@@ -271,7 +283,12 @@ mod tests {
             ecut,
             atoms: vec![PwAtom {
                 pos: [4.0, 4.0, 4.0],
-                local: LocalPotential { z: 2.0, rc: 0.9, a: 0.0, w: 1.0 },
+                local: LocalPotential {
+                    z: 2.0,
+                    rc: 0.9,
+                    a: 0.0,
+                    w: 1.0,
+                },
                 kb_rb: 1.0,
                 kb_energy: 0.0,
             }],
@@ -299,7 +316,11 @@ mod tests {
             ..Default::default()
         };
         let res = scf(&sys, &opts);
-        assert!(res.converged, "SCF did not converge: {:?}", res.history.last());
+        assert!(
+            res.converged,
+            "SCF did not converge: {:?}",
+            res.history.last()
+        );
         // Electron count preserved.
         assert!((res.rho.integrate() - 2.0).abs() < 1e-8);
         // Bound ground state.
@@ -313,7 +334,14 @@ mod tests {
     #[test]
     fn total_energy_stabilizes() {
         let sys = tiny_system();
-        let res = scf(&sys, &ScfOptions { max_scf: 40, tol: 1e-6, ..Default::default() });
+        let res = scf(
+            &sys,
+            &ScfOptions {
+                max_scf: 40,
+                tol: 1e-6,
+                ..Default::default()
+            },
+        );
         let n = res.history.len();
         assert!(n >= 3);
         let e_last = res.history[n - 1].total_energy;
@@ -328,7 +356,11 @@ mod tests {
     #[test]
     fn both_solver_methods_reach_same_ground_state() {
         let sys = tiny_system();
-        let mut opts = ScfOptions { max_scf: 50, tol: 1e-4, ..Default::default() };
+        let mut opts = ScfOptions {
+            max_scf: 50,
+            tol: 1e-4,
+            ..Default::default()
+        };
         opts.method = SolverMethod::AllBand;
         let a = scf(&sys, &opts);
         opts.method = SolverMethod::BandByBand;

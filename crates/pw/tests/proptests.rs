@@ -6,17 +6,14 @@ use ls3df_math::{c64, Matrix};
 use ls3df_pw::{Hamiltonian, NonlocalPotential, PwBasis};
 use proptest::prelude::*;
 
-fn basis_and_potential(
-    n: usize,
-    l: f64,
-    amp: f64,
-    seed: u64,
-) -> (PwBasis, RealField) {
+fn basis_and_potential(n: usize, l: f64, amp: f64, seed: u64) -> (PwBasis, RealField) {
     let grid = Grid3::cubic(n, l);
     let basis = PwBasis::new(grid.clone(), 1.0);
     let mut state = seed | 1;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
     };
     let v = RealField::from_fn(grid, |_| amp * next());
@@ -26,7 +23,9 @@ fn basis_and_potential(
 fn rand_block(nb: usize, npw: usize, seed: u64) -> Matrix<c64> {
     let mut state = seed | 1;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
     };
     let mut m = Matrix::from_fn(nb, npw, |_, _| c64::new(next(), next()));

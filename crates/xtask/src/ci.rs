@@ -1,0 +1,163 @@
+//! `cargo xtask ci`: the tier-1 gate, chaining
+//!
+//! 1. `cargo fmt --all -- --check`
+//! 2. `cargo clippy --workspace --all-targets -- -D warnings`
+//! 3. `cargo xtask lint` (in-process)
+//! 4. `cargo test -q`
+//!
+//! Every cargo step retries with `--offline` when the first attempt fails
+//! with a registry/network error (the build container has no registry
+//! access; all workspace dependencies are path crates, so offline always
+//! resolves). Steps whose tool component is not installed (e.g. a
+//! toolchain without rustfmt) are reported as skipped, not failed —
+//! offline containers must still be able to run the gate.
+
+use crate::lint;
+use std::path::Path;
+use std::process::Command;
+use std::time::Instant;
+
+enum StepResult {
+    Pass,
+    Fail,
+    Skip(String),
+}
+
+/// Runs the gate; returns `true` when every step passed (skips count as
+/// passes, failures never do).
+pub fn run(root: &Path) -> bool {
+    let mut all_ok = true;
+    let mut summary: Vec<(String, StepResult, f64)> = Vec::new();
+
+    let steps: [(&str, &[&str]); 3] = [
+        ("fmt", &["fmt", "--all", "--", "--check"]),
+        (
+            "clippy",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ],
+        ),
+        ("test", &["test", "-q"]),
+    ];
+
+    for (name, args) in [steps[0], steps[1]] {
+        let (res, secs) = run_cargo_step(root, name, args);
+        if matches!(res, StepResult::Fail) {
+            all_ok = false;
+        }
+        summary.push((format!("cargo {name}"), res, secs));
+    }
+
+    // The lint pass runs in-process between clippy and the test suite.
+    println!("\n=== xtask lint ===");
+    let t = Instant::now();
+    let lint_res = match lint::run(root) {
+        Ok(0) => StepResult::Pass,
+        Ok(_) => StepResult::Fail,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            StepResult::Fail
+        }
+    };
+    if matches!(lint_res, StepResult::Fail) {
+        all_ok = false;
+    }
+    summary.push((
+        "xtask lint".to_string(),
+        lint_res,
+        t.elapsed().as_secs_f64(),
+    ));
+
+    let (name, args) = steps[2];
+    let (res, secs) = run_cargo_step(root, name, args);
+    if matches!(res, StepResult::Fail) {
+        all_ok = false;
+    }
+    summary.push((format!("cargo {name}"), res, secs));
+
+    println!("\n=== ci summary ===");
+    for (name, res, secs) in &summary {
+        let status = match res {
+            StepResult::Pass => "ok".to_string(),
+            StepResult::Fail => "FAILED".to_string(),
+            StepResult::Skip(why) => format!("skipped ({why})"),
+        };
+        println!("{name:<14} {status:<24} {secs:7.1}s");
+    }
+    println!("ci: {}", if all_ok { "all steps passed" } else { "FAILED" });
+    all_ok
+}
+
+fn run_cargo_step(root: &Path, name: &str, args: &[&str]) -> (StepResult, f64) {
+    println!("\n=== cargo {name} ===");
+    let t = Instant::now();
+
+    let run = |extra: &[&str]| -> Result<(bool, String), String> {
+        let output = Command::new("cargo")
+            .args(args.iter().take(1))
+            .args(extra)
+            .args(args.iter().skip(1))
+            .current_dir(root)
+            .output()
+            .map_err(|e| format!("cannot spawn cargo: {e}"))?;
+        let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+        print!("{}", String::from_utf8_lossy(&output.stdout));
+        eprint!("{stderr}");
+        Ok((output.status.success(), stderr))
+    };
+
+    let result = match run(&[]) {
+        Ok((true, _)) => StepResult::Pass,
+        Ok((false, stderr)) if is_network_failure(&stderr) => {
+            println!("=== cargo {name}: registry unreachable, retrying --offline ===");
+            match run(&["--offline"]) {
+                Ok((true, _)) => StepResult::Pass,
+                Ok((false, stderr)) if is_missing_component(&stderr) => {
+                    StepResult::Skip(format!("{name} not installed"))
+                }
+                Ok((false, _)) => StepResult::Fail,
+                Err(e) => {
+                    eprintln!("{e}");
+                    StepResult::Fail
+                }
+            }
+        }
+        Ok((false, stderr)) if is_missing_component(&stderr) => {
+            StepResult::Skip(format!("{name} not installed"))
+        }
+        Ok((false, _)) => StepResult::Fail,
+        Err(e) => {
+            eprintln!("{e}");
+            StepResult::Fail
+        }
+    };
+    (result, t.elapsed().as_secs_f64())
+}
+
+fn is_network_failure(stderr: &str) -> bool {
+    [
+        "failed to download",
+        "Could not resolve host",
+        "network failure",
+        "failed to fetch",
+    ]
+    .iter()
+    .any(|m| stderr.contains(m))
+}
+
+fn is_missing_component(stderr: &str) -> bool {
+    [
+        "no such command",
+        "is not installed",
+        "error: toolchain",
+        "component",
+    ]
+    .iter()
+    .any(|m| stderr.contains(m))
+        && !stderr.contains("error[E")
+}

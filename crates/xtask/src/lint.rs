@@ -1,0 +1,536 @@
+//! The LS3DF source lint pass: syntactic (no `syn`, no external deps —
+//! the build runs offline), line-oriented, with comment/string stripping
+//! so rules fire on code only.
+//!
+//! Rules (ids are what the allowlist references):
+//!
+//! * `no-unwrap` — no `.unwrap()`, `.expect(...)`, or `panic!` in library
+//!   code. A silently-propagated panic in a fragment solve kills a whole
+//!   LS3DF run; library paths must return `Result` (see
+//!   `ls3df_grid::io`/`ls3df_atoms::xyz` for the house pattern). Test
+//!   code — `tests/`, `benches/`, `examples/`, and everything from a
+//!   file's first `#[cfg(test)]` line onward — is exempt, as are binary
+//!   drivers (`src/bin/`, `src/main.rs`): a top-level CLI may abort.
+//! * `no-float-eq` — no `==`/`!=` where an operand looks like a float
+//!   (float literal, `f32`/`f64` token). Exact float equality silently
+//!   breaks under reordered reductions; compare against a tolerance.
+//!   Comparisons against the literal `0.0` are exempt: the exact-zero
+//!   sentinel (unset occupation, the G = 0 vector, LU breakdown) is
+//!   well-defined IEEE equality and fuzzing it would be wrong.
+//! * `unsafe-comment` — every `unsafe` needs a `// SAFETY:` comment on
+//!   one of the three preceding lines (or its own).
+//! * `seeded-rng` — no `thread_rng()`, `from_entropy()`, or
+//!   `rand::random` anywhere: every random draw in this workspace must be
+//!   seeded, or the bit-identical-runs guarantee (ls3df-core::check) dies.
+//!
+//! Allowlist: `xtask-lint-allow.txt` at the workspace root. Each
+//! non-comment line is `<path> <rule-id> <reason…>` (whitespace-separated,
+//! path relative to the root, reason mandatory). An entry silences the
+//! rule for that whole file; entries that match nothing are themselves
+//! errors, so the allowlist cannot go stale.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+const RULES: [&str; 4] = ["no-unwrap", "no-float-eq", "unsafe-comment", "seeded-rng"];
+
+const ALLOWLIST_FILE: &str = "xtask-lint-allow.txt";
+
+/// Directories under the workspace root that contain lintable sources.
+const SOURCE_ROOTS: [&str; 5] = ["crates", "shims", "src", "tests", "examples"];
+
+struct AllowEntry {
+    path: String,
+    rule: String,
+    used: bool,
+}
+
+struct Violation {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+/// Runs the lint pass; returns the number of violations (0 = clean).
+pub fn run(root: &Path) -> Result<usize, String> {
+    let mut allow = load_allowlist(root)?;
+    let mut files = Vec::new();
+    for dir in SOURCE_ROOTS {
+        collect_rs_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        lint_file(&rel, &content, &mut allow, &mut violations);
+    }
+
+    let mut out = String::new();
+    for v in &violations {
+        let _ = writeln!(out, "{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    }
+    let mut stale = 0;
+    for entry in &allow {
+        if !entry.used {
+            let _ = writeln!(
+                out,
+                "{ALLOWLIST_FILE}: stale entry `{} {}` matches no violation — remove it",
+                entry.path, entry.rule
+            );
+            stale += 1;
+        }
+    }
+    if !out.is_empty() {
+        eprint!("{out}");
+    }
+    Ok(violations.len() + stale)
+}
+
+fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    let path = root.join(ALLOWLIST_FILE);
+    let Ok(content) = std::fs::read_to_string(&path) else {
+        return Ok(Vec::new()); // no allowlist = nothing allowed
+    };
+    let mut entries = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(rule)) = (parts.next(), parts.next()) else {
+            return Err(format!(
+                "{ALLOWLIST_FILE}:{}: need `<path> <rule> <reason…>`",
+                i + 1
+            ));
+        };
+        if !RULES.contains(&rule) {
+            return Err(format!(
+                "{ALLOWLIST_FILE}:{}: unknown rule `{rule}` (known: {})",
+                i + 1,
+                RULES.join(", ")
+            ));
+        }
+        if parts.next().is_none() {
+            return Err(format!(
+                "{ALLOWLIST_FILE}:{}: entry `{path} {rule}` has no reason — justify it",
+                i + 1
+            ));
+        }
+        entries.push(AllowEntry {
+            path: path.to_string(),
+            rule: rule.to_string(),
+            used: false,
+        });
+    }
+    Ok(entries)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name != "target" && name != ".git" {
+                collect_rs_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn allowed(allow: &mut [AllowEntry], path: &str, rule: &str) -> bool {
+    let mut hit = false;
+    for e in allow.iter_mut() {
+        if e.rule == rule && e.path == path {
+            e.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// Is the whole file exempt from the library-only rules (`no-unwrap`,
+/// `no-float-eq`)? Tests, benches and examples may assert and compare
+/// exactly.
+fn is_test_path(path: &str) -> bool {
+    ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|d| path.starts_with(d) || path.contains(&format!("/{d}")))
+}
+
+/// Binary drivers: exempt from `no-unwrap` only (a CLI entry point may
+/// abort on bad input; everything it calls may not).
+fn is_bin_path(path: &str) -> bool {
+    path.contains("/bin/") || path == "src/main.rs" || path.ends_with("/src/main.rs")
+}
+
+fn lint_file(path: &str, content: &str, allow: &mut [AllowEntry], violations: &mut Vec<Violation>) {
+    let stripped = strip_comments_and_strings(content);
+    let raw_lines: Vec<&str> = content.lines().collect();
+    let code_lines: Vec<&str> = stripped.lines().collect();
+
+    // Everything from the first `#[cfg(test)]` onward is the unit-test
+    // module (house convention: test modules close the file).
+    let test_region_start = raw_lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(usize::MAX);
+    let path_exempt = is_test_path(path);
+    let bin_exempt = is_bin_path(path);
+
+    let report = |violations: &mut Vec<Violation>,
+                  allow: &mut [AllowEntry],
+                  line: usize,
+                  rule: &'static str,
+                  message: String| {
+        if !allowed(allow, path, rule) {
+            violations.push(Violation {
+                path: path.to_string(),
+                line: line + 1,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (i, code) in code_lines.iter().enumerate() {
+        let in_test_code = path_exempt || i >= test_region_start;
+
+        if !in_test_code {
+            for needle in [".unwrap()", ".expect(", "panic!"] {
+                if !bin_exempt && code.contains(needle) {
+                    report(
+                        violations,
+                        allow,
+                        i,
+                        "no-unwrap",
+                        format!("`{needle}` in library code — return a Result instead"),
+                    );
+                }
+            }
+            if let Some(op) = float_eq_operator(code) {
+                report(
+                    violations,
+                    allow,
+                    i,
+                    "no-float-eq",
+                    format!("float `{op}` comparison — use a tolerance"),
+                );
+            }
+        }
+
+        // `unsafe` and unseeded RNG are policed everywhere, tests included.
+        if has_word(code, "unsafe") {
+            let documented = (i.saturating_sub(3)..=i)
+                .any(|j| raw_lines.get(j).is_some_and(|l| l.contains("SAFETY:")));
+            if !documented {
+                report(
+                    violations,
+                    allow,
+                    i,
+                    "unsafe-comment",
+                    "`unsafe` without a `// SAFETY:` comment on it or the 3 lines above".into(),
+                );
+            }
+        }
+        for needle in ["thread_rng()", "from_entropy()", "rand::random"] {
+            if code.contains(needle) {
+                report(
+                    violations,
+                    allow,
+                    i,
+                    "seeded-rng",
+                    format!("`{needle}` — all randomness must be explicitly seeded"),
+                );
+            }
+        }
+    }
+}
+
+/// Does the line contain `==`/`!=` with a float-looking operand? Returns
+/// the operator for the message. Purely syntactic: an operand "looks
+/// float" if it contains a `digits.digits` literal, an `f32`/`f64` token,
+/// or a float-suffixed literal.
+fn float_eq_operator(code: &str) -> Option<&'static str> {
+    let bytes = code.as_bytes();
+    for (idx, pair) in bytes.windows(2).enumerate() {
+        let op = match pair {
+            b"==" => "==",
+            b"!=" => "!=",
+            _ => continue,
+        };
+        // Skip `<=`, `>=`, `===`-like runs and pattern arm `=>`.
+        if idx > 0 && matches!(bytes[idx - 1], b'<' | b'>' | b'=' | b'!') {
+            continue;
+        }
+        if idx + 2 < bytes.len() && bytes[idx + 2] == b'=' {
+            continue;
+        }
+        let lhs = &code[..idx];
+        let rhs = &code[idx + 2..];
+        let lhs_operand = operand_slice(lhs, true);
+        let rhs_operand = operand_slice(rhs, false);
+        if is_zero_literal(lhs_operand) || is_zero_literal(rhs_operand) {
+            continue; // exact-zero sentinel: well-defined IEEE equality
+        }
+        if looks_float(lhs_operand) || looks_float(rhs_operand) {
+            return Some(op);
+        }
+    }
+    None
+}
+
+/// The operand text adjacent to a comparison: up to the nearest
+/// expression delimiter.
+fn operand_slice(s: &str, from_end: bool) -> &str {
+    let delims = [',', ';', '(', ')', '{', '}', '[', ']', '&', '|'];
+    if from_end {
+        match s.rfind(delims) {
+            Some(p) => &s[p + 1..],
+            None => s,
+        }
+    } else {
+        match s.find(delims) {
+            Some(p) => &s[..p],
+            None => s,
+        }
+    }
+}
+
+/// `0.0`, `-0.0`, `0.`, `0.0f64`, `0.0_f32` — the exact-zero sentinel.
+fn is_zero_literal(operand: &str) -> bool {
+    let s = operand.trim().trim_start_matches('-');
+    let s = s
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_');
+    !s.is_empty() && s.contains('.') && s.bytes().all(|b| b == b'0' || b == b'.')
+}
+
+fn looks_float(operand: &str) -> bool {
+    let bytes = operand.as_bytes();
+    // digits '.' digit  (1.0, 0.5, 3.14) or digit '.' at operand end (1.)
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'.'
+            && i > 0
+            && bytes[i - 1].is_ascii_digit()
+            && (i + 1 >= bytes.len() || bytes[i + 1].is_ascii_digit())
+        {
+            return true;
+        }
+    }
+    has_word(operand, "f64") || has_word(operand, "f32")
+}
+
+/// Word-boundary search (identifier characters delimit).
+fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Replaces comment and string-literal contents with spaces (newlines
+/// kept, so line numbers survive). Handles `//`, nested `/* */`, string
+/// and char literals with escapes, and `r#"…"#` raw strings.
+fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 1;
+                        out.push(b' ');
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 1;
+                        out.push(b' ');
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                continue;
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"…" / r#"…"# / r##"…"##.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                    i = j + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut k = i + 1;
+                            let mut h = 0;
+                            while k < b.len() && b[k] == b'#' && h < hashes {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                out.extend(std::iter::repeat_n(b' ', k - i));
+                                i = k;
+                                break 'raw;
+                            }
+                        }
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                    continue;
+                }
+                out.push(b[i]);
+                i += 1;
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        out.push(b' ');
+                        if i + 1 < b.len() {
+                            out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\'') vs lifetime ('a) — a char
+                // literal closes with a quote within a few bytes.
+                let close = (i + 1..(i + 5).min(b.len()))
+                    .find(|&k| b[k] == b'\'' && (b[k - 1] != b'\\' || b[k - 2] == b'\\'));
+                if let Some(k) = close {
+                    out.extend(std::iter::repeat_n(b' ', k - i + 1));
+                    i = k + 1;
+                } else {
+                    out.push(b[i]); // lifetime tick
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_preserves_line_structure() {
+        let src =
+            "let a = 1; // comment with .unwrap()\nlet b = \"panic!\";\n/* panic!\n*/ let c = 2;\n";
+        let s = strip_comments_and_strings(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let a = 1;"));
+        assert!(s.contains("let c = 2;"));
+    }
+
+    #[test]
+    fn float_eq_detection() {
+        assert!(float_eq_operator("if x == 1.0 {").is_some());
+        assert!(float_eq_operator("if 0.5 != y {").is_some());
+        assert!(float_eq_operator("a == b as f64").is_some());
+        assert!(float_eq_operator("if n == 2 {").is_none());
+        assert!(float_eq_operator("if s == t {").is_none());
+        assert!(float_eq_operator("x <= 1.0").is_none());
+        assert!(float_eq_operator("match x { _ => 1.0 }").is_none());
+        // Delimiter bounds the operand: the float in the *other* argument
+        // of a call must not taint an integer comparison.
+        assert!(float_eq_operator("f(1.0, a == b)").is_none());
+    }
+
+    #[test]
+    fn zero_sentinel_is_exempt() {
+        assert!(float_eq_operator("if f == 0.0 {").is_none());
+        assert!(float_eq_operator("e_kb != 0.0").is_none());
+        assert!(float_eq_operator("x == -0.0").is_none());
+        assert!(float_eq_operator("y == 0.0_f64").is_none());
+        // …but only the literal zero; near-zero constants still fire.
+        assert!(float_eq_operator("x == 0.01").is_some());
+        assert!(float_eq_operator("x == 10.0").is_some());
+        assert!(is_zero_literal(" 0. "));
+        assert!(!is_zero_literal("0"));
+        assert!(!is_zero_literal(""));
+    }
+
+    #[test]
+    fn bin_paths_detected() {
+        assert!(is_bin_path("crates/bench/src/bin/fig3.rs"));
+        assert!(is_bin_path("crates/xtask/src/main.rs"));
+        assert!(!is_bin_path("crates/pw/src/solver.rs"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("x as f64", "f64"));
+        assert!(!has_word("f64s", "f64"));
+        assert!(!has_word("my_f64x", "f64"));
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(!has_word("unsafely", "unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_stripped() {
+        let s = strip_comments_and_strings("let x = r#\"panic! .unwrap()\"#; let y = 1;");
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let y = 1;"));
+    }
+}

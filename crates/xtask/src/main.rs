@@ -1,0 +1,66 @@
+//! Workspace tooling, invoked as `cargo xtask <command>` (the alias lives
+//! in `.cargo/config.toml`).
+//!
+//! * `cargo xtask lint` — the LS3DF-specific syntactic lint pass over all
+//!   workspace sources (see [`lint`] for the rules and the allowlist
+//!   format);
+//! * `cargo xtask ci` — the tier-1 gate: `fmt --check`, `clippy -D
+//!   warnings`, `xtask lint`, `cargo test -q`, with an `--offline`
+//!   fallback for each cargo step when the registry is unreachable.
+
+mod ci;
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: cargo xtask <command>\n\
+     \n\
+     commands:\n\
+       lint    run the LS3DF source lint rules over the workspace\n\
+       ci      run the full tier-1 gate (fmt, clippy, lint, test)\n"
+}
+
+/// Workspace root: xtask lives at `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    match args.first().map(String::as_str) {
+        Some("lint") => match lint::run(&root) {
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(n) => {
+                eprintln!("xtask lint: {n} violation(s)");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("ci") => {
+            if ci::run(&root) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n{}", usage());
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -55,14 +55,28 @@ fn main() {
         .iter()
         .map(|at| {
             let p = table.get(at.species);
-            pw::PwAtom { pos: at.pos, local: p.local, kb_rb: p.kb.rb, kb_energy: p.kb.e_kb }
+            pw::PwAtom {
+                pos: at.pos,
+                local: p.local,
+                kb_rb: p.kb.rb,
+                kb_energy: p.kb.e_kb,
+            }
         })
         .collect();
-    let sys = pw::DftSystem { grid: grid.clone(), ecut, atoms };
+    let sys = pw::DftSystem {
+        grid: grid.clone(),
+        ecut,
+        atoms,
+    };
     let t = std::time::Instant::now();
     let direct = pw::scf(
         &sys,
-        &pw::ScfOptions { max_scf: 60, tol: 1e-5, n_extra_bands: 4, ..Default::default() },
+        &pw::ScfOptions {
+            max_scf: 60,
+            tol: 1e-5,
+            n_extra_bands: 4,
+            ..Default::default()
+        },
     );
     println!(
         "direct DFT: converged={} in {} iterations ({:.1}s), E = {:.6} Ha",
@@ -73,8 +87,14 @@ fn main() {
     );
 
     // ---- LS3DF ----------------------------------------------------------
-    let wall = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(1.5);
-    let buffer = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(3usize);
+    let wall = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+    let buffer = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3usize);
     let opts = Ls3dfOptions {
         ecut,
         piece_pts: [piece_pts; 3],
@@ -84,7 +104,10 @@ fn main() {
         n_extra_bands: 3,
         cg_steps: 5,
         fragment_tol: 1e-8,
-        mixer: Mixer::Kerker { alpha: 0.7, q0: 1.0 },
+        mixer: Mixer::Kerker {
+            alpha: 0.7,
+            q0: 1.0,
+        },
         max_scf: 60,
         tol: 1e-4,
         pseudo: table,
@@ -123,7 +146,7 @@ fn main() {
     //    (the paper's §V methodology) vs the direct SCF eigenvalues.
     let basis = ls.global_basis();
     let nl = pw::NonlocalPotential::new(
-        &basis,
+        basis,
         &sys.atoms.iter().map(|a| a.pos).collect::<Vec<_>>(),
         |i, q| (-q * q * sys.atoms[i].kb_rb * sys.atoms[i].kb_rb / 2.0).exp(),
         &sys.atoms.iter().map(|a| a.kb_energy).collect::<Vec<_>>(),
@@ -134,7 +157,11 @@ fn main() {
     let stats = pw::solve_all_band(
         &h,
         &mut psi,
-        &SolverOptions { max_iter: 200, tol: 1e-7, ..Default::default() },
+        &SolverOptions {
+            max_iter: 200,
+            tol: 1e-7,
+            ..Default::default()
+        },
     );
     let n_occ = sys.n_occupied();
     let mut max_occ_err: f64 = 0.0;

@@ -24,11 +24,20 @@ fn main() {
     };
     let atoms = vec![PwAtom {
         pos: [0.0; 3],
-        local: LocalPotential { z: 2.0, rc: 1.0, a: 0.0, w: 1.0 },
+        local: LocalPotential {
+            z: 2.0,
+            rc: 1.0,
+            a: 0.0,
+            w: 1.0,
+        },
         kb_rb: 1.0,
         kb_energy: 0.0,
     }];
-    let opts = SolverOptions { max_iter: 300, tol: 1e-7, ..Default::default() };
+    let opts = SolverOptions {
+        max_iter: 300,
+        tol: 1e-7,
+        ..Default::default()
+    };
 
     // Primitive cell at Γ and X.
     let prim_grid = Grid3::new([10, 10, 10], [a, a, a]);
@@ -40,8 +49,14 @@ fn main() {
         &v_prim,
         &atoms,
         &[
-            KPoint { k: [0.0; 3], weight: 0.5 },
-            KPoint { k: [kx, 0.0, 0.0], weight: 0.5 },
+            KPoint {
+                k: [0.0; 3],
+                weight: 0.5,
+            },
+            KPoint {
+                k: [kx, 0.0, 0.0],
+                weight: 0.5,
+            },
         ],
         6,
         &opts,
@@ -64,7 +79,10 @@ fn main() {
     union.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
 
     println!("primitive cell (a = {a} Bohr) k-points vs doubled supercell at Γ:\n");
-    println!("{:>4} {:>14} {:>6} | {:>14} {:>10}", "band", "prim union", "from", "supercell Γ", "Δ (meV)");
+    println!(
+        "{:>4} {:>14} {:>6} | {:>14} {:>10}",
+        "band", "prim union", "from", "supercell Γ", "Δ (meV)"
+    );
     for b in 0..8.min(sup.eigenvalues.len()) {
         let (e_u, src) = union[b];
         println!(

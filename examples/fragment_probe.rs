@@ -23,7 +23,11 @@ fn main() {
             for i in 0..m[0] {
                 atoms.push(Atom {
                     species: Species::Zn,
-                    pos: [(i as f64 + 0.5) * a, (j as f64 + 0.5) * a, (k as f64 + 0.5) * a],
+                    pos: [
+                        (i as f64 + 0.5) * a,
+                        (j as f64 + 0.5) * a,
+                        (k as f64 + 0.5) * a,
+                    ],
                 });
             }
         }
@@ -37,18 +41,40 @@ fn main() {
         .iter()
         .map(|at| {
             let p = table.get(at.species);
-            pw::PwAtom { pos: at.pos, local: p.local, kb_rb: p.kb.rb, kb_energy: p.kb.e_kb }
+            pw::PwAtom {
+                pos: at.pos,
+                local: p.local,
+                kb_rb: p.kb.rb,
+                kb_energy: p.kb.e_kb,
+            }
         })
         .collect();
-    let sys = pw::DftSystem { grid: grid.clone(), ecut, atoms: pw_atoms };
-    let direct = pw::scf(&sys, &pw::ScfOptions { max_scf: 60, tol: 1e-5, ..Default::default() });
-    println!("direct converged={} E={:.6}", direct.converged, direct.total_energy);
+    let sys = pw::DftSystem {
+        grid: grid.clone(),
+        ecut,
+        atoms: pw_atoms,
+    };
+    let direct = pw::scf(
+        &sys,
+        &pw::ScfOptions {
+            max_scf: 60,
+            tol: 1e-5,
+            ..Default::default()
+        },
+    );
+    println!(
+        "direct converged={} E={:.6}",
+        direct.converged, direct.total_energy
+    );
 
     // One fragment: the central 1×1×1 at corner (1,1,1).
     let fg = FragmentGrid::new(m, &grid, [buffer; 3]);
     let nbrs = s.neighbor_list_within(topology_cutoff(&s));
     for size in [[1usize, 1, 1], [2, 1, 1], [2, 2, 2]] {
-        let f = Fragment { corner: [1, 1, 1], size };
+        let f = Fragment {
+            corner: [1, 1, 1],
+            size,
+        };
         let fa = fragment_atoms(&s, &nbrs, &fg, &f, Passivation::WallOnly, &table);
         let box_grid = fg.box_grid(&f);
         let basis = pw::PwBasis::new(box_grid.clone(), ecut);
@@ -62,7 +88,11 @@ fn main() {
         let stats = pw::solve_all_band(
             &h,
             &mut psi,
-            &SolverOptions { max_iter: 400, tol: 1e-8, ..Default::default() },
+            &SolverOptions {
+                max_iter: 400,
+                tol: 1e-8,
+                ..Default::default()
+            },
         );
         println!(
             "\nfragment {:?}: atoms={} n_e={} bands={} converged={} residual={:.1e}",
@@ -87,7 +117,10 @@ fn main() {
         let iz = (atom_box[2] / spacing[2]).round() as usize;
         let origin = fg.box_origin(&f);
         println!("  line through atom (box iy={iy} iz={iz}):");
-        println!("  {:>5} {:>12} {:>12} {:>9}", "ix", "rho_frag", "rho_direct", "ratio");
+        println!(
+            "  {:>5} {:>12} {:>12} {:>9}",
+            "ix", "rho_frag", "rho_direct", "ratio"
+        );
         for ix in (0..box_grid.dims[0]).step_by(2) {
             let rf = rho_f.at(ix, iy, iz);
             let gd = direct.rho.at_wrapped(

@@ -21,7 +21,11 @@ fn toy_crystal(m: [usize; 3], a: f64) -> Structure {
             for i in 0..m[0] {
                 atoms.push(Atom {
                     species: Species::Zn,
-                    pos: [(i as f64 + 0.5) * a, (j as f64 + 0.5) * a, (k as f64 + 0.5) * a],
+                    pos: [
+                        (i as f64 + 0.5) * a,
+                        (j as f64 + 0.5) * a,
+                        (k as f64 + 0.5) * a,
+                    ],
                 });
             }
         }
@@ -30,13 +34,32 @@ fn toy_crystal(m: [usize; 3], a: f64) -> Structure {
 }
 
 fn main() {
-    let a: f64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(6.5);
-    let wall: f64 = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(1.5);
-    let buffer: usize = std::env::args().nth(3).and_then(|v| v.parse().ok()).unwrap_or(5);
-    let cg: usize = std::env::args().nth(4).and_then(|v| v.parse().ok()).unwrap_or(40);
-    let m: [usize; 3] = std::env::args().nth(5).and_then(|v| v.parse().ok()).map(|n: usize| [n, n, n]).unwrap_or([2, 2, 2]);
+    let a: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6.5);
+    let wall: f64 = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+    let buffer: usize = std::env::args()
+        .nth(3)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let cg: usize = std::env::args()
+        .nth(4)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let m: [usize; 3] = std::env::args()
+        .nth(5)
+        .and_then(|v| v.parse().ok())
+        .map(|n: usize| [n, n, n])
+        .unwrap_or([2, 2, 2]);
     let ecut = 1.5;
-    let piece_pts: usize = std::env::args().nth(6).and_then(|v| v.parse().ok()).unwrap_or(10);
+    let piece_pts: usize = std::env::args()
+        .nth(6)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
     let s = toy_crystal(m, a);
 
     // Direct reference.
@@ -50,13 +73,27 @@ fn main() {
         .iter()
         .map(|at| {
             let p = table.get(at.species);
-            pw::PwAtom { pos: at.pos, local: p.local, kb_rb: p.kb.rb, kb_energy: p.kb.e_kb }
+            pw::PwAtom {
+                pos: at.pos,
+                local: p.local,
+                kb_rb: p.kb.rb,
+                kb_energy: p.kb.e_kb,
+            }
         })
         .collect();
-    let sys = pw::DftSystem { grid: grid.clone(), ecut, atoms };
+    let sys = pw::DftSystem {
+        grid: grid.clone(),
+        ecut,
+        atoms,
+    };
     let direct = pw::scf(
         &sys,
-        &pw::ScfOptions { max_scf: 80, tol: 1e-6, n_extra_bands: 4, ..Default::default() },
+        &pw::ScfOptions {
+            max_scf: 80,
+            tol: 1e-6,
+            n_extra_bands: 4,
+            ..Default::default()
+        },
     );
     let n_occ = sys.n_occupied();
     let gap = direct.eigenvalues[n_occ] - direct.eigenvalues[n_occ - 1];
@@ -92,7 +129,10 @@ fn main() {
     let mut worst = f64::INFINITY;
     for round in 0..12 {
         worst = ls.petot_f(&vfs);
-        println!("  round {round}: worst fragment residual {worst:.2e} ({:.0}s)", t.elapsed().as_secs_f64());
+        println!(
+            "  round {round}: worst fragment residual {worst:.2e} ({:.0}s)",
+            t.elapsed().as_secs_f64()
+        );
         if worst < 1e-5 {
             break;
         }

@@ -26,14 +26,17 @@ fn main() {
     // LS3DF with one eight-atom cell per piece (the paper's granularity),
     // scaled-down planewave settings for a laptop-class machine.
     let opts = Ls3dfOptions {
-        ecut: 2.0,                        // Hartree (paper: 50 Ryd = 25 Ha)
-        piece_pts: [8, 8, 8],             // grid per piece (paper: 40³)
+        ecut: 2.0,            // Hartree (paper: 50 Ryd = 25 Ha)
+        piece_pts: [8, 8, 8], // grid per piece (paper: 40³)
         buffer_pts: [3, 3, 3],
         passivation: Passivation::PseudoH,
         wall_height: 1.5,
         n_extra_bands: 2,
         cg_steps: 5,
-        mixer: Mixer::Kerker { alpha: 0.6, q0: 0.8 },
+        mixer: Mixer::Kerker {
+            alpha: 0.6,
+            q0: 0.8,
+        },
         max_scf: 8,
         tol: 1e-3,
         pseudo: PseudoTable::default(),

@@ -18,7 +18,10 @@ fn main() {
 
     // 1) Choosing Np: the paper lands on Np = 40 for this system.
     println!("choosing the group size Np (8x6x9, 17,280 Franklin cores):");
-    println!("{:>6} {:>8} {:>12} {:>12}", "Np", "groups", "% of peak", "t/iter (s)");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12}",
+        "Np", "groups", "% of peak", "t/iter (s)"
+    );
     for np in [10usize, 20, 40, 80, 160] {
         let t = iteration_time(&machine, &problem, 17_280, np);
         println!(
@@ -42,7 +45,10 @@ fn main() {
 
     // 3) Where the time goes across concurrency.
     println!("time breakdown per SCF iteration (8x6x9, Np = 40):");
-    println!("{:>8} {:>12} {:>10} {:>12}", "cores", "PEtot_F (s)", "comm (s)", "comm share");
+    println!(
+        "{:>8} {:>12} {:>10} {:>12}",
+        "cores", "PEtot_F (s)", "comm (s)", "comm share"
+    );
     for cores in [1080usize, 4320, 17_280] {
         let t = iteration_time(&machine, &problem, cores, 40);
         println!(

@@ -8,14 +8,20 @@
 use ls3df_atoms::{bond_stats, relax, topology_cutoff, znteo_alloy, Species, ZNTE_LATTICE};
 
 fn main() {
-    let m: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(3);
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
     let x: f64 = std::env::args()
         .nth(2)
         .and_then(|v| v.parse().ok())
         .map(|p: f64| p / 100.0)
         .unwrap_or(0.03125);
 
-    println!("ZnTe(1-x)Ox alloys, {m}x{m}x{m} cells, x = {:.4} (paper: 3%)\n", x);
+    println!(
+        "ZnTe(1-x)Ox alloys, {m}x{m}x{m} cells, x = {:.4} (paper: 3%)\n",
+        x
+    );
     println!(
         "{:>5} {:>16} {:>7} {:>22} {:>22} {:>10}",
         "seed", "formula", "steps", "Zn-O bonds (Bohr)", "Zn-Te bonds (Bohr)", "max disp"

@@ -1,0 +1,252 @@
+//! Offline stand-in for the subset of the `rayon` API the LS3DF workspace
+//! uses (`par_iter`, `par_iter_mut`, `into_par_iter`, `par_chunks`,
+//! `par_chunks_mut`, `join`, `current_num_threads`, and the adapters
+//! `map`/`zip`/`enumerate`/`filter`/`for_each`/`fold`/`reduce`/`collect`).
+//!
+//! The build container has no registry access, so the real crates-io rayon
+//! cannot be resolved; this path dependency keeps the workspace compiling
+//! and the API call sites unchanged. Execution is **deterministic
+//! sequential**: every adapter preserves the natural item order, so
+//! reductions are bit-identical from run to run — the property the
+//! `ls3df-core::check` invariant layer tests. Swapping the real rayon back
+//! in (one line in the root `Cargo.toml`) re-enables work stealing; the
+//! fixed-order tree reductions in `ls3df-pw::density` and
+//! `ls3df-core::scf` are written to stay deterministic under it.
+
+/// Everything the workspace imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads in the (sequential) pool.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Runs both closures and returns their results (sequentially, `a` first).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// A "parallel" iterator: a thin deterministic wrapper over a standard
+/// iterator. Adapters mirror rayon's names and signatures closely enough
+/// for the workspace call sites.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Applies `f` to every item.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Pairs items with those of another parallel iterator.
+    pub fn zip<J>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>>
+    where
+        J: IntoParallelIterator,
+    {
+        ParIter {
+            inner: self.inner.zip(other.into_par_iter().inner),
+        }
+    }
+
+    /// Pairs items with their index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Keeps items satisfying the predicate.
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<std::iter::Filter<I, P>> {
+        ParIter {
+            inner: self.inner.filter(p),
+        }
+    }
+
+    /// Maps each item to a serial iterator and concatenates the results.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    /// Consumes the iterator, applying `f` to every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f);
+    }
+
+    /// Rayon-style fold: produces a parallel iterator of per-split
+    /// accumulators. The sequential pool has exactly one split, so this
+    /// folds everything into a single accumulator.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter {
+            inner: std::iter::once(self.inner.fold(identity(), fold_op)),
+        }
+    }
+
+    /// Reduces all items with `op`, starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Sums all items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Collects items in order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+}
+
+/// Types convertible into a [`ParIter`] (`Vec`, ranges, slices, and
+/// [`ParIter`] itself so `zip` accepts both).
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator type.
+    type Iter: Iterator;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+    type Iter = I;
+    fn into_par_iter(self) -> ParIter<I> {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator,
+{
+    type Iter = std::ops::Range<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `par_iter`/`par_chunks` on shared slices (and, via deref, `Vec`).
+pub trait ParallelSlice<T> {
+    /// Parallel shared iteration.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Parallel iteration over `size`-sized chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter { inner: self.iter() }
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter {
+            inner: self.chunks(size),
+        }
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut` on mutable slices (and, via deref, `Vec`).
+pub trait ParallelSliceMut<T> {
+    /// Parallel exclusive iteration.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Parallel iteration over mutable `size`-sized chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter {
+            inner: self.chunks_mut(size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let v: Vec<u64> = (0..100u64).collect();
+        let s: u64 = v.par_iter().map(|&x| x * x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, (0..100u64).map(|x| x * x).sum::<u64>());
+    }
+
+    #[test]
+    fn fold_then_reduce_single_split() {
+        let total = (0..10usize)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn chunks_mut_preserves_order() {
+        let mut v = vec![0usize; 12];
+        v.par_chunks_mut(4).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let a = [1, 2, 3];
+        let mut b = vec![10, 20, 30];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(x, &y)| *x += y);
+        assert_eq!(b, vec![11, 22, 33]);
+    }
+}

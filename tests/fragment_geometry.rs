@@ -65,7 +65,13 @@ fn two_dimensional_limit_matches_paper_figure_1() {
     // 1×2 / 2×1. In our 3-D code the 2-D case is size_z = 2 fixed… check
     // that the sign pattern restricted to two varying dimensions matches
     // after factoring out the z contribution.
-    let alpha = |s: [usize; 3]| Fragment { corner: [0, 0, 0], size: s }.alpha();
+    let alpha = |s: [usize; 3]| {
+        Fragment {
+            corner: [0, 0, 0],
+            size: s,
+        }
+        .alpha()
+    };
     // With s_z = 2 (sign +1), the x-y pattern is the 2-D one inverted?
     // No: α₂D(s1,s2) = α₃D(s1,s2,2).
     assert_eq!(alpha([1, 1, 2]), 1.0); // 1×1 → +1 ✓
@@ -81,7 +87,10 @@ fn buffers_do_not_change_region_bookkeeping() {
     for buffer in [0usize, 1, 2] {
         let fg = FragmentGrid::new(m, &grid, [buffer; 3]);
         assert_eq!(fg.partition_of_unity(&grid), 0.0);
-        let f = Fragment { corner: [2, 2, 2], size: [2, 2, 2] };
+        let f = Fragment {
+            corner: [2, 2, 2],
+            size: [2, 2, 2],
+        };
         // Region is buffer-independent; the box grows by 2·buffer.
         assert_eq!(fg.region_dims(&f), [8, 8, 8]);
         assert_eq!(fg.box_grid(&f).dims, [8 + 2 * buffer; 3]);

@@ -16,15 +16,27 @@ fn abstract_headline_numbers() {
         .find(|r| r.machine == Machine::Jaguar && r.cores == 30_720 && r.np == 20)
         .unwrap();
     let m = model_row(&jaguar_row);
-    assert!((m.tflops - 60.3).abs() < 4.0, "Jaguar headline: {}", m.tflops);
+    assert!(
+        (m.tflops - 60.3).abs() < 4.0,
+        "Jaguar headline: {}",
+        m.tflops
+    );
 
     let intrepid_row = paper_table1()
         .into_iter()
         .find(|r| r.cores == 131_072)
         .unwrap();
     let m = model_row(&intrepid_row);
-    assert!((m.tflops - 107.5).abs() < 4.0, "Intrepid headline: {}", m.tflops);
-    assert!((m.pct_peak - 0.242).abs() < 0.01, "Intrepid %peak: {}", m.pct_peak);
+    assert!(
+        (m.tflops - 107.5).abs() < 4.0,
+        "Intrepid headline: {}",
+        m.tflops
+    );
+    assert!(
+        (m.pct_peak - 0.242).abs() < 0.01,
+        "Intrepid %peak: {}",
+        m.pct_peak
+    );
 }
 
 #[test]
@@ -45,7 +57,8 @@ fn almost_perfect_parallelization_claim() {
     //  efficiency across the paper's strong-scaling range.
     let machine = MachineSpec::franklin();
     let problem = Problem::new(8, 6, 9);
-    let (points, _, fit_petot) = strong_scaling(&machine, &problem, 40, &fig3_core_counts());
+    let (points, _, fit_petot) =
+        strong_scaling(&machine, &problem, 40, &fig3_core_counts()).unwrap();
     let last = points.last().unwrap();
     let ideal = last.cores as f64 / points[0].cores as f64;
     assert!(last.speedup_petot / ideal > 0.9);

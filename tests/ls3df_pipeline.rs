@@ -16,7 +16,11 @@ fn model_crystal(m: [usize; 3], a: f64) -> Structure {
             for i in 0..m[0] {
                 atoms.push(Atom {
                     species: Species::Zn,
-                    pos: [(i as f64 + 0.5) * a, (j as f64 + 0.5) * a, (k as f64 + 0.5) * a],
+                    pos: [
+                        (i as f64 + 0.5) * a,
+                        (j as f64 + 0.5) * a,
+                        (k as f64 + 0.5) * a,
+                    ],
                 });
             }
         }
@@ -35,7 +39,10 @@ fn small_opts(table: PseudoTable) -> Ls3dfOptions {
         cg_steps: 6,
         initial_cg_steps: 10, // the gapped toy doesn't need a deep burn-in
         fragment_tol: 1e-9,   // step-limited (tests watch residual trends)
-        mixer: Mixer::Kerker { alpha: 0.6, q0: 0.8 },
+        mixer: Mixer::Kerker {
+            alpha: 0.6,
+            q0: 0.8,
+        },
         max_scf: 10,
         tol: 1e-4,
         pseudo: table,
@@ -176,4 +183,39 @@ fn timings_are_recorded_and_petot_dominates() {
             t.gen_dens
         );
     }
+}
+
+#[test]
+fn repeated_runs_produce_bit_identical_densities() {
+    // LS3DF's reductions (Gen_dens fragment patching, band-block density
+    // sums) use fixed-order deterministic trees, so two identical runs
+    // must agree to the last bit — not merely to floating-point noise.
+    let run = || {
+        let s = model_crystal([2, 2, 2], 6.5);
+        let table = PseudoTable::deep_well(2.0, 0.8);
+        let mut opts = small_opts(table);
+        opts.max_scf = 2;
+        let mut calc = Ls3df::new(&s, [2, 2, 2], opts);
+        calc.scf()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.rho.as_slice().len(), b.rho.as_slice().len());
+    let diverging = a
+        .rho
+        .as_slice()
+        .iter()
+        .zip(b.rho.as_slice())
+        .filter(|(x, y)| x.to_bits() != y.to_bits())
+        .count();
+    assert_eq!(
+        diverging, 0,
+        "{diverging} grid points differ between identical runs"
+    );
+    let dv_a = a.history.last().unwrap().dv_integral;
+    let dv_b = b.history.last().unwrap().dv_integral;
+    assert_eq!(
+        dv_a.to_bits(),
+        dv_b.to_bits(),
+        "ΔV history diverged: {dv_a} vs {dv_b}"
+    );
 }

@@ -1,16 +1,21 @@
 //! Physics invariants of the planewave solver, tested across crates.
 
 use ls3df_grid::{Grid3, RealField};
+use ls3df_pseudo::LocalPotential;
 use ls3df_pw::{
     solve_all_band, DftSystem, Hamiltonian, NonlocalPotential, PwAtom, PwBasis, ScfOptions,
     SolverOptions,
 };
-use ls3df_pseudo::LocalPotential;
 
 fn well_atom(pos: [f64; 3], z: f64) -> PwAtom {
     PwAtom {
         pos,
-        local: LocalPotential { z, rc: 0.9, a: 0.0, w: 1.0 },
+        local: LocalPotential {
+            z,
+            rc: 0.9,
+            a: 0.0,
+            w: 1.0,
+        },
         kb_rb: 1.0,
         kb_energy: 0.0,
     }
@@ -23,7 +28,11 @@ fn gauge_shift_moves_all_eigenvalues_equally() {
     let basis = PwBasis::new(grid.clone(), 1.2);
     let v = RealField::from_fn(grid, |r| -0.6 * (-(r[0] - 4.0).powi(2) / 5.0).exp());
     let nl = NonlocalPotential::none(&basis);
-    let opts = SolverOptions { max_iter: 150, tol: 1e-8, ..Default::default() };
+    let opts = SolverOptions {
+        max_iter: 150,
+        tol: 1e-8,
+        ..Default::default()
+    };
 
     let h1 = Hamiltonian::new(&basis, v.clone(), &nl);
     let mut psi1 = ls3df_pw::scf::random_start(4, &basis, 1);
@@ -60,7 +69,12 @@ fn translation_invariance_of_scf_energy() {
             well_atom([4.5 + shift, 5.0, 1.5], 2.0),
         ],
     };
-    let opts = ScfOptions { max_scf: 60, tol: 1e-4, n_extra_bands: 2, ..Default::default() };
+    let opts = ScfOptions {
+        max_scf: 60,
+        tol: 1e-4,
+        n_extra_bands: 2,
+        ..Default::default()
+    };
     let e0 = ls3df_pw::scf(&mk(0.0), &opts);
     // Shift by a non-grid-commensurate amount to exercise the q-space
     // structure factors properly.
@@ -82,7 +96,12 @@ fn two_isolated_atoms_have_twice_the_energy_of_one() {
     // cell effectively adds a k-point, so agreement is limited by
     // Brillouin-zone sampling (tens of meV at this scale), not by the
     // solver.
-    let opts = ScfOptions { max_scf: 70, tol: 1e-4, n_extra_bands: 2, ..Default::default() };
+    let opts = ScfOptions {
+        max_scf: 70,
+        tol: 1e-4,
+        n_extra_bands: 2,
+        ..Default::default()
+    };
     let one = DftSystem {
         grid: Grid3::new([10, 10, 10], [7.0, 7.0, 7.0]),
         ecut: 1.2,
@@ -91,7 +110,10 @@ fn two_isolated_atoms_have_twice_the_energy_of_one() {
     let two = DftSystem {
         grid: Grid3::new([20, 10, 10], [14.0, 7.0, 7.0]),
         ecut: 1.2,
-        atoms: vec![well_atom([3.5, 3.5, 3.5], 2.0), well_atom([10.5, 3.5, 3.5], 2.0)],
+        atoms: vec![
+            well_atom([3.5, 3.5, 3.5], 2.0),
+            well_atom([10.5, 3.5, 3.5], 2.0),
+        ],
     };
     let r1 = ls3df_pw::scf(&one, &opts);
     let r2 = ls3df_pw::scf(&two, &opts);
@@ -117,7 +139,12 @@ fn density_respects_crystal_symmetry() {
     };
     let res = ls3df_pw::scf(
         &sys,
-        &ScfOptions { max_scf: 60, tol: 1e-4, n_extra_bands: 3, ..Default::default() },
+        &ScfOptions {
+            max_scf: 60,
+            tol: 1e-4,
+            n_extra_bands: 3,
+            ..Default::default()
+        },
     );
     // Symmetry holds at every SCF iterate (the initial guess is symmetric
     // and every step preserves it), so convergence is not required — but

@@ -1,0 +1,94 @@
+//! Fault-injection tests for the `ls3df_core::check` invariant layer:
+//! deliberately corrupt the pipeline state and confirm the checks catch it
+//! with the right SCF step name (debug/test builds compile the layer in;
+//! see `ls3df_core::check::ENABLED`).
+
+use ls3df::core::{Ls3df, Ls3dfOptions, Passivation};
+use ls3df::pw::Mixer;
+use ls3df_atoms::{Atom, Species, Structure};
+use ls3df_pseudo::PseudoTable;
+
+fn model_crystal(m: [usize; 3], a: f64) -> Structure {
+    let mut atoms = Vec::new();
+    for k in 0..m[2] {
+        for j in 0..m[1] {
+            for i in 0..m[0] {
+                atoms.push(Atom {
+                    species: Species::Zn,
+                    pos: [
+                        (i as f64 + 0.5) * a,
+                        (j as f64 + 0.5) * a,
+                        (k as f64 + 0.5) * a,
+                    ],
+                });
+            }
+        }
+    }
+    Structure::new([m[0] as f64 * a, m[1] as f64 * a, m[2] as f64 * a], atoms)
+}
+
+fn small_opts(table: PseudoTable) -> Ls3dfOptions {
+    Ls3dfOptions {
+        ecut: 1.5,
+        piece_pts: [8, 8, 8],
+        buffer_pts: [3, 3, 3],
+        passivation: Passivation::WallOnly,
+        wall_height: 1.5,
+        n_extra_bands: 2,
+        cg_steps: 6,
+        initial_cg_steps: 10,
+        fragment_tol: 1e-9,
+        mixer: Mixer::Kerker {
+            alpha: 0.6,
+            q0: 0.8,
+        },
+        max_scf: 2,
+        tol: 1e-4,
+        pseudo: table,
+        ..Default::default()
+    }
+}
+
+fn small_calc() -> Ls3df {
+    let s = model_crystal([2, 2, 2], 6.5);
+    let table = PseudoTable::deep_well(2.0, 0.8);
+    Ls3df::new(&s, [2, 2, 2], small_opts(table))
+}
+
+/// A fragment whose density went wrong (here: its wavefunctions scaled by
+/// 10, inflating its density 100×) must trip the Gen_dens charge check
+/// *before* the renormalization silently absorbs the corruption.
+#[test]
+#[should_panic(expected = "LS3DF invariant violated at Gen_dens")]
+fn corrupted_fragment_density_trips_charge_check() {
+    let mut calc = small_calc();
+    for i in 0..4 {
+        calc.scale_fragment_psi(i, 10.0);
+    }
+    let _ = calc.gen_dens();
+}
+
+/// A NaN injected into the global input potential must be reported by the
+/// first step that consumes it — Gen_VF — not discovered (or worse,
+/// averaged away) steps later.
+#[test]
+#[should_panic(expected = "LS3DF invariant violated at Gen_VF")]
+fn injected_nan_is_reported_at_gen_vf() {
+    let mut calc = small_calc();
+    let mut v = calc.v_in().clone();
+    v.as_mut_slice()[17] = f64::NAN;
+    calc.set_v_in(v);
+    let _ = calc.gen_vf();
+}
+
+/// The check layer must be compiled into test builds, otherwise the two
+/// tests above would pass vacuously. (Indirection via a runtime value so
+/// the assertion is not constant-folded.)
+#[test]
+fn check_layer_active_in_test_builds() {
+    let enabled = [false, ls3df_core::check::ENABLED];
+    assert!(
+        enabled[1],
+        "debug/test builds must compile the invariant layer in"
+    );
+}
