@@ -87,7 +87,11 @@ fn main() {
         ..Default::default()
     };
     let t = std::time::Instant::now();
-    let mut ls = Ls3df::new(&s, [m, m, m], opts);
+    let mut ls = Ls3df::builder(&s)
+        .fragments([m, m, m])
+        .options(opts)
+        .build()
+        .expect("valid accuracy-bench geometry");
     let res = ls.scf();
     println!(
         "LS3DF: converged={} ({} iters, {:.0}s), {} fragments",

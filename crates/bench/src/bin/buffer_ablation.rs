@@ -69,7 +69,11 @@ fn main() {
             ..Default::default()
         };
         let t = std::time::Instant::now();
-        let mut ls = Ls3df::new(&s, [m, m, m], opts);
+        let mut ls = Ls3df::builder(&s)
+            .fragments([m, m, m])
+            .options(opts)
+            .build()
+            .expect("valid buffer-ablation geometry");
         let res = ls.scf();
         let err = res.rho.diff(&direct.rho).integrate_abs() / s.num_electrons();
         println!(

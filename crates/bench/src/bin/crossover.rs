@@ -110,7 +110,11 @@ fn main() {
             pseudo: table,
             ..Default::default()
         };
-        let mut ls = Ls3df::new(&s, [m, m, m], opts);
+        let mut ls = Ls3df::builder(&s)
+            .fragments([m, m, m])
+            .options(opts)
+            .build()
+            .expect("valid crossover geometry");
         let t = Instant::now();
         let _ = ls.scf();
         let t_ls3df = t.elapsed().as_secs_f64() / n_iter as f64;

@@ -9,7 +9,7 @@
 //! Run: `cargo run -p ls3df-bench --bin fig6 --release -- [m] [iters] [ecut] [piece_pts]`
 
 use ls3df_bench::{arg, to_pw_atoms};
-use ls3df_core::{Ls3df, Ls3dfOptions, Passivation};
+use ls3df_core::{Ls3df, Ls3dfOptions, Ls3dfStep, Passivation};
 use ls3df_pseudo::PseudoTable;
 use ls3df_pw::Mixer;
 
@@ -51,7 +51,11 @@ fn main() {
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
-    let mut ls = Ls3df::new(&s, [m, m, m], opts);
+    let mut ls = Ls3df::builder(&s)
+        .fragments([m, m, m])
+        .options(opts)
+        .build()
+        .expect("valid fig6 geometry");
     println!(
         "LS3DF: {} fragments, global grid {:?} ({:.0}s setup)",
         ls.n_fragments(),
@@ -68,7 +72,7 @@ fn main() {
         "iter", "∫|ΔV| (a.u.)", "residual", "Gen_VF", "PEtot_F", "Gendens", "GENPOT"
     );
     use std::io::Write as _;
-    let res = ls.scf_with(|h| {
+    let res = ls.scf_with(|h: &Ls3dfStep| {
         println!(
             "{:>5} {:>14.6e} {:>11.2e} | {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s",
             h.iteration,

@@ -47,7 +47,11 @@ fn main() {
         pseudo: PseudoTable::default(),
         ..Default::default()
     };
-    let mut ls = Ls3df::new(&s, [m, m, m], opts);
+    let mut ls = Ls3df::builder(&s)
+        .fragments([m, m, m])
+        .options(opts)
+        .build()
+        .expect("valid fig7 geometry");
     // Reuse fig6's converged potential if checkpointed (saves the SCF).
     let ck = std::path::Path::new("target/checkpoints").join(format!("znteo_m{m}_veff.ck"));
     let v_eff = match ls3df_grid::load_field(&ck) {

@@ -142,7 +142,11 @@ mod tests {
             pseudo: table,
             ..Default::default()
         };
-        let mut calc = Ls3df::new(&s, [2, 2, 2], opts);
+        let mut calc = Ls3df::builder(&s)
+            .fragments([2, 2, 2])
+            .options(opts)
+            .build()
+            .unwrap();
         let _ = calc.scf();
         let e = calc.total_energy();
         assert!(e.total().is_finite());

@@ -130,7 +130,11 @@ mod tests {
             pseudo: table,
             ..Default::default()
         };
-        let mut calc = Ls3df::new(&s, [2, 2, 2], opts);
+        let mut calc = Ls3df::builder(&s)
+            .fragments([2, 2, 2])
+            .options(opts)
+            .build()
+            .unwrap();
         let _ = calc.scf();
         let f = calc.forces(&s, &table);
         assert_eq!(f.len(), 8);

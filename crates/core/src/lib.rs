@@ -24,11 +24,16 @@ mod energy;
 mod forces;
 mod fragment;
 pub mod fsm;
+pub mod observer;
 mod passivate;
 pub mod scf;
 
 pub use energy::Ls3dfEnergy;
 pub use fragment::{Fragment, FragmentGrid};
 pub use fsm::{folded_spectrum, scan_band, FsmOptions, FsmState};
+pub use observer::{ScfObserver, ScfStage, SilentObserver};
 pub use passivate::{boundary_wall, fragment_atoms, FragmentAtoms, Passivation};
-pub use scf::{fragment_occupations, Ls3df, Ls3dfOptions, Ls3dfResult, Ls3dfStep, StepTimings};
+pub use scf::{
+    fragment_occupations, Ls3df, Ls3dfBuilder, Ls3dfError, Ls3dfOptions, Ls3dfResult, Ls3dfStep,
+    StepTimings,
+};

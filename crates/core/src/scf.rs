@@ -9,6 +9,7 @@
 
 use crate::check;
 use crate::fragment::{Fragment, FragmentGrid};
+use crate::observer::{ScfObserver, ScfStage, SilentObserver};
 use crate::passivate::{boundary_wall, fragment_atoms, FragmentAtoms, Passivation};
 use ls3df_atoms::{topology_cutoff, Structure};
 use ls3df_grid::{Grid3, RealField};
@@ -211,6 +212,140 @@ pub struct Ls3dfResult {
     pub v_eff: RealField,
 }
 
+/// Why an [`Ls3dfBuilder`] refused to assemble a calculation.
+///
+/// Every variant is a geometry/input problem detectable before any heavy
+/// work starts; [`Ls3dfBuilder::build`] returns these instead of
+/// panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ls3dfError {
+    /// [`Ls3dfBuilder::fragments`] was never called: the piece counts
+    /// have no meaningful default (they are the problem size).
+    FragmentsNotSet,
+    /// Fewer than two pieces along `axis`: a size-2 fragment would wrap
+    /// onto itself (the patching identity needs `m ≥ 2` per dimension).
+    TooFewPieces {
+        /// Offending dimension (0 = x, 1 = y, 2 = z).
+        axis: usize,
+        /// The requested piece count.
+        m: usize,
+    },
+    /// `piece_pts` is zero along `axis`: the global grid would be empty.
+    EmptyPiece {
+        /// Offending dimension (0 = x, 1 = y, 2 = z).
+        axis: usize,
+    },
+    /// The initial potential's grid does not match the global grid
+    /// implied by `m × piece_pts`.
+    PotentialGridMismatch {
+        /// Global grid dimensions the decomposition defines.
+        expected: [usize; 3],
+        /// Dimensions of the supplied potential's grid.
+        got: [usize; 3],
+    },
+}
+
+impl std::fmt::Display for Ls3dfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ls3dfError::FragmentsNotSet => {
+                write!(f, "Ls3dfBuilder: fragments([m1, m2, m3]) was never set")
+            }
+            Ls3dfError::TooFewPieces { axis, m } => write!(
+                f,
+                "Ls3dfBuilder: axis {axis} has {m} piece(s); the fragment \
+                 patching needs at least 2 per dimension"
+            ),
+            Ls3dfError::EmptyPiece { axis } => write!(
+                f,
+                "Ls3dfBuilder: options.piece_pts is 0 along axis {axis} — \
+                 the global grid would be empty"
+            ),
+            Ls3dfError::PotentialGridMismatch { expected, got } => write!(
+                f,
+                "Ls3dfBuilder: initial potential grid {got:?} does not match \
+                 the global grid {expected:?} implied by fragments × piece_pts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Ls3dfError {}
+
+/// Fluent constructor for [`Ls3df`].
+///
+/// ```ignore
+/// let calc = Ls3df::builder(&structure)
+///     .fragments([2, 2, 2])
+///     .options(Ls3dfOptions::laptop())
+///     .build()?;
+/// ```
+///
+/// Unlike the deprecated positional [`Ls3df::new`], [`build`]
+/// (Ls3dfBuilder::build) reports bad geometry as an [`Ls3dfError`]
+/// instead of panicking, and an initial potential can be supplied up
+/// front ([`initial_potential`](Ls3dfBuilder::initial_potential)) rather
+/// than patched in afterwards with a mutable setter.
+pub struct Ls3dfBuilder<'a> {
+    structure: &'a Structure,
+    m: Option<[usize; 3]>,
+    opts: Ls3dfOptions,
+    initial_potential: Option<RealField>,
+}
+
+impl<'a> Ls3dfBuilder<'a> {
+    /// Sets the piece decomposition `m = [m1, m2, m3]` (required; each
+    /// `m[d] ≥ 2`).
+    pub fn fragments(mut self, m: [usize; 3]) -> Self {
+        self.m = Some(m);
+        self
+    }
+
+    /// Replaces the default [`Ls3dfOptions`].
+    pub fn options(mut self, opts: Ls3dfOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Starts the SCF from this global input potential instead of the
+    /// superposed-atomic-density guess (diagnostics: e.g. patching a
+    /// converged direct-DFT potential through one LS3DF cycle). Its grid
+    /// must match the global grid `m × piece_pts`.
+    pub fn initial_potential(mut self, v: RealField) -> Self {
+        self.initial_potential = Some(v);
+        self
+    }
+
+    /// Validates the geometry and assembles the calculation (fragment
+    /// bases, projectors, ΔV_F potentials — the expensive part, fanned
+    /// out over the worker pool).
+    pub fn build(self) -> Result<Ls3df, Ls3dfError> {
+        let m = self.m.ok_or(Ls3dfError::FragmentsNotSet)?;
+        for axis in 0..3 {
+            if m[axis] < 2 {
+                return Err(Ls3dfError::TooFewPieces { axis, m: m[axis] });
+            }
+            if self.opts.piece_pts[axis] == 0 {
+                return Err(Ls3dfError::EmptyPiece { axis });
+            }
+        }
+        if let Some(v) = &self.initial_potential {
+            let expected: [usize; 3] = std::array::from_fn(|d| m[d] * self.opts.piece_pts[d]);
+            if v.grid().dims != expected {
+                return Err(Ls3dfError::PotentialGridMismatch {
+                    expected,
+                    got: v.grid().dims,
+                });
+            }
+        }
+        let mut calc = Ls3df::assemble(self.structure, m, self.opts);
+        if let Some(v) = self.initial_potential {
+            calc.v_in = v;
+        }
+        Ok(calc)
+    }
+}
+
 /// Occupations allowing a fractional last band (passivated fragments can
 /// carry non-integer electron counts).
 pub fn fragment_occupations(n_bands: usize, n_electrons: f64) -> Vec<f64> {
@@ -232,9 +367,31 @@ pub fn fragment_occupations(n_bands: usize, n_electrons: f64) -> Vec<f64> {
 }
 
 impl Ls3df {
+    /// Starts a fluent [`Ls3dfBuilder`] for `structure` (the non-panicking
+    /// construction path; see the builder docs).
+    pub fn builder(structure: &Structure) -> Ls3dfBuilder<'_> {
+        Ls3dfBuilder {
+            structure,
+            m: None,
+            opts: Ls3dfOptions::default(),
+            initial_potential: None,
+        }
+    }
+
     /// Assembles an LS3DF calculation for `structure` divided into
     /// `m = [m1, m2, m3]` pieces.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Ls3df::builder(&structure).fragments(m).options(opts).build()?` — \
+                it reports bad geometry as an Ls3dfError instead of panicking"
+    )]
     pub fn new(structure: &Structure, m: [usize; 3], opts: Ls3dfOptions) -> Self {
+        Self::assemble(structure, m, opts)
+    }
+
+    /// Shared construction body of [`Ls3df::builder`] and the deprecated
+    /// [`Ls3df::new`] (geometry the builder validates is asserted here).
+    fn assemble(structure: &Structure, m: [usize; 3], opts: Ls3dfOptions) -> Self {
         let global_dims: [usize; 3] = std::array::from_fn(|d| m[d] * opts.piece_pts[d]);
         let global_grid = Grid3::new(global_dims, structure.lengths);
         let fg = FragmentGrid::new(m, &global_grid, opts.buffer_pts);
@@ -438,7 +595,10 @@ impl Ls3df {
                 stats.residual
             })
             .collect();
-        // Fixed-order max so the reported worst residual is schedule-independent.
+        // Audited reduction: `collect` returns residuals in fragment order
+        // no matter how the pool scheduled the solves, and this max is a
+        // fixed left-to-right scan — its shape depends only on the fragment
+        // count, never on LS3DF_THREADS.
         residuals.into_iter().fold(0.0, f64::max)
     }
 
@@ -476,8 +636,9 @@ impl Ls3df {
             .collect();
         // …then accumulate in fixed fragment order (the global-array
         // reduction): `parts` is index-ordered regardless of how the
-        // parallel map was scheduled, so the patched density is
-        // bit-identical from run to run.
+        // parallel map was scheduled, so the summation tree is a function
+        // of the fragment list alone — the patched density is bit-identical
+        // from run to run and across LS3DF_THREADS settings.
         let mut rho = RealField::zeros(self.global_grid.clone());
         for (i, region) in parts {
             let fs = &self.fragments[i];
@@ -508,12 +669,14 @@ impl Ls3df {
 
     /// Runs the full outer SCF loop.
     pub fn scf(&mut self) -> Ls3dfResult {
-        self.scf_with(|_| {})
+        self.scf_with(SilentObserver)
     }
 
-    /// Runs the outer SCF loop, invoking `on_step` after every iteration
-    /// (progress streaming for long runs).
-    pub fn scf_with(&mut self, mut on_step: impl FnMut(&Ls3dfStep)) -> Ls3dfResult {
+    /// Runs the outer SCF loop, streaming progress through an
+    /// [`ScfObserver`] (stage timings, per-iteration steps, convergence).
+    /// A plain `FnMut(&Ls3dfStep)` closure is accepted too — it receives
+    /// the per-iteration [`ScfObserver::on_step`] events.
+    pub fn scf_with<O: ScfObserver>(&mut self, mut observer: O) -> Ls3dfResult {
         let mut mixer = MixerState::new(self.opts.mixer.clone());
         let mut history = Vec::new();
         let mut converged = false;
@@ -524,6 +687,7 @@ impl Ls3df {
             let t = Instant::now();
             let vfs = self.gen_vf();
             timings.gen_vf = t.elapsed().as_secs_f64();
+            observer.on_stage(iteration, ScfStage::GenVf, timings.gen_vf);
 
             let t = Instant::now();
             let steps = if iteration == 1 {
@@ -533,16 +697,19 @@ impl Ls3df {
             };
             let worst_residual = self.petot_f_steps(&vfs, steps);
             timings.petot_f = t.elapsed().as_secs_f64();
+            observer.on_stage(iteration, ScfStage::PetotF, timings.petot_f);
 
             let t = Instant::now();
             let rho = self.gen_dens();
             timings.gen_dens = t.elapsed().as_secs_f64();
+            observer.on_stage(iteration, ScfStage::GenDens, timings.gen_dens);
 
             let t = Instant::now();
             let v_out = self.genpot(&rho);
             let dv_integral = v_out.diff(&self.v_in).integrate_abs();
             let mixed = mixer.mix(&self.v_in, &v_out, self.global_basis.fft());
             timings.genpot = t.elapsed().as_secs_f64();
+            observer.on_stage(iteration, ScfStage::Genpot, timings.genpot);
 
             self.rho = rho;
             let step = Ls3dfStep {
@@ -551,12 +718,13 @@ impl Ls3df {
                 worst_residual,
                 timings,
             };
-            on_step(&step);
+            observer.on_step(&step);
             history.push(step);
 
             if dv_integral < self.opts.tol {
                 self.v_in = v_out;
                 converged = true;
+                observer.on_converged(&step);
                 break;
             }
             self.v_in = mixed;
@@ -600,5 +768,61 @@ mod tests {
     #[should_panic(expected = "cannot hold")]
     fn too_many_electrons_rejected() {
         let _ = fragment_occupations(2, 6.0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_geometry_without_panicking() {
+        let s = Structure::new([10.0, 10.0, 10.0], Vec::new());
+        assert_eq!(
+            Ls3df::builder(&s).build().err().expect("must fail"),
+            Ls3dfError::FragmentsNotSet
+        );
+        assert_eq!(
+            Ls3df::builder(&s)
+                .fragments([1, 2, 2])
+                .build()
+                .err()
+                .expect("must fail"),
+            Ls3dfError::TooFewPieces { axis: 0, m: 1 }
+        );
+        let opts = Ls3dfOptions {
+            piece_pts: [8, 0, 8],
+            ..Default::default()
+        };
+        assert_eq!(
+            Ls3df::builder(&s)
+                .fragments([2, 2, 2])
+                .options(opts)
+                .build()
+                .err()
+                .expect("must fail"),
+            Ls3dfError::EmptyPiece { axis: 1 }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_initial_potential() {
+        let s = Structure::new([10.0, 10.0, 10.0], Vec::new());
+        let wrong = RealField::zeros(Grid3::cubic(4, 10.0));
+        let opts = Ls3dfOptions {
+            piece_pts: [8, 8, 8],
+            ..Default::default()
+        };
+        let err = Ls3df::builder(&s)
+            .fragments([2, 2, 2])
+            .options(opts)
+            .initial_potential(wrong)
+            .build()
+            .err()
+            .expect("must fail");
+        assert_eq!(
+            err,
+            Ls3dfError::PotentialGridMismatch {
+                expected: [16, 16, 16],
+                got: [4, 4, 4],
+            }
+        );
+        // Errors are displayable (they reach CLI users via `?`).
+        assert!(err.to_string().contains("does not match"));
     }
 }

@@ -67,6 +67,11 @@ impl Fft3 {
         // Fragment-box-sized transforms run sequentially: the LS3DF outer
         // loop already parallelizes over fragments/bands, and rayon task
         // overhead swamps sub-millisecond line transforms.
+        //
+        // Audited reduction: the parallel branches below chunk by fixed
+        // geometry (n1, n1·n2, n3) — never by thread count — and each
+        // chunk is transformed independently with no cross-chunk sums,
+        // so results are bit-identical for any LS3DF_THREADS setting.
         let parallel = data.len() >= 32_768;
 
         // X lines are contiguous: one slice per (y,z) pair.

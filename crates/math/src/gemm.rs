@@ -141,6 +141,12 @@ fn gemm_nn<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut M
         }
     };
     if m * n >= PAR_THRESHOLD && m > 1 {
+        // Audited reduction: `chunk` depends on `current_num_threads()`,
+        // i.e. on LS3DF_THREADS — but only to pick how rows of C are
+        // *grouped*, never how they are summed. Each output row i is
+        // written by exactly one closure as the same sequential k-loop in
+        // the same order regardless of chunk boundaries, so the result is
+        // bit-identical across thread counts.
         let chunk = (m + rayon::current_num_threads() - 1) / rayon::current_num_threads().max(1);
         let chunk = chunk.max(1);
         c.as_mut_slice()

@@ -210,6 +210,9 @@ impl<'a> Hamiltonian<'a> {
         let v = self.v_local.as_slice();
         let ngrid = self.basis.grid().len();
 
+        // Audited reduction: one band per fixed-size chunk (npw, a problem
+        // dimension — never thread count); each H·ψ row is computed
+        // independently, so output is bit-identical across LS3DF_THREADS.
         hpsi.as_mut_slice()
             .par_chunks_mut(npw)
             .zip(psi.as_slice().par_chunks(npw))

@@ -173,6 +173,10 @@ pub fn apply_block_realspace(
     let g2 = basis.g2();
     let v = v_local.as_slice();
     let mut hpsi = Matrix::zeros(nb, npw);
+    // Audited reduction: one band per fixed-size chunk (npw, a problem
+    // dimension — never thread count); the per-band projector sums run
+    // sequentially inside the closure in projector order, so output is
+    // bit-identical across LS3DF_THREADS.
     hpsi.as_mut_slice()
         .par_chunks_mut(npw)
         .zip(psi.as_slice().par_chunks(npw))

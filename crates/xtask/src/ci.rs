@@ -3,7 +3,10 @@
 //! 1. `cargo fmt --all -- --check`
 //! 2. `cargo clippy --workspace --all-targets -- -D warnings`
 //! 3. `cargo xtask lint` (in-process)
-//! 4. `cargo test -q`
+//! 4. `cargo test -q` twice: once with `LS3DF_THREADS=1` (exact
+//!    sequential fallback) and once with the variable unset (work-stealing
+//!    pool at the host's parallelism) — the determinism contract says both
+//!    schedules must produce bit-identical physics, so both must pass.
 //!
 //! Every cargo step retries with `--offline` when the first attempt fails
 //! with a registry/network error (the build container has no registry
@@ -22,6 +25,10 @@ enum StepResult {
     Fail,
     Skip(String),
 }
+
+/// Environment overrides for one step: `Some(v)` sets the variable,
+/// `None` removes it from the child's environment.
+type StepEnv<'a> = &'a [(&'a str, Option<&'a str>)];
 
 /// Runs the gate; returns `true` when every step passed (skips count as
 /// passes, failures never do).
@@ -46,7 +53,7 @@ pub fn run(root: &Path) -> bool {
     ];
 
     for (name, args) in [steps[0], steps[1]] {
-        let (res, secs) = run_cargo_step(root, name, args);
+        let (res, secs) = run_cargo_step(root, name, args, &[]);
         if matches!(res, StepResult::Fail) {
             all_ok = false;
         }
@@ -73,12 +80,21 @@ pub fn run(root: &Path) -> bool {
         t.elapsed().as_secs_f64(),
     ));
 
-    let (name, args) = steps[2];
-    let (res, secs) = run_cargo_step(root, name, args);
-    if matches!(res, StepResult::Fail) {
-        all_ok = false;
+    // The test suite runs under both scheduling regimes: forced-sequential
+    // (`LS3DF_THREADS=1`) and the default work-stealing pool (variable
+    // removed so an operator's own setting can't mask either regime).
+    let (_, args) = steps[2];
+    let test_envs: [(&str, StepEnv<'_>); 2] = [
+        ("test [LS3DF_THREADS=1]", &[("LS3DF_THREADS", Some("1"))]),
+        ("test [pool]", &[("LS3DF_THREADS", None)]),
+    ];
+    for (name, env) in test_envs {
+        let (res, secs) = run_cargo_step(root, name, args, env);
+        if matches!(res, StepResult::Fail) {
+            all_ok = false;
+        }
+        summary.push((format!("cargo {name}"), res, secs));
     }
-    summary.push((format!("cargo {name}"), res, secs));
 
     println!("\n=== ci summary ===");
     for (name, res, secs) in &summary {
@@ -93,16 +109,30 @@ pub fn run(root: &Path) -> bool {
     all_ok
 }
 
-fn run_cargo_step(root: &Path, name: &str, args: &[&str]) -> (StepResult, f64) {
+/// `env` entries with `Some(value)` are set on the child; `None` entries
+/// are removed (so the step sees a clean default even if the operator's
+/// shell exported the variable).
+fn run_cargo_step(root: &Path, name: &str, args: &[&str], env: StepEnv<'_>) -> (StepResult, f64) {
     println!("\n=== cargo {name} ===");
     let t = Instant::now();
 
     let run = |extra: &[&str]| -> Result<(bool, String), String> {
-        let output = Command::new("cargo")
-            .args(args.iter().take(1))
+        let mut cmd = Command::new("cargo");
+        cmd.args(args.iter().take(1))
             .args(extra)
             .args(args.iter().skip(1))
-            .current_dir(root)
+            .current_dir(root);
+        for (key, value) in env {
+            match value {
+                Some(v) => {
+                    cmd.env(key, v);
+                }
+                None => {
+                    cmd.env_remove(key);
+                }
+            }
+        }
+        let output = cmd
             .output()
             .map_err(|e| format!("cannot spawn cargo: {e}"))?;
         let stderr = String::from_utf8_lossy(&output.stderr).into_owned();

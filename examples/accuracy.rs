@@ -115,7 +115,11 @@ fn main() {
     };
     println!("LS3DF: wall={wall} buffer={buffer}");
     let t = std::time::Instant::now();
-    let mut ls = Ls3df::new(&s, m, opts);
+    let mut ls = Ls3df::builder(&s)
+        .fragments(m)
+        .options(opts)
+        .build()
+        .expect("valid accuracy-example geometry");
     println!("  {} fragments", ls.n_fragments());
     let res = ls.scf();
     println!(

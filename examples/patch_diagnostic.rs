@@ -121,9 +121,13 @@ fn main() {
         pseudo: table,
         ..Default::default()
     };
-    let mut ls = Ls3df::new(&s, m, opts);
-    // Overwrite the LS3DF input potential with the converged direct one.
-    ls.set_v_in(direct.v_eff.clone());
+    // Start LS3DF directly from the converged direct-DFT potential.
+    let mut ls = Ls3df::builder(&s)
+        .fragments(m)
+        .options(opts)
+        .initial_potential(direct.v_eff.clone())
+        .build()
+        .expect("valid patch-diagnostic geometry");
     let t = std::time::Instant::now();
     let vfs = ls.gen_vf();
     let mut worst = f64::INFINITY;

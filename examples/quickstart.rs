@@ -7,10 +7,8 @@
 //!
 //! Run: `cargo run --example quickstart --release`
 
-use ls3df::core::{Ls3df, Ls3dfOptions, Passivation};
-use ls3df::pw::Mixer;
+use ls3df::{Ls3df, Ls3dfOptions, Mixer, Passivation, PseudoTable};
 use ls3df_atoms::{znte_supercell, ZNTE_LATTICE};
-use ls3df_pseudo::PseudoTable;
 
 fn main() {
     // A 2×2×2-cell ZnTe supercell: 64 atoms, 256 valence electrons.
@@ -44,7 +42,11 @@ fn main() {
     };
 
     let t = std::time::Instant::now();
-    let mut calc = Ls3df::new(&structure, [2, 2, 2], opts);
+    let mut calc = Ls3df::builder(&structure)
+        .fragments([2, 2, 2])
+        .options(opts)
+        .build()
+        .expect("valid quickstart geometry");
     println!(
         "fragments: {} (8 per piece corner: sizes 1×1×1 … 2×2×2 with ± weights)",
         calc.n_fragments()

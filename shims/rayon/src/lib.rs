@@ -5,207 +5,306 @@
 //!
 //! The build container has no registry access, so the real crates-io rayon
 //! cannot be resolved; this path dependency keeps the workspace compiling
-//! and the API call sites unchanged. Execution is **deterministic
-//! sequential**: every adapter preserves the natural item order, so
-//! reductions are bit-identical from run to run — the property the
-//! `ls3df-core::check` invariant layer tests. Swapping the real rayon back
-//! in (one line in the root `Cargo.toml`) re-enables work stealing; the
-//! fixed-order tree reductions in `ls3df-pw::density` and
-//! `ls3df-core::scf` are written to stay deterministic under it.
+//! and the API call sites unchanged — but unlike the original sequential
+//! placeholder it now executes on a **real work-stealing thread pool**
+//! (see [`mod@self::pool`] internals): persistent lazily-spawned workers with
+//! per-worker deques, recursive splitting in [`join`], panic propagation,
+//! and an `LS3DF_THREADS` env override (default: available parallelism;
+//! `1` selects an exact sequential fallback with no worker threads).
+//!
+//! # Determinism
+//!
+//! Every adapter is **order-preserving by construction**: a parallel
+//! pipeline is a materialized source vector plus a composed per-item
+//! closure; workers split the source recursively, run the closure on
+//! their halves, and the halves are concatenated back in source order.
+//! Terminal reductions (`reduce`, `sum`, `fold`) then combine the ordered
+//! results with thread-count-independent trees on the calling thread. The
+//! schedule decides only *where* each item's closure runs — never the
+//! shape of any floating-point summation — so results are bit-identical
+//! across `LS3DF_THREADS` settings (the property the `ls3df-core::check`
+//! invariant layer and `tests/ls3df_pipeline.rs` gate on). Heavy per-item
+//! closures (`map`, `for_each`, `flat_map_iter`) execute on the workers;
+//! only the cheap ordering/combining steps are sequential.
+
+mod pool;
 
 /// Everything the workspace imports via `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
 }
 
-/// Number of worker threads in the (sequential) pool.
-pub fn current_num_threads() -> usize {
-    1
+/// The do-nothing pipeline stage of a freshly created [`ParIter`]
+/// (a plain fn pointer, so source-only iterators need no boxing).
+pub type IdentityPipe<T> = fn(T) -> T;
+
+fn identity_pipe<T>() -> IdentityPipe<T> {
+    std::convert::identity::<T>
 }
 
-/// Runs both closures and returns their results (sequentially, `a` first).
+/// Number of worker threads parallel work is spread across (`1` when the
+/// pool is disabled via `LS3DF_THREADS=1` or on single-core hosts).
+pub fn current_num_threads() -> usize {
+    pool::global_num_threads()
+}
+
+/// Runs both closures, potentially in parallel on the pool, and returns
+/// their results. A panic in either closure propagates to the caller
+/// (after both have settled). With the pool disabled this is exactly
+/// `(a(), b())`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    pool::global_join(a, b)
 }
 
-/// A "parallel" iterator: a thin deterministic wrapper over a standard
-/// iterator. Adapters mirror rayon's names and signatures closely enough
-/// for the workspace call sites.
-pub struct ParIter<I> {
-    inner: I,
+/// A parallel iterator: a materialized, source-ordered item vector plus a
+/// composed per-item pipeline closure. Adapters compose the closure
+/// lazily; terminal operations fan the pipeline out over the worker pool
+/// and reassemble results in source order (see the crate docs for the
+/// determinism argument).
+pub struct ParIter<S, F> {
+    src: Vec<S>,
+    f: F,
 }
 
-impl<I: Iterator> ParIter<I> {
-    /// Applies `f` to every item.
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+impl<T: Send> ParIter<T, IdentityPipe<T>> {
+    fn from_vec(src: Vec<T>) -> Self {
         ParIter {
-            inner: self.inner.map(f),
+            src,
+            f: identity_pipe(),
+        }
+    }
+}
+
+impl<S, T, F> ParIter<S, F>
+where
+    S: Send,
+    T: Send,
+    F: Fn(S) -> T + Sync,
+{
+    /// Runs the pipeline over the pool, returning items in source order.
+    fn run(self) -> Vec<T> {
+        pool::map_vec(self.src, &self.f)
+    }
+
+    /// Applies `f` to every item (on the workers).
+    pub fn map<U, G>(self, g: G) -> ParIter<S, impl Fn(S) -> U + Sync>
+    where
+        U: Send,
+        G: Fn(T) -> U + Sync,
+    {
+        let f = self.f;
+        ParIter {
+            src: self.src,
+            f: move |s| g(f(s)),
         }
     }
 
-    /// Pairs items with those of another parallel iterator.
-    pub fn zip<J>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>>
+    /// Pairs items with those of another parallel iterator (truncating to
+    /// the shorter source, like rayon's `zip`).
+    #[allow(clippy::type_complexity)] // RPIT pipe composition; no alias possible
+    pub fn zip<J>(
+        self,
+        other: J,
+    ) -> ParIter<(S, J::Source), impl Fn((S, J::Source)) -> (T, J::Item) + Sync>
     where
         J: IntoParallelIterator,
     {
+        let other = other.into_par_iter();
+        let f = self.f;
+        let g = other.f;
         ParIter {
-            inner: self.inner.zip(other.into_par_iter().inner),
+            src: self.src.into_iter().zip(other.src).collect(),
+            f: move |(a, b)| (f(a), g(b)),
         }
     }
 
-    /// Pairs items with their index.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+    /// Pairs items with their (source-order) index.
+    #[allow(clippy::type_complexity)] // RPIT pipe composition; no alias possible
+    pub fn enumerate(self) -> ParIter<(usize, S), impl Fn((usize, S)) -> (usize, T) + Sync> {
+        let f = self.f;
         ParIter {
-            inner: self.inner.enumerate(),
+            src: self.src.into_iter().enumerate().collect(),
+            f: move |(i, s)| (i, f(s)),
         }
     }
 
-    /// Keeps items satisfying the predicate.
-    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<std::iter::Filter<I, P>> {
-        ParIter {
-            inner: self.inner.filter(p),
-        }
-    }
-
-    /// Maps each item to a serial iterator and concatenates the results.
-    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    /// Keeps items satisfying the predicate. The pipeline built so far
+    /// runs on the workers; the (cheap) predicate itself runs on the
+    /// calling thread in source order, because filtering changes the item
+    /// count and would otherwise break order-preserving splitting.
+    pub fn filter<P>(self, p: P) -> ParIter<T, IdentityPipe<T>>
     where
-        U: IntoIterator,
-        F: FnMut(I::Item) -> U,
+        P: FnMut(&T) -> bool,
     {
-        ParIter {
-            inner: self.inner.flat_map(f),
-        }
+        let mut p = p;
+        ParIter::from_vec(self.run().into_iter().filter(|t| p(t)).collect())
     }
 
-    /// Consumes the iterator, applying `f` to every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.inner.for_each(f);
+    /// Maps each item to a serial iterator and concatenates the results
+    /// in source order. The mapping closure (the heavy part at every
+    /// workspace call site) runs on the workers; only the concatenation
+    /// is sequential.
+    pub fn flat_map_iter<U, G>(self, g: G) -> ParIter<U::Item, IdentityPipe<U::Item>>
+    where
+        U: IntoIterator + Send,
+        U::Item: Send,
+        G: Fn(T) -> U + Sync,
+    {
+        let f = self.f;
+        let composed = move |s| g(f(s));
+        let groups: Vec<U> = pool::map_vec(self.src, &composed);
+        ParIter::from_vec(groups.into_iter().flatten().collect())
+    }
+
+    /// Consumes the iterator, applying `f` to every item on the workers.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(T) + Sync,
+    {
+        let f = self.f;
+        let composed = move |s| g(f(s));
+        let _: Vec<()> = pool::map_vec(self.src, &composed);
     }
 
     /// Rayon-style fold: produces a parallel iterator of per-split
-    /// accumulators. The sequential pool has exactly one split, so this
-    /// folds everything into a single accumulator.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    /// accumulators. This shim always uses exactly **one** split folded in
+    /// source order — a fixed summation shape, so the result cannot depend
+    /// on the thread count (the pipeline feeding the fold still runs on
+    /// the workers).
+    pub fn fold<A, ID, G>(self, identity: ID, fold_op: G) -> ParIter<A, IdentityPipe<A>>
+    where
+        A: Send,
+        ID: Fn() -> A,
+        G: FnMut(A, T) -> A,
+    {
+        let acc = self.run().into_iter().fold(identity(), fold_op);
+        ParIter::from_vec(vec![acc])
+    }
+
+    /// Reduces all items with `op`, starting from `identity()`, in source
+    /// order (fixed left fold — schedule-independent by construction).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
         ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        OP: FnMut(T, T) -> T,
     {
-        ParIter {
-            inner: std::iter::once(self.inner.fold(identity(), fold_op)),
-        }
+        self.run().into_iter().fold(identity(), op)
     }
 
-    /// Reduces all items with `op`, starting from `identity()`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.inner.fold(identity(), op)
+    /// Sums all items in source order.
+    pub fn sum<Out: std::iter::Sum<T>>(self) -> Out {
+        self.run().into_iter().sum()
     }
 
-    /// Sums all items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.inner.sum()
-    }
-
-    /// Collects items in order.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.inner.collect()
+    /// Collects items in source order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.run().into_iter().collect()
     }
 }
 
 /// Types convertible into a [`ParIter`] (`Vec`, ranges, slices, and
 /// [`ParIter`] itself so `zip` accepts both).
 pub trait IntoParallelIterator {
-    /// Underlying sequential iterator type.
-    type Iter: Iterator;
+    /// Item type the resulting iterator yields.
+    type Item: Send;
+    /// Element type of the materialized source vector.
+    type Source: Send;
+    /// Pipeline closure mapping sources to items.
+    type Pipe: Fn(Self::Source) -> Self::Item + Sync;
     /// Converts into a parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    fn into_par_iter(self) -> ParIter<Self::Source, Self::Pipe>;
 }
 
-impl<I: Iterator> IntoParallelIterator for ParIter<I> {
-    type Iter = I;
-    fn into_par_iter(self) -> ParIter<I> {
+impl<S, T, F> IntoParallelIterator for ParIter<S, F>
+where
+    S: Send,
+    T: Send,
+    F: Fn(S) -> T + Sync,
+{
+    type Item = T;
+    type Source = S;
+    type Pipe = F;
+    fn into_par_iter(self) -> ParIter<S, F> {
         self
     }
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter {
-            inner: self.into_iter(),
-        }
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Source = T;
+    type Pipe = IdentityPipe<T>;
+    fn into_par_iter(self) -> ParIter<T, IdentityPipe<T>> {
+        ParIter::from_vec(self)
     }
 }
 
-impl<T> IntoParallelIterator for std::ops::Range<T>
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
 where
-    std::ops::Range<T>: Iterator,
+    std::ops::Range<T>: Iterator<Item = T>,
 {
-    type Iter = std::ops::Range<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self }
+    type Item = T;
+    type Source = T;
+    type Pipe = IdentityPipe<T>;
+    fn into_par_iter(self) -> ParIter<T, IdentityPipe<T>> {
+        ParIter::from_vec(self.collect())
     }
 }
 
-impl<'a, T> IntoParallelIterator for &'a [T] {
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Source = &'a T;
+    type Pipe = IdentityPipe<&'a T>;
+    fn into_par_iter(self) -> ParIter<&'a T, IdentityPipe<&'a T>> {
+        ParIter::from_vec(self.iter().collect())
     }
 }
 
-impl<'a, T> IntoParallelIterator for &'a Vec<T> {
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter { inner: self.iter() }
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Source = &'a T;
+    type Pipe = IdentityPipe<&'a T>;
+    fn into_par_iter(self) -> ParIter<&'a T, IdentityPipe<&'a T>> {
+        ParIter::from_vec(self.iter().collect())
     }
 }
 
 /// `par_iter`/`par_chunks` on shared slices (and, via deref, `Vec`).
-pub trait ParallelSlice<T> {
+pub trait ParallelSlice<T: Sync> {
     /// Parallel shared iteration.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_iter(&self) -> ParIter<&T, IdentityPipe<&T>>;
     /// Parallel iteration over `size`-sized chunks.
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    fn par_chunks(&self, size: usize) -> ParIter<&[T], IdentityPipe<&[T]>>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter { inner: self.iter() }
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T, IdentityPipe<&T>> {
+        ParIter::from_vec(self.iter().collect())
     }
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter {
-            inner: self.chunks(size),
-        }
+    fn par_chunks(&self, size: usize) -> ParIter<&[T], IdentityPipe<&[T]>> {
+        ParIter::from_vec(self.chunks(size).collect())
     }
 }
 
 /// `par_iter_mut`/`par_chunks_mut` on mutable slices (and, via deref, `Vec`).
-pub trait ParallelSliceMut<T> {
+pub trait ParallelSliceMut<T: Send> {
     /// Parallel exclusive iteration.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_iter_mut(&mut self) -> ParIter<&mut T, IdentityPipe<&mut T>>;
     /// Parallel iteration over mutable `size`-sized chunks.
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T], IdentityPipe<&mut [T]>>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter {
-            inner: self.iter_mut(),
-        }
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T, IdentityPipe<&mut T>> {
+        ParIter::from_vec(self.iter_mut().collect())
     }
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter {
-            inner: self.chunks_mut(size),
-        }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T], IdentityPipe<&mut [T]>> {
+        ParIter::from_vec(self.chunks_mut(size).collect())
     }
 }
 
@@ -248,5 +347,49 @@ mod tests {
             .zip(a.par_iter())
             .for_each(|(x, &y)| *x += y);
         assert_eq!(b, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn filter_and_flat_map_preserve_order() {
+        let v: Vec<usize> = (0..20).collect();
+        let out: Vec<usize> = v
+            .into_par_iter()
+            .map(|x| x * 3)
+            .filter(|&x| x % 2 == 0)
+            .flat_map_iter(|x| [x, x + 1])
+            .collect();
+        let expect: Vec<usize> = (0..20)
+            .map(|x| x * 3)
+            .filter(|&x| x % 2 == 0)
+            .flat_map(|x| [x, x + 1])
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn large_map_preserves_order_and_bits() {
+        // Large enough that a multi-thread pool actually splits it; the
+        // result must still be the exact sequential-order concatenation.
+        let src: Vec<f64> = (0..50_000).map(|i| (i as f64) * 1e-3).collect();
+        let out: Vec<f64> = src.par_iter().map(|&x| (x.sin() + 1.5).ln()).collect();
+        for (i, (&x, &y)) in src.iter().zip(&out).enumerate() {
+            assert_eq!(
+                y.to_bits(),
+                (x.sin() + 1.5).ln().to_bits(),
+                "item {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = super::join(|| 2 + 2, || vec![1, 2, 3].len());
+        assert_eq!(a, 4);
+        assert_eq!(b, 3);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }

@@ -1,0 +1,599 @@
+//! The work-stealing thread pool behind the `rayon` stand-in.
+//!
+//! Architecture (a deliberately small cousin of rayon's registry):
+//!
+//! * **Persistent workers.** The global pool spawns its OS threads the
+//!   first time any parallel operation runs (never at program start) and
+//!   keeps them for the life of the process, parked on a condvar when
+//!   idle. Thread count comes from `LS3DF_THREADS` (default: available
+//!   parallelism); a count of `1` disables the pool entirely and every
+//!   driver takes the exact sequential path.
+//! * **Per-worker deques + shared injector.** Each worker owns a deque:
+//!   it pushes and pops split halves at the back (LIFO, cache-warm) while
+//!   thieves and the injector drain from the front (FIFO, oldest = biggest
+//!   task first — the chunked-injector variant of the Chase–Lev layout,
+//!   with a mutex per deque instead of lock-free CAS: LS3DF tasks are
+//!   fragment solves and FFT lines, microseconds to milliseconds each, so
+//!   queue locking is noise).
+//! * **Recursive splitting in `join`.** `join(a, b)` publishes `b` (local
+//!   deque for workers, injector for external threads), runs `a` inline,
+//!   then reclaims `b` if nobody took it — or *helps*, executing other
+//!   queued jobs while waiting for the thief, so nested joins never
+//!   deadlock the fixed-size pool.
+//! * **Panic propagation.** A stolen job that panics is caught on the
+//!   thief, carried back through its latch, and re-thrown on the owning
+//!   thread via `resume_unwind` — a panic inside a `par_iter` closure
+//!   (e.g. an `ls3df-core::check` invariant violation) surfaces in the
+//!   caller exactly as it would sequentially, and the worker survives.
+//!
+//! Determinism contract: the pool only ever changes *where* a closure
+//! runs, never *what* it computes or how results are ordered. All
+//! reductions in the iterator layer combine materialized, source-ordered
+//! results with thread-count-independent trees, so runs at
+//! `LS3DF_THREADS` ∈ {1, 2, N} are bit-identical (gated by
+//! `tests/ls3df_pipeline.rs`).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Recovers the data from a poisoned lock: a panicking job is caught and
+/// reported through its latch, so the guarded state is always consistent.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a [`StackJob`] living on some thread's stack.
+///
+/// The owner of the `StackJob` keeps it alive (and does not move it) until
+/// the job's latch is set or the `JobRef` has been reclaimed from its
+/// queue, so the pointer is always valid when `execute` runs.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    // SAFETY: callers must pass `data` (still live) as the argument.
+    execute: unsafe fn(*const ()),
+}
+
+// The pointed-to StackJob is Sync (all fields lock-protected) and stays
+// alive until the job completes, per the JobRef contract above.
+// SAFETY: given that contract, sending the raw pointer is sound.
+#[allow(unsafe_code)]
+unsafe impl Send for JobRef {}
+
+/// A `FnOnce` job allocated on the owner's stack, with a latch the owner
+/// blocks on when the job is stolen.
+struct StackJob<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        StackJob {
+            func: Mutex::new(Some(f)),
+            result: Mutex::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: (self as *const Self).cast::<()>(),
+            execute: Self::execute,
+        }
+    }
+
+    /// Entry point when a thief (or the worker loop) runs the job.
+    ///
+    /// SAFETY: `data` must come from [`StackJob::as_job_ref`] on a live
+    /// job (the owner waits on the latch before the job can drop).
+    #[allow(unsafe_code)]
+    unsafe fn execute(data: *const ()) {
+        // SAFETY: per the function contract, `data` points at a live
+        // StackJob<F, R> created by as_job_ref on the owner's stack.
+        let job = unsafe { &*data.cast::<Self>() };
+        let Some(f) = lock(&job.func).take() else {
+            return; // already reclaimed by the owner
+        };
+        let res = catch_unwind(AssertUnwindSafe(f));
+        *lock(&job.result) = Some(res);
+        job.latch.set();
+    }
+
+    /// Takes the closure back out (owner-side inline execution).
+    fn reclaim_func(&self) -> Option<F> {
+        lock(&self.func).take()
+    }
+
+    /// Takes the finished result; propagates a thief-side panic.
+    fn unwrap_result(&self) -> R {
+        match lock(&self.result).take() {
+            Some(Ok(r)) => r,
+            Some(Err(payload)) => resume_unwind(payload),
+            // Unreachable by construction: the latch is only set after the
+            // result slot is filled.
+            None => resume_unwind(Box::new("rayon shim: latch set without result")),
+        }
+    }
+}
+
+/// One-shot completion flag with both a fast atomic probe (for the
+/// help-while-waiting loop) and a blocking wait.
+struct Latch {
+    done: AtomicBool,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            done: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        // Lock/unlock pairs the store with any waiter between its probe
+        // and its wait, preventing a missed wakeup.
+        drop(lock(&self.mutex));
+        self.cond.notify_all();
+    }
+
+    /// Blocks briefly (the caller re-probes and helps between waits).
+    fn wait_brief(&self) {
+        let guard = lock(&self.mutex);
+        if !self.probe() {
+            let _ = self
+                .cond
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Set once at worker startup: which pool this thread belongs to, and
+    /// its queue index there.
+    static WORKER: std::cell::RefCell<Option<(Arc<PoolState>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+struct PoolState {
+    /// Per-worker deques. Owner end = back; steal end = front.
+    queues: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Overflow/injection queue for jobs published by non-pool threads.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Idle workers park here (paired with `injector`'s mutex).
+    sleep: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolState {
+    /// Pops work: own deque back (LIFO), then injector, then steals from
+    /// the other deques front (FIFO).
+    fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+        if let Some(i) = me {
+            if let Some(job) = lock(&self.queues[i]).pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = lock(&self.queues[victim]).pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Publishes a job where the current thread is allowed to: the local
+    /// deque for pool workers, the injector for everyone else.
+    fn push(&self, me: Option<usize>, job: JobRef) {
+        match me {
+            Some(i) => lock(&self.queues[i]).push_back(job),
+            None => lock(&self.injector).push_back(job),
+        }
+        self.sleep.notify_one();
+    }
+
+    /// Removes `job` from wherever `push` put it, if still queued.
+    /// Returns true when the caller now exclusively owns the job.
+    fn reclaim(&self, me: Option<usize>, job: JobRef) -> bool {
+        let queue = match me {
+            Some(i) => &self.queues[i],
+            None => &self.injector,
+        };
+        let mut q = lock(queue);
+        match q.iter().rposition(|j| std::ptr::eq(j.data, job.data)) {
+            Some(pos) => {
+                q.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A work-stealing pool. The workspace uses one lazily-created global
+/// instance; unit tests build private pools with explicit thread counts.
+pub(crate) struct Pool {
+    state: Arc<PoolState>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    n_threads: usize,
+}
+
+impl Pool {
+    /// Spawns `n` worker threads (`n ≥ 2`; a 1-thread "pool" is
+    /// represented by no pool at all — the sequential fallback).
+    pub(crate) fn new(n: usize) -> Self {
+        let n = n.max(2);
+        let state = Arc::new(PoolState {
+            queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..n)
+            .map(|index| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("ls3df-worker-{index}"))
+                    .spawn(move || worker_main(state, index))
+            })
+            .filter_map(Result::ok)
+            .collect();
+        Pool {
+            state,
+            handles: Mutex::new(handles),
+            n_threads: n,
+        }
+    }
+
+    pub(crate) fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// The queue index of the current thread, when it is a worker of
+    /// *this* pool.
+    fn current_index(&self) -> Option<usize> {
+        WORKER.with(|w| match &*w.borrow() {
+            Some((state, idx)) if Arc::ptr_eq(state, &self.state) => Some(*idx),
+            _ => None,
+        })
+    }
+
+    /// Runs `a` and `b`, potentially in parallel, returning both results.
+    /// Either closure panicking re-raises that panic on the caller (after
+    /// both have finished — a stolen `b` is never abandoned mid-flight).
+    pub(crate) fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let me = self.current_index();
+        let job_b = StackJob::new(b);
+        let ref_b = job_b.as_job_ref();
+        self.state.push(me, ref_b);
+
+        let ra = match catch_unwind(AssertUnwindSafe(a)) {
+            Ok(v) => v,
+            Err(payload) => {
+                // `a` panicked with `b` still published: settle `b` before
+                // unwinding so its stack slot stays valid for any thief.
+                if !self.state.reclaim(me, ref_b) {
+                    self.wait_helping(me, &job_b.latch);
+                    let _ = lock(&job_b.result).take();
+                }
+                resume_unwind(payload);
+            }
+        };
+
+        if self.state.reclaim(me, ref_b) {
+            // Nobody stole `b`: run it inline (panics propagate directly).
+            match job_b.reclaim_func() {
+                Some(f) => (ra, f()),
+                // reclaim() returning true guarantees exclusive ownership,
+                // so the closure is still present; this arm is unreachable.
+                None => (ra, job_b.unwrap_result()),
+            }
+        } else {
+            // Stolen: help with other queued work while the thief runs it.
+            self.wait_helping(me, &job_b.latch);
+            (ra, job_b.unwrap_result())
+        }
+    }
+
+    /// Waits for `latch`, executing any other available jobs meanwhile —
+    /// the mechanism that keeps nested joins deadlock-free on a
+    /// fixed-size pool.
+    fn wait_helping(&self, me: Option<usize>, latch: &Latch) {
+        while !latch.probe() {
+            match self.state.find_work(me) {
+                // SAFETY: every queued JobRef upholds the StackJob
+                // liveness contract (its owner is blocked on the latch).
+                #[allow(unsafe_code)]
+                Some(job) => unsafe { (job.execute)(job.data) },
+                None => latch.wait_brief(),
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.sleep.notify_all();
+        for handle in lock(&self.handles).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(state: Arc<PoolState>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&state), index)));
+    loop {
+        match state.find_work(Some(index)) {
+            // SAFETY: queued JobRefs point at live StackJobs (owners wait
+            // on their latches); execute catches panics internally.
+            #[allow(unsafe_code)]
+            Some(job) => unsafe { (job.execute)(job.data) },
+            None => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                // Park briefly on the injector condvar; the timeout
+                // re-scans for steals published without a notification.
+                let guard = lock(&state.injector);
+                if guard.is_empty() && !state.shutdown.load(Ordering::Acquire) {
+                    let _ = state
+                        .sleep
+                        .wait_timeout(guard, Duration::from_millis(10))
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global pool + drivers
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Option<Pool>> = OnceLock::new();
+
+/// Thread count from the environment: `LS3DF_THREADS` if set to a
+/// positive integer, else the machine's available parallelism. `1`
+/// selects the exact sequential fallback (no pool, no worker threads).
+fn configured_threads() -> usize {
+    let default = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("LS3DF_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default(),
+        },
+        Err(_) => default(),
+    }
+}
+
+/// The lazily-created global pool; `None` in sequential mode.
+pub(crate) fn global() -> Option<&'static Pool> {
+    GLOBAL
+        .get_or_init(|| {
+            let n = configured_threads();
+            (n > 1).then(|| Pool::new(n))
+        })
+        .as_ref()
+}
+
+/// Number of threads parallel work is spread across (1 = sequential).
+pub(crate) fn global_num_threads() -> usize {
+    global().map_or(1, Pool::n_threads)
+}
+
+/// `rayon::join` against the global pool (sequential when disabled).
+pub(crate) fn global_join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match global() {
+        Some(pool) => pool.join(a, b),
+        None => {
+            let ra = a();
+            let rb = b();
+            (ra, rb)
+        }
+    }
+}
+
+/// Splitting granularity: enough splits for stealing to balance load
+/// (≈4 leaves per worker), never so many that task overhead dominates.
+/// Affects scheduling only — results are ordered concatenations, so the
+/// grain never changes a single bit of output.
+fn grain_for(len: usize, threads: usize) -> usize {
+    (len / (threads * 4)).max(1)
+}
+
+/// Maps `f` over `src` preserving order, fanning out over `pool` by
+/// recursive halving. The sequential path (`pool = None`) is the exact
+/// natural-order loop.
+pub(crate) fn map_vec_on<S, T, F>(pool: Option<&Pool>, src: Vec<S>, f: &F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(S) -> T + Sync,
+{
+    match pool {
+        None => src.into_iter().map(f).collect(),
+        Some(pool) => {
+            let grain = grain_for(src.len(), pool.n_threads());
+            map_split(pool, src, f, grain)
+        }
+    }
+}
+
+/// Order-preserving parallel map against the global pool.
+pub(crate) fn map_vec<S, T, F>(src: Vec<S>, f: &F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(S) -> T + Sync,
+{
+    map_vec_on(global(), src, f)
+}
+
+fn map_split<S, T, F>(pool: &Pool, mut src: Vec<S>, f: &F, grain: usize) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(S) -> T + Sync,
+{
+    if src.len() <= grain {
+        return src.into_iter().map(f).collect();
+    }
+    let right = src.split_off(src.len() / 2);
+    let (mut left, mut right) = pool.join(
+        || map_split(pool, src, f, grain),
+        || map_split(pool, right, f, grain),
+    );
+    left.append(&mut right);
+    left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = Pool::new(3);
+        let (a, b) = pool.join(|| 6 * 7, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn nested_joins_complete_without_deadlock() {
+        // A full binary recursion tree deeper than the worker count: only
+        // help-while-waiting keeps this from deadlocking a 2-thread pool.
+        let pool = Pool::new(2);
+        fn sum(pool: &Pool, lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 4 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = pool.join(|| sum(pool, lo, mid), || sum(pool, mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(&pool, 0, 1000), (0..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn panic_in_b_propagates_to_caller() {
+        let pool = Pool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(
+                || std::thread::sleep(Duration::from_millis(5)),
+                || panic!("boom in b"),
+            )
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom in b"), "payload: {msg:?}");
+    }
+
+    #[test]
+    fn panic_in_a_still_settles_b() {
+        let pool = Pool::new(2);
+        let b_ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(
+                || panic!("boom in a"),
+                || {
+                    b_ran.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        }));
+        assert!(result.is_err());
+        // b either ran on a thief or was reclaimed-and-dropped; both are
+        // legal, but the join must not leave it dangling in a queue.
+        assert!(b_ran.load(Ordering::SeqCst) <= 1);
+        // The pool must still be fully operational afterwards.
+        let (x, y) = pool.join(|| 1, || 2);
+        assert_eq!((x, y), (1, 2));
+    }
+
+    #[test]
+    fn map_vec_on_pool_matches_sequential_bitwise() {
+        let pool = Pool::new(4);
+        let src: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let f = |x: f64| (x * 1.000_000_1).exp().ln_1p();
+        let seq: Vec<f64> = src.clone().into_iter().map(f).collect();
+        let par: Vec<f64> = map_vec_on(Some(&pool), src, &f);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+    }
+
+    #[test]
+    fn pool_shutdown_joins_workers() {
+        let pool = Pool::new(2);
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!(a + b, 3);
+        drop(pool); // Drop joins the worker threads; must not hang.
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn grain_never_zero() {
+        assert_eq!(grain_for(0, 8), 1);
+        assert_eq!(grain_for(3, 8), 1);
+        assert!(grain_for(1000, 4) >= 1);
+    }
+}

@@ -1,4 +1,19 @@
 //! Facade crate for the LS3DF reproduction workspace.
+//!
+//! The per-layer crates stay importable under their module aliases
+//! (`ls3df::core`, `ls3df::pw`, …), but the types a typical driver needs
+//! are re-exported at the crate root so one `use ls3df::{…}` line builds
+//! and runs a calculation:
+//!
+//! ```ignore
+//! use ls3df::{Ls3df, Ls3dfOptions};
+//!
+//! let mut calc = Ls3df::builder(&structure)
+//!     .fragments([2, 2, 2])
+//!     .options(Ls3dfOptions::laptop())
+//!     .build()?;
+//! let result = calc.scf();
+//! ```
 pub use ls3df_atoms as atoms;
 pub use ls3df_core as core;
 pub use ls3df_fft as fft;
@@ -7,3 +22,11 @@ pub use ls3df_hpc as hpc;
 pub use ls3df_math as math;
 pub use ls3df_pseudo as pseudo;
 pub use ls3df_pw as pw;
+
+pub use ls3df_atoms::Structure;
+pub use ls3df_core::{
+    Ls3df, Ls3dfBuilder, Ls3dfError, Ls3dfOptions, Ls3dfResult, Ls3dfStep, Passivation,
+    ScfObserver, ScfStage, SilentObserver, StepTimings,
+};
+pub use ls3df_pseudo::PseudoTable;
+pub use ls3df_pw::Mixer;

@@ -28,6 +28,15 @@ fn model_crystal(m: [usize; 3], a: f64) -> Structure {
     Structure::new([m[0] as f64 * a, m[1] as f64 * a, m[2] as f64 * a], atoms)
 }
 
+/// All pipeline tests use the same 2×2×2 decomposition.
+fn build_calc(s: &Structure, opts: Ls3dfOptions) -> Ls3df {
+    Ls3df::builder(s)
+        .fragments([2, 2, 2])
+        .options(opts)
+        .build()
+        .expect("valid test geometry")
+}
+
 fn small_opts(table: PseudoTable) -> Ls3dfOptions {
     Ls3dfOptions {
         ecut: 1.5,
@@ -54,7 +63,7 @@ fn small_opts(table: PseudoTable) -> Ls3dfOptions {
 fn ls3df_outer_loop_runs_and_conserves_charge() {
     let s = model_crystal([2, 2, 2], 6.5);
     let table = PseudoTable::deep_well(2.0, 0.8);
-    let mut calc = Ls3df::new(&s, [2, 2, 2], small_opts(table));
+    let mut calc = build_calc(&s, small_opts(table));
     assert_eq!(calc.n_fragments(), 64);
     let res = calc.scf();
     assert_eq!(res.history.len(), 10);
@@ -78,7 +87,7 @@ fn gen_vf_extracts_global_potential_plus_boundary_terms() {
     // fragment's interior (away from the wall/passivation boundary layer).
     let s = model_crystal([2, 2, 2], 6.5);
     let table = PseudoTable::deep_well(2.0, 0.8);
-    let calc = Ls3df::new(&s, [2, 2, 2], small_opts(table));
+    let calc = build_calc(&s, small_opts(table));
     let vfs = calc.gen_vf();
     let v_in = calc.v_in();
     // Fragment 0 is corner (0,0,0); find the 1×1×1 one by box size.
@@ -120,7 +129,7 @@ fn fragment_residuals_improve_across_outer_iterations() {
     let table = PseudoTable::deep_well(2.0, 0.8);
     let mut opts = small_opts(table);
     opts.max_scf = 6;
-    let mut calc = Ls3df::new(&s, [2, 2, 2], opts);
+    let mut calc = build_calc(&s, opts);
     let res = calc.scf();
     let first = res.history.first().unwrap().worst_residual;
     let last = res.history.last().unwrap().worst_residual;
@@ -141,7 +150,7 @@ fn patched_density_inherits_crystal_periodicity() {
     let table = PseudoTable::deep_well(2.0, 0.8);
     let mut opts = small_opts(table);
     opts.max_scf = 4;
-    let mut calc = Ls3df::new(&s, [2, 2, 2], opts);
+    let mut calc = build_calc(&s, opts);
     let res = calc.scf();
     let rho = &res.rho;
     let g = rho.grid().clone();
@@ -170,7 +179,7 @@ fn timings_are_recorded_and_petot_dominates() {
     let table = PseudoTable::deep_well(2.0, 0.8);
     let mut opts = small_opts(table);
     opts.max_scf = 2;
-    let mut calc = Ls3df::new(&s, [2, 2, 2], opts);
+    let mut calc = build_calc(&s, opts);
     let res = calc.scf();
     for step in &res.history {
         let t = step.timings;
@@ -185,6 +194,92 @@ fn timings_are_recorded_and_petot_dominates() {
     }
 }
 
+/// Digest the physically meaningful outputs of a run down to one number so
+/// the thread-matrix test can compare runs across subprocesses. FNV-1a
+/// over the raw f64 bit patterns: any single-bit divergence changes it.
+fn run_digest(res: &ls3df::core::Ls3dfResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &x in res.rho.as_slice() {
+        eat(x.to_bits());
+    }
+    for step in &res.history {
+        eat(step.dv_integral.to_bits());
+        eat(step.worst_residual.to_bits());
+    }
+    h
+}
+
+/// Child half of `densities_bit_identical_across_thread_counts`. Does
+/// nothing under a normal `cargo test`; when the parent re-execs this
+/// test binary with `LS3DF_MATRIX_CHILD=1` it runs a short SCF under
+/// whatever `LS3DF_THREADS` the parent chose and prints the digest.
+#[test]
+fn thread_matrix_child() {
+    if std::env::var("LS3DF_MATRIX_CHILD").is_err() {
+        return;
+    }
+    let s = model_crystal([2, 2, 2], 6.5);
+    let table = PseudoTable::deep_well(2.0, 0.8);
+    let mut opts = small_opts(table);
+    opts.max_scf = 2;
+    let mut calc = build_calc(&s, opts);
+    let res = calc.scf();
+    println!("LS3DF_DIGEST={:016x}", run_digest(&res));
+}
+
+/// The determinism gate from the pool redesign: the work-stealing pool
+/// must be a pure performance knob. Running the same calculation at
+/// `LS3DF_THREADS` ∈ {1, 2, host parallelism} must produce bit-identical
+/// densities and convergence histories. The pool is configured once per
+/// process, so each thread count runs in a fresh subprocess (this test
+/// binary re-execed with `--exact thread_matrix_child`).
+#[test]
+fn densities_bit_identical_across_thread_counts() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .to_string();
+    let mut digests = Vec::new();
+    for threads in ["1", "2", max.as_str()] {
+        let out = std::process::Command::new(&exe)
+            .args(["--exact", "thread_matrix_child", "--nocapture"])
+            .env("LS3DF_MATRIX_CHILD", "1")
+            .env("LS3DF_THREADS", threads)
+            .output()
+            .expect("spawn thread_matrix_child");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            out.status.success(),
+            "child with LS3DF_THREADS={threads} failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Under `--nocapture` the harness's "test … " prefix can share the
+        // line with our println, so match the marker anywhere in the line.
+        let digest = stdout
+            .lines()
+            .find_map(|l| l.split("LS3DF_DIGEST=").nth(1))
+            .map(str::trim)
+            .unwrap_or_else(|| panic!("no digest line from child {threads}:\n{stdout}"))
+            .to_string();
+        digests.push((threads, digest));
+    }
+    let (_, reference) = &digests[0];
+    for (threads, digest) in &digests {
+        assert_eq!(
+            digest, reference,
+            "LS3DF_THREADS={threads} diverged from the sequential run: \
+             {digest} vs {reference}"
+        );
+    }
+}
+
 #[test]
 fn repeated_runs_produce_bit_identical_densities() {
     // LS3DF's reductions (Gen_dens fragment patching, band-block density
@@ -195,7 +290,7 @@ fn repeated_runs_produce_bit_identical_densities() {
         let table = PseudoTable::deep_well(2.0, 0.8);
         let mut opts = small_opts(table);
         opts.max_scf = 2;
-        let mut calc = Ls3df::new(&s, [2, 2, 2], opts);
+        let mut calc = build_calc(&s, opts);
         calc.scf()
     };
     let (a, b) = (run(), run());

@@ -52,7 +52,11 @@ fn small_opts(table: PseudoTable) -> Ls3dfOptions {
 fn small_calc() -> Ls3df {
     let s = model_crystal([2, 2, 2], 6.5);
     let table = PseudoTable::deep_well(2.0, 0.8);
-    Ls3df::new(&s, [2, 2, 2], small_opts(table))
+    Ls3df::builder(&s)
+        .fragments([2, 2, 2])
+        .options(small_opts(table))
+        .build()
+        .expect("valid test geometry")
 }
 
 /// A fragment whose density went wrong (here: its wavefunctions scaled by
