@@ -1,0 +1,170 @@
+//! Before/after microbenchmark for the zero-allocation FFT hot path.
+//!
+//! "Before" reconstructs the pre-workspace kernels from the same public
+//! primitives: a 3-D transform that walks the y/z passes line by line
+//! through freshly allocated gather buffers and the allocating
+//! [`Fft1d::forward`]/[`inverse`] calls (which build Bluestein scratch per
+//! call), and a Poisson solve through [`hartree_potential`], which
+//! rebuilds the [`Fft3`] plan and reciprocal kernel every call. "After"
+//! is the shipped path: [`Fft3::forward_with`]/[`inverse_with`] through
+//! one reused [`Fft3Workspace`] (batched strided line transforms) and
+//! [`HartreeSolver::solve_into`] (cached plan + pooled scratch).
+//!
+//! The default 40³ grid is the interesting case: 40 = 2³·5 sends every
+//! line through the Bluestein kernel, whose per-call scratch was the
+//! dominant allocation cost. Each variant also cross-checks its output
+//! against the other, so the table doubles as an equivalence test.
+//!
+//! Run: `cargo run -p ls3df-bench --bin fft_kernels --release -- [n] [reps]`
+
+use ls3df_bench::arg;
+use ls3df_fft::{Fft1d, Fft3};
+use ls3df_grid::{Grid3, RealField};
+use ls3df_math::c64;
+use ls3df_pw::hartree::{hartree_potential, HartreeSolver};
+use std::time::Instant;
+
+/// Deterministic filler (no RNG dependency, same field every run).
+fn lcg_field(len: usize, seed: u64) -> Vec<c64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let re = ((state >> 11) as f64) / ((1u64 << 53) as f64) - 0.5;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let im = ((state >> 11) as f64) / ((1u64 << 53) as f64) - 0.5;
+            c64::new(re, im)
+        })
+        .collect()
+}
+
+/// The pre-refactor 3-D transform: per-line gather/scatter buffers for
+/// the strided passes and the allocating 1-D entry points throughout.
+fn fft3_line_by_line(plans: &[Fft1d; 3], dims: [usize; 3], data: &mut [c64], forward: bool) {
+    let [n1, n2, n3] = dims;
+    let go = |plan: &Fft1d, line: &mut [c64]| {
+        if forward {
+            plan.forward(line);
+        } else {
+            plan.inverse(line);
+        }
+    };
+    for line in data.chunks_mut(n1) {
+        go(&plans[0], line);
+    }
+    for iz in 0..n3 {
+        for ix in 0..n1 {
+            let mut line: Vec<c64> = (0..n2).map(|iy| data[(iz * n2 + iy) * n1 + ix]).collect();
+            go(&plans[1], &mut line);
+            for (iy, v) in line.into_iter().enumerate() {
+                data[(iz * n2 + iy) * n1 + ix] = v;
+            }
+        }
+    }
+    let plane = n1 * n2;
+    for l in 0..plane {
+        let mut line: Vec<c64> = (0..n3).map(|iz| data[iz * plane + l]).collect();
+        go(&plans[2], &mut line);
+        for (iz, v) in line.into_iter().enumerate() {
+            data[iz * plane + l] = v;
+        }
+    }
+}
+
+fn max_diff(a: &[c64], b: &[c64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let n: usize = arg(1, 40);
+    let reps: usize = arg(2, 20);
+    let dims = [n, n, n];
+    let len = n * n * n;
+    println!("fft_kernels: {n}³ grid ({len} points), {reps} reps per kernel\n");
+
+    let plans = [Fft1d::new(n), Fft1d::new(n), Fft1d::new(n)];
+    let fft3 = Fft3::new(n, n, n);
+    let mut ws = fft3.workspace();
+    let field = lcg_field(len, 0x5eed);
+
+    // Equivalence check first: one round trip through each path.
+    let mut a = field.clone();
+    let mut b = field.clone();
+    fft3_line_by_line(&plans, dims, &mut a, true);
+    fft3_line_by_line(&plans, dims, &mut a, false);
+    fft3.forward_with(&mut b, &mut ws);
+    fft3.inverse_with(&mut b, &mut ws);
+    let diff = max_diff(&a, &b);
+    assert!(diff < 1e-12, "kernel paths diverged: {diff:e}");
+
+    let bench = |label: &str, mut f: Box<dyn FnMut() + '_>| -> f64 {
+        f(); // warm-up (plan twiddles, workspace pools, page faults)
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let per = t.elapsed().as_secs_f64() / reps as f64;
+        println!("  {label:<44} {:9.3} ms/round-trip", per * 1e3);
+        per
+    };
+
+    println!("3-D FFT forward+inverse round trip:");
+    let mut buf = field.clone();
+    let before = bench(
+        "line-by-line, allocating (pre-refactor)",
+        Box::new(|| {
+            buf.copy_from_slice(&field);
+            fft3_line_by_line(&plans, dims, &mut buf, true);
+            fft3_line_by_line(&plans, dims, &mut buf, false);
+        }),
+    );
+    let mut buf2 = field.clone();
+    let after = bench(
+        "batched strided + reused workspace",
+        Box::new(|| {
+            buf2.copy_from_slice(&field);
+            fft3.forward_with(&mut buf2, &mut ws);
+            fft3.inverse_with(&mut buf2, &mut ws);
+        }),
+    );
+    println!("  speedup: {:.2}x\n", before / after);
+
+    // GENPOT: the FFT Poisson solve.
+    let grid = Grid3::cubic(n, 10.0);
+    let rho = RealField::from_fn(grid.clone(), |r| {
+        (r[0] - 5.0).mul_add(r[1] - 4.0, (r[2] - 6.0).cos())
+    });
+    let solver = HartreeSolver::new(grid.clone());
+    let mut v_h = RealField::zeros(grid);
+    solver.solve_into(&rho, &mut v_h);
+    let reference = hartree_potential(&rho);
+    let hdiff = v_h
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max);
+    assert!(hdiff < 1e-10, "hartree paths diverged: {hdiff:e}");
+
+    println!("GENPOT Poisson solve:");
+    let before_h = bench(
+        "hartree_potential (plan rebuilt per call)",
+        Box::new(|| {
+            let _ = hartree_potential(&rho);
+        }),
+    );
+    let after_h = bench(
+        "HartreeSolver::solve_into (cached plan)",
+        Box::new(|| {
+            solver.solve_into(&rho, &mut v_h);
+        }),
+    );
+    println!("  speedup: {:.2}x", before_h / after_h);
+}

@@ -16,8 +16,9 @@ use ls3df_grid::{Grid3, RealField};
 use ls3df_math::{c64, Matrix};
 use ls3df_pseudo::PseudoTable;
 use ls3df_pw::{
-    density, effective_potential, initial_density, ionic_potential, solver, Hamiltonian, Mixer,
-    MixerState, NonlocalPotential, PwAtom, PwBasis, SolverMethod, SolverOptions,
+    density, effective_potential_with, initial_density, ionic_potential, solver, Hamiltonian,
+    HartreeSolver, Mixer, MixerState, NonlocalPotential, PwAtom, PwBasis, SolverMethod,
+    SolverOptions,
 };
 use rayon::prelude::*;
 use std::time::Instant;
@@ -198,6 +199,9 @@ pub struct Ls3df {
     rho: RealField,
     /// Ion–ion Ewald energy of the real structure (fixed geometry).
     ewald: f64,
+    /// Cached GENPOT Poisson solver (FFT plan + reciprocal kernel), built
+    /// once per geometry rather than once per outer iteration.
+    hartree: HartreeSolver,
 }
 
 /// Result of an LS3DF SCF run.
@@ -416,7 +420,8 @@ impl Ls3df {
             .collect();
         let v_ion_global = ionic_potential(&global_basis, &global_atoms);
         let rho0 = initial_density(&global_basis, &global_atoms, 1.4);
-        let (v_in, _) = effective_potential(&global_basis, &v_ion_global, &rho0);
+        let hartree = HartreeSolver::new(global_grid.clone());
+        let (v_in, _) = effective_potential_with(&global_basis, &v_ion_global, &rho0, &hartree);
 
         // Build fragment states in parallel (basis + projectors + ΔV_F).
         let fragments: Vec<FragmentState> = fg
@@ -493,6 +498,7 @@ impl Ls3df {
             v_in,
             rho: rho0,
             ewald,
+            hartree,
         }
     }
 
@@ -658,9 +664,11 @@ impl Ls3df {
         rho
     }
 
-    /// **GENPOT**: global Poisson + XC from the patched density.
+    /// **GENPOT**: global Poisson + XC from the patched density, through
+    /// the cached per-geometry Poisson solver.
     pub fn genpot(&self, rho: &RealField) -> RealField {
-        let (v_out, _) = effective_potential(&self.global_basis, &self.v_ion_global, rho);
+        let (v_out, _) =
+            effective_potential_with(&self.global_basis, &self.v_ion_global, rho, &self.hartree);
         if check::ENABLED {
             check::enforce(check::finite_field("GENPOT", &v_out));
         }

@@ -22,6 +22,8 @@ pub fn dft_inverse(x: &[c64]) -> Vec<c64> {
 
 fn dft(x: &[c64], sign: f64) -> Vec<c64> {
     let n = x.len();
+    // alloc-audit: O(n²) correctness reference — never called from the
+    // SCF hot path, only from tests and plan verification.
     let mut out = vec![c64::ZERO; n];
     for (k, o) in out.iter_mut().enumerate() {
         let mut acc = c64::ZERO;

@@ -7,10 +7,24 @@
 //!
 //! Layout convention (shared with `ls3df-grid`): the **x index is fastest**,
 //! `idx = (iz·n2 + iy)·n1 + ix` for dimensions `(n1, n2, n3)`.
+//!
+//! The transform itself is sequential: the LS3DF outer loop already
+//! parallelizes over fragments and bands, and a box-sized 3-D FFT is far
+//! below the granularity where task overhead pays off. All scratch lives
+//! in an [`Fft3Workspace`] sized at plan build, so the `*_with` entry
+//! points are allocation-free — the property the `alloc-count` tier-1
+//! test pins down.
 
-use crate::plan::Fft1d;
+use crate::plan::{Fft1d, Fft1dWorkspace};
 use ls3df_math::c64;
-use rayon::prelude::*;
+
+/// Reusable scratch for one [`Fft3`] plan (one [`Fft1dWorkspace`] per
+/// axis). Build with [`Fft3::workspace`], once per thread.
+pub struct Fft3Workspace {
+    x: Fft1dWorkspace,
+    y: Fft1dWorkspace,
+    z: Fft1dWorkspace,
+}
 
 /// Reusable 3-D FFT plan for a fixed `(n1, n2, n3)` grid.
 pub struct Fft3 {
@@ -51,110 +65,80 @@ impl Fft3 {
         false
     }
 
+    /// Builds a reusable scratch workspace sized for this plan.
+    ///
+    /// Allocate once (per thread, or checked out of a pool) and pass to
+    /// [`Fft3::forward_with`]/[`Fft3::inverse_with`]; those entry points
+    /// then perform no heap allocation.
+    pub fn workspace(&self) -> Fft3Workspace {
+        Fft3Workspace {
+            x: self.plan_x.workspace(),
+            y: self.plan_y.workspace(),
+            z: self.plan_z.workspace(),
+        }
+    }
+
     /// In-place forward transform (unnormalized).
     pub fn forward(&self, data: &mut [c64]) {
-        self.run(data, true);
+        // alloc-audit: one-shot convenience path; hot loops use forward_with.
+        let mut ws = self.workspace();
+        self.run_with(data, true, &mut ws);
     }
 
     /// In-place inverse transform (includes the full `1/(n1·n2·n3)`).
     pub fn inverse(&self, data: &mut [c64]) {
-        self.run(data, false);
+        // alloc-audit: one-shot convenience path; hot loops use inverse_with.
+        let mut ws = self.workspace();
+        self.run_with(data, false, &mut ws);
     }
 
-    fn run(&self, data: &mut [c64], fwd: bool) {
+    /// In-place forward transform using caller-provided scratch.
+    /// Performs no heap allocation.
+    pub fn forward_with(&self, data: &mut [c64], ws: &mut Fft3Workspace) {
+        self.run_with(data, true, ws);
+    }
+
+    /// In-place inverse transform using caller-provided scratch (includes
+    /// the full `1/(n1·n2·n3)`). Performs no heap allocation.
+    pub fn inverse_with(&self, data: &mut [c64], ws: &mut Fft3Workspace) {
+        self.run_with(data, false, ws);
+    }
+
+    fn run_with(&self, data: &mut [c64], fwd: bool, ws: &mut Fft3Workspace) {
         assert_eq!(data.len(), self.len(), "Fft3: buffer length mismatch");
         let (n1, n2, n3) = (self.n1, self.n2, self.n3);
-        // Fragment-box-sized transforms run sequentially: the LS3DF outer
-        // loop already parallelizes over fragments/bands, and rayon task
-        // overhead swamps sub-millisecond line transforms.
-        //
-        // Audited reduction: the parallel branches below chunk by fixed
-        // geometry (n1, n1·n2, n3) — never by thread count — and each
-        // chunk is transformed independently with no cross-chunk sums,
-        // so results are bit-identical for any LS3DF_THREADS setting.
-        let parallel = data.len() >= 32_768;
 
         // X lines are contiguous: one slice per (y,z) pair.
         if n1 > 1 {
-            let do_line = |line: &mut [c64]| {
+            for line in data.chunks_mut(n1) {
                 if fwd {
-                    self.plan_x.forward(line);
+                    self.plan_x.forward_with(line, &mut ws.x);
                 } else {
-                    self.plan_x.inverse(line);
+                    self.plan_x.inverse_with(line, &mut ws.x);
                 }
-            };
-            if parallel {
-                data.par_chunks_mut(n1).for_each(do_line);
-            } else {
-                data.chunks_mut(n1).for_each(do_line);
             }
         }
 
-        // Y lines: stride n1 within each z-plane (planes are contiguous, so
-        // parallelize over planes and gather/scatter lines inside).
+        // Y lines: within one contiguous z-plane the n1 lines along y all
+        // have stride n1, so each plane is one batched strided call.
         if n2 > 1 {
-            let do_plane = |plane: &mut [c64]| {
-                let mut line = vec![c64::ZERO; n2];
-                for ix in 0..n1 {
-                    for iy in 0..n2 {
-                        line[iy] = plane[iy * n1 + ix];
-                    }
-                    if fwd {
-                        self.plan_y.forward(&mut line);
-                    } else {
-                        self.plan_y.inverse(&mut line);
-                    }
-                    for iy in 0..n2 {
-                        plane[iy * n1 + ix] = line[iy];
-                    }
+            for plane in data.chunks_mut(n1 * n2) {
+                if fwd {
+                    self.plan_y.forward_strided(plane, n1, n1, &mut ws.y);
+                } else {
+                    self.plan_y.inverse_strided(plane, n1, n1, &mut ws.y);
                 }
-            };
-            if parallel {
-                data.par_chunks_mut(n1 * n2).for_each(do_plane);
-            } else {
-                data.chunks_mut(n1 * n2).for_each(do_plane);
             }
         }
 
-        // Z lines: stride n1·n2. Transpose z to the front in one pass so
-        // each column is contiguous, transform, scatter back.
+        // Z lines: all n1·n2 columns share stride n1·n2, so the whole grid
+        // is one batched strided call — no full-grid transpose scratch.
         if n3 > 1 {
             let plane = n1 * n2;
-            let mut scratch = vec![c64::ZERO; data.len()];
-            let gather = |col: usize, line: &mut [c64]| {
-                for (iz, v) in line.iter_mut().enumerate() {
-                    *v = data[iz * plane + col];
-                }
-                if fwd {
-                    self.plan_z.forward(line);
-                } else {
-                    self.plan_z.inverse(line);
-                }
-            };
-            if parallel {
-                scratch
-                    .par_chunks_mut(n3)
-                    .enumerate()
-                    .for_each(|(col, line)| gather(col, line));
-                data.par_chunks_mut(plane)
-                    .enumerate()
-                    .for_each(|(iz, out_plane)| {
-                        for (col, o) in out_plane.iter_mut().enumerate() {
-                            *o = scratch[col * n3 + iz];
-                        }
-                    });
+            if fwd {
+                self.plan_z.forward_strided(data, plane, plane, &mut ws.z);
             } else {
-                scratch
-                    .chunks_mut(n3)
-                    .enumerate()
-                    .for_each(|(col, line)| gather(col, line));
-                data.chunks_mut(plane)
-                    .enumerate()
-                    .for_each(|(iz, out_plane)| {
-                        for (col, o) in out_plane.iter_mut().enumerate() {
-                            *o = scratch[col * n3 + iz];
-                        }
-                    });
+                self.plan_z.inverse_strided(data, plane, plane, &mut ws.z);
             }
         }
     }

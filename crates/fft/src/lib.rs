@@ -6,8 +6,11 @@
 //! * [`Fft1d`] — radix-2 Cooley–Tukey for power-of-two lengths, Bluestein
 //!   chirp-z for everything else (the paper's grids are 40 points per cell —
 //!   not a power of two);
-//! * [`Fft3`] — rayon-parallel 3-D transforms used by the GENPOT Poisson
-//!   solver and the local-potential application in PEtot_F;
+//! * [`Fft3`] — sequential 3-D transforms used by the GENPOT Poisson
+//!   solver and the local-potential application in PEtot_F (parallelism
+//!   lives one level up, over fragments and bands);
+//! * [`Fft1dWorkspace`]/[`Fft3Workspace`] — reusable scratch so the
+//!   `*_with` and `*_strided` entry points are allocation-free;
 //! * [`dft`] — O(n²) reference transforms for testing.
 
 #![warn(missing_docs)]
@@ -16,5 +19,5 @@ pub mod dft;
 mod fft3;
 mod plan;
 
-pub use fft3::Fft3;
-pub use plan::Fft1d;
+pub use fft3::{Fft3, Fft3Workspace};
+pub use plan::{Fft1d, Fft1dWorkspace};

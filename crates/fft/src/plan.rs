@@ -13,6 +13,25 @@
 use ls3df_math::c64;
 use std::f64::consts::PI;
 
+/// Lines gathered per block by the strided batch API: big enough that the
+/// strided gather reads [`LINE_BLOCK`] consecutive elements per touched
+/// cache line, small enough that a block (`LINE_BLOCK·n` complex values)
+/// stays L1-resident for typical grid edges.
+const LINE_BLOCK: usize = 8;
+
+/// Reusable scratch for one [`Fft1d`] plan, sized at construction so the
+/// transform methods taking a workspace never touch the heap.
+///
+/// Build one per thread with [`Fft1d::workspace`] and reuse it across
+/// calls; a workspace is tied to the plan length it was built for.
+pub struct Fft1dWorkspace {
+    /// Bluestein convolution buffer (length `m`; empty for trivial and
+    /// radix-2 plans, which transform fully in place).
+    scratch: Vec<c64>,
+    /// Gather buffer for the blocked strided API (`LINE_BLOCK · n`).
+    batch: Vec<c64>,
+}
+
 /// A reusable 1-D FFT plan for a fixed length.
 pub struct Fft1d {
     n: usize,
@@ -71,27 +90,176 @@ impl Fft1d {
         false
     }
 
+    /// Builds a scratch workspace sized for this plan (see
+    /// [`Fft1dWorkspace`]). Do this once per thread, not per transform.
+    pub fn workspace(&self) -> Fft1dWorkspace {
+        let m = match &self.kind {
+            Kind::Bluestein(b) => b.m,
+            _ => 0,
+        };
+        Fft1dWorkspace {
+            // alloc-audit: workspace construction is the one-time setup
+            // that makes every later *_with / *_strided call heap-free.
+            scratch: vec![c64::ZERO; m],
+            batch: vec![c64::ZERO; LINE_BLOCK * self.n],
+        }
+    }
+
     /// In-place forward transform (unnormalized).
+    ///
+    /// Convenience wrapper: Bluestein lengths allocate their convolution
+    /// scratch per call. Hot loops should hold a workspace and use
+    /// [`Fft1d::forward_with`].
     pub fn forward(&self, data: &mut [c64]) {
         assert_eq!(data.len(), self.n, "Fft1d::forward: length mismatch");
         match &self.kind {
             Kind::Trivial => {}
             Kind::Radix2(r) => r.run(data, Direction::Forward),
-            Kind::Bluestein(b) => b.run(data, Direction::Forward),
+            Kind::Bluestein(b) => {
+                // alloc-audit: one-shot path; reuse a workspace in hot loops.
+                let mut scratch = vec![c64::ZERO; b.m];
+                b.run(data, Direction::Forward, &mut scratch);
+            }
         }
     }
 
     /// In-place inverse transform (includes the `1/n` factor).
+    ///
+    /// Convenience wrapper over [`Fft1d::inverse_with`]; see
+    /// [`Fft1d::forward`] for the allocation caveat.
     pub fn inverse(&self, data: &mut [c64]) {
         assert_eq!(data.len(), self.n, "Fft1d::inverse: length mismatch");
         match &self.kind {
             Kind::Trivial => {}
             Kind::Radix2(r) => r.run(data, Direction::Inverse),
-            Kind::Bluestein(b) => b.run(data, Direction::Inverse),
+            Kind::Bluestein(b) => {
+                // alloc-audit: one-shot path; reuse a workspace in hot loops.
+                let mut scratch = vec![c64::ZERO; b.m];
+                b.run(data, Direction::Inverse, &mut scratch);
+            }
         }
         let inv = 1.0 / self.n as f64;
         for v in data {
             *v = v.scale(inv);
+        }
+    }
+
+    /// [`Fft1d::forward`] using caller-provided scratch — no heap traffic.
+    pub fn forward_with(&self, data: &mut [c64], ws: &mut Fft1dWorkspace) {
+        assert_eq!(data.len(), self.n, "Fft1d::forward_with: length mismatch");
+        match &self.kind {
+            Kind::Trivial => {}
+            Kind::Radix2(r) => r.run(data, Direction::Forward),
+            Kind::Bluestein(b) => {
+                assert_eq!(ws.scratch.len(), b.m, "Fft1d: workspace plan mismatch");
+                b.run(data, Direction::Forward, &mut ws.scratch);
+            }
+        }
+    }
+
+    /// [`Fft1d::inverse`] using caller-provided scratch — no heap traffic.
+    pub fn inverse_with(&self, data: &mut [c64], ws: &mut Fft1dWorkspace) {
+        assert_eq!(data.len(), self.n, "Fft1d::inverse_with: length mismatch");
+        match &self.kind {
+            Kind::Trivial => {}
+            Kind::Radix2(r) => r.run(data, Direction::Inverse),
+            Kind::Bluestein(b) => {
+                assert_eq!(ws.scratch.len(), b.m, "Fft1d: workspace plan mismatch");
+                b.run(data, Direction::Inverse, &mut ws.scratch);
+            }
+        }
+        let inv = 1.0 / self.n as f64;
+        for v in data {
+            *v = v.scale(inv);
+        }
+    }
+
+    /// Batched forward transform of `n_lines` interleaved lines.
+    ///
+    /// Line `l` (`l < n_lines`) occupies elements `data[i·stride + l]` for
+    /// `i` in `0..n` — the natural layout of the y/z pencils of a 3-D grid
+    /// with x fastest. Lines are processed in blocks of [`LINE_BLOCK`]
+    /// through the workspace gather buffer, so each strided pass reads and
+    /// writes [`LINE_BLOCK`] consecutive elements per touched cache line
+    /// instead of one. Each gathered line sees exactly the same in-place
+    /// kernel as [`Fft1d::forward`], so the result is bit-identical to a
+    /// line-by-line loop.
+    pub fn forward_strided(
+        &self,
+        data: &mut [c64],
+        n_lines: usize,
+        stride: usize,
+        ws: &mut Fft1dWorkspace,
+    ) {
+        self.run_strided(data, n_lines, stride, ws, Direction::Forward);
+    }
+
+    /// Batched inverse counterpart of [`Fft1d::forward_strided`]
+    /// (includes the `1/n` factor, applied per line exactly as
+    /// [`Fft1d::inverse`] does).
+    pub fn inverse_strided(
+        &self,
+        data: &mut [c64],
+        n_lines: usize,
+        stride: usize,
+        ws: &mut Fft1dWorkspace,
+    ) {
+        self.run_strided(data, n_lines, stride, ws, Direction::Inverse);
+    }
+
+    fn run_strided(
+        &self,
+        data: &mut [c64],
+        n_lines: usize,
+        stride: usize,
+        ws: &mut Fft1dWorkspace,
+        dir: Direction,
+    ) {
+        let n = self.n;
+        assert!(n_lines <= stride, "Fft1d: lines overlap (n_lines > stride)");
+        assert_eq!(data.len(), n * stride, "Fft1d: strided buffer mismatch");
+        assert_eq!(ws.batch.len(), LINE_BLOCK * n, "Fft1d: workspace mismatch");
+        if n == 1 {
+            return; // length-1 lines are identity (1/n = 1 for the inverse)
+        }
+        let inv = 1.0 / n as f64;
+        let mut l0 = 0;
+        while l0 < n_lines {
+            let nb = LINE_BLOCK.min(n_lines - l0);
+            // Gather nb lines: the inner copy reads nb consecutive source
+            // elements per grid row (cache-friendly on the strided side).
+            for i in 0..n {
+                let row = &data[i * stride + l0..i * stride + l0 + nb];
+                for (j, &v) in row.iter().enumerate() {
+                    ws.batch[j * n + i] = v;
+                }
+            }
+            // Transform each gathered line with the identical in-place
+            // kernel the unbatched path uses (bit-for-bit equivalence).
+            for j in 0..nb {
+                let line = &mut ws.batch[j * n..(j + 1) * n];
+                match &self.kind {
+                    Kind::Trivial => unreachable!("n == 1 returned above"),
+                    Kind::Radix2(r) => r.run(line, dir),
+                    Kind::Bluestein(b) => {
+                        assert_eq!(ws.scratch.len(), b.m, "Fft1d: workspace plan mismatch");
+                        b.run(line, dir, &mut ws.scratch);
+                    }
+                }
+                if dir == Direction::Inverse {
+                    for v in line {
+                        *v = v.scale(inv);
+                    }
+                }
+            }
+            // Scatter back, same blocked access pattern.
+            for i in 0..n {
+                let row = &mut data[i * stride + l0..i * stride + l0 + nb];
+                for (j, o) in row.iter_mut().enumerate() {
+                    *o = ws.batch[j * n + i];
+                }
+            }
+            l0 += nb;
         }
     }
 }
@@ -110,6 +278,7 @@ impl Radix2 {
             .map(|i| i.reverse_bits() >> (32 - bits))
             .collect();
         // Stage `s` (half-size h = 2^s) uses h twiddles; total n−1.
+        // alloc-audit: plan construction (once per geometry, not per call).
         let mut twiddles_fwd = Vec::with_capacity(n - 1);
         let mut twiddles_inv = Vec::with_capacity(n - 1);
         let mut h = 1;
@@ -172,6 +341,7 @@ impl Bluestein {
         };
         let chirp_fwd: Vec<c64> = (0..n).map(|j| chirp(j, -1.0)).collect();
         // Filter b_j = conj(a_j) = e^{+iπ j²/n}, wrapped cyclically into m.
+        // alloc-audit: plan construction (once per geometry, not per call).
         let mut filter = vec![c64::ZERO; m];
         for j in 0..n {
             let v = chirp(j, 1.0);
@@ -189,8 +359,11 @@ impl Bluestein {
         }
     }
 
-    fn run(&self, data: &mut [c64], dir: Direction) {
+    /// Runs one chirp-z transform through caller-provided scratch of
+    /// length `m` (zeroed here — callers may hand over dirty buffers).
+    fn run(&self, data: &mut [c64], dir: Direction, buf: &mut [c64]) {
         let n = data.len();
+        debug_assert_eq!(buf.len(), self.m);
         // Inverse transform = conj ∘ forward ∘ conj (the 1/n is applied by
         // the caller).
         if dir == Direction::Inverse {
@@ -198,15 +371,15 @@ impl Bluestein {
                 *v = v.conj();
             }
         }
-        let mut buf = vec![c64::ZERO; self.m];
         for j in 0..n {
             buf[j] = data[j] * self.chirp_fwd[j];
         }
-        self.inner.run(&mut buf, Direction::Forward);
+        buf[n..].fill(c64::ZERO);
+        self.inner.run(buf, Direction::Forward);
         for (v, &f) in buf.iter_mut().zip(&self.filter_fwd) {
             *v *= f;
         }
-        self.inner.run(&mut buf, Direction::Inverse);
+        self.inner.run(buf, Direction::Inverse);
         let inv_m = 1.0 / self.m as f64;
         for k in 0..n {
             data[k] = (buf[k] * self.chirp_fwd[k]).scale(inv_m);

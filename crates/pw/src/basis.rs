@@ -9,9 +9,10 @@
 //!   `Σᵢ |ψ(rᵢ)|²·dv = 1`, and [`PwBasis::grid_to_wave`] is its exact
 //!   left inverse.
 
-use ls3df_fft::Fft3;
+use ls3df_fft::{Fft3, Fft3Workspace};
 use ls3df_grid::Grid3;
 use ls3df_math::c64;
+use std::sync::Mutex;
 
 /// Planewave basis bound to a periodic grid.
 pub struct PwBasis {
@@ -24,6 +25,10 @@ pub struct PwBasis {
     g2: Vec<f64>,
     /// Cartesian G for each basis vector.
     g_vec: Vec<[f64; 3]>,
+    /// Pool of FFT workspaces backing the convenience (non-`_with`)
+    /// transform methods: after warmup, checkout/return is push/pop on a
+    /// preallocated Vec and the transforms stay heap-free.
+    ws_pool: Mutex<Vec<Fft3Workspace>>,
 }
 
 impl PwBasis {
@@ -71,7 +76,27 @@ impl PwBasis {
             g_slot,
             g2: g2s,
             g_vec,
+            ws_pool: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Checks an FFT workspace out of the basis pool (building one on
+    /// first use). Pair with [`PwBasis::return_fft_workspace`]; long-lived
+    /// holders (per-thread solver state) may simply keep it.
+    pub fn take_fft_workspace(&self) -> Fft3Workspace {
+        let ws = self.ws_pool.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        // alloc-audit: pool warmup only — steady state pops a recycled
+        // workspace without touching the heap.
+        ws.unwrap_or_else(|| self.fft.workspace())
+    }
+
+    /// Returns a workspace taken with [`PwBasis::take_fft_workspace`] to
+    /// the pool for reuse.
+    pub fn return_fft_workspace(&self, ws: Fft3Workspace) {
+        self.ws_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ws);
     }
 
     /// Number of planewaves in the basis.
@@ -126,14 +151,25 @@ impl PwBasis {
 
     /// Scatters planewave coefficients onto the grid and synthesizes
     /// `ψ(rᵢ) = (1/√Ω)·Σ_G c_G·e^{iG·rᵢ}` into `buf` (length = grid size).
+    ///
+    /// Convenience wrapper over [`PwBasis::wave_to_grid_with`] backed by
+    /// the basis workspace pool.
     pub fn wave_to_grid(&self, coeffs: &[c64], buf: &mut [c64]) {
+        let mut ws = self.take_fft_workspace();
+        self.wave_to_grid_with(coeffs, buf, &mut ws);
+        self.return_fft_workspace(ws);
+    }
+
+    /// [`PwBasis::wave_to_grid`] through caller-provided FFT scratch —
+    /// the allocation-free hot-path entry point.
+    pub fn wave_to_grid_with(&self, coeffs: &[c64], buf: &mut [c64], ws: &mut Fft3Workspace) {
         assert_eq!(coeffs.len(), self.len(), "wave_to_grid: coefficient count");
         assert_eq!(buf.len(), self.grid.len(), "wave_to_grid: buffer size");
         buf.fill(c64::ZERO);
         for (slot, &c) in self.g_slot.iter().zip(coeffs) {
             buf[*slot] = c;
         }
-        self.fft.inverse(buf);
+        self.fft.inverse_with(buf, ws);
         // inverse = (1/N)·Σ; we need (1/√Ω)·Σ → scale by N/√Ω.
         let scale = self.grid.len() as f64 / self.grid.volume().sqrt();
         for v in buf.iter_mut() {
@@ -144,10 +180,21 @@ impl PwBasis {
     /// Analyzes a grid function back into planewave coefficients: the exact
     /// left inverse of [`PwBasis::wave_to_grid`] (and the adjoint up to the
     /// `dv` metric, used to project `V·ψ` onto the basis).
+    ///
+    /// Convenience wrapper over [`PwBasis::grid_to_wave_with`] backed by
+    /// the basis workspace pool.
     pub fn grid_to_wave(&self, buf: &mut [c64], coeffs: &mut [c64]) {
+        let mut ws = self.take_fft_workspace();
+        self.grid_to_wave_with(buf, coeffs, &mut ws);
+        self.return_fft_workspace(ws);
+    }
+
+    /// [`PwBasis::grid_to_wave`] through caller-provided FFT scratch —
+    /// the allocation-free hot-path entry point.
+    pub fn grid_to_wave_with(&self, buf: &mut [c64], coeffs: &mut [c64], ws: &mut Fft3Workspace) {
         assert_eq!(coeffs.len(), self.len(), "grid_to_wave: coefficient count");
         assert_eq!(buf.len(), self.grid.len(), "grid_to_wave: buffer size");
-        self.fft.forward(buf);
+        self.fft.forward_with(buf, ws);
         // forward = Σ_j …; c_G = (√Ω/N)·forward.
         let scale = self.grid.volume().sqrt() / self.grid.len() as f64;
         for (c, slot) in coeffs.iter_mut().zip(&self.g_slot) {

@@ -9,10 +9,11 @@
 //! fragments would be 3000 × 200").
 
 use crate::PwBasis;
+use ls3df_fft::Fft3Workspace;
 use ls3df_grid::RealField;
 use ls3df_math::gemm::{self, Op};
+use ls3df_math::vec_ops;
 use ls3df_math::{c64, Matrix};
-use rayon::prelude::*;
 
 /// Assembled Kleinman–Bylander nonlocal potential for a set of atoms on a
 /// given basis: `V_NL = Σ_a E_a·|β_a⟩⟨β_a|` with `⟨G|β_a⟩` normalized over
@@ -51,6 +52,8 @@ impl NonlocalPotential {
         let active: Vec<usize> = (0..positions.len()).filter(|&a| e_kb[a] != 0.0).collect();
         let npw = basis.len();
         let mut projectors = Matrix::zeros(active.len(), npw);
+        // alloc-audit: projector assembly — once per Hamiltonian geometry,
+        // never inside the CG loop.
         let mut energies = Vec::with_capacity(active.len());
         for (row, &a) in active.iter().enumerate() {
             let r_a = positions[a];
@@ -120,6 +123,16 @@ impl NonlocalPotential {
         );
     }
 
+    /// `hpsi += V_NL·psi` for a single band, allocation-free: one
+    /// `dotc`/`axpy` pair per projector, no intermediate matrix.
+    pub fn accumulate_vec(&self, psi: &[c64], hpsi: &mut [c64]) {
+        for (p, &e) in self.energies.iter().enumerate() {
+            let beta = self.projectors.row(p);
+            let coef = vec_ops::dotc(beta, psi).scale(e);
+            vec_ops::axpy(coef, beta, hpsi);
+        }
+    }
+
     /// Nonlocal energy contribution `Σ_b f_b·Σ_p E_p·|⟨β_p|ψ_b⟩|²`.
     pub fn energy(&self, psi: &Matrix<c64>, occupations: &[f64]) -> f64 {
         if self.is_empty() {
@@ -136,6 +149,17 @@ impl NonlocalPotential {
         }
         e
     }
+}
+
+/// Reusable scratch for [`Hamiltonian`] applications: the real-space
+/// buffer for the `V(r)·ψ(r)` product plus the FFT workspaces behind the
+/// pair of grid transforms. One per thread (or band block); never shared
+/// concurrently.
+pub struct HamWorkspace {
+    /// Real-space grid buffer (`ngrid` points).
+    grid: Vec<c64>,
+    /// Scratch for the forward/inverse 3-D transforms.
+    fft: Fft3Workspace,
 }
 
 /// The Kohn–Sham Hamiltonian for one (fragment or global) problem.
@@ -200,50 +224,89 @@ impl<'a> Hamiltonian<'a> {
         self.basis
     }
 
-    /// Applies `H` to a block of bands, band-parallel over rows.
+    /// Builds the reusable scratch one `H·ψ` application needs (grid
+    /// buffer + FFT workspaces). Build once per thread / band block and
+    /// pass to the `*_with` application methods.
+    pub fn workspace(&self) -> HamWorkspace {
+        HamWorkspace {
+            // alloc-audit: one-time workspace setup, not a per-application
+            // cost — every later apply_*_with call is heap-free.
+            grid: vec![c64::ZERO; self.basis.grid().len()],
+            fft: self.basis.fft().workspace(),
+        }
+    }
+
+    /// Applies `H` to a block of bands.
+    ///
+    /// Convenience wrapper over [`Hamiltonian::apply_block_with`]. The
+    /// transforms run band-sequentially: LS3DF parallelizes over
+    /// fragments one level up, and a sequential inner loop keeps the
+    /// steady state allocation-free (the shim's parallel iterators buffer
+    /// their input).
     pub fn apply_block(&self, psi: &Matrix<c64>) -> Matrix<c64> {
-        let nb = psi.rows();
-        let npw = psi.cols();
-        assert_eq!(npw, self.basis.len(), "apply_block: basis size mismatch");
-        let mut hpsi = Matrix::zeros(nb, npw);
-        let g2 = &self.kg2;
-        let v = self.v_local.as_slice();
-        let ngrid = self.basis.grid().len();
-
-        // Audited reduction: one band per fixed-size chunk (npw, a problem
-        // dimension — never thread count); each H·ψ row is computed
-        // independently, so output is bit-identical across LS3DF_THREADS.
-        hpsi.as_mut_slice()
-            .par_chunks_mut(npw)
-            .zip(psi.as_slice().par_chunks(npw))
-            .for_each(|(h_row, p_row)| {
-                let mut buf = vec![c64::ZERO; ngrid];
-                // Local potential via grid.
-                self.basis.wave_to_grid(p_row, &mut buf);
-                for (b, &vv) in buf.iter_mut().zip(v) {
-                    *b = b.scale(vv);
-                }
-                self.basis.grid_to_wave(&mut buf, h_row);
-                // Kinetic, diagonal in G.
-                for ((h, &p), &g2i) in h_row.iter_mut().zip(p_row).zip(g2) {
-                    *h += p.scale(0.5 * g2i);
-                }
-            });
-
-        self.nonlocal.accumulate_block(psi, &mut hpsi);
+        // alloc-audit: one-shot path; hot loops hold a HamWorkspace and
+        // a preallocated output block.
+        let mut hpsi = Matrix::zeros(psi.rows(), psi.cols());
+        let mut ws = self.workspace();
+        self.apply_block_with(psi, &mut hpsi, &mut ws);
         hpsi
     }
 
+    /// Applies `H` to a block of bands into a caller-owned output block
+    /// using caller-owned scratch. Performs no heap allocation.
+    pub fn apply_block_with(
+        &self,
+        psi: &Matrix<c64>,
+        hpsi: &mut Matrix<c64>,
+        ws: &mut HamWorkspace,
+    ) {
+        assert_eq!(psi.rows(), hpsi.rows(), "apply_block: band count mismatch");
+        assert_eq!(psi.cols(), hpsi.cols(), "apply_block: width mismatch");
+        for b in 0..psi.rows() {
+            self.apply_vec_with(psi.row(b), hpsi.row_mut(b), ws);
+        }
+    }
+
     /// Applies `H` to a single band (the band-by-band code path).
+    ///
+    /// Convenience wrapper over [`Hamiltonian::apply_vec_with`].
     pub fn apply_vec(&self, psi: &[c64]) -> Vec<c64> {
-        let m = Matrix::from_vec(1, psi.len(), psi.to_vec());
-        self.apply_block(&m).into_vec()
+        // alloc-audit: one-shot path; hot loops hold a HamWorkspace and a
+        // preallocated output vector.
+        let mut hpsi = vec![c64::ZERO; psi.len()];
+        let mut ws = self.workspace();
+        self.apply_vec_with(psi, &mut hpsi, &mut ws);
+        hpsi
+    }
+
+    /// `hpsi = H·psi` for one band through caller-owned scratch — the
+    /// allocation-free core every other application path wraps.
+    /// `hpsi` is fully overwritten.
+    pub fn apply_vec_with(&self, psi: &[c64], hpsi: &mut [c64], ws: &mut HamWorkspace) {
+        assert_eq!(
+            psi.len(),
+            self.basis.len(),
+            "apply_vec: basis size mismatch"
+        );
+        assert_eq!(hpsi.len(), psi.len(), "apply_vec: output size mismatch");
+        // Local potential via grid: ψ(G) → ψ(r) → V(r)·ψ(r) → (Vψ)(G).
+        self.basis.wave_to_grid_with(psi, &mut ws.grid, &mut ws.fft);
+        for (b, &vv) in ws.grid.iter_mut().zip(self.v_local.as_slice()) {
+            *b = b.scale(vv);
+        }
+        self.basis
+            .grid_to_wave_with(&mut ws.grid, hpsi, &mut ws.fft);
+        // Kinetic, diagonal in G.
+        for ((h, &p), &g2i) in hpsi.iter_mut().zip(psi).zip(&self.kg2) {
+            *h += p.scale(0.5 * g2i);
+        }
+        self.nonlocal.accumulate_vec(psi, hpsi);
     }
 
     /// Rayleigh quotient `⟨ψ|H|ψ⟩` for a normalized band.
     pub fn expectation(&self, psi: &[c64]) -> f64 {
         let hpsi = self.apply_vec(psi);
-        ls3df_math::vec_ops::dotc(psi, &hpsi).re
+        vec_ops::dotc(psi, &hpsi).re
     }
 
     /// Kinetic energy `⟨ψ|½|−i∇+k|²|ψ⟩` of one band.

@@ -4,14 +4,116 @@
 //! `V_H(G) = 4π·ρ(G)/|G|²`, with the `G = 0` component set to zero
 //! (jellium convention for charge-neutral cells).
 
-use ls3df_fft::Fft3;
+use ls3df_fft::{Fft3, Fft3Workspace};
 use ls3df_grid::{Grid3, RealField};
 use ls3df_math::c64;
+use std::sync::Mutex;
+
+/// Scratch one Poisson solve needs (complex grid buffer + FFT scratch).
+struct HartreeScratch {
+    buf: Vec<c64>,
+    fft: Fft3Workspace,
+}
+
+/// Cached FFT Poisson solver for one grid geometry: the `Fft3` plan
+/// (including Bluestein filter FFTs) and the reciprocal-space kernel
+/// `4π/(|G|²·N)` are built once at construction, not per solve.
+///
+/// [`HartreeSolver::solve_into`] is the steady-state GENPOT entry point:
+/// after the first call has warmed the internal scratch pool it performs
+/// no heap allocation.
+pub struct HartreeSolver {
+    grid: Grid3,
+    fft: Fft3,
+    /// `4π/(|G|²·N)` per grid point, `0` in the `G = 0` slot.
+    coeffs: Vec<f64>,
+    pool: Mutex<Vec<HartreeScratch>>,
+}
+
+impl HartreeSolver {
+    /// Builds the solver for a grid geometry (plan + kernel, once).
+    pub fn new(grid: Grid3) -> Self {
+        let fft = Fft3::new(grid.dims[0], grid.dims[1], grid.dims[2]);
+        let n = grid.len() as f64;
+        let coeffs = (0..grid.len())
+            .map(|idx| {
+                let (ix, iy, iz) = grid.coords(idx);
+                let g2 = grid.g2(ix, iy, iz);
+                if g2 == 0.0 {
+                    0.0
+                } else {
+                    4.0 * std::f64::consts::PI / (g2 * n)
+                }
+            })
+            .collect();
+        HartreeSolver {
+            grid,
+            fft,
+            coeffs,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The grid this solver was built for.
+    pub fn grid(&self) -> &Grid3 {
+        &self.grid
+    }
+
+    /// The cached FFT plan (shared with callers that need one-off grid
+    /// transforms on the same geometry).
+    pub fn fft(&self) -> &Fft3 {
+        &self.fft
+    }
+
+    /// Solves `∇²V_H = −4πρ` into `out` (both on the solver's grid).
+    /// Heap-free once the internal scratch pool is warm.
+    pub fn solve_into(&self, rho: &RealField, out: &mut RealField) {
+        assert_eq!(rho.grid(), &self.grid, "hartree: density grid mismatch");
+        assert_eq!(out.grid(), &self.grid, "hartree: output grid mismatch");
+        let scratch = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        // alloc-audit: pool warmup only — steady state reuses the scratch.
+        let mut scratch = scratch.unwrap_or_else(|| HartreeScratch {
+            buf: vec![c64::ZERO; self.grid.len()],
+            fft: self.fft.workspace(),
+        });
+        for (b, &r) in scratch.buf.iter_mut().zip(rho.as_slice()) {
+            *b = c64::real(r);
+        }
+        self.fft.forward_with(&mut scratch.buf, &mut scratch.fft);
+        for (v, &k) in scratch.buf.iter_mut().zip(&self.coeffs) {
+            // k = 0 in the G = 0 slot projects out the mean (jellium),
+            // matching the branch in hartree_potential_with exactly
+            // (x·0 = 0 for the finite FFT outputs here).
+            *v = v.scale(k);
+        }
+        self.fft.inverse_with(&mut scratch.buf, &mut scratch.fft);
+        // inverse includes 1/N, but the kernel already divided by N above;
+        // compensate.
+        let n = self.grid.len() as f64;
+        for (o, v) in out.as_mut_slice().iter_mut().zip(&scratch.buf) {
+            *o = v.re * n;
+        }
+        self.pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(scratch);
+    }
+
+    /// Allocating convenience wrapper over [`HartreeSolver::solve_into`].
+    pub fn solve(&self, rho: &RealField) -> RealField {
+        let mut out = RealField::zeros(self.grid.clone());
+        self.solve_into(rho, &mut out);
+        out
+    }
+}
 
 /// Solves the periodic Poisson equation for the Hartree potential of
 /// `rho` (electrons·Bohr⁻³, positive = electron density). Returns the
 /// potential in Hartree acting on electrons (repulsive: positive where the
 /// density clumps).
+///
+/// One-shot path (plan built per call): SCF loops should hold a
+/// [`HartreeSolver`].
 pub fn hartree_potential(rho: &RealField) -> RealField {
     let grid = rho.grid().clone();
     let fft = Fft3::new(grid.dims[0], grid.dims[1], grid.dims[2]);
@@ -78,6 +180,31 @@ mod tests {
                 expect * (g * x).cos()
             );
         }
+    }
+
+    #[test]
+    fn cached_solver_matches_one_shot_path() {
+        let grid = Grid3::new([10, 8, 9], [7.0, 5.5, 6.0]);
+        let rho = RealField::from_fn(grid.clone(), |r| {
+            (r[0] * 0.9).sin() + 0.3 * (r[1] * 1.1).cos() * (r[2] * 0.5).sin()
+        });
+        let reference = hartree_potential(&rho);
+        let solver = HartreeSolver::new(grid.clone());
+        let mut out = RealField::zeros(grid);
+        // Twice: the second call exercises the warmed (dirty) scratch pool.
+        solver.solve_into(&rho, &mut out);
+        solver.solve_into(&rho, &mut out);
+        let diff = reference.diff(&out);
+        assert!(
+            diff.max_abs() < 1e-11,
+            "cached vs one-shot: {}",
+            diff.max_abs()
+        );
+        let again = solver.solve(&rho);
+        assert!(
+            out.diff(&again).max_abs() == 0.0,
+            "solve vs solve_into drifted"
+        );
     }
 
     #[test]

@@ -36,10 +36,16 @@ pub use davidson::solve_davidson;
 pub use dos::{dos, Dos};
 pub use fd_reference::{apply_fd, fd_ground_state};
 pub use forces::{ewald_forces, local_forces, nonlocal_forces, total_forces};
-pub use hamiltonian::{Hamiltonian, NonlocalPotential};
+pub use hamiltonian::{HamWorkspace, Hamiltonian, NonlocalPotential};
+pub use hartree::HartreeSolver;
 pub use kpoints::{band_structure, gap_from_bands, monkhorst_pack, scf_kpoints, KPoint};
 pub use mixing::{Mixer, MixerState};
-pub use potential::{effective_potential, initial_density, ionic_potential, PwAtom};
+pub use potential::{
+    effective_potential, effective_potential_with, initial_density, ionic_potential, PwAtom,
+};
 pub use realspace_nl::{apply_block_realspace, RealSpaceNonlocal};
 pub use scf::{grid_for, scf, DftSystem, ScfOptions, ScfResult, ScfStep, SolverMethod};
-pub use solver::{solve_all_band, solve_band_by_band, SolveStats, SolverOptions};
+pub use solver::{
+    cg_init, cg_residual, cg_step, solve_all_band, solve_all_band_with, solve_band_by_band,
+    CgWorkspace, SolveStats, SolverOptions,
+};

@@ -44,6 +44,12 @@ pub struct MixerState {
     scheme: Mixer,
     /// (input potential, residual = output − input) history for Pulay.
     history: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Kerker damping factors `α·G²/(G²+q₀²)` cached per grid geometry —
+    /// the reciprocal-space sweep then reads a flat table instead of
+    /// recomputing `coords`/`g2` per point per iteration.
+    kerker: Option<(ls3df_grid::Grid3, Vec<f64>)>,
+    /// Complex scratch reused across the Kerker FFT round-trips.
+    scratch: Vec<c64>,
 }
 
 impl MixerState {
@@ -52,6 +58,8 @@ impl MixerState {
         MixerState {
             scheme,
             history: Vec::new(),
+            kerker: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -68,22 +76,35 @@ impl MixerState {
             }
             Mixer::Kerker { alpha, q0 } => {
                 let grid = v_in.grid();
-                let mut diff_g: Vec<c64> = v_out
-                    .diff(v_in)
-                    .as_slice()
-                    .iter()
-                    .map(|&x| c64::real(x))
-                    .collect();
-                fft.forward(&mut diff_g);
-                for (idx, v) in diff_g.iter_mut().enumerate() {
-                    let (ix, iy, iz) = grid.coords(idx);
-                    let g2 = grid.g2(ix, iy, iz);
-                    let damp = if g2 == 0.0 { 1.0 } else { g2 / (g2 + q0 * q0) };
-                    *v = v.scale(alpha * damp);
+                if !matches!(&self.kerker, Some((g, _)) if g == grid) {
+                    let factors = (0..grid.len())
+                        .map(|idx| {
+                            let (ix, iy, iz) = grid.coords(idx);
+                            let g2 = grid.g2(ix, iy, iz);
+                            let damp = if g2 == 0.0 { 1.0 } else { g2 / (g2 + q0 * q0) };
+                            alpha * damp
+                        })
+                        .collect();
+                    self.kerker = Some((grid.clone(), factors));
                 }
-                fft.inverse(&mut diff_g);
+                let Some((_, factors)) = &self.kerker else {
+                    unreachable!("cache built above")
+                };
+                self.scratch.resize(grid.len(), c64::ZERO);
+                for (s, (&o, &i)) in self
+                    .scratch
+                    .iter_mut()
+                    .zip(v_out.as_slice().iter().zip(v_in.as_slice()))
+                {
+                    *s = c64::real(o - i);
+                }
+                fft.forward(&mut self.scratch);
+                for (v, &k) in self.scratch.iter_mut().zip(factors) {
+                    *v = v.scale(k);
+                }
+                fft.inverse(&mut self.scratch);
                 let mut v = v_in.clone();
-                for (o, d) in v.as_mut_slice().iter_mut().zip(&diff_g) {
+                for (o, d) in v.as_mut_slice().iter_mut().zip(&self.scratch) {
                     *o += d.re;
                 }
                 v

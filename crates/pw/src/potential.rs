@@ -84,6 +84,31 @@ pub fn effective_potential(
 ) -> (RealField, PotentialEnergies) {
     let grid = basis.grid();
     let v_h = hartree::hartree_potential_with(rho, basis.fft(), grid);
+    assemble_effective(grid, v_ion, rho, v_h)
+}
+
+/// [`effective_potential`] through a cached [`hartree::HartreeSolver`], so
+/// repeated SCF iterations reuse the Poisson plan, reciprocal kernel, and
+/// FFT scratch instead of rebuilding them per call.
+pub fn effective_potential_with(
+    basis: &PwBasis,
+    v_ion: &RealField,
+    rho: &RealField,
+    hartree: &hartree::HartreeSolver,
+) -> (RealField, PotentialEnergies) {
+    let grid = basis.grid();
+    assert_eq!(hartree.grid(), grid, "effective_potential: solver grid");
+    let mut v_h = RealField::zeros(grid.clone());
+    hartree.solve_into(rho, &mut v_h);
+    assemble_effective(grid, v_ion, rho, v_h)
+}
+
+fn assemble_effective(
+    grid: &ls3df_grid::Grid3,
+    v_ion: &RealField,
+    rho: &RealField,
+    v_h: RealField,
+) -> (RealField, PotentialEnergies) {
     let mut v_eff = v_ion.clone();
     v_eff.add_scaled(1.0, &v_h);
     let dv = grid.dv();

@@ -8,9 +8,12 @@
 
 use crate::density::{compute_density, insulator_occupations};
 use crate::hamiltonian::{Hamiltonian, NonlocalPotential};
+use crate::hartree::HartreeSolver;
 use crate::mixing::{Mixer, MixerState};
-use crate::potential::{effective_potential, initial_density, ionic_potential, PwAtom};
-use crate::solver::{solve_all_band, solve_band_by_band, SolveStats, SolverOptions};
+use crate::potential::{effective_potential_with, initial_density, ionic_potential, PwAtom};
+use crate::solver::{
+    solve_all_band_with, solve_band_by_band, CgWorkspace, SolveStats, SolverOptions,
+};
 use crate::{ewald, PwBasis};
 use ls3df_grid::{Grid3, RealField};
 use ls3df_math::{c64, Matrix};
@@ -191,7 +194,11 @@ pub fn scf(system: &DftSystem, opts: &ScfOptions) -> ScfResult {
     let mut psi = random_start(n_bands, &basis, 12345);
     let e_ii = system.ewald_energy();
 
-    let (mut v_in, _) = effective_potential(&basis, &v_ion, &rho0);
+    // Per-geometry caches shared by every SCF iteration: the Poisson
+    // solver (FFT plan + reciprocal kernel) and the CG block scratch.
+    let hartree = HartreeSolver::new(basis.grid().clone());
+    let mut cg_ws: Option<CgWorkspace> = None;
+    let (mut v_in, _) = effective_potential_with(&basis, &v_ion, &rho0, &hartree);
     let mut mixer = MixerState::new(opts.mixer.clone());
     let mut history: Vec<ScfStep> = Vec::new();
     let mut converged = false;
@@ -202,14 +209,17 @@ pub fn scf(system: &DftSystem, opts: &ScfOptions) -> ScfResult {
         // Solve the bands in the current potential.
         let h = Hamiltonian::new(&basis, v_in.clone(), &nonlocal);
         let stats: SolveStats = match opts.method {
-            SolverMethod::AllBand => solve_all_band(&h, &mut psi, &opts.solver),
+            SolverMethod::AllBand => {
+                let ws = cg_ws.get_or_insert_with(|| CgWorkspace::new(&h, psi.rows()));
+                solve_all_band_with(&h, &mut psi, &opts.solver, ws)
+            }
             SolverMethod::BandByBand => solve_band_by_band(&h, &mut psi, &opts.solver),
         };
         eigenvalues = stats.eigenvalues.clone();
 
         // New density and output potential.
         rho = compute_density(&basis, &psi, &occupations);
-        let (v_out, energies) = effective_potential(&basis, &v_ion, &rho);
+        let (v_out, energies) = effective_potential_with(&basis, &v_ion, &rho, &hartree);
 
         // Total energy: E = Σfε − ∫V_in ρ + ∫V_ion ρ + E_H + E_xc + E_II.
         let band_energy: f64 = eigenvalues

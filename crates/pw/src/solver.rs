@@ -14,7 +14,7 @@
 //! Both use the Teter–Payne–Allan kinetic preconditioner and Rayleigh–Ritz
 //! subspace rotations, and converge to the same eigenpairs.
 
-use crate::{Hamiltonian, PwBasis};
+use crate::{HamWorkspace, Hamiltonian, PwBasis};
 use ls3df_math::gemm::{self, Op};
 use ls3df_math::ortho;
 use ls3df_math::vec_ops::{axpy, dotc, dscal, nrm2};
@@ -103,6 +103,193 @@ fn line_minimize(psi: &mut [c64], hpsi: &mut [c64], d: &mut [c64], hd: &mut [c64
     energy(theta)
 }
 
+/// Preallocated scratch for the all-band CG solver: every per-iteration
+/// temporary the loop needs, sized once for an `(n_bands × n_pw)` block.
+///
+/// Holding one of these across [`solve_all_band_with`] calls (or driving
+/// [`cg_residual`]/[`cg_step`] directly) keeps the steady-state inner
+/// loop free of heap allocations — the property the `alloc-count` test
+/// asserts. A workspace is tied to the block shape and grid it was built
+/// for; never share one between threads.
+pub struct CgWorkspace {
+    /// `H·ψ` for the current block (kept in sync with `psi` by the steps).
+    hpsi: Matrix<c64>,
+    /// Residual block `R_b = Hψ_b − ε_b·ψ_b`.
+    resid: Matrix<c64>,
+    /// Preconditioned residual block.
+    pr: Matrix<c64>,
+    /// Current search-direction block.
+    d: Matrix<c64>,
+    /// Previous search directions (CG memory).
+    d_prev: Matrix<c64>,
+    /// `H·d` for the search block.
+    hd: Matrix<c64>,
+    /// Rotation output scratch (swapped with `psi`/`hpsi` during RR).
+    rot: Matrix<c64>,
+    /// `(n_bands × n_bands)` overlap scratch for subspace projection.
+    overlap: Matrix<c64>,
+    /// Per-band `⟨R|P·R⟩` of the current step.
+    rkr: Vec<f64>,
+    /// Per-band `⟨R|P·R⟩` of the previous step.
+    rkr_prev: Vec<f64>,
+    /// Current per-band Rayleigh quotients / eigenvalue estimates.
+    eigenvalues: Vec<f64>,
+    /// Whether `d_prev` holds a valid direction from the previous step.
+    have_dir: bool,
+    /// Scratch for the `H·ψ` applications.
+    ham: HamWorkspace,
+}
+
+impl CgWorkspace {
+    /// Builds scratch for `n_bands` bands on the Hamiltonian's basis.
+    pub fn new(h: &Hamiltonian<'_>, n_bands: usize) -> Self {
+        let npw = h.basis().len();
+        // alloc-audit: workspace construction — the one-time setup that
+        // makes every later cg_init/cg_residual/cg_step call heap-free.
+        CgWorkspace {
+            hpsi: Matrix::zeros(n_bands, npw),
+            resid: Matrix::zeros(n_bands, npw),
+            pr: Matrix::zeros(n_bands, npw),
+            d: Matrix::zeros(n_bands, npw),
+            d_prev: Matrix::zeros(n_bands, npw),
+            hd: Matrix::zeros(n_bands, npw),
+            rot: Matrix::zeros(n_bands, npw),
+            overlap: Matrix::zeros(n_bands, n_bands),
+            rkr: vec![0.0; n_bands], // alloc-audit: once per workspace
+            rkr_prev: vec![0.0; n_bands],
+            eigenvalues: vec![0.0; n_bands],
+            have_dir: false,
+            ham: h.workspace(),
+        }
+    }
+
+    /// Current per-band eigenvalue estimates (Rayleigh quotients).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+}
+
+/// Initializes the CG state for a (new) block: computes `H·ψ` and the
+/// per-band Rayleigh quotients. Allocation-free; call once before a
+/// sequence of [`cg_residual`]/[`cg_step`] pairs.
+pub fn cg_init(h: &Hamiltonian<'_>, psi: &Matrix<c64>, ws: &mut CgWorkspace) {
+    h.apply_block_with(psi, &mut ws.hpsi, &mut ws.ham);
+    for b in 0..psi.rows() {
+        ws.eigenvalues[b] = dotc(psi.row(b), ws.hpsi.row(b)).re;
+    }
+    ws.have_dir = false;
+}
+
+/// Rayleigh–Ritz housekeeping: diagonalizes the subspace Hamiltonian and
+/// rotates `psi`, `H·ψ`, and the CG memory into the eigenbasis.
+///
+/// This is the once-per-outer-iteration step that owns the (small, `n_b²`)
+/// eigensolve — the only part of the loop allowed to allocate.
+fn rr_rotate(psi: &mut Matrix<c64>, ws: &mut CgWorkspace) {
+    let nb = psi.rows();
+    let m = Hamiltonian::subspace_matrix(psi, &ws.hpsi);
+    let eig = eigh(&m);
+    ws.eigenvalues.copy_from_slice(&eig.values);
+    // out[i] = Σ_j vectors[(j,i)]·block[j] — same arithmetic as the GEMM
+    // with Op::Trans this replaces, done band-sequentially through the
+    // preallocated rotation scratch.
+    let rotate_into = |block: &Matrix<c64>, out: &mut Matrix<c64>| {
+        for i in 0..nb {
+            let row = out.row_mut(i);
+            row.fill(c64::ZERO);
+        }
+        for i in 0..nb {
+            for j in 0..nb {
+                axpy(eig.vectors[(j, i)], block.row(j), out.row_mut(i));
+            }
+        }
+    };
+    rotate_into(psi, &mut ws.rot);
+    std::mem::swap(psi, &mut ws.rot);
+    rotate_into(&ws.hpsi, &mut ws.rot);
+    std::mem::swap(&mut ws.hpsi, &mut ws.rot);
+    if ws.have_dir {
+        rotate_into(&ws.d_prev, &mut ws.rot);
+        std::mem::swap(&mut ws.d_prev, &mut ws.rot);
+    }
+}
+
+/// Computes the residual block `R_b = Hψ_b − ε_b·ψ_b` into the workspace
+/// and returns the worst band residual norm. Allocation-free.
+pub fn cg_residual(psi: &Matrix<c64>, ws: &mut CgWorkspace) -> f64 {
+    let nb = psi.rows();
+    ws.resid.as_mut_slice().copy_from_slice(ws.hpsi.as_slice());
+    let mut worst = 0.0_f64;
+    for b in 0..nb {
+        let eps = ws.eigenvalues[b];
+        for (r, &p) in ws.resid.row_mut(b).iter_mut().zip(psi.row(b)) {
+            *r -= p.scale(eps);
+        }
+        worst = worst.max(nrm2(ws.resid.row(b)));
+    }
+    worst
+}
+
+/// Advances the whole block one preconditioned CG + line-minimization
+/// step, in place. Requires the residuals from [`cg_residual`]; pass
+/// `reset = true` to drop the CG memory (periodic restart).
+/// Allocation-free — the steady-state hot path of PEtot_F.
+pub fn cg_step(h: &Hamiltonian<'_>, psi: &mut Matrix<c64>, ws: &mut CgWorkspace, reset: bool) {
+    let nb = psi.rows();
+
+    // Preconditioned steepest-descent block + CG memory.
+    for b in 0..nb {
+        let ekin = h.kinetic_expectation(psi.row(b));
+        precondition(h.basis(), ws.resid.row(b), ekin, ws.pr.row_mut(b));
+        ws.rkr[b] = dotc(ws.resid.row(b), ws.pr.row(b)).re.max(1e-300);
+    }
+    ws.d.as_mut_slice().copy_from_slice(ws.pr.as_slice());
+    if ws.have_dir && !reset {
+        for b in 0..nb {
+            let beta = ws.rkr[b] / ws.rkr_prev[b].max(1e-300);
+            for (x, &p) in ws.d.row_mut(b).iter_mut().zip(ws.d_prev.row(b)) {
+                *x = x.mul_add(c64::real(beta), p);
+            }
+        }
+    }
+    ws.rkr_prev.copy_from_slice(&ws.rkr);
+
+    // Project the search block out of the occupied subspace and normalize
+    // rows. Overlaps are taken against the unmodified block first (classic
+    // Gram–Schmidt, matching the GEMM-pair formulation this replaces).
+    for b in 0..nb {
+        for j in 0..nb {
+            // O[b][j] = Σ_G d_b·conj(ψ_j), the ψ_j coefficient in d_b.
+            ws.overlap[(b, j)] = dotc(psi.row(j), ws.d.row(b));
+        }
+    }
+    for b in 0..nb {
+        for j in 0..nb {
+            axpy(-ws.overlap[(b, j)], psi.row(j), ws.d.row_mut(b));
+        }
+        let n = nrm2(ws.d.row(b));
+        if n > 1e-300 {
+            dscal(1.0 / n, ws.d.row_mut(b));
+        }
+    }
+    ws.d_prev.as_mut_slice().copy_from_slice(ws.d.as_slice());
+    ws.have_dir = true;
+
+    // One H application for the whole search block, then per-band line
+    // minimization.
+    h.apply_block_with(&ws.d, &mut ws.hd, &mut ws.ham);
+    for b in 0..nb {
+        let a = ws.eigenvalues[b];
+        ws.eigenvalues[b] = line_minimize(
+            psi.row_mut(b),
+            ws.hpsi.row_mut(b),
+            ws.d.row_mut(b),
+            ws.hd.row_mut(b),
+            a,
+        );
+    }
+}
+
 /// All-band preconditioned conjugate gradient with Rayleigh–Ritz subspace
 /// rotation and overlap-matrix (Cholesky) orthonormalization.
 ///
@@ -113,112 +300,41 @@ pub fn solve_all_band(
     psi: &mut Matrix<c64>,
     opts: &SolverOptions,
 ) -> SolveStats {
+    // alloc-audit: once per solve — the CG loop itself reuses this scratch.
+    let mut ws = CgWorkspace::new(h, psi.rows());
+    solve_all_band_with(h, psi, opts, &mut ws)
+}
+
+/// [`solve_all_band`] driving caller-owned scratch, so repeated solves
+/// (one per SCF iteration) reuse one set of block temporaries.
+pub fn solve_all_band_with(
+    h: &Hamiltonian<'_>,
+    psi: &mut Matrix<c64>,
+    opts: &SolverOptions,
+    ws: &mut CgWorkspace,
+) -> SolveStats {
     let nb = psi.rows();
     let npw = psi.cols();
     assert!(nb >= 1 && npw == h.basis().len());
     ortho::cholesky_orthonormalize(psi, 1.0).expect("independent start vectors");
-    let mut hpsi = h.apply_block(psi);
-    let mut dir: Option<Matrix<c64>> = None;
-    let mut rkr_prev = vec![0.0_f64; nb];
-    let mut eigenvalues = vec![0.0_f64; nb];
+    cg_init(h, psi, ws);
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
 
     for iter in 0..opts.max_iter {
         iterations = iter + 1;
-        // Rayleigh–Ritz rotation.
-        let m = Hamiltonian::subspace_matrix(psi, &hpsi);
-        let eig = eigh(&m);
-        eigenvalues.copy_from_slice(&eig.values);
-        let rotate = |block: &Matrix<c64>| -> Matrix<c64> {
-            let mut out = Matrix::zeros(nb, npw);
-            gemm::gemm(
-                c64::ONE,
-                &eig.vectors,
-                Op::Trans,
-                block,
-                Op::None,
-                c64::ZERO,
-                &mut out,
-            );
-            out
-        };
-        *psi = rotate(psi);
-        hpsi = rotate(&hpsi);
-        if let Some(d) = dir.take() {
-            dir = Some(rotate(&d));
-        }
+        // Rayleigh–Ritz rotation (housekeeping; owns the small eigensolve).
+        rr_rotate(psi, ws);
 
         // Residuals R_b = Hψ_b − ε_b ψ_b.
-        let mut resid = hpsi.clone();
-        for b in 0..nb {
-            let eps = eigenvalues[b];
-            let (r_row, p_row) = (resid.row_mut(b), psi.row(b));
-            for (r, &p) in r_row.iter_mut().zip(p_row) {
-                *r -= p.scale(eps);
-            }
-        }
-        residual = (0..nb).map(|b| nrm2(resid.row(b))).fold(0.0, f64::max);
+        residual = cg_residual(psi, ws);
         if residual <= opts.tol {
             break;
         }
 
-        // Preconditioned steepest-descent block + CG memory.
-        let mut pr = Matrix::zeros(nb, npw);
-        let mut rkr = vec![0.0_f64; nb];
-        for b in 0..nb {
-            let ekin = h.kinetic_expectation(psi.row(b));
-            let (pr_row, r_row) = (pr.row_mut(b), resid.row(b));
-            precondition(h.basis(), r_row, ekin, pr_row);
-            rkr[b] = dotc(r_row, pr_row).re.max(1e-300);
-        }
-        let reset = iter % opts.cg_reset == 0;
-        let mut d = match (&dir, reset) {
-            (Some(prev), false) => {
-                let mut d = pr.clone();
-                for b in 0..nb {
-                    let beta = rkr[b] / rkr_prev[b].max(1e-300);
-                    let (d_row, prev_row) = (d.row_mut(b), prev.row(b));
-                    for (x, &p) in d_row.iter_mut().zip(prev_row) {
-                        *x = x.mul_add(c64::real(beta), p);
-                    }
-                }
-                d
-            }
-            _ => pr,
-        };
-        rkr_prev = rkr;
-
-        // Project the search block out of the occupied subspace (one GEMM
-        // pair) and normalize rows.
-        let overlap = gemm::matmul_nh(&d, psi); // O[b][j] = ⟨ψ_j|d_b⟩*… coefficient of ψ_j in d_b
-        gemm::gemm(
-            -c64::ONE,
-            &overlap,
-            Op::None,
-            psi,
-            Op::None,
-            c64::ONE,
-            &mut d,
-        );
-        for b in 0..nb {
-            let n = nrm2(d.row(b));
-            if n > 1e-300 {
-                dscal(1.0 / n, d.row_mut(b));
-            }
-        }
-        dir = Some(d.clone());
-
-        // One H application for the whole search block, then per-band line
-        // minimization.
-        let mut hd = h.apply_block(&d);
-        for b in 0..nb {
-            let a = eigenvalues[b];
-            let dr = d.row_mut(b);
-            let hdr = hd.row_mut(b);
-            let (pr_, hpr) = (psi.row_mut(b), hpsi.row_mut(b));
-            eigenvalues[b] = line_minimize(pr_, hpr, dr, hdr, a);
-        }
+        // The allocation-free hot path: precondition, β-combine, project,
+        // normalize, one H·d application, per-band line minimization.
+        cg_step(h, psi, ws, iter % opts.cg_reset == 0);
 
         // Re-impose exact orthonormality every few steps via the overlap
         // matrix; L⁻¹ is applied to Hψ too (linearity) so no extra H·ψ.
@@ -226,8 +342,8 @@ pub fn solve_all_band(
             let s = gemm::overlap_hermitian(psi, 1.0);
             let ch = ls3df_math::Cholesky::new(&s).expect("overlap stays positive definite");
             ch.solve_l_block(psi);
-            ch.solve_l_block(&mut hpsi);
-            dir = None; // search directions are stale after re-orthonormalization
+            ch.solve_l_block(&mut ws.hpsi);
+            ws.have_dir = false; // search directions are stale after re-orthonormalization
         }
     }
     // Leave the block exactly orthonormal for downstream consumers (density
@@ -236,7 +352,8 @@ pub fn solve_all_band(
     // The eigenvalues stay accurate to O(residual²).
     let _ = ortho::cholesky_orthonormalize(psi, 1.0);
     SolveStats {
-        eigenvalues,
+        // alloc-audit: result reporting, once per solve.
+        eigenvalues: ws.eigenvalues.clone(),
         residual,
         iterations,
         converged: residual <= opts.tol,
@@ -254,29 +371,39 @@ pub fn solve_band_by_band(
     let npw = psi.cols();
     assert!(npw == h.basis().len());
     ortho::gram_schmidt(psi, 1.0).expect("independent start vectors");
+    // Per-band working vectors, allocated once and reused across every
+    // band and CG step (the per-step loop below is heap-free).
+    // alloc-audit: once per solve, not per step.
     let mut eigenvalues = vec![0.0_f64; nb];
+    let mut v = vec![c64::ZERO; npw];
+    let mut hv = vec![c64::ZERO; npw];
+    let mut r = vec![c64::ZERO; npw]; // alloc-audit: once per solve
+    let mut pr = vec![c64::ZERO; npw];
+    let mut d = vec![c64::ZERO; npw];
+    let mut d_prev = vec![c64::ZERO; npw]; // alloc-audit: once per solve
+    let mut hd = vec![c64::ZERO; npw];
+    let mut ham_ws = h.workspace();
     let mut worst_residual = 0.0_f64;
     let mut iterations = 0;
 
     for b in 0..nb {
         // Work on band b, keeping it orthogonal to converged bands 0..b.
-        let mut v = psi.row(b).to_vec();
-        let mut hv = h.apply_vec(&v);
+        v.copy_from_slice(psi.row(b));
+        h.apply_vec_with(&v, &mut hv, &mut ham_ws);
         let mut eps = dotc(&v, &hv).re;
-        let mut d_prev: Option<Vec<c64>> = None;
+        let mut have_prev = false;
         let mut rkr_prev = 0.0_f64;
         let mut res = f64::INFINITY;
         for step in 0..opts.max_iter {
             iterations = iterations.max(step + 1);
             // Residual.
-            let mut r = hv.clone();
+            r.copy_from_slice(&hv);
             axpy(c64::real(-eps), &v, &mut r);
             res = nrm2(&r);
             if res <= opts.tol {
                 break;
             }
             // Precondition + project against bands ≤ b (BLAS-1/2 work).
-            let mut pr = vec![c64::ZERO; npw];
             precondition(h.basis(), &r, h.kinetic_expectation(&v), &mut pr);
             for j in 0..b {
                 let o = dotc(psi.row(j), &pr);
@@ -285,30 +412,27 @@ pub fn solve_band_by_band(
             let o = dotc(&v, &pr);
             axpy(-o, &v, &mut pr);
             let rkr = dotc(&r, &pr).re.max(1e-300);
-            let mut d = match (&d_prev, step % opts.cg_reset == 0) {
-                (Some(prev), false) => {
-                    let beta = rkr / rkr_prev.max(1e-300);
-                    let mut d = pr.clone();
-                    axpy(c64::real(beta), prev, &mut d);
-                    // Re-project the combined direction.
-                    for j in 0..b {
-                        let o = dotc(psi.row(j), &d);
-                        axpy(-o, psi.row(j), &mut d);
-                    }
-                    let o = dotc(&v, &d);
-                    axpy(-o, &v, &mut d);
-                    d
+            d.copy_from_slice(&pr);
+            if have_prev && step % opts.cg_reset != 0 {
+                let beta = rkr / rkr_prev.max(1e-300);
+                axpy(c64::real(beta), &d_prev, &mut d);
+                // Re-project the combined direction.
+                for j in 0..b {
+                    let o = dotc(psi.row(j), &d);
+                    axpy(-o, psi.row(j), &mut d);
                 }
-                _ => pr,
-            };
+                let o = dotc(&v, &d);
+                axpy(-o, &v, &mut d);
+            }
             rkr_prev = rkr;
             let n = nrm2(&d);
             if n < 1e-300 {
                 break;
             }
             dscal(1.0 / n, &mut d);
-            d_prev = Some(d.clone());
-            let mut hd = h.apply_vec(&d);
+            d_prev.copy_from_slice(&d);
+            have_prev = true;
+            h.apply_vec_with(&d, &mut hd, &mut ham_ws);
             eps = line_minimize(&mut v, &mut hv, &mut d, &mut hd, eps);
         }
         worst_residual = worst_residual.max(res);
@@ -332,9 +456,11 @@ pub fn solve_band_by_band(
     // orthonormality-preserving).
     let _ = ortho::cholesky_orthonormalize(psi, 1.0);
     // Final subspace rotation to disentangle near-degenerate bands.
+    // alloc-audit: once per solve (post-loop reporting, not the hot path).
     let mut hpsi = h.apply_block(psi);
     let m = Hamiltonian::subspace_matrix(psi, &hpsi);
     let eig = eigh(&m);
+    // alloc-audit: once per solve.
     let mut rotated = Matrix::zeros(nb, npw);
     gemm::gemm(
         c64::ONE,
@@ -349,7 +475,7 @@ pub fn solve_band_by_band(
     hpsi = h.apply_block(psi);
     let mut worst = 0.0_f64;
     for b in 0..nb {
-        let mut r = hpsi.row(b).to_vec();
+        r.copy_from_slice(hpsi.row(b));
         axpy(c64::real(-eig.values[b]), psi.row(b), &mut r);
         worst = worst.max(nrm2(&r));
     }

@@ -7,6 +7,11 @@
 //!    sequential fallback) and once with the variable unset (work-stealing
 //!    pool at the host's parallelism) — the determinism contract says both
 //!    schedules must produce bit-identical physics, so both must pass.
+//! 5. `cargo test -p ls3df --features alloc-count --test zero_alloc -q`
+//!    under the same two scheduling regimes — the counting-allocator guard
+//!    that a steady-state CG step and GENPOT solve stay heap-free (the
+//!    batched-FFT equivalence suite in `crates/fft/tests/batched.rs` rides
+//!    in step 4's full test passes).
 //!
 //! Every cargo step retries with `--offline` when the first attempt fails
 //! with a registry/network error (the build container has no registry
@@ -36,7 +41,7 @@ pub fn run(root: &Path) -> bool {
     let mut all_ok = true;
     let mut summary: Vec<(String, StepResult, f64)> = Vec::new();
 
-    let steps: [(&str, &[&str]); 3] = [
+    let steps: [(&str, &[&str]); 4] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -50,6 +55,19 @@ pub fn run(root: &Path) -> bool {
             ],
         ),
         ("test", &["test", "-q"]),
+        (
+            "zero-alloc",
+            &[
+                "test",
+                "-p",
+                "ls3df",
+                "--features",
+                "alloc-count",
+                "--test",
+                "zero_alloc",
+                "-q",
+            ],
+        ),
     ];
 
     for (name, args) in [steps[0], steps[1]] {
@@ -96,6 +114,24 @@ pub fn run(root: &Path) -> bool {
         summary.push((format!("cargo {name}"), res, secs));
     }
 
+    // The zero-allocation guard (counting global allocator, see
+    // tests/zero_alloc.rs) also runs under both scheduling regimes.
+    let (_, alloc_args) = steps[3];
+    let alloc_envs: [(&str, StepEnv<'_>); 2] = [
+        (
+            "zero-alloc [LS3DF_THREADS=1]",
+            &[("LS3DF_THREADS", Some("1"))],
+        ),
+        ("zero-alloc [pool]", &[("LS3DF_THREADS", None)]),
+    ];
+    for (name, env) in alloc_envs {
+        let (res, secs) = run_cargo_step(root, name, alloc_args, env);
+        if matches!(res, StepResult::Fail) {
+            all_ok = false;
+        }
+        summary.push((format!("cargo {name}"), res, secs));
+    }
+
     println!("\n=== ci summary ===");
     for (name, res, secs) in &summary {
         let status = match res {
@@ -103,7 +139,7 @@ pub fn run(root: &Path) -> bool {
             StepResult::Fail => "FAILED".to_string(),
             StepResult::Skip(why) => format!("skipped ({why})"),
         };
-        println!("{name:<14} {status:<24} {secs:7.1}s");
+        println!("{name:<32} {status:<24} {secs:7.1}s");
     }
     println!("ci: {}", if all_ok { "all steps passed" } else { "FAILED" });
     all_ok

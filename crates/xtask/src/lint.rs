@@ -22,6 +22,14 @@
 //! * `seeded-rng` — no `thread_rng()`, `from_entropy()`, or
 //!   `rand::random` anywhere: every random draw in this workspace must be
 //!   seeded, or the bit-identical-runs guarantee (ls3df-core::check) dies.
+//! * `hot-alloc` — no `vec![`, `Vec::with_capacity`, `.to_vec()`, or
+//!   `.clone()` in the SCF hot-path files (`crates/fft/src/` and the
+//!   `hamiltonian`/`solver`/`basis` modules of `ls3df-pw`) unless one of
+//!   the three preceding lines (or the line itself) carries an
+//!   `// alloc-audit:` comment explaining why the allocation is outside
+//!   the steady-state loop. The `alloc-count` zero-allocation test proves
+//!   the steady state is heap-free; this rule keeps new allocations from
+//!   creeping in un-reviewed.
 //!
 //! Allowlist: `xtask-lint-allow.txt` at the workspace root. Each
 //! non-comment line is `<path> <rule-id> <reason…>` (whitespace-separated,
@@ -32,7 +40,25 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-const RULES: [&str; 4] = ["no-unwrap", "no-float-eq", "unsafe-comment", "seeded-rng"];
+const RULES: [&str; 5] = [
+    "no-unwrap",
+    "no-float-eq",
+    "unsafe-comment",
+    "seeded-rng",
+    "hot-alloc",
+];
+
+/// Files whose steady-state behavior the `alloc-count` test guards:
+/// allocation-looking calls here need an `// alloc-audit:` justification.
+const HOT_PATHS: [&str; 3] = [
+    "crates/pw/src/hamiltonian.rs",
+    "crates/pw/src/solver.rs",
+    "crates/pw/src/basis.rs",
+];
+
+fn is_hot_path(path: &str) -> bool {
+    path.starts_with("crates/fft/src/") || HOT_PATHS.contains(&path)
+}
 
 const ALLOWLIST_FILE: &str = "xtask-lint-allow.txt";
 
@@ -230,6 +256,18 @@ fn lint_file(path: &str, content: &str, allow: &mut [AllowEntry], violations: &m
                     format!("float `{op}` comparison — use a tolerance"),
                 );
             }
+            if hot_exempt_missing(path, code, &raw_lines, i) {
+                report(
+                    violations,
+                    allow,
+                    i,
+                    "hot-alloc",
+                    "allocation in an SCF hot-path file — justify with an \
+                     `// alloc-audit:` comment on it or the 3 lines above, \
+                     or move it out of the steady-state loop"
+                        .into(),
+                );
+            }
         }
 
         // `unsafe` and unseeded RNG are policed everywhere, tests included.
@@ -258,6 +296,22 @@ fn lint_file(path: &str, content: &str, allow: &mut [AllowEntry], violations: &m
             }
         }
     }
+}
+
+/// `hot-alloc`: true when a hot-path code line contains an
+/// allocation-looking call with no `// alloc-audit:` comment on it or the
+/// three lines above (same window as `unsafe-comment`).
+fn hot_exempt_missing(path: &str, code: &str, raw_lines: &[&str], i: usize) -> bool {
+    if !is_hot_path(path) {
+        return false;
+    }
+    let allocates = ["vec![", "Vec::with_capacity", ".to_vec()", ".clone()"]
+        .iter()
+        .any(|needle| code.contains(needle));
+    if !allocates {
+        return false;
+    }
+    !(i.saturating_sub(3)..=i).any(|j| raw_lines.get(j).is_some_and(|l| l.contains("alloc-audit:")))
 }
 
 /// Does the line contain `==`/`!=` with a float-looking operand? Returns
@@ -525,6 +579,46 @@ mod tests {
         assert!(!has_word("my_f64x", "f64"));
         assert!(has_word("unsafe {", "unsafe"));
         assert!(!has_word("unsafely", "unsafe"));
+    }
+
+    #[test]
+    fn hot_alloc_scoping_and_escape() {
+        // Only hot-path files are in scope.
+        assert!(is_hot_path("crates/fft/src/plan.rs"));
+        assert!(is_hot_path("crates/fft/src/fft3.rs"));
+        assert!(is_hot_path("crates/pw/src/solver.rs"));
+        assert!(!is_hot_path("crates/pw/src/mixing.rs"));
+        assert!(!is_hot_path("crates/core/src/scf.rs"));
+        // Un-audited allocation in scope fires…
+        let lines = ["let x = 1;", "let v = data.to_vec();"];
+        assert!(hot_exempt_missing(
+            "crates/fft/src/plan.rs",
+            lines[1],
+            &lines,
+            1
+        ));
+        // …an alloc-audit comment within the 3-line window silences it…
+        let lines = ["// alloc-audit: one-time plan setup", "let v = vec![0; n];"];
+        assert!(!hot_exempt_missing(
+            "crates/fft/src/plan.rs",
+            lines[1],
+            &lines,
+            1
+        ));
+        // …and out-of-scope files never fire.
+        assert!(!hot_exempt_missing(
+            "crates/pw/src/mixing.rs",
+            "let v = data.to_vec();",
+            &["let v = data.to_vec();"],
+            0
+        ));
+        // Non-allocating lines are fine in scope.
+        assert!(!hot_exempt_missing(
+            "crates/pw/src/solver.rs",
+            "let v = Vec::new();",
+            &["let v = Vec::new();"],
+            0
+        ));
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Counting global allocator for the zero-allocation hot-path tests.
+//!
+//! Compiled only under the `alloc-count` feature. A test binary installs
+//! [`CountingAllocator`] as its `#[global_allocator]`, then brackets the
+//! code under scrutiny with [`allocation_count`] reads: a delta of zero
+//! proves the region performed no heap allocation at all (frees are not
+//! counted — a free-only region is still "allocation-free").
+//!
+//! The counter is a relaxed [`AtomicU64`]; the guard test runs its probes
+//! on one thread in one `#[test]` fn, so cross-thread noise only matters
+//! if library code itself spawns threads inside the probed region — which
+//! is exactly the kind of hidden cost the test exists to catch.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of heap allocations (`alloc`, `alloc_zeroed`, or growing
+/// `realloc` — every call that can return fresh memory) since process
+/// start. Subtract two reads to count allocations in a region.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A [`System`]-backed allocator that counts every allocation request.
+///
+/// Install with
+/// `#[global_allocator] static A: CountingAllocator = CountingAllocator;`.
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)]
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the counter update has no effect on the memory
+// returned.
+unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: pure forwarding to `System::alloc`; the caller upholds
+    // the `GlobalAlloc` layout/pointer contract.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds the `GlobalAlloc::alloc` contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: pure forwarding to `System::alloc_zeroed`; the caller upholds
+    // the `GlobalAlloc` layout/pointer contract.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds the `GlobalAlloc::alloc_zeroed` contract.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: pure forwarding to `System::dealloc`; the caller upholds
+    // the `GlobalAlloc` layout/pointer contract.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller upholds the `GlobalAlloc::dealloc` contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: pure forwarding to `System::realloc`; the caller upholds
+    // the `GlobalAlloc` layout/pointer contract.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds the `GlobalAlloc::realloc` contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

@@ -14,6 +14,9 @@
 //!     .build()?;
 //! let result = calc.scf();
 //! ```
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
+
 pub use ls3df_atoms as atoms;
 pub use ls3df_core as core;
 pub use ls3df_fft as fft;
