@@ -9,9 +9,47 @@
 //! Run: `cargo run -p ls3df-bench --bin fig6 --release -- [m] [iters] [ecut] [piece_pts]`
 
 use ls3df_bench::{arg, to_pw_atoms};
-use ls3df_core::{Ls3df, Ls3dfOptions, Ls3dfStep, Passivation};
+use ls3df_ckpt::{CheckpointConfig, CkptError};
+use ls3df_core::{
+    FragmentFault, Ls3df, Ls3dfOptions, Ls3dfStep, Passivation, QuarantineRecord, ScfObserver,
+};
 use ls3df_pseudo::PseudoTable;
 use ls3df_pw::Mixer;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Console observer for the measured run: the Fig. 6 table row per
+/// iteration, plus supervision events (snapshots written, fragment
+/// retries/quarantines) as indented side notes.
+struct Fig6Observer;
+
+impl ScfObserver for Fig6Observer {
+    fn on_step(&mut self, h: &Ls3dfStep) {
+        println!(
+            "{:>5} {:>14.6e} {:>11.2e} | {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s",
+            h.iteration,
+            h.dv_integral,
+            h.worst_residual,
+            h.timings.gen_vf,
+            h.timings.petot_f,
+            h.timings.gen_dens,
+            h.timings.genpot,
+        );
+        let _ = std::io::stdout().flush();
+    }
+    fn on_fragment_retry(&mut self, iteration: usize, fault: &FragmentFault) {
+        println!("      [iter {iteration}] retry: {fault}");
+    }
+    fn on_fragment_quarantined(&mut self, iteration: usize, record: &QuarantineRecord) {
+        println!("      [iter {iteration}] QUARANTINED: {record}");
+    }
+    fn on_snapshot_written(&mut self, iteration: usize, path: &Path) {
+        println!("      [iter {iteration}] snapshot -> {}", path.display());
+    }
+    fn on_snapshot_failed(&mut self, iteration: usize, error: &CkptError) {
+        println!("      [iter {iteration}] snapshot FAILED: {error}");
+    }
+}
 
 fn main() {
     let m: usize = arg(1, 2);
@@ -51,9 +89,13 @@ fn main() {
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
+    // Full resumable snapshots every 5 iterations (fig7 resumes from the
+    // newest one to skip the SCF entirely).
+    let ckpt_dir = format!("target/checkpoints/fig6_m{m}");
     let mut ls = Ls3df::builder(&s)
         .fragments([m, m, m])
         .options(opts)
+        .checkpoint(CheckpointConfig::every_n(&ckpt_dir, 5))
         .build()
         .expect("valid fig6 geometry");
     println!(
@@ -71,20 +113,7 @@ fn main() {
         "{:>5} {:>14} {:>11} | {:>8} {:>8} {:>8} {:>8}",
         "iter", "∫|ΔV| (a.u.)", "residual", "Gen_VF", "PEtot_F", "Gendens", "GENPOT"
     );
-    use std::io::Write as _;
-    let res = ls.scf_with(|h: &Ls3dfStep| {
-        println!(
-            "{:>5} {:>14.6e} {:>11.2e} | {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s",
-            h.iteration,
-            h.dv_integral,
-            h.worst_residual,
-            h.timings.gen_vf,
-            h.timings.petot_f,
-            h.timings.gen_dens,
-            h.timings.genpot,
-        );
-        let _ = std::io::stdout().flush();
-    });
+    let res = ls.scf_with(Fig6Observer);
     let first = res.history.first().map(|h| h.dv_integral).unwrap_or(1.0);
     println!("{}", "-".repeat(72));
     let last = res.history.last().unwrap();
@@ -108,9 +137,24 @@ fn main() {
         .filter(|w| w[1].dv_integral > w[0].dv_integral)
         .count();
     println!("non-monotone steps in this run: {jumps} (paper: 'a few cases where this difference jumps')");
+    if !res.quarantined.is_empty() {
+        println!(
+            "WARNING: {} fragment(s) were quarantined — their rows above used a stale density:",
+            res.quarantined.len()
+        );
+        for q in &res.quarantined {
+            println!("  {q}");
+        }
+    }
+    if let Ok(Some(snap)) = ls3df_ckpt::latest_snapshot(Path::new(&ckpt_dir)) {
+        println!(
+            "resumable snapshot: {} (fig7 picks this up)",
+            snap.display()
+        );
+    }
 
     // Checkpoint the converged state for fig7 (FSM post-processing).
-    let dir = std::path::Path::new("target/checkpoints");
+    let dir = Path::new("target/checkpoints");
     std::fs::create_dir_all(dir).ok();
     let tag = format!("znteo_m{m}");
     if ls3df_grid::save_field(&res.v_eff, &dir.join(format!("{tag}_veff.ck"))).is_ok()

@@ -52,10 +52,28 @@ fn main() {
         .options(opts)
         .build()
         .expect("valid fig7 geometry");
-    // Reuse fig6's converged potential if checkpointed (saves the SCF).
+    // Resume from fig6's newest full snapshot if one exists (same options
+    // -> same fingerprint); a snapshot written at convergence makes the
+    // scf() below a no-op replay, otherwise it finishes the remaining
+    // iterations. Any resume failure (stale format, different physics,
+    // damaged file) falls through to the legacy potential cache or a
+    // fresh SCF — never aborts the figure.
+    let snap_dir = format!("target/checkpoints/fig6_m{m}");
+    let mut resumed = false;
+    if let Ok(Some(snap)) = ls3df_ckpt::latest_snapshot(std::path::Path::new(&snap_dir)) {
+        match ls.restore_from(&snap) {
+            Ok(iteration) => {
+                println!("resumed from {} (iteration {iteration})", snap.display());
+                resumed = true;
+            }
+            Err(e) => println!("snapshot {} not usable: {e}", snap.display()),
+        }
+    }
+    // Legacy potential-only cache (read alone does not allow resuming the
+    // SCF — it skips it when the converged potential is already on disk).
     let ck = std::path::Path::new("target/checkpoints").join(format!("znteo_m{m}_veff.ck"));
-    let v_eff = match ls3df_grid::load_field(&ck) {
-        Ok(v) if v.grid() == &ls.global_grid => {
+    let v_eff = match (resumed, ls3df_grid::load_field(&ck)) {
+        (false, Ok(v)) if v.grid() == &ls.global_grid => {
             println!("loaded converged potential from {}", ck.display());
             v
         }

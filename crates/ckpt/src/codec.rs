@@ -1,0 +1,200 @@
+//! Little-endian byte codec for section payloads.
+//!
+//! [`ByteWriter`] appends primitives to a growing buffer; [`ByteReader`]
+//! walks one, returning [`CkptError::Truncated`] (with the caller-named
+//! context) the moment bytes run out — "unexpected EOF" alone is useless
+//! in a multi-section, multi-GB snapshot.
+
+use crate::CkptError;
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, x: u64) -> &mut Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, x: u32) -> &mut Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f64` bit pattern (bit-exact round trip).
+    pub fn put_f64(&mut self, x: f64) -> &mut Self {
+        self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Appends a whole `f64` slice (length is *not* written; prefix with
+    /// [`put_u64`](Self::put_u64) when the reader can't infer it).
+    pub fn put_f64_slice(&mut self, xs: &[f64]) -> &mut Self {
+        self.buf.reserve(xs.len() * 8);
+        for &x in xs {
+            self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor over a byte slice with context-named truncation errors.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated {
+                what: format!("{what} ({n} bytes needed, {} left)", self.remaining()),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u64`, naming `what` on truncation.
+    pub fn get_u64(&mut self, what: &str) -> Result<u64, CkptError> {
+        let s = self.take(8, what)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `u32`, naming `what` on truncation.
+    pub fn get_u32(&mut self, what: &str) -> Result<u32, CkptError> {
+        let s = self.take(4, what)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads an `f64` bit pattern, naming `what` on truncation.
+    pub fn get_f64(&mut self, what: &str) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    /// Reads `n` doubles into a fresh vector.
+    pub fn get_f64_vec(&mut self, n: usize, what: &str) -> Result<Vec<f64>, CkptError> {
+        let s = self.take(n * 8, what)?;
+        let mut out = Vec::with_capacity(n);
+        for chunk in s.chunks_exact(8) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            out.push(f64::from_bits(u64::from_le_bytes(b)));
+        }
+        Ok(out)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], CkptError> {
+        self.take(n, what)
+    }
+
+    /// A `u64` that must fit a `usize` count bounded by `max` (guards
+    /// against allocating gigabytes off a corrupt length field).
+    pub fn get_count(&mut self, max: u64, what: &str) -> Result<usize, CkptError> {
+        let n = self.get_u64(what)?;
+        if n > max {
+            return Err(CkptError::Malformed {
+                section: String::new(),
+                detail: format!("implausible count {n} for {what} (cap {max})"),
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CkptErrorKind;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42).put_u32(7).put_f64(-0.125);
+        w.put_f64_slice(&[1.0, 2.0, f64::NAN]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u64("a").unwrap(), 42);
+        assert_eq!(r.get_u32("b").unwrap(), 7);
+        assert_eq!(r.get_f64("c").unwrap(), -0.125);
+        let v = r.get_f64_vec(3, "d").unwrap();
+        assert_eq!(v[0], 1.0);
+        assert!(v[2].is_nan(), "NaN bit patterns survive");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_names_context() {
+        let bytes = 5u64.to_le_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        let err = r.get_u64("mixer history length").unwrap_err();
+        assert_eq!(err.kind(), CkptErrorKind::Truncated);
+        assert!(err.to_string().contains("mixer history length"));
+    }
+
+    #[test]
+    fn counts_are_bounded() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            r.get_count(1 << 20, "fragments").unwrap_err().kind(),
+            CkptErrorKind::Malformed
+        );
+    }
+}

@@ -52,17 +52,37 @@ pub const WEIGHT_TOL: f64 = 0.0;
 pub struct InvariantViolation {
     /// SCF step name (`Gen_VF`, `PEtot_F`, `Gen_dens`, `GENPOT`, …).
     pub step: String,
+    /// Offending fragment index, when the check ran inside a per-fragment
+    /// stage — on a 10⁴-fragment run, "which fragment" is the difference
+    /// between a debuggable taint and a shrug.
+    pub fragment: Option<usize>,
     /// Human-readable description of the violation.
     pub detail: String,
 }
 
+impl InvariantViolation {
+    /// Taints the violation with the fragment it occurred in (per-fragment
+    /// check sites wrap their results with this).
+    pub fn for_fragment(mut self, index: usize) -> Self {
+        self.fragment = Some(index);
+        self
+    }
+}
+
 impl std::fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "LS3DF invariant violated at {}: {}",
-            self.step, self.detail
-        )
+        match self.fragment {
+            Some(id) => write!(
+                f,
+                "LS3DF invariant violated at {} (fragment {id}): {}",
+                self.step, self.detail
+            ),
+            None => write!(
+                f,
+                "LS3DF invariant violated at {}: {}",
+                self.step, self.detail
+            ),
+        }
     }
 }
 
@@ -83,6 +103,7 @@ pub fn finite_field(step: &str, field: &RealField) -> Result<(), InvariantViolat
         None => Ok(()),
         Some(idx) => Err(InvariantViolation {
             step: step.to_string(),
+            fragment: None,
             detail: format!(
                 "non-finite value {} at grid index {idx} (of {})",
                 field.as_slice()[idx],
@@ -105,6 +126,7 @@ pub fn finite_matrix(step: &str, m: &Matrix<c64>) -> Result<(), InvariantViolati
             let cols = m.cols().max(1);
             Err(InvariantViolation {
                 step: step.to_string(),
+                fragment: None,
                 detail: format!(
                     "non-finite coefficient at band {}, index {}",
                     idx / cols,
@@ -122,6 +144,7 @@ pub fn finite_scalar(step: &str, name: &str, x: f64) -> Result<(), InvariantViol
     } else {
         Err(InvariantViolation {
             step: step.to_string(),
+            fragment: None,
             detail: format!("non-finite {name}: {x}"),
         })
     }
@@ -139,6 +162,7 @@ pub fn charge_conservation(
     if (patched_charge - n_electrons).abs() > CHARGE_TOL_REL * scale {
         return Err(InvariantViolation {
             step: step.to_string(),
+            fragment: None,
             detail: format!(
                 "charge not conserved: patched density integrates to {patched_charge:.6} \
                  but the structure carries {n_electrons:.6} electrons \
@@ -159,6 +183,7 @@ pub fn patching_weights(
     if deviation > WEIGHT_TOL {
         return Err(InvariantViolation {
             step: "patching-weights".to_string(),
+            fragment: None,
             detail: format!(
                 "Σ_F α_F deviates from 1 by {deviation:.3e} somewhere on the global grid \
                  — fragment geometry is inconsistent"
@@ -175,6 +200,7 @@ pub fn orthonormal(step: &str, psi: &Matrix<c64>, metric: f64) -> Result<(), Inv
     if !residual.is_finite() || residual > ORTHO_TOL {
         return Err(InvariantViolation {
             step: step.to_string(),
+            fragment: None,
             detail: format!(
                 "wavefunction block lost orthonormality: residual {residual:.3e} \
                  (tolerance {ORTHO_TOL:.0e})"
@@ -243,6 +269,19 @@ mod tests {
     #[should_panic(expected = "LS3DF invariant violated at Gen_dens")]
     fn enforce_panics_with_step_name() {
         enforce(charge_conservation("Gen_dens", 0.0, 100.0));
+    }
+
+    #[test]
+    fn fragment_taint_appears_in_message() {
+        let mut f = small_field(1.0);
+        f.as_mut_slice()[3] = f64::NAN;
+        let err = finite_field("Gen_VF", &f).unwrap_err().for_fragment(12);
+        assert_eq!(err.fragment, Some(12));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("at Gen_VF (fragment 12):"),
+            "fragment id missing from taint: {msg}"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod analysis;
 pub mod check;
+mod ckpt;
 mod energy;
 mod forces;
 mod fragment;
@@ -27,13 +28,18 @@ pub mod fsm;
 pub mod observer;
 mod passivate;
 pub mod scf;
+pub mod supervise;
 
 pub use energy::Ls3dfEnergy;
 pub use fragment::{Fragment, FragmentGrid};
 pub use fsm::{folded_spectrum, scan_band, FsmOptions, FsmState};
+// Checkpoint configuration/error types are part of the driver's public
+// surface (builder + observer signatures), so re-export them here.
+pub use ls3df_ckpt::{CheckpointConfig, CheckpointPolicy, CkptError, CkptErrorKind};
 pub use observer::{ScfObserver, ScfStage, SilentObserver};
 pub use passivate::{boundary_wall, fragment_atoms, FragmentAtoms, Passivation};
 pub use scf::{
     fragment_occupations, Ls3df, Ls3dfBuilder, Ls3dfError, Ls3dfOptions, Ls3dfResult, Ls3dfStep,
     StepTimings,
 };
+pub use supervise::{FragmentFault, InjectedFault, QuarantineRecord, RetryAction, ATTEMPT_LADDER};

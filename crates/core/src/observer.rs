@@ -9,6 +9,9 @@
 //! they see only the per-iteration [`ScfObserver::on_step`] hook.
 
 use crate::scf::Ls3dfStep;
+use crate::supervise::{FragmentFault, QuarantineRecord};
+use ls3df_ckpt::CkptError;
+use std::path::Path;
 
 /// One of the four timed stages of an LS3DF outer iteration
 /// (paper Fig. 2).
@@ -71,6 +74,27 @@ pub trait ScfObserver {
     /// step (after its `on_step`). Not called when the iteration cap ends
     /// the run.
     fn on_converged(&mut self, _step: &Ls3dfStep) {}
+
+    /// Called for every failed fragment solve attempt (primary or retry
+    /// rung), in fragment order within the iteration.
+    fn on_fragment_retry(&mut self, _iteration: usize, _fault: &FragmentFault) {}
+
+    /// Called when a fragment exhausts the retry ladder and is quarantined
+    /// for this iteration (its previous-iteration density is reused).
+    fn on_fragment_quarantined(&mut self, _iteration: usize, _record: &QuarantineRecord) {}
+
+    /// Called after a checkpoint snapshot is durably written (fires after
+    /// `on_step`, before `on_converged`).
+    fn on_snapshot_written(&mut self, _iteration: usize, _path: &Path) {}
+
+    /// Called when a checkpoint write fails. Snapshot failures never abort
+    /// the SCF loop (the science result is still computable) — this hook
+    /// is the only place the failure surfaces.
+    fn on_snapshot_failed(&mut self, _iteration: usize, _error: &CkptError) {}
+
+    /// Called once at the start of a resumed run, with the iteration the
+    /// restored snapshot was taken at.
+    fn on_snapshot_restored(&mut self, _resumed_from_iteration: usize) {}
 }
 
 impl<F: FnMut(&Ls3dfStep)> ScfObserver for F {

@@ -8,10 +8,15 @@
 //! machine-model calibration in `ls3df-hpc` can use measured constants.
 
 use crate::check;
+use crate::ckpt;
 use crate::fragment::{Fragment, FragmentGrid};
 use crate::observer::{ScfObserver, ScfStage, SilentObserver};
 use crate::passivate::{boundary_wall, fragment_atoms, FragmentAtoms, Passivation};
+use crate::supervise::{
+    panic_detail, FragmentFault, InjectedFault, QuarantineRecord, RetryAction, ATTEMPT_LADDER,
+};
 use ls3df_atoms::{topology_cutoff, Structure};
+use ls3df_ckpt::{read_bytes, write_rotated, CheckpointConfig, CkptError, Snapshot};
 use ls3df_grid::{Grid3, RealField};
 use ls3df_math::{c64, Matrix};
 use ls3df_pseudo::PseudoTable;
@@ -21,6 +26,8 @@ use ls3df_pw::{
     SolverOptions,
 };
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Options for an LS3DF run.
@@ -149,6 +156,14 @@ pub struct Ls3dfStep {
     pub timings: StepTimings,
 }
 
+/// Pending injected failures for one fragment (validation hook: consumed
+/// one per solve attempt by the supervision layer).
+#[derive(Clone, Copy, Debug, Default)]
+struct InjectedCounters {
+    panics: usize,
+    solver_errors: usize,
+}
+
 /// Per-fragment solver state (persists across outer iterations).
 pub(crate) struct FragmentState {
     fragment: Fragment,
@@ -157,8 +172,20 @@ pub(crate) struct FragmentState {
     /// Fixed ΔV_F: confining wall + passivant ionic potentials.
     delta_v: RealField,
     psi: Matrix<c64>,
+    /// Previous-iteration wavefunctions, refreshed at the start of every
+    /// supervised solve — the quarantine restore buffer (persistent so the
+    /// SCF hot loop stays allocation-free).
+    psi_backup: Matrix<c64>,
     occupations: Vec<f64>,
     atoms: FragmentAtoms,
+    injected: InjectedCounters,
+    /// True while the fragment carries restored (stale) wavefunctions
+    /// because its last supervised solve exhausted the retry ladder;
+    /// cleared by the next successful solve. Gen_dens consults this: a
+    /// stale fragment density legitimately breaks the patching-
+    /// cancellation charge diagnostic, so the check is suspended (the
+    /// post-check renormalization still pins the exact electron count).
+    quarantined: bool,
 }
 
 impl FragmentState {
@@ -202,6 +229,25 @@ pub struct Ls3df {
     /// Cached GENPOT Poisson solver (FFT plan + reciprocal kernel), built
     /// once per geometry rather than once per outer iteration.
     hartree: HartreeSolver,
+    /// FNV-1a fingerprint of the physical options (snapshot resume guard).
+    fingerprint: u64,
+    /// Checkpoint cadence + destination, if any.
+    ckpt: Option<CheckpointConfig>,
+    /// Restored-snapshot state consumed by the next `scf_with` call.
+    resume: Option<ResumeState>,
+}
+
+/// What a restored snapshot hands to the next SCF run (fields already
+/// written back into `Ls3df` — `v_in`, `rho`, `psi` — are not repeated).
+struct ResumeState {
+    /// Last completed outer iteration in the snapshot.
+    start_iteration: usize,
+    /// Whether the snapshotted run had already converged.
+    converged: bool,
+    /// Convergence history up to `start_iteration`.
+    history: Vec<Ls3dfStep>,
+    /// Pulay `(V_in, residual)` pairs.
+    mixer_history: Vec<(Vec<f64>, Vec<f64>)>,
 }
 
 /// Result of an LS3DF SCF run.
@@ -214,6 +260,9 @@ pub struct Ls3dfResult {
     pub rho: RealField,
     /// Final self-consistent global potential.
     pub v_eff: RealField,
+    /// Fragments whose whole retry ladder failed in some iteration (their
+    /// previous-iteration density was reused; empty on a healthy run).
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
 /// Why an [`Ls3dfBuilder`] refused to assemble a calculation.
@@ -247,6 +296,9 @@ pub enum Ls3dfError {
         /// Dimensions of the supplied potential's grid.
         got: [usize; 3],
     },
+    /// [`Ls3dfBuilder::resume_from`] could not restore the snapshot
+    /// (corrupt file, wrong physics fingerprint, I/O failure…).
+    Resume(CkptError),
 }
 
 impl std::fmt::Display for Ls3dfError {
@@ -270,11 +322,25 @@ impl std::fmt::Display for Ls3dfError {
                 "Ls3dfBuilder: initial potential grid {got:?} does not match \
                  the global grid {expected:?} implied by fragments × piece_pts"
             ),
+            Ls3dfError::Resume(e) => write!(f, "Ls3dfBuilder: resume failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for Ls3dfError {}
+impl std::error::Error for Ls3dfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Ls3dfError::Resume(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkptError> for Ls3dfError {
+    fn from(e: CkptError) -> Self {
+        Ls3dfError::Resume(e)
+    }
+}
 
 /// Fluent constructor for [`Ls3df`].
 ///
@@ -295,6 +361,8 @@ pub struct Ls3dfBuilder<'a> {
     m: Option<[usize; 3]>,
     opts: Ls3dfOptions,
     initial_potential: Option<RealField>,
+    ckpt: Option<CheckpointConfig>,
+    resume_from: Option<PathBuf>,
 }
 
 impl<'a> Ls3dfBuilder<'a> {
@@ -317,6 +385,28 @@ impl<'a> Ls3dfBuilder<'a> {
     /// must match the global grid `m × piece_pts`.
     pub fn initial_potential(mut self, v: RealField) -> Self {
         self.initial_potential = Some(v);
+        self
+    }
+
+    /// Enables checkpointing: the SCF loop writes rotated, checksummed
+    /// snapshots into `config.dir` on the cadence `config.policy`.
+    pub fn checkpoint(mut self, config: CheckpointConfig) -> Self {
+        self.ckpt = Some(config);
+        self
+    }
+
+    /// Resumes the run from a snapshot written by a previous process.
+    ///
+    /// [`build`](Ls3dfBuilder::build) restores the global potential,
+    /// patched density, mixer history, convergence history and every
+    /// fragment's wavefunctions, then verifies the snapshot's options
+    /// fingerprint against this builder's physics — resuming under
+    /// different physics is refused with
+    /// [`Ls3dfError::Resume`]`(`[`CkptError::FingerprintMismatch`]`)`.
+    /// The subsequent [`scf`](Ls3df::scf) continues at the snapshot's
+    /// iteration and is bit-identical to a run that was never interrupted.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
         self
     }
 
@@ -346,6 +436,10 @@ impl<'a> Ls3dfBuilder<'a> {
         if let Some(v) = self.initial_potential {
             calc.v_in = v;
         }
+        calc.ckpt = self.ckpt;
+        if let Some(path) = self.resume_from {
+            calc.restore_from(&path)?;
+        }
         Ok(calc)
     }
 }
@@ -370,6 +464,156 @@ pub fn fragment_occupations(n_bands: usize, n_electrons: f64) -> Vec<f64> {
     occ
 }
 
+/// What one supervised PEtot_F pass produced (fragment order throughout).
+#[derive(Default)]
+pub(crate) struct PetotOutcome {
+    /// Worst converged-fragment residual (quarantined fragments excluded).
+    pub(crate) worst_residual: f64,
+    /// Every failed attempt across all fragments.
+    pub(crate) faults: Vec<FragmentFault>,
+    /// Fragments whose whole ladder failed this pass.
+    pub(crate) quarantined: Vec<QuarantineRecord>,
+}
+
+/// One fragment's supervised-solve result.
+struct FragmentOutcome {
+    residual: f64,
+    faults: Vec<FragmentFault>,
+    quarantined: bool,
+}
+
+/// Start-block seed for retry rung `attempt` on fragment `index` — a pure
+/// function of both, so a rerun that hits the same failure retries from
+/// bit-identical vectors.
+fn retry_seed(index: usize, attempt: usize) -> u64 {
+    0x5EED_F00D ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((attempt as u64) << 48)
+}
+
+/// Runs one fragment's solve under supervision: the primary warm-started
+/// attempt, then the retry ladder, then quarantine (restore the
+/// previous-iteration wavefunctions so Gen_dens patches the previous
+/// density for this fragment).
+fn supervised_solve(
+    fs: &mut FragmentState,
+    vf: &RealField,
+    index: usize,
+    base: &SolverOptions,
+    fresh_steps: usize,
+    method: SolverMethod,
+) -> FragmentOutcome {
+    // Refresh the quarantine restore buffer with the warm-start block as
+    // it stood before this iteration touched it.
+    fs.psi_backup
+        .as_mut_slice()
+        .copy_from_slice(fs.psi.as_slice());
+    let mut faults = Vec::new();
+    for (attempt, &action) in ATTEMPT_LADDER.iter().enumerate() {
+        let opts = if action == RetryAction::Primary {
+            base.clone()
+        } else {
+            // Escalation rungs discard the (possibly poisoned) block for a
+            // fresh deterministic start, and get the burn-in step budget.
+            fs.psi =
+                ls3df_pw::scf::random_start(fs.psi.rows(), &fs.basis, retry_seed(index, attempt));
+            SolverOptions {
+                max_iter: fresh_steps,
+                ..base.clone()
+            }
+        };
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_attempt(fs, vf, index, attempt, action, &opts, method)
+        })) {
+            Ok(Ok(residual)) => {
+                fs.quarantined = false;
+                return FragmentOutcome {
+                    residual,
+                    faults,
+                    quarantined: false,
+                };
+            }
+            Ok(Err(detail)) => faults.push(FragmentFault {
+                fragment: index,
+                attempt,
+                action,
+                detail,
+            }),
+            Err(payload) => faults.push(FragmentFault {
+                fragment: index,
+                attempt,
+                action,
+                detail: panic_detail(payload.as_ref()),
+            }),
+        }
+    }
+    fs.psi
+        .as_mut_slice()
+        .copy_from_slice(fs.psi_backup.as_slice());
+    fs.quarantined = true;
+    FragmentOutcome {
+        residual: 0.0,
+        faults,
+        quarantined: true,
+    }
+}
+
+/// One solve attempt: consumes a pending injected fault if any, runs the
+/// rung's solver flavor, and re-checks the numeric invariants *inside*
+/// the supervised scope so a violation is retried rather than aborting.
+fn run_attempt(
+    fs: &mut FragmentState,
+    vf: &RealField,
+    index: usize,
+    attempt: usize,
+    action: RetryAction,
+    base: &SolverOptions,
+    method: SolverMethod,
+) -> Result<f64, String> {
+    if fs.injected.panics > 0 {
+        fs.injected.panics -= 1;
+        // panic_any, not panic!: the supervision layer must handle
+        // arbitrary payloads, and the house no-panic lint stays meaningful.
+        std::panic::panic_any(format!(
+            "injected panic (fragment {index}, attempt {attempt})"
+        ));
+    }
+    if fs.injected.solver_errors > 0 {
+        fs.injected.solver_errors -= 1;
+        return Err(format!(
+            "injected solver error (fragment {index}, attempt {attempt})"
+        ));
+    }
+    let h = Hamiltonian::new(&fs.basis, vf.clone(), &fs.nonlocal);
+    let stats = match action {
+        RetryAction::BandByBand => solver::try_solve_band_by_band(&h, &mut fs.psi, base),
+        RetryAction::ReducedCg => {
+            let reduced = SolverOptions {
+                max_iter: (base.max_iter / 2).max(1),
+                ortho_every: 1,
+                cg_reset: 1,
+                ..*base
+            };
+            match method {
+                SolverMethod::AllBand => solver::try_solve_all_band(&h, &mut fs.psi, &reduced),
+                SolverMethod::BandByBand => {
+                    solver::try_solve_band_by_band(&h, &mut fs.psi, &reduced)
+                }
+            }
+        }
+        RetryAction::Primary | RetryAction::FreshRandomStart => match method {
+            SolverMethod::AllBand => solver::try_solve_all_band(&h, &mut fs.psi, base),
+            SolverMethod::BandByBand => solver::try_solve_band_by_band(&h, &mut fs.psi, base),
+        },
+    }
+    .map_err(|e| e.to_string())?;
+    if check::ENABLED {
+        check::orthonormal("PEtot_F", &fs.psi, 1.0)
+            .map_err(|v| v.for_fragment(index).to_string())?;
+        check::finite_scalar("PEtot_F", "residual", stats.residual)
+            .map_err(|v| v.for_fragment(index).to_string())?;
+    }
+    Ok(stats.residual)
+}
+
 impl Ls3df {
     /// Starts a fluent [`Ls3dfBuilder`] for `structure` (the non-panicking
     /// construction path; see the builder docs).
@@ -379,6 +623,8 @@ impl Ls3df {
             m: None,
             opts: Ls3dfOptions::default(),
             initial_potential: None,
+            ckpt: None,
+            resume_from: None,
         }
     }
 
@@ -467,14 +713,18 @@ impl Ls3df {
                     &basis,
                     0xF00D ^ (f.size[0] * 31 + f.size[1] * 37 + f.size[2] * 41) as u64,
                 );
+                let psi_backup = psi.clone();
                 FragmentState {
                     fragment: f,
                     basis,
                     nonlocal,
                     delta_v,
                     psi,
+                    psi_backup,
                     occupations,
                     atoms: fa,
+                    injected: InjectedCounters::default(),
+                    quarantined: false,
                 }
             })
             .collect();
@@ -487,6 +737,7 @@ impl Ls3df {
             .map(|a| a.species.valence())
             .collect();
         let ewald = ls3df_pw::ewald::ewald_energy(&positions, &charges, structure.lengths);
+        let fingerprint = ckpt::options_fingerprint(structure, m, &opts);
         Ls3df {
             fg,
             global_grid,
@@ -499,6 +750,9 @@ impl Ls3df {
             rho: rho0,
             ewald,
             hartree,
+            fingerprint,
+            ckpt: None,
+            resume: None,
         }
     }
 
@@ -554,12 +808,15 @@ impl Ls3df {
     pub fn gen_vf(&self) -> Vec<RealField> {
         self.fragments
             .par_iter()
-            .map(|fs| {
+            .enumerate()
+            .map(|(i, fs)| {
                 let origin = self.fg.box_origin(&fs.fragment);
                 let mut vf = self.v_in.extract_subbox(origin, fs.basis.grid());
                 vf.add_scaled(1.0, &fs.delta_v);
                 if check::ENABLED {
-                    check::enforce(check::finite_field("Gen_VF", &vf));
+                    check::enforce(
+                        check::finite_field("Gen_VF", &vf).map_err(|v| v.for_fragment(i)),
+                    );
                 }
                 vf
             })
@@ -576,36 +833,51 @@ impl Ls3df {
     /// [`Ls3df::petot_f`] with an explicit step budget (used for the
     /// burn-in first iteration).
     pub fn petot_f_steps(&mut self, vfs: &[RealField], steps: usize) -> f64 {
+        self.petot_f_supervised(vfs, steps).worst_residual
+    }
+
+    /// The supervised PEtot_F stage: every fragment solve runs under
+    /// `catch_unwind` with the deterministic retry ladder
+    /// ([`ATTEMPT_LADDER`]); fragments that exhaust it are quarantined
+    /// (previous-iteration wavefunctions restored) instead of aborting
+    /// the run.
+    pub(crate) fn petot_f_supervised(&mut self, vfs: &[RealField], steps: usize) -> PetotOutcome {
         let solver_opts = SolverOptions {
             max_iter: steps,
             tol: self.opts.fragment_tol,
             ..Default::default()
         };
         let method = self.opts.method;
-        let residuals: Vec<f64> = self
+        // Escalation rungs discard the warm start, so they get at least
+        // the burn-in budget — a fresh random block under the warm-start's
+        // few steps would patch an unconverged density into Gen_dens.
+        let fresh_steps = steps.max(self.opts.initial_cg_steps);
+        let outcomes: Vec<FragmentOutcome> = self
             .fragments
             .par_iter_mut()
             .zip(vfs.par_iter())
-            .map(|(fs, vf)| {
-                let h = Hamiltonian::new(&fs.basis, vf.clone(), &fs.nonlocal);
-                let stats = match method {
-                    SolverMethod::AllBand => solver::solve_all_band(&h, &mut fs.psi, &solver_opts),
-                    SolverMethod::BandByBand => {
-                        solver::solve_band_by_band(&h, &mut fs.psi, &solver_opts)
-                    }
-                };
-                if check::ENABLED {
-                    check::enforce(check::orthonormal("PEtot_F", &fs.psi, 1.0));
-                    check::enforce(check::finite_scalar("PEtot_F", "residual", stats.residual));
-                }
-                stats.residual
+            .enumerate()
+            .map(|(index, (fs, vf))| {
+                supervised_solve(fs, vf, index, &solver_opts, fresh_steps, method)
             })
             .collect();
-        // Audited reduction: `collect` returns residuals in fragment order
-        // no matter how the pool scheduled the solves, and this max is a
-        // fixed left-to-right scan — its shape depends only on the fragment
-        // count, never on LS3DF_THREADS.
-        residuals.into_iter().fold(0.0, f64::max)
+        // Audited reduction: `collect` returns outcomes in fragment order
+        // no matter how the pool scheduled the solves, so the max below is
+        // a fixed left-to-right scan and the fault/quarantine lists are in
+        // fragment order — the event stream a ScfObserver sees depends only
+        // on the fragment list, never on LS3DF_THREADS.
+        let mut out = PetotOutcome::default();
+        for (index, o) in outcomes.into_iter().enumerate() {
+            out.worst_residual = out.worst_residual.max(o.residual);
+            if o.quarantined {
+                out.quarantined.push(QuarantineRecord {
+                    fragment: index,
+                    faults: o.faults.clone(),
+                });
+            }
+            out.faults.extend(o.faults);
+        }
+        out
     }
 
     /// **Gen_dens**: patches fragment densities into the global density
@@ -635,7 +907,9 @@ impl Ls3df {
                 let region = rho_f
                     .extract_subbox([off[0] as i64, off[1] as i64, off[2] as i64], &region_grid);
                 if check::ENABLED {
-                    check::enforce(check::finite_field("Gen_dens", &region));
+                    check::enforce(
+                        check::finite_field("Gen_dens", &region).map_err(|v| v.for_fragment(i)),
+                    );
                 }
                 (i, region)
             })
@@ -652,10 +926,18 @@ impl Ls3df {
             rho.accumulate_subbox(origin, &region, fs.fragment.alpha());
         }
         // Charge conservation is an invariant of the patching geometry —
-        // verify it *before* the renormalization hides any violation.
+        // verify it *before* the renormalization hides any violation. The
+        // diagnostic assumes every fragment density came from the same
+        // input potential; a quarantined fragment patches a stale density,
+        // so while one is present only finiteness is enforced (the
+        // renormalization below still pins the exact electron count).
         let q = rho.integrate();
         if check::ENABLED {
-            check::enforce(check::charge_conservation("Gen_dens", q, self.n_electrons));
+            if self.fragments.iter().any(|fs| fs.quarantined) {
+                check::enforce(check::finite_scalar("Gen_dens", "patched charge", q));
+            } else {
+                check::enforce(check::charge_conservation("Gen_dens", q, self.n_electrons));
+            }
         }
         // Charge renormalization.
         if q.abs() > 1e-12 {
@@ -688,8 +970,20 @@ impl Ls3df {
         let mut mixer = MixerState::new(self.opts.mixer.clone());
         let mut history = Vec::new();
         let mut converged = false;
+        let mut quarantined = Vec::new();
+        let mut start_iteration = 0usize;
+        if let Some(resume) = self.resume.take() {
+            mixer.restore_history(resume.mixer_history);
+            history = resume.history;
+            converged = resume.converged;
+            start_iteration = resume.start_iteration;
+            observer.on_snapshot_restored(start_iteration);
+        }
 
-        for iteration in 1..=self.opts.max_scf {
+        for iteration in (start_iteration + 1)..=self.opts.max_scf {
+            if converged {
+                break;
+            }
             let mut timings = StepTimings::default();
 
             let t = Instant::now();
@@ -703,8 +997,18 @@ impl Ls3df {
             } else {
                 self.opts.cg_steps
             };
-            let worst_residual = self.petot_f_steps(&vfs, steps);
+            let petot = self.petot_f_supervised(&vfs, steps);
             timings.petot_f = t.elapsed().as_secs_f64();
+            // Fault events replay in fragment order after the parallel
+            // stage completes, so the observer stream is deterministic.
+            for fault in &petot.faults {
+                observer.on_fragment_retry(iteration, fault);
+            }
+            for record in &petot.quarantined {
+                observer.on_fragment_quarantined(iteration, record);
+            }
+            let worst_residual = petot.worst_residual;
+            quarantined.extend(petot.quarantined);
             observer.on_stage(iteration, ScfStage::PetotF, timings.petot_f);
 
             let t = Instant::now();
@@ -720,6 +1024,11 @@ impl Ls3df {
             observer.on_stage(iteration, ScfStage::Genpot, timings.genpot);
 
             self.rho = rho;
+            converged = dv_integral < self.opts.tol;
+            // V_in becomes the *next* iteration's input before any
+            // snapshot is cut, so a resumed run starts from exactly the
+            // potential an uninterrupted run would have used.
+            self.v_in = if converged { v_out } else { mixed };
             let step = Ls3dfStep {
                 iteration,
                 dv_integral,
@@ -729,13 +1038,23 @@ impl Ls3df {
             observer.on_step(&step);
             history.push(step);
 
-            if dv_integral < self.opts.tol {
-                self.v_in = v_out;
-                converged = true;
-                observer.on_converged(&step);
-                break;
+            if let Some(cfg) = &self.ckpt {
+                if cfg.policy.wants_snapshot(iteration, converged) {
+                    match self.snapshot_bytes(iteration, converged, &history, mixer.history()) {
+                        Ok(bytes) => {
+                            match write_rotated(&cfg.dir, iteration, &bytes, cfg.keep_last) {
+                                Ok(path) => observer.on_snapshot_written(iteration, &path),
+                                Err(e) => observer.on_snapshot_failed(iteration, &e),
+                            }
+                        }
+                        Err(e) => observer.on_snapshot_failed(iteration, &e),
+                    }
+                }
             }
-            self.v_in = mixed;
+
+            if converged {
+                observer.on_converged(&step);
+            }
         }
 
         Ls3dfResult {
@@ -743,7 +1062,107 @@ impl Ls3df {
             converged,
             rho: self.rho.clone(),
             v_eff: self.v_in.clone(),
+            quarantined,
         }
+    }
+
+    /// The options fingerprint snapshots are stamped with (equal
+    /// fingerprints ⇒ bit-identical SCF trajectories).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Queues `attempts` injected failures on fragment `index`'s next
+    /// solve attempts (each attempt consumes one).
+    ///
+    /// Validation-support hook, like [`Ls3df::scale_fragment_psi`]:
+    /// deliberately failing a fragment lets tests and operators confirm
+    /// the supervision layer retries and quarantines instead of aborting.
+    pub fn inject_fragment_fault(&mut self, index: usize, fault: InjectedFault, attempts: usize) {
+        match fault {
+            InjectedFault::Panic => self.fragments[index].injected.panics += attempts,
+            InjectedFault::SolverError => self.fragments[index].injected.solver_errors += attempts,
+        }
+    }
+
+    /// Serializes the full resumable state after a completed iteration
+    /// into the snapshot container (see `crate::ckpt` for the section
+    /// layout).
+    fn snapshot_bytes(
+        &self,
+        iteration: usize,
+        converged: bool,
+        history: &[Ls3dfStep],
+        mixer_history: &[(Vec<f64>, Vec<f64>)],
+    ) -> Result<Vec<u8>, CkptError> {
+        let mut snap = Snapshot::new();
+        snap.push(ckpt::SEC_FPRINT, ckpt::encode_fingerprint(self.fingerprint))
+            .push(ckpt::SEC_STATE, ckpt::encode_state(iteration, converged))
+            .push(ckpt::SEC_HIST, ckpt::encode_history(history))
+            .push(ckpt::SEC_VIN, ls3df_grid::encode_field(&self.v_in))
+            .push(ckpt::SEC_RHO, ls3df_grid::encode_field(&self.rho))
+            .push(ckpt::SEC_MIXER, ckpt::encode_mixer_history(mixer_history))
+            .push(
+                ckpt::SEC_PSI,
+                ckpt::encode_psi_blocks(self.fragments.iter().map(|f| &f.psi)),
+            );
+        snap.encode()
+    }
+
+    /// Restores this calculation's resumable state from a snapshot file.
+    ///
+    /// Verifies the options fingerprint and every section's shape against
+    /// the freshly assembled calculation before touching any state, then
+    /// installs the global potential, density, mixer/convergence history
+    /// and every fragment's wavefunctions. Returns the last completed
+    /// iteration; the next [`scf`](Ls3df::scf) call continues after it.
+    pub fn restore_from(&mut self, path: &Path) -> Result<usize, CkptError> {
+        let bytes = read_bytes(path)?;
+        let snap = Snapshot::decode(&bytes)?;
+        let stored = ckpt::decode_fingerprint(snap.require(ckpt::SEC_FPRINT)?)?;
+        if stored != self.fingerprint {
+            return Err(CkptError::FingerprintMismatch {
+                stored,
+                current: self.fingerprint,
+            });
+        }
+        let (start_iteration, converged) = ckpt::decode_state(snap.require(ckpt::SEC_STATE)?)?;
+        let history = ckpt::decode_history(snap.require(ckpt::SEC_HIST)?)?;
+        let v_in = ls3df_grid::decode_field(snap.require(ckpt::SEC_VIN)?)?;
+        let rho = ls3df_grid::decode_field(snap.require(ckpt::SEC_RHO)?)?;
+        for (name, field) in [("VIN", &v_in), ("RHO", &rho)] {
+            if field.grid() != &self.global_grid {
+                return Err(CkptError::Malformed {
+                    section: name.to_string(),
+                    detail: format!(
+                        "snapshot grid {:?} does not match the global grid {:?}",
+                        field.grid().dims,
+                        self.global_grid.dims
+                    ),
+                });
+            }
+        }
+        let mixer_history = ckpt::decode_mixer_history(snap.require(ckpt::SEC_MIXER)?)?;
+        let shapes: Vec<(usize, usize)> = self
+            .fragments
+            .iter()
+            .map(|f| (f.psi.rows(), f.psi.cols()))
+            .collect();
+        let blocks = ckpt::decode_psi_blocks(snap.require(ckpt::SEC_PSI)?, &shapes)?;
+        // All sections validated — now install the state.
+        self.v_in = v_in;
+        self.rho = rho;
+        for (fs, psi) in self.fragments.iter_mut().zip(blocks) {
+            fs.psi_backup.as_mut_slice().copy_from_slice(psi.as_slice());
+            fs.psi = psi;
+        }
+        self.resume = Some(ResumeState {
+            start_iteration,
+            converged,
+            history,
+            mixer_history,
+        });
+        Ok(start_iteration)
     }
 
     /// The global planewave basis (for post-processing: FSM, full-system

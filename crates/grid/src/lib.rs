@@ -12,4 +12,4 @@ pub mod io;
 
 pub use field::{ComplexField, Field, RealField};
 pub use grid3::Grid3;
-pub use io::{load_field, save_field};
+pub use io::{decode_field, encode_field, load_field, load_field_legacy, save_field};

@@ -47,5 +47,6 @@ pub use realspace_nl::{apply_block_realspace, RealSpaceNonlocal};
 pub use scf::{grid_for, scf, DftSystem, ScfOptions, ScfResult, ScfStep, SolverMethod};
 pub use solver::{
     cg_init, cg_residual, cg_step, solve_all_band, solve_all_band_with, solve_band_by_band,
-    CgWorkspace, SolveStats, SolverOptions,
+    try_solve_all_band, try_solve_all_band_with, try_solve_band_by_band, CgWorkspace, SolveStats,
+    SolverError, SolverOptions,
 };

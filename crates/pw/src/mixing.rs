@@ -174,6 +174,19 @@ impl MixerState {
     pub fn reset(&mut self) {
         self.history.clear();
     }
+
+    /// The Pulay `(V_in, residual)` history, oldest first — the part of
+    /// the mixer state that must survive a checkpoint/restart for the
+    /// resumed run to mix bit-identically. (The Kerker factor table and
+    /// FFT scratch are derived caches and rebuild on demand.)
+    pub fn history(&self) -> &[(Vec<f64>, Vec<f64>)] {
+        &self.history
+    }
+
+    /// Replaces the history with one restored from a checkpoint.
+    pub fn restore_history(&mut self, history: Vec<(Vec<f64>, Vec<f64>)>) {
+        self.history = history;
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,56 @@ pub struct SolveStats {
     pub converged: bool,
 }
 
+/// Pathological eigensolver failure.
+///
+/// Running out of the iteration budget is *not* an error — fragment solves
+/// are deliberately step-limited and report that through
+/// [`SolveStats::converged`]. These variants are the cases where the block
+/// itself is poisoned and continuing would propagate garbage into the
+/// density: exactly what the fragment supervision layer in `ls3df-core`
+/// catches and retries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// The starting block could not be orthonormalized — its rows are
+    /// numerically linearly dependent.
+    DependentStartVectors {
+        /// Rendered factorization failure.
+        detail: String,
+    },
+    /// The overlap matrix lost positive definiteness during periodic
+    /// re-orthonormalization (the block collapsed mid-solve).
+    OverlapNotPositiveDefinite {
+        /// Outer iteration (1-based) at which the factorization failed.
+        iteration: usize,
+        /// Rendered factorization failure.
+        detail: String,
+    },
+    /// A NaN/Inf residual appeared — the wavefunction block is poisoned.
+    NonFiniteResidual {
+        /// Outer iteration (1-based) at which it was detected.
+        iteration: usize,
+    },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::DependentStartVectors { detail } => {
+                write!(f, "start vectors are linearly dependent: {detail}")
+            }
+            SolverError::OverlapNotPositiveDefinite { iteration, detail } => write!(
+                f,
+                "overlap matrix not positive definite at iteration {iteration}: {detail}"
+            ),
+            SolverError::NonFiniteResidual { iteration } => {
+                write!(f, "non-finite residual at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
 /// Teter–Payne–Allan preconditioner value for `x = ½G²/E_kin`.
 #[inline]
 fn tpa(x: f64) -> f64 {
@@ -305,18 +355,49 @@ pub fn solve_all_band(
     solve_all_band_with(h, psi, opts, &mut ws)
 }
 
-/// [`solve_all_band`] driving caller-owned scratch, so repeated solves
-/// (one per SCF iteration) reuse one set of block temporaries.
+/// Panicking façade over [`try_solve_all_band_with`] for callers with no
+/// recovery path (benches, tests, one-shot tools). The supervised fragment
+/// loop in `ls3df-core` uses the `try_` form instead.
 pub fn solve_all_band_with(
     h: &Hamiltonian<'_>,
     psi: &mut Matrix<c64>,
     opts: &SolverOptions,
     ws: &mut CgWorkspace,
 ) -> SolveStats {
+    try_solve_all_band_with(h, psi, opts, ws).expect("all-band eigensolve failed")
+}
+
+/// Fallible all-band solve (see [`solve_all_band`]); allocates its own
+/// workspace.
+pub fn try_solve_all_band(
+    h: &Hamiltonian<'_>,
+    psi: &mut Matrix<c64>,
+    opts: &SolverOptions,
+) -> Result<SolveStats, SolverError> {
+    // alloc-audit: once per solve — the CG loop itself reuses this scratch.
+    let mut ws = CgWorkspace::new(h, psi.rows());
+    try_solve_all_band_with(h, psi, opts, &mut ws)
+}
+
+/// [`solve_all_band`] driving caller-owned scratch, so repeated solves
+/// (one per SCF iteration) reuse one set of block temporaries.
+///
+/// Pathological states (dependent start vectors, an indefinite overlap,
+/// NaN residuals) return a typed [`SolverError`] instead of panicking, so
+/// the caller can retry from a fresh start block. Budgeted non-convergence
+/// is still reported through [`SolveStats::converged`].
+pub fn try_solve_all_band_with(
+    h: &Hamiltonian<'_>,
+    psi: &mut Matrix<c64>,
+    opts: &SolverOptions,
+    ws: &mut CgWorkspace,
+) -> Result<SolveStats, SolverError> {
     let nb = psi.rows();
     let npw = psi.cols();
     assert!(nb >= 1 && npw == h.basis().len());
-    ortho::cholesky_orthonormalize(psi, 1.0).expect("independent start vectors");
+    ortho::cholesky_orthonormalize(psi, 1.0).map_err(|e| SolverError::DependentStartVectors {
+        detail: e.to_string(),
+    })?;
     cg_init(h, psi, ws);
     let mut residual = f64::INFINITY;
     let mut iterations = 0;
@@ -326,8 +407,15 @@ pub fn solve_all_band_with(
         // Rayleigh–Ritz rotation (housekeeping; owns the small eigensolve).
         rr_rotate(psi, ws);
 
-        // Residuals R_b = Hψ_b − ε_b ψ_b.
+        // Residuals R_b = Hψ_b − ε_b ψ_b. NaN eigenvalues must be caught
+        // explicitly: `f64::max` in the residual reduction ignores NaN, so
+        // a poisoned block would otherwise report residual 0 ("converged").
         residual = cg_residual(psi, ws);
+        if !residual.is_finite() || ws.eigenvalues.iter().any(|e| !e.is_finite()) {
+            return Err(SolverError::NonFiniteResidual {
+                iteration: iterations,
+            });
+        }
         if residual <= opts.tol {
             break;
         }
@@ -340,7 +428,12 @@ pub fn solve_all_band_with(
         // matrix; L⁻¹ is applied to Hψ too (linearity) so no extra H·ψ.
         if (iter + 1) % opts.ortho_every == 0 {
             let s = gemm::overlap_hermitian(psi, 1.0);
-            let ch = ls3df_math::Cholesky::new(&s).expect("overlap stays positive definite");
+            let ch = ls3df_math::Cholesky::new(&s).map_err(|e| {
+                SolverError::OverlapNotPositiveDefinite {
+                    iteration: iterations,
+                    detail: e.to_string(),
+                }
+            })?;
             ch.solve_l_block(psi);
             ch.solve_l_block(&mut ws.hpsi);
             ws.have_dir = false; // search directions are stale after re-orthonormalization
@@ -351,26 +444,40 @@ pub fn solve_all_band_with(
     // the residual level between the periodic re-orthonormalizations above.
     // The eigenvalues stay accurate to O(residual²).
     let _ = ortho::cholesky_orthonormalize(psi, 1.0);
-    SolveStats {
+    Ok(SolveStats {
         // alloc-audit: result reporting, once per solve.
         eigenvalues: ws.eigenvalues.clone(),
         residual,
         iterations,
         converged: residual <= opts.tol,
-    }
+    })
 }
 
 /// Band-by-band preconditioned conjugate gradient with Gram–Schmidt
 /// orthogonalization after every step (the pre-optimization PEtot scheme).
+///
+/// Panicking façade over [`try_solve_band_by_band`].
 pub fn solve_band_by_band(
     h: &Hamiltonian<'_>,
     psi: &mut Matrix<c64>,
     opts: &SolverOptions,
 ) -> SolveStats {
+    try_solve_band_by_band(h, psi, opts).expect("band-by-band eigensolve failed")
+}
+
+/// Fallible band-by-band solve; see [`try_solve_all_band_with`] for the
+/// error contract.
+pub fn try_solve_band_by_band(
+    h: &Hamiltonian<'_>,
+    psi: &mut Matrix<c64>,
+    opts: &SolverOptions,
+) -> Result<SolveStats, SolverError> {
     let nb = psi.rows();
     let npw = psi.cols();
     assert!(npw == h.basis().len());
-    ortho::gram_schmidt(psi, 1.0).expect("independent start vectors");
+    ortho::gram_schmidt(psi, 1.0).map_err(|e| SolverError::DependentStartVectors {
+        detail: e.to_string(),
+    })?;
     // Per-band working vectors, allocated once and reused across every
     // band and CG step (the per-step loop below is heap-free).
     // alloc-audit: once per solve, not per step.
@@ -400,6 +507,11 @@ pub fn solve_band_by_band(
             r.copy_from_slice(&hv);
             axpy(c64::real(-eps), &v, &mut r);
             res = nrm2(&r);
+            if !res.is_finite() {
+                return Err(SolverError::NonFiniteResidual {
+                    iteration: step + 1,
+                });
+            }
             if res <= opts.tol {
                 break;
             }
@@ -479,12 +591,12 @@ pub fn solve_band_by_band(
         axpy(c64::real(-eig.values[b]), psi.row(b), &mut r);
         worst = worst.max(nrm2(&r));
     }
-    SolveStats {
+    Ok(SolveStats {
         eigenvalues: eig.values,
         residual: worst,
         iterations,
         converged: worst <= opts.tol * 10.0,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -610,6 +722,47 @@ mod tests {
         );
         // Orthonormality preserved.
         assert!(ortho::orthonormality_residual(&psi, 1.0) < 1e-8);
+    }
+
+    #[test]
+    fn dependent_start_vectors_are_typed_errors() {
+        let grid = Grid3::cubic(8, 7.0);
+        let basis = PwBasis::new(grid.clone(), 1.0);
+        let v = RealField::zeros(grid);
+        let nl = NonlocalPotential::none(&basis);
+        let h = Hamiltonian::new(&basis, v, &nl);
+        let mut psi = rand_block(3, basis.len(), 11);
+        let dup = psi.row(0).to_vec();
+        psi.row_mut(1).copy_from_slice(&dup);
+        let opts = SolverOptions::default();
+        match try_solve_all_band(&h, &mut psi.clone(), &opts) {
+            Err(SolverError::DependentStartVectors { .. }) => {}
+            other => panic!("expected DependentStartVectors, got {other:?}"),
+        }
+        match try_solve_band_by_band(&h, &mut psi, &opts) {
+            Err(SolverError::DependentStartVectors { .. }) => {}
+            other => panic!("expected DependentStartVectors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_potential_reports_non_finite_residual() {
+        let grid = Grid3::cubic(8, 7.0);
+        let basis = PwBasis::new(grid.clone(), 1.0);
+        let v = RealField::from_fn(grid, |_| f64::NAN);
+        let nl = NonlocalPotential::none(&basis);
+        let h = Hamiltonian::new(&basis, v, &nl);
+        let opts = SolverOptions::default();
+        let mut psi = rand_block(3, basis.len(), 13);
+        match try_solve_all_band(&h, &mut psi, &opts) {
+            Err(SolverError::NonFiniteResidual { iteration }) => assert!(iteration >= 1),
+            other => panic!("expected NonFiniteResidual, got {other:?}"),
+        }
+        let mut psi2 = rand_block(3, basis.len(), 17);
+        match try_solve_band_by_band(&h, &mut psi2, &opts) {
+            Err(SolverError::NonFiniteResidual { .. }) => {}
+            other => panic!("expected NonFiniteResidual, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //!    that a steady-state CG step and GENPOT solve stay heap-free (the
 //!    batched-FFT equivalence suite in `crates/fft/tests/batched.rs` rides
 //!    in step 4's full test passes).
+//! 6. `cargo test -p ls3df --test ckpt_resume -q` — the checkpoint-resume
+//!    smoke: a run snapshotted mid-SCF and resumed in a fresh process must
+//!    reproduce the uninterrupted run bit-for-bit (it also rides in
+//!    step 4; the dedicated step makes a checkpoint regression readable at
+//!    a glance in the summary instead of buried in the full suite).
 //!
 //! Every cargo step retries with `--offline` when the first attempt fails
 //! with a registry/network error (the build container has no registry
@@ -41,7 +46,7 @@ pub fn run(root: &Path) -> bool {
     let mut all_ok = true;
     let mut summary: Vec<(String, StepResult, f64)> = Vec::new();
 
-    let steps: [(&str, &[&str]); 4] = [
+    let steps: [(&str, &[&str]); 5] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -67,6 +72,10 @@ pub fn run(root: &Path) -> bool {
                 "zero_alloc",
                 "-q",
             ],
+        ),
+        (
+            "ckpt-resume",
+            &["test", "-p", "ls3df", "--test", "ckpt_resume", "-q"],
         ),
     ];
 
@@ -131,6 +140,15 @@ pub fn run(root: &Path) -> bool {
         }
         summary.push((format!("cargo {name}"), res, secs));
     }
+
+    // Checkpoint-resume smoke (its subprocess legs pin their own
+    // LS3DF_THREADS, so one invocation covers both regimes).
+    let (name, ckpt_args) = steps[4];
+    let (res, secs) = run_cargo_step(root, name, ckpt_args, &[]);
+    if matches!(res, StepResult::Fail) {
+        all_ok = false;
+    }
+    summary.push((format!("cargo {name}"), res, secs));
 
     println!("\n=== ci summary ===");
     for (name, res, secs) in &summary {

@@ -30,6 +30,16 @@
 //!   the steady-state loop. The `alloc-count` zero-allocation test proves
 //!   the steady state is heap-free; this rule keeps new allocations from
 //!   creeping in un-reviewed.
+//! * `ckpt-atomic` — no direct `File::create`/`fs::write` of snapshot
+//!   files: everywhere inside `crates/ckpt/src/`, and anywhere else when
+//!   the surrounding lines mention a snapshot (`.ls3df`, "snapshot").
+//!   A half-written snapshot that survives a crash would poison the next
+//!   resume, so all snapshot writes must flow through the atomic
+//!   temp + fsync + rename writer (`ls3df_ckpt::atomic`). That writer
+//!   itself is marked with a `// ckpt-audit:` comment — the escape hatch
+//!   this rule honors (same 3-line window as `alloc-audit`). Test code
+//!   is exempt: deliberately writing damaged snapshots is how the
+//!   corruption tests work.
 //!
 //! Allowlist: `xtask-lint-allow.txt` at the workspace root. Each
 //! non-comment line is `<path> <rule-id> <reason…>` (whitespace-separated,
@@ -40,12 +50,13 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-const RULES: [&str; 5] = [
+const RULES: [&str; 6] = [
     "no-unwrap",
     "no-float-eq",
     "unsafe-comment",
     "seeded-rng",
     "hot-alloc",
+    "ckpt-atomic",
 ];
 
 /// Files whose steady-state behavior the `alloc-count` test guards:
@@ -268,6 +279,18 @@ fn lint_file(path: &str, content: &str, allow: &mut [AllowEntry], violations: &m
                         .into(),
                 );
             }
+            if ckpt_atomic_missing(path, code, &raw_lines, i) {
+                report(
+                    violations,
+                    allow,
+                    i,
+                    "ckpt-atomic",
+                    "direct file write of a snapshot path — route it through \
+                     the atomic writer (ls3df_ckpt::atomic) or justify with a \
+                     `// ckpt-audit:` comment on it or the 3 lines above"
+                        .into(),
+                );
+            }
         }
 
         // `unsafe` and unseeded RNG are policed everywhere, tests included.
@@ -312,6 +335,33 @@ fn hot_exempt_missing(path: &str, code: &str, raw_lines: &[&str], i: usize) -> b
         return false;
     }
     !(i.saturating_sub(3)..=i).any(|j| raw_lines.get(j).is_some_and(|l| l.contains("alloc-audit:")))
+}
+
+/// `ckpt-atomic`: true when a library code line creates a file on a
+/// snapshot-looking path with no `// ckpt-audit:` justification in the
+/// same 3-line window. Scope: every raw create inside the snapshot crate
+/// (`crates/ckpt/src/`), and creates elsewhere whose nearby lines mention
+/// snapshot paths.
+fn ckpt_atomic_missing(path: &str, code: &str, raw_lines: &[&str], i: usize) -> bool {
+    let writes = ["File::create(", "fs::write("]
+        .iter()
+        .any(|needle| code.contains(needle));
+    if !writes {
+        return false;
+    }
+    let window = i.saturating_sub(3)..=i;
+    let in_scope = path.starts_with("crates/ckpt/src/")
+        || window.clone().any(|j| {
+            raw_lines
+                .get(j)
+                .is_some_and(|l| l.contains(".ls3df") || l.to_lowercase().contains("snapshot"))
+        });
+    if !in_scope {
+        return false;
+    }
+    !window
+        .into_iter()
+        .any(|j| raw_lines.get(j).is_some_and(|l| l.contains("ckpt-audit:")))
 }
 
 /// Does the line contain `==`/`!=` with a float-looking operand? Returns
@@ -617,6 +667,52 @@ mod tests {
             "crates/pw/src/solver.rs",
             "let v = Vec::new();",
             &["let v = Vec::new();"],
+            0
+        ));
+    }
+
+    #[test]
+    fn ckpt_atomic_scoping_and_escape() {
+        // Inside the snapshot crate every raw create is suspect…
+        let lines = [
+            "let tmp = dir.join(name);",
+            "let f = fs::File::create(&tmp)?;",
+        ];
+        assert!(ckpt_atomic_missing(
+            "crates/ckpt/src/atomic.rs",
+            lines[1],
+            &lines,
+            1
+        ));
+        // …unless a ckpt-audit comment in the 3-line window justifies it.
+        let lines = [
+            "// ckpt-audit: the atomic writer itself",
+            "let f = fs::File::create(&tmp)?;",
+        ];
+        assert!(!ckpt_atomic_missing(
+            "crates/ckpt/src/atomic.rs",
+            lines[1],
+            &lines,
+            1
+        ));
+        // Elsewhere only snapshot-looking paths are in scope (raw lines
+        // carry the evidence — string literals are stripped from code).
+        let raw = [
+            "let p = dir.join(\"scf-000001.ls3df\");",
+            "fs::write(&p, bytes)?;",
+        ];
+        let code = ["let p = dir.join(           );", "fs::write(&p, bytes)?;"];
+        assert!(ckpt_atomic_missing(
+            "crates/core/src/scf.rs",
+            code[1],
+            &raw,
+            1
+        ));
+        // Unrelated writes never fire.
+        assert!(!ckpt_atomic_missing(
+            "crates/atoms/src/xyz.rs",
+            "let w = std::fs::File::create(path)?;",
+            &["let w = std::fs::File::create(path)?;"],
             0
         ));
     }

@@ -18,6 +18,7 @@
 pub mod alloc_count;
 
 pub use ls3df_atoms as atoms;
+pub use ls3df_ckpt as ckpt;
 pub use ls3df_core as core;
 pub use ls3df_fft as fft;
 pub use ls3df_grid as grid;
@@ -27,9 +28,11 @@ pub use ls3df_pseudo as pseudo;
 pub use ls3df_pw as pw;
 
 pub use ls3df_atoms::Structure;
+pub use ls3df_ckpt::{CheckpointConfig, CheckpointPolicy, CkptError, CkptErrorKind};
 pub use ls3df_core::{
-    Ls3df, Ls3dfBuilder, Ls3dfError, Ls3dfOptions, Ls3dfResult, Ls3dfStep, Passivation,
-    ScfObserver, ScfStage, SilentObserver, StepTimings,
+    FragmentFault, InjectedFault, Ls3df, Ls3dfBuilder, Ls3dfError, Ls3dfOptions, Ls3dfResult,
+    Ls3dfStep, Passivation, QuarantineRecord, RetryAction, ScfObserver, ScfStage, SilentObserver,
+    StepTimings,
 };
 pub use ls3df_pseudo::PseudoTable;
 pub use ls3df_pw::Mixer;
