@@ -12,7 +12,10 @@ use ls3df_bench::{arg, to_pw_atoms};
 use ls3df_ckpt::{CheckpointConfig, CkptError};
 use ls3df_core::{
     FragmentFault, Ls3df, Ls3dfOptions, Ls3dfStep, Passivation, QuarantineRecord, ScfObserver,
+    ScfStage, TraceObserver,
 };
+use ls3df_hpc::MachineSpec;
+use ls3df_obs::MachineRef;
 use ls3df_pseudo::PseudoTable;
 use ls3df_pw::Mixer;
 use std::io::Write as _;
@@ -20,10 +23,14 @@ use std::path::Path;
 
 /// Console observer for the measured run: the Fig. 6 table row per
 /// iteration, plus supervision events (snapshots written, fragment
-/// retries/quarantines) as indented side notes.
-struct Fig6Observer;
+/// retries/quarantines) as indented side notes. Every event is also
+/// forwarded to the wrapped [`TraceObserver`], which assembles the
+/// `BENCH_scf.json` run report.
+struct Fig6Observer<'a> {
+    tracer: &'a mut TraceObserver,
+}
 
-impl ScfObserver for Fig6Observer {
+impl ScfObserver for Fig6Observer<'_> {
     fn on_step(&mut self, h: &Ls3dfStep) {
         println!(
             "{:>5} {:>14.6e} {:>11.2e} | {:>7.2}s {:>7.2}s {:>7.2}s {:>7.2}s",
@@ -36,18 +43,30 @@ impl ScfObserver for Fig6Observer {
             h.timings.genpot,
         );
         let _ = std::io::stdout().flush();
+        self.tracer.on_step(h);
+    }
+    fn on_stage(&mut self, iteration: usize, stage: ScfStage, seconds: f64) {
+        self.tracer.on_stage(iteration, stage, seconds);
+    }
+    fn on_converged(&mut self, step: &Ls3dfStep) {
+        self.tracer.on_converged(step);
     }
     fn on_fragment_retry(&mut self, iteration: usize, fault: &FragmentFault) {
         println!("      [iter {iteration}] retry: {fault}");
+        self.tracer.on_fragment_retry(iteration, fault);
     }
     fn on_fragment_quarantined(&mut self, iteration: usize, record: &QuarantineRecord) {
         println!("      [iter {iteration}] QUARANTINED: {record}");
+        self.tracer.on_fragment_quarantined(iteration, record);
     }
     fn on_snapshot_written(&mut self, iteration: usize, path: &Path) {
         println!("      [iter {iteration}] snapshot -> {}", path.display());
     }
     fn on_snapshot_failed(&mut self, iteration: usize, error: &CkptError) {
         println!("      [iter {iteration}] snapshot FAILED: {error}");
+    }
+    fn on_snapshot_restored(&mut self, resumed_from_iteration: usize) {
+        self.tracer.on_snapshot_restored(resumed_from_iteration);
     }
 }
 
@@ -113,7 +132,28 @@ fn main() {
         "{:>5} {:>14} {:>11} | {:>8} {:>8} {:>8} {:>8}",
         "iter", "∫|ΔV| (a.u.)", "residual", "Gen_VF", "PEtot_F", "Gendens", "GENPOT"
     );
-    let res = ls.scf_with(Fig6Observer);
+    // Rate the run against the paper's primary machine model at this
+    // host's core count (%-of-peak next to the paper's ~40% figure).
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let spec = MachineSpec::franklin();
+    let machine = MachineRef {
+        name: format!("{} @ {cores} cores", spec.name),
+        peak_gflops: spec.peak(cores) * 1e-9,
+    };
+    let mut tracer = TraceObserver::new("fig6")
+        .with_machine(machine)
+        .with_trace_file("TRACE_fig6.json");
+    let res = ls.scf_with(Fig6Observer {
+        tracer: &mut tracer,
+    });
+    let mut report = tracer.finish();
+    report
+        .extra
+        .push(("atoms".to_string(), ls3df_obs::Json::num(s.len() as f64)));
+    report.extra.push((
+        "fragments".to_string(),
+        ls3df_obs::Json::num(ls.n_fragments() as f64),
+    ));
     let first = res.history.first().map(|h| h.dv_integral).unwrap_or(1.0);
     println!("{}", "-".repeat(72));
     let last = res.history.last().unwrap();
@@ -151,6 +191,15 @@ fn main() {
             "resumable snapshot: {} (fig7 picks this up)",
             snap.display()
         );
+    }
+
+    // Machine-readable run report (EXPERIMENTS.md documents the schema).
+    println!();
+    print!("{}", report.summary_table());
+    let bench_path = Path::new("BENCH_scf.json");
+    match report.write(bench_path) {
+        Ok(()) => println!("run report -> {}", bench_path.display()),
+        Err(e) => eprintln!("run report write failed: {e}"),
     }
 
     // Checkpoint the converged state for fig7 (FSM post-processing).

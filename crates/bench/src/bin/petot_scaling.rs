@@ -18,8 +18,10 @@
 
 use ls3df_bench::{arg, model_crystal};
 use ls3df_core::{Ls3df, Ls3dfOptions, Ls3dfResult, Passivation};
+use ls3df_obs::{Json, Report, Stopwatch};
 use ls3df_pseudo::PseudoTable;
 use ls3df_pw::Mixer;
+use std::path::Path;
 
 /// FNV-1a over the density's raw bit patterns: one number per run that
 /// changes on any single-bit divergence between thread counts.
@@ -123,6 +125,7 @@ fn main() {
         counts.push(max_threads);
     }
 
+    let sw = Stopwatch::start();
     let exe = std::env::current_exe().expect("bench binary path");
     println!(
         "PEtot_F scaling: {m}\u{d7}{m}\u{d7}{m} pieces, {iters} outer iterations, host parallelism {host}"
@@ -178,5 +181,39 @@ fn main() {
                 first.petot / last.petot.max(1e-12)
             );
         }
+    }
+
+    // Machine-readable trajectory (EXPERIMENTS.md documents the schema).
+    // The measured rows live in `extra`: this bin times subprocesses, so
+    // the span/counter sections of the schema stay empty here.
+    let mut report = Report::new("petot_scaling", sw.seconds());
+    report.extra.push(("m".to_string(), Json::num(m as f64)));
+    report
+        .extra
+        .push(("iters".to_string(), Json::num(iters as f64)));
+    report
+        .extra
+        .push(("host_parallelism".to_string(), Json::num(host as f64)));
+    report
+        .extra
+        .push(("density_digest".to_string(), Json::str(reference.clone())));
+    let row_objs = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("threads", Json::num(r.threads as f64)),
+                ("petot_seconds", Json::num(r.petot)),
+                ("total_seconds", Json::num(r.total)),
+                ("digest", Json::str(r.digest.clone())),
+            ])
+        })
+        .collect();
+    report
+        .extra
+        .push(("scaling_rows".to_string(), Json::Arr(row_objs)));
+    let bench_path = Path::new("BENCH_petot_scaling.json");
+    match report.write(bench_path) {
+        Ok(()) => println!("run report -> {}", bench_path.display()),
+        Err(e) => eprintln!("run report write failed: {e}"),
     }
 }

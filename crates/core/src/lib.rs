@@ -29,6 +29,7 @@ pub mod observer;
 mod passivate;
 pub mod scf;
 pub mod supervise;
+mod trace_observer;
 
 pub use energy::Ls3dfEnergy;
 pub use fragment::{Fragment, FragmentGrid};
@@ -43,3 +44,4 @@ pub use scf::{
     StepTimings,
 };
 pub use supervise::{FragmentFault, InjectedFault, QuarantineRecord, RetryAction, ATTEMPT_LADDER};
+pub use trace_observer::TraceObserver;

@@ -19,6 +19,7 @@ use ls3df_atoms::{topology_cutoff, Structure};
 use ls3df_ckpt::{read_bytes, write_rotated, CheckpointConfig, CkptError, Snapshot};
 use ls3df_grid::{Grid3, RealField};
 use ls3df_math::{c64, Matrix};
+use ls3df_obs::{counter_add, span, Counter, Stopwatch};
 use ls3df_pseudo::PseudoTable;
 use ls3df_pw::{
     density, effective_potential_with, initial_density, ionic_potential, solver, Hamiltonian,
@@ -28,7 +29,6 @@ use ls3df_pw::{
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Options for an LS3DF run.
 #[derive(Clone, Debug)]
@@ -501,6 +501,8 @@ fn supervised_solve(
     fresh_steps: usize,
     method: SolverMethod,
 ) -> FragmentOutcome {
+    let _frag_span = span!("frag", index);
+    counter_add(Counter::FragmentSolves, 1);
     // Refresh the quarantine restore buffer with the warm-start block as
     // it stood before this iteration touched it.
     fs.psi_backup
@@ -985,22 +987,31 @@ impl Ls3df {
                 break;
             }
             let mut timings = StepTimings::default();
+            let _iter_span = span!("scf_iter", iteration);
 
-            let t = Instant::now();
-            let vfs = self.gen_vf();
-            timings.gen_vf = t.elapsed().as_secs_f64();
+            let t = Stopwatch::start();
+            let vfs = {
+                let _s = span!("gen_vf");
+                self.gen_vf()
+            };
+            timings.gen_vf = t.seconds();
             observer.on_stage(iteration, ScfStage::GenVf, timings.gen_vf);
 
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let steps = if iteration == 1 {
                 self.opts.initial_cg_steps.max(self.opts.cg_steps)
             } else {
                 self.opts.cg_steps
             };
-            let petot = self.petot_f_supervised(&vfs, steps);
-            timings.petot_f = t.elapsed().as_secs_f64();
+            let petot = {
+                let _s = span!("petot_f");
+                self.petot_f_supervised(&vfs, steps)
+            };
+            timings.petot_f = t.seconds();
             // Fault events replay in fragment order after the parallel
             // stage completes, so the observer stream is deterministic.
+            counter_add(Counter::RetryRungs, petot.faults.len() as u64);
+            counter_add(Counter::Quarantines, petot.quarantined.len() as u64);
             for fault in &petot.faults {
                 observer.on_fragment_retry(iteration, fault);
             }
@@ -1011,16 +1022,26 @@ impl Ls3df {
             quarantined.extend(petot.quarantined);
             observer.on_stage(iteration, ScfStage::PetotF, timings.petot_f);
 
-            let t = Instant::now();
-            let rho = self.gen_dens();
-            timings.gen_dens = t.elapsed().as_secs_f64();
+            let t = Stopwatch::start();
+            let rho = {
+                let _s = span!("gen_dens");
+                self.gen_dens()
+            };
+            timings.gen_dens = t.seconds();
             observer.on_stage(iteration, ScfStage::GenDens, timings.gen_dens);
 
-            let t = Instant::now();
-            let v_out = self.genpot(&rho);
-            let dv_integral = v_out.diff(&self.v_in).integrate_abs();
-            let mixed = mixer.mix(&self.v_in, &v_out, self.global_basis.fft());
-            timings.genpot = t.elapsed().as_secs_f64();
+            let t = Stopwatch::start();
+            let (v_out, dv_integral, mixed) = {
+                let _s = span!("genpot");
+                let v_out = self.genpot(&rho);
+                let dv_integral = v_out.diff(&self.v_in).integrate_abs();
+                let mixed = {
+                    let _m = span!("mix");
+                    mixer.mix(&self.v_in, &v_out, self.global_basis.fft())
+                };
+                (v_out, dv_integral, mixed)
+            };
+            timings.genpot = t.seconds();
             observer.on_stage(iteration, ScfStage::Genpot, timings.genpot);
 
             self.rho = rho;
@@ -1040,6 +1061,7 @@ impl Ls3df {
 
             if let Some(cfg) = &self.ckpt {
                 if cfg.policy.wants_snapshot(iteration, converged) {
+                    let _s = span!("snapshot");
                     match self.snapshot_bytes(iteration, converged, &history, mixer.history()) {
                         Ok(bytes) => {
                             match write_rotated(&cfg.dir, iteration, &bytes, cfg.keep_last) {

@@ -17,6 +17,7 @@
 
 use crate::plan::{Fft1d, Fft1dWorkspace};
 use ls3df_math::c64;
+use ls3df_obs::{counter_add, Counter};
 
 /// Reusable scratch for one [`Fft3`] plan (one [`Fft1dWorkspace`] per
 /// axis). Build with [`Fft3::workspace`], once per thread.
@@ -106,6 +107,7 @@ impl Fft3 {
 
     fn run_with(&self, data: &mut [c64], fwd: bool, ws: &mut Fft3Workspace) {
         assert_eq!(data.len(), self.len(), "Fft3: buffer length mismatch");
+        counter_add(Counter::Fft3Transforms, 1);
         let (n1, n2, n3) = (self.n1, self.n2, self.n3);
 
         // X lines are contiguous: one slice per (y,z) pair.

@@ -11,6 +11,7 @@
 //! `inverse` carries the full `1/n`.
 
 use ls3df_math::c64;
+use ls3df_obs::{counter_add, Counter};
 use std::f64::consts::PI;
 
 /// Lines gathered per block by the strided batch API: big enough that the
@@ -36,6 +37,9 @@ pub struct Fft1dWorkspace {
 pub struct Fft1d {
     n: usize,
     kind: Kind,
+    /// Estimated flops per transformed line, fixed at plan build so the
+    /// metrics probe in the hot path is a single multiply-add.
+    line_flops: u64,
 }
 
 enum Kind {
@@ -75,7 +79,28 @@ impl Fft1d {
         } else {
             Kind::Bluestein(Box::new(Bluestein::new(n)))
         };
-        Fft1d { n, kind }
+        let line_flops = estimated_line_flops(n, &kind);
+        Fft1d {
+            n,
+            kind,
+            line_flops,
+        }
+    }
+
+    /// Records `lines` transformed lines in the metrics registry (plan
+    /// kind + estimated flops). Const-folds to nothing when collection
+    /// is off.
+    #[inline(always)]
+    fn record_lines(&self, lines: u64) {
+        if ls3df_obs::ENABLED {
+            let counter = match &self.kind {
+                Kind::Trivial => Counter::FftLinesTrivial,
+                Kind::Radix2(_) => Counter::FftLinesRadix2,
+                Kind::Bluestein(_) => Counter::FftLinesBluestein,
+            };
+            counter_add(counter, lines);
+            counter_add(Counter::FftFlops, lines * self.line_flops);
+        }
     }
 
     /// Transform length.
@@ -112,6 +137,7 @@ impl Fft1d {
     /// [`Fft1d::forward_with`].
     pub fn forward(&self, data: &mut [c64]) {
         assert_eq!(data.len(), self.n, "Fft1d::forward: length mismatch");
+        self.record_lines(1);
         match &self.kind {
             Kind::Trivial => {}
             Kind::Radix2(r) => r.run(data, Direction::Forward),
@@ -129,6 +155,7 @@ impl Fft1d {
     /// [`Fft1d::forward`] for the allocation caveat.
     pub fn inverse(&self, data: &mut [c64]) {
         assert_eq!(data.len(), self.n, "Fft1d::inverse: length mismatch");
+        self.record_lines(1);
         match &self.kind {
             Kind::Trivial => {}
             Kind::Radix2(r) => r.run(data, Direction::Inverse),
@@ -147,6 +174,7 @@ impl Fft1d {
     /// [`Fft1d::forward`] using caller-provided scratch — no heap traffic.
     pub fn forward_with(&self, data: &mut [c64], ws: &mut Fft1dWorkspace) {
         assert_eq!(data.len(), self.n, "Fft1d::forward_with: length mismatch");
+        self.record_lines(1);
         match &self.kind {
             Kind::Trivial => {}
             Kind::Radix2(r) => r.run(data, Direction::Forward),
@@ -160,6 +188,7 @@ impl Fft1d {
     /// [`Fft1d::inverse`] using caller-provided scratch — no heap traffic.
     pub fn inverse_with(&self, data: &mut [c64], ws: &mut Fft1dWorkspace) {
         assert_eq!(data.len(), self.n, "Fft1d::inverse_with: length mismatch");
+        self.record_lines(1);
         match &self.kind {
             Kind::Trivial => {}
             Kind::Radix2(r) => r.run(data, Direction::Inverse),
@@ -219,9 +248,16 @@ impl Fft1d {
         assert!(n_lines <= stride, "Fft1d: lines overlap (n_lines > stride)");
         assert_eq!(data.len(), n * stride, "Fft1d: strided buffer mismatch");
         assert_eq!(ws.batch.len(), LINE_BLOCK * n, "Fft1d: workspace mismatch");
+        self.record_lines(n_lines as u64);
         if n == 1 {
             return; // length-1 lines are identity (1/n = 1 for the inverse)
         }
+        // Each line is gathered into the batch buffer and scattered back:
+        // 2 · 16 bytes per complex element through the strided staging.
+        counter_add(
+            Counter::FftGatherScatterBytes,
+            2 * (n_lines * n * size_of::<c64>()) as u64,
+        );
         let inv = 1.0 / n as f64;
         let mut l0 = 0;
         while l0 < n_lines {
@@ -268,6 +304,25 @@ impl Fft1d {
 enum Direction {
     Forward,
     Inverse,
+}
+
+/// Flop estimate for one transformed line, fixed at plan build.
+///
+/// Radix-2 uses the standard `5·n·log2 n` complex-FFT count. Bluestein
+/// runs two inner radix-2 transforms of size `m = (2n−1).next_power_of_two()`
+/// (the size-m filter FFT is amortized into the plan) plus the chirp
+/// multiply, filter multiply, and de-chirp — `O(m + n)` complex
+/// multiplies at 6 flops each, with the final de-chirp also scaling.
+fn estimated_line_flops(n: usize, kind: &Kind) -> u64 {
+    match kind {
+        Kind::Trivial => 0,
+        Kind::Radix2(_) => 5 * n as u64 * u64::from(n.trailing_zeros()),
+        Kind::Bluestein(b) => {
+            let m = b.m as u64;
+            let log_m = u64::from(b.m.trailing_zeros());
+            10 * m * log_m + 6 * m + 14 * n as u64
+        }
+    }
 }
 
 impl Radix2 {

@@ -1,0 +1,67 @@
+//! Monotonic time sources.
+//!
+//! Two consumers with different needs share one clock here:
+//!
+//! * [`Stopwatch`] — the *always-available* coarse timer the SCF driver
+//!   uses for its per-stage [`StepTimings`] — those timings are part of
+//!   the driver's public result and must exist whether or not span
+//!   collection is compiled in. This is also the sanctioned replacement
+//!   for ad-hoc `std::time::Instant` in the instrumented crates (the
+//!   `raw-timer` xtask-lint rule forbids the latter).
+//! * the span layer — needs nanosecond offsets from a single process-wide
+//!   epoch so events from different threads land on one timeline
+//!   ([`epoch_nanos`]).
+//!
+//! [`StepTimings`]: https://docs.rs/ls3df-core
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide observability epoch (lazily fixed
+/// at the first call from any thread). Saturates at `u64::MAX` — ~584
+/// years of process uptime.
+pub fn epoch_nanos() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A started wall-clock timer: [`Stopwatch::start`], do work, read
+/// [`Stopwatch::seconds`].
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monotone() {
+        let a = epoch_nanos();
+        let b = epoch_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_reads_nonnegative() {
+        let sw = Stopwatch::start();
+        assert!(sw.seconds() >= 0.0);
+    }
+}

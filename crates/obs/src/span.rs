@@ -1,0 +1,297 @@
+//! Hierarchical scoped span timers with thread-local buffers.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed
+//! when the returned [`SpanGuard`] drops:
+//!
+//! ```
+//! {
+//!     let _g = ls3df_obs::span!("petot_f");
+//!     // ... work ...
+//!     let _inner = ls3df_obs::span!("frag", 3);
+//! } // both spans close here, innermost first
+//! ```
+//!
+//! Collection model: each thread buffers its finished spans in a
+//! `thread_local!` `Vec` and tracks its own nesting depth. When a
+//! *root* span (depth 0) closes, the buffer is drained into a global
+//! mutex-protected sink — so the lock is taken once per root span per
+//! thread, never inside the hot nesting. Worker threads of the
+//! work-stealing pool additionally call [`flush_thread`] before parking
+//! so nothing lingers in a sleeping worker's buffer.
+//!
+//! Thread identity is captured on first use: a dense id from a global
+//! counter plus the OS thread name (the pool names its workers
+//! `ls3df-worker-{i}`), which the chrome://tracing export surfaces as
+//! lane labels.
+//!
+//! With the `enabled` feature off, [`SpanGuard`] is a zero-sized type
+//! with no `Drop` impl and every function here is an empty
+//! `#[inline(always)]` stub — a disabled span compiles to nothing.
+
+/// Index value meaning "this span has no index" (plain `span!("label")`).
+pub const NO_INDEX: u64 = u64::MAX;
+
+/// One closed span, on the process-wide timeline of
+/// [`epoch_nanos`](crate::clock::epoch_nanos).
+#[derive(Clone, Debug)]
+pub struct FinishedSpan {
+    /// Static label from the `span!` call site.
+    pub label: &'static str,
+    /// Call-site index (fragment id, iteration, …) or [`NO_INDEX`].
+    pub index: u64,
+    /// Open time, ns since the obs epoch.
+    pub start_ns: u64,
+    /// Close time, ns since the obs epoch.
+    pub end_ns: u64,
+    /// Nesting depth on its thread at open time (0 = root).
+    pub depth: u32,
+    /// Dense id of the recording thread.
+    pub tid: u32,
+}
+
+impl FinishedSpan {
+    /// Span duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.end_ns.saturating_sub(self.start_ns) as f64 * 1e-9
+    }
+
+    /// `label` or `label:index` for display.
+    pub fn display_label(&self) -> String {
+        if self.index == NO_INDEX {
+            self.label.to_string()
+        } else {
+            format!("{}:{}", self.label, self.index)
+        }
+    }
+}
+
+/// Opens a scoped span; it closes when the returned guard drops.
+///
+/// `span!("label")` or `span!("label", index)` where `index` is any
+/// integer (fragment id, iteration number). Labels must be `&'static
+/// str` — use the index argument for dynamic parts rather than
+/// formatting into the label.
+#[macro_export]
+macro_rules! span {
+    ($label:expr) => {
+        $crate::span::SpanGuard::enter($label)
+    };
+    ($label:expr, $index:expr) => {
+        $crate::span::SpanGuard::enter_indexed($label, $index as u64)
+    };
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::{FinishedSpan, NO_INDEX};
+    use crate::clock::epoch_nanos;
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Mutex;
+
+    static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+    static SINK: Mutex<Vec<FinishedSpan>> = Mutex::new(Vec::new());
+    static THREADS: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+
+    struct ThreadBuf {
+        events: Vec<FinishedSpan>,
+        depth: u32,
+        tid: u32,
+    }
+
+    thread_local! {
+        static BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::register());
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    impl ThreadBuf {
+        fn register() -> Self {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map_or_else(|| format!("thread-{tid}"), str::to_string);
+            lock(&THREADS).push((tid, name));
+            ThreadBuf {
+                events: Vec::new(),
+                depth: 0,
+                tid,
+            }
+        }
+    }
+
+    /// Scope timer: records a [`FinishedSpan`] when dropped.
+    pub struct SpanGuard {
+        label: &'static str,
+        index: u64,
+        start_ns: u64,
+        depth: u32,
+    }
+
+    impl SpanGuard {
+        /// Opens an unindexed span.
+        #[inline]
+        pub fn enter(label: &'static str) -> Self {
+            Self::enter_indexed(label, NO_INDEX)
+        }
+
+        /// Opens a span carrying a call-site index.
+        #[inline]
+        pub fn enter_indexed(label: &'static str, index: u64) -> Self {
+            let depth = BUF
+                .try_with(|b| {
+                    let mut b = b.borrow_mut();
+                    let d = b.depth;
+                    b.depth += 1;
+                    d
+                })
+                .unwrap_or(0);
+            SpanGuard {
+                label,
+                index,
+                start_ns: epoch_nanos(),
+                depth,
+            }
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let end_ns = epoch_nanos();
+            // try_with: a span dropped during thread teardown (after TLS
+            // destruction) is silently lost rather than panicking.
+            let _ = BUF.try_with(|b| {
+                let mut b = b.borrow_mut();
+                let tid = b.tid;
+                b.events.push(FinishedSpan {
+                    label: self.label,
+                    index: self.index,
+                    start_ns: self.start_ns,
+                    end_ns,
+                    depth: self.depth,
+                    tid,
+                });
+                b.depth = b.depth.saturating_sub(1);
+                if b.depth == 0 {
+                    lock(&SINK).append(&mut b.events);
+                }
+            });
+        }
+    }
+
+    /// Drains the calling thread's buffer into the global sink.
+    pub fn flush_thread() {
+        let _ = BUF.try_with(|b| {
+            let mut b = b.borrow_mut();
+            if !b.events.is_empty() {
+                lock(&SINK).append(&mut b.events);
+            }
+        });
+    }
+
+    /// Takes every flushed span plus the thread-name registry (names are
+    /// retained for subsequent drains; spans are not).
+    pub fn drain() -> (Vec<FinishedSpan>, Vec<(u32, String)>) {
+        let spans = std::mem::take(&mut *lock(&SINK));
+        let threads = lock(&THREADS).clone();
+        (spans, threads)
+    }
+
+    /// Discards all flushed spans.
+    pub fn clear() {
+        lock(&SINK).clear();
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use super::FinishedSpan;
+
+    /// Scope timer (disabled build: zero-sized, records nothing).
+    pub struct SpanGuard;
+
+    impl SpanGuard {
+        /// Opens an unindexed span (disabled: no-op).
+        #[inline(always)]
+        pub fn enter(_label: &'static str) -> Self {
+            SpanGuard
+        }
+
+        /// Opens an indexed span (disabled: no-op).
+        #[inline(always)]
+        pub fn enter_indexed(_label: &'static str, _index: u64) -> Self {
+            SpanGuard
+        }
+    }
+
+    /// Disabled build: no-op.
+    #[inline(always)]
+    pub fn flush_thread() {}
+
+    /// Disabled build: always empty.
+    pub fn drain() -> (Vec<FinishedSpan>, Vec<(u32, String)>) {
+        (Vec::new(), Vec::new())
+    }
+
+    /// Disabled build: no-op.
+    #[inline(always)]
+    pub fn clear() {}
+}
+
+pub use imp::{clear, drain, flush_thread, SpanGuard};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_is_zero_sized_when_disabled() {
+        if !cfg!(feature = "enabled") {
+            assert_eq!(size_of::<SpanGuard>(), 0);
+        }
+    }
+
+    #[test]
+    fn display_label_includes_index() {
+        let s = FinishedSpan {
+            label: "frag",
+            index: 7,
+            start_ns: 0,
+            end_ns: 1_000_000_000,
+            depth: 0,
+            tid: 0,
+        };
+        assert_eq!(s.display_label(), "frag:7");
+        assert!((s.seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn nested_spans_record_depths_and_flush_at_root_close() {
+        clear();
+        {
+            let _root = crate::span!("test_root");
+            {
+                let _child = crate::span!("test_child", 3);
+            }
+        }
+        let (spans, threads) = drain();
+        let root = spans.iter().find(|s| s.label == "test_root");
+        let child = spans.iter().find(|s| s.label == "test_child");
+        match (root, child) {
+            (Some(r), Some(c)) => {
+                assert_eq!(r.depth, 0);
+                assert_eq!(c.depth, 1);
+                assert_eq!(c.index, 3);
+                assert!(c.start_ns >= r.start_ns && c.end_ns <= r.end_ns);
+                assert!(threads.iter().any(|(tid, _)| *tid == r.tid));
+            }
+            _ => panic!("expected both spans to be recorded: {spans:?}"),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! chrome://tracing export: spans as Trace Event Format JSON.
+//!
+//! Writes the classic array-of-events form understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one
+//! `"ph": "X"` (complete) event per span with microsecond timestamps,
+//! preceded by `"ph": "M"` metadata events naming each thread lane
+//! (the pool's `ls3df-worker-{i}` names show up as lanes).
+
+use crate::json::Json;
+use crate::span::FinishedSpan;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Renders spans and thread names as a Trace Event Format document.
+pub fn chrome_trace_json(spans: &[FinishedSpan], threads: &[(u32, String)]) -> Json {
+    let mut events: Vec<Json> = Vec::with_capacity(spans.len() + threads.len());
+    for (tid, name) in threads {
+        events.push(Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::num(1.0)),
+            ("tid", Json::num(f64::from(*tid))),
+            ("args", Json::obj(vec![("name", Json::str(&**name))])),
+        ]));
+    }
+    for span in spans {
+        events.push(Json::obj(vec![
+            ("name", Json::str(span.display_label())),
+            ("ph", Json::str("X")),
+            ("pid", Json::num(1.0)),
+            ("tid", Json::num(f64::from(span.tid))),
+            ("ts", Json::num(span.start_ns as f64 * 1e-3)),
+            (
+                "dur",
+                Json::num(span.end_ns.saturating_sub(span.start_ns) as f64 * 1e-3),
+            ),
+        ]));
+    }
+    Json::Arr(events)
+}
+
+/// Writes the trace-event file to `path` (truncating). Load it in
+/// `chrome://tracing` or Perfetto to see the run on a timeline.
+pub fn write_chrome_trace(
+    path: &Path,
+    spans: &[FinishedSpan],
+    threads: &[(u32, String)],
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(chrome_trace_json(spans, threads).render().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::NO_INDEX;
+
+    #[test]
+    fn trace_events_carry_lane_metadata_and_microseconds() {
+        let spans = [FinishedSpan {
+            label: "petot_f",
+            index: NO_INDEX,
+            start_ns: 2_000,
+            end_ns: 5_000,
+            depth: 0,
+            tid: 3,
+        }];
+        let threads = [(3, "ls3df-worker-3".to_string())];
+        let doc = chrome_trace_json(&spans, &threads);
+        let events = doc.as_array().expect("array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+        let x = &events[1];
+        assert_eq!(x.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(x.get("ts").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(x.get("dur").and_then(Json::as_f64), Some(3.0));
+    }
+}

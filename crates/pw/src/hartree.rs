@@ -70,6 +70,7 @@ impl HartreeSolver {
     pub fn solve_into(&self, rho: &RealField, out: &mut RealField) {
         assert_eq!(rho.grid(), &self.grid, "hartree: density grid mismatch");
         assert_eq!(out.grid(), &self.grid, "hartree: output grid mismatch");
+        ls3df_obs::counter_add(ls3df_obs::Counter::HartreeSolves, 1);
         let scratch = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop();
         // alloc-audit: pool warmup only — steady state reuses the scratch.
         let mut scratch = scratch.unwrap_or_else(|| HartreeScratch {

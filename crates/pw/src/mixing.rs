@@ -67,6 +67,7 @@ impl MixerState {
     /// pair.
     pub fn mix(&mut self, v_in: &RealField, v_out: &RealField, fft: &Fft3) -> RealField {
         assert_eq!(v_in.grid(), v_out.grid(), "mix: grid mismatch");
+        ls3df_obs::counter_add(ls3df_obs::Counter::MixerApplies, 1);
         match self.scheme {
             Mixer::Linear { alpha } => {
                 let mut v = v_in.clone();

@@ -19,6 +19,7 @@ use ls3df_math::gemm::{self, Op};
 use ls3df_math::ortho;
 use ls3df_math::vec_ops::{axpy, dotc, dscal, nrm2};
 use ls3df_math::{c64, eigh_fast as eigh, Matrix};
+use ls3df_obs::{counter_add, Counter};
 
 /// Options controlling the iterative eigensolvers.
 #[derive(Clone, Debug)]
@@ -423,6 +424,7 @@ pub fn try_solve_all_band_with(
         // The allocation-free hot path: precondition, β-combine, project,
         // normalize, one H·d application, per-band line minimization.
         cg_step(h, psi, ws, iter % opts.cg_reset == 0);
+        counter_add(Counter::CgBandIterations, nb as u64);
 
         // Re-impose exact orthonormality every few steps via the overlap
         // matrix; L⁻¹ is applied to Hψ too (linearity) so no extra H·ψ.
@@ -544,6 +546,7 @@ pub fn try_solve_band_by_band(
             dscal(1.0 / n, &mut d);
             d_prev.copy_from_slice(&d);
             have_prev = true;
+            counter_add(Counter::CgBandIterations, 1);
             h.apply_vec_with(&d, &mut hd, &mut ham_ws);
             eps = line_minimize(&mut v, &mut hv, &mut d, &mut hd, eps);
         }

@@ -17,6 +17,13 @@
 //!    reproduce the uninterrupted run bit-for-bit (it also rides in
 //!    step 4; the dedicated step makes a checkpoint regression readable at
 //!    a glance in the summary instead of buried in the full suite).
+//! 7. `cargo test -p ls3df --test obs_report -q` twice: once with
+//!    `--features obs,alloc-count` (a small instrumented SCF must emit a
+//!    schema-valid run report with ≥95% wall-time attribution and the
+//!    allocator probe feeding the metrics registry) and once with default
+//!    features (the obs-off build must be a true no-op: zero-sized span
+//!    guards, empty registries, reports flagged `obs_enabled: false`).
+//!    Both feature states of the same test file must compile and pass.
 //!
 //! Every cargo step retries with `--offline` when the first attempt fails
 //! with a registry/network error (the build container has no registry
@@ -46,7 +53,7 @@ pub fn run(root: &Path) -> bool {
     let mut all_ok = true;
     let mut summary: Vec<(String, StepResult, f64)> = Vec::new();
 
-    let steps: [(&str, &[&str]); 5] = [
+    let steps: [(&str, &[&str]); 7] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -76,6 +83,25 @@ pub fn run(root: &Path) -> bool {
         (
             "ckpt-resume",
             &["test", "-p", "ls3df", "--test", "ckpt_resume", "-q"],
+        ),
+        (
+            "obs-report [obs]",
+            &[
+                "test",
+                "-p",
+                "ls3df",
+                "--features",
+                "obs,alloc-count",
+                "--test",
+                "obs_report",
+                "--test",
+                "observer_order",
+                "-q",
+            ],
+        ),
+        (
+            "obs-report [off]",
+            &["test", "-p", "ls3df", "--test", "obs_report", "-q"],
         ),
     ];
 
@@ -142,13 +168,18 @@ pub fn run(root: &Path) -> bool {
     }
 
     // Checkpoint-resume smoke (its subprocess legs pin their own
-    // LS3DF_THREADS, so one invocation covers both regimes).
-    let (name, ckpt_args) = steps[4];
-    let (res, secs) = run_cargo_step(root, name, ckpt_args, &[]);
-    if matches!(res, StepResult::Fail) {
-        all_ok = false;
+    // LS3DF_THREADS, so one invocation covers both regimes), then the
+    // observability gate: the instrumented leg (obs + alloc-count,
+    // schema-valid report with attribution/flop rates, hook-ordering
+    // contract) and the obs-off leg (no-op contract — zero-sized span
+    // guards, empty registries, reports flagged disabled).
+    for (name, args) in [steps[4], steps[5], steps[6]] {
+        let (res, secs) = run_cargo_step(root, name, args, &[]);
+        if matches!(res, StepResult::Fail) {
+            all_ok = false;
+        }
+        summary.push((format!("cargo {name}"), res, secs));
     }
-    summary.push((format!("cargo {name}"), res, secs));
 
     println!("\n=== ci summary ===");
     for (name, res, secs) in &summary {

@@ -40,6 +40,14 @@
 //!   this rule honors (same 3-line window as `alloc-audit`). Test code
 //!   is exempt: deliberately writing damaged snapshots is how the
 //!   corruption tests work.
+//! * `raw-timer` — no ad-hoc `std::time::Instant` in the instrumented
+//!   crates (`crates/fft`, `crates/pw`, `crates/core`): timing there must
+//!   flow through `ls3df-obs` (`Stopwatch` for coarse wall clocks, the
+//!   `span!` macro for everything else) so every measurement lands in the
+//!   run report on one shared timeline and compiles out with the feature.
+//!   Escape hatch: an `// obs-audit:` comment in the usual 3-line window.
+//!   Tests, benches, examples and `ls3df-obs` itself (the one place the
+//!   raw clock belongs) stay exempt.
 //!
 //! Allowlist: `xtask-lint-allow.txt` at the workspace root. Each
 //! non-comment line is `<path> <rule-id> <reason…>` (whitespace-separated,
@@ -50,13 +58,14 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-const RULES: [&str; 6] = [
+const RULES: [&str; 7] = [
     "no-unwrap",
     "no-float-eq",
     "unsafe-comment",
     "seeded-rng",
     "hot-alloc",
     "ckpt-atomic",
+    "raw-timer",
 ];
 
 /// Files whose steady-state behavior the `alloc-count` test guards:
@@ -291,6 +300,19 @@ fn lint_file(path: &str, content: &str, allow: &mut [AllowEntry], violations: &m
                         .into(),
                 );
             }
+            if raw_timer_missing(path, code, &raw_lines, i) {
+                report(
+                    violations,
+                    allow,
+                    i,
+                    "raw-timer",
+                    "ad-hoc `Instant` in an instrumented crate — time through \
+                     ls3df-obs (`Stopwatch` or `span!`) so the measurement \
+                     reaches the run report, or justify with an \
+                     `// obs-audit:` comment on it or the 3 lines above"
+                        .into(),
+                );
+            }
         }
 
         // `unsafe` and unseeded RNG are policed everywhere, tests included.
@@ -362,6 +384,24 @@ fn ckpt_atomic_missing(path: &str, code: &str, raw_lines: &[&str], i: usize) -> 
     !window
         .into_iter()
         .any(|j| raw_lines.get(j).is_some_and(|l| l.contains("ckpt-audit:")))
+}
+
+/// Files where timing must flow through ls3df-obs: the three instrumented
+/// crates. `ls3df-obs` itself (crates/obs) owns the raw clock and is out
+/// of scope by construction.
+fn raw_timer_in_scope(path: &str) -> bool {
+    ["crates/fft/src/", "crates/pw/src/", "crates/core/src/"]
+        .iter()
+        .any(|p| path.starts_with(p))
+}
+
+/// `raw-timer`: true when an in-scope code line mentions `Instant` with no
+/// `// obs-audit:` justification on it or the three lines above.
+fn raw_timer_missing(path: &str, code: &str, raw_lines: &[&str], i: usize) -> bool {
+    if !raw_timer_in_scope(path) || !has_word(code, "Instant") {
+        return false;
+    }
+    !(i.saturating_sub(3)..=i).any(|j| raw_lines.get(j).is_some_and(|l| l.contains("obs-audit:")))
 }
 
 /// Does the line contain `==`/`!=` with a float-looking operand? Returns
@@ -713,6 +753,51 @@ mod tests {
             "crates/atoms/src/xyz.rs",
             "let w = std::fs::File::create(path)?;",
             &["let w = std::fs::File::create(path)?;"],
+            0
+        ));
+    }
+
+    #[test]
+    fn raw_timer_scoping_and_escape() {
+        // Only the instrumented crates are in scope.
+        assert!(raw_timer_in_scope("crates/core/src/scf.rs"));
+        assert!(raw_timer_in_scope("crates/fft/src/plan.rs"));
+        assert!(raw_timer_in_scope("crates/pw/src/solver.rs"));
+        assert!(!raw_timer_in_scope("crates/obs/src/clock.rs"));
+        assert!(!raw_timer_in_scope("crates/xtask/src/ci.rs"));
+        assert!(!raw_timer_in_scope("crates/bench/src/bin/fig6.rs"));
+        // An in-scope `Instant` fires…
+        let lines = ["let t = Instant::now();"];
+        assert!(raw_timer_missing(
+            "crates/core/src/scf.rs",
+            lines[0],
+            &lines,
+            0
+        ));
+        // …word-boundary: identifiers containing the word do not.
+        let lines = ["let x = InstantaneousRate::new();"];
+        assert!(!raw_timer_missing(
+            "crates/core/src/scf.rs",
+            lines[0],
+            &lines,
+            0
+        ));
+        // …an obs-audit comment within the window silences it…
+        let lines = [
+            "// obs-audit: clock for a diagnostic outside the report",
+            "let t = std::time::Instant::now();",
+        ];
+        assert!(!raw_timer_missing(
+            "crates/core/src/scf.rs",
+            lines[1],
+            &lines,
+            1
+        ));
+        // …and out-of-scope files never fire.
+        assert!(!raw_timer_missing(
+            "crates/hpc/src/machine.rs",
+            "let t = Instant::now();",
+            &["let t = Instant::now();"],
             0
         ));
     }

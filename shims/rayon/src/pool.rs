@@ -372,8 +372,15 @@ fn worker_main(state: Arc<PoolState>, index: usize) {
             Some(job) => unsafe { (job.execute)(job.data) },
             None => {
                 if state.shutdown.load(Ordering::Acquire) {
+                    // Push any buffered observability spans to the global
+                    // sink before this worker thread (and its thread-local
+                    // buffer) disappears. No-op unless `obs` is enabled.
+                    ls3df_obs::flush_thread();
                     return;
                 }
+                // Going idle: hand buffered spans to the aggregator so a
+                // report harvested while workers sleep sees all of them.
+                ls3df_obs::flush_thread();
                 // Park briefly on the injector condvar; the timeout
                 // re-scans for steals published without a notification.
                 let guard = lock(&state.injector);

@@ -23,6 +23,14 @@ pub fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// Folds the allocator total into the `ls3df-obs` metrics registry:
+/// after this, [`ls3df_obs::harvest`](ls3df_obs::harvest) snapshots
+/// include an `"allocations"` counter and run reports carry it. Safe to
+/// call more than once (the first installed probe wins).
+pub fn install_metrics_probe() {
+    ls3df_obs::set_alloc_probe(allocation_count);
+}
+
 /// A [`System`]-backed allocator that counts every allocation request.
 ///
 /// Install with

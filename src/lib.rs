@@ -24,6 +24,7 @@ pub use ls3df_fft as fft;
 pub use ls3df_grid as grid;
 pub use ls3df_hpc as hpc;
 pub use ls3df_math as math;
+pub use ls3df_obs as obs;
 pub use ls3df_pseudo as pseudo;
 pub use ls3df_pw as pw;
 
@@ -32,7 +33,7 @@ pub use ls3df_ckpt::{CheckpointConfig, CheckpointPolicy, CkptError, CkptErrorKin
 pub use ls3df_core::{
     FragmentFault, InjectedFault, Ls3df, Ls3dfBuilder, Ls3dfError, Ls3dfOptions, Ls3dfResult,
     Ls3dfStep, Passivation, QuarantineRecord, RetryAction, ScfObserver, ScfStage, SilentObserver,
-    StepTimings,
+    StepTimings, TraceObserver,
 };
 pub use ls3df_pseudo::PseudoTable;
 pub use ls3df_pw::Mixer;
