@@ -1,5 +1,9 @@
 #!/bin/sh
-# Tier-1 CI gate for ls3df-rs: formatting, clippy, repo lints, tests.
+# Tier-1 CI gate for ls3df-rs: formatting, clippy, the token-aware repo
+# lint + its fixture corpus, tests, the zero-alloc and checkpoint/fault
+# suites, schedule exploration (cargo xtask schedules), and the Miri
+# unsafe-core gate (cargo xtask miri — skips loudly when Miri is not
+# installed, e.g. in this offline container).
 #
 # Everything runs through `cargo xtask ci` (crates/xtask), which itself
 # retries each cargo step with --offline when the registry is

@@ -6,6 +6,7 @@
 //! detection, and the Keating valence-force-field relaxation the paper
 //! uses for alloy geometries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod defects;

@@ -17,6 +17,7 @@
 //! | `accuracy` | LS3DF vs direct DFT eigenvalue/density agreement |
 //! | `ablation` | Comm-algorithm + solver-variant ablations |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ls3df_atoms::Structure;

@@ -23,6 +23,7 @@
 //! encode their state into sections via [`codec`] and hand the bytes
 //! here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atomic;

@@ -16,6 +16,7 @@
 //! * [`analysis`] — localization metrics for the oxygen-induced states
 //!   (paper Fig. 7).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

@@ -13,6 +13,7 @@
 //!   `*_with` and `*_strided` entry points are allocation-free;
 //! * [`dft`] — O(n²) reference transforms for testing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dft;

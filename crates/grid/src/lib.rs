@@ -4,6 +4,7 @@
 //! boxes, and the data motion between them (the serial kernels of the
 //! paper's Gen_VF and Gen_dens steps).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod field;

@@ -8,6 +8,7 @@
 //! are taken from the paper's own §IV/§VI measurements plus timings of
 //! our real Rust implementation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod amdahl;

@@ -27,6 +27,7 @@
 //! assert!(eig.values.iter().all(|&v| v >= -1e-10));     // PSD spectrum
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(non_camel_case_types)]
 

@@ -92,15 +92,23 @@ mod store {
 
     #[inline(always)]
     pub(super) fn add(counter: Counter, n: u64) {
+        // ORDERING: Relaxed — pure event counting; only the per-counter
+        // totals matter, never cross-counter or counter-vs-data order,
+        // and fetch_add's atomicity alone guarantees no lost increments.
         COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
     }
 
     pub(super) fn get(counter: Counter) -> u64 {
+        // ORDERING: Relaxed — snapshots are advisory: harvest runs after
+        // the workers quiesce (report generation), so there is no
+        // concurrent writer whose ordering could matter.
         COUNTERS[counter as usize].load(Ordering::Relaxed)
     }
 
     pub(super) fn reset() {
         for c in &COUNTERS {
+            // ORDERING: Relaxed — reset happens between runs on one
+            // thread; counter stores need atomicity, not ordering.
             c.store(0, Ordering::Relaxed);
         }
     }

@@ -112,6 +112,9 @@ mod imp {
 
     impl ThreadBuf {
         fn register() -> Self {
+            // ORDERING: Relaxed — a unique-id ticket: fetch_add's
+            // atomicity guarantees distinct ids; no other memory is
+            // published through this counter.
             let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
             let name = std::thread::current()
                 .name()

@@ -9,6 +9,7 @@
 //! are replaced by two-term analytic models of the same shape; see
 //! DESIGN.md for why this preserves the algorithmic behaviour under study.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod db;

@@ -12,6 +12,7 @@
 //! BLAS-3 vs BLAS-2 ablation), potential mixing ([`mixing`]) and the SCF
 //! driver ([`scf`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod basis;

@@ -24,6 +24,17 @@
 //!    features (the obs-off build must be a true no-op: zero-sized span
 //!    guards, empty registries, reports flagged `obs_enabled: false`).
 //!    Both feature states of the same test file must compile and pass.
+//! 8. `cargo test -p xtask -q` — the lint engine's own gate: lexer and
+//!    rule unit tests plus the fixture corpus in
+//!    `crates/xtask/tests/fixtures/` (known-positive snippets must fire
+//!    exactly their golden violations; known-negative snippets — unsafe
+//!    in string literals, `Ordering::` in doc comments, raw strings —
+//!    must stay silent).
+//! 9. `cargo xtask schedules` (in-process) — pool suite + SCF digest
+//!    matrix under every adversarial work-stealing schedule.
+//! 10. `cargo xtask miri` (in-process) — the curated unsafe-core filter
+//!     under Miri; reported as a loud SKIP when the nightly component is
+//!     unavailable (the offline container cannot install it).
 //!
 //! Every cargo step retries with `--offline` when the first attempt fails
 //! with a registry/network error (the build container has no registry
@@ -32,10 +43,11 @@
 //! toolchain without rustfmt) are reported as skipped, not failed —
 //! offline containers must still be able to run the gate.
 
-use crate::lint;
+use crate::{miri, schedules};
 use std::path::Path;
 use std::process::Command;
 use std::time::Instant;
+use xtask::lint;
 
 enum StepResult {
     Pass,
@@ -75,6 +87,7 @@ pub fn run(root: &Path) -> bool {
                 "ls3df",
                 "--features",
                 "alloc-count",
+                "--lib",
                 "--test",
                 "zero_alloc",
                 "-q",
@@ -133,6 +146,14 @@ pub fn run(root: &Path) -> bool {
         t.elapsed().as_secs_f64(),
     ));
 
+    // The lint engine's own tests: lexer + rule units and the fixture
+    // corpus (golden expected-violation lists under tests/fixtures/).
+    let (res, secs) = run_cargo_step(root, "lint-fixtures", &["test", "-p", "xtask", "-q"], &[]);
+    if matches!(res, StepResult::Fail) {
+        all_ok = false;
+    }
+    summary.push(("cargo lint-fixtures".to_string(), res, secs));
+
     // The test suite runs under both scheduling regimes: forced-sequential
     // (`LS3DF_THREADS=1`) and the default work-stealing pool (variable
     // removed so an operator's own setting can't mask either regime).
@@ -180,6 +201,39 @@ pub fn run(root: &Path) -> bool {
         }
         summary.push((format!("cargo {name}"), res, secs));
     }
+
+    // Schedule exploration: the determinism contract under adversarial
+    // work-selection orders (see shims/rayon Schedule and DESIGN.md §6b).
+    let t = Instant::now();
+    let sched_res = if schedules::run(root) {
+        StepResult::Pass
+    } else {
+        all_ok = false;
+        StepResult::Fail
+    };
+    summary.push((
+        "xtask schedules".to_string(),
+        sched_res,
+        t.elapsed().as_secs_f64(),
+    ));
+
+    // Miri over the unsafe core. Unavailable ⇒ loud skip: the offline
+    // container cannot install the nightly component, and the gate must
+    // stay runnable there.
+    let t = Instant::now();
+    let miri_res = match miri::run(root) {
+        miri::Outcome::Passed => StepResult::Pass,
+        miri::Outcome::Failed => {
+            all_ok = false;
+            StepResult::Fail
+        }
+        miri::Outcome::Unavailable(why) => StepResult::Skip(format!("miri unavailable: {why}")),
+    };
+    summary.push((
+        "xtask miri".to_string(),
+        miri_res,
+        t.elapsed().as_secs_f64(),
+    ));
 
     println!("\n=== ci summary ===");
     for (name, res, secs) in &summary {

@@ -1,0 +1,10 @@
+//! Library half of the `xtask` tool: the hand-rolled token [`lexer`] and
+//! the token-aware [`lint`] engine. Split out of the binary so the
+//! fixture corpus in `crates/xtask/tests/` can drive
+//! [`lint::lint_source`] on in-memory snippets; the subcommand plumbing
+//! (`ci`, `miri`, `schedules`) stays in the binary.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lint;

@@ -1,6 +1,10 @@
-//! The LS3DF source lint pass: syntactic (no `syn`, no external deps —
-//! the build runs offline), line-oriented, with comment/string stripping
-//! so rules fire on code only.
+//! The LS3DF source lint pass — a token-aware analysis engine (no `syn`,
+//! no external deps — the build runs offline). Every file is lexed by
+//! [`crate::lexer`] into real tokens, so rules fire on code only:
+//! `panic!` inside a string literal, `Ordering::Relaxed` in a doc
+//! comment, or `unsafe` in a raw string can never trip a rule (the
+//! failure mode of the old line-stripping lint — see
+//! `tests/fixtures/` for the regression corpus).
 //!
 //! Rules (ids are what the allowlist references):
 //!
@@ -19,46 +23,80 @@
 //!   well-defined IEEE equality and fuzzing it would be wrong.
 //! * `unsafe-comment` — every `unsafe` needs a `// SAFETY:` comment on
 //!   one of the three preceding lines (or its own).
-//! * `seeded-rng` — no `thread_rng()`, `from_entropy()`, or
-//!   `rand::random` anywhere: every random draw in this workspace must be
-//!   seeded, or the bit-identical-runs guarantee (ls3df-core::check) dies.
+//! * `seeded-rng` — no `thread_rng`, `from_entropy`, or `rand::random`
+//!   anywhere: every random draw in this workspace must be seeded, or
+//!   the bit-identical-runs guarantee (ls3df-core::check) dies.
 //! * `hot-alloc` — no `vec![`, `Vec::with_capacity`, `.to_vec()`, or
 //!   `.clone()` in the SCF hot-path files (`crates/fft/src/` and the
-//!   `hamiltonian`/`solver`/`basis` modules of `ls3df-pw`) unless one of
-//!   the three preceding lines (or the line itself) carries an
-//!   `// alloc-audit:` comment explaining why the allocation is outside
-//!   the steady-state loop. The `alloc-count` zero-allocation test proves
-//!   the steady state is heap-free; this rule keeps new allocations from
-//!   creeping in un-reviewed.
+//!   `hamiltonian`/`solver`/`basis` modules of `ls3df-pw`) unless an
+//!   `// alloc-audit:` comment within the 3-line window explains why the
+//!   allocation is outside the steady-state loop.
 //! * `ckpt-atomic` — no direct `File::create`/`fs::write` of snapshot
 //!   files: everywhere inside `crates/ckpt/src/`, and anywhere else when
 //!   the surrounding lines mention a snapshot (`.ls3df`, "snapshot").
-//!   A half-written snapshot that survives a crash would poison the next
-//!   resume, so all snapshot writes must flow through the atomic
-//!   temp + fsync + rename writer (`ls3df_ckpt::atomic`). That writer
-//!   itself is marked with a `// ckpt-audit:` comment — the escape hatch
-//!   this rule honors (same 3-line window as `alloc-audit`). Test code
-//!   is exempt: deliberately writing damaged snapshots is how the
-//!   corruption tests work.
+//!   All snapshot writes must flow through the atomic temp + fsync +
+//!   rename writer (`ls3df_ckpt::atomic`); that writer itself carries the
+//!   `// ckpt-audit:` escape. Test code is exempt: deliberately writing
+//!   damaged snapshots is how the corruption tests work.
 //! * `raw-timer` — no ad-hoc `std::time::Instant` in the instrumented
-//!   crates (`crates/fft`, `crates/pw`, `crates/core`): timing there must
-//!   flow through `ls3df-obs` (`Stopwatch` for coarse wall clocks, the
-//!   `span!` macro for everything else) so every measurement lands in the
-//!   run report on one shared timeline and compiles out with the feature.
-//!   Escape hatch: an `// obs-audit:` comment in the usual 3-line window.
-//!   Tests, benches, examples and `ls3df-obs` itself (the one place the
-//!   raw clock belongs) stay exempt.
+//!   crates (`crates/fft`, `crates/pw`, `crates/core`): timing must flow
+//!   through `ls3df-obs` so every measurement lands in the run report.
+//!   Escape: `// obs-audit:` in the 3-line window.
+//! * `atomic-ordering` — every `Ordering::{Relaxed, Acquire, Release,
+//!   AcqRel, SeqCst}` in the unsafe/concurrency pool (`shims/rayon/src/`,
+//!   `crates/obs/src/`, `src/`) must carry an `// ORDERING:` comment on
+//!   its line or the 3 above justifying the memory ordering (why this
+//!   strength suffices, what it synchronizes with). Applies to test code
+//!   too. Every site — justified or not — is inventoried in
+//!   `target/lint-report.json`, so the concurrency surface is reviewable
+//!   at a glance before the fragment/processor-group refactor multiplies
+//!   it.
+//! * `float-reduce` — in the physics crates (`crates/{core,pw,fft,math}/
+//!   src`), no schedule-shaped floating-point reduction over a parallel
+//!   iterator: a `.sum()`/`.fold(..)`/`.reduce(..)` chained directly on a
+//!   `par_iter`-family source, or a `+=`/`-=`/`*=` accumulation inside a
+//!   parallel `for_each` closure. The LS3DF determinism contract (thread-
+//!   matrix bit-identity) holds because every reduction is a fixed-order
+//!   tree (`ls3df_pw::density`, the ordered-`collect` house pattern) —
+//!   this rule keeps it honest *by construction*, not just by test.
+//!   Escape: a `// reduce-audit:` (or legacy `// Audited reduction:`)
+//!   comment within 8 lines above the parallel source or the offending
+//!   token — the wider window because determinism arguments are written
+//!   as paragraphs.
+//! * `hash-iter` — no `HashMap`/`HashSet` in the physics crates
+//!   (`crates/{core,pw,fft,math,grid,atoms,pseudo}/src`): their iteration
+//!   order is randomized per process, so anything they feed — a float
+//!   accumulation, a file, an event stream — loses run-to-run
+//!   reproducibility. Use `BTreeMap`/`BTreeSet` or an index-keyed `Vec`.
+//!   Escape: `// hash-audit:` in the 3-line window (for maps that are
+//!   provably never iterated). Test code is exempt.
+//! * `forbid-unsafe` — the workspace's unsafe surface is exactly three
+//!   places: `shims/rayon` (the work-stealing pool), `crates/obs`
+//!   (reserved for future probe internals), and the `ls3df` facade
+//!   (`src/alloc_count.rs`). Those crate roots must carry
+//!   `#![deny(unsafe_code)]` (with per-site `#[allow]` + `SAFETY:`
+//!   comments); every other crate root must carry
+//!   `#![forbid(unsafe_code)]`, and an `unsafe` token anywhere in a
+//!   forbidden crate is a violation in its own right.
 //!
 //! Allowlist: `xtask-lint-allow.txt` at the workspace root. Each
 //! non-comment line is `<path> <rule-id> <reason…>` (whitespace-separated,
 //! path relative to the root, reason mandatory). An entry silences the
-//! rule for that whole file; entries that match nothing are themselves
-//! errors, so the allowlist cannot go stale.
+//! rule for that whole file; entries that match nothing are hard CI
+//! failures (with a sharper message when the file itself is gone — the
+//! moved/renamed-file case), so the allowlist cannot go stale.
+//!
+//! Machine-readable output: every run writes `target/lint-report.json`
+//! (schema `ls3df-lint-report/v1`) with per-rule violation counts, file
+//! counts, and the full atomic-ordering inventory, so BENCH-style trend
+//! tracking can pick it up.
 
+use crate::lexer::{self, Token, TokenKind};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-const RULES: [&str; 7] = [
+/// Every rule id, in reporting order.
+pub const RULES: [&str; 11] = [
     "no-unwrap",
     "no-float-eq",
     "unsafe-comment",
@@ -66,6 +104,10 @@ const RULES: [&str; 7] = [
     "hot-alloc",
     "ckpt-atomic",
     "raw-timer",
+    "atomic-ordering",
+    "float-reduce",
+    "hash-iter",
+    "forbid-unsafe",
 ];
 
 /// Files whose steady-state behavior the `alloc-count` test guards:
@@ -80,6 +122,73 @@ fn is_hot_path(path: &str) -> bool {
     path.starts_with("crates/fft/src/") || HOT_PATHS.contains(&path)
 }
 
+/// The unsafe/concurrency pool: every atomic memory ordering here needs
+/// an `// ORDERING:` justification and lands in the report inventory.
+const ATOMIC_SCOPE: [&str; 3] = ["shims/rayon/src/", "crates/obs/src/", "src/"];
+
+fn in_atomic_scope(path: &str) -> bool {
+    ATOMIC_SCOPE.iter().any(|p| path.starts_with(p))
+}
+
+/// Crates whose reductions must be fixed-order trees (the determinism
+/// contract's floating-point surface).
+const FLOAT_REDUCE_SCOPE: [&str; 4] = [
+    "crates/core/src/",
+    "crates/pw/src/",
+    "crates/fft/src/",
+    "crates/math/src/",
+];
+
+fn in_float_reduce_scope(path: &str) -> bool {
+    FLOAT_REDUCE_SCOPE.iter().any(|p| path.starts_with(p))
+}
+
+/// Physics crates where hash-iteration order would leak into results.
+const HASH_ITER_SCOPE: [&str; 7] = [
+    "crates/core/src/",
+    "crates/pw/src/",
+    "crates/fft/src/",
+    "crates/math/src/",
+    "crates/grid/src/",
+    "crates/atoms/src/",
+    "crates/pseudo/src/",
+];
+
+fn in_hash_iter_scope(path: &str) -> bool {
+    HASH_ITER_SCOPE.iter().any(|p| path.starts_with(p))
+}
+
+/// Crates allowed to contain `unsafe` (root must `#![deny(unsafe_code)]`
+/// and every site needs `#[allow]` + `SAFETY:`). Everything else must
+/// `#![forbid(unsafe_code)]`.
+const UNSAFE_CRATES: [&str; 3] = ["shims/rayon/", "crates/obs/", "src/"];
+
+fn in_unsafe_crate(path: &str) -> bool {
+    UNSAFE_CRATES.iter().any(|p| path.starts_with(p))
+}
+
+/// Is `path` a crate root whose `#![forbid/deny(unsafe_code)]` attribute
+/// the `forbid-unsafe` rule checks? Library roots only — binaries and
+/// examples are covered by the per-token check instead.
+fn is_crate_root(path: &str) -> bool {
+    if path == "src/lib.rs" {
+        return true;
+    }
+    let parts: Vec<&str> = path.split('/').collect();
+    matches!(parts.as_slice(), [top, _, "src", "lib.rs"] if *top == "crates" || *top == "shims")
+}
+
+/// The parallel-iterator sources of the rayon shim: a reduction chained
+/// on any of these is schedule-shaped unless audited.
+const PAR_SOURCES: [&str; 6] = [
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+];
+
 const ALLOWLIST_FILE: &str = "xtask-lint-allow.txt";
 
 /// Directories under the workspace root that contain lintable sources.
@@ -91,14 +200,43 @@ struct AllowEntry {
     used: bool,
 }
 
-struct Violation {
-    path: String,
-    line: usize,
-    rule: &'static str,
-    message: String,
+/// One rule hit.
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
 }
 
-/// Runs the lint pass; returns the number of violations (0 = clean).
+/// One `Ordering::…` site found by the `atomic-ordering` rule —
+/// justified or not, every site is inventoried in the report.
+pub struct OrderingSite {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The ordering variant (`Relaxed`, `Acquire`, …).
+    pub ordering: String,
+    /// The text after `ORDERING:` when justified, `None` otherwise.
+    pub justification: Option<String>,
+}
+
+/// Everything the engine extracts from one file.
+#[derive(Default)]
+pub struct FileReport {
+    /// Rule hits, in source order.
+    pub violations: Vec<Violation>,
+    /// Atomic-ordering inventory entries (in-scope files only).
+    pub ordering_sites: Vec<OrderingSite>,
+}
+
+/// Runs the lint pass over the workspace; returns the number of problems
+/// (violations + stale allowlist entries; 0 = clean) and writes the
+/// machine-readable report to `target/lint-report.json`.
 pub fn run(root: &Path) -> Result<usize, String> {
     let mut allow = load_allowlist(root)?;
     let mut files = Vec::new();
@@ -108,6 +246,7 @@ pub fn run(root: &Path) -> Result<usize, String> {
     files.sort();
 
     let mut violations = Vec::new();
+    let mut ordering_sites = Vec::new();
     for file in &files {
         let rel = file
             .strip_prefix(root)
@@ -116,7 +255,12 @@ pub fn run(root: &Path) -> Result<usize, String> {
             .replace('\\', "/");
         let content =
             std::fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
-        lint_file(&rel, &content, &mut allow, &mut violations);
+        let mut report = lint_source(&rel, &content);
+        report
+            .violations
+            .retain(|v| !allowed(&mut allow, &v.path, v.rule));
+        violations.extend(report.violations);
+        ordering_sites.extend(report.ordering_sites);
     }
 
     let mut out = String::new();
@@ -126,9 +270,16 @@ pub fn run(root: &Path) -> Result<usize, String> {
     let mut stale = 0;
     for entry in &allow {
         if !entry.used {
+            let gone = !root.join(&entry.path).is_file();
+            let why = if gone {
+                "the file no longer exists (moved or renamed?) — update the path"
+            } else {
+                "the rule no longer fires there"
+            };
             let _ = writeln!(
                 out,
-                "{ALLOWLIST_FILE}: stale entry `{} {}` matches no violation — remove it",
+                "{ALLOWLIST_FILE}: stale entry `{} {}`: {why}; remove it (stale entries \
+                 are hard CI failures)",
                 entry.path, entry.rule
             );
             stale += 1;
@@ -137,8 +288,628 @@ pub fn run(root: &Path) -> Result<usize, String> {
     if !out.is_empty() {
         eprint!("{out}");
     }
+    write_report(root, files.len(), &violations, stale, &ordering_sites)?;
     Ok(violations.len() + stale)
 }
+
+/// Lints a single source file (no allowlist, no filesystem): the entry
+/// point the fixture corpus drives. `path` is workspace-relative and
+/// decides rule scoping exactly as in a real run.
+pub fn lint_source(path: &str, content: &str) -> FileReport {
+    let tokens = lexer::lex(content);
+    let file = FileCtx {
+        path,
+        raw_lines: content.lines().collect(),
+        toks: lexer::code_tokens(&tokens),
+        test_start_line: test_region_start(&tokens),
+        path_exempt: is_test_path(path),
+        bin_exempt: is_bin_path(path),
+    };
+    let mut report = FileReport::default();
+    rule_no_unwrap(&file, &mut report);
+    rule_no_float_eq(&file, &mut report);
+    rule_unsafe_comment(&file, &mut report);
+    rule_seeded_rng(&file, &mut report);
+    rule_hot_alloc(&file, &mut report);
+    rule_ckpt_atomic(&file, &mut report);
+    rule_raw_timer(&file, &mut report);
+    rule_atomic_ordering(&file, &mut report);
+    rule_float_reduce(&file, &mut report);
+    rule_hash_iter(&file, &mut report);
+    rule_forbid_unsafe(&file, &mut report);
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Per-file context and token helpers
+// ---------------------------------------------------------------------------
+
+struct FileCtx<'a> {
+    path: &'a str,
+    raw_lines: Vec<&'a str>,
+    /// Code tokens only — comments are filtered out up front, so a rule
+    /// that matches idents can never fire inside one.
+    toks: Vec<&'a Token<'a>>,
+    /// 1-based line of the first `#[cfg(test)]`; `usize::MAX` when none.
+    test_start_line: usize,
+    path_exempt: bool,
+    bin_exempt: bool,
+}
+
+impl FileCtx<'_> {
+    /// Is this 1-based line test code (path-exempt file or past the
+    /// first `#[cfg(test)]`)?
+    fn in_test(&self, line: usize) -> bool {
+        self.path_exempt || line >= self.test_start_line
+    }
+
+    /// Does any raw line in `[line - above, line]` (1-based) contain
+    /// `marker`? The standard escape-hatch window is `above = 3`.
+    fn window_has(&self, line: usize, above: usize, marker: &str) -> bool {
+        let lo = line.saturating_sub(above + 1);
+        self.raw_lines[lo..line.min(self.raw_lines.len())]
+            .iter()
+            .any(|l| l.contains(marker))
+    }
+
+    fn report(&self, out: &mut FileReport, line: usize, rule: &'static str, message: String) {
+        out.violations.push(Violation {
+            path: self.path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+}
+
+fn is_ident(t: &Token<'_>, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+fn is_punct(t: &Token<'_>, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+/// 1-based line of the first `#[cfg(test)]` attribute (house convention:
+/// the unit-test module closes the file), or `usize::MAX`.
+fn test_region_start(tokens: &[Token<'_>]) -> usize {
+    let toks = lexer::code_tokens(tokens);
+    for i in 0..toks.len() {
+        let pat = ["#", "[", "cfg", "(", "test", ")", "]"];
+        if toks[i..].len() >= pat.len()
+            && toks[i..i + pat.len()]
+                .iter()
+                .zip(pat)
+                .all(|(t, p)| t.text == p)
+        {
+            return toks[i].line;
+        }
+    }
+    usize::MAX
+}
+
+/// Is the whole file exempt from the library-only rules? Tests, benches
+/// and examples may assert and compare exactly.
+fn is_test_path(path: &str) -> bool {
+    ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|d| path.starts_with(d) || path.contains(&format!("/{d}")))
+}
+
+/// Binary drivers: exempt from `no-unwrap` only (a CLI entry point may
+/// abort on bad input; everything it calls may not).
+fn is_bin_path(path: &str) -> bool {
+    path.contains("/bin/") || path == "src/main.rs" || path.ends_with("/src/main.rs")
+}
+
+// ---------------------------------------------------------------------------
+// Rule passes
+// ---------------------------------------------------------------------------
+
+fn rule_no_unwrap(f: &FileCtx<'_>, out: &mut FileReport) {
+    if f.path_exempt || f.bin_exempt {
+        return;
+    }
+    for i in 0..f.toks.len() {
+        let t = f.toks[i];
+        if f.in_test(t.line) {
+            continue;
+        }
+        let needle = if is_punct(t, ".")
+            && f.toks.get(i + 1).is_some_and(|n| is_ident(n, "unwrap"))
+            && f.toks.get(i + 2).is_some_and(|n| is_punct(n, "("))
+        {
+            Some(".unwrap()")
+        } else if is_punct(t, ".")
+            && f.toks.get(i + 1).is_some_and(|n| is_ident(n, "expect"))
+            && f.toks.get(i + 2).is_some_and(|n| is_punct(n, "("))
+        {
+            Some(".expect(")
+        } else if is_ident(t, "panic") && f.toks.get(i + 1).is_some_and(|n| is_punct(n, "!")) {
+            Some("panic!")
+        } else {
+            None
+        };
+        if let Some(needle) = needle {
+            f.report(
+                out,
+                t.line,
+                "no-unwrap",
+                format!("`{needle}` in library code — return a Result instead"),
+            );
+        }
+    }
+}
+
+/// Delimiters that bound a comparison operand (token edition of the old
+/// character scan; `&&`/`||` lex as single tokens).
+fn is_operand_delim(t: &Token<'_>) -> bool {
+    t.kind == TokenKind::Punct
+        && matches!(
+            t.text,
+            "," | ";" | "(" | ")" | "{" | "}" | "[" | "]" | "&" | "|" | "&&" | "||"
+        )
+}
+
+/// `0.0`, `0.`, `0.0f64`, `0_0.0` — the exact-zero sentinel.
+fn is_zero_float(t: &Token<'_>) -> bool {
+    if t.kind != TokenKind::Float {
+        return false;
+    }
+    let s = t
+        .text
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_');
+    s.contains('.') && s.bytes().all(|b| matches!(b, b'0' | b'.' | b'_'))
+}
+
+fn rule_no_float_eq(f: &FileCtx<'_>, out: &mut FileReport) {
+    if f.path_exempt {
+        return;
+    }
+    for i in 0..f.toks.len() {
+        let t = f.toks[i];
+        if f.in_test(t.line) || !(is_punct(t, "==") || is_punct(t, "!=")) {
+            continue;
+        }
+        // Operand token runs on each side, bounded by delimiters.
+        let lhs: Vec<&Token<'_>> = f.toks[..i]
+            .iter()
+            .rev()
+            .take_while(|t| !is_operand_delim(t))
+            .copied()
+            .collect();
+        let rhs: Vec<&Token<'_>> = f.toks[i + 1..]
+            .iter()
+            .take_while(|t| !is_operand_delim(t))
+            .copied()
+            .collect();
+        // Exact-zero sentinel: an operand that is just `0.0` (optionally
+        // negated) is well-defined IEEE equality.
+        let side_is_zero = |side: &[&Token<'_>]| {
+            let non_sign: Vec<&&Token<'_>> = side.iter().filter(|t| !is_punct(t, "-")).collect();
+            non_sign.len() == 1 && is_zero_float(non_sign[0])
+        };
+        if side_is_zero(&lhs) || side_is_zero(&rhs) {
+            continue;
+        }
+        let looks_float = |side: &[&Token<'_>]| {
+            side.iter()
+                .any(|t| t.kind == TokenKind::Float || is_ident(t, "f64") || is_ident(t, "f32"))
+        };
+        if looks_float(&lhs) || looks_float(&rhs) {
+            f.report(
+                out,
+                t.line,
+                "no-float-eq",
+                format!("float `{}` comparison — use a tolerance", t.text),
+            );
+        }
+    }
+}
+
+fn rule_unsafe_comment(f: &FileCtx<'_>, out: &mut FileReport) {
+    // Policed everywhere, tests included.
+    for t in &f.toks {
+        if is_ident(t, "unsafe") && !f.window_has(t.line, 3, "SAFETY:") {
+            f.report(
+                out,
+                t.line,
+                "unsafe-comment",
+                "`unsafe` without a `// SAFETY:` comment on it or the 3 lines above".into(),
+            );
+        }
+    }
+}
+
+fn rule_seeded_rng(f: &FileCtx<'_>, out: &mut FileReport) {
+    // Policed everywhere, tests included.
+    for i in 0..f.toks.len() {
+        let t = f.toks[i];
+        let needle = if is_ident(t, "thread_rng") {
+            Some("thread_rng")
+        } else if is_ident(t, "from_entropy") {
+            Some("from_entropy")
+        } else if is_ident(t, "rand")
+            && f.toks.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+            && f.toks.get(i + 2).is_some_and(|n| is_ident(n, "random"))
+        {
+            Some("rand::random")
+        } else {
+            None
+        };
+        if let Some(needle) = needle {
+            f.report(
+                out,
+                t.line,
+                "seeded-rng",
+                format!("`{needle}` — all randomness must be explicitly seeded"),
+            );
+        }
+    }
+}
+
+fn rule_hot_alloc(f: &FileCtx<'_>, out: &mut FileReport) {
+    if !is_hot_path(f.path) {
+        return;
+    }
+    for i in 0..f.toks.len() {
+        let t = f.toks[i];
+        if f.in_test(t.line) {
+            continue;
+        }
+        let allocates = (is_ident(t, "vec") && f.toks.get(i + 1).is_some_and(|n| is_punct(n, "!")))
+            || (is_ident(t, "Vec")
+                && f.toks.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+                && f.toks
+                    .get(i + 2)
+                    .is_some_and(|n| is_ident(n, "with_capacity")))
+            || (is_punct(t, ".")
+                && f.toks
+                    .get(i + 1)
+                    .is_some_and(|n| is_ident(n, "to_vec") || is_ident(n, "clone"))
+                && f.toks.get(i + 2).is_some_and(|n| is_punct(n, "(")));
+        if allocates && !f.window_has(t.line, 3, "alloc-audit:") {
+            f.report(
+                out,
+                t.line,
+                "hot-alloc",
+                "allocation in an SCF hot-path file — justify with an \
+                 `// alloc-audit:` comment on it or the 3 lines above, \
+                 or move it out of the steady-state loop"
+                    .into(),
+            );
+        }
+    }
+}
+
+fn rule_ckpt_atomic(f: &FileCtx<'_>, out: &mut FileReport) {
+    if f.path_exempt {
+        return;
+    }
+    for i in 0..f.toks.len() {
+        let t = f.toks[i];
+        if f.in_test(t.line) {
+            continue;
+        }
+        let writes = ((is_ident(t, "File")
+            && f.toks.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+            && f.toks.get(i + 2).is_some_and(|n| is_ident(n, "create")))
+            || (is_ident(t, "fs")
+                && f.toks.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+                && f.toks.get(i + 2).is_some_and(|n| is_ident(n, "write"))))
+            && f.toks.get(i + 3).is_some_and(|n| is_punct(n, "("));
+        if !writes {
+            continue;
+        }
+        let in_scope =
+            f.path.starts_with("crates/ckpt/src/") || f.window_has(t.line, 3, ".ls3df") || {
+                let lo = t.line.saturating_sub(4);
+                f.raw_lines[lo..t.line.min(f.raw_lines.len())]
+                    .iter()
+                    .any(|l| l.to_lowercase().contains("snapshot"))
+            };
+        if in_scope && !f.window_has(t.line, 3, "ckpt-audit:") {
+            f.report(
+                out,
+                t.line,
+                "ckpt-atomic",
+                "direct file write of a snapshot path — route it through \
+                 the atomic writer (ls3df_ckpt::atomic) or justify with a \
+                 `// ckpt-audit:` comment on it or the 3 lines above"
+                    .into(),
+            );
+        }
+    }
+}
+
+/// Files where timing must flow through ls3df-obs: the three
+/// instrumented crates. `ls3df-obs` itself (crates/obs) owns the raw
+/// clock and is out of scope by construction.
+fn raw_timer_in_scope(path: &str) -> bool {
+    ["crates/fft/src/", "crates/pw/src/", "crates/core/src/"]
+        .iter()
+        .any(|p| path.starts_with(p))
+}
+
+fn rule_raw_timer(f: &FileCtx<'_>, out: &mut FileReport) {
+    if !raw_timer_in_scope(f.path) || f.path_exempt {
+        return;
+    }
+    for t in &f.toks {
+        if f.in_test(t.line) {
+            continue;
+        }
+        if is_ident(t, "Instant") && !f.window_has(t.line, 3, "obs-audit:") {
+            f.report(
+                out,
+                t.line,
+                "raw-timer",
+                "ad-hoc `Instant` in an instrumented crate — time through \
+                 ls3df-obs (`Stopwatch` or `span!`) so the measurement \
+                 reaches the run report, or justify with an \
+                 `// obs-audit:` comment on it or the 3 lines above"
+                    .into(),
+            );
+        }
+    }
+}
+
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn rule_atomic_ordering(f: &FileCtx<'_>, out: &mut FileReport) {
+    if !in_atomic_scope(f.path) {
+        return;
+    }
+    // Policed everywhere, tests included: a test's atomics document the
+    // contract just like library code's.
+    for i in 0..f.toks.len() {
+        let t = f.toks[i];
+        if !is_ident(t, "Ordering") || !f.toks.get(i + 1).is_some_and(|n| is_punct(n, "::")) {
+            continue;
+        }
+        let Some(variant) = f
+            .toks
+            .get(i + 2)
+            .filter(|n| ATOMIC_ORDERINGS.iter().any(|o| is_ident(n, o)))
+        else {
+            continue; // `cmp::Ordering::Less` and friends are not atomics
+        };
+        let justification = ordering_justification(f, t.line);
+        if justification.is_none() {
+            f.report(
+                out,
+                t.line,
+                "atomic-ordering",
+                format!(
+                    "`Ordering::{}` without an `// ORDERING:` justification on its \
+                     line or the 3 above — state why this memory ordering suffices",
+                    variant.text
+                ),
+            );
+        }
+        out.ordering_sites.push(OrderingSite {
+            path: f.path.to_string(),
+            line: t.line,
+            ordering: variant.text.to_string(),
+            justification,
+        });
+    }
+}
+
+/// The text after `ORDERING:` in the escape window, when present.
+fn ordering_justification(f: &FileCtx<'_>, line: usize) -> Option<String> {
+    let lo = line.saturating_sub(4);
+    for l in f.raw_lines[lo..line.min(f.raw_lines.len())].iter().rev() {
+        if let Some(pos) = l.find("ORDERING:") {
+            return Some(l[pos + "ORDERING:".len()..].trim().to_string());
+        }
+    }
+    None
+}
+
+/// `reduce-audit:` is the canonical escape; `Audited reduction:` is the
+/// pre-existing house phrasing at the already-reviewed sites.
+fn reduce_audited(f: &FileCtx<'_>, line: usize) -> bool {
+    f.window_has(line, 8, "reduce-audit:") || f.window_has(line, 8, "Audited reduction:")
+}
+
+fn rule_float_reduce(f: &FileCtx<'_>, out: &mut FileReport) {
+    if !in_float_reduce_scope(f.path) || f.path_exempt {
+        return;
+    }
+    for i in 0..f.toks.len() {
+        let t = f.toks[i];
+        if f.in_test(t.line) || !PAR_SOURCES.iter().any(|s| is_ident(t, s)) {
+            continue;
+        }
+        scan_par_chain(f, out, i);
+    }
+}
+
+/// Walks the method chain after a parallel-source token, flagging
+/// schedule-shaped reductions. `depth` is bracket nesting relative to
+/// the chain: terminal adapters live at depth 0; closure bodies are
+/// deeper. An ordered `collect` ends the parallel part of the chain.
+fn scan_par_chain(f: &FileCtx<'_>, out: &mut FileReport, start: usize) {
+    let par_line = f.toks[start].line;
+    let mut depth = 0i64;
+    let mut i = start + 1;
+    while i < f.toks.len() {
+        let t = f.toks[i];
+        match t.text {
+            "(" | "[" | "{" if t.kind == TokenKind::Punct => depth += 1,
+            ")" | "]" | "}" if t.kind == TokenKind::Punct => {
+                depth -= 1;
+                if depth < 0 {
+                    return; // left the enclosing expression
+                }
+            }
+            ";" if t.kind == TokenKind::Punct && depth == 0 => return,
+            _ => {}
+        }
+        if depth == 0 && is_punct(t, ".") {
+            if let Some(m) = f.toks.get(i + 1) {
+                if is_ident(m, "collect") {
+                    return; // materialized in source order — the house pattern
+                }
+                if is_ident(m, "sum") || is_ident(m, "fold") || is_ident(m, "reduce") {
+                    if !reduce_audited(f, par_line) && !reduce_audited(f, m.line) {
+                        f.report(
+                            out,
+                            m.line,
+                            "float-reduce",
+                            format!(
+                                "`.{}(..)` chained on a parallel iterator — combine through \
+                                 a fixed-order tree (ordered `collect` + sequential \
+                                 combine, see ls3df_pw::density) or justify with \
+                                 `// reduce-audit:`",
+                                m.text
+                            ),
+                        );
+                    }
+                    return;
+                }
+                if is_ident(m, "for_each") {
+                    scan_for_each_closure(f, out, i + 1, par_line);
+                    return;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Flags `+=`-style accumulation inside a parallel `for_each` closure:
+/// the iteration order over items is schedule-dependent, so compound
+/// assignment onto anything shared is a determinism (or soundness) bug.
+fn scan_for_each_closure(
+    f: &FileCtx<'_>,
+    out: &mut FileReport,
+    for_each_idx: usize,
+    par_line: usize,
+) {
+    let mut depth = 0i64;
+    let mut entered = false;
+    for i in for_each_idx..f.toks.len() {
+        let t = f.toks[i];
+        match t.text {
+            "(" | "[" | "{" if t.kind == TokenKind::Punct => {
+                depth += 1;
+                entered = true;
+            }
+            ")" | "]" | "}" if t.kind == TokenKind::Punct => {
+                depth -= 1;
+                if entered && depth == 0 {
+                    return; // closed the for_each argument list
+                }
+            }
+            "+=" | "-=" | "*="
+                if t.kind == TokenKind::Punct
+                    && !reduce_audited(f, par_line)
+                    && !reduce_audited(f, t.line) =>
+            {
+                f.report(
+                    out,
+                    t.line,
+                    "float-reduce",
+                    format!(
+                        "`{}` accumulation inside a parallel `for_each` — item \
+                         order is schedule-dependent; reduce through an ordered \
+                         `collect` + fixed-order combine, or justify the \
+                         disjointness with `// reduce-audit:`",
+                        t.text
+                    ),
+                );
+                return; // one report per closure is enough
+            }
+            _ => {}
+        }
+    }
+}
+
+fn rule_hash_iter(f: &FileCtx<'_>, out: &mut FileReport) {
+    if !in_hash_iter_scope(f.path) || f.path_exempt {
+        return;
+    }
+    for t in &f.toks {
+        if f.in_test(t.line) {
+            continue;
+        }
+        if (is_ident(t, "HashMap") || is_ident(t, "HashSet"))
+            && !f.window_has(t.line, 3, "hash-audit:")
+        {
+            f.report(
+                out,
+                t.line,
+                "hash-iter",
+                format!(
+                    "`{}` in a physics crate — its iteration order is randomized \
+                     per process, so anything it feeds (float sums, I/O, event \
+                     order) loses reproducibility; use BTreeMap/BTreeSet or an \
+                     index-keyed Vec, or justify a never-iterated map with \
+                     `// hash-audit:`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn rule_forbid_unsafe(f: &FileCtx<'_>, out: &mut FileReport) {
+    let designated = in_unsafe_crate(f.path);
+    if is_crate_root(f.path) {
+        let want = if designated { "deny" } else { "forbid" };
+        if !has_crate_unsafe_attr(f, want) {
+            f.report(
+                out,
+                1,
+                "forbid-unsafe",
+                format!(
+                    "crate root must carry `#![{want}(unsafe_code)]` — {}",
+                    if designated {
+                        "this crate is on the audited unsafe surface (per-site \
+                         `#[allow]` + `SAFETY:` only)"
+                    } else {
+                        "the workspace's unsafe surface is shims/rayon, crates/obs \
+                         and src/alloc_count.rs only"
+                    }
+                ),
+            );
+        }
+    }
+    if !designated {
+        for t in &f.toks {
+            if is_ident(t, "unsafe") {
+                f.report(
+                    out,
+                    t.line,
+                    "forbid-unsafe",
+                    "`unsafe` outside the audited surface (shims/rayon, crates/obs, \
+                     src/alloc_count.rs) — move the code behind a safe API there"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+/// Does the file carry `#![level(unsafe_code)]`?
+fn has_crate_unsafe_attr(f: &FileCtx<'_>, level: &str) -> bool {
+    let pat = ["#", "!", "[", level, "(", "unsafe_code", ")", "]"];
+    (0..f.toks.len()).any(|i| {
+        f.toks[i..].len() >= pat.len()
+            && f.toks[i..i + pat.len()]
+                .iter()
+                .zip(pat)
+                .all(|(t, p)| t.text == p)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist, file walk, report
+// ---------------------------------------------------------------------------
 
 fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
     let path = root.join(ALLOWLIST_FILE);
@@ -188,7 +959,9 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
         let path = entry.path();
         if path.is_dir() {
             let name = entry.file_name();
-            if name != "target" && name != ".git" {
+            // `fixtures` holds the lint engine's own known-positive
+            // corpus — linting it would report every planted violation.
+            if name != "target" && name != ".git" && name != "fixtures" {
                 collect_rs_files(&path, out);
             }
         } else if path.extension().is_some_and(|e| e == "rs") {
@@ -208,451 +981,130 @@ fn allowed(allow: &mut [AllowEntry], path: &str, rule: &str) -> bool {
     hit
 }
 
-/// Is the whole file exempt from the library-only rules (`no-unwrap`,
-/// `no-float-eq`)? Tests, benches and examples may assert and compare
-/// exactly.
-fn is_test_path(path: &str) -> bool {
-    ["tests/", "benches/", "examples/"]
-        .iter()
-        .any(|d| path.starts_with(d) || path.contains(&format!("/{d}")))
-}
-
-/// Binary drivers: exempt from `no-unwrap` only (a CLI entry point may
-/// abort on bad input; everything it calls may not).
-fn is_bin_path(path: &str) -> bool {
-    path.contains("/bin/") || path == "src/main.rs" || path.ends_with("/src/main.rs")
-}
-
-fn lint_file(path: &str, content: &str, allow: &mut [AllowEntry], violations: &mut Vec<Violation>) {
-    let stripped = strip_comments_and_strings(content);
-    let raw_lines: Vec<&str> = content.lines().collect();
-    let code_lines: Vec<&str> = stripped.lines().collect();
-
-    // Everything from the first `#[cfg(test)]` onward is the unit-test
-    // module (house convention: test modules close the file).
-    let test_region_start = raw_lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .unwrap_or(usize::MAX);
-    let path_exempt = is_test_path(path);
-    let bin_exempt = is_bin_path(path);
-
-    let report = |violations: &mut Vec<Violation>,
-                  allow: &mut [AllowEntry],
-                  line: usize,
-                  rule: &'static str,
-                  message: String| {
-        if !allowed(allow, path, rule) {
-            violations.push(Violation {
-                path: path.to_string(),
-                line: line + 1,
-                rule,
-                message,
-            });
-        }
-    };
-
-    for (i, code) in code_lines.iter().enumerate() {
-        let in_test_code = path_exempt || i >= test_region_start;
-
-        if !in_test_code {
-            for needle in [".unwrap()", ".expect(", "panic!"] {
-                if !bin_exempt && code.contains(needle) {
-                    report(
-                        violations,
-                        allow,
-                        i,
-                        "no-unwrap",
-                        format!("`{needle}` in library code — return a Result instead"),
-                    );
-                }
-            }
-            if let Some(op) = float_eq_operator(code) {
-                report(
-                    violations,
-                    allow,
-                    i,
-                    "no-float-eq",
-                    format!("float `{op}` comparison — use a tolerance"),
-                );
-            }
-            if hot_exempt_missing(path, code, &raw_lines, i) {
-                report(
-                    violations,
-                    allow,
-                    i,
-                    "hot-alloc",
-                    "allocation in an SCF hot-path file — justify with an \
-                     `// alloc-audit:` comment on it or the 3 lines above, \
-                     or move it out of the steady-state loop"
-                        .into(),
-                );
-            }
-            if ckpt_atomic_missing(path, code, &raw_lines, i) {
-                report(
-                    violations,
-                    allow,
-                    i,
-                    "ckpt-atomic",
-                    "direct file write of a snapshot path — route it through \
-                     the atomic writer (ls3df_ckpt::atomic) or justify with a \
-                     `// ckpt-audit:` comment on it or the 3 lines above"
-                        .into(),
-                );
-            }
-            if raw_timer_missing(path, code, &raw_lines, i) {
-                report(
-                    violations,
-                    allow,
-                    i,
-                    "raw-timer",
-                    "ad-hoc `Instant` in an instrumented crate — time through \
-                     ls3df-obs (`Stopwatch` or `span!`) so the measurement \
-                     reaches the run report, or justify with an \
-                     `// obs-audit:` comment on it or the 3 lines above"
-                        .into(),
-                );
-            }
-        }
-
-        // `unsafe` and unseeded RNG are policed everywhere, tests included.
-        if has_word(code, "unsafe") {
-            let documented = (i.saturating_sub(3)..=i)
-                .any(|j| raw_lines.get(j).is_some_and(|l| l.contains("SAFETY:")));
-            if !documented {
-                report(
-                    violations,
-                    allow,
-                    i,
-                    "unsafe-comment",
-                    "`unsafe` without a `// SAFETY:` comment on it or the 3 lines above".into(),
-                );
-            }
-        }
-        for needle in ["thread_rng()", "from_entropy()", "rand::random"] {
-            if code.contains(needle) {
-                report(
-                    violations,
-                    allow,
-                    i,
-                    "seeded-rng",
-                    format!("`{needle}` — all randomness must be explicitly seeded"),
-                );
-            }
-        }
+/// Writes `target/lint-report.json`: per-rule counts plus the full
+/// atomic-ordering inventory (hand-rolled JSON — same no-deps policy as
+/// `ls3df-obs`).
+fn write_report(
+    root: &Path,
+    files_scanned: usize,
+    violations: &[Violation],
+    stale: usize,
+    ordering_sites: &[OrderingSite],
+) -> Result<(), String> {
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"ls3df-lint-report/v1\",");
+    let _ = writeln!(json, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(json, "  \"violations\": {},", violations.len());
+    let _ = writeln!(json, "  \"stale_allowlist_entries\": {stale},");
+    json.push_str("  \"rules\": {\n");
+    for (k, rule) in RULES.iter().enumerate() {
+        let count = violations.iter().filter(|v| v.rule == *rule).count();
+        let comma = if k + 1 < RULES.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{rule}\": {count}{comma}");
     }
-}
-
-/// `hot-alloc`: true when a hot-path code line contains an
-/// allocation-looking call with no `// alloc-audit:` comment on it or the
-/// three lines above (same window as `unsafe-comment`).
-fn hot_exempt_missing(path: &str, code: &str, raw_lines: &[&str], i: usize) -> bool {
-    if !is_hot_path(path) {
-        return false;
-    }
-    let allocates = ["vec![", "Vec::with_capacity", ".to_vec()", ".clone()"]
-        .iter()
-        .any(|needle| code.contains(needle));
-    if !allocates {
-        return false;
-    }
-    !(i.saturating_sub(3)..=i).any(|j| raw_lines.get(j).is_some_and(|l| l.contains("alloc-audit:")))
-}
-
-/// `ckpt-atomic`: true when a library code line creates a file on a
-/// snapshot-looking path with no `// ckpt-audit:` justification in the
-/// same 3-line window. Scope: every raw create inside the snapshot crate
-/// (`crates/ckpt/src/`), and creates elsewhere whose nearby lines mention
-/// snapshot paths.
-fn ckpt_atomic_missing(path: &str, code: &str, raw_lines: &[&str], i: usize) -> bool {
-    let writes = ["File::create(", "fs::write("]
-        .iter()
-        .any(|needle| code.contains(needle));
-    if !writes {
-        return false;
-    }
-    let window = i.saturating_sub(3)..=i;
-    let in_scope = path.starts_with("crates/ckpt/src/")
-        || window.clone().any(|j| {
-            raw_lines
-                .get(j)
-                .is_some_and(|l| l.contains(".ls3df") || l.to_lowercase().contains("snapshot"))
-        });
-    if !in_scope {
-        return false;
-    }
-    !window
-        .into_iter()
-        .any(|j| raw_lines.get(j).is_some_and(|l| l.contains("ckpt-audit:")))
-}
-
-/// Files where timing must flow through ls3df-obs: the three instrumented
-/// crates. `ls3df-obs` itself (crates/obs) owns the raw clock and is out
-/// of scope by construction.
-fn raw_timer_in_scope(path: &str) -> bool {
-    ["crates/fft/src/", "crates/pw/src/", "crates/core/src/"]
-        .iter()
-        .any(|p| path.starts_with(p))
-}
-
-/// `raw-timer`: true when an in-scope code line mentions `Instant` with no
-/// `// obs-audit:` justification on it or the three lines above.
-fn raw_timer_missing(path: &str, code: &str, raw_lines: &[&str], i: usize) -> bool {
-    if !raw_timer_in_scope(path) || !has_word(code, "Instant") {
-        return false;
-    }
-    !(i.saturating_sub(3)..=i).any(|j| raw_lines.get(j).is_some_and(|l| l.contains("obs-audit:")))
-}
-
-/// Does the line contain `==`/`!=` with a float-looking operand? Returns
-/// the operator for the message. Purely syntactic: an operand "looks
-/// float" if it contains a `digits.digits` literal, an `f32`/`f64` token,
-/// or a float-suffixed literal.
-fn float_eq_operator(code: &str) -> Option<&'static str> {
-    let bytes = code.as_bytes();
-    for (idx, pair) in bytes.windows(2).enumerate() {
-        let op = match pair {
-            b"==" => "==",
-            b"!=" => "!=",
-            _ => continue,
+    json.push_str("  },\n");
+    json.push_str("  \"atomic_ordering_inventory\": [\n");
+    for (k, site) in ordering_sites.iter().enumerate() {
+        let comma = if k + 1 < ordering_sites.len() {
+            ","
+        } else {
+            ""
         };
-        // Skip `<=`, `>=`, `===`-like runs and pattern arm `=>`.
-        if idx > 0 && matches!(bytes[idx - 1], b'<' | b'>' | b'=' | b'!') {
-            continue;
-        }
-        if idx + 2 < bytes.len() && bytes[idx + 2] == b'=' {
-            continue;
-        }
-        let lhs = &code[..idx];
-        let rhs = &code[idx + 2..];
-        let lhs_operand = operand_slice(lhs, true);
-        let rhs_operand = operand_slice(rhs, false);
-        if is_zero_literal(lhs_operand) || is_zero_literal(rhs_operand) {
-            continue; // exact-zero sentinel: well-defined IEEE equality
-        }
-        if looks_float(lhs_operand) || looks_float(rhs_operand) {
-            return Some(op);
+        let justification = match &site.justification {
+            Some(j) => format!("\"{}\"", json_escape(j)),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"file\": \"{}\", \"line\": {}, \"ordering\": \"{}\", \
+             \"justification\": {}}}{comma}",
+            json_escape(&site.path),
+            site.line,
+            site.ordering,
+            justification
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let target = root.join("target");
+    std::fs::create_dir_all(&target).map_err(|e| format!("cannot create target/: {e}"))?;
+    let path = target.join("lint-report.json");
+    std::fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
         }
     }
-    None
-}
-
-/// The operand text adjacent to a comparison: up to the nearest
-/// expression delimiter.
-fn operand_slice(s: &str, from_end: bool) -> &str {
-    let delims = [',', ';', '(', ')', '{', '}', '[', ']', '&', '|'];
-    if from_end {
-        match s.rfind(delims) {
-            Some(p) => &s[p + 1..],
-            None => s,
-        }
-    } else {
-        match s.find(delims) {
-            Some(p) => &s[..p],
-            None => s,
-        }
-    }
-}
-
-/// `0.0`, `-0.0`, `0.`, `0.0f64`, `0.0_f32` — the exact-zero sentinel.
-fn is_zero_literal(operand: &str) -> bool {
-    let s = operand.trim().trim_start_matches('-');
-    let s = s
-        .trim_end_matches("f64")
-        .trim_end_matches("f32")
-        .trim_end_matches('_');
-    !s.is_empty() && s.contains('.') && s.bytes().all(|b| b == b'0' || b == b'.')
-}
-
-fn looks_float(operand: &str) -> bool {
-    let bytes = operand.as_bytes();
-    // digits '.' digit  (1.0, 0.5, 3.14) or digit '.' at operand end (1.)
-    for (i, &b) in bytes.iter().enumerate() {
-        if b == b'.'
-            && i > 0
-            && bytes[i - 1].is_ascii_digit()
-            && (i + 1 >= bytes.len() || bytes[i + 1].is_ascii_digit())
-        {
-            return true;
-        }
-    }
-    has_word(operand, "f64") || has_word(operand, "f32")
-}
-
-/// Word-boundary search (identifier characters delimit).
-fn has_word(code: &str, word: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(word) {
-        let at = start + pos;
-        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
-        let end = at + word.len();
-        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + word.len();
-    }
-    false
-}
-
-fn is_ident_char(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Replaces comment and string-literal contents with spaces (newlines
-/// kept, so line numbers survive). Handles `//`, nested `/* */`, string
-/// and char literals with escapes, and `r#"…"#` raw strings.
-fn strip_comments_and_strings(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 1;
-                out.push(b' ');
-                out.push(b' ');
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        depth += 1;
-                        i += 1;
-                        out.push(b' ');
-                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        depth -= 1;
-                        i += 1;
-                        out.push(b' ');
-                    }
-                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-                continue;
-            }
-            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
-                // Raw string r"…" / r#"…"# / r##"…"##.
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < b.len() && b[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < b.len() && b[j] == b'"' {
-                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
-                    i = j + 1;
-                    'raw: while i < b.len() {
-                        if b[i] == b'"' {
-                            let mut k = i + 1;
-                            let mut h = 0;
-                            while k < b.len() && b[k] == b'#' && h < hashes {
-                                h += 1;
-                                k += 1;
-                            }
-                            if h == hashes {
-                                out.extend(std::iter::repeat_n(b' ', k - i));
-                                i = k;
-                                break 'raw;
-                            }
-                        }
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                    continue;
-                }
-                out.push(b[i]);
-                i += 1;
-            }
-            b'"' => {
-                out.push(b' ');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == b'\\' {
-                        out.push(b' ');
-                        if i + 1 < b.len() {
-                            out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
-                        }
-                        i += 2;
-                        continue;
-                    }
-                    if b[i] == b'"' {
-                        out.push(b' ');
-                        i += 1;
-                        break;
-                    }
-                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal ('x', '\n', '\'') vs lifetime ('a) — a char
-                // literal closes with a quote within a few bytes.
-                let close = (i + 1..(i + 5).min(b.len()))
-                    .find(|&k| b[k] == b'\'' && (b[k - 1] != b'\\' || b[k - 2] == b'\\'));
-                if let Some(k) = close {
-                    out.extend(std::iter::repeat_n(b' ', k - i + 1));
-                    i = k + 1;
-                } else {
-                    out.push(b[i]); // lifetime tick
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn violations(path: &str, src: &str) -> Vec<(usize, &'static str)> {
+        lint_source(path, src)
+            .violations
+            .into_iter()
+            .map(|v| (v.line, v.rule))
+            .collect()
+    }
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        violations(path, src).into_iter().map(|(_, r)| r).collect()
+    }
+
     #[test]
-    fn stripping_preserves_line_structure() {
-        let src =
-            "let a = 1; // comment with .unwrap()\nlet b = \"panic!\";\n/* panic!\n*/ let c = 2;\n";
-        let s = strip_comments_and_strings(src);
-        assert_eq!(s.lines().count(), src.lines().count());
-        assert!(!s.contains("unwrap"));
-        assert!(!s.contains("panic"));
-        assert!(s.contains("let a = 1;"));
-        assert!(s.contains("let c = 2;"));
+    fn unwrap_in_library_code_fires() {
+        let v = rules_hit("crates/pw/src/mixing.rs", "fn f() { x.unwrap(); }");
+        assert!(v.contains(&"no-unwrap"));
+        // …but `.unwrap_or` is a different identifier entirely.
+        let v = rules_hit("crates/pw/src/mixing.rs", "fn f() { x.unwrap_or(0); }");
+        assert!(!v.contains(&"no-unwrap"));
+    }
+
+    #[test]
+    fn unwrap_in_strings_and_comments_is_invisible() {
+        let src = "fn f() {\n  let a = \".unwrap()\";\n  // also .unwrap() and panic!\n  let b = r#\"panic!\"#;\n}";
+        assert!(violations("crates/pw/src/mixing.rs", src).is_empty());
     }
 
     #[test]
     fn float_eq_detection() {
-        assert!(float_eq_operator("if x == 1.0 {").is_some());
-        assert!(float_eq_operator("if 0.5 != y {").is_some());
-        assert!(float_eq_operator("a == b as f64").is_some());
-        assert!(float_eq_operator("if n == 2 {").is_none());
-        assert!(float_eq_operator("if s == t {").is_none());
-        assert!(float_eq_operator("x <= 1.0").is_none());
-        assert!(float_eq_operator("match x { _ => 1.0 }").is_none());
+        let path = "crates/pw/src/mixing.rs";
+        assert!(rules_hit(path, "fn f() { if x == 1.0 {} }").contains(&"no-float-eq"));
+        assert!(rules_hit(path, "fn f() { if 0.5 != y {} }").contains(&"no-float-eq"));
+        assert!(rules_hit(path, "fn f() { let c = a == b as f64; }").contains(&"no-float-eq"));
+        assert!(rules_hit(path, "fn f() { if n == 2 {} }").is_empty());
+        assert!(rules_hit(path, "fn f() { if s == t {} }").is_empty());
+        assert!(rules_hit(path, "fn f() { let c = x <= 1.0; }").is_empty());
+        assert!(rules_hit(path, "fn f() { match x { _ => 1.0 }; }").is_empty());
         // Delimiter bounds the operand: the float in the *other* argument
         // of a call must not taint an integer comparison.
-        assert!(float_eq_operator("f(1.0, a == b)").is_none());
+        assert!(rules_hit(path, "fn f() { g(1.0, a == b); }").is_empty());
     }
 
     #[test]
     fn zero_sentinel_is_exempt() {
-        assert!(float_eq_operator("if f == 0.0 {").is_none());
-        assert!(float_eq_operator("e_kb != 0.0").is_none());
-        assert!(float_eq_operator("x == -0.0").is_none());
-        assert!(float_eq_operator("y == 0.0_f64").is_none());
+        let path = "crates/pw/src/mixing.rs";
+        assert!(rules_hit(path, "fn f() { if f == 0.0 {} }").is_empty());
+        assert!(rules_hit(path, "fn f() { let c = e_kb != 0.0; }").is_empty());
+        assert!(rules_hit(path, "fn f() { let c = x == -0.0; }").is_empty());
+        assert!(rules_hit(path, "fn f() { let c = y == 0.0_f64; }").is_empty());
         // …but only the literal zero; near-zero constants still fire.
-        assert!(float_eq_operator("x == 0.01").is_some());
-        assert!(float_eq_operator("x == 10.0").is_some());
-        assert!(is_zero_literal(" 0. "));
-        assert!(!is_zero_literal("0"));
-        assert!(!is_zero_literal(""));
+        assert!(rules_hit(path, "fn f() { let c = x == 0.01; }").contains(&"no-float-eq"));
+        assert!(rules_hit(path, "fn f() { let c = x == 10.0; }").contains(&"no-float-eq"));
     }
 
     #[test]
@@ -663,149 +1115,223 @@ mod tests {
     }
 
     #[test]
-    fn word_boundaries() {
-        assert!(has_word("x as f64", "f64"));
-        assert!(!has_word("f64s", "f64"));
-        assert!(!has_word("my_f64x", "f64"));
-        assert!(has_word("unsafe {", "unsafe"));
-        assert!(!has_word("unsafely", "unsafe"));
+    fn test_region_starts_at_cfg_test() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
+        assert!(violations("crates/pw/src/mixing.rs", src).is_empty());
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {}\n";
+        assert_eq!(
+            violations("crates/pw/src/mixing.rs", src),
+            [(1, "no-unwrap")]
+        );
     }
 
     #[test]
     fn hot_alloc_scoping_and_escape() {
-        // Only hot-path files are in scope.
         assert!(is_hot_path("crates/fft/src/plan.rs"));
-        assert!(is_hot_path("crates/fft/src/fft3.rs"));
         assert!(is_hot_path("crates/pw/src/solver.rs"));
         assert!(!is_hot_path("crates/pw/src/mixing.rs"));
-        assert!(!is_hot_path("crates/core/src/scf.rs"));
-        // Un-audited allocation in scope fires…
-        let lines = ["let x = 1;", "let v = data.to_vec();"];
-        assert!(hot_exempt_missing(
+        let v = rules_hit(
             "crates/fft/src/plan.rs",
-            lines[1],
-            &lines,
-            1
-        ));
-        // …an alloc-audit comment within the 3-line window silences it…
-        let lines = ["// alloc-audit: one-time plan setup", "let v = vec![0; n];"];
-        assert!(!hot_exempt_missing(
+            "fn f() { let v = data.to_vec(); }",
+        );
+        assert!(v.contains(&"hot-alloc"));
+        let v = rules_hit(
             "crates/fft/src/plan.rs",
-            lines[1],
-            &lines,
-            1
-        ));
-        // …and out-of-scope files never fire.
-        assert!(!hot_exempt_missing(
+            "// alloc-audit: one-time plan setup\nfn f() { let v = vec![0; n]; }",
+        );
+        assert!(!v.contains(&"hot-alloc"));
+        let v = rules_hit(
             "crates/pw/src/mixing.rs",
-            "let v = data.to_vec();",
-            &["let v = data.to_vec();"],
-            0
-        ));
+            "fn f() { let v = data.to_vec(); }",
+        );
+        assert!(!v.contains(&"hot-alloc"));
         // Non-allocating lines are fine in scope.
-        assert!(!hot_exempt_missing(
-            "crates/pw/src/solver.rs",
-            "let v = Vec::new();",
-            &["let v = Vec::new();"],
-            0
-        ));
+        let v = rules_hit("crates/pw/src/solver.rs", "fn f() { let v = Vec::new(); }");
+        assert!(!v.contains(&"hot-alloc"));
     }
 
     #[test]
     fn ckpt_atomic_scoping_and_escape() {
         // Inside the snapshot crate every raw create is suspect…
-        let lines = [
-            "let tmp = dir.join(name);",
-            "let f = fs::File::create(&tmp)?;",
-        ];
-        assert!(ckpt_atomic_missing(
+        let v = rules_hit(
             "crates/ckpt/src/atomic.rs",
-            lines[1],
-            &lines,
-            1
-        ));
-        // …unless a ckpt-audit comment in the 3-line window justifies it.
-        let lines = [
-            "// ckpt-audit: the atomic writer itself",
-            "let f = fs::File::create(&tmp)?;",
-        ];
-        assert!(!ckpt_atomic_missing(
+            "fn f() { let h = fs::File::create(&tmp); }",
+        );
+        assert!(v.contains(&"ckpt-atomic"));
+        // …unless a ckpt-audit comment in the window justifies it.
+        let v = rules_hit(
             "crates/ckpt/src/atomic.rs",
-            lines[1],
-            &lines,
-            1
-        ));
-        // Elsewhere only snapshot-looking paths are in scope (raw lines
-        // carry the evidence — string literals are stripped from code).
-        let raw = [
-            "let p = dir.join(\"scf-000001.ls3df\");",
-            "fs::write(&p, bytes)?;",
-        ];
-        let code = ["let p = dir.join(           );", "fs::write(&p, bytes)?;"];
-        assert!(ckpt_atomic_missing(
+            "// ckpt-audit: the atomic writer itself\nfn f() { let h = fs::File::create(&tmp); }",
+        );
+        assert!(!v.contains(&"ckpt-atomic"));
+        // Elsewhere only snapshot-looking paths are in scope (the string
+        // literal carries the evidence).
+        let v = rules_hit(
             "crates/core/src/scf.rs",
-            code[1],
-            &raw,
-            1
-        ));
+            "fn f() { let p = dir.join(\"scf-000001.ls3df\");\n fs::write(&p, bytes); }",
+        );
+        assert!(v.contains(&"ckpt-atomic"));
         // Unrelated writes never fire.
-        assert!(!ckpt_atomic_missing(
+        let v = rules_hit(
             "crates/atoms/src/xyz.rs",
-            "let w = std::fs::File::create(path)?;",
-            &["let w = std::fs::File::create(path)?;"],
-            0
-        ));
+            "fn f() { let w = std::fs::File::create(path); }",
+        );
+        assert!(!v.contains(&"ckpt-atomic"));
     }
 
     #[test]
     fn raw_timer_scoping_and_escape() {
-        // Only the instrumented crates are in scope.
-        assert!(raw_timer_in_scope("crates/core/src/scf.rs"));
-        assert!(raw_timer_in_scope("crates/fft/src/plan.rs"));
-        assert!(raw_timer_in_scope("crates/pw/src/solver.rs"));
-        assert!(!raw_timer_in_scope("crates/obs/src/clock.rs"));
-        assert!(!raw_timer_in_scope("crates/xtask/src/ci.rs"));
-        assert!(!raw_timer_in_scope("crates/bench/src/bin/fig6.rs"));
-        // An in-scope `Instant` fires…
-        let lines = ["let t = Instant::now();"];
-        assert!(raw_timer_missing(
+        let v = rules_hit(
             "crates/core/src/scf.rs",
-            lines[0],
-            &lines,
-            0
-        ));
-        // …word-boundary: identifiers containing the word do not.
-        let lines = ["let x = InstantaneousRate::new();"];
-        assert!(!raw_timer_missing(
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert!(v.contains(&"raw-timer"));
+        // Identifiers merely containing the word do not fire.
+        let v = rules_hit(
             "crates/core/src/scf.rs",
-            lines[0],
-            &lines,
-            0
-        ));
-        // …an obs-audit comment within the window silences it…
-        let lines = [
-            "// obs-audit: clock for a diagnostic outside the report",
-            "let t = std::time::Instant::now();",
-        ];
-        assert!(!raw_timer_missing(
+            "fn f() { let x = InstantaneousRate::new(); }",
+        );
+        assert!(!v.contains(&"raw-timer"));
+        let v = rules_hit(
             "crates/core/src/scf.rs",
-            lines[1],
-            &lines,
-            1
-        ));
-        // …and out-of-scope files never fire.
-        assert!(!raw_timer_missing(
+            "// obs-audit: diagnostic outside the report\nfn f() { let t = std::time::Instant::now(); }",
+        );
+        assert!(!v.contains(&"raw-timer"));
+        let v = rules_hit(
             "crates/hpc/src/machine.rs",
-            "let t = Instant::now();",
-            &["let t = Instant::now();"],
-            0
-        ));
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert!(!v.contains(&"raw-timer"));
     }
 
     #[test]
-    fn raw_strings_stripped() {
-        let s = strip_comments_and_strings("let x = r#\"panic! .unwrap()\"#; let y = 1;");
-        assert!(!s.contains("panic"));
-        assert!(s.contains("let y = 1;"));
+    fn atomic_ordering_justified_vs_bare() {
+        let path = "shims/rayon/src/pool.rs";
+        let bare = "fn f() { x.store(true, Ordering::Release); }";
+        let v = lint_source(path, bare);
+        assert_eq!(v.violations.len(), 1);
+        assert_eq!(v.violations[0].rule, "atomic-ordering");
+        assert_eq!(v.ordering_sites.len(), 1);
+        assert!(v.ordering_sites[0].justification.is_none());
+
+        let ok = "// ORDERING: Release pairs with the Acquire probe\n\
+                  fn f() { x.store(true, Ordering::Release); }";
+        let v = lint_source(path, ok);
+        assert!(v.violations.is_empty());
+        assert_eq!(
+            v.ordering_sites[0].justification.as_deref(),
+            Some("Release pairs with the Acquire probe")
+        );
+
+        // `cmp::Ordering` is not an atomic.
+        let cmp = "fn f() { let o = std::cmp::Ordering::Less; }";
+        let v = lint_source(path, cmp);
+        assert!(v.violations.is_empty() && v.ordering_sites.is_empty());
+
+        // Out-of-scope files are not policed (and not inventoried).
+        let v = lint_source("crates/pw/src/mixing.rs", bare);
+        assert!(v.violations.is_empty() && v.ordering_sites.is_empty());
+    }
+
+    #[test]
+    fn ordering_in_doc_comment_is_invisible() {
+        let src = "/// Uses `Ordering::Relaxed` internally.\n// Ordering::SeqCst too\nfn f() {}";
+        let v = lint_source("shims/rayon/src/pool.rs", src);
+        assert!(v.violations.is_empty() && v.ordering_sites.is_empty());
+    }
+
+    #[test]
+    fn float_reduce_flags_terminal_reductions() {
+        let path = "crates/pw/src/density.rs";
+        let bad = "fn f() { let s = xs.par_iter().map(|x| x * 2.0).sum::<f64>(); }";
+        assert!(rules_hit(path, bad).contains(&"float-reduce"));
+        let bad = "fn f() { let s = xs.into_par_iter().fold(0.0, |a, b| a + b); }";
+        assert!(rules_hit(path, bad).contains(&"float-reduce"));
+        // The house pattern — ordered collect — is clean.
+        let ok = "fn f() { let v: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect(); }";
+        assert!(!rules_hit(path, ok).contains(&"float-reduce"));
+        // A sequential sum *after* the materializing collect is clean.
+        let ok = "fn f() { let v: Vec<f64> = xs.par_iter().map(g).collect(); let s: f64 = v.iter().sum(); }";
+        assert!(!rules_hit(path, ok).contains(&"float-reduce"));
+        // Sequential iterators are out of scope entirely.
+        let ok = "fn f() { let s = xs.iter().sum::<f64>(); }";
+        assert!(!rules_hit(path, ok).contains(&"float-reduce"));
+        // An audited site is exempt.
+        let ok = "// reduce-audit: integer count, order-free\nfn f() { let s = xs.par_iter().map(|x| x * 2.0).sum::<f64>(); }";
+        assert!(!rules_hit(path, ok).contains(&"float-reduce"));
+    }
+
+    #[test]
+    fn float_reduce_flags_for_each_accumulation() {
+        let path = "crates/math/src/gemm.rs";
+        let bad = "fn f() { xs.par_iter().for_each(|x| { total += x; }); }";
+        assert!(rules_hit(path, bad).contains(&"float-reduce"));
+        // Disjoint-output for_each without compound assignment is clean.
+        let ok = "fn f() { rows.par_chunks_mut(n).for_each(|r| { fill(r); }); }";
+        assert!(!rules_hit(path, ok).contains(&"float-reduce"));
+        // The audited legacy phrasing is honored within its 8-line window.
+        let ok = "// Audited reduction: disjoint rows, sequential inner loops\n\
+                  fn f() { rows.par_chunks_mut(n).for_each(|r| { r[0] += 1.0; }); }";
+        assert!(!rules_hit(path, ok).contains(&"float-reduce"));
+        // `+=` inside a *sequential* for_each is out of scope.
+        let ok = "fn f() { xs.iter().for_each(|x| { total += x; }); }";
+        assert!(!rules_hit(path, ok).contains(&"float-reduce"));
+    }
+
+    #[test]
+    fn hash_iter_scoping() {
+        let bad = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, f64>) {}";
+        assert!(rules_hit("crates/pw/src/scf.rs", bad).contains(&"hash-iter"));
+        // Out of physics scope: fine.
+        assert!(!rules_hit("crates/hpc/src/cost.rs", bad).contains(&"hash-iter"));
+        // Test code: fine.
+        let test_only = "#[cfg(test)]\nmod tests { use std::collections::HashSet;\n }";
+        assert!(!rules_hit("crates/core/src/supervise.rs", test_only).contains(&"hash-iter"));
+        // Audited: fine.
+        let ok = "// hash-audit: lookup-only, never iterated\nuse std::collections::HashMap;";
+        assert!(!rules_hit("crates/pw/src/scf.rs", ok).contains(&"hash-iter"));
+    }
+
+    #[test]
+    fn forbid_unsafe_root_attributes() {
+        // A non-designated crate root needs forbid…
+        let v = rules_hit("crates/fft/src/lib.rs", "//! Docs.\nfn f() {}");
+        assert!(v.contains(&"forbid-unsafe"));
+        let v = rules_hit(
+            "crates/fft/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn f() {}",
+        );
+        assert!(!v.contains(&"forbid-unsafe"));
+        // …a designated one needs deny…
+        let v = rules_hit(
+            "shims/rayon/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn f() {}",
+        );
+        assert!(v.contains(&"forbid-unsafe"));
+        let v = rules_hit("shims/rayon/src/lib.rs", "#![deny(unsafe_code)]\nfn f() {}");
+        assert!(!v.contains(&"forbid-unsafe"));
+        // …and unsafe tokens outside the surface fire wherever they are.
+        let v = rules_hit(
+            "crates/fft/src/plan.rs",
+            "// SAFETY: irrelevant\nfn f() { unsafe { g() } }",
+        );
+        assert!(v.contains(&"forbid-unsafe"));
+        // Inside the surface, `unsafe` is the unsafe-comment rule's job.
+        let v = rules_hit(
+            "shims/rayon/src/pool.rs",
+            "// SAFETY: contract upheld by caller\nfn f() { unsafe { g() } }",
+        );
+        assert!(!v.contains(&"forbid-unsafe"));
+    }
+
+    #[test]
+    fn unsafe_in_string_is_invisible() {
+        let src = "fn f() { let s = \"unsafe\"; let r = r#\"unsafe { }\"#; }";
+        assert!(violations("crates/fft/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

@@ -1,25 +1,42 @@
 //! Workspace tooling, invoked as `cargo xtask <command>` (the alias lives
 //! in `.cargo/config.toml`).
 //!
-//! * `cargo xtask lint` — the LS3DF-specific syntactic lint pass over all
-//!   workspace sources (see [`lint`] for the rules and the allowlist
-//!   format);
-//! * `cargo xtask ci` — the tier-1 gate: `fmt --check`, `clippy -D
-//!   warnings`, `xtask lint`, `cargo test -q`, with an `--offline`
+//! * `cargo xtask lint` — the token-aware LS3DF source analysis over all
+//!   workspace sources (see [`xtask::lint`] for the rules and the
+//!   allowlist format); writes `target/lint-report.json`;
+//! * `cargo xtask miri` — the curated unsafe-core test filter under the
+//!   Miri interpreter (skips loudly when the nightly component is not
+//!   installed — the offline container cannot fetch it);
+//! * `cargo xtask schedules` — the schedule-exploration gate: pool suite
+//!   and SCF digest matrix under every adversarial work-selection order;
+//! * `cargo xtask ci` — the tier-1 gate: fmt, clippy, lint, lint
+//!   fixtures, the test suite under both scheduling regimes, zero-alloc,
+//!   ckpt-resume, obs-report, schedules, miri — with an `--offline`
 //!   fallback for each cargo step when the registry is unreachable.
 
+#![forbid(unsafe_code)]
+
 mod ci;
-mod lint;
+mod miri;
+mod schedules;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use xtask::lint;
 
 fn usage() -> &'static str {
     "usage: cargo xtask <command>\n\
      \n\
      commands:\n\
-       lint    run the LS3DF source lint rules over the workspace\n\
-       ci      run the full tier-1 gate (fmt, clippy, lint, test)\n"
+       lint       run the token-aware LS3DF source rules over the workspace\n\
+                  (report: target/lint-report.json)\n\
+       miri       run the curated unsafe-core test filter under Miri\n\
+                  (skips loudly when the nightly component is unavailable)\n\
+       schedules  run pool tests + an SCF digest matrix under every\n\
+                  adversarial work-stealing schedule\n\
+       ci         run the full tier-1 gate (fmt, clippy, lint, fixtures,\n\
+                  tests, zero-alloc, ckpt-resume, obs-report, schedules,\n\
+                  miri)\n"
 }
 
 /// Workspace root: xtask lives at `<root>/crates/xtask`.
@@ -47,6 +64,19 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("miri") => match miri::run(&root) {
+            // An unavailable Miri is a loud skip, not a failure: the
+            // offline container cannot install nightly components.
+            miri::Outcome::Passed | miri::Outcome::Unavailable(_) => ExitCode::SUCCESS,
+            miri::Outcome::Failed => ExitCode::FAILURE,
+        },
+        Some("schedules") => {
+            if schedules::run(&root) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         Some("ci") => {
             if ci::run(&root) {
                 ExitCode::SUCCESS

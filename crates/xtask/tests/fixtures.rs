@@ -1,0 +1,107 @@
+//! The lint engine's regression corpus. Every file in `tests/fixtures/`
+//! declares the workspace path it pretends to be on line 1
+//! (`//! lint-path: <path>` — scoping rules key off it) and marks each
+//! expected violation inline with `//~ ERROR <rule>`. The harness lints
+//! each fixture through `xtask::lint::lint_source` and asserts *exact*
+//! agreement: a missing hit is a regression, an extra hit is a false
+//! positive. Fixtures are lexed, never compiled — `collect_rs_files`
+//! skips `fixtures/` directories, and cargo only builds top-level
+//! `tests/*.rs`.
+
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The path after `lint-path:`, with any trailing `//~` marker stripped
+/// (the missing-root-attribute fixture expects a violation on line 1).
+fn virtual_path(content: &str, file: &str) -> String {
+    let line1 = content.lines().next().unwrap_or_default();
+    let rest = line1
+        .strip_prefix("//! lint-path:")
+        .unwrap_or_else(|| panic!("{file}: line 1 must be `//! lint-path: <path>`"));
+    rest.split("//~")
+        .next()
+        .unwrap_or_default()
+        .trim()
+        .to_string()
+}
+
+/// `(line, rule)` for every `//~ ERROR <rule>` marker, sorted.
+fn expected(content: &str, file: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("//~ ERROR ") {
+            rest = &rest[pos + "//~ ERROR ".len()..];
+            let rule = rest
+                .split_whitespace()
+                .next()
+                .unwrap_or_default()
+                .to_string();
+            assert!(
+                xtask::lint::RULES.contains(&rule.as_str()),
+                "{file}:{}: marker names unknown rule `{rule}`",
+                i + 1
+            );
+            out.push((i + 1, rule));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn fixtures_match_their_golden_expectations() {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(fixtures_dir())
+        .expect("tests/fixtures/ must exist")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+
+    let mut checked = 0;
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let content = std::fs::read_to_string(&path).expect("read fixture");
+        let vpath = virtual_path(&content, &name);
+        assert!(!vpath.is_empty(), "{name}: empty lint-path");
+        let want = expected(&content, &name);
+        let mut got: Vec<(usize, String)> = xtask::lint::lint_source(&vpath, &content)
+            .violations
+            .into_iter()
+            .map(|v| (v.line, v.rule.to_string()))
+            .collect();
+        got.sort();
+        assert_eq!(
+            got, want,
+            "{name} (linted as {vpath}): engine disagrees with the golden markers"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 8,
+        "fixture corpus shrank: only {checked} files checked"
+    );
+}
+
+#[test]
+fn atomic_fixture_feeds_the_ordering_inventory() {
+    let path = fixtures_dir().join("atomic_ordering.rs");
+    let content = std::fs::read_to_string(path).expect("read atomic_ordering.rs");
+    let report = xtask::lint::lint_source("shims/rayon/src/pool.rs", &content);
+    let sites = &report.ordering_sites;
+    assert_eq!(sites.len(), 2, "bare + justified sites, nothing else");
+    assert_eq!(sites[0].ordering, "Release");
+    assert!(
+        sites[0].justification.is_none(),
+        "bare site must inventory as unjustified"
+    );
+    assert_eq!(sites[1].ordering, "Acquire");
+    assert_eq!(
+        sites[1].justification.as_deref(),
+        Some("Acquire pairs with the Release store in `bare`.")
+    );
+}

@@ -1,0 +1,22 @@
+//! lint-path: shims/rayon/src/pool.rs
+//!
+//! atomic-ordering: a bare memory ordering fires; a justified one is
+//! silent but still lands in the report inventory. `cmp::Ordering` and
+//! mentions inside comments are invisible.
+
+fn bare(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release); //~ ERROR atomic-ordering
+}
+
+fn justified(flag: &AtomicBool) -> bool {
+    // ORDERING: Acquire pairs with the Release store in `bare`.
+    flag.load(Ordering::Acquire)
+}
+
+fn not_an_atomic(a: u32, b: u32) -> bool {
+    a.cmp(&b) == std::cmp::Ordering::Less
+}
+
+/// Doc text naming `Ordering::SeqCst` is not a site.
+// Neither is Ordering::Relaxed in a line comment.
+fn mentions_only() {}

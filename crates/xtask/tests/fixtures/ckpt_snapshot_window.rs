@@ -1,0 +1,14 @@
+//! lint-path: crates/core/src/scf.rs
+//!
+//! ckpt-atomic outside the snapshot crate: only writes whose surrounding
+//! lines look snapshot-shaped (`.ls3df`, "snapshot") are in scope.
+
+fn writes_a_checkpoint(dir: &Path, bytes: &[u8]) {
+    let p = dir.join("scf-000001.ls3df");
+    fs::write(&p, bytes); //~ ERROR ckpt-atomic
+}
+
+fn unrelated_output(path: &Path) {
+    let f = std::fs::File::create(path);
+    drop(f);
+}

@@ -1,0 +1,19 @@
+//! lint-path: crates/ckpt/src/writer.rs
+//!
+//! ckpt-atomic inside the snapshot crate: every raw file creation is
+//! suspect unless the ckpt-audit escape marks the atomic writer itself.
+
+fn raw_write(path: &Path) {
+    let f = fs::File::create(path); //~ ERROR ckpt-atomic
+    drop(f);
+}
+
+fn raw_fs_write(path: &Path, bytes: &[u8]) {
+    fs::write(path, bytes); //~ ERROR ckpt-atomic
+}
+
+fn the_atomic_writer(tmp: &Path) {
+    // ckpt-audit: the atomic temp + fsync + rename writer itself.
+    let f = fs::File::create(tmp);
+    drop(f);
+}

@@ -1,0 +1,31 @@
+//! lint-path: crates/pw/src/mixing.rs
+//!
+//! no-float-eq: float comparisons fire, the exact-zero sentinel and
+//! integer/string comparisons stay silent, and operand runs stop at
+//! delimiters (a float in a *different* call argument is not evidence).
+
+fn bad_literal(a: f64) -> bool {
+    a == 1.0 //~ ERROR no-float-eq
+}
+
+fn bad_on_left(b: f64) -> bool {
+    0.5 != b //~ ERROR no-float-eq
+}
+
+fn bad_cast(a: u32, b: f64) -> bool {
+    f64::from(a) * 2.0 == b //~ ERROR no-float-eq
+}
+
+fn zero_sentinel(a: f64, e_kb: f64) -> bool {
+    // Exact-zero is well-defined IEEE equality (unset occupation, G = 0).
+    a == 0.0 && e_kb != 0.0 && a == -0.0 && a == 0.0_f64
+}
+
+fn integers(n: usize) -> bool {
+    n == 2
+}
+
+fn delimiter_bounds(helper_result: u32, a: u32, b: u32) -> bool {
+    // The 1.0 lives in another argument; `a == b` is an int comparison.
+    helper(1.0, a == b) && helper_result == 3
+}

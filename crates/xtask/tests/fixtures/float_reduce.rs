@@ -1,0 +1,47 @@
+//! lint-path: crates/pw/src/density.rs
+//!
+//! float-reduce: schedule-shaped reductions chained on parallel
+//! iterators fire; the ordered-collect house pattern, sequential
+//! iterators, and audited sites stay silent.
+
+fn bad_sum(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum::<f64>() //~ ERROR float-reduce
+}
+
+fn bad_fold(xs: Vec<f64>) -> f64 {
+    xs.into_par_iter().fold(0.0, |a, b| a + b) //~ ERROR float-reduce
+}
+
+fn bad_multiline(xs: &[f64]) -> f64 {
+    xs.par_iter()
+        .map(|x| x.sqrt())
+        .sum::<f64>() //~ ERROR float-reduce
+}
+
+fn bad_for_each(xs: &[f64], total: &mut f64) {
+    xs.par_iter().for_each(|x| {
+        *total += x; //~ ERROR float-reduce
+    });
+}
+
+fn ordered_collect(xs: &[f64]) -> f64 {
+    let v: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    v.iter().sum()
+}
+
+fn sequential(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+fn audited(xs: &[f64]) -> u64 {
+    // reduce-audit: integer count — order-free, no floats involved.
+    xs.par_iter().map(|x| x.abs() as u64).sum::<u64>()
+}
+
+fn audited_legacy(rows: &mut [f64], n: usize) {
+    // Audited reduction: rows are disjoint; each inner loop is
+    // sequential, so the combine order is fixed per row.
+    rows.par_chunks_mut(n).for_each(|r| {
+        r[0] += 1.0;
+    });
+}

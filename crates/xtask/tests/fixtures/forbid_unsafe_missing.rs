@@ -1,0 +1,10 @@
+//! lint-path: crates/grid/src/lib.rs //~ ERROR forbid-unsafe
+//!
+//! A non-designated crate root with no `#![forbid(unsafe_code)]`: the
+//! missing attribute fires on line 1, and the unsafe token fires on its
+//! own — a SAFETY comment cannot move a file onto the unsafe surface.
+
+fn sneaky(p: *const f64) -> f64 {
+    // SAFETY: satisfies unsafe-comment, not forbid-unsafe.
+    unsafe { *p } //~ ERROR forbid-unsafe
+}

@@ -1,0 +1,30 @@
+//! lint-path: crates/core/src/supervise.rs
+//!
+//! hash-iter: randomized-iteration containers fire in physics crates;
+//! ordered containers, audited lookup-only maps, and test code do not.
+
+use std::collections::HashMap; //~ ERROR hash-iter
+
+fn worst(pending: HashSet<u32>) { //~ ERROR hash-iter
+    drop(pending);
+}
+
+fn ordered(m: BTreeMap<u32, f64>, s: BTreeSet<u32>) {
+    drop((m, s));
+}
+
+fn lookup_only() {
+    // hash-audit: keyed lookups only — never iterated.
+    let m: HashMap<u32, f64> = HashMap::new();
+    drop(m);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_hash() {
+        drop(HashSet::<u32>::new());
+    }
+}

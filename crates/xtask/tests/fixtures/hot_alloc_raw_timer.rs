@@ -1,0 +1,28 @@
+//! lint-path: crates/fft/src/plan.rs
+//!
+//! hot-alloc and raw-timer in an SCF hot-path file: unaudited
+//! allocations and ad-hoc clocks fire; the escape comments silence them
+//! within their 3-line windows.
+
+fn hot(n: usize, src: &[f64]) {
+    let v = vec![0.0; n]; //~ ERROR hot-alloc
+    let w = Vec::with_capacity(n); //~ ERROR hot-alloc
+    let x = src.to_vec(); //~ ERROR hot-alloc
+    let y = v.clone(); //~ ERROR hot-alloc
+    let t = Instant::now(); //~ ERROR raw-timer
+    drop((w, x, y, t));
+}
+
+fn audited(n: usize) {
+    // alloc-audit: one-time plan construction, outside the SCF loop.
+    let v = vec![0.0; n];
+    // obs-audit: local diagnostic, intentionally outside the run report.
+    let t = std::time::Instant::now();
+    drop((v, t));
+}
+
+fn non_allocating(n: usize) {
+    // Vec::new is allocation-free until first push; not policed.
+    let v: Vec<f64> = Vec::new();
+    drop((v, n));
+}

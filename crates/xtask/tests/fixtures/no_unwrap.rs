@@ -1,0 +1,33 @@
+//! lint-path: crates/pw/src/mixing.rs
+//!
+//! no-unwrap: positives in library code, negatives for near-miss
+//! identifiers and the test region. (Fixtures are lexed, never
+//! compiled, so undefined names are fine.)
+
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap() //~ ERROR no-unwrap
+}
+
+fn g(x: Option<u32>) -> u32 {
+    x.expect("present by construction") //~ ERROR no-unwrap
+}
+
+fn h() {
+    panic!("library code must not panic"); //~ ERROR no-unwrap
+}
+
+fn near_misses(x: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_else are different identifiers entirely.
+    let a = x.unwrap_or(7);
+    let b = x.unwrap_or_else(|| 9);
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_assert_hard() {
+        Some(1u32).unwrap();
+        std::panic::catch_unwind(|| panic!("fine in tests")).ok();
+    }
+}

@@ -1,0 +1,30 @@
+//! lint-path: crates/fft/src/plan.rs
+//!
+//! The false-positive regression corpus: every needle below lives in a
+//! string literal, raw string, or comment — exactly where the old
+//! line-stripping lint fired and the token engine must not. The virtual
+//! path is a hot-path, instrumented, physics-scope file, so every rule
+//! that could fire is armed. Expected violations: none.
+
+fn strings_are_data() -> Vec<&'static str> {
+    collect_prose(
+        ".unwrap() and .expect(oops) and panic!(no)",
+        "vec![0.0; n] Vec::with_capacity(9) data.to_vec() x.clone()",
+        "Instant::now() in a string is just prose",
+        "HashMap and HashSet as words",
+        "thread_rng from_entropy rand::random",
+    )
+}
+
+fn raw_strings_too() -> &'static str {
+    r#"unsafe { transmute() } // still just bytes"#
+}
+
+// A line comment may say anything: x.unwrap(); panic!("x"); unsafe {}
+// vec![1; 2]; Instant::now(); xs.par_iter().sum::<f64>(); HashMap::new()
+/// Doc comments as well: `a == 1.0` and `fs::File::create(p)`.
+fn comments_are_prose() {}
+
+/* Block comments: .expect("…") and Vec::with_capacity(4) and
+   /* nested: from_entropy() and x == 2.5 */ unsafe impl Send */
+fn block_comments_too() {}

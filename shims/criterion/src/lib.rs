@@ -7,6 +7,7 @@
 //! text — adequate for relative kernel comparisons (blocked vs naive GEMM
 //! etc.), with none of the real criterion's statistics or HTML reports.
 
+#![forbid(unsafe_code)]
 use std::time::Instant;
 
 /// Prevents the optimizer from deleting a benchmarked computation.

@@ -10,6 +10,7 @@
 //! message. The default case count is 64 per test (the real proptest uses
 //! 256); tests override it with `ProptestConfig::with_cases`.
 
+#![forbid(unsafe_code)]
 pub mod strategy {
     //! The [`Strategy`] trait and its combinators.
 

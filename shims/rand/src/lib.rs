@@ -10,6 +10,7 @@
 //! matter for alloy-site shuffling; it does **not** reproduce crates-io
 //! `StdRng` streams bit-for-bit.
 
+#![forbid(unsafe_code)]
 /// A random number source (subset of `rand::RngCore` + `rand::Rng`).
 pub trait Rng {
     /// The next 64 uniformly random bits.

@@ -27,7 +27,13 @@
 //! closures (`map`, `for_each`, `flat_map_iter`) execute on the workers;
 //! only the cheap ordering/combining steps are sequential.
 
+// This crate (with `ls3df::alloc_count`) is the workspace's audited
+// unsafe surface: deny globally, allow per site with a SAFETY: comment.
+#![deny(unsafe_code)]
+
 mod pool;
+
+pub use pool::Schedule;
 
 /// Everything the workspace imports via `use rayon::prelude::*`.
 pub mod prelude {

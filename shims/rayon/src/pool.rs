@@ -32,6 +32,15 @@
 //! results with thread-count-independent trees, so runs at
 //! `LS3DF_THREADS` ∈ {1, 2, N} are bit-identical (gated by
 //! `tests/ls3df_pipeline.rs`).
+//!
+//! That contract is additionally stress-tested by *schedule exploration*:
+//! [`Schedule`] selects the order in which workers look for runnable
+//! jobs, and the adversarial variants (`lifo-starve`, `all-steal`,
+//! `reverse-park`) deliberately produce steal patterns the default order
+//! never would. `cargo xtask schedules` re-runs the pool tests and a
+//! short SCF under every variant and asserts bit-identical digests and
+//! intact panic propagation — determinism that survives only on the
+//! schedules the default policy happens to generate is not determinism.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -43,6 +52,72 @@ use std::time::Duration;
 /// reported through its latch, so the guarded state is always consistent.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Schedules
+// ---------------------------------------------------------------------------
+
+/// Work-selection order for the pool's workers.
+///
+/// [`Schedule::Default`] is the production order. The other variants are
+/// *adversarial*: they are functionally equivalent (every queued job
+/// still runs exactly once, panics still propagate) but force steal
+/// patterns the default order never produces, so running the test suite
+/// and an SCF digest under each explores genuinely different interleaved
+/// executions of the same program. Fixed per pool at construction; the
+/// lazily-created global pool reads `LS3DF_SCHEDULE` once.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Schedule {
+    /// Production order: own deque back (LIFO, cache-warm) → injector →
+    /// forward steal scan from `me + 1`.
+    Default,
+    /// Starves the LIFO fast path: workers drain their own deque
+    /// oldest-first (FIFO), maximizing the distance between a split's
+    /// publish and its execution — the join owner almost never reclaims.
+    LifoStarve,
+    /// Workers prefer anyone else's work: injector → steal scan → own
+    /// deque last, so nearly every job crosses threads.
+    AllSteal,
+    /// Reverses the steal scan (victims visited in descending index
+    /// order), so workers waking from the park loop probe the opposite
+    /// victims from Default.
+    ReversePark,
+}
+
+impl Schedule {
+    /// Every schedule, Default first — the exploration matrix iterated by
+    /// `cargo xtask schedules` and the pool's own tests.
+    pub const ALL: [Schedule; 4] = [
+        Schedule::Default,
+        Schedule::LifoStarve,
+        Schedule::AllSteal,
+        Schedule::ReversePark,
+    ];
+
+    /// The `LS3DF_SCHEDULE` value selecting this schedule.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Default => "default",
+            Schedule::LifoStarve => "lifo-starve",
+            Schedule::AllSteal => "all-steal",
+            Schedule::ReversePark => "reverse-park",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Schedule> {
+        Schedule::ALL.iter().copied().find(|v| v.name() == s.trim())
+    }
+
+    /// Schedule from `LS3DF_SCHEDULE`. Unset or unrecognized values fall
+    /// back to [`Schedule::Default`], so a production run can never land
+    /// on an adversarial order by accident.
+    pub fn from_env() -> Schedule {
+        std::env::var("LS3DF_SCHEDULE")
+            .ok()
+            .and_then(|s| Schedule::parse(&s))
+            .unwrap_or(Schedule::Default)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -147,10 +222,15 @@ impl Latch {
     }
 
     fn probe(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in `set`: a
+        // thread that observes `done` also observes the result slot the
+        // executing thread filled just before setting the flag.
         self.done.load(Ordering::Acquire)
     }
 
     fn set(&self) {
+        // ORDERING: Release publishes the result written immediately
+        // before the flag flip; paired with the Acquire load in `probe`.
         self.done.store(true, Ordering::Release);
         // Lock/unlock pairs the store with any waiter between its probe
         // and its wait, preventing a missed wakeup.
@@ -189,24 +269,62 @@ struct PoolState {
     /// Idle workers park here (paired with `injector`'s mutex).
     sleep: Condvar,
     shutdown: AtomicBool,
+    /// Work-selection order, fixed at pool construction.
+    schedule: Schedule,
 }
 
 impl PoolState {
-    /// Pops work: own deque back (LIFO), then injector, then steals from
-    /// the other deques front (FIFO).
+    /// Pops work in the pool's [`Schedule`] order (Default: own deque
+    /// back, then injector, then steals). Whatever the order, a worker
+    /// only ever *selects* among the same queued jobs — it never changes
+    /// what any of them computes, which is exactly the independence the
+    /// adversarial schedules stress.
     fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
-        if let Some(i) = me {
-            if let Some(job) = lock(&self.queues[i]).pop_back() {
-                return Some(job);
-            }
+        match self.schedule {
+            Schedule::Default => self
+                .pop_own_back(me)
+                .or_else(|| self.pop_injector())
+                .or_else(|| self.steal(me, false)),
+            Schedule::LifoStarve => self
+                .pop_own_front(me)
+                .or_else(|| self.pop_injector())
+                .or_else(|| self.steal(me, false)),
+            Schedule::AllSteal => self
+                .pop_injector()
+                .or_else(|| self.steal(me, false))
+                .or_else(|| self.pop_own_back(me)),
+            Schedule::ReversePark => self
+                .pop_own_back(me)
+                .or_else(|| self.pop_injector())
+                .or_else(|| self.steal(me, true)),
         }
-        if let Some(job) = lock(&self.injector).pop_front() {
-            return Some(job);
-        }
+    }
+
+    /// Owner end of the worker's own deque (LIFO, cache-warm).
+    fn pop_own_back(&self, me: Option<usize>) -> Option<JobRef> {
+        lock(&self.queues[me?]).pop_back()
+    }
+
+    /// LifoStarve's oldest-first drain of the worker's own deque.
+    fn pop_own_front(&self, me: Option<usize>) -> Option<JobRef> {
+        lock(&self.queues[me?]).pop_front()
+    }
+
+    fn pop_injector(&self) -> Option<JobRef> {
+        lock(&self.injector).pop_front()
+    }
+
+    /// Scans the other workers' deques at the steal end (front, FIFO) —
+    /// forward from `me + 1`, or in descending order when `reverse`.
+    fn steal(&self, me: Option<usize>, reverse: bool) -> Option<JobRef> {
         let n = self.queues.len();
         let start = me.map_or(0, |i| i + 1);
         for k in 0..n {
-            let victim = (start + k) % n;
+            let victim = if reverse {
+                (start + n - 1 - k) % n
+            } else {
+                (start + k) % n
+            };
             if Some(victim) == me {
                 continue;
             }
@@ -255,14 +373,22 @@ pub(crate) struct Pool {
 
 impl Pool {
     /// Spawns `n` worker threads (`n ≥ 2`; a 1-thread "pool" is
-    /// represented by no pool at all — the sequential fallback).
+    /// represented by no pool at all — the sequential fallback) using the
+    /// schedule from the environment.
     pub(crate) fn new(n: usize) -> Self {
+        Pool::with_schedule(n, Schedule::from_env())
+    }
+
+    /// Spawns `n` workers with an explicit work-selection order — the
+    /// entry point of the schedule-exploration harness.
+    pub(crate) fn with_schedule(n: usize, schedule: Schedule) -> Self {
         let n = n.max(2);
         let state = Arc::new(PoolState {
             queues: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
             injector: Mutex::new(VecDeque::new()),
             sleep: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            schedule,
         });
         let handles = (0..n)
             .map(|index| {
@@ -354,6 +480,9 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
+        // ORDERING: Release pairs with the Acquire loads in worker_main,
+        // so a worker observing shutdown also observes every write the
+        // dropping thread made before it (the flag is the only signal).
         self.state.shutdown.store(true, Ordering::Release);
         self.state.sleep.notify_all();
         for handle in lock(&self.handles).drain(..) {
@@ -371,6 +500,9 @@ fn worker_main(state: Arc<PoolState>, index: usize) {
             #[allow(unsafe_code)]
             Some(job) => unsafe { (job.execute)(job.data) },
             None => {
+                // ORDERING: Acquire pairs with the Release store in
+                // `Drop`, ordering this worker's exit after everything
+                // the dropping thread did before raising the flag.
                 if state.shutdown.load(Ordering::Acquire) {
                     // Push any buffered observability spans to the global
                     // sink before this worker thread (and its thread-local
@@ -384,6 +516,9 @@ fn worker_main(state: Arc<PoolState>, index: usize) {
                 // Park briefly on the injector condvar; the timeout
                 // re-scans for steals published without a notification.
                 let guard = lock(&state.injector);
+                // ORDERING: Acquire, same pairing as the load above — the
+                // re-check under the lock closes the race with a shutdown
+                // raised between the first load and parking.
                 if guard.is_empty() && !state.shutdown.load(Ordering::Acquire) {
                     let _ = state
                         .sleep
@@ -558,6 +693,8 @@ mod tests {
             pool.join(
                 || panic!("boom in a"),
                 || {
+                    // ORDERING: SeqCst — test bookkeeping; the strongest
+                    // order keeps the count outside any doubt for free.
                     b_ran.fetch_add(1, Ordering::SeqCst);
                 },
             )
@@ -565,6 +702,7 @@ mod tests {
         assert!(result.is_err());
         // b either ran on a thief or was reclaimed-and-dropped; both are
         // legal, but the join must not leave it dangling in a queue.
+        // ORDERING: SeqCst, matching the increment above.
         assert!(b_ran.load(Ordering::SeqCst) <= 1);
         // The pool must still be fully operational afterwards.
         let (x, y) = pool.join(|| 1, || 2);
@@ -595,6 +733,75 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn schedule_names_round_trip_and_env_defaults() {
+        for s in Schedule::ALL {
+            assert_eq!(Schedule::parse(s.name()), Some(s));
+        }
+        assert_eq!(Schedule::parse(" all-steal "), Some(Schedule::AllSteal));
+        assert_eq!(Schedule::parse("definitely-not-a-schedule"), None);
+    }
+
+    #[test]
+    fn every_schedule_matches_sequential_bitwise() {
+        // The determinism contract under adversarial work-selection: the
+        // same map over the same source must be bit-identical no matter
+        // which worker runs which half, on every explored schedule.
+        let src: Vec<f64> = (0..800).map(|i| (i as f64).cos()).collect();
+        let f = |x: f64| (x * 1.000_000_1).exp().ln_1p();
+        let seq: Vec<f64> = src.clone().into_iter().map(f).collect();
+        for schedule in Schedule::ALL {
+            let pool = Pool::with_schedule(4, schedule);
+            let par: Vec<f64> = map_vec_on(Some(&pool), src.clone(), &f);
+            assert_eq!(seq.len(), par.len(), "schedule {}", schedule.name());
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.to_bits(), p.to_bits(), "schedule {}", schedule.name());
+            }
+        }
+    }
+
+    #[test]
+    fn nested_joins_complete_under_every_schedule() {
+        // The help-while-waiting deadlock-freedom argument must not
+        // depend on the work-selection order (AllSteal in particular
+        // makes the owner's reclaim almost always lose the race).
+        fn sum(pool: &Pool, lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 4 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = pool.join(|| sum(pool, lo, mid), || sum(pool, mid, hi));
+                a + b
+            }
+        }
+        for schedule in Schedule::ALL {
+            let pool = Pool::with_schedule(2, schedule);
+            assert_eq!(
+                sum(&pool, 0, 1000),
+                (0..1000).sum::<u64>(),
+                "schedule {}",
+                schedule.name()
+            );
+        }
+    }
+
+    #[test]
+    fn panic_propagates_under_every_schedule() {
+        for schedule in Schedule::ALL {
+            let pool = Pool::with_schedule(2, schedule);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.join(
+                    || std::thread::sleep(Duration::from_millis(2)),
+                    || panic!("boom under {}", schedule.name()),
+                )
+            }));
+            assert!(result.is_err(), "no panic under {}", schedule.name());
+            // The pool survives the unwound job under every order.
+            let (x, y) = pool.join(|| 1, || 2);
+            assert_eq!((x, y), (1, 2), "schedule {}", schedule.name());
+        }
     }
 
     #[test]

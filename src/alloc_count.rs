@@ -20,6 +20,9 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 /// `realloc` — every call that can return fresh memory) since process
 /// start. Subtract two reads to count allocations in a region.
 pub fn allocation_count() -> u64 {
+    // ORDERING: Relaxed — probe reads bracket a single-threaded region
+    // (module docs); only the delta matters, not ordering against the
+    // allocations themselves.
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
@@ -45,6 +48,9 @@ unsafe impl GlobalAlloc for CountingAllocator {
     // SAFETY: pure forwarding to `System::alloc`; the caller upholds
     // the `GlobalAlloc` layout/pointer contract.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ORDERING: Relaxed — a pure event count on the hottest possible
+        // path; atomicity prevents lost increments, and no memory is
+        // published through the counter.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: caller upholds the `GlobalAlloc::alloc` contract.
         unsafe { System.alloc(layout) }
@@ -53,6 +59,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     // SAFETY: pure forwarding to `System::alloc_zeroed`; the caller upholds
     // the `GlobalAlloc` layout/pointer contract.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // ORDERING: Relaxed — same argument as `alloc`.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: caller upholds the `GlobalAlloc::alloc_zeroed` contract.
         unsafe { System.alloc_zeroed(layout) }
@@ -68,8 +75,49 @@ unsafe impl GlobalAlloc for CountingAllocator {
     // SAFETY: pure forwarding to `System::realloc`; the caller upholds
     // the `GlobalAlloc` layout/pointer contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // ORDERING: Relaxed — same argument as `alloc`.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         // SAFETY: caller upholds the `GlobalAlloc::realloc` contract.
         unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exercises the raw `GlobalAlloc` forwarding directly — this is the
+    /// allocator leg of the `cargo xtask miri` unsafe-core filter, so the
+    /// pointer round-trips below run under the interpreter's full
+    /// aliasing/validity checks.
+    #[test]
+    #[allow(unsafe_code)]
+    fn counting_allocator_roundtrips_and_counts() {
+        let a = CountingAllocator;
+        let layout = Layout::from_size_align(64, 8).expect("valid layout");
+        let grown = Layout::from_size_align(128, 8).expect("valid layout");
+        let before = allocation_count();
+        // Every pointer below came from this allocator and is paired
+        // with the layout its block currently has.
+        // SAFETY: layouts are valid and non-zero-sized, and the pairing
+        // above upholds the GlobalAlloc contract for each call.
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            p.write_bytes(0xab, layout.size());
+            let q = a.realloc(p, layout, grown.size());
+            assert!(!q.is_null());
+            // The old prefix must survive the move.
+            assert_eq!(*q, 0xab);
+            a.dealloc(q, grown);
+            let z = a.alloc_zeroed(layout);
+            assert!(!z.is_null());
+            assert_eq!(*z, 0);
+            a.dealloc(z, layout);
+        }
+        // alloc + realloc + alloc_zeroed = three counted events (frees
+        // are not counted). Other test threads may allocate concurrently,
+        // so ≥ not ==.
+        assert!(allocation_count() >= before + 3);
     }
 }

@@ -14,6 +14,9 @@
 //!     .build()?;
 //! let result = calc.scf();
 //! ```
+// `alloc_count` is the facade's (audited, SAFETY-commented) unsafe site.
+#![deny(unsafe_code)]
+
 #[cfg(feature = "alloc-count")]
 pub mod alloc_count;
 
