@@ -16,10 +16,7 @@ fn main() {
     // The four 2-D fragment types from one corner, as x-y slices of the
     // 3-D fragments with s_z = 2.
     for (s1, s2) in [(1usize, 1usize), (1, 2), (2, 1), (2, 2)] {
-        let f = Fragment {
-            corner: [0, 0, 0],
-            size: [s1, s2, 2],
-        };
+        let f = Fragment::sign_alternating([0, 0, 0], [s1, s2, 2]);
         let alpha = f.alpha();
         println!("fragment {}x{} (x-y), α = {:+}", s1, s2, alpha as i64);
         for row in (0..2).rev() {
@@ -55,7 +52,7 @@ fn main() {
     // And the real partition-of-unity check on a 4×4×4 decomposition.
     let m = [4usize, 4, 4];
     let grid = Grid3::new([8, 8, 8], [4.0, 4.0, 4.0]);
-    let fg = FragmentGrid::new(m, &grid, [1, 1, 1]);
+    let fg = FragmentGrid::new(m, &grid, [1, 1, 1]).expect("valid decomposition");
     println!(
         "partition of unity on a {}x{}x{} decomposition ({} fragments): max deviation = {:e}",
         m[0],

@@ -16,6 +16,7 @@
 //! | `crossover` | LS3DF vs O(N³) model sweep + real scaled measurement |
 //! | `accuracy` | LS3DF vs direct DFT eigenvalue/density agreement |
 //! | `ablation` | Comm-algorithm + solver-variant ablations |
+//! | `znteo_scheme_ablation` | Fragmentation-scheme ablation (sign-alternating vs overlapping) on ZnTeO |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,6 +7,7 @@
 //! | section    | contents |
 //! |------------|----------|
 //! | `FPRINT`   | FNV-1a fingerprint of the physical options (refuses resume under different physics) |
+//! | `SCHEME`   | fragmentation-scheme id (names both schemes in a cross-scheme refusal) |
 //! | `STATE`    | last completed outer iteration + converged flag |
 //! | `SCFHIST`  | the [`Ls3dfStep`] convergence history |
 //! | `VIN`      | global input potential (the mixed `V_in` for the next iteration) |
@@ -26,6 +27,7 @@
 
 use crate::passivate::Passivation;
 use crate::scf::{Ls3dfOptions, Ls3dfStep, StepTimings};
+use crate::scheme::FragmentScheme;
 use ls3df_atoms::{Species, Structure};
 use ls3df_ckpt::{ByteReader, ByteWriter, CkptError, Fingerprint, SectionId};
 use ls3df_math::{c64, Matrix};
@@ -34,6 +36,9 @@ use ls3df_pw::{Mixer, SolverMethod};
 
 /// Options-fingerprint section.
 pub(crate) const SEC_FPRINT: SectionId = SectionId::new("FPRINT");
+/// Fragmentation-scheme id section (diagnostic: lets a fingerprint
+/// refusal name the snapshot's scheme).
+pub(crate) const SEC_SCHEME: SectionId = SectionId::new("SCHEME");
 /// Iteration counter + converged flag section.
 pub(crate) const SEC_STATE: SectionId = SectionId::new("STATE");
 /// Convergence-history section.
@@ -70,8 +75,15 @@ pub(crate) fn options_fingerprint(
     structure: &Structure,
     m: [usize; 3],
     opts: &Ls3dfOptions,
+    scheme: &dyn FragmentScheme,
 ) -> u64 {
     let mut fp = Fingerprint::new();
+    // Fragmentation scheme: id + its own parameters. A snapshot written
+    // under one scheme must refuse to resume under another — the fragment
+    // sets (and so the PSI section layout) differ.
+    fp.push_str("scheme");
+    fp.push_str(scheme.id());
+    scheme.fingerprint(&mut fp);
     // Geometry.
     for d in 0..3 {
         fp.push_f64(structure.lengths[d]);
@@ -142,6 +154,23 @@ pub(crate) fn encode_fingerprint(fingerprint: u64) -> Vec<u8> {
 
 pub(crate) fn decode_fingerprint(payload: &[u8]) -> Result<u64, CkptError> {
     ByteReader::new(payload).get_u64("options fingerprint")
+}
+
+pub(crate) fn encode_scheme_id(id: &str) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(8 + id.len());
+    w.put_u64(id.len() as u64);
+    w.put_bytes(id.as_bytes());
+    w.into_bytes()
+}
+
+pub(crate) fn decode_scheme_id(payload: &[u8]) -> Result<String, CkptError> {
+    let mut r = ByteReader::new(payload);
+    let n = r.get_count(MAX_COUNT, "scheme id length")?;
+    let bytes = r.get_bytes(n, "scheme id")?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| CkptError::Malformed {
+        section: SEC_SCHEME.name(),
+        detail: "scheme id is not valid UTF-8".to_string(),
+    })
 }
 
 pub(crate) fn encode_state(iteration: usize, converged: bool) -> Vec<u8> {
@@ -378,32 +407,50 @@ mod tests {
 
     #[test]
     fn fingerprint_tracks_physics_not_run_control() {
+        use crate::scheme::SignAlternating;
         let s = Structure::new([10.0, 10.0, 10.0], Vec::new());
         let base = Ls3dfOptions::default();
-        let f0 = options_fingerprint(&s, [2, 2, 2], &base);
+        let scheme = SignAlternating;
+        let f0 = options_fingerprint(&s, [2, 2, 2], &base, &scheme);
         // Same inputs → same fingerprint.
-        assert_eq!(f0, options_fingerprint(&s, [2, 2, 2], &base));
+        assert_eq!(f0, options_fingerprint(&s, [2, 2, 2], &base, &scheme));
         // max_scf / tol are run control, not physics.
         let relaxed = Ls3dfOptions {
             max_scf: 500,
             tol: 1e-9,
             ..base.clone()
         };
-        assert_eq!(f0, options_fingerprint(&s, [2, 2, 2], &relaxed));
+        assert_eq!(f0, options_fingerprint(&s, [2, 2, 2], &relaxed, &scheme));
         // Cutoff, decomposition and mixer ARE physics.
         let hot = Ls3dfOptions {
             ecut: base.ecut * 2.0,
             ..base.clone()
         };
-        assert_ne!(f0, options_fingerprint(&s, [2, 2, 2], &hot));
-        assert_ne!(f0, options_fingerprint(&s, [2, 2, 4], &base));
+        assert_ne!(f0, options_fingerprint(&s, [2, 2, 2], &hot, &scheme));
+        assert_ne!(f0, options_fingerprint(&s, [2, 2, 4], &base, &scheme));
         let remixed = Ls3dfOptions {
             mixer: Mixer::Pulay {
                 alpha: 0.5,
                 depth: 4,
             },
-            ..base
+            ..base.clone()
         };
-        assert_ne!(f0, options_fingerprint(&s, [2, 2, 2], &remixed));
+        assert_ne!(f0, options_fingerprint(&s, [2, 2, 2], &remixed, &scheme));
+        // So is the fragmentation scheme — and its parameters.
+        use crate::scheme::Overlapping;
+        let f_ov = options_fingerprint(&s, [2, 2, 2], &base, &Overlapping::default());
+        assert_ne!(f0, f_ov);
+        assert_ne!(
+            f_ov,
+            options_fingerprint(&s, [3, 3, 3], &base, &Overlapping::new([3, 3, 3]))
+        );
+    }
+
+    #[test]
+    fn scheme_id_roundtrips() {
+        let bytes = encode_scheme_id("sign-alternating");
+        assert_eq!(decode_scheme_id(&bytes).unwrap(), "sign-alternating");
+        // Truncated payload is a typed error, not a panic.
+        assert!(decode_scheme_id(&bytes[..bytes.len() - 3]).is_err());
     }
 }

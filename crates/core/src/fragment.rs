@@ -1,9 +1,11 @@
 //! Fragment geometry: the heart of the LS3DF patching scheme.
 //!
 //! The periodic supercell is divided into `M = m1 × m2 × m3` *pieces*
-//! (the paper uses one eight-atom zinc-blende cell per piece). From every
-//! piece corner `(i, j, k)`, **eight fragments** are defined with sizes
-//! `{1,2} × {1,2} × {1,2}` pieces and weight
+//! (the paper uses one eight-atom zinc-blende cell per piece). Which
+//! fragments exist — and with what patching weight `α_F` — is decided by
+//! a [`FragmentScheme`](crate::scheme::FragmentScheme). The paper's
+//! sign-alternating scheme defines **eight fragments** per corner with
+//! sizes `{1,2} × {1,2} × {1,2}` pieces and weight
 //!
 //! ```text
 //! α_F = Π_d sign_d,   sign_d = +1 if size_d = 2, −1 if size_d = 1
@@ -12,30 +14,61 @@
 //! (`+1` for 2×2×2; `−1` for the three 2×2×1 types; `+1` for the three
 //! 2×1×1 types; `−1` for 1×1×1 — the 3-D extension of the paper's Fig. 1).
 //! Summing `α_F · (anything accumulated over the fragment interior)` over
-//! all corners covers every piece with net weight exactly **one** while
-//! cancelling every artificial surface, edge and corner term pairwise —
-//! the property tested by [`partition_of_unity`] and exploited by
-//! `Gen_dens`.
+//! all fragments covers every piece with net weight exactly **one** —
+//! the partition of unity tested by [`FragmentGrid::partition_of_unity`]
+//! and exploited by `Gen_dens`. Other schemes (e.g.
+//! [`Overlapping`](crate::scheme::Overlapping)) satisfy the same
+//! invariant with different fragment sets and weights; each declares its
+//! own tolerance via
+//! [`FragmentScheme::unity_tolerance`](crate::scheme::FragmentScheme::unity_tolerance).
+//!
+//! [`FragmentGrid`] carries the metric bookkeeping (piece sizes, buffer
+//! widths, box/region geometry) shared by every scheme; the scheme
+//! contributes only the fragment enumeration and weights.
 
+use crate::scheme::{FragmentError, FragmentScheme, SignAlternating};
 use ls3df_grid::Grid3;
+use std::sync::Arc;
 
-/// One fragment: corner piece index, size in pieces, and sign weight.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// One fragment: corner piece index, size in pieces, and patching weight.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Fragment {
     /// Piece index of the fragment's low corner `(i, j, k)`.
     pub corner: [usize; 3],
-    /// Fragment extent in pieces per dimension (1 or 2).
+    /// Fragment extent in pieces per dimension.
     pub size: [usize; 3],
+    /// Patching weight `α_F` (the sign-alternating scheme uses `±1`;
+    /// overlapping schemes use normalized positive reals).
+    pub weight: f64,
 }
 
 impl Fragment {
+    /// A fragment with an explicit patching weight.
+    pub fn new(corner: [usize; 3], size: [usize; 3], weight: f64) -> Self {
+        Fragment {
+            corner,
+            size,
+            weight,
+        }
+    }
+
+    /// A fragment weighted by the paper's sign rule
+    /// `α_F = Π_d (+1 if size_d = 2, −1 otherwise)`.
+    pub fn sign_alternating(corner: [usize; 3], size: [usize; 3]) -> Self {
+        let mut weight = 1.0;
+        for d in 0..3 {
+            weight *= if size[d] == 2 { 1.0 } else { -1.0 };
+        }
+        Fragment {
+            corner,
+            size,
+            weight,
+        }
+    }
+
     /// The patching weight `α_F`.
     pub fn alpha(&self) -> f64 {
-        let mut a = 1.0;
-        for d in 0..3 {
-            a *= if self.size[d] == 2 { 1.0 } else { -1.0 };
-        }
-        a
+        self.weight
     }
 
     /// Number of pieces covered.
@@ -43,9 +76,34 @@ impl Fragment {
         self.size[0] * self.size[1] * self.size[2]
     }
 
-    /// Stable identifier `(corner, size)` for logs.
-    pub fn label(&self) -> String {
-        format!(
+    /// Stable `Copy` identifier `(corner, size)` for logs and fault
+    /// reports — formats like `F[1,2,3](2x1x2)` without allocating until
+    /// actually displayed.
+    pub fn id(&self) -> FragmentId {
+        FragmentId {
+            corner: self.corner,
+            size: self.size,
+        }
+    }
+}
+
+/// Allocation-free fragment identifier: carries corner and extent, and
+/// renders as `F[i,j,k](s1xs2xs3)` via [`Display`](std::fmt::Display).
+/// Replaces the old `Fragment::label() -> String` in fault/observer hot
+/// paths — `Copy`, `Eq`, and `Hash`, so it can key maps and travel
+/// through channels without heap traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FragmentId {
+    /// Piece index of the fragment's low corner.
+    pub corner: [usize; 3],
+    /// Fragment extent in pieces per dimension.
+    pub size: [usize; 3],
+}
+
+impl std::fmt::Display for FragmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
             "F[{},{},{}]({}x{}x{})",
             self.corner[0],
             self.corner[1],
@@ -57,7 +115,10 @@ impl Fragment {
     }
 }
 
-/// The fragment decomposition of a supercell.
+/// The fragment decomposition of a supercell: a
+/// [`FragmentScheme`](crate::scheme::FragmentScheme) bound to concrete
+/// piece/buffer geometry, with the fragment list enumerated once and
+/// cached in the scheme's canonical order.
 #[derive(Clone, Debug)]
 pub struct FragmentGrid {
     /// Pieces per dimension.
@@ -70,26 +131,40 @@ pub struct FragmentGrid {
     /// Buffer width added around the fragment region on each side, in
     /// grid points per dimension (sets the fragment box ΩF).
     pub buffer_pts: [usize; 3],
+    scheme: Arc<dyn FragmentScheme>,
+    fragments: Vec<Fragment>,
 }
 
 impl FragmentGrid {
     /// Builds the decomposition for a global grid of `m · piece_pts`
-    /// points. Requires `m[d] ≥ 2` (a size-2 fragment must not wrap onto
-    /// itself).
-    pub fn new(m: [usize; 3], global: &Grid3, buffer_pts: [usize; 3]) -> Self {
-        for d in 0..3 {
-            assert!(
-                m[d] >= 2,
-                "FragmentGrid: need ≥ 2 pieces per dimension (got {})",
-                m[d]
-            );
-            assert_eq!(
-                global.dims[d] % m[d],
-                0,
-                "FragmentGrid: global grid axis {d} ({}) not divisible into {} pieces",
-                global.dims[d],
-                m[d]
-            );
+    /// points under the default sign-alternating scheme. Rejects bad
+    /// geometry with a typed [`FragmentError`] instead of panicking.
+    pub fn new(
+        m: [usize; 3],
+        global: &Grid3,
+        buffer_pts: [usize; 3],
+    ) -> Result<Self, FragmentError> {
+        Self::with_scheme(Arc::new(SignAlternating), m, global, buffer_pts)
+    }
+
+    /// Builds the decomposition under an explicit scheme. The scheme
+    /// validates the piece counts against its own minimums; divisibility
+    /// of the global grid into pieces is checked here.
+    pub fn with_scheme(
+        scheme: Arc<dyn FragmentScheme>,
+        m: [usize; 3],
+        global: &Grid3,
+        buffer_pts: [usize; 3],
+    ) -> Result<Self, FragmentError> {
+        scheme.validate(m)?;
+        for axis in 0..3 {
+            if !global.dims[axis].is_multiple_of(m[axis]) {
+                return Err(FragmentError::Indivisible {
+                    axis,
+                    points: global.dims[axis],
+                    m: m[axis],
+                });
+            }
         }
         let piece_pts = [
             global.dims[0] / m[0],
@@ -101,12 +176,31 @@ impl FragmentGrid {
             global.lengths[1] / m[1] as f64,
             global.lengths[2] / m[2] as f64,
         ];
-        FragmentGrid {
+        let fragments = scheme.fragments(m);
+        Ok(FragmentGrid {
             m,
             piece_pts,
             piece_len,
             buffer_pts,
-        }
+            scheme,
+            fragments,
+        })
+    }
+
+    /// The scheme this decomposition was built under.
+    pub fn scheme(&self) -> &dyn FragmentScheme {
+        &*self.scheme
+    }
+
+    /// Shared handle to the scheme (for rebuilding a compatible grid).
+    pub fn scheme_arc(&self) -> Arc<dyn FragmentScheme> {
+        Arc::clone(&self.scheme)
+    }
+
+    /// The scheme's partition-of-unity tolerance (see
+    /// [`FragmentScheme::unity_tolerance`](crate::scheme::FragmentScheme::unity_tolerance)).
+    pub fn unity_tolerance(&self) -> f64 {
+        self.scheme.unity_tolerance()
     }
 
     /// Total number of corners (= pieces).
@@ -114,31 +208,14 @@ impl FragmentGrid {
         self.m[0] * self.m[1] * self.m[2]
     }
 
-    /// Total number of fragments (8 per corner).
+    /// Total number of fragments.
     pub fn n_fragments(&self) -> usize {
-        8 * self.n_corners()
+        self.fragments.len()
     }
 
-    /// Iterates over all fragments of all corners.
-    pub fn fragments(&self) -> Vec<Fragment> {
-        let mut out = Vec::with_capacity(self.n_fragments());
-        for k in 0..self.m[2] {
-            for j in 0..self.m[1] {
-                for i in 0..self.m[0] {
-                    for &s3 in &[1usize, 2] {
-                        for &s2 in &[1usize, 2] {
-                            for &s1 in &[1usize, 2] {
-                                out.push(Fragment {
-                                    corner: [i, j, k],
-                                    size: [s1, s2, s3],
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        out
+    /// All fragments, in the scheme's canonical (deterministic) order.
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
     }
 
     /// Origin of the fragment *region* in global grid points (may exceed
@@ -194,13 +271,14 @@ impl FragmentGrid {
 
     /// Verifies the partition of unity: accumulating `α_F` over every
     /// fragment region covers each global grid point with net weight 1.
-    /// Returns the maximum deviation (0 for a correct decomposition).
+    /// Returns the maximum deviation; a correct decomposition stays
+    /// within [`unity_tolerance`](Self::unity_tolerance).
     pub fn partition_of_unity(&self, global: &Grid3) -> f64 {
         let mut weight = vec![0.0_f64; global.len()];
-        for f in self.fragments() {
+        for f in &self.fragments {
             let alpha = f.alpha();
-            let origin = self.region_origin(&f);
-            let dims = self.region_dims(&f);
+            let origin = self.region_origin(f);
+            let dims = self.region_dims(f);
             for dz in 0..dims[2] {
                 for dy in 0..dims[1] {
                     for dx in 0..dims[0] {
@@ -221,6 +299,7 @@ impl FragmentGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::Overlapping;
 
     fn grid(m: [usize; 3], pts: usize) -> Grid3 {
         Grid3::new(
@@ -233,13 +312,7 @@ mod tests {
     fn alpha_signs_match_paper() {
         // 2D analogue in the paper: +1 for 1×1 and 2×2, −1 for mixed.
         // 3D: α = (−1)^(#dims of size 1).
-        let mk = |s: [usize; 3]| {
-            Fragment {
-                corner: [0, 0, 0],
-                size: s,
-            }
-            .alpha()
-        };
+        let mk = |s: [usize; 3]| Fragment::sign_alternating([0, 0, 0], s).alpha();
         assert_eq!(mk([2, 2, 2]), 1.0);
         assert_eq!(mk([1, 2, 2]), -1.0);
         assert_eq!(mk([2, 1, 2]), -1.0);
@@ -253,7 +326,7 @@ mod tests {
     #[test]
     fn alpha_sum_per_corner_is_one_piece() {
         // Σ_S α_S · volume(S) = 1 piece: 8 − 3·4 + 3·2 − 1 = 1.
-        let fg = FragmentGrid::new([2, 2, 2], &grid([2, 2, 2], 4), [1, 1, 1]);
+        let fg = FragmentGrid::new([2, 2, 2], &grid([2, 2, 2], 4), [1, 1, 1]).unwrap();
         let total: f64 = fg
             .fragments()
             .iter()
@@ -267,15 +340,36 @@ mod tests {
     fn partition_of_unity_exact() {
         for m in [[2usize, 2, 2], [3, 2, 4], [3, 3, 3]] {
             let g = grid(m, 3);
-            let fg = FragmentGrid::new(m, &g, [1, 1, 1]);
+            let fg = FragmentGrid::new(m, &g, [1, 1, 1]).unwrap();
             assert_eq!(fg.partition_of_unity(&g), 0.0, "m = {m:?}");
         }
     }
 
     #[test]
+    fn partition_of_unity_overlapping() {
+        // 1/8 weights are exact in binary: deviation is exactly 0.
+        let g = grid([3, 3, 3], 3);
+        let fg =
+            FragmentGrid::with_scheme(Arc::new(Overlapping::default()), [3, 3, 3], &g, [1, 1, 1])
+                .unwrap();
+        assert_eq!(fg.partition_of_unity(&g), 0.0);
+        assert_eq!(fg.n_fragments(), 27, "one fragment per corner");
+        // 1/27 weights round: deviation bounded by the declared tolerance.
+        let fg = FragmentGrid::with_scheme(
+            Arc::new(Overlapping::new([3, 3, 3])),
+            [3, 3, 3],
+            &g,
+            [1, 1, 1],
+        )
+        .unwrap();
+        let dev = fg.partition_of_unity(&g);
+        assert!(dev <= fg.unity_tolerance(), "dev {dev:e}");
+    }
+
+    #[test]
     fn fragment_count() {
         let g = grid([3, 3, 3], 4);
-        let fg = FragmentGrid::new([3, 3, 3], &g, [2, 2, 2]);
+        let fg = FragmentGrid::new([3, 3, 3], &g, [2, 2, 2]).unwrap();
         assert_eq!(fg.n_fragments(), 8 * 27);
         assert_eq!(fg.fragments().len(), 8 * 27);
     }
@@ -283,11 +377,8 @@ mod tests {
     #[test]
     fn box_geometry() {
         let g = grid([4, 4, 4], 6);
-        let fg = FragmentGrid::new([4, 4, 4], &g, [2, 2, 2]);
-        let f = Fragment {
-            corner: [1, 2, 3],
-            size: [2, 1, 2],
-        };
+        let fg = FragmentGrid::new([4, 4, 4], &g, [2, 2, 2]).unwrap();
+        let f = Fragment::sign_alternating([1, 2, 3], [2, 1, 2]);
         assert_eq!(fg.region_origin(&f), [6, 12, 18]);
         assert_eq!(fg.region_dims(&f), [12, 6, 12]);
         assert_eq!(fg.box_origin(&f), [4, 10, 16]);
@@ -304,27 +395,48 @@ mod tests {
     #[test]
     fn region_bounds_physical() {
         let g = grid([2, 2, 2], 4);
-        let fg = FragmentGrid::new([2, 2, 2], &g, [1, 1, 1]);
-        let f = Fragment {
-            corner: [1, 0, 1],
-            size: [1, 2, 1],
-        };
+        let fg = FragmentGrid::new([2, 2, 2], &g, [1, 1, 1]).unwrap();
+        let f = Fragment::sign_alternating([1, 0, 1], [1, 2, 1]);
         let (lo, hi) = fg.region_bounds(&f);
         assert_eq!(lo, [4.0, 0.0, 4.0]);
         assert_eq!(hi, [8.0, 8.0, 8.0]);
     }
 
     #[test]
-    #[should_panic(expected = "≥ 2 pieces")]
     fn single_piece_dimension_rejected() {
         let g = Grid3::new([4, 8, 8], [4.0, 8.0, 8.0]);
-        let _ = FragmentGrid::new([1, 2, 2], &g, [1, 1, 1]);
+        let err = FragmentGrid::new([1, 2, 2], &g, [1, 1, 1]).unwrap_err();
+        assert_eq!(
+            err,
+            FragmentError::TooFewPieces {
+                scheme: "sign-alternating",
+                axis: 0,
+                m: 1,
+                min: 2,
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "not divisible")]
     fn indivisible_grid_rejected() {
         let g = Grid3::new([9, 8, 8], [8.0, 8.0, 8.0]);
-        let _ = FragmentGrid::new([2, 2, 2], &g, [1, 1, 1]);
+        let err = FragmentGrid::new([2, 2, 2], &g, [1, 1, 1]).unwrap_err();
+        assert_eq!(
+            err,
+            FragmentError::Indivisible {
+                axis: 0,
+                points: 9,
+                m: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn fragment_id_displays_without_allocation_until_rendered() {
+        let f = Fragment::sign_alternating([1, 2, 3], [2, 1, 2]);
+        let id = f.id();
+        let copied = id; // Copy: no clone needed
+        assert_eq!(copied.to_string(), "F[1,2,3](2x1x2)");
+        assert_eq!(id, copied);
     }
 }

@@ -12,6 +12,7 @@ use crate::ckpt;
 use crate::fragment::{Fragment, FragmentGrid};
 use crate::observer::{ScfObserver, ScfStage, SilentObserver};
 use crate::passivate::{boundary_wall, fragment_atoms, FragmentAtoms, Passivation};
+use crate::scheme::{FragmentError, FragmentScheme, SignAlternating};
 use crate::supervise::{
     panic_detail, FragmentFault, InjectedFault, QuarantineRecord, RetryAction, ATTEMPT_LADDER,
 };
@@ -29,6 +30,7 @@ use ls3df_pw::{
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Options for an LS3DF run.
 #[derive(Clone, Debug)]
@@ -275,14 +277,10 @@ pub enum Ls3dfError {
     /// [`Ls3dfBuilder::fragments`] was never called: the piece counts
     /// have no meaningful default (they are the problem size).
     FragmentsNotSet,
-    /// Fewer than two pieces along `axis`: a size-2 fragment would wrap
-    /// onto itself (the patching identity needs `m ≥ 2` per dimension).
-    TooFewPieces {
-        /// Offending dimension (0 = x, 1 = y, 2 = z).
-        axis: usize,
-        /// The requested piece count.
-        m: usize,
-    },
+    /// The fragmentation scheme rejected the decomposition (too few
+    /// pieces, indivisible grid, degenerate scheme parameters — see
+    /// [`FragmentError`]).
+    Fragmentation(FragmentError),
     /// `piece_pts` is zero along `axis`: the global grid would be empty.
     EmptyPiece {
         /// Offending dimension (0 = x, 1 = y, 2 = z).
@@ -307,11 +305,7 @@ impl std::fmt::Display for Ls3dfError {
             Ls3dfError::FragmentsNotSet => {
                 write!(f, "Ls3dfBuilder: fragments([m1, m2, m3]) was never set")
             }
-            Ls3dfError::TooFewPieces { axis, m } => write!(
-                f,
-                "Ls3dfBuilder: axis {axis} has {m} piece(s); the fragment \
-                 patching needs at least 2 per dimension"
-            ),
+            Ls3dfError::Fragmentation(e) => write!(f, "Ls3dfBuilder: {e}"),
             Ls3dfError::EmptyPiece { axis } => write!(
                 f,
                 "Ls3dfBuilder: options.piece_pts is 0 along axis {axis} — \
@@ -331,6 +325,7 @@ impl std::error::Error for Ls3dfError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Ls3dfError::Resume(e) => Some(e),
+            Ls3dfError::Fragmentation(e) => Some(e),
             _ => None,
         }
     }
@@ -339,6 +334,12 @@ impl std::error::Error for Ls3dfError {
 impl From<CkptError> for Ls3dfError {
     fn from(e: CkptError) -> Self {
         Ls3dfError::Resume(e)
+    }
+}
+
+impl From<FragmentError> for Ls3dfError {
+    fn from(e: FragmentError) -> Self {
+        Ls3dfError::Fragmentation(e)
     }
 }
 
@@ -351,25 +352,43 @@ impl From<CkptError> for Ls3dfError {
 ///     .build()?;
 /// ```
 ///
-/// Unlike the deprecated positional [`Ls3df::new`], [`build`]
-/// (Ls3dfBuilder::build) reports bad geometry as an [`Ls3dfError`]
-/// instead of panicking, and an initial potential can be supplied up
-/// front ([`initial_potential`](Ls3dfBuilder::initial_potential)) rather
-/// than patched in afterwards with a mutable setter.
+/// [`build`](Ls3dfBuilder::build) reports bad geometry as a typed
+/// [`Ls3dfError`] (never a panic), and an initial potential can be
+/// supplied up front
+/// ([`initial_potential`](Ls3dfBuilder::initial_potential)) rather than
+/// patched in afterwards with a mutable setter.
 pub struct Ls3dfBuilder<'a> {
     structure: &'a Structure,
     m: Option<[usize; 3]>,
     opts: Ls3dfOptions,
+    scheme: Arc<dyn FragmentScheme>,
     initial_potential: Option<RealField>,
     ckpt: Option<CheckpointConfig>,
     resume_from: Option<PathBuf>,
 }
 
 impl<'a> Ls3dfBuilder<'a> {
-    /// Sets the piece decomposition `m = [m1, m2, m3]` (required; each
-    /// `m[d] ≥ 2`).
+    /// Sets the piece decomposition `m = [m1, m2, m3]` (required; the
+    /// scheme's [`min_pieces`](FragmentScheme::min_pieces) bounds apply —
+    /// `m[d] ≥ 2` for the default scheme).
     pub fn fragments(mut self, m: [usize; 3]) -> Self {
         self.m = Some(m);
+        self
+    }
+
+    /// Selects the fragmentation scheme (defaults to the paper's
+    /// [`SignAlternating`]; see [`crate::scheme`] for alternatives like
+    /// [`Overlapping`](crate::scheme::Overlapping)).
+    pub fn scheme(mut self, scheme: impl FragmentScheme + 'static) -> Self {
+        self.scheme = Arc::new(scheme);
+        self
+    }
+
+    /// Like [`Ls3dfBuilder::scheme`] but takes an already-erased scheme —
+    /// the form [`crate::scheme::registered_schemes`] hands out, so sweeps
+    /// over the registry can drive the builder directly.
+    pub fn scheme_arc(mut self, scheme: Arc<dyn FragmentScheme>) -> Self {
+        self.scheme = scheme;
         self
     }
 
@@ -415,10 +434,8 @@ impl<'a> Ls3dfBuilder<'a> {
     /// out over the worker pool).
     pub fn build(self) -> Result<Ls3df, Ls3dfError> {
         let m = self.m.ok_or(Ls3dfError::FragmentsNotSet)?;
+        self.scheme.validate(m)?;
         for axis in 0..3 {
-            if m[axis] < 2 {
-                return Err(Ls3dfError::TooFewPieces { axis, m: m[axis] });
-            }
             if self.opts.piece_pts[axis] == 0 {
                 return Err(Ls3dfError::EmptyPiece { axis });
             }
@@ -432,7 +449,7 @@ impl<'a> Ls3dfBuilder<'a> {
                 });
             }
         }
-        let mut calc = Ls3df::assemble(self.structure, m, self.opts);
+        let mut calc = Ls3df::assemble(self.structure, m, self.opts, self.scheme)?;
         if let Some(v) = self.initial_potential {
             calc.v_in = v;
         }
@@ -624,29 +641,25 @@ impl Ls3df {
             structure,
             m: None,
             opts: Ls3dfOptions::default(),
+            scheme: Arc::new(SignAlternating),
             initial_potential: None,
             ckpt: None,
             resume_from: None,
         }
     }
 
-    /// Assembles an LS3DF calculation for `structure` divided into
-    /// `m = [m1, m2, m3]` pieces.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Ls3df::builder(&structure).fragments(m).options(opts).build()?` — \
-                it reports bad geometry as an Ls3dfError instead of panicking"
-    )]
-    pub fn new(structure: &Structure, m: [usize; 3], opts: Ls3dfOptions) -> Self {
-        Self::assemble(structure, m, opts)
-    }
-
-    /// Shared construction body of [`Ls3df::builder`] and the deprecated
-    /// [`Ls3df::new`] (geometry the builder validates is asserted here).
-    fn assemble(structure: &Structure, m: [usize; 3], opts: Ls3dfOptions) -> Self {
+    /// Construction body behind [`Ls3dfBuilder::build`]; bad geometry
+    /// the builder didn't pre-validate surfaces as a typed
+    /// [`FragmentError`].
+    fn assemble(
+        structure: &Structure,
+        m: [usize; 3],
+        opts: Ls3dfOptions,
+        scheme: Arc<dyn FragmentScheme>,
+    ) -> Result<Self, FragmentError> {
         let global_dims: [usize; 3] = std::array::from_fn(|d| m[d] * opts.piece_pts[d]);
         let global_grid = Grid3::new(global_dims, structure.lengths);
-        let fg = FragmentGrid::new(m, &global_grid, opts.buffer_pts);
+        let fg = FragmentGrid::with_scheme(scheme, m, &global_grid, opts.buffer_pts)?;
         if check::ENABLED {
             check::enforce(check::patching_weights(&fg, &global_grid));
         }
@@ -674,8 +687,8 @@ impl Ls3df {
         // Build fragment states in parallel (basis + projectors + ΔV_F).
         let fragments: Vec<FragmentState> = fg
             .fragments()
-            .into_par_iter()
-            .map(|f| {
+            .par_iter()
+            .map(|&f| {
                 let fa = fragment_atoms(
                     structure,
                     &neighbors,
@@ -739,8 +752,8 @@ impl Ls3df {
             .map(|a| a.species.valence())
             .collect();
         let ewald = ls3df_pw::ewald::ewald_energy(&positions, &charges, structure.lengths);
-        let fingerprint = ckpt::options_fingerprint(structure, m, &opts);
-        Ls3df {
+        let fingerprint = ckpt::options_fingerprint(structure, m, &opts, fg.scheme());
+        Ok(Ls3df {
             fg,
             global_grid,
             global_basis,
@@ -755,7 +768,7 @@ impl Ls3df {
             fingerprint,
             ckpt: None,
             resume: None,
-        }
+        })
     }
 
     /// Ion–ion Ewald energy of the structure.
@@ -883,7 +896,8 @@ impl Ls3df {
     }
 
     /// **Gen_dens**: patches fragment densities into the global density
-    /// with the `α_F` signs, then rescales to the exact electron count.
+    /// with the scheme's `α_F` weights, then rescales to the exact
+    /// electron count.
     pub fn gen_dens(&self) -> RealField {
         // Compute per-fragment region densities in parallel…
         let parts: Vec<(usize, RealField)> = self
@@ -1119,6 +1133,10 @@ impl Ls3df {
     ) -> Result<Vec<u8>, CkptError> {
         let mut snap = Snapshot::new();
         snap.push(ckpt::SEC_FPRINT, ckpt::encode_fingerprint(self.fingerprint))
+            .push(
+                ckpt::SEC_SCHEME,
+                ckpt::encode_scheme_id(self.fg.scheme().id()),
+            )
             .push(ckpt::SEC_STATE, ckpt::encode_state(iteration, converged))
             .push(ckpt::SEC_HIST, ckpt::encode_history(history))
             .push(ckpt::SEC_VIN, ls3df_grid::encode_field(&self.v_in))
@@ -1143,9 +1161,17 @@ impl Ls3df {
         let snap = Snapshot::decode(&bytes)?;
         let stored = ckpt::decode_fingerprint(snap.require(ckpt::SEC_FPRINT)?)?;
         if stored != self.fingerprint {
+            // Older snapshots carry no scheme section; report what's known
+            // so a cross-scheme resume names both schemes in the error.
+            let stored_scheme = snap
+                .get(ckpt::SEC_SCHEME)
+                .and_then(|b| ckpt::decode_scheme_id(b).ok())
+                .unwrap_or_else(|| "unknown".to_string());
             return Err(CkptError::FingerprintMismatch {
                 stored,
                 current: self.fingerprint,
+                stored_scheme,
+                current_scheme: self.fg.scheme().id().to_string(),
             });
         }
         let (start_iteration, converged) = ckpt::decode_state(snap.require(ckpt::SEC_STATE)?)?;
@@ -1232,7 +1258,12 @@ mod tests {
                 .build()
                 .err()
                 .expect("must fail"),
-            Ls3dfError::TooFewPieces { axis: 0, m: 1 }
+            Ls3dfError::Fragmentation(FragmentError::TooFewPieces {
+                scheme: "sign-alternating",
+                axis: 0,
+                m: 1,
+                min: 2,
+            })
         );
         let opts = Ls3dfOptions {
             piece_pts: [8, 0, 8],

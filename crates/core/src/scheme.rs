@@ -1,0 +1,428 @@
+//! Pluggable fragmentation schemes: the [`FragmentScheme`] trait and the
+//! two shipped implementations.
+//!
+//! The paper's sign-alternating `{1,2}³` corner decomposition is one
+//! point in a family of divide-and-conquer schemes; the
+//! overlapping-fragments method (Vukmirović & Wang) trades fragment count
+//! against patching error differently — one fragment per corner with
+//! uniform positive weights instead of eight with alternating signs. A
+//! scheme owns three things:
+//!
+//! 1. **Enumeration** — which fragments exist for an `m₁×m₂×m₃` piece
+//!    decomposition, each with corner, extent, and patching weight `α_F`
+//!    (generalized from the `{±1}` sign rule to arbitrary reals);
+//! 2. **the partition-of-unity contract** — the tolerance within which
+//!    `Σ_F α_F` must equal 1 on every global grid point
+//!    ([`FragmentScheme::unity_tolerance`]; the invariant layer in
+//!    [`crate::check`] enforces it at assembly);
+//! 3. **scheme-specific passivation geometry** — today the confining-wall
+//!    ramp fraction ([`FragmentScheme::wall_ramp_fraction`]).
+//!
+//! Schemes also fingerprint themselves into the checkpoint options
+//! fingerprint, so a snapshot written under one scheme refuses to resume
+//! under another with a typed
+//! [`FingerprintMismatch`](ls3df_ckpt::CkptError::FingerprintMismatch)
+//! naming both schemes.
+//!
+//! # Adding a scheme
+//!
+//! Implement [`FragmentScheme`] (enumeration, minimum piece counts, unity
+//! tolerance, fingerprint parameters), pass an instance to
+//! [`Ls3dfBuilder::scheme`](crate::scf::Ls3dfBuilder::scheme), and add it
+//! to [`registered_schemes`] so the property suite
+//! (`tests/scheme_contract.rs`) sweeps its partition-of-unity contract
+//! across decompositions and buffer widths.
+
+use crate::fragment::Fragment;
+use ls3df_ckpt::Fingerprint;
+
+/// Why a fragment decomposition could not be built. Surfaced by the
+/// builder as [`Ls3dfError::Fragmentation`](crate::scf::Ls3dfError);
+/// nothing in the construction path panics on bad geometry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FragmentError {
+    /// Fewer pieces along `axis` than the scheme's largest fragment
+    /// extent: a fragment would wrap onto itself.
+    TooFewPieces {
+        /// Scheme that rejected the decomposition.
+        scheme: &'static str,
+        /// Offending dimension (0 = x, 1 = y, 2 = z).
+        axis: usize,
+        /// The requested piece count.
+        m: usize,
+        /// The scheme's minimum along this axis.
+        min: usize,
+    },
+    /// The global grid does not divide evenly into `m` pieces along
+    /// `axis`, so pieces would have fractional grid points.
+    Indivisible {
+        /// Offending dimension (0 = x, 1 = y, 2 = z).
+        axis: usize,
+        /// Global grid points along the axis.
+        points: usize,
+        /// The requested piece count.
+        m: usize,
+    },
+    /// A scheme parameter implies zero-extent fragments along `axis`.
+    EmptyExtent {
+        /// Scheme that carries the bad parameter.
+        scheme: &'static str,
+        /// Offending dimension (0 = x, 1 = y, 2 = z).
+        axis: usize,
+    },
+}
+
+impl std::fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FragmentError::TooFewPieces {
+                scheme,
+                axis,
+                m,
+                min,
+            } => write!(
+                f,
+                "fragmentation scheme `{scheme}`: axis {axis} has {m} piece(s), \
+                 needs ≥ {min} so no fragment wraps onto itself"
+            ),
+            FragmentError::Indivisible { axis, points, m } => write!(
+                f,
+                "global grid axis {axis} ({points} points) not divisible into {m} pieces"
+            ),
+            FragmentError::EmptyExtent { scheme, axis } => write!(
+                f,
+                "fragmentation scheme `{scheme}`: fragment extent is 0 along axis {axis}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
+/// A fragmentation scheme: enumerates weighted fragments for a piece
+/// decomposition and states the contracts the SCF machinery holds it to.
+///
+/// Implementations must be geometry-free (no grids, no structures): a
+/// scheme is pure combinatorics over piece indices, which is what lets
+/// [`FragmentGrid`](crate::fragment::FragmentGrid) carry the metric
+/// bookkeeping for every scheme uniformly.
+pub trait FragmentScheme: Send + Sync + std::fmt::Debug {
+    /// Stable identifier, used in checkpoint fingerprints and error
+    /// messages (`"sign-alternating"`, `"overlapping"`, …).
+    fn id(&self) -> &'static str;
+
+    /// Minimum pieces required along `axis` (the largest fragment extent:
+    /// a fragment must not wrap onto itself).
+    fn min_pieces(&self, axis: usize) -> usize;
+
+    /// Enumerates every fragment of the `m₁×m₂×m₃` decomposition, in the
+    /// scheme's canonical order. The order is part of the determinism
+    /// contract: Gen_dens accumulates fragment densities in exactly this
+    /// order, so it must be a pure function of `m`.
+    fn fragments(&self, m: [usize; 3]) -> Vec<Fragment>;
+
+    /// Partition-of-unity contract: the maximum allowed deviation of
+    /// `Σ_F α_F` from 1 on any global grid point. `0.0` means the weights
+    /// cancel exactly in floating point (integer or power-of-two
+    /// weights); schemes whose weights are not exactly representable
+    /// declare a small rounding allowance instead.
+    fn unity_tolerance(&self) -> f64;
+
+    /// Scheme-specific passivation geometry: the fraction of the buffer
+    /// width the confining-wall cos² ramp occupies (measured inward from
+    /// the box face). The sign-alternating scheme uses `0.5` (wall
+    /// confined to the outer half of the buffer, the paper's choice);
+    /// overlapping schemes may widen it.
+    fn wall_ramp_fraction(&self) -> f64 {
+        0.5
+    }
+
+    /// Folds the scheme's *parameters* into a checkpoint fingerprint
+    /// (the id itself is pushed by the caller). Two schemes that
+    /// fingerprint identically must enumerate identical fragments.
+    fn fingerprint(&self, fp: &mut Fingerprint);
+
+    /// Validates a piece decomposition against [`min_pieces`]
+    /// (FragmentScheme::min_pieces) and any scheme parameters.
+    fn validate(&self, m: [usize; 3]) -> Result<(), FragmentError> {
+        for axis in 0..3 {
+            let min = self.min_pieces(axis);
+            if min == 0 {
+                return Err(FragmentError::EmptyExtent {
+                    scheme: self.id(),
+                    axis,
+                });
+            }
+            if m[axis] < min {
+                return Err(FragmentError::TooFewPieces {
+                    scheme: self.id(),
+                    axis,
+                    m: m[axis],
+                    min,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper's sign-alternating `{1,2}³` corner scheme: eight fragments
+/// per piece corner with sizes `{1,2}×{1,2}×{1,2}` and weight
+/// `α_F = Π_d (+1 if size_d = 2, −1 if size_d = 1)`.
+///
+/// Every artificial fragment surface appears once with `+1` and once with
+/// `−1`, cancelling pairwise — the partition of unity is *exact* (integer
+/// weights), so [`unity_tolerance`](FragmentScheme::unity_tolerance) is
+/// `0.0`. This is the default scheme of
+/// [`Ls3dfBuilder`](crate::scf::Ls3dfBuilder) and is bit-identical to the
+/// pre-trait hard-wired geometry (gated by the subprocess digest test in
+/// `tests/scheme_digest.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SignAlternating;
+
+impl FragmentScheme for SignAlternating {
+    fn id(&self) -> &'static str {
+        "sign-alternating"
+    }
+
+    fn min_pieces(&self, _axis: usize) -> usize {
+        2
+    }
+
+    fn fragments(&self, m: [usize; 3]) -> Vec<Fragment> {
+        let mut out = Vec::with_capacity(8 * m[0] * m[1] * m[2]);
+        for k in 0..m[2] {
+            for j in 0..m[1] {
+                for i in 0..m[0] {
+                    for &s3 in &[1usize, 2] {
+                        for &s2 in &[1usize, 2] {
+                            for &s1 in &[1usize, 2] {
+                                out.push(Fragment::sign_alternating([i, j, k], [s1, s2, s3]));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn unity_tolerance(&self) -> f64 {
+        // ±1 weights cancel exactly; any deviation is a geometry bug.
+        0.0
+    }
+
+    fn fingerprint(&self, _fp: &mut Fingerprint) {
+        // Parameter-free: the id alone identifies the scheme.
+    }
+}
+
+/// The overlapping-fragments scheme (Vukmirović & Wang): **one** fragment
+/// per piece corner, of fixed extent `e₁×e₂×e₃` pieces, with uniform
+/// normalized positive weight `α_F = 1/(e₁·e₂·e₃)`.
+///
+/// Every piece is covered by exactly `e₁·e₂·e₃` fragments (one per corner
+/// within reach), so `Σ_F α_F = (e₁e₂e₃)·1/(e₁e₂e₃) = 1` on every grid
+/// point. With 8× fewer fragments than the sign-alternating scheme the
+/// patching has no sign cancellation — boundary errors average instead of
+/// cancelling — trading accuracy for fragment-solve count. The
+/// `znteo_scheme_ablation` bench bin measures exactly that trade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overlapping {
+    /// Fragment extent in pieces per dimension (default 2×2×2).
+    pub extent: [usize; 3],
+}
+
+impl Overlapping {
+    /// An overlapping scheme with the given fragment extent.
+    pub fn new(extent: [usize; 3]) -> Self {
+        Overlapping { extent }
+    }
+
+    /// Fragments covering each piece (= pieces per fragment).
+    fn overlap_count(&self) -> usize {
+        self.extent[0] * self.extent[1] * self.extent[2]
+    }
+}
+
+impl Default for Overlapping {
+    fn default() -> Self {
+        Overlapping { extent: [2, 2, 2] }
+    }
+}
+
+impl FragmentScheme for Overlapping {
+    fn id(&self) -> &'static str {
+        "overlapping"
+    }
+
+    fn min_pieces(&self, axis: usize) -> usize {
+        // 0 here makes validate() report EmptyExtent; otherwise a
+        // fragment must not wrap onto itself, and m = 1 degenerates
+        // every scheme, so at least max(extent, 2) pieces.
+        if self.extent[axis] == 0 {
+            0
+        } else {
+            self.extent[axis].max(2)
+        }
+    }
+
+    fn fragments(&self, m: [usize; 3]) -> Vec<Fragment> {
+        let weight = 1.0 / self.overlap_count() as f64;
+        let mut out = Vec::with_capacity(m[0] * m[1] * m[2]);
+        for k in 0..m[2] {
+            for j in 0..m[1] {
+                for i in 0..m[0] {
+                    out.push(Fragment::new([i, j, k], self.extent, weight));
+                }
+            }
+        }
+        out
+    }
+
+    fn unity_tolerance(&self) -> f64 {
+        // 1/n is exact in binary iff n is a power of two; then n copies
+        // sum to exactly 1.0. Otherwise allow accumulation rounding.
+        if self.overlap_count().is_power_of_two() {
+            0.0
+        } else {
+            1e-12
+        }
+    }
+
+    fn wall_ramp_fraction(&self) -> f64 {
+        // Positive weights average boundary errors instead of cancelling
+        // them, so a gentler wall (full-buffer ramp) reduces the seam
+        // error each fragment contributes.
+        1.0
+    }
+
+    fn fingerprint(&self, fp: &mut Fingerprint) {
+        for d in 0..3 {
+            fp.push_u64(self.extent[d] as u64);
+        }
+    }
+}
+
+/// Every shipped scheme (one instance per distinct parameterization worth
+/// sweeping), for the partition-of-unity property suite. A new scheme is
+/// not "registered" until it appears here — the property tests iterate
+/// this list.
+pub fn registered_schemes() -> Vec<std::sync::Arc<dyn FragmentScheme>> {
+    vec![
+        std::sync::Arc::new(SignAlternating),
+        std::sync::Arc::new(Overlapping::default()),
+        std::sync::Arc::new(Overlapping::new([3, 3, 3])),
+        std::sync::Arc::new(Overlapping::new([2, 3, 2])),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_alternating_reproduces_paper_signs() {
+        let frags = SignAlternating.fragments([2, 2, 2]);
+        assert_eq!(frags.len(), 64);
+        for f in &frags {
+            let expect = (0..3)
+                .map(|d| if f.size[d] == 2 { 1.0 } else { -1.0 })
+                .product::<f64>();
+            assert_eq!(f.weight, expect, "size {:?}", f.size);
+        }
+        // Σ_S α_S · volume(S) = 1 piece per corner: 8 − 3·4 + 3·2 − 1 = 1.
+        let per_corner: f64 = frags[..8]
+            .iter()
+            .map(|f| f.weight * f.n_pieces() as f64)
+            .sum();
+        assert_eq!(per_corner, 1.0);
+    }
+
+    #[test]
+    fn overlapping_weights_are_uniform_and_normalized() {
+        let s = Overlapping::default();
+        let frags = s.fragments([3, 3, 3]);
+        assert_eq!(frags.len(), 27, "one fragment per corner");
+        for f in &frags {
+            assert_eq!(f.size, [2, 2, 2]);
+            assert_eq!(f.weight, 0.125);
+        }
+        // Signed volume telescopes: 27 fragments × 8 pieces × 1/8 = 27.
+        let signed: f64 = frags.iter().map(|f| f.weight * f.n_pieces() as f64).sum();
+        assert_eq!(signed, 27.0);
+    }
+
+    #[test]
+    fn validate_rejects_small_decompositions_with_typed_errors() {
+        assert_eq!(
+            SignAlternating.validate([1, 2, 2]),
+            Err(FragmentError::TooFewPieces {
+                scheme: "sign-alternating",
+                axis: 0,
+                m: 1,
+                min: 2,
+            })
+        );
+        let big = Overlapping::new([3, 3, 3]);
+        assert!(big.validate([3, 3, 3]).is_ok());
+        assert_eq!(
+            big.validate([3, 2, 3]),
+            Err(FragmentError::TooFewPieces {
+                scheme: "overlapping",
+                axis: 1,
+                m: 2,
+                min: 3,
+            })
+        );
+        let empty = Overlapping::new([2, 0, 2]);
+        assert_eq!(
+            empty.validate([2, 2, 2]),
+            Err(FragmentError::EmptyExtent {
+                scheme: "overlapping",
+                axis: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn unity_tolerance_tracks_weight_representability() {
+        assert_eq!(SignAlternating.unity_tolerance(), 0.0);
+        assert_eq!(Overlapping::default().unity_tolerance(), 0.0); // 1/8 exact
+        assert!(Overlapping::new([3, 3, 3]).unity_tolerance() > 0.0); // 1/27 inexact
+    }
+
+    #[test]
+    fn fingerprints_distinguish_schemes_and_parameters() {
+        let digest = |s: &dyn FragmentScheme| {
+            let mut fp = Fingerprint::new();
+            fp.push_str(s.id());
+            s.fingerprint(&mut fp);
+            fp.finish()
+        };
+        let a = digest(&SignAlternating);
+        let b = digest(&Overlapping::default());
+        let c = digest(&Overlapping::new([3, 3, 3]));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        let e = FragmentError::Indivisible {
+            axis: 1,
+            points: 9,
+            m: 2,
+        };
+        assert!(e.to_string().contains("not divisible"), "{e}");
+        let e = SignAlternating.validate([2, 1, 2]).unwrap_err();
+        assert!(e.to_string().contains("sign-alternating"), "{e}");
+    }
+
+    #[test]
+    fn registry_contains_both_families() {
+        let reg = registered_schemes();
+        assert!(reg.iter().any(|s| s.id() == "sign-alternating"));
+        assert!(reg.iter().any(|s| s.id() == "overlapping"));
+    }
+}

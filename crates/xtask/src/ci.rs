@@ -24,15 +24,21 @@
 //!    features (the obs-off build must be a true no-op: zero-sized span
 //!    guards, empty registries, reports flagged `obs_enabled: false`).
 //!    Both feature states of the same test file must compile and pass.
-//! 8. `cargo test -p xtask -q` — the lint engine's own gate: lexer and
+//! 8. `cargo test -p ls3df --test scheme_contract --test scheme_digest -q`
+//!    — the fragmentation-scheme gate: every registered scheme must meet
+//!    its declared partition-of-unity tolerance across decompositions and
+//!    buffers, and sign-alternating routed through the `FragmentScheme`
+//!    trait must reproduce the pre-refactor SCF density digest
+//!    bit-for-bit at LS3DF_THREADS ∈ {1, 2, max} (subprocess matrix).
+//! 9. `cargo test -p xtask -q` — the lint engine's own gate: lexer and
 //!    rule unit tests plus the fixture corpus in
 //!    `crates/xtask/tests/fixtures/` (known-positive snippets must fire
 //!    exactly their golden violations; known-negative snippets — unsafe
 //!    in string literals, `Ordering::` in doc comments, raw strings —
 //!    must stay silent).
-//! 9. `cargo xtask schedules` (in-process) — pool suite + SCF digest
-//!    matrix under every adversarial work-stealing schedule.
-//! 10. `cargo xtask miri` (in-process) — the curated unsafe-core filter
+//! 10. `cargo xtask schedules` (in-process) — pool suite + SCF digest
+//!     matrix under every adversarial work-stealing schedule.
+//! 11. `cargo xtask miri` (in-process) — the curated unsafe-core filter
 //!     under Miri; reported as a loud SKIP when the nightly component is
 //!     unavailable (the offline container cannot install it).
 //!
@@ -65,7 +71,7 @@ pub fn run(root: &Path) -> bool {
     let mut all_ok = true;
     let mut summary: Vec<(String, StepResult, f64)> = Vec::new();
 
-    let steps: [(&str, &[&str]); 7] = [
+    let steps: [(&str, &[&str]); 8] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -115,6 +121,19 @@ pub fn run(root: &Path) -> bool {
         (
             "obs-report [off]",
             &["test", "-p", "ls3df", "--test", "obs_report", "-q"],
+        ),
+        (
+            "scheme",
+            &[
+                "test",
+                "-p",
+                "ls3df",
+                "--test",
+                "scheme_contract",
+                "--test",
+                "scheme_digest",
+                "-q",
+            ],
         ),
     ];
 
@@ -193,8 +212,12 @@ pub fn run(root: &Path) -> bool {
     // observability gate: the instrumented leg (obs + alloc-count,
     // schema-valid report with attribution/flop rates, hook-ordering
     // contract) and the obs-off leg (no-op contract — zero-sized span
-    // guards, empty registries, reports flagged disabled).
-    for (name, args) in [steps[4], steps[5], steps[6]] {
+    // guards, empty registries, reports flagged disabled), then the
+    // fragmentation-scheme gate: the partition-of-unity contract sweep
+    // plus the subprocess digest proving sign-alternating through the
+    // `FragmentScheme` trait is bit-identical to the pre-refactor run
+    // (the digest test pins its own LS3DF_THREADS matrix).
+    for (name, args) in [steps[4], steps[5], steps[6], steps[7]] {
         let (res, secs) = run_cargo_step(root, name, args, &[]);
         if matches!(res, StepResult::Fail) {
             all_ok = false;

@@ -137,7 +137,7 @@ fn truncated_snapshot_is_a_typed_error() {
 fn one_flipped_byte_in_any_section_is_caught_by_that_sections_crc() {
     let good = snapshot_bytes();
     let spans = section_spans(good);
-    assert!(spans.len() >= 7, "snapshot should carry all 7 sections");
+    assert!(spans.len() >= 8, "snapshot should carry all 8 sections");
     for (name, payload, len) in spans {
         assert!(len > 0, "section {name} is empty");
         let mut bad = good.to_vec();
@@ -182,6 +182,35 @@ fn resume_under_different_physics_is_refused() {
     let err = resume_error_at(&path, hot);
     assert_eq!(err.kind(), CkptErrorKind::FingerprintMismatch, "{err}");
     assert!(err.to_string().contains("different physics"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_under_different_fragmentation_scheme_is_refused_by_name() {
+    let good = snapshot_bytes();
+    let path = std::env::temp_dir().join(format!(
+        "ls3df-ckpt-corrupt-{}-scheme.ls3df",
+        std::process::id()
+    ));
+    std::fs::write(&path, good).expect("write snapshot");
+    // The snapshot was written under the default sign-alternating scheme;
+    // the same geometry under overlapping fragments is different physics.
+    let s = model_crystal([2, 2, 2], 6.5);
+    let err = match builder(&s, small_opts())
+        .scheme(ls3df::Overlapping::default())
+        .resume_from(&path)
+        .build()
+    {
+        Ok(_) => panic!("cross-scheme resume must fail"),
+        Err(Ls3dfError::Resume(e)) => e,
+        Err(other) => panic!("expected Ls3dfError::Resume, got {other:?}"),
+    };
+    assert_eq!(err.kind(), CkptErrorKind::FingerprintMismatch, "{err}");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("sign-alternating") && msg.contains("overlapping"),
+        "refusal must name both schemes so the operator knows what to fix: {msg}"
+    );
     let _ = std::fs::remove_file(&path);
 }
 

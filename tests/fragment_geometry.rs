@@ -14,7 +14,7 @@ fn partition_of_unity_at_paper_scales() {
             [m[0] * 2, m[1] * 2, m[2] * 2],
             [m[0] as f64, m[1] as f64, m[2] as f64],
         );
-        let fg = FragmentGrid::new(m, &grid, [1, 1, 1]);
+        let fg = FragmentGrid::new(m, &grid, [1, 1, 1]).expect("valid decomposition");
         assert_eq!(
             fg.partition_of_unity(&grid),
             0.0,
@@ -30,7 +30,7 @@ fn fragment_census_matches_paper_counts() {
     // since pieces are 8-atom cells and there are 8 fragments per corner).
     let m = [12usize, 12, 12];
     let grid = Grid3::new([24, 24, 24], [12.0, 12.0, 12.0]);
-    let fg = FragmentGrid::new(m, &grid, [1, 1, 1]);
+    let fg = FragmentGrid::new(m, &grid, [1, 1, 1]).expect("valid decomposition");
     assert_eq!(fg.n_fragments(), 13_824);
 
     // Census by type: 1/8 of fragments for each of the 8 size signatures.
@@ -49,7 +49,7 @@ fn signed_volume_telescopes_to_supercell() {
             [m[0] * 3, m[1] * 3, m[2] * 3],
             [m[0] as f64, m[1] as f64, m[2] as f64],
         );
-        let fg = FragmentGrid::new(m, &grid, [1, 1, 1]);
+        let fg = FragmentGrid::new(m, &grid, [1, 1, 1]).expect("valid decomposition");
         let signed: f64 = fg
             .fragments()
             .iter()
@@ -65,13 +65,7 @@ fn two_dimensional_limit_matches_paper_figure_1() {
     // 1×2 / 2×1. In our 3-D code the 2-D case is size_z = 2 fixed… check
     // that the sign pattern restricted to two varying dimensions matches
     // after factoring out the z contribution.
-    let alpha = |s: [usize; 3]| {
-        Fragment {
-            corner: [0, 0, 0],
-            size: s,
-        }
-        .alpha()
-    };
+    let alpha = |s: [usize; 3]| Fragment::sign_alternating([0, 0, 0], s).alpha();
     // With s_z = 2 (sign +1), the x-y pattern is the 2-D one inverted?
     // No: α₂D(s1,s2) = α₃D(s1,s2,2).
     assert_eq!(alpha([1, 1, 2]), 1.0); // 1×1 → +1 ✓
@@ -85,12 +79,9 @@ fn buffers_do_not_change_region_bookkeeping() {
     let m = [3usize, 3, 3];
     let grid = Grid3::new([12, 12, 12], [6.0, 6.0, 6.0]);
     for buffer in [0usize, 1, 2] {
-        let fg = FragmentGrid::new(m, &grid, [buffer; 3]);
+        let fg = FragmentGrid::new(m, &grid, [buffer; 3]).expect("valid decomposition");
         assert_eq!(fg.partition_of_unity(&grid), 0.0);
-        let f = Fragment {
-            corner: [2, 2, 2],
-            size: [2, 2, 2],
-        };
+        let f = Fragment::sign_alternating([2, 2, 2], [2, 2, 2]);
         // Region is buffer-independent; the box grows by 2·buffer.
         assert_eq!(fg.region_dims(&f), [8, 8, 8]);
         assert_eq!(fg.box_grid(&f).dims, [8 + 2 * buffer; 3]);

@@ -1,0 +1,185 @@
+//! Contract tests for the [`FragmentScheme`] trait: every scheme in the
+//! registry must actually deliver the partition-of-unity bound it
+//! advertises, across decompositions and buffer widths, and the surrounding
+//! API (typed errors, `FragmentId`, builder `.scheme(..)`) must hold up.
+
+use std::sync::Arc;
+
+use ls3df::core::{
+    registered_schemes, FragmentError, FragmentGrid, Ls3df, Ls3dfError, Ls3dfOptions, Overlapping,
+    SignAlternating,
+};
+use ls3df_ckpt::Fingerprint;
+use ls3df_grid::Grid3;
+
+/// A global grid with `pts` points per piece on an `m` decomposition.
+fn grid(m: [usize; 3], pts: usize) -> Grid3 {
+    Grid3::new(
+        [m[0] * pts, m[1] * pts, m[2] * pts],
+        [m[0] as f64 * 4.0, m[1] as f64 * 4.0, m[2] as f64 * 4.0],
+    )
+}
+
+/// The core property: every registered scheme satisfies its own declared
+/// partition-of-unity tolerance for every valid decomposition in
+/// m ∈ {2,3,4}³ and buffer widths {0,1,2}. Invalid (scheme, m)
+/// combinations must be rejected by `validate` — never silently built.
+#[test]
+fn every_registered_scheme_satisfies_its_unity_contract() {
+    let mut checked = 0usize;
+    for scheme in registered_schemes() {
+        for mx in 2..=4usize {
+            for my in 2..=4usize {
+                for mz in 2..=4usize {
+                    let m = [mx, my, mz];
+                    if scheme.validate(m).is_err() {
+                        // e.g. Overlapping([3,3,3]) needs m ≥ 3 per axis;
+                        // the typed rejection is the contract here.
+                        continue;
+                    }
+                    for b in 0..=2usize {
+                        let g = grid(m, 3);
+                        let fg = FragmentGrid::with_scheme(scheme.clone(), m, &g, [b; 3])
+                            .unwrap_or_else(|e| {
+                                panic!("{} rejected valid m={m:?}: {e}", scheme.id())
+                            });
+                        let dev = fg.partition_of_unity(&g);
+                        let tol = fg.unity_tolerance();
+                        assert!(
+                            dev <= tol,
+                            "scheme `{}` breaks partition of unity at m={m:?} buffer={b}: \
+                             deviation {dev:e} > declared tolerance {tol:e}",
+                            scheme.id()
+                        );
+                        checked += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Guard against the sweep silently skipping everything.
+    assert!(
+        checked >= 100,
+        "only {checked} (scheme, m, buffer) cases ran"
+    );
+}
+
+/// Overlapping weights are strictly positive, uniform, and sum to one
+/// over the overlap count; sign-alternating weights are exactly ±1.
+#[test]
+fn weight_families_match_scheme_kind() {
+    let g = grid([3, 3, 3], 3);
+    let fg =
+        FragmentGrid::with_scheme(Arc::new(Overlapping::default()), [3, 3, 3], &g, [1; 3]).unwrap();
+    for f in fg.fragments() {
+        assert!(f.alpha() > 0.0, "overlapping weight must be positive");
+        assert_eq!(f.alpha(), 1.0 / 8.0, "uniform 1/(e1·e2·e3) weight");
+    }
+
+    let fg = FragmentGrid::new([3, 3, 3], &g, [1; 3]).unwrap();
+    let mut plus = 0usize;
+    let mut minus = 0usize;
+    for f in fg.fragments() {
+        assert!(
+            f.alpha() == 1.0 || f.alpha() == -1.0,
+            "sign-alternating weight must be ±1, got {}",
+            f.alpha()
+        );
+        if f.alpha() > 0.0 {
+            plus += 1;
+        } else {
+            minus += 1;
+        }
+    }
+    // 4 positive and 4 negative pieces per corner (paper Fig. 1).
+    assert_eq!(plus, minus);
+}
+
+/// `FragmentId` is `Copy`, hashable, and displays the corner + extent.
+#[test]
+fn fragment_id_is_copyable_and_displays() {
+    let g = grid([2, 2, 2], 4);
+    let fg = FragmentGrid::new([2, 2, 2], &g, [1; 3]).unwrap();
+    let ids: std::collections::HashSet<_> = fg.fragments().iter().map(|f| f.id()).collect();
+    assert_eq!(ids.len(), fg.n_fragments(), "ids are unique per fragment");
+    let f = fg.fragments()[0];
+    let id = f.id();
+    let copy = id; // Copy, not move
+    assert_eq!(id, copy);
+    let text = format!("{id}");
+    assert!(
+        text.contains(&format!("({}x{}x{})", f.size[0], f.size[1], f.size[2])),
+        "display `{text}` should show the extent"
+    );
+}
+
+/// The builder surfaces scheme validation failures as the typed
+/// `Ls3dfError::Fragmentation` — not a panic, not a stringly error.
+#[test]
+fn builder_surfaces_typed_scheme_errors() {
+    let s = ls3df::Structure::new(
+        [8.0, 8.0, 8.0],
+        vec![ls3df::atoms::Atom {
+            species: ls3df::atoms::Species::Zn,
+            pos: [4.0, 4.0, 4.0],
+        }],
+    );
+    // Overlapping([3,3,3]) on a 2×2×2 decomposition: every axis too small.
+    let Err(err) = Ls3df::builder(&s)
+        .fragments([2, 2, 2])
+        .options(Ls3dfOptions::default())
+        .scheme(Overlapping::new([3, 3, 3]))
+        .build()
+    else {
+        panic!("m=2 must be rejected for a 3-wide overlapping extent");
+    };
+    match err {
+        Ls3dfError::Fragmentation(FragmentError::TooFewPieces {
+            scheme,
+            axis,
+            m,
+            min,
+        }) => {
+            assert_eq!(scheme, "overlapping");
+            assert_eq!(axis, 0);
+            assert_eq!(m, 2);
+            assert_eq!(min, 3);
+        }
+        other => panic!("expected TooFewPieces, got {other:?}"),
+    }
+    // A zero extent is a distinct, equally typed failure.
+    let Err(err) = Ls3df::builder(&s)
+        .fragments([2, 2, 2])
+        .options(Ls3dfOptions::default())
+        .scheme(Overlapping::new([2, 0, 2]))
+        .build()
+    else {
+        panic!("zero extent must be rejected");
+    };
+    assert!(matches!(
+        err,
+        Ls3dfError::Fragmentation(FragmentError::EmptyExtent { axis: 1, .. })
+    ));
+}
+
+/// Scheme fingerprints separate schemes and their parameters, so
+/// checkpoints cannot silently resume across fragmentation changes.
+#[test]
+fn scheme_fingerprints_are_distinguishing() {
+    let digest = |scheme: &dyn ls3df::FragmentScheme| {
+        let mut fp = Fingerprint::new();
+        fp.push_str(scheme.id());
+        scheme.fingerprint(&mut fp);
+        fp.finish()
+    };
+    let sign = digest(&SignAlternating);
+    let ov2 = digest(&Overlapping::default());
+    let ov3 = digest(&Overlapping::new([3, 3, 3]));
+    assert_ne!(sign, ov2, "schemes must fingerprint differently");
+    assert_ne!(ov2, ov3, "scheme parameters must fingerprint differently");
+    assert_eq!(
+        digest(&Overlapping::new([2, 2, 2])),
+        ov2,
+        "equal parameters fingerprint equally"
+    );
+}

@@ -1,0 +1,176 @@
+//! Bit-identity gate for the `FragmentScheme` refactor: the
+//! sign-alternating scheme routed through the trait (both the builder
+//! default and an explicit `.scheme(SignAlternating)`) must reproduce the
+//! **pre-refactor** SCF density digest exactly, at every thread count.
+//!
+//! [`GOLDEN`] was captured from the hard-wired pre-trait geometry by
+//! running the identical calculation (`model_crystal([2,2,2], 6.5)`,
+//! `small_opts`, `max_scf = 2` — the same workload as
+//! `tests/ls3df_pipeline.rs::thread_matrix_child`) before the refactor
+//! landed. The digest covers every `rho` sample plus the per-step
+//! `dv_integral`/`worst_residual` bit patterns, so any single-bit drift
+//! in the fragment enumeration order, `α_F` arithmetic, or wall geometry
+//! fails this test.
+//!
+//! The digest depends on the platform libm (`cos`/`exp`), so it is pinned
+//! per build environment, not universally portable. To regenerate after
+//! an *intentional* physics change:
+//!
+//! ```text
+//! LS3DF_SCHEME_DIGEST_CHILD=explicit LS3DF_THREADS=1 \
+//!   cargo test -q --test scheme_digest -- --exact scheme_digest_child --nocapture
+//! ```
+//!
+//! and copy the printed `LS3DF_DIGEST=` value into [`GOLDEN`] — after
+//! confirming the change is supposed to move the density.
+
+use ls3df::core::{Ls3df, Ls3dfOptions, Passivation, SignAlternating};
+use ls3df::pw::Mixer;
+use ls3df_atoms::{Atom, Species, Structure};
+use ls3df_pseudo::PseudoTable;
+
+/// Pre-refactor SCF digest of the reference workload (threads 1/2/max all
+/// agree; see the module docs for the capture procedure).
+const GOLDEN: u64 = 0xb56c_8071_4d82_04e2;
+
+/// Same deep-well model crystal as `tests/ls3df_pipeline.rs`.
+fn model_crystal(m: [usize; 3], a: f64) -> Structure {
+    let mut atoms = Vec::new();
+    for k in 0..m[2] {
+        for j in 0..m[1] {
+            for i in 0..m[0] {
+                atoms.push(Atom {
+                    species: Species::Zn,
+                    pos: [
+                        (i as f64 + 0.5) * a,
+                        (j as f64 + 0.5) * a,
+                        (k as f64 + 0.5) * a,
+                    ],
+                });
+            }
+        }
+    }
+    Structure::new([m[0] as f64 * a, m[1] as f64 * a, m[2] as f64 * a], atoms)
+}
+
+/// Same options as `tests/ls3df_pipeline.rs::small_opts`, with the
+/// thread-matrix `max_scf = 2` baked in.
+fn reference_opts() -> Ls3dfOptions {
+    Ls3dfOptions {
+        ecut: 1.5,
+        piece_pts: [8, 8, 8],
+        buffer_pts: [3, 3, 3],
+        passivation: Passivation::WallOnly,
+        wall_height: 1.5,
+        n_extra_bands: 2,
+        cg_steps: 6,
+        initial_cg_steps: 10,
+        fragment_tol: 1e-9,
+        mixer: Mixer::Kerker {
+            alpha: 0.6,
+            q0: 0.8,
+        },
+        max_scf: 2,
+        tol: 1e-4,
+        pseudo: PseudoTable::deep_well(2.0, 0.8),
+        ..Default::default()
+    }
+}
+
+/// FNV-1a over every rho bit pattern + per-step convergence scalars
+/// (identical to the `ls3df_pipeline.rs` digest, so [`GOLDEN`] is
+/// directly comparable to that test's pre-refactor output).
+fn run_digest(res: &ls3df::core::Ls3dfResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &x in res.rho.as_slice() {
+        eat(x.to_bits());
+    }
+    for step in &res.history {
+        eat(step.dv_integral.to_bits());
+        eat(step.worst_residual.to_bits());
+    }
+    h
+}
+
+/// Child half: inert under a plain `cargo test`; when re-execed with
+/// `LS3DF_SCHEME_DIGEST_CHILD` set to `explicit` or `default` it runs the
+/// reference workload through that construction path and prints the
+/// digest.
+#[test]
+fn scheme_digest_child() {
+    let Ok(mode) = std::env::var("LS3DF_SCHEME_DIGEST_CHILD") else {
+        return;
+    };
+    let s = model_crystal([2, 2, 2], 6.5);
+    let builder = Ls3df::builder(&s)
+        .fragments([2, 2, 2])
+        .options(reference_opts());
+    let builder = match mode.as_str() {
+        // The trait path the issue gates on: scheme passed explicitly.
+        "explicit" => builder.scheme(SignAlternating),
+        // The compatibility path: callers that never mention schemes.
+        "default" => builder,
+        other => panic!("unknown LS3DF_SCHEME_DIGEST_CHILD mode `{other}`"),
+    };
+    let mut calc = builder.build().expect("valid reference geometry");
+    let res = calc.scf();
+    println!("LS3DF_DIGEST={:016x}", run_digest(&res));
+}
+
+fn child_digest(mode: &str, threads: &str) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(&exe)
+        .args(["--exact", "scheme_digest_child", "--nocapture"])
+        .env("LS3DF_SCHEME_DIGEST_CHILD", mode)
+        .env("LS3DF_THREADS", threads)
+        .output()
+        .expect("spawn scheme_digest_child");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        out.status.success(),
+        "child (mode={mode}, LS3DF_THREADS={threads}) failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    stdout
+        .lines()
+        .find_map(|l| l.split("LS3DF_DIGEST=").nth(1))
+        .map(str::trim)
+        .unwrap_or_else(|| {
+            panic!("no digest line from child (mode={mode}, threads={threads}):\n{stdout}")
+        })
+        .to_string()
+}
+
+/// The acceptance gate: sign-alternating through `FragmentScheme` is
+/// bit-identical to the pre-refactor densities at `LS3DF_THREADS` ∈
+/// {1, 2, host parallelism}, through both the explicit-`.scheme(..)` and
+/// the default construction path.
+#[test]
+fn sign_alternating_through_trait_matches_pre_refactor_golden() {
+    let golden = format!("{GOLDEN:016x}");
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .to_string();
+    for threads in ["1", "2", max.as_str()] {
+        let digest = child_digest("explicit", threads);
+        assert_eq!(
+            digest, golden,
+            "explicit SignAlternating diverged from the pre-refactor run \
+             at LS3DF_THREADS={threads}"
+        );
+    }
+    // The builder default must be the same scheme — one thread count
+    // suffices since the explicit path already swept the matrix.
+    let digest = child_digest("default", "1");
+    assert_eq!(
+        digest, golden,
+        "builder default scheme diverged from the pre-refactor run"
+    );
+}
