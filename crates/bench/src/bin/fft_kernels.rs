@@ -1,27 +1,43 @@
-//! Before/after microbenchmark for the zero-allocation FFT hot path.
+//! Before/after microbenchmark for the FFT + GEMM kernel hot paths.
 //!
-//! "Before" reconstructs the pre-workspace kernels from the same public
-//! primitives: a 3-D transform that walks the y/z passes line by line
-//! through freshly allocated gather buffers and the allocating
+//! "Before" reconstructs the pre-optimization kernels from the same
+//! public primitives: a 3-D transform that walks the y/z passes line by
+//! line through freshly allocated gather buffers and the allocating
 //! [`Fft1d::forward`]/[`inverse`] calls (which build Bluestein scratch per
 //! call), and a Poisson solve through [`hartree_potential`], which
 //! rebuilds the [`Fft3`] plan and reciprocal kernel every call. "After"
 //! is the shipped path: [`Fft3::forward_with`]/[`inverse_with`] through
-//! one reused [`Fft3Workspace`] (batched strided line transforms) and
+//! one reused workspace (batched strided line transforms) and
 //! [`HartreeSolver::solve_into`] (cached plan + pooled scratch).
+//!
+//! On top of that, three [`KernelPolicy`] A/B sections time the real-flop
+//! kernels against their reference arithmetic:
+//!
+//! - **r2c vs complex 3-D**: the packed [`Fft3r`] round trip (the GENPOT
+//!   transform shape) against the complex [`Fft3`] round trip on the
+//!   same real field. This is the headline number: the N/2 packing plus
+//!   half-spectrum y/z passes should beat the complex path by ≥ 1.5×.
+//! - **radix-4 vs radix-2 1-D**: power-of-two lines through
+//!   [`Fft1d::new_with`] under both policies.
+//! - **GEMM microkernel**: a BLAS-3 band-block update through
+//!   [`gemm_with`] under both policies (register-tiled packed kernel vs
+//!   the blocked reference loop).
 //!
 //! The default 40³ grid is the interesting case: 40 = 2³·5 sends every
 //! line through the Bluestein kernel, whose per-call scratch was the
 //! dominant allocation cost. Each variant also cross-checks its output
 //! against the other, so the table doubles as an equivalence test.
+//! Results land in `BENCH_fft_kernels.json` (schema in EXPERIMENTS.md).
 //!
 //! Run: `cargo run -p ls3df-bench --bin fft_kernels --release -- [n] [reps]`
 
 use ls3df_bench::arg;
-use ls3df_fft::{Fft1d, Fft3};
+use ls3df_fft::{Fft1d, Fft3, Fft3r};
 use ls3df_grid::{Grid3, RealField};
-use ls3df_math::c64;
+use ls3df_math::{c64, gemm_with, KernelPolicy, Matrix, Op};
+use ls3df_obs::{Json, Report};
 use ls3df_pw::hartree::{hartree_potential, HartreeSolver};
+use std::path::Path;
 use std::time::Instant;
 
 /// Deterministic filler (no RNG dependency, same field every run).
@@ -83,6 +99,7 @@ fn max_diff(a: &[c64], b: &[c64]) -> f64 {
 }
 
 fn main() {
+    let t_main = Instant::now();
     let n: usize = arg(1, 40);
     let reps: usize = arg(2, 20);
     let dims = [n, n, n];
@@ -166,5 +183,207 @@ fn main() {
             solver.solve_into(&rho, &mut v_h);
         }),
     );
-    println!("  speedup: {:.2}x", before_h / after_h);
+    println!("  speedup: {:.2}x\n", before_h / after_h);
+
+    // --- r2c packed transform vs complex transform (GENPOT shape) -------
+    // The Poisson solve transforms a *real* field; the packed r2c path
+    // does the x pass at length n/2 via the two-reals-in-one-complex
+    // trick and carries only the half spectrum through the y/z passes.
+    let real_field: Vec<f64> = field.iter().map(|v| v.re).collect();
+    let rfft = Fft3r::new(dims);
+    let mut rws = rfft.workspace();
+    let mut spec = vec![c64::ZERO; rfft.packed_len()];
+    let mut real_back = vec![0.0_f64; len];
+    // Equivalence: kept bins of the packed forward must match the complex
+    // transform of the same real field, and the c2r inverse must restore it.
+    rfft.forward(&real_field, &mut spec, &mut rws);
+    let mut cplx: Vec<c64> = real_field.iter().map(|&v| c64::new(v, 0.0)).collect();
+    fft3.forward_with(&mut cplx, &mut ws);
+    let h1 = rfft.packed_nx();
+    let mut rdiff = 0.0_f64;
+    for iz in 0..n {
+        for iy in 0..n {
+            for ix in 0..h1 {
+                let p = spec[(iz * n + iy) * h1 + ix];
+                let f = cplx[(iz * n + iy) * n + ix];
+                rdiff = rdiff.max((p - f).abs());
+            }
+        }
+    }
+    assert!(rdiff < 1e-10, "r2c and complex spectra diverged: {rdiff:e}");
+    rfft.inverse(&mut spec, &mut real_back, &mut rws);
+    let rt = real_back
+        .iter()
+        .zip(&real_field)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(rt < 1e-10, "r2c round trip diverged: {rt:e}");
+
+    println!("real-field 3-D round trip (GENPOT transform shape):");
+    let mut cbuf = vec![c64::ZERO; len];
+    let before_r = bench(
+        "complex Fft3 on real data",
+        Box::new(|| {
+            for (d, s) in cbuf.iter_mut().zip(&real_field) {
+                *d = c64::new(*s, 0.0);
+            }
+            fft3.forward_with(&mut cbuf, &mut ws);
+            fft3.inverse_with(&mut cbuf, &mut ws);
+        }),
+    );
+    let after_r = bench(
+        "packed r2c/c2r Fft3r (half spectrum)",
+        Box::new(|| {
+            rfft.forward(&real_field, &mut spec, &mut rws);
+            rfft.inverse(&mut spec, &mut real_back, &mut rws);
+        }),
+    );
+    println!("  speedup: {:.2}x\n", before_r / after_r);
+
+    // --- radix-4 vs radix-2 on power-of-two lines -----------------------
+    let n1d = 256usize;
+    let lines = 2048usize;
+    let line_data = lcg_field(n1d * lines, 0xfeed);
+    let p2 = Fft1d::new_with(n1d, KernelPolicy::Reference);
+    let p4 = Fft1d::new_with(n1d, KernelPolicy::Fast);
+    let mut check2 = line_data[..n1d].to_vec();
+    let mut check4 = line_data[..n1d].to_vec();
+    p2.forward(&mut check2);
+    p4.forward(&mut check4);
+    let r4diff = max_diff(&check2, &check4);
+    assert!(r4diff < 1e-11, "radix-4 diverged from radix-2: {r4diff:e}");
+
+    println!("1-D power-of-two lines ({lines} × n={n1d}, forward+inverse):");
+    let mut lbuf = line_data.clone();
+    let before_x = bench(
+        "radix-2 (reference policy)",
+        Box::new(|| {
+            lbuf.copy_from_slice(&line_data);
+            for line in lbuf.chunks_mut(n1d) {
+                p2.forward(line);
+                p2.inverse(line);
+            }
+        }),
+    );
+    let mut lbuf2 = line_data.clone();
+    let after_x = bench(
+        "radix-4 (fast policy)",
+        Box::new(|| {
+            lbuf2.copy_from_slice(&line_data);
+            for line in lbuf2.chunks_mut(n1d) {
+                p4.forward(line);
+                p4.inverse(line);
+            }
+        }),
+    );
+    println!("  speedup: {:.2}x\n", before_x / after_x);
+
+    // --- GEMM register-tile microkernel vs blocked reference ------------
+    // Band-block shape from the all-band CG update: (bands × planewaves)
+    // times (planewaves × bands) — comfortably past the microkernel's
+    // dispatch threshold.
+    let (m, k, nn) = (64usize, 1200usize, 64usize);
+    let a = Matrix::from_fn(m, k, |i, j| {
+        c64::new(
+            ((i * 31 + j * 7) % 13) as f64 - 6.0,
+            ((i + 3 * j) % 11) as f64 - 5.0,
+        )
+    });
+    let b = Matrix::from_fn(k, nn, |i, j| {
+        c64::new(
+            ((i * 5 + j * 17) % 9) as f64 - 4.0,
+            ((2 * i + j) % 7) as f64 - 3.0,
+        )
+    });
+    let mut c_ref = Matrix::zeros(m, nn);
+    let mut c_fast = Matrix::zeros(m, nn);
+    let one = c64::new(1.0, 0.0);
+    let zero = c64::ZERO;
+    gemm_with(
+        KernelPolicy::Reference,
+        one,
+        &a,
+        Op::None,
+        &b,
+        Op::None,
+        zero,
+        &mut c_ref,
+    );
+    gemm_with(
+        KernelPolicy::Fast,
+        one,
+        &a,
+        Op::None,
+        &b,
+        Op::None,
+        zero,
+        &mut c_fast,
+    );
+    let gdiff = max_diff(c_ref.as_slice(), c_fast.as_slice());
+    assert!(gdiff < 1e-9 * k as f64, "gemm kernels diverged: {gdiff:e}");
+
+    println!("complex GEMM C = A·B ({m}×{k} · {k}×{nn}):");
+    let before_g = bench(
+        "blocked reference loop",
+        Box::new(|| {
+            gemm_with(
+                KernelPolicy::Reference,
+                one,
+                &a,
+                Op::None,
+                &b,
+                Op::None,
+                zero,
+                &mut c_ref,
+            );
+        }),
+    );
+    let after_g = bench(
+        "packed register-tile microkernel",
+        Box::new(|| {
+            gemm_with(
+                KernelPolicy::Fast,
+                one,
+                &a,
+                Op::None,
+                &b,
+                Op::None,
+                zero,
+                &mut c_fast,
+            );
+        }),
+    );
+    println!("  speedup: {:.2}x\n", before_g / after_g);
+
+    // Machine-readable run report (`ls3df-run-report` schema; the
+    // kernel A/B table rides in `extra.kernel_sections`, documented in
+    // EXPERIMENTS.md).
+    let section = |name: &str, before: f64, after: f64| {
+        Json::obj(vec![
+            ("name", Json::str(name)),
+            ("before_ms", Json::num(before * 1e3)),
+            ("after_ms", Json::num(after * 1e3)),
+            ("speedup", Json::num(before / after)),
+        ])
+    };
+    let mut report = Report::new("fft_kernels", t_main.elapsed().as_secs_f64());
+    report.extra.push(("grid".to_string(), Json::num(n as f64)));
+    report
+        .extra
+        .push(("reps".to_string(), Json::num(reps as f64)));
+    report.extra.push((
+        "kernel_sections".to_string(),
+        Json::Arr(vec![
+            section("fft3_roundtrip", before, after),
+            section("genpot_solve", before_h, after_h),
+            section("r2c_vs_complex", before_r, after_r),
+            section("radix4_vs_radix2", before_x, after_x),
+            section("gemm_micro", before_g, after_g),
+        ]),
+    ));
+    let path = Path::new("BENCH_fft_kernels.json");
+    match report.write(path) {
+        Ok(()) => println!("run report -> {}", path.display()),
+        Err(e) => eprintln!("run report write failed: {e}"),
+    }
 }

@@ -702,10 +702,16 @@ impl Ls3df {
                 let positions: Vec<[f64; 3]> = fa.atoms.iter().map(|a| a.pos).collect();
                 let e_kb: Vec<f64> = fa.atoms.iter().map(|a| a.kb_energy).collect();
                 let widths: Vec<f64> = fa.atoms.iter().map(|a| a.kb_rb).collect();
-                let nonlocal = NonlocalPotential::new(
+                let nonlocal = NonlocalPotential::new_batched(
                     &basis,
                     &positions,
-                    |a, q| (-q * q * widths[a] * widths[a] / 2.0).exp(),
+                    |a, qs, out| {
+                        ls3df_pseudo::KbProjector {
+                            rb: widths[a],
+                            e_kb: e_kb[a],
+                        }
+                        .fourier_batch(qs, out)
+                    },
                     &e_kb,
                 );
                 // ΔV_F = confining wall + passivant ionic potentials.
@@ -876,7 +882,7 @@ impl Ls3df {
                 supervised_solve(fs, vf, index, &solver_opts, fresh_steps, method)
             })
             .collect();
-        // Audited reduction: `collect` returns outcomes in fragment order
+        // reduce-audit: `collect` returns outcomes in fragment order
         // no matter how the pool scheduled the solves, so the max below is
         // a fixed left-to-right scan and the fault/quarantine lists are in
         // fragment order — the event stream a ScfObserver sees depends only
@@ -936,23 +942,62 @@ impl Ls3df {
         // of the fragment list alone — the patched density is bit-identical
         // from run to run and across LS3DF_THREADS settings.
         let mut rho = RealField::zeros(self.global_grid.clone());
+        let mut signed_region_charge = 0.0;
+        let mut gross_patch_scale = 0.0;
         for (i, region) in parts {
             let fs = &self.fragments[i];
             let origin = self.fg.region_origin(&fs.fragment);
             rho.accumulate_subbox(origin, &region, fs.fragment.alpha());
+            if check::ENABLED {
+                let region_q = region.integrate();
+                let n_e_f: f64 = fs.occupations.iter().sum();
+                // Structural per-fragment bound: the box density
+                // integrates to the fragment's own electron count and is
+                // nonnegative, so the region part lives in [0, n_e(F)]
+                // at any solver state — the sharp detector for a
+                // corrupted fragment density. A quarantined fragment
+                // patches its restore-buffer density, which may predate
+                // orthonormalization, so the bound holds only for
+                // fragments the solver actually produced.
+                if !fs.quarantined {
+                    check::enforce(
+                        check::fragment_region_charge("Gen_dens", region_q, n_e_f)
+                            .map_err(|v| v.for_fragment(i)),
+                    );
+                }
+                signed_region_charge += fs.fragment.alpha() * region_q;
+                gross_patch_scale += fs.fragment.alpha().abs() * n_e_f;
+            }
         }
-        // Charge conservation is an invariant of the patching geometry —
-        // verify it *before* the renormalization hides any violation. The
+        // Global invariants, verified *before* the renormalization hides
+        // any violation. Patching linearity (∫ρ = Σ α_F ∫ρ_F|region) is
+        // exact up to rounding at every iteration and catches assembly
+        // bugs; the physics check against the electron count is a loose
+        // measured bound relative to the gross patch scale, because the
+        // signed sum is a small difference of large region charges and
+        // unconverged fragments legitimately drift it by a fraction of
+        // the gross sum (see check::CHARGE_TOL_REL). The charge
         // diagnostic assumes every fragment density came from the same
-        // input potential; a quarantined fragment patches a stale density,
-        // so while one is present only finiteness is enforced (the
-        // renormalization below still pins the exact electron count).
+        // input potential; a quarantined fragment patches a stale
+        // density, so while one is present only finiteness is enforced
+        // (the renormalization below still pins the exact electron
+        // count).
         let q = rho.integrate();
         if check::ENABLED {
+            check::enforce(check::patching_linearity(
+                "Gen_dens",
+                q,
+                signed_region_charge,
+            ));
             if self.fragments.iter().any(|fs| fs.quarantined) {
                 check::enforce(check::finite_scalar("Gen_dens", "patched charge", q));
             } else {
-                check::enforce(check::charge_conservation("Gen_dens", q, self.n_electrons));
+                check::enforce(check::charge_conservation(
+                    "Gen_dens",
+                    q,
+                    self.n_electrons,
+                    gross_patch_scale,
+                ));
             }
         }
         // Charge renormalization.

@@ -3,15 +3,23 @@
 //! FFT substrate for the LS3DF reproduction (the role FFTW/vendor FFTs play
 //! in the original Fortran code).
 //!
-//! * [`Fft1d`] — radix-2 Cooley–Tukey for power-of-two lengths, Bluestein
-//!   chirp-z for everything else (the paper's grids are 40 points per cell —
-//!   not a power of two);
-//! * [`Fft3`] — sequential 3-D transforms used by the GENPOT Poisson
-//!   solver and the local-potential application in PEtot_F (parallelism
-//!   lives one level up, over fragments and bands);
-//! * [`Fft1dWorkspace`]/[`Fft3Workspace`] — reusable scratch so the
-//!   `*_with` and `*_strided` entry points are allocation-free;
+//! * [`Fft1d`] — split radix-4/radix-2 Cooley–Tukey for power-of-two
+//!   lengths, Bluestein chirp-z for everything else (the paper's grids
+//!   are 40 points per cell — not a power of two);
+//! * [`RealFft1d`]/[`Fft3r`] — packed r2c/c2r transforms for real fields
+//!   (ρ, V): one half-length complex FFT per real line plus a Hermitian
+//!   unpack, roughly halving the GENPOT/Kerker transform work;
+//! * [`Fft3`] — sequential complex 3-D transforms used by the
+//!   local-potential application in PEtot_F (parallelism lives one level
+//!   up, over fragments and bands);
+//! * [`Fft1dWorkspace`]/[`Fft3Workspace`]/[`RealFftWorkspace`]/
+//!   [`Fft3rWorkspace`] — reusable scratch so the `*_with`, `*_strided`,
+//!   and real-transform entry points are allocation-free;
 //! * [`dft`] — O(n²) reference transforms for testing.
+//!
+//! Kernel selection (radix-4 vs the pre-PR-8 radix-2 arithmetic) is
+//! governed by `LS3DF_KERNELS` via [`ls3df_math::kernel_policy`];
+//! `*_with` constructors take the policy explicitly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +27,8 @@
 pub mod dft;
 mod fft3;
 mod plan;
+mod real;
 
 pub use fft3::{Fft3, Fft3Workspace};
 pub use plan::{Fft1d, Fft1dWorkspace};
+pub use real::{Fft3r, Fft3rWorkspace, RealFft1d, RealFftWorkspace};

@@ -1,16 +1,20 @@
 //! One-dimensional FFT plans.
 //!
-//! Power-of-two sizes use an iterative radix-2 Cooley–Tukey kernel with
-//! precomputed twiddles and bit-reversal tables. Every other size goes
-//! through Bluestein's chirp-z algorithm, which re-expresses an arbitrary-n
-//! DFT as a cyclic convolution of power-of-two size — so the planewave code
+//! Power-of-two sizes use an iterative Cooley–Tukey kernel with
+//! precomputed twiddles and bit-reversal tables — radix-4 stages under
+//! the default `fast` kernel policy (34 real flops per 4 outputs per
+//! 2 levels, vs radix-2's 40, and half the passes over the data),
+//! radix-2 under `LS3DF_KERNELS=reference` (the exact pre-PR-8
+//! arithmetic the golden digests pin). Every other size goes through
+//! Bluestein's chirp-z algorithm, which re-expresses an arbitrary-n DFT
+//! as a cyclic convolution of power-of-two size — so the planewave code
 //! can use physically natural grid sizes like 40³ (the paper's per-cell
 //! grid) without padding.
 //!
 //! Conventions: `forward` is unnormalized (`Σ x_j e^{-2πi jk/n}`);
 //! `inverse` carries the full `1/n`.
 
-use ls3df_math::c64;
+use ls3df_math::{c64, kernel_policy, KernelPolicy};
 use ls3df_obs::{counter_add, Counter};
 use std::f64::consts::PI;
 
@@ -45,8 +49,34 @@ pub struct Fft1d {
 enum Kind {
     /// n == 1.
     Trivial,
-    Radix2(Radix2),
+    Pow2(Pow2),
     Bluestein(Box<Bluestein>),
+}
+
+/// The power-of-two kernel variant, picked by [`KernelPolicy`] at plan
+/// build: radix-4 for `Fast` (n ≥ 4), radix-2 for `Reference` (and the
+/// degenerate n = 2).
+enum Pow2 {
+    R2(Radix2),
+    R4(Radix4),
+}
+
+impl Pow2 {
+    fn new(n: usize, policy: KernelPolicy) -> Self {
+        if policy == KernelPolicy::Fast && n >= 4 {
+            Pow2::R4(Radix4::new(n))
+        } else {
+            Pow2::R2(Radix2::new(n))
+        }
+    }
+
+    #[inline]
+    fn run(&self, data: &mut [c64], dir: Direction) {
+        match self {
+            Pow2::R2(r) => r.run(data, dir),
+            Pow2::R4(r) => r.run(data, dir),
+        }
+    }
 }
 
 struct Radix2 {
@@ -58,26 +88,46 @@ struct Radix2 {
     twiddles_inv: Vec<c64>,
 }
 
+struct Radix4 {
+    /// Bit-reversal permutation table (the same permutation radix-2
+    /// uses; the radix-4 stages consume bit pairs in reversed order, see
+    /// [`Radix4::run`]).
+    rev: Vec<u32>,
+    /// Forward twiddles, grouped by stage as `(w, w², w³)` triples.
+    twiddles_fwd: Vec<c64>,
+    /// Inverse twiddles, same layout.
+    twiddles_inv: Vec<c64>,
+    /// log2 n is odd: one radix-2 stage runs before the radix-4 stages.
+    half_stage: bool,
+}
+
 struct Bluestein {
     /// Forward chirp `a_j = e^{-iπ j²/n}`.
     chirp_fwd: Vec<c64>,
     /// FFT (size m) of the forward-direction filter `b_j = e^{+iπ j²/n}`.
     filter_fwd: Vec<c64>,
     /// Inner power-of-two plan of size m ≥ 2n−1.
-    inner: Radix2,
+    inner: Pow2,
     m: usize,
 }
 
 impl Fft1d {
-    /// Builds a plan for transforms of length `n` (n ≥ 1).
+    /// Builds a plan for transforms of length `n` (n ≥ 1) under the
+    /// process-wide [`kernel_policy`].
     pub fn new(n: usize) -> Self {
+        Self::new_with(n, kernel_policy())
+    }
+
+    /// [`Fft1d::new`] with an explicit [`KernelPolicy`] — lets tests and
+    /// benches hold both kernel variants in one process.
+    pub fn new_with(n: usize, policy: KernelPolicy) -> Self {
         assert!(n >= 1, "Fft1d::new: length must be ≥ 1");
         let kind = if n == 1 {
             Kind::Trivial
         } else if n.is_power_of_two() {
-            Kind::Radix2(Radix2::new(n))
+            Kind::Pow2(Pow2::new(n, policy))
         } else {
-            Kind::Bluestein(Box::new(Bluestein::new(n)))
+            Kind::Bluestein(Box::new(Bluestein::new(n, policy)))
         };
         let line_flops = estimated_line_flops(n, &kind);
         Fft1d {
@@ -95,11 +145,41 @@ impl Fft1d {
         if ls3df_obs::ENABLED {
             let counter = match &self.kind {
                 Kind::Trivial => Counter::FftLinesTrivial,
-                Kind::Radix2(_) => Counter::FftLinesRadix2,
+                Kind::Pow2(Pow2::R2(_)) => Counter::FftLinesRadix2,
+                Kind::Pow2(Pow2::R4(_)) => Counter::FftLinesRadix4,
                 Kind::Bluestein(_) => Counter::FftLinesBluestein,
             };
             counter_add(counter, lines);
             counter_add(Counter::FftFlops, lines * self.line_flops);
+        }
+    }
+
+    /// Estimated flops for one transformed line (exposed so the real
+    /// transform layer can report its packed lines at true cost).
+    #[inline]
+    pub(crate) fn line_flops(&self) -> u64 {
+        self.line_flops
+    }
+
+    /// Runs the kernel without touching the metrics registry — the entry
+    /// point for [`crate::real::RealFft1d`], which accounts for its inner
+    /// complex transform inside its own per-line cost instead.
+    #[inline]
+    pub(crate) fn run_uncounted(&self, data: &mut [c64], dir: Direction, ws: &mut Fft1dWorkspace) {
+        debug_assert_eq!(data.len(), self.n);
+        match &self.kind {
+            Kind::Trivial => {}
+            Kind::Pow2(p) => p.run(data, dir),
+            Kind::Bluestein(b) => {
+                assert_eq!(ws.scratch.len(), b.m, "Fft1d: workspace plan mismatch");
+                b.run(data, dir, &mut ws.scratch);
+            }
+        }
+        if dir == Direction::Inverse {
+            let inv = 1.0 / self.n as f64;
+            for v in data {
+                *v = v.scale(inv);
+            }
         }
     }
 
@@ -140,7 +220,7 @@ impl Fft1d {
         self.record_lines(1);
         match &self.kind {
             Kind::Trivial => {}
-            Kind::Radix2(r) => r.run(data, Direction::Forward),
+            Kind::Pow2(p) => p.run(data, Direction::Forward),
             Kind::Bluestein(b) => {
                 // alloc-audit: one-shot path; reuse a workspace in hot loops.
                 let mut scratch = vec![c64::ZERO; b.m];
@@ -158,7 +238,7 @@ impl Fft1d {
         self.record_lines(1);
         match &self.kind {
             Kind::Trivial => {}
-            Kind::Radix2(r) => r.run(data, Direction::Inverse),
+            Kind::Pow2(p) => p.run(data, Direction::Inverse),
             Kind::Bluestein(b) => {
                 // alloc-audit: one-shot path; reuse a workspace in hot loops.
                 let mut scratch = vec![c64::ZERO; b.m];
@@ -177,7 +257,7 @@ impl Fft1d {
         self.record_lines(1);
         match &self.kind {
             Kind::Trivial => {}
-            Kind::Radix2(r) => r.run(data, Direction::Forward),
+            Kind::Pow2(p) => p.run(data, Direction::Forward),
             Kind::Bluestein(b) => {
                 assert_eq!(ws.scratch.len(), b.m, "Fft1d: workspace plan mismatch");
                 b.run(data, Direction::Forward, &mut ws.scratch);
@@ -191,7 +271,7 @@ impl Fft1d {
         self.record_lines(1);
         match &self.kind {
             Kind::Trivial => {}
-            Kind::Radix2(r) => r.run(data, Direction::Inverse),
+            Kind::Pow2(p) => p.run(data, Direction::Inverse),
             Kind::Bluestein(b) => {
                 assert_eq!(ws.scratch.len(), b.m, "Fft1d: workspace plan mismatch");
                 b.run(data, Direction::Inverse, &mut ws.scratch);
@@ -276,7 +356,7 @@ impl Fft1d {
                 let line = &mut ws.batch[j * n..(j + 1) * n];
                 match &self.kind {
                     Kind::Trivial => unreachable!("n == 1 returned above"),
-                    Kind::Radix2(r) => r.run(line, dir),
+                    Kind::Pow2(p) => p.run(line, dir),
                     Kind::Bluestein(b) => {
                         assert_eq!(ws.scratch.len(), b.m, "Fft1d: workspace plan mismatch");
                         b.run(line, dir, &mut ws.scratch);
@@ -301,26 +381,42 @@ impl Fft1d {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Direction {
+pub(crate) enum Direction {
     Forward,
     Inverse,
 }
 
 /// Flop estimate for one transformed line, fixed at plan build.
 ///
-/// Radix-2 uses the standard `5·n·log2 n` complex-FFT count. Bluestein
-/// runs two inner radix-2 transforms of size `m = (2n−1).next_power_of_two()`
+/// Radix-2 uses the standard `5·n·log2 n` complex-FFT count. Radix-4
+/// counts its *actual* arithmetic — 34 real flops per butterfly, n/4
+/// butterflies per stage, one stage per two levels (`8.5·n` per pair of
+/// levels vs radix-2's `10·n`), plus one `5·n` radix-2 stage when
+/// log2 n is odd — so the Gflop/s the obs layer derives never credits
+/// the faster kernel with work it did not do. Bluestein runs two inner
+/// power-of-two transforms of size `m = (2n−1).next_power_of_two()`
 /// (the size-m filter FFT is amortized into the plan) plus the chirp
 /// multiply, filter multiply, and de-chirp — `O(m + n)` complex
 /// multiplies at 6 flops each, with the final de-chirp also scaling.
 fn estimated_line_flops(n: usize, kind: &Kind) -> u64 {
     match kind {
         Kind::Trivial => 0,
-        Kind::Radix2(_) => 5 * n as u64 * u64::from(n.trailing_zeros()),
+        Kind::Pow2(p) => pow2_line_flops(n, p),
         Kind::Bluestein(b) => {
             let m = b.m as u64;
-            let log_m = u64::from(b.m.trailing_zeros());
-            10 * m * log_m + 6 * m + 14 * n as u64
+            2 * pow2_line_flops(b.m, &b.inner) + 6 * m + 14 * n as u64
+        }
+    }
+}
+
+fn pow2_line_flops(n: usize, p: &Pow2) -> u64 {
+    let levels = u64::from(n.trailing_zeros());
+    match p {
+        Pow2::R2(_) => 5 * n as u64 * levels,
+        Pow2::R4(_) => {
+            let pairs = levels / 2;
+            let extra_r2 = levels % 2;
+            (17 * n as u64 / 2) * pairs + 5 * n as u64 * extra_r2
         }
     }
 }
@@ -385,10 +481,118 @@ impl Radix2 {
     }
 }
 
-impl Bluestein {
+/// Radix-4 decimation-in-time kernel for power-of-two n ≥ 4.
+///
+/// Works on the same bit-reversed input layout as [`Radix2`]: within a
+/// group of four size-h sub-DFTs being merged, bit reversal places the
+/// sub-DFT of subsequence `j ≡ r (mod 4)` at block offset `rev2(r)·h`
+/// (two bits swap: r = 1 lands at offset 2h, r = 2 at offset h). Each
+/// butterfly then combines
+///
+/// ```text
+/// t0 = A[k]          t1 = w·B[k]        t2 = w²·C[k]      t3 = w³·D[k]
+/// X[k]    = (t0+t2) + (t1+t3)     X[k+2h] = (t0+t2) − (t1+t3)
+/// X[k+h]  = (t0−t2) ∓ i(t1−t3)    X[k+3h] = (t0−t2) ± i(t1−t3)
+/// ```
+///
+/// (upper signs forward) — 3 complex multiplies + 8 complex adds = 34
+/// real flops per 4 outputs, where two radix-2 levels spend 40, and one
+/// pass over the data where radix-2 makes two. When log2 n is odd a
+/// single twiddle-free radix-2 stage (h = 1, w = 1) runs first.
+impl Radix4 {
     fn new(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two() && n >= 4);
+        let bits = n.trailing_zeros();
+        let rev: Vec<u32> = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        let half_stage = bits % 2 == 1;
+        // Radix-4 stage with quarter size h uses 3h twiddles (w, w², w³
+        // per k).
+        // alloc-audit: plan construction (once per geometry, not per call).
+        let mut twiddles_fwd = Vec::new();
+        let mut twiddles_inv = Vec::new();
+        let mut h = if half_stage { 2 } else { 1 };
+        while h < n {
+            for k in 0..h {
+                let angle = PI * k as f64 / (2.0 * h as f64); // 2πk/(4h)
+                for mult in 1..=3 {
+                    twiddles_fwd.push(c64::cis(-angle * mult as f64));
+                    twiddles_inv.push(c64::cis(angle * mult as f64));
+                }
+            }
+            h *= 4;
+        }
+        Radix4 {
+            rev,
+            twiddles_fwd,
+            twiddles_inv,
+            half_stage,
+        }
+    }
+
+    fn run(&self, data: &mut [c64], dir: Direction) {
+        let n = data.len();
+        // Bit-reversal permutation (identical to the radix-2 kernel).
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        if self.half_stage {
+            // One twiddle-free radix-2 level: pairs (2i, 2i+1).
+            for i in (0..n).step_by(2) {
+                let a = data[i];
+                let b = data[i + 1];
+                data[i] = a + b;
+                data[i + 1] = a - b;
+            }
+        }
+        let tw = match dir {
+            Direction::Forward => &self.twiddles_fwd,
+            Direction::Inverse => &self.twiddles_inv,
+        };
+        let forward = dir == Direction::Forward;
+        let mut h = if self.half_stage { 2 } else { 1 };
+        let mut tw_off = 0;
+        while h < n {
+            let step = 4 * h;
+            for start in (0..n).step_by(step) {
+                for k in 0..h {
+                    let w = &tw[tw_off + 3 * k..tw_off + 3 * k + 3];
+                    let t0 = data[start + k];
+                    // Bit reversal swaps the two merged bits: the j≡1
+                    // sub-DFT sits at offset 2h, j≡2 at offset h.
+                    let t1 = data[start + k + 2 * h] * w[0];
+                    let t2 = data[start + k + h] * w[1];
+                    let t3 = data[start + k + 3 * h] * w[2];
+                    let u0 = t0 + t2;
+                    let u1 = t0 - t2;
+                    let u2 = t1 + t3;
+                    let u3 = t1 - t3;
+                    data[start + k] = u0 + u2;
+                    data[start + k + 2 * h] = u0 - u2;
+                    // ∓i·u3: forward rotates by −i = (im, −re).
+                    let rot = if forward {
+                        c64::new(u3.im, -u3.re)
+                    } else {
+                        c64::new(-u3.im, u3.re)
+                    };
+                    data[start + k + h] = u1 + rot;
+                    data[start + k + 3 * h] = u1 - rot;
+                }
+            }
+            tw_off += 3 * h;
+            h = step;
+        }
+    }
+}
+
+impl Bluestein {
+    fn new(n: usize, policy: KernelPolicy) -> Self {
         let m = (2 * n - 1).next_power_of_two();
-        let inner = Radix2::new(m);
+        let inner = Pow2::new(m, policy);
         // Chirp with the squared index reduced mod 2n for angle accuracy.
         let chirp = |j: usize, sign: f64| -> c64 {
             let q = ((j as u128 * j as u128) % (2 * n as u128)) as f64;

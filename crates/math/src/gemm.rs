@@ -6,6 +6,8 @@
 //! increasing sophistication (naive / cache-blocked / blocked+rayon), which
 //! the `gemm_ablation` bench compares directly.
 
+use crate::microkernel;
+use crate::policy::{kernel_policy, KernelPolicy};
 use crate::{Matrix, Scalar};
 use rayon::prelude::*;
 
@@ -33,12 +35,34 @@ impl Op {
 const BLOCK: usize = 64;
 /// Below this many result elements the parallel kernel stays sequential.
 const PAR_THRESHOLD: usize = 64 * 64;
+/// Rows of `C` per parallel task in the blocked kernel. A fixed granule —
+/// never derived from `current_num_threads()` — so the *partition* of the
+/// output, not just the result, is identical at every `LS3DF_THREADS`.
+const ROWS_PER_TASK: usize = 16;
 
-/// General matrix-matrix product `C ← α·op(A)·op(B) + β·C`.
+/// General matrix-matrix product `C ← α·op(A)·op(B) + β·C` under the
+/// process-wide [`kernel_policy`].
 ///
-/// Dispatches to the blocked, rayon-parallel kernel. Panics on shape
-/// mismatch.
+/// Dispatches to the blocked, rayon-parallel kernel (and, under
+/// [`KernelPolicy::Fast`], to the packed register-tile microkernel for
+/// BLAS-3-sized shapes). Panics on shape mismatch.
 pub fn gemm<S: Scalar>(
+    alpha: S,
+    a: &Matrix<S>,
+    op_a: Op,
+    b: &Matrix<S>,
+    op_b: Op,
+    beta: S,
+    c: &mut Matrix<S>,
+) {
+    gemm_with(kernel_policy(), alpha, a, op_a, b, op_b, beta, c);
+}
+
+/// [`gemm`] with an explicit [`KernelPolicy`] — lets tests and benches
+/// compare both arithmetic variants inside one process.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with<S: Scalar>(
+    policy: KernelPolicy,
     alpha: S,
     a: &Matrix<S>,
     op_a: Op,
@@ -54,21 +78,31 @@ pub fn gemm<S: Scalar>(
 
     // Fast contiguous paths cover every combination the solver uses.
     match (op_a, op_b) {
-        (Op::None, Op::None) => gemm_nn(alpha, a, b, beta, c),
-        (Op::None, Op::ConjTrans) => gemm_nh(alpha, a, b, beta, c),
-        (Op::ConjTrans, Op::None) => gemm_hn(alpha, a, b, beta, c),
+        (Op::None, Op::None) => gemm_nn(policy, alpha, a, b, beta, c),
+        (Op::None, Op::ConjTrans) => gemm_nh(policy, alpha, a, b, beta, c),
+        (Op::ConjTrans, Op::None) => {
+            // At microkernel sizes the packed-panel kernel beats the
+            // streaming Hᴺ loop by enough to pay for materializing Aᴴ
+            // (one `k·m` copy vs `m·n·k` flops).
+            if policy == KernelPolicy::Fast && microkernel::micro_worthwhile(m, ka, n) {
+                let am = a.hermitian();
+                microkernel::gemm_nn_micro(alpha, &am, b, beta, c);
+            } else {
+                gemm_hn(alpha, a, b, beta, c);
+            }
+        }
         (Op::None, Op::Trans) => {
             let bt = b.transpose();
-            gemm_nn(alpha, a, &bt, beta, c)
+            gemm_nn(policy, alpha, a, &bt, beta, c)
         }
         (Op::Trans, Op::None) => {
             let at = a.transpose();
-            gemm_nn(alpha, &at, b, beta, c)
+            gemm_nn(policy, alpha, &at, b, beta, c)
         }
         _ => {
             let am = materialize(a, op_a);
             let bm = materialize(b, op_b);
-            gemm_nn(alpha, &am, &bm, beta, c)
+            gemm_nn(policy, alpha, &am, &bm, beta, c)
         }
     }
 }
@@ -104,7 +138,7 @@ pub fn matmul_hn<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
 }
 
 #[inline]
-fn scale_or_zero<S: Scalar>(beta: S, row: &mut [S]) {
+pub(crate) fn scale_or_zero<S: Scalar>(beta: S, row: &mut [S]) {
     if beta == S::ZERO {
         row.fill(S::ZERO);
     } else if beta != S::ONE {
@@ -114,10 +148,22 @@ fn scale_or_zero<S: Scalar>(beta: S, row: &mut [S]) {
     }
 }
 
-/// Row-parallel blocked `C ← α·A·B + β·C`.
-fn gemm_nn<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut Matrix<S>) {
+/// Row-parallel blocked `C ← α·A·B + β·C`; BLAS-3-sized shapes route to
+/// the packed microkernel under [`KernelPolicy::Fast`].
+fn gemm_nn<S: Scalar>(
+    policy: KernelPolicy,
+    alpha: S,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    beta: S,
+    c: &mut Matrix<S>,
+) {
     let (m, k) = a.shape();
     let n = b.cols();
+    if policy == KernelPolicy::Fast && microkernel::micro_worthwhile(m, k, n) {
+        microkernel::gemm_nn_micro(alpha, a, b, beta, c);
+        return;
+    }
     let run_rows = |c_rows: &mut [S], i0: usize, i1: usize| {
         for i in i0..i1 {
             scale_or_zero(beta, &mut c_rows[(i - i0) * n..(i - i0 + 1) * n]);
@@ -141,19 +187,17 @@ fn gemm_nn<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut M
         }
     };
     if m * n >= PAR_THRESHOLD && m > 1 {
-        // Audited reduction: `chunk` depends on `current_num_threads()`,
-        // i.e. on LS3DF_THREADS — but only to pick how rows of C are
-        // *grouped*, never how they are summed. Each output row i is
-        // written by exactly one closure as the same sequential k-loop in
-        // the same order regardless of chunk boundaries, so the result is
-        // bit-identical across thread counts.
-        let chunk = (m + rayon::current_num_threads() - 1) / rayon::current_num_threads().max(1);
-        let chunk = chunk.max(1);
+        // reduce-audit: rows of C are grouped into fixed ROWS_PER_TASK
+        // granules (thread-count-independent partition); each output row
+        // i is written by exactly one closure as the same sequential
+        // k-loop in the same order regardless of which worker runs it,
+        // so the result is bit-identical across thread counts and
+        // schedules.
         c.as_mut_slice()
-            .par_chunks_mut(chunk * n)
+            .par_chunks_mut(ROWS_PER_TASK * n)
             .enumerate()
             .for_each(|(ci, rows)| {
-                let i0 = ci * chunk;
+                let i0 = ci * ROWS_PER_TASK;
                 let i1 = (i0 + rows.len() / n).min(m);
                 run_rows(rows, i0, i1);
             });
@@ -165,8 +209,16 @@ fn gemm_nn<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut M
 
 /// Row-parallel `C ← α·A·Bᴴ + β·C`: every inner product runs over two
 /// contiguous rows, ideal for the `(n_bands × n_pw)·(n_bands × n_pw)ᴴ`
-/// overlap shape.
-fn gemm_nh<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut Matrix<S>) {
+/// overlap shape. Under [`KernelPolicy::Fast`] each inner product uses
+/// the lane-split accumulator (breaks the serial FMA chain).
+fn gemm_nh<S: Scalar>(
+    policy: KernelPolicy,
+    alpha: S,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    beta: S,
+    c: &mut Matrix<S>,
+) {
     let m = a.rows();
     let n = b.rows();
     let k = a.cols();
@@ -176,10 +228,16 @@ fn gemm_nh<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut M
         let a_row = a.row(i);
         for j in 0..n {
             let b_row = b.row(j);
-            let mut acc = S::ZERO;
-            for p in 0..k {
-                acc = acc.acc(a_row[p], b_row[p].conj());
-            }
+            let acc = match policy {
+                KernelPolicy::Fast => microkernel::dot_conj_wide(a_row, b_row),
+                KernelPolicy::Reference => {
+                    let mut acc = S::ZERO;
+                    for p in 0..k {
+                        acc = acc.acc(a_row[p], b_row[p].conj());
+                    }
+                    acc
+                }
+            };
             c_row[j] = c_row[j].acc(alpha, acc);
         }
     };
@@ -257,6 +315,15 @@ fn gemm_hn<S: Scalar>(alpha: S, a: &Matrix<S>, b: &Matrix<S>, beta: S, c: &mut M
 /// overlap matrix is Hermitian by construction, so the general product
 /// wastes a factor of two.
 pub fn overlap_hermitian<S: Scalar>(psi: &Matrix<S>, weight: f64) -> Matrix<S> {
+    overlap_hermitian_with(kernel_policy(), psi, weight)
+}
+
+/// [`overlap_hermitian`] with an explicit [`KernelPolicy`].
+pub fn overlap_hermitian_with<S: Scalar>(
+    policy: KernelPolicy,
+    psi: &Matrix<S>,
+    weight: f64,
+) -> Matrix<S> {
     let nb = psi.rows();
     let k = psi.cols();
     let mut s = Matrix::zeros(nb, nb);
@@ -264,10 +331,16 @@ pub fn overlap_hermitian<S: Scalar>(psi: &Matrix<S>, weight: f64) -> Matrix<S> {
         let a_row = psi.row(i);
         for j in 0..=i {
             let b_row = psi.row(j);
-            let mut acc = S::ZERO;
-            for p in 0..k {
-                acc = acc.acc(a_row[p], b_row[p].conj());
-            }
+            let acc = match policy {
+                KernelPolicy::Fast => microkernel::dot_conj_wide(a_row, b_row),
+                KernelPolicy::Reference => {
+                    let mut acc = S::ZERO;
+                    for p in 0..k {
+                        acc = acc.acc(a_row[p], b_row[p].conj());
+                    }
+                    acc
+                }
+            };
             row[j] = acc.scale(weight);
         }
     };

@@ -33,6 +33,7 @@
 
 mod complex;
 mod matrix;
+mod microkernel;
 mod scalar;
 
 pub mod cholesky;
@@ -40,12 +41,14 @@ pub mod eigh;
 pub mod gemm;
 pub mod lu;
 pub mod ortho;
+pub mod policy;
 pub mod tridiag;
 pub mod vec_ops;
 
 pub use complex::c64;
-pub use gemm::{gemm, overlap_hermitian, Op};
+pub use gemm::{gemm, gemm_with, overlap_hermitian, overlap_hermitian_with, Op};
 pub use matrix::Matrix;
+pub use policy::{kernel_policy, KernelPolicy};
 pub use scalar::Scalar;
 
 pub use cholesky::Cholesky;

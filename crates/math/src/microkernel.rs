@@ -1,0 +1,252 @@
+//! Packed register-tile GEMM microkernel and lane-split inner products —
+//! the `KernelPolicy::Fast` arithmetic for the BLAS-3/BLAS-1 hot paths.
+//!
+//! ## SIMD strategy: safe wide-lane code, not intrinsics
+//!
+//! `ls3df-math` is `#![forbid(unsafe_code)]`, and the audited unsafe
+//! surface of the workspace is deliberately pinned to three crates
+//! (`shims/rayon`, `crates/obs`, `src/`) by the `forbid-unsafe` lint
+//! rule. Rather than widen that surface for `core::arch` intrinsics,
+//! these kernels are written as fixed-width lane loops over `Copy`
+//! scalars — shapes LLVM's autovectorizer reliably lowers to packed
+//! vector FMAs at `opt-level=3`:
+//!
+//! * all lane counts are `const`, so every inner loop fully unrolls;
+//! * accumulators live in fixed-size arrays (`[[S; NR]; MR]`), small
+//!   enough to stay in registers;
+//! * operands are packed into contiguous panels first, so the unrolled
+//!   loops see unit-stride loads with no bounds checks after the
+//!   `chunks_exact` split.
+//!
+//! The claim that this actually vectorizes is asserted empirically, not
+//! structurally: the `fft_kernels` bench prints the microkernel's
+//! speedup over the reference blocked kernel, and `EXPERIMENTS.md`
+//! records the numbers (see DESIGN.md "Kernel architecture").
+//!
+//! ## Determinism
+//!
+//! Lane-split sums change *which* order terms combine in, but the order
+//! is a pure function of the slice length — never of thread count or
+//! schedule. The microkernel parallelizes over fixed [`MR`]-row strips
+//! of `C` (a constant granule, so the partition itself is
+//! thread-count-independent) and walks `k` in fixed [`KC`]-blocks in
+//! ascending order within each strip. Runs at any `LS3DF_THREADS` /
+//! `LS3DF_SCHEDULE` are bit-identical; only the `reference`-policy bit
+//! patterns differ (gated by `tests/kernel_tol.rs`).
+
+use crate::{Matrix, Scalar};
+use rayon::prelude::*;
+
+/// Rows of `C` per register tile (and per parallel work granule).
+pub(crate) const MR: usize = 4;
+/// Columns of `C` per register tile.
+pub(crate) const NR: usize = 4;
+/// `k`-extent packed per A-strip block: `MR·KC` scalars ≈ 16 KiB for
+/// `c64`, comfortably inside L1/L2 and small enough for the stack.
+pub(crate) const KC: usize = 256;
+/// Lanes for the split-accumulator inner products.
+const LANES: usize = 4;
+
+/// `Σ aᵢ·conj(bᵢ)` with [`LANES`] independent accumulators (breaks the
+/// serial FMA dependency chain of the naive loop). Combination order is
+/// fixed: `(l0+l2)+(l1+l3)`.
+#[inline]
+pub(crate) fn dot_conj_wide<S: Scalar>(a: &[S], b: &[S]) -> S {
+    let mut lanes = [S::ZERO; LANES];
+    let (a_main, a_tail) = a.split_at(a.len() - a.len() % LANES);
+    let (b_main, b_tail) = b.split_at(a_main.len());
+    for (ca, cb) in a_main.chunks_exact(LANES).zip(b_main.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            lanes[l] = lanes[l].acc(ca[l], cb[l].conj());
+        }
+    }
+    for (l, (&x, &y)) in a_tail.iter().zip(b_tail).enumerate() {
+        lanes[l] = lanes[l].acc(x, y.conj());
+    }
+    (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
+}
+
+/// `Σ conj(aᵢ)·bᵢ` — the [`crate::vec_ops::dotc`] convention — with the
+/// same lane split and fixed combination order as [`dot_conj_wide`].
+#[inline]
+pub(crate) fn dotc_wide<S: Scalar>(a: &[S], b: &[S]) -> S {
+    let mut lanes = [S::ZERO; LANES];
+    let (a_main, a_tail) = a.split_at(a.len() - a.len() % LANES);
+    let (b_main, b_tail) = b.split_at(a_main.len());
+    for (ca, cb) in a_main.chunks_exact(LANES).zip(b_main.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            lanes[l] = lanes[l].acc_conj(ca[l], cb[l]);
+        }
+    }
+    for (l, (&x, &y)) in a_tail.iter().zip(b_tail).enumerate() {
+        lanes[l] = lanes[l].acc_conj(x, y);
+    }
+    (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
+}
+
+/// Minimum `m·n·k` before the packed microkernel pays for its packing
+/// passes and buffer allocation. Also keeps the microkernel out of the
+/// small per-band GEMMs inside the zero-alloc CG hot path (`tests/
+/// zero_alloc.rs` runs under the default `fast` policy): those shapes
+/// are ~`4·4·n_pw ≪ 2¹⁸`.
+pub(crate) const MICRO_MIN_FLOPS: usize = 1 << 18;
+
+/// Whether [`gemm_nn_micro`] handles this shape better than the blocked
+/// scalar kernel.
+#[inline]
+pub(crate) fn micro_worthwhile(m: usize, k: usize, n: usize) -> bool {
+    m >= MR && n >= NR && m.saturating_mul(k).saturating_mul(n) >= MICRO_MIN_FLOPS
+}
+
+/// Packed-panel `C ← α·A·B + β·C` register-tile kernel.
+///
+/// B is packed once into [`NR`]-wide column panels (zero-padded at the
+/// right edge); each parallel strip packs its own `α·A` block into a
+/// stack buffer and accumulates an `MR×NR` register tile per panel.
+/// Allocates the B panel buffer per call — callers below the zero-alloc
+/// threshold are routed to the scalar kernel by [`micro_worthwhile`].
+pub(crate) fn gemm_nn_micro<S: Scalar>(
+    alpha: S,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    beta: S,
+    c: &mut Matrix<S>,
+) {
+    let (_, k) = a.shape();
+    let n = b.cols();
+    let n_panels = n.div_ceil(NR);
+
+    // Pack B panel-major: panel `jp` holds rows 0..k of columns
+    // `jp·NR..jp·NR+NR`, contiguous in `p`, zero-padded past `n`.
+    let mut b_pack = vec![S::ZERO; n_panels * k * NR];
+    for p in 0..k {
+        let b_row = b.row(p);
+        for jp in 0..n_panels {
+            let j0 = jp * NR;
+            let w = (n - j0).min(NR);
+            let dst = &mut b_pack[jp * k * NR + p * NR..jp * k * NR + p * NR + w];
+            dst.copy_from_slice(&b_row[j0..j0 + w]);
+        }
+    }
+
+    let strip = |c_rows: &mut [S], i0: usize| {
+        let rows = c_rows.len() / n;
+        for r in 0..rows {
+            crate::gemm::scale_or_zero(beta, &mut c_rows[r * n..(r + 1) * n]);
+        }
+        let mut a_pack = [S::ZERO; MR * KC];
+        for kk in (0..k).step_by(KC) {
+            let kc = (k - kk).min(KC);
+            // Pack α·A for this strip/block: column-major MR-strips so the
+            // kernel reads unit-stride. Missing rows (ragged bottom strip)
+            // stay zero and contribute nothing.
+            a_pack[..MR * kc].fill(S::ZERO);
+            for r in 0..rows {
+                let a_row = &a.row(i0 + r)[kk..kk + kc];
+                for (p, &v) in a_row.iter().enumerate() {
+                    a_pack[p * MR + r] = alpha * v;
+                }
+            }
+            for jp in 0..n_panels {
+                let b_blk = &b_pack[jp * k * NR + kk * NR..jp * k * NR + (kk + kc) * NR];
+                let mut acc = [[S::ZERO; NR]; MR];
+                for (pa, pb) in a_pack[..MR * kc]
+                    .chunks_exact(MR)
+                    .zip(b_blk.chunks_exact(NR))
+                {
+                    for r in 0..MR {
+                        let ar = pa[r];
+                        for q in 0..NR {
+                            acc[r][q] = acc[r][q].acc(ar, pb[q]);
+                        }
+                    }
+                }
+                let j0 = jp * NR;
+                let w = (n - j0).min(NR);
+                for r in 0..rows {
+                    let c_row = &mut c_rows[r * n + j0..r * n + j0 + w];
+                    for q in 0..w {
+                        c_row[q] += acc[r][q];
+                    }
+                }
+            }
+        }
+    };
+
+    // Fixed MR-row granule: the partition of C into strips is a constant,
+    // so work assignment (and therefore the result, since each strip is
+    // written by exactly one closure in a fixed k-order) is independent
+    // of thread count and schedule.
+    c.as_mut_slice()
+        .par_chunks_mut(MR * n)
+        .enumerate()
+        .for_each(|(si, rows)| strip(rows, si * MR));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<c64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64) - 0.5
+        };
+        Matrix::from_fn(rows, cols, |_, _| c64::new(next(), next()))
+    }
+
+    #[test]
+    fn micro_matches_naive_ragged_shapes() {
+        // Deliberately ragged in every dimension: edge panels, partial
+        // bottom strip, k not a multiple of KC-divisors.
+        for &(m, k, n) in &[(4, 4, 4), (7, 13, 9), (33, 70, 21), (66, 300, 35)] {
+            let a = rand_matrix(m, k, 100 + m as u64);
+            let b = rand_matrix(k, n, 200 + n as u64);
+            let alpha = c64::new(0.7, -0.3);
+            let beta = c64::new(-1.2, 0.4);
+            let c0 = rand_matrix(m, n, 300);
+            let mut c = c0.clone();
+            gemm_nn_micro(alpha, &a, &b, beta, &mut c);
+            let mut expect = crate::gemm::matmul_naive(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    expect[(i, j)] = expect[(i, j)] * alpha + c0[(i, j)] * beta;
+                }
+            }
+            for i in 0..m {
+                for j in 0..n {
+                    assert!(
+                        (c[(i, j)] - expect[(i, j)]).abs() < 1e-11,
+                        "({i},{j}) for {m}x{k}x{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_dots_match_sequential() {
+        for len in [0usize, 1, 3, 4, 5, 17, 128, 1001] {
+            let x: Vec<c64> = (0..len)
+                .map(|i| c64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+                .collect();
+            let y: Vec<c64> = (0..len)
+                .map(|i| c64::new((i as f64 * 1.3).cos(), -(i as f64).sin()))
+                .collect();
+            let seq_conj = x
+                .iter()
+                .zip(&y)
+                .fold(c64::ZERO, |s, (&a, &b)| s.acc(a, b.conj()));
+            assert!((dot_conj_wide(&x, &y) - seq_conj).abs() < 1e-12 * (len.max(1) as f64));
+            let seq_c = x
+                .iter()
+                .zip(&y)
+                .fold(c64::ZERO, |s, (&a, &b)| s.acc_conj(a, b));
+            assert!((dotc_wide(&x, &y) - seq_c).abs() < 1e-12 * (len.max(1) as f64));
+        }
+    }
+}

@@ -5,17 +5,33 @@
 //! shape (one wavefunction at a time), which is exactly why its performance
 //! was limited to ~15% of peak before the all-band (BLAS-3) rewrite.
 
-use crate::{c64, Scalar};
+use crate::policy::{kernel_policy, KernelPolicy};
+use crate::{c64, microkernel, Scalar};
 
-/// Inner product `⟨x|y⟩ = Σ conj(x_i)·y_i`.
+/// Inner product `⟨x|y⟩ = Σ conj(x_i)·y_i` under the process-wide
+/// [`kernel_policy`].
 #[inline]
 pub fn dotc<S: Scalar>(x: &[S], y: &[S]) -> S {
+    dotc_with(kernel_policy(), x, y)
+}
+
+/// [`dotc`] with an explicit [`KernelPolicy`]: `Fast` breaks the serial
+/// FMA dependency chain with four fixed-order lane accumulators (the
+/// Kleinman–Bylander projector and CG coefficient hot path), `Reference`
+/// is the original sequential loop.
+#[inline]
+pub fn dotc_with<S: Scalar>(policy: KernelPolicy, x: &[S], y: &[S]) -> S {
     assert_eq!(x.len(), y.len(), "dotc: length mismatch");
-    let mut acc = S::ZERO;
-    for (&a, &b) in x.iter().zip(y) {
-        acc = acc.acc_conj(a, b);
+    match policy {
+        KernelPolicy::Fast => microkernel::dotc_wide(x, y),
+        KernelPolicy::Reference => {
+            let mut acc = S::ZERO;
+            for (&a, &b) in x.iter().zip(y) {
+                acc = acc.acc_conj(a, b);
+            }
+            acc
+        }
     }
-    acc
 }
 
 /// Unconjugated product `Σ x_i·y_i`.

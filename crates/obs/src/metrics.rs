@@ -25,6 +25,10 @@ pub enum Counter {
     FftLinesRadix2,
     /// 1-D line transforms through a Bluestein plan.
     FftLinesBluestein,
+    /// 1-D line transforms through a radix-4 plan.
+    FftLinesRadix4,
+    /// 1-D real (r2c/c2r) line transforms through a packed plan.
+    FftLinesReal,
     /// Whole 3-D transforms (forward or inverse).
     Fft3Transforms,
     /// Estimated floating-point operations spent in FFT kernels.
@@ -47,10 +51,12 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 14] = [
         Counter::FftLinesTrivial,
         Counter::FftLinesRadix2,
         Counter::FftLinesBluestein,
+        Counter::FftLinesRadix4,
+        Counter::FftLinesReal,
         Counter::Fft3Transforms,
         Counter::FftFlops,
         Counter::FftGatherScatterBytes,
@@ -68,6 +74,8 @@ impl Counter {
             Counter::FftLinesTrivial => "fft_lines_trivial",
             Counter::FftLinesRadix2 => "fft_lines_radix2",
             Counter::FftLinesBluestein => "fft_lines_bluestein",
+            Counter::FftLinesRadix4 => "fft_lines_radix4",
+            Counter::FftLinesReal => "fft_lines_real",
             Counter::Fft3Transforms => "fft3_transforms",
             Counter::FftFlops => "fft_flops",
             Counter::FftGatherScatterBytes => "fft_gather_scatter_bytes",

@@ -29,6 +29,19 @@ impl KbProjector {
         (-q * q * self.rb * self.rb / 2.0).exp()
     }
 
+    /// [`KbProjector::fourier`] over a whole `|k+G|` batch, matching the
+    /// scalar form bit-for-bit (same evaluation order). Projector
+    /// assembly calls this once per atom over the full planewave list,
+    /// so the tight loop (rather than npw closure dispatches with the
+    /// width refetched each time) is worth having.
+    pub fn fourier_batch(&self, qs: &[f64], out: &mut [f64]) {
+        assert_eq!(qs.len(), out.len(), "fourier_batch: length mismatch");
+        let rb = self.rb;
+        for (o, &q) in out.iter_mut().zip(qs) {
+            *o = (-q * q * rb * rb / 2.0).exp();
+        }
+    }
+
     /// True if the projector contributes (nonzero strength).
     pub fn is_active(&self) -> bool {
         self.e_kb != 0.0
@@ -52,6 +65,17 @@ mod tests {
         let narrow = KbProjector { rb: 0.5, e_kb: 1.0 };
         let wide = KbProjector { rb: 2.0, e_kb: 1.0 };
         assert!(wide.fourier(2.0) < narrow.fourier(2.0));
+    }
+
+    #[test]
+    fn batch_matches_scalar_bit_for_bit() {
+        let p = KbProjector { rb: 1.3, e_kb: 2.0 };
+        let qs: Vec<f64> = (0..257).map(|i| i as f64 * 0.037).collect();
+        let mut out = vec![0.0; qs.len()];
+        p.fourier_batch(&qs, &mut out);
+        for (&q, &b) in qs.iter().zip(&out) {
+            assert_eq!(p.fourier(q), b, "q = {q}");
+        }
     }
 
     #[test]

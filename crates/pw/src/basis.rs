@@ -218,15 +218,81 @@ impl PwBasis {
         let inv_vol = 1.0 / self.grid.volume();
         for (idx, v) in out_g.iter_mut().enumerate() {
             let (ix, iy, iz) = self.grid.coords(idx);
-            let g = self.grid.g_vector(ix, iy, iz);
-            let q = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
-            let mut acc = c64::ZERO;
-            for (a, r) in positions.iter().enumerate() {
-                let phase = -(g[0] * r[0] + g[1] * r[1] + g[2] * r[2]);
-                acc = acc.mul_add(c64::real(form(a, q)), c64::cis(phase));
-            }
-            *v = acc.scale(inv_vol);
+            *v = self.lattice_sum_point(ix, iy, iz, positions, &form, inv_vol);
         }
+    }
+
+    /// Packed-half counterpart of [`PwBasis::lattice_sum`]: real form
+    /// factors make `F(−G) = conj(F(G))`, so a real-field synthesis only
+    /// needs the non-redundant x half. Fills `out_g` in the
+    /// `ls3df_fft::Fft3r` packed layout (`ix` in `0..n1/2+1`, x fastest)
+    /// — roughly half the structure-factor work of the full sweep.
+    ///
+    /// Nyquist caveat: for even `n2`/`n3`, a bin on a y/z Nyquist plane
+    /// and its negation share the *same-sign* Nyquist frequency, so the
+    /// true `F` there is not exactly `conj` of the kept bin (the phase
+    /// `e^{−iG_Nyq·R}` does not conjugate). The two planewaves alias to
+    /// conjugate exponentials on the grid, so storing the Hermitian
+    /// average `(F(G) + conj(F(−G)))/2` reproduces the complex path's
+    /// real-part projection exactly. Only those planes pay the second
+    /// structure-factor evaluation.
+    pub fn lattice_sum_packed<F: Fn(usize, f64) -> f64>(
+        &self,
+        positions: &[[f64; 3]],
+        form: F,
+        out_g: &mut [c64],
+    ) {
+        let [n1, n2, n3] = self.grid.dims;
+        let h1 = n1 / 2 + 1;
+        assert_eq!(out_g.len(), h1 * n2 * n3, "lattice_sum_packed: length");
+        let inv_vol = 1.0 / self.grid.volume();
+        // x-edge bins (ix = 0, and n1/2 for even n1) keep both members
+        // of each ± pair in the packed array, so only interior ix bins
+        // on a y/z Nyquist plane need the symmetrized average.
+        let x_edge = |ix: usize| ix == 0 || (n1 % 2 == 0 && ix == n1 / 2);
+        let mut v = out_g.iter_mut();
+        for iz in 0..n3 {
+            for iy in 0..n2 {
+                let nyq_plane = (n2 % 2 == 0 && iy == n2 / 2) || (n3 % 2 == 0 && iz == n3 / 2);
+                for ix in 0..h1 {
+                    let mut val = self.lattice_sum_point(ix, iy, iz, positions, &form, inv_vol);
+                    if nyq_plane && !x_edge(ix) {
+                        let mirror = self.lattice_sum_point(
+                            n1 - ix,
+                            (n2 - iy) % n2,
+                            (n3 - iz) % n3,
+                            positions,
+                            &form,
+                            inv_vol,
+                        );
+                        val = (val + mirror.conj()).scale(0.5);
+                    }
+                    *v.next().expect("length asserted above") = val;
+                }
+            }
+        }
+    }
+
+    /// One structure-factor-weighted reciprocal-space point (shared by the
+    /// full and packed sweeps so both produce bit-identical values).
+    #[inline]
+    fn lattice_sum_point<F: Fn(usize, f64) -> f64>(
+        &self,
+        ix: usize,
+        iy: usize,
+        iz: usize,
+        positions: &[[f64; 3]],
+        form: &F,
+        inv_vol: f64,
+    ) -> c64 {
+        let g = self.grid.g_vector(ix, iy, iz);
+        let q = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
+        let mut acc = c64::ZERO;
+        for (a, r) in positions.iter().enumerate() {
+            let phase = -(g[0] * r[0] + g[1] * r[1] + g[2] * r[2]);
+            acc = acc.mul_add(c64::real(form(a, q)), c64::cis(phase));
+        }
+        acc.scale(inv_vol)
     }
 }
 

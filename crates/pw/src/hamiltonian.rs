@@ -48,6 +48,43 @@ impl NonlocalPotential {
         e_kb: &[f64],
         k: [f64; 3],
     ) -> Self {
+        Self::new_batched_at_k(
+            basis,
+            positions,
+            |a, qs, out| {
+                for (o, &q) in out.iter_mut().zip(qs) {
+                    *o = form(a, q);
+                }
+            },
+            e_kb,
+            k,
+        )
+    }
+
+    /// Γ-point convenience wrapper over
+    /// [`NonlocalPotential::new_batched_at_k`].
+    pub fn new_batched<F: Fn(usize, &[f64], &mut [f64])>(
+        basis: &PwBasis,
+        positions: &[[f64; 3]],
+        form_batch: F,
+        e_kb: &[f64],
+    ) -> Self {
+        Self::new_batched_at_k(basis, positions, form_batch, e_kb, [0.0; 3])
+    }
+
+    /// [`NonlocalPotential::new_at_k`] with a *batched* radial form: the
+    /// closure fills the form factor for a whole `|k+G|` list per atom
+    /// (e.g. `KbProjector::fourier_batch`), letting the radial evaluation
+    /// run as one tight vectorizable loop. The `|k+G|` magnitudes are
+    /// hoisted out of the per-atom loop, so the npw square roots are paid
+    /// once instead of once per atom.
+    pub fn new_batched_at_k<F: Fn(usize, &[f64], &mut [f64])>(
+        basis: &PwBasis,
+        positions: &[[f64; 3]],
+        form_batch: F,
+        e_kb: &[f64],
+        k: [f64; 3],
+    ) -> Self {
         assert_eq!(positions.len(), e_kb.len());
         let active: Vec<usize> = (0..positions.len()).filter(|&a| e_kb[a] != 0.0).collect();
         let npw = basis.len();
@@ -55,17 +92,27 @@ impl NonlocalPotential {
         // alloc-audit: projector assembly — once per Hamiltonian geometry,
         // never inside the CG loop.
         let mut energies = Vec::with_capacity(active.len());
+        let qs: Vec<f64> = basis
+            .g_vectors()
+            .iter()
+            .map(|g| {
+                let kg = [g[0] + k[0], g[1] + k[1], g[2] + k[2]];
+                (kg[0] * kg[0] + kg[1] * kg[1] + kg[2] * kg[2]).sqrt()
+            })
+            .collect();
+        // alloc-audit: per-geometry staging for the batched radial form
+        // factors — reused across atoms, freed before the CG loop starts.
+        let mut radial = vec![0.0_f64; npw];
         for (row, &a) in active.iter().enumerate() {
             let r_a = positions[a];
             let p = projectors.row_mut(row);
+            form_batch(a, &qs, &mut radial);
             let mut norm2 = 0.0;
             for (i, g) in basis.g_vectors().iter().enumerate() {
                 let kg = [g[0] + k[0], g[1] + k[1], g[2] + k[2]];
-                let q = (kg[0] * kg[0] + kg[1] * kg[1] + kg[2] * kg[2]).sqrt();
-                let radial = form(a, q);
                 let phase = -(kg[0] * r_a[0] + kg[1] * r_a[1] + kg[2] * r_a[2]);
-                p[i] = c64::cis(phase).scale(radial);
-                norm2 += radial * radial;
+                p[i] = c64::cis(phase).scale(radial[i]);
+                norm2 += radial[i] * radial[i];
             }
             let inv = 1.0 / norm2.sqrt().max(1e-300);
             for v in p.iter_mut() {

@@ -4,36 +4,60 @@
 //! `V_H(G) = 4π·ρ(G)/|G|²`, with the `G = 0` component set to zero
 //! (jellium convention for charge-neutral cells).
 
-use ls3df_fft::{Fft3, Fft3Workspace};
+use ls3df_fft::{Fft3, Fft3Workspace, Fft3r, Fft3rWorkspace};
 use ls3df_grid::{Grid3, RealField};
-use ls3df_math::c64;
+use ls3df_math::{c64, kernel_policy, KernelPolicy};
 use std::sync::Mutex;
 
-/// Scratch one Poisson solve needs (complex grid buffer + FFT scratch).
-struct HartreeScratch {
-    buf: Vec<c64>,
-    fft: Fft3Workspace,
+/// Scratch one Poisson solve needs; the variant matches the solver's
+/// kernel policy (a solver pool never mixes variants).
+enum HartreeScratch {
+    /// Reference path: full complex grid buffer + complex FFT scratch.
+    Complex { buf: Vec<c64>, ws: Fft3Workspace },
+    /// Fast path: packed `(n1/2+1)·n2·n3` spectrum + r2c FFT scratch.
+    Packed { spec: Vec<c64>, ws: Fft3rWorkspace },
 }
 
-/// Cached FFT Poisson solver for one grid geometry: the `Fft3` plan
+/// Cached FFT Poisson solver for one grid geometry: the FFT plans
 /// (including Bluestein filter FFTs) and the reciprocal-space kernel
-/// `4π/(|G|²·N)` are built once at construction, not per solve.
+/// are built once at construction, not per solve.
+///
+/// Under [`KernelPolicy::Fast`] the solve runs through the packed
+/// [`Fft3r`] r2c/c2r transform — ρ and V are real, so only the
+/// non-redundant Hermitian half of the spectrum is ever computed or
+/// scaled. [`KernelPolicy::Reference`] keeps the pre-PR-8 complex-grid
+/// arithmetic bit-for-bit (the golden-digest anchor).
 ///
 /// [`HartreeSolver::solve_into`] is the steady-state GENPOT entry point:
 /// after the first call has warmed the internal scratch pool it performs
-/// no heap allocation.
+/// no heap allocation on either path.
 pub struct HartreeSolver {
     grid: Grid3,
     fft: Fft3,
-    /// `4π/(|G|²·N)` per grid point, `0` in the `G = 0` slot.
+    policy: KernelPolicy,
+    /// Packed r2c plan (fast path only; built either way — plan
+    /// construction is cheap next to the coefficient tables).
+    rfft: Fft3r,
+    /// Reference kernel: `4π/(|G|²·N)` per grid point, `0` at `G = 0`.
     coeffs: Vec<f64>,
+    /// Fast kernel on the packed grid: `4π/|G|²` (no `1/N` — the c2r
+    /// inverse carries the full normalization), `0` at `G = 0`.
+    packed_coeffs: Vec<f64>,
     pool: Mutex<Vec<HartreeScratch>>,
 }
 
 impl HartreeSolver {
-    /// Builds the solver for a grid geometry (plan + kernel, once).
+    /// Builds the solver for a grid geometry (plans + kernels, once)
+    /// under the process-wide kernel policy.
     pub fn new(grid: Grid3) -> Self {
+        Self::new_with(grid, kernel_policy())
+    }
+
+    /// [`HartreeSolver::new`] with an explicit [`KernelPolicy`] — lets
+    /// tests and benches compare both paths in one process.
+    pub fn new_with(grid: Grid3, policy: KernelPolicy) -> Self {
         let fft = Fft3::new(grid.dims[0], grid.dims[1], grid.dims[2]);
+        let rfft = Fft3r::new_with(grid.dims, policy);
         let n = grid.len() as f64;
         let coeffs = (0..grid.len())
             .map(|idx| {
@@ -46,10 +70,29 @@ impl HartreeSolver {
                 }
             })
             .collect();
+        // Packed layout: ix in 0..n1/2+1 (the kept Hermitian half), with
+        // the same (iy, iz) sweep as the full grid, x fastest.
+        let h1 = rfft.packed_nx();
+        let mut packed_coeffs = Vec::with_capacity(rfft.packed_len());
+        for iz in 0..grid.dims[2] {
+            for iy in 0..grid.dims[1] {
+                for ix in 0..h1 {
+                    let g2 = grid.g2(ix, iy, iz);
+                    packed_coeffs.push(if g2 == 0.0 {
+                        0.0
+                    } else {
+                        4.0 * std::f64::consts::PI / g2
+                    });
+                }
+            }
+        }
         HartreeSolver {
             grid,
             fft,
+            policy,
+            rfft,
             coeffs,
+            packed_coeffs,
             pool: Mutex::new(Vec::new()),
         }
     }
@@ -73,26 +116,47 @@ impl HartreeSolver {
         ls3df_obs::counter_add(ls3df_obs::Counter::HartreeSolves, 1);
         let scratch = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop();
         // alloc-audit: pool warmup only — steady state reuses the scratch.
-        let mut scratch = scratch.unwrap_or_else(|| HartreeScratch {
-            buf: vec![c64::ZERO; self.grid.len()],
-            fft: self.fft.workspace(),
+        let mut scratch = scratch.unwrap_or_else(|| match self.policy {
+            KernelPolicy::Reference => HartreeScratch::Complex {
+                buf: vec![c64::ZERO; self.grid.len()],
+                ws: self.fft.workspace(),
+            },
+            KernelPolicy::Fast => HartreeScratch::Packed {
+                spec: vec![c64::ZERO; self.rfft.packed_len()],
+                ws: self.rfft.workspace(),
+            },
         });
-        for (b, &r) in scratch.buf.iter_mut().zip(rho.as_slice()) {
-            *b = c64::real(r);
-        }
-        self.fft.forward_with(&mut scratch.buf, &mut scratch.fft);
-        for (v, &k) in scratch.buf.iter_mut().zip(&self.coeffs) {
-            // k = 0 in the G = 0 slot projects out the mean (jellium),
-            // matching the branch in hartree_potential_with exactly
-            // (x·0 = 0 for the finite FFT outputs here).
-            *v = v.scale(k);
-        }
-        self.fft.inverse_with(&mut scratch.buf, &mut scratch.fft);
-        // inverse includes 1/N, but the kernel already divided by N above;
-        // compensate.
-        let n = self.grid.len() as f64;
-        for (o, v) in out.as_mut_slice().iter_mut().zip(&scratch.buf) {
-            *o = v.re * n;
+        match &mut scratch {
+            HartreeScratch::Complex { buf, ws } => {
+                for (b, &r) in buf.iter_mut().zip(rho.as_slice()) {
+                    *b = c64::real(r);
+                }
+                self.fft.forward_with(buf, ws);
+                for (v, &k) in buf.iter_mut().zip(&self.coeffs) {
+                    // k = 0 in the G = 0 slot projects out the mean
+                    // (jellium), matching the branch in
+                    // hartree_potential_with exactly (x·0 = 0 for the
+                    // finite FFT outputs here).
+                    *v = v.scale(k);
+                }
+                self.fft.inverse_with(buf, ws);
+                // inverse includes 1/N, but the kernel already divided
+                // by N above; compensate.
+                let n = self.grid.len() as f64;
+                for (o, v) in out.as_mut_slice().iter_mut().zip(&*buf) {
+                    *o = v.re * n;
+                }
+            }
+            HartreeScratch::Packed { spec, ws } => {
+                self.rfft.forward(rho.as_slice(), spec, ws);
+                for (v, &k) in spec.iter_mut().zip(&self.packed_coeffs) {
+                    // Packed kernel has no 1/N: forward leaves N·ρ(G) in
+                    // the bins and the c2r inverse carries the full 1/N,
+                    // so scaling by 4π/G² alone lands on V_H exactly.
+                    *v = v.scale(k);
+                }
+                self.rfft.inverse(spec, out.as_mut_slice(), ws);
+            }
         }
         self.pool
             .lock()
@@ -206,6 +270,29 @@ mod tests {
             out.diff(&again).max_abs() == 0.0,
             "solve vs solve_into drifted"
         );
+    }
+
+    #[test]
+    fn packed_fast_path_matches_reference_path() {
+        // Even, odd, and mixed-parity x-extents: the packed r2c trick
+        // (even n1) and the odd-length fallback must both agree with the
+        // complex-grid reference arithmetic to solver tolerance.
+        for dims in [[16usize, 8, 8], [9, 8, 8], [10, 8, 9], [40, 4, 4]] {
+            let grid = Grid3::new(dims, [7.0, 5.5, 6.0]);
+            let rho = RealField::from_fn(grid.clone(), |r| {
+                (r[0] * 0.9).sin() + 0.3 * (r[1] * 1.1).cos() * (r[2] * 0.5).sin()
+            });
+            let fast = HartreeSolver::new_with(grid.clone(), KernelPolicy::Fast);
+            let reference = HartreeSolver::new_with(grid.clone(), KernelPolicy::Reference);
+            let mut v_fast = RealField::zeros(grid.clone());
+            let mut v_ref = RealField::zeros(grid);
+            // Twice: the second call exercises the warmed packed pool.
+            fast.solve_into(&rho, &mut v_fast);
+            fast.solve_into(&rho, &mut v_fast);
+            reference.solve_into(&rho, &mut v_ref);
+            let diff = v_fast.diff(&v_ref).max_abs();
+            assert!(diff < 1e-10, "dims {dims:?}: fast vs reference {diff}");
+        }
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub use hartree::HartreeSolver;
 pub use kpoints::{band_structure, gap_from_bands, monkhorst_pack, scf_kpoints, KPoint};
 pub use mixing::{Mixer, MixerState};
 pub use potential::{
-    effective_potential, effective_potential_with, initial_density, ionic_potential, PwAtom,
+    effective_potential, effective_potential_with, initial_density, ionic_potential,
+    ionic_potential_with, PwAtom,
 };
 pub use realspace_nl::{apply_block_realspace, RealSpaceNonlocal};
 pub use scf::{grid_for, scf, DftSystem, ScfOptions, ScfResult, ScfStep, SolverMethod};

@@ -10,9 +10,9 @@
 //!   damping that prevents charge sloshing in large cells;
 //! * [`Mixer::Pulay`] — DIIS over the potential-residual history.
 
-use ls3df_fft::Fft3;
+use ls3df_fft::{Fft3, Fft3r, Fft3rWorkspace};
 use ls3df_grid::RealField;
-use ls3df_math::{c64, Matrix};
+use ls3df_math::{c64, kernel_policy, KernelPolicy, Matrix};
 
 /// Mixing scheme selector.
 #[derive(Clone, Debug)]
@@ -39,26 +39,51 @@ pub enum Mixer {
     },
 }
 
+/// Fast-path Kerker engine, cached per grid geometry: the residual is
+/// real, so the damping round-trip runs through the packed r2c/c2r
+/// transform on the non-redundant half spectrum.
+struct KerkerPacked {
+    grid: ls3df_grid::Grid3,
+    rfft: Fft3r,
+    ws: Fft3rWorkspace,
+    /// `α·G²/(G²+q₀²)` on the packed `(n1/2+1)·n2·n3` layout.
+    factors: Vec<f64>,
+    /// Real residual staging (`V_out − V_in`) and its packed spectrum.
+    diff: Vec<f64>,
+    spec: Vec<c64>,
+}
+
 /// Stateful mixer bound to one SCF run.
 pub struct MixerState {
     scheme: Mixer,
+    policy: KernelPolicy,
     /// (input potential, residual = output − input) history for Pulay.
     history: Vec<(Vec<f64>, Vec<f64>)>,
     /// Kerker damping factors `α·G²/(G²+q₀²)` cached per grid geometry —
     /// the reciprocal-space sweep then reads a flat table instead of
-    /// recomputing `coords`/`g2` per point per iteration.
+    /// recomputing `coords`/`g2` per point per iteration. (Reference
+    /// path; the fast path caches [`KerkerPacked`] instead.)
     kerker: Option<(ls3df_grid::Grid3, Vec<f64>)>,
-    /// Complex scratch reused across the Kerker FFT round-trips.
+    kerker_packed: Option<KerkerPacked>,
+    /// Complex scratch reused across the reference Kerker round-trips.
     scratch: Vec<c64>,
 }
 
 impl MixerState {
-    /// Creates the state for a scheme.
+    /// Creates the state for a scheme under the process-wide kernel
+    /// policy.
     pub fn new(scheme: Mixer) -> Self {
+        Self::new_with(scheme, kernel_policy())
+    }
+
+    /// [`MixerState::new`] with an explicit [`KernelPolicy`].
+    pub fn new_with(scheme: Mixer, policy: KernelPolicy) -> Self {
         MixerState {
             scheme,
+            policy,
             history: Vec::new(),
             kerker: None,
+            kerker_packed: None,
             scratch: Vec::new(),
         }
     }
@@ -73,6 +98,51 @@ impl MixerState {
                 let mut v = v_in.clone();
                 let diff = v_out.diff(v_in);
                 v.add_scaled(alpha, &diff);
+                v
+            }
+            Mixer::Kerker { alpha, q0 } if self.policy == KernelPolicy::Fast => {
+                let grid = v_in.grid();
+                if !matches!(&self.kerker_packed, Some(kp) if kp.grid == *grid) {
+                    let rfft = Fft3r::new_with(grid.dims, self.policy);
+                    let h1 = rfft.packed_nx();
+                    let mut factors = Vec::with_capacity(rfft.packed_len());
+                    for iz in 0..grid.dims[2] {
+                        for iy in 0..grid.dims[1] {
+                            for ix in 0..h1 {
+                                let g2 = grid.g2(ix, iy, iz);
+                                let damp = if g2 == 0.0 { 1.0 } else { g2 / (g2 + q0 * q0) };
+                                factors.push(alpha * damp);
+                            }
+                        }
+                    }
+                    self.kerker_packed = Some(KerkerPacked {
+                        grid: grid.clone(),
+                        ws: rfft.workspace(),
+                        spec: vec![c64::ZERO; rfft.packed_len()],
+                        diff: vec![0.0; grid.len()],
+                        rfft,
+                        factors,
+                    });
+                }
+                let Some(kp) = &mut self.kerker_packed else {
+                    unreachable!("cache built above")
+                };
+                for (d, (&o, &i)) in kp
+                    .diff
+                    .iter_mut()
+                    .zip(v_out.as_slice().iter().zip(v_in.as_slice()))
+                {
+                    *d = o - i;
+                }
+                kp.rfft.forward(&kp.diff, &mut kp.spec, &mut kp.ws);
+                for (v, &k) in kp.spec.iter_mut().zip(&kp.factors) {
+                    *v = v.scale(k);
+                }
+                kp.rfft.inverse(&mut kp.spec, &mut kp.diff, &mut kp.ws);
+                let mut v = v_in.clone();
+                for (o, &d) in v.as_mut_slice().iter_mut().zip(&kp.diff) {
+                    *o += d;
+                }
                 v
             }
             Mixer::Kerker { alpha, q0 } => {
@@ -244,6 +314,32 @@ mod tests {
         assert!((damp_long - expect_long).abs() < 1e-10);
         assert!((damp_short - expect_short).abs() < 1e-10);
         assert!(damp_long < damp_short);
+    }
+
+    #[test]
+    fn kerker_fast_path_matches_reference() {
+        // Packed-residual Kerker vs the complex-grid reference, across
+        // even/odd/mixed x-extents, reusing one mixer so the second grid
+        // exercises the cache-rebuild path.
+        for dims in [[16usize, 8, 8], [9, 8, 8], [10, 8, 9]] {
+            let grid = Grid3::new(dims, [6.0, 5.0, 5.5]);
+            let fft = Fft3::new(dims[0], dims[1], dims[2]);
+            let v_in = RealField::from_fn(grid.clone(), |r| (r[0] * 0.7).sin() + 0.1 * r[1]);
+            let v_out =
+                RealField::from_fn(grid.clone(), |r| (r[0] * 0.7).sin() + (r[2] * 1.3).cos());
+            let scheme = Mixer::Kerker {
+                alpha: 0.6,
+                q0: 0.8,
+            };
+            let mut fast = MixerState::new_with(scheme.clone(), KernelPolicy::Fast);
+            let mut reference = MixerState::new_with(scheme, KernelPolicy::Reference);
+            // Twice: second mix runs on the warmed packed cache.
+            let _ = fast.mix(&v_in, &v_out, &fft);
+            let vf = fast.mix(&v_in, &v_out, &fft);
+            let vr = reference.mix(&v_in, &v_out, &fft);
+            let diff = vf.diff(&vr).max_abs();
+            assert!(diff < 1e-11, "dims {dims:?}: fast vs reference {diff}");
+        }
     }
 
     #[test]

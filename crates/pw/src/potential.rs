@@ -2,8 +2,9 @@
 //! self-consistent effective potential `V_eff = V_ion + V_H[ρ] + V_xc[ρ]`.
 
 use crate::{hartree, xc, PwBasis};
+use ls3df_fft::Fft3r;
 use ls3df_grid::RealField;
-use ls3df_math::c64;
+use ls3df_math::{c64, kernel_policy, KernelPolicy};
 use ls3df_pseudo::LocalPotential;
 
 /// One atom as the planewave engine sees it: position + pseudopotential
@@ -23,14 +24,61 @@ pub struct PwAtom {
 /// Builds the total ionic local potential `V_ion(r)` on the basis grid by
 /// reciprocal-space assembly (structure factor × form factor).
 pub fn ionic_potential(basis: &PwBasis, atoms: &[PwAtom]) -> RealField {
+    ionic_potential_with(basis, atoms, kernel_policy())
+}
+
+/// [`ionic_potential`] under an explicit [`KernelPolicy`] — the in-process
+/// A/B entry point for the fast-vs-reference tolerance gate
+/// (`tests/kernel_tol.rs`); production callers use [`ionic_potential`],
+/// which latches the policy from `LS3DF_KERNELS`.
+pub fn ionic_potential_with(basis: &PwBasis, atoms: &[PwAtom], policy: KernelPolicy) -> RealField {
+    synthesize_real_field_with(basis, atoms, |a, q| atoms[a].local.fourier(q), policy)
+}
+
+/// Synthesizes the real field `Σ_G F(G)e^{iG·r}` from a per-atom form
+/// factor. Real form factors make the spectrum Hermitian, so the fast
+/// path assembles only the packed x half and runs one c2r transform —
+/// about half the structure-factor and transform work of the
+/// complex-grid reference sweep.
+fn synthesize_real_field<F: Fn(usize, f64) -> f64>(
+    basis: &PwBasis,
+    atoms: &[PwAtom],
+    form: F,
+) -> RealField {
+    synthesize_real_field_with(basis, atoms, form, kernel_policy())
+}
+
+fn synthesize_real_field_with<F: Fn(usize, f64) -> f64>(
+    basis: &PwBasis,
+    atoms: &[PwAtom],
+    form: F,
+    policy: KernelPolicy,
+) -> RealField {
     let grid = basis.grid().clone();
     let positions: Vec<[f64; 3]> = atoms.iter().map(|a| a.pos).collect();
-    let mut vg = vec![c64::ZERO; grid.len()];
-    basis.lattice_sum(&positions, |a, q| atoms[a].local.fourier(q), &mut vg);
-    basis.fft().inverse(&mut vg);
-    // inverse carries 1/N, but V(r) = Σ_G V(G)e^{iGr} needs the plain sum.
     let n = grid.len() as f64;
-    let data: Vec<f64> = vg.iter().map(|v| v.re * n).collect();
+    let data: Vec<f64> = match policy {
+        KernelPolicy::Fast => {
+            let rfft = Fft3r::new_with(grid.dims, policy);
+            let mut spec = vec![c64::ZERO; rfft.packed_len()];
+            basis.lattice_sum_packed(&positions, form, &mut spec);
+            let mut ws = rfft.workspace();
+            let mut out = vec![0.0_f64; grid.len()];
+            rfft.inverse(&mut spec, &mut out, &mut ws);
+            // inverse carries 1/N; the plain sum needs the ×N back.
+            for v in &mut out {
+                *v *= n;
+            }
+            out
+        }
+        KernelPolicy::Reference => {
+            let mut vg = vec![c64::ZERO; grid.len()];
+            basis.lattice_sum(&positions, form, &mut vg);
+            basis.fft().inverse(&mut vg);
+            // inverse carries 1/N, but Σ_G F(G)e^{iGr} needs the plain sum.
+            vg.iter().map(|v| v.re * n).collect()
+        }
+    };
     RealField::from_vec(grid, data)
 }
 
@@ -39,27 +87,24 @@ pub fn ionic_potential(basis: &PwBasis, atoms: &[PwAtom]) -> RealField {
 /// reciprocal space (so the periodic images are exact), then clipped to be
 /// non-negative and rescaled to the exact electron count.
 pub fn initial_density(basis: &PwBasis, atoms: &[PwAtom], width: f64) -> RealField {
-    let grid = basis.grid().clone();
-    let positions: Vec<[f64; 3]> = atoms.iter().map(|a| a.pos).collect();
-    let mut rg = vec![c64::ZERO; grid.len()];
-    basis.lattice_sum(
-        &positions,
-        |a, q| atoms[a].local.z * (-q * q * width * width / 4.0).exp(),
-        &mut rg,
-    );
-    basis.fft().inverse(&mut rg);
-    let n = grid.len() as f64;
-    let mut data: Vec<f64> = rg.iter().map(|v| (v.re * n).max(0.0)).collect();
+    let mut rho = synthesize_real_field(basis, atoms, |a, q| {
+        atoms[a].local.z * (-q * q * width * width / 4.0).exp()
+    });
+    let grid = rho.grid().clone();
+    let data = rho.as_mut_slice();
+    for v in data.iter_mut() {
+        *v = v.max(0.0);
+    }
     // Rescale to the exact electron count after clipping.
     let n_elec: f64 = atoms.iter().map(|a| a.local.z).sum();
     let current: f64 = data.iter().sum::<f64>() * grid.dv();
     if current > 1e-12 {
         let s = n_elec / current;
-        for v in &mut data {
+        for v in data.iter_mut() {
             *v *= s;
         }
     }
-    RealField::from_vec(grid, data)
+    rho
 }
 
 /// Energy bookkeeping pieces of one effective-potential evaluation.
@@ -203,6 +248,34 @@ mod tests {
         let dv = basis.grid().dv();
         let manual: f64 = rho.as_slice().iter().map(|&r| r * xc::v_xc(r)).sum::<f64>() * dv;
         assert!((manual - en.vxc_rho).abs() < 1e-10);
+    }
+
+    #[test]
+    fn packed_synthesis_matches_reference() {
+        // Ionic-potential form factor, even and odd x extents: the packed
+        // half-spectrum c2r assembly must agree with the complex-grid
+        // reference to synthesis tolerance.
+        for grid in [
+            Grid3::cubic(12, 8.0),
+            Grid3::new([9, 12, 10], [8.0, 8.0, 8.0]),
+        ] {
+            let basis = PwBasis::new(grid, 1.5);
+            let atoms = test_atoms();
+            let fast = synthesize_real_field_with(
+                &basis,
+                &atoms,
+                |a, q| atoms[a].local.fourier(q),
+                KernelPolicy::Fast,
+            );
+            let reference = synthesize_real_field_with(
+                &basis,
+                &atoms,
+                |a, q| atoms[a].local.fourier(q),
+                KernelPolicy::Reference,
+            );
+            let diff = fast.diff(&reference).max_abs();
+            assert!(diff < 1e-10, "packed vs reference synthesis: {diff}");
+        }
     }
 
     #[test]

@@ -173,7 +173,7 @@ pub fn apply_block_realspace(
     let g2 = basis.g2();
     let v = v_local.as_slice();
     let mut hpsi = Matrix::zeros(nb, npw);
-    // Audited reduction: one band per fixed-size chunk (npw, a problem
+    // reduce-audit: one band per fixed-size chunk (npw, a problem
     // dimension — never thread count); the per-band projector sums run
     // sequentially inside the closure in projector order, so output is
     // bit-identical across LS3DF_THREADS.

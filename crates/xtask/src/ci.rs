@@ -30,15 +30,20 @@
 //!    buffers, and sign-alternating routed through the `FragmentScheme`
 //!    trait must reproduce the pre-refactor SCF density digest
 //!    bit-for-bit at LS3DF_THREADS ∈ {1, 2, max} (subprocess matrix).
-//! 9. `cargo test -p xtask -q` — the lint engine's own gate: lexer and
-//!    rule unit tests plus the fixture corpus in
-//!    `crates/xtask/tests/fixtures/` (known-positive snippets must fire
-//!    exactly their golden violations; known-negative snippets — unsafe
-//!    in string literals, `Ordering::` in doc comments, raw strings —
-//!    must stay silent).
-//! 10. `cargo xtask schedules` (in-process) — pool suite + SCF digest
+//! 9. `cargo test -p ls3df --test kernel_tol -q` under the same two
+//!    scheduling regimes — the kernel tolerance gate: the fast-kernel
+//!    arithmetic (`LS3DF_KERNELS=fast`: packed r2c transforms, radix-4
+//!    butterflies, the GEMM microkernel) must stay within the pinned
+//!    per-kernel bounds of the reference arithmetic (DESIGN.md §6d).
+//! 10. `cargo test -p xtask -q` — the lint engine's own gate: lexer and
+//!     rule unit tests plus the fixture corpus in
+//!     `crates/xtask/tests/fixtures/` (known-positive snippets must fire
+//!     exactly their golden violations; known-negative snippets — unsafe
+//!     in string literals, `Ordering::` in doc comments, raw strings —
+//!     must stay silent).
+//! 11. `cargo xtask schedules` (in-process) — pool suite + SCF digest
 //!     matrix under every adversarial work-stealing schedule.
-//! 11. `cargo xtask miri` (in-process) — the curated unsafe-core filter
+//! 12. `cargo xtask miri` (in-process) — the curated unsafe-core filter
 //!     under Miri; reported as a loud SKIP when the nightly component is
 //!     unavailable (the offline container cannot install it).
 //!
@@ -71,7 +76,7 @@ pub fn run(root: &Path) -> bool {
     let mut all_ok = true;
     let mut summary: Vec<(String, StepResult, f64)> = Vec::new();
 
-    let steps: [(&str, &[&str]); 8] = [
+    let steps: [(&str, &[&str]); 9] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -134,6 +139,10 @@ pub fn run(root: &Path) -> bool {
                 "scheme_digest",
                 "-q",
             ],
+        ),
+        (
+            "kernel-tol",
+            &["test", "-p", "ls3df", "--test", "kernel_tol", "-q"],
         ),
     ];
 
@@ -219,6 +228,28 @@ pub fn run(root: &Path) -> bool {
     // (the digest test pins its own LS3DF_THREADS matrix).
     for (name, args) in [steps[4], steps[5], steps[6], steps[7]] {
         let (res, secs) = run_cargo_step(root, name, args, &[]);
+        if matches!(res, StepResult::Fail) {
+            all_ok = false;
+        }
+        summary.push((format!("cargo {name}"), res, secs));
+    }
+
+    // The kernel tolerance gate (tests/kernel_tol.rs): the fast-kernel
+    // arithmetic (packed r2c 3-D transform, radix-4 butterflies, GEMM
+    // microkernel, lane-split dots) must stay within its pinned
+    // per-kernel bounds of the reference arithmetic. Runs under both
+    // scheduling regimes — the kernels must be schedule-independent as
+    // well as policy-gated.
+    let (_, ktol_args) = steps[8];
+    let ktol_envs: [(&str, StepEnv<'_>); 2] = [
+        (
+            "kernel-tol [LS3DF_THREADS=1]",
+            &[("LS3DF_THREADS", Some("1"))],
+        ),
+        ("kernel-tol [pool]", &[("LS3DF_THREADS", None)]),
+    ];
+    for (name, env) in ktol_envs {
+        let (res, secs) = run_cargo_step(root, name, ktol_args, env);
         if matches!(res, StepResult::Fail) {
             all_ok = false;
         }

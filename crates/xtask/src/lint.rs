@@ -59,10 +59,11 @@
 //!   matrix bit-identity) holds because every reduction is a fixed-order
 //!   tree (`ls3df_pw::density`, the ordered-`collect` house pattern) —
 //!   this rule keeps it honest *by construction*, not just by test.
-//!   Escape: a `// reduce-audit:` (or legacy `// Audited reduction:`)
-//!   comment within 8 lines above the parallel source or the offending
-//!   token — the wider window because determinism arguments are written
-//!   as paragraphs.
+//!   Escape: a `// reduce-audit:` comment within 8 lines above the
+//!   parallel source or the offending token — the wider window because
+//!   determinism arguments are written as paragraphs. (The pre-PR-6
+//!   `// Audited reduction:` phrasing is no longer honored; every site
+//!   has been converted.)
 //! * `hash-iter` — no `HashMap`/`HashSet` in the physics crates
 //!   (`crates/{core,pw,fft,math,grid,atoms,pseudo}/src`): their iteration
 //!   order is randomized per process, so anything they feed — a float
@@ -709,10 +710,10 @@ fn ordering_justification(f: &FileCtx<'_>, line: usize) -> Option<String> {
     None
 }
 
-/// `reduce-audit:` is the canonical escape; `Audited reduction:` is the
-/// pre-existing house phrasing at the already-reviewed sites.
+/// `reduce-audit:` is the one and only escape phrasing; the legacy
+/// `Audited reduction:` form was retired once the last sites converted.
 fn reduce_audited(f: &FileCtx<'_>, line: usize) -> bool {
-    f.window_has(line, 8, "reduce-audit:") || f.window_has(line, 8, "Audited reduction:")
+    f.window_has(line, 8, "reduce-audit:")
 }
 
 fn rule_float_reduce(f: &FileCtx<'_>, out: &mut FileReport) {
@@ -1269,8 +1270,12 @@ mod tests {
         // Disjoint-output for_each without compound assignment is clean.
         let ok = "fn f() { rows.par_chunks_mut(n).for_each(|r| { fill(r); }); }";
         assert!(!rules_hit(path, ok).contains(&"float-reduce"));
-        // The audited legacy phrasing is honored within its 8-line window.
-        let ok = "// Audited reduction: disjoint rows, sequential inner loops\n\
+        // The retired legacy phrasing no longer escapes anything.
+        let bad = "// Audited reduction: disjoint rows, sequential inner loops\n\
+                   fn f() { rows.par_chunks_mut(n).for_each(|r| { r[0] += 1.0; }); }";
+        assert!(rules_hit(path, bad).contains(&"float-reduce"));
+        // The canonical phrasing is honored within its 8-line window.
+        let ok = "// reduce-audit: disjoint rows, sequential inner loops\n\
                   fn f() { rows.par_chunks_mut(n).for_each(|r| { r[0] += 1.0; }); }";
         assert!(!rules_hit(path, ok).contains(&"float-reduce"));
         // `+=` inside a *sequential* for_each is out of scope.

@@ -38,10 +38,17 @@ fn audited(xs: &[f64]) -> u64 {
     xs.par_iter().map(|x| x.abs() as u64).sum::<u64>()
 }
 
-fn audited_legacy(rows: &mut [f64], n: usize) {
-    // Audited reduction: rows are disjoint; each inner loop is
+fn audited_chunked(rows: &mut [f64], n: usize) {
+    // reduce-audit: rows are disjoint; each inner loop is
     // sequential, so the combine order is fixed per row.
     rows.par_chunks_mut(n).for_each(|r| {
         r[0] += 1.0;
+    });
+}
+
+fn legacy_phrasing_retired(rows: &mut [f64], n: usize) {
+    // Audited reduction: this pre-PR-6 phrasing no longer escapes.
+    rows.par_chunks_mut(n).for_each(|r| {
+        r[0] += 1.0; //~ ERROR float-reduce
     });
 }

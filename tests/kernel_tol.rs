@@ -1,0 +1,312 @@
+//! Per-kernel tolerance contract between `KernelPolicy::Fast` and
+//! `KernelPolicy::Reference` (see DESIGN.md "Kernel architecture").
+//!
+//! PR policy: the *reference* path is pinned bit-for-bit by the golden
+//! digests (`tests/scheme_digest.rs` children run with
+//! `LS3DF_KERNELS=reference`); the *fast* path (r2c/c2r packing, radix-4
+//! butterflies, lane-split dots, the packed GEMM microkernel) is allowed
+//! to re-round, and THIS file is the contract that says by how much.
+//! Every bound below is a pinned constant — loosening one is a reviewed
+//! decision, not a test tweak. The bounds are deliberately ~100× above
+//! observed worst cases so they fail on algorithmic regressions (a wrong
+//! twiddle, a dropped Nyquist bin), not on benign rounding differences
+//! between build environments.
+//!
+//! Runs under both `LS3DF_THREADS` regimes in CI (`cargo xtask ci`,
+//! `kernel-tol` steps): the fast kernels must meet the same bounds at any
+//! thread count, which they do trivially because their arithmetic is
+//! schedule-independent by construction.
+
+use ls3df::fft::{Fft1d, Fft3, Fft3r, RealFft1d};
+use ls3df::grid::{Grid3, RealField};
+use ls3df::math::{c64, gemm, vec_ops, KernelPolicy, Matrix, Op};
+use ls3df::pseudo::KbProjector;
+use ls3df::pw::{ionic_potential_with, HartreeSolver, Mixer, MixerState, PwAtom, PwBasis};
+use ls3df_pseudo::LocalPotential;
+
+/// Complex 1-D transforms, radix-4/split (fast) vs radix-2 (reference),
+/// per-bin, relative to the spectrum peak.
+const FFT1D_TOL: f64 = 1e-12;
+/// Packed r2c spectrum vs the complex transform of the same real signal.
+const R2C_TOL: f64 = 1e-12;
+/// 3-D packed transform + inverse vs the complex 3-D path, per sample.
+const FFT3R_TOL: f64 = 1e-11;
+/// Hartree potential, packed Poisson solve vs complex reference.
+const HARTREE_TOL: f64 = 1e-10;
+/// Kerker-mixed potential, packed filter vs complex reference.
+const KERKER_TOL: f64 = 1e-11;
+/// Ionic potential, packed half-spectrum synthesis vs complex sweep.
+const SYNTH_TOL: f64 = 1e-10;
+/// GEMM microkernel vs blocked scalar kernel, per element, scaled by k.
+const GEMM_TOL: f64 = 1e-14;
+/// Lane-split dot products vs sequential, scaled by length.
+const DOTC_TOL: f64 = 1e-15;
+
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed | 1;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+}
+
+#[test]
+fn radix4_matches_radix2_every_pow2() {
+    // Every power of two ≤ 1024: below 1024 covers both the even-level
+    // (pure radix-4) and odd-level (radix-4 + one radix-2 stage) shapes.
+    let mut n = 2;
+    while n <= 1024 {
+        let mut next = lcg(0xA11CE ^ n as u64);
+        let x: Vec<c64> = (0..n).map(|_| c64::new(next(), next())).collect();
+        let fast = Fft1d::new_with(n, KernelPolicy::Fast);
+        let reference = Fft1d::new_with(n, KernelPolicy::Reference);
+        for dir in [true, false] {
+            let mut a = x.clone();
+            let mut b = x.clone();
+            if dir {
+                fast.forward(&mut a);
+                reference.forward(&mut b);
+            } else {
+                fast.inverse(&mut a);
+                reference.inverse(&mut b);
+            }
+            let peak = b.iter().map(|v| v.abs()).fold(1.0, f64::max);
+            for (i, (u, v)) in a.iter().zip(&b).enumerate() {
+                let d = (*u - *v).abs();
+                assert!(
+                    d <= FFT1D_TOL * peak,
+                    "n={n} bin {i} dir={dir}: |Δ|={d:e} > {FFT1D_TOL:e}·{peak:e}"
+                );
+            }
+        }
+        n *= 2;
+    }
+}
+
+#[test]
+fn r2c_matches_complex_transform() {
+    for n in [2usize, 6, 8, 16, 40, 54, 64, 100, 128] {
+        let mut next = lcg(0xBEEF ^ n as u64);
+        let x: Vec<f64> = (0..n).map(|_| next()).collect();
+        let rplan = RealFft1d::new_with(n, KernelPolicy::Fast);
+        let mut ws = rplan.workspace();
+        let mut packed = vec![c64::ZERO; rplan.packed_len()];
+        rplan.forward(&x, &mut packed, &mut ws);
+        let mut full: Vec<c64> = x.iter().map(|&v| c64::new(v, 0.0)).collect();
+        Fft1d::new_with(n, KernelPolicy::Reference).forward(&mut full);
+        let peak = full.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (k, (p, f)) in packed.iter().zip(&full).enumerate() {
+            let d = (*p - *f).abs();
+            assert!(
+                d <= R2C_TOL * peak,
+                "n={n} bin {k}: packed vs complex |Δ|={d:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_3d_roundtrip_matches_complex() {
+    for dims in [[12, 12, 12], [16, 8, 8], [10, 9, 8]] {
+        let len = dims[0] * dims[1] * dims[2];
+        let mut next = lcg(0xD1CE ^ len as u64);
+        let x: Vec<f64> = (0..len).map(|_| next()).collect();
+
+        let rfft = Fft3r::new_with(dims, KernelPolicy::Fast);
+        let mut ws = rfft.workspace();
+        let mut spec = vec![c64::ZERO; rfft.packed_len()];
+        rfft.forward(&x, &mut spec, &mut ws);
+        let mut back = vec![0.0_f64; len];
+        rfft.inverse(&mut spec, &mut back, &mut ws);
+
+        let cplan = Fft3::new(dims[0], dims[1], dims[2]);
+        let mut cws = cplan.workspace();
+        let mut full: Vec<c64> = x.iter().map(|&v| c64::new(v, 0.0)).collect();
+        cplan.forward_with(&mut full, &mut cws);
+        cplan.inverse_with(&mut full, &mut cws);
+
+        let peak = x.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        for i in 0..len {
+            let d = (back[i] - full[i].re).abs();
+            assert!(
+                d <= FFT3R_TOL * peak,
+                "dims {dims:?} sample {i}: |Δ|={d:e} > {FFT3R_TOL:e}"
+            );
+        }
+    }
+}
+
+fn test_field(grid: &Grid3) -> RealField {
+    RealField::from_fn(grid.clone(), |r| {
+        (r[0] * 0.7).sin() + (r[1] - 3.0).cos() * (r[2] * 0.3).sin() + 0.2
+    })
+}
+
+#[test]
+fn hartree_fast_within_tolerance() {
+    for dims in [[16, 8, 8], [9, 8, 10]] {
+        let grid = Grid3::new(dims, [8.0, 7.0, 9.0]);
+        let rho = test_field(&grid);
+        let mut fast = RealField::zeros(grid.clone());
+        let mut reference = RealField::zeros(grid.clone());
+        HartreeSolver::new_with(grid.clone(), KernelPolicy::Fast).solve_into(&rho, &mut fast);
+        HartreeSolver::new_with(grid.clone(), KernelPolicy::Reference)
+            .solve_into(&rho, &mut reference);
+        let d = fast.diff(&reference).max_abs();
+        let scale = reference.max_abs().max(1.0);
+        assert!(
+            d <= HARTREE_TOL * scale,
+            "dims {dims:?}: hartree fast vs reference |Δ|={d:e}"
+        );
+    }
+}
+
+#[test]
+fn kerker_fast_within_tolerance() {
+    let dims = [12, 10, 8];
+    let grid = Grid3::new(dims, [6.0, 5.0, 4.0]);
+    let fft = Fft3::new(dims[0], dims[1], dims[2]);
+    let v_in = test_field(&grid);
+    let mut v_out = test_field(&grid);
+    v_out.add_scaled(0.3, &v_in);
+    let scheme = Mixer::Kerker {
+        alpha: 0.6,
+        q0: 0.8,
+    };
+    // Mix twice so the cached-factor path is exercised too.
+    let mut fast_state = MixerState::new_with(scheme.clone(), KernelPolicy::Fast);
+    let mut ref_state = MixerState::new_with(scheme, KernelPolicy::Reference);
+    for _ in 0..2 {
+        let fast = fast_state.mix(&v_in, &v_out, &fft);
+        let reference = ref_state.mix(&v_in, &v_out, &fft);
+        let d = fast.diff(&reference).max_abs();
+        let scale = reference.max_abs().max(1.0);
+        assert!(
+            d <= KERKER_TOL * scale,
+            "kerker fast vs reference |Δ|={d:e}"
+        );
+    }
+}
+
+#[test]
+fn ionic_synthesis_fast_within_tolerance() {
+    let atoms = vec![
+        PwAtom {
+            pos: [2.0, 2.0, 2.0],
+            local: LocalPotential {
+                z: 4.0,
+                rc: 1.0,
+                a: 2.0,
+                w: 0.9,
+            },
+            kb_rb: 1.0,
+            kb_energy: 0.0,
+        },
+        PwAtom {
+            pos: [5.5, 6.0, 1.5],
+            local: LocalPotential {
+                z: 2.0,
+                rc: 1.2,
+                a: 1.0,
+                w: 1.0,
+            },
+            kb_rb: 1.0,
+            kb_energy: 0.0,
+        },
+    ];
+    for grid in [
+        Grid3::cubic(12, 8.0),
+        Grid3::new([10, 12, 9], [8.0, 8.0, 8.0]),
+    ] {
+        let basis = PwBasis::new(grid, 1.5);
+        let fast = ionic_potential_with(&basis, &atoms, KernelPolicy::Fast);
+        let reference = ionic_potential_with(&basis, &atoms, KernelPolicy::Reference);
+        let d = fast.diff(&reference).max_abs();
+        let scale = reference.max_abs().max(1.0);
+        assert!(
+            d <= SYNTH_TOL * scale,
+            "ionic synthesis fast vs reference |Δ|={d:e}"
+        );
+    }
+}
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<c64> {
+    let mut next = lcg(seed);
+    Matrix::from_fn(rows, cols, |_, _| c64::new(next(), next()))
+}
+
+#[test]
+fn gemm_microkernel_within_tolerance() {
+    // Big enough for the microkernel dispatch (m·k·n ≥ 2¹⁸), ragged so
+    // edge panels and the partial bottom strip are covered.
+    for &(m, k, n) in &[(32, 300, 32), (37, 280, 29)] {
+        let a = rand_matrix(m, k, 11 + m as u64);
+        let b = rand_matrix(k, n, 22 + n as u64);
+        let c0 = rand_matrix(m, n, 33);
+        let alpha = c64::new(0.8, -0.2);
+        let beta = c64::new(-0.5, 0.1);
+        let mut fast = c0.clone();
+        let mut reference = c0.clone();
+        gemm::gemm_with(
+            KernelPolicy::Fast,
+            alpha,
+            &a,
+            Op::None,
+            &b,
+            Op::None,
+            beta,
+            &mut fast,
+        );
+        gemm::gemm_with(
+            KernelPolicy::Reference,
+            alpha,
+            &a,
+            Op::None,
+            &b,
+            Op::None,
+            beta,
+            &mut reference,
+        );
+        let tol = GEMM_TOL * k as f64;
+        for i in 0..m {
+            for j in 0..n {
+                let d = (fast[(i, j)] - reference[(i, j)]).abs();
+                let scale = reference[(i, j)].abs().max(1.0);
+                assert!(
+                    d <= tol * scale,
+                    "({i},{j}) of {m}x{k}x{n}: |Δ|={d:e} > {tol:e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_split_dots_within_tolerance() {
+    for len in [5usize, 64, 1001, 4096] {
+        let mut next = lcg(0xD07 ^ len as u64);
+        let x: Vec<c64> = (0..len).map(|_| c64::new(next(), next())).collect();
+        let y: Vec<c64> = (0..len).map(|_| c64::new(next(), next())).collect();
+        let fast = vec_ops::dotc_with(KernelPolicy::Fast, &x, &y);
+        let reference = vec_ops::dotc_with(KernelPolicy::Reference, &x, &y);
+        let d = (fast - reference).abs();
+        let tol = DOTC_TOL * len as f64 * reference.abs().max(1.0);
+        assert!(d <= tol, "len {len}: dotc fast vs reference |Δ|={d:e}");
+    }
+}
+
+#[test]
+fn projector_batch_is_bit_identical() {
+    // The batched projector form factor is a hoist, not a re-rounding:
+    // it must agree with the scalar path bit-for-bit (no tolerance).
+    let p = KbProjector { rb: 1.1, e_kb: 1.5 };
+    let mut next = lcg(0xF0F0);
+    let qs: Vec<f64> = (0..512).map(|_| next().abs() * 12.0).collect();
+    let mut out = vec![0.0; qs.len()];
+    p.fourier_batch(&qs, &mut out);
+    for (&q, &b) in qs.iter().zip(&out) {
+        assert_eq!(p.fourier(q), b, "q = {q}");
+    }
+}

@@ -13,11 +13,16 @@
 //! fails this test.
 //!
 //! The digest depends on the platform libm (`cos`/`exp`), so it is pinned
-//! per build environment, not universally portable. To regenerate after
-//! an *intentional* physics change:
+//! per build environment, not universally portable. It is also defined on
+//! the **reference kernel path** (`LS3DF_KERNELS=reference`: radix-2
+//! complex FFTs, scalar dots and GEMM) — the child processes pin that
+//! variable, because the default fast kernels (r2c packing, radix-4,
+//! lane-split accumulators) legitimately re-round and are gated by
+//! `tests/kernel_tol.rs` tolerances instead of bit identity. To
+//! regenerate after an *intentional* physics change:
 //!
 //! ```text
-//! LS3DF_SCHEME_DIGEST_CHILD=explicit LS3DF_THREADS=1 \
+//! LS3DF_SCHEME_DIGEST_CHILD=explicit LS3DF_THREADS=1 LS3DF_KERNELS=reference \
 //!   cargo test -q --test scheme_digest -- --exact scheme_digest_child --nocapture
 //! ```
 //!
@@ -129,6 +134,7 @@ fn child_digest(mode: &str, threads: &str) -> String {
         .args(["--exact", "scheme_digest_child", "--nocapture"])
         .env("LS3DF_SCHEME_DIGEST_CHILD", mode)
         .env("LS3DF_THREADS", threads)
+        .env("LS3DF_KERNELS", "reference")
         .output()
         .expect("spawn scheme_digest_child");
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();

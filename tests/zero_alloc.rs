@@ -15,6 +15,7 @@
 
 use ls3df::alloc_count::{allocation_count, CountingAllocator};
 use ls3df::grid::{Grid3, RealField};
+use ls3df::math::KernelPolicy;
 use ls3df::math::{c64, vec_ops, Matrix};
 use ls3df::pseudo::LocalPotential;
 use ls3df::pw::{
@@ -132,16 +133,24 @@ fn steady_state_hot_paths_do_not_allocate() {
     );
 
     // --- steady-state GENPOT (FFT Poisson) solve ------------------------
-    let hartree = HartreeSolver::new(basis.grid().clone());
-    let mut v_h = RealField::zeros(basis.grid().clone());
-    // Warm-up populates the solver's scratch pool.
-    hartree.solve_into(&rho, &mut v_h);
-    let before = allocation_count();
-    hartree.solve_into(&rho, &mut v_h);
-    let hartree_allocs = allocation_count() - before;
-    assert_eq!(
-        hartree_allocs, 0,
-        "steady-state HartreeSolver::solve_into allocated {hartree_allocs} times"
-    );
-    assert!(v_h.as_slice().iter().all(|v| v.is_finite()));
+    // Both kernel policies must hold the zero-alloc contract: the fast
+    // path (12 is even → packed r2c forward + c2r inverse through the
+    // Fft3rWorkspace in the pooled scratch) and the reference path (the
+    // complex Fft3 round trip). Explicit policies so the guard does not
+    // depend on the ambient LS3DF_KERNELS setting.
+    for policy in [KernelPolicy::Fast, KernelPolicy::Reference] {
+        let hartree = HartreeSolver::new_with(basis.grid().clone(), policy);
+        let mut v_h = RealField::zeros(basis.grid().clone());
+        // Warm-up populates the solver's scratch pool.
+        hartree.solve_into(&rho, &mut v_h);
+        let before = allocation_count();
+        hartree.solve_into(&rho, &mut v_h);
+        let hartree_allocs = allocation_count() - before;
+        assert_eq!(
+            hartree_allocs, 0,
+            "steady-state HartreeSolver::solve_into ({policy:?}) allocated \
+             {hartree_allocs} times"
+        );
+        assert!(v_h.as_slice().iter().all(|v| v.is_finite()));
+    }
 }
