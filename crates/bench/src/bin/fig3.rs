@@ -2,11 +2,19 @@
 //! PEtot_F on the 3,456-atom 8×6×9 system (Np = 40, 1,080 → 17,280
 //! Franklin cores), with the Amdahl's-law model fits (paper Eq. 1).
 //!
+//! Every point in `BENCH_fig3.json` carries a `provenance` tag:
+//! `"model"` here, always — the Franklin machine model produces these
+//! curves; nothing is measured on the host (contrast `fig5`, whose
+//! multi-group leg runs real processor-group SCFs).
+//!
 //! Run: `cargo run -p ls3df-bench --bin fig3 --release`
 
 use ls3df_hpc::{fig3_core_counts, strong_scaling, MachineSpec, Problem};
+use ls3df_obs::{Json, Report, Stopwatch};
+use std::path::Path;
 
 fn main() {
+    let sw = Stopwatch::start();
     let machine = MachineSpec::franklin();
     let problem = Problem::new(8, 6, 9);
     let cores = fig3_core_counts();
@@ -59,4 +67,58 @@ fn main() {
         1.0 / fit_ls3df.alpha,
         fit_ls3df.mean_abs_rel_dev * 100.0
     );
+
+    // Machine-readable curve (EXPERIMENTS.md documents the schema). All
+    // fig3 points come from the machine model — tagged so downstream
+    // tooling never mistakes them for host measurements.
+    let mut report = Report::new("fig3", sw.seconds());
+    report
+        .extra
+        .push(("provenance".to_string(), Json::str("model")));
+    report
+        .extra
+        .push(("machine".to_string(), Json::str(machine.name)));
+    let point_objs = points
+        .iter()
+        .map(|p| {
+            Json::obj(vec![
+                ("cores", Json::num(p.cores as f64)),
+                ("speedup_ls3df", Json::num(p.speedup_ls3df)),
+                ("speedup_petot", Json::num(p.speedup_petot)),
+                (
+                    "model_ls3df",
+                    Json::num(fit_ls3df.speedup(p.cores as f64, base)),
+                ),
+                (
+                    "model_petot",
+                    Json::num(fit_petot.speedup(p.cores as f64, base)),
+                ),
+                ("provenance", Json::str("model")),
+            ])
+        })
+        .collect();
+    report
+        .extra
+        .push(("points".to_string(), Json::Arr(point_objs)));
+    report.extra.push((
+        "fit_ls3df".to_string(),
+        Json::obj(vec![
+            ("p_serial_gflops", Json::num(fit_ls3df.p_serial / 1e9)),
+            ("alpha_inverse", Json::num(1.0 / fit_ls3df.alpha)),
+            ("mean_abs_rel_dev", Json::num(fit_ls3df.mean_abs_rel_dev)),
+        ]),
+    ));
+    report.extra.push((
+        "fit_petot".to_string(),
+        Json::obj(vec![
+            ("p_serial_gflops", Json::num(fit_petot.p_serial / 1e9)),
+            ("alpha_inverse", Json::num(1.0 / fit_petot.alpha)),
+            ("mean_abs_rel_dev", Json::num(fit_petot.mean_abs_rel_dev)),
+        ]),
+    ));
+    let bench_path = Path::new("BENCH_fig3.json");
+    match report.write(bench_path) {
+        Ok(()) => println!("run report -> {}", bench_path.display()),
+        Err(e) => eprintln!("run report write failed: {e}"),
+    }
 }

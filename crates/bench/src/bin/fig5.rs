@@ -2,14 +2,166 @@
 //! Franklin, Jaguar and Intrepid (log-log Tflop/s vs cores at constant
 //! atoms-per-core).
 //!
+//! Two kinds of points land in `BENCH_fig5.json`, distinguished by a
+//! `provenance` tag on every entry:
+//!
+//! * `"model"` — the paper machines' curves from the `ls3df-hpc` flop
+//!   model (always emitted; no host hardware resembles Franklin).
+//! * `"measured"` — real two-level runs on *this* host: when
+//!   `LS3DF_GROUPS` is set above 1, the binary re-runs a small SCF once
+//!   per group count (1 and the requested count) over the `ls3df-dist`
+//!   processor-group communicator and records measured PEtot_F wall
+//!   times, per-group load balance, and the density digest (which must
+//!   be identical across group counts — the distributed loop is pure
+//!   partitioning).
+//!
 //! Run: `cargo run -p ls3df-bench --bin fig5 --release`
+//! Measured leg: `LS3DF_GROUPS=2 cargo run -p ls3df-bench --bin fig5 --release`
 
+use ls3df_bench::model_crystal;
+use ls3df_core::{Ls3df, Ls3dfOptions, Ls3dfResult, Passivation};
 use ls3df_hpc::{weak_scaling, MachineSpec, Problem};
+use ls3df_obs::{Json, Report, Stopwatch};
+use ls3df_pseudo::PseudoTable;
+use ls3df_pw::Mixer;
+use std::path::Path;
 
 /// (problem, cores, cores-per-group) triples for one machine's curve.
 type RunSet = Vec<(Problem, usize, usize)>;
 
+/// FNV-1a over the density's raw bit patterns — the same digest the
+/// cross-process gate (`tests/dist_digest.rs`) pins: every measured
+/// group count must print the same value.
+fn density_digest(res: &Ls3dfResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in res.rho.as_slice() {
+        for byte in x.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One measured run at whatever `LS3DF_GROUPS` this process was started
+/// with. SPMD: the launcher and its spawned workers all run this same
+/// function (workers are routed into the communicator bootstrap inside
+/// `build()` by `LS3DF_DIST_RANK`); only rank 0's stdout reaches the
+/// parent, carrying the machine-readable result line.
+fn child() {
+    let s = model_crystal([2, 2, 2], 6.5);
+    let opts = Ls3dfOptions {
+        ecut: 1.5,
+        piece_pts: [8; 3],
+        buffer_pts: [3; 3],
+        passivation: Passivation::WallOnly,
+        wall_height: 1.5,
+        n_extra_bands: 2,
+        cg_steps: 6,
+        initial_cg_steps: 10,
+        fragment_tol: 1e-9,
+        mixer: Mixer::Kerker {
+            alpha: 0.6,
+            q0: 0.8,
+        },
+        max_scf: 2,
+        tol: 1e-10, // never converges early: every group count does 2 iterations
+        pseudo: PseudoTable::deep_well(2.0, 0.8),
+        ..Default::default()
+    };
+    let mut calc = Ls3df::builder(&s)
+        .fragments([2, 2, 2])
+        .options(opts)
+        .build()
+        .expect("valid measured-leg geometry");
+    if calc.comm().rank() != 0 {
+        // Worker rank: participate in the SCF, say nothing.
+        let _ = calc.try_scf();
+        return;
+    }
+    let res = calc.try_scf().expect("measured fig5 SCF must complete");
+    let petot: f64 = res.history.iter().map(|h| h.timings.petot_f).sum();
+    let total: f64 = res
+        .history
+        .iter()
+        .map(|h| {
+            let t = h.timings;
+            t.gen_vf + t.petot_f + t.gen_dens + t.genpot
+        })
+        .sum();
+    let max_group = res
+        .group_petot_seconds
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    println!(
+        "FIG5_RESULT groups={} petot={petot:.6} total={total:.6} maxgroup={max_group:.6} digest={:016x}",
+        res.group_petot_seconds.len(),
+        density_digest(&res)
+    );
+}
+
+struct Measured {
+    groups: usize,
+    petot: f64,
+    total: f64,
+    max_group: f64,
+    digest: String,
+}
+
+fn parse_measured(stdout: &str) -> Option<Measured> {
+    let line = stdout.lines().find(|l| l.contains("FIG5_RESULT"))?;
+    let field = |key: &str| -> Option<&str> {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key))
+    };
+    Some(Measured {
+        groups: field("groups=")?.parse().ok()?,
+        petot: field("petot=")?.parse().ok()?,
+        total: field("total=")?.parse().ok()?,
+        max_group: field("maxgroup=")?.parse().ok()?,
+        digest: field("digest=")?.to_string(),
+    })
+}
+
+/// Runs the measured leg: one subprocess per group count (fresh process
+/// per point — the processor-group world is bootstrapped once per
+/// process), collecting the machine-readable rows.
+fn run_measured(requested: usize) -> Vec<Measured> {
+    let exe = std::env::current_exe().expect("bench binary path");
+    let mut rows = Vec::new();
+    for groups in [1usize, requested] {
+        // comm-audit: re-exec per group count so each measured point gets
+        // a fresh communicator world; all SCF traffic inside the child
+        // flows through the ls3df-dist transport.
+        let out = std::process::Command::new(&exe)
+            .env("LS3DF_FIG5_CHILD", "1")
+            .env("LS3DF_GROUPS", groups.to_string())
+            .output()
+            .expect("spawn fig5 measured child");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        if !out.status.success() {
+            eprintln!(
+                "measured child with LS3DF_GROUPS={groups} failed:\n{stdout}\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            std::process::exit(1);
+        }
+        let Some(row) = parse_measured(&stdout) else {
+            eprintln!("no FIG5_RESULT line from child (groups={groups}):\n{stdout}");
+            std::process::exit(1);
+        };
+        rows.push(row);
+    }
+    rows
+}
+
 fn main() {
+    if std::env::var("LS3DF_FIG5_CHILD").is_ok() {
+        child();
+        return;
+    }
+    let sw = Stopwatch::start();
     println!("Figure 5 — weak scaling flop rates on different machines (model)");
 
     let sets: Vec<(MachineSpec, RunSet)> = vec![
@@ -46,6 +198,7 @@ fn main() {
         ),
     ];
 
+    let mut machine_objs = Vec::new();
     for (machine, runs) in &sets {
         println!("\n{}", machine.name);
         println!(
@@ -65,10 +218,86 @@ fn main() {
             );
             prev = Some((p.cores, p.tflops));
         }
+        let point_objs = pts
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("cores", Json::num(p.cores as f64)),
+                    ("atoms", Json::num(p.atoms as f64)),
+                    ("tflops", Json::num(p.tflops)),
+                    ("provenance", Json::str("model")),
+                ])
+            })
+            .collect();
+        machine_objs.push(Json::obj(vec![
+            ("machine", Json::str(machine.name)),
+            ("points", Json::Arr(point_objs)),
+        ]));
     }
 
     println!(
         "\npaper shape checks: straight log-log lines (slope ≈ 1); Jaguar has the fastest \
          per-core speed; Intrepid reaches the largest total rate (107.5 Tflop/s at 131,072 cores)."
     );
+
+    // Measured leg: real processor-group runs on this host, once per
+    // group count, when the operator opted in via LS3DF_GROUPS.
+    let requested = std::env::var("LS3DF_GROUPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&g| g > 1);
+    let mut measured_objs = Vec::new();
+    if let Some(groups) = requested {
+        println!("\nmeasured two-level runs on this host (LS3DF_GROUPS={groups}):");
+        println!(
+            "{:>8} {:>12} {:>10} {:>14} {:>18}",
+            "groups", "PEtot_F (s)", "speedup", "max group (s)", "density digest"
+        );
+        let rows = run_measured(groups);
+        let base = rows[0].petot;
+        for r in &rows {
+            println!(
+                "{:>8} {:>12.3} {:>9.2}\u{d7} {:>14.3} {:>18}",
+                r.groups,
+                r.petot,
+                base / r.petot.max(1e-12),
+                r.max_group,
+                r.digest
+            );
+        }
+        if rows.iter().any(|r| r.digest != rows[0].digest) {
+            eprintln!("DETERMINISM VIOLATION: density digests differ across group counts");
+            std::process::exit(1);
+        }
+        println!("all group counts produced bit-identical densities");
+        measured_objs = rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("groups", Json::num(r.groups as f64)),
+                    ("petot_seconds", Json::num(r.petot)),
+                    ("total_seconds", Json::num(r.total)),
+                    ("max_group_seconds", Json::num(r.max_group)),
+                    ("digest", Json::str(r.digest.clone())),
+                    ("provenance", Json::str("measured")),
+                ])
+            })
+            .collect();
+    } else {
+        println!("\n(set LS3DF_GROUPS>1 to add measured multi-process points to BENCH_fig5.json)");
+    }
+
+    // Machine-readable curves (EXPERIMENTS.md documents the schema).
+    let mut report = Report::new("fig5", sw.seconds());
+    report
+        .extra
+        .push(("model_curves".to_string(), Json::Arr(machine_objs)));
+    report
+        .extra
+        .push(("measured_points".to_string(), Json::Arr(measured_objs)));
+    let bench_path = Path::new("BENCH_fig5.json");
+    match report.write(bench_path) {
+        Ok(()) => println!("run report -> {}", bench_path.display()),
+        Err(e) => eprintln!("run report write failed: {e}"),
+    }
 }

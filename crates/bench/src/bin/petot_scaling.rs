@@ -137,6 +137,8 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for &threads in &counts {
+        // comm-audit: re-exec per thread count so each measurement gets a
+        // fresh pool; no calculation data crosses this boundary.
         let out = std::process::Command::new(&exe)
             .args([m.to_string(), iters.to_string()])
             .env("LS3DF_PETOT_CHILD", "1")

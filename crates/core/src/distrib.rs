@@ -1,0 +1,408 @@
+//! Wire codecs for the distributed SCF exchanges (group layer ↔ global
+//! layer), over the `ls3df-ckpt` section container.
+//!
+//! Three message shapes cross the communicator per outer iteration:
+//!
+//! * **PEtot report** (worker → rank 0, tag = iteration): the worker's
+//!   supervised-solve outcome — worst residual, PEtot_F wall seconds,
+//!   per-fragment quarantine flags, the fault/quarantine event lists,
+//!   and the *bit-exact* region densities of its owned fragments
+//!   (`ls3df_grid::encode_field`, raw little-endian f64 bits). Rank 0
+//!   merges these with its own parts and replays the sequential
+//!   fragment-order patch loop unchanged, which is what makes the
+//!   patched density bit-identical to a single-process run.
+//! * **Vnext broadcast** (rank 0 → all): the next input potential, the
+//!   patched density, and the completed step record (+ convergence
+//!   flag), so every rank finishes the iteration with identical state
+//!   and identical history.
+//! * **Psi gather** (worker → rank 0, snapshot iterations only): the
+//!   owned fragments' wavefunction blocks, so rank 0 can cut a snapshot
+//!   containing every fragment — snapshots stay group-count-independent
+//!   and resumable at any `LS3DF_GROUPS`.
+//!
+//! Everything here is pure serialization: typed errors, no physics.
+
+use crate::scf::{Ls3dfStep, StepTimings};
+use crate::supervise::{FragmentFault, QuarantineRecord, RetryAction};
+use ls3df_ckpt::{ByteReader, ByteWriter, CkptError, SectionId, Snapshot};
+use ls3df_grid::{decode_field, encode_field, RealField};
+use ls3df_math::{c64, Matrix};
+
+/// Worker solve summary (residual, seconds, flags, events).
+pub(crate) const SEC_DSUMMARY: SectionId = SectionId::new("DSUMMARY");
+/// Owned-fragment region densities (bit-exact fields).
+pub(crate) const SEC_DREGIONS: SectionId = SectionId::new("DREGIONS");
+/// Next-iteration input potential (broadcast).
+pub(crate) const SEC_DVIN: SectionId = SectionId::new("DVIN");
+/// Patched density (broadcast).
+pub(crate) const SEC_DRHO: SectionId = SectionId::new("DRHO");
+/// Completed step record + convergence flag (broadcast).
+pub(crate) const SEC_DSTEP: SectionId = SectionId::new("DSTEP");
+/// Owned-fragment wavefunction blocks (snapshot gather).
+pub(crate) const SEC_DPSI: SectionId = SectionId::new("DPSI");
+
+/// Count guard shared by every length-prefixed list here.
+const MAX_COUNT: u64 = 1 << 32;
+
+/// One group's PEtot_F outcome, as exchanged with the global layer.
+pub(crate) struct PetotReport {
+    /// Worst residual across the group's solved fragments.
+    pub(crate) worst_residual: f64,
+    /// PEtot_F wall seconds on this rank (per-group load report).
+    pub(crate) petot_seconds: f64,
+    /// `(fragment index, quarantined?)` for every owned fragment.
+    pub(crate) flags: Vec<(usize, bool)>,
+    /// Every failed attempt, fragment order.
+    pub(crate) faults: Vec<FragmentFault>,
+    /// Fragments whose whole ladder failed, fragment order.
+    pub(crate) quarantined: Vec<QuarantineRecord>,
+    /// `(fragment index, region density)` for every owned fragment.
+    pub(crate) regions: Vec<(usize, RealField)>,
+}
+
+fn put_fault(w: &mut ByteWriter, fault: &FragmentFault) {
+    w.put_u64(fault.fragment as u64)
+        .put_u64(fault.attempt as u64)
+        .put_u32(action_code(fault.action))
+        .put_u64(fault.detail.len() as u64)
+        .put_bytes(fault.detail.as_bytes());
+}
+
+fn get_fault(r: &mut ByteReader<'_>) -> Result<FragmentFault, CkptError> {
+    let fragment = r.get_u64("fault fragment")? as usize;
+    let attempt = r.get_u64("fault attempt")? as usize;
+    let action = decode_action(r.get_u32("fault action")?)?;
+    let len = r.get_count(MAX_COUNT, "fault detail length")?;
+    let detail = String::from_utf8_lossy(r.get_bytes(len, "fault detail")?).into_owned();
+    Ok(FragmentFault {
+        fragment,
+        attempt,
+        action,
+        detail,
+    })
+}
+
+/// Stable wire code for a retry-ladder action.
+fn action_code(action: RetryAction) -> u32 {
+    match action {
+        RetryAction::Primary => 0,
+        RetryAction::FreshRandomStart => 1,
+        RetryAction::BandByBand => 2,
+        RetryAction::ReducedCg => 3,
+    }
+}
+
+fn decode_action(code: u32) -> Result<RetryAction, CkptError> {
+    match code {
+        0 => Ok(RetryAction::Primary),
+        1 => Ok(RetryAction::FreshRandomStart),
+        2 => Ok(RetryAction::BandByBand),
+        3 => Ok(RetryAction::ReducedCg),
+        other => Err(CkptError::Malformed {
+            section: "DSUMMARY".to_string(),
+            detail: format!("unknown retry action code {other}"),
+        }),
+    }
+}
+
+/// Serializes a worker's PEtot report into a section container.
+pub(crate) fn encode_petot_report(report: &PetotReport) -> Snapshot {
+    let mut summary = ByteWriter::with_capacity(256);
+    summary
+        .put_f64(report.worst_residual)
+        .put_f64(report.petot_seconds)
+        .put_u64(report.flags.len() as u64);
+    for &(index, quarantined) in &report.flags {
+        summary
+            .put_u64(index as u64)
+            .put_u32(u32::from(quarantined));
+    }
+    summary.put_u64(report.faults.len() as u64);
+    for fault in &report.faults {
+        put_fault(&mut summary, fault);
+    }
+    summary.put_u64(report.quarantined.len() as u64);
+    for record in &report.quarantined {
+        summary
+            .put_u64(record.fragment as u64)
+            .put_u64(record.faults.len() as u64);
+        for fault in &record.faults {
+            put_fault(&mut summary, fault);
+        }
+    }
+
+    let mut regions = ByteWriter::new();
+    regions.put_u64(report.regions.len() as u64);
+    for (index, field) in &report.regions {
+        let bytes = encode_field(field);
+        regions
+            .put_u64(*index as u64)
+            .put_u64(bytes.len() as u64)
+            .put_bytes(&bytes);
+    }
+
+    let mut snap = Snapshot::new();
+    snap.push(SEC_DSUMMARY, summary.into_bytes());
+    snap.push(SEC_DREGIONS, regions.into_bytes());
+    snap
+}
+
+/// Parses a worker's PEtot report.
+pub(crate) fn decode_petot_report(snap: &Snapshot) -> Result<PetotReport, CkptError> {
+    let mut r = ByteReader::new(snap.require(SEC_DSUMMARY)?);
+    let worst_residual = r.get_f64("worst residual")?;
+    let petot_seconds = r.get_f64("petot seconds")?;
+    let n_flags = r.get_count(MAX_COUNT, "flag count")?;
+    let mut flags = Vec::with_capacity(n_flags);
+    for _ in 0..n_flags {
+        let index = r.get_u64("flag fragment")? as usize;
+        let quarantined = r.get_u32("flag value")? != 0;
+        flags.push((index, quarantined));
+    }
+    let n_faults = r.get_count(MAX_COUNT, "fault count")?;
+    let mut faults = Vec::with_capacity(n_faults);
+    for _ in 0..n_faults {
+        faults.push(get_fault(&mut r)?);
+    }
+    let n_records = r.get_count(MAX_COUNT, "quarantine count")?;
+    let mut quarantined = Vec::with_capacity(n_records);
+    for _ in 0..n_records {
+        let fragment = r.get_u64("quarantine fragment")? as usize;
+        let n = r.get_count(MAX_COUNT, "quarantine fault count")?;
+        let mut record_faults = Vec::with_capacity(n);
+        for _ in 0..n {
+            record_faults.push(get_fault(&mut r)?);
+        }
+        quarantined.push(QuarantineRecord {
+            fragment,
+            faults: record_faults,
+        });
+    }
+
+    let mut r = ByteReader::new(snap.require(SEC_DREGIONS)?);
+    let n_regions = r.get_count(MAX_COUNT, "region count")?;
+    let mut regions = Vec::with_capacity(n_regions);
+    for _ in 0..n_regions {
+        let index = r.get_u64("region fragment")? as usize;
+        let len = r.get_count(MAX_COUNT, "region byte length")?;
+        let field = decode_field(r.get_bytes(len, "region field")?)?;
+        regions.push((index, field));
+    }
+    Ok(PetotReport {
+        worst_residual,
+        petot_seconds,
+        flags,
+        faults,
+        quarantined,
+        regions,
+    })
+}
+
+/// What rank 0 broadcasts at the end of every iteration.
+pub(crate) struct VnextMessage {
+    pub(crate) v_in: RealField,
+    pub(crate) rho: RealField,
+    pub(crate) step: Ls3dfStep,
+    pub(crate) converged: bool,
+}
+
+/// Serializes the end-of-iteration broadcast.
+pub(crate) fn encode_vnext(msg: &VnextMessage) -> Snapshot {
+    let mut step = ByteWriter::with_capacity(64);
+    step.put_u64(msg.step.iteration as u64)
+        .put_f64(msg.step.dv_integral)
+        .put_f64(msg.step.worst_residual)
+        .put_f64(msg.step.timings.gen_vf)
+        .put_f64(msg.step.timings.petot_f)
+        .put_f64(msg.step.timings.gen_dens)
+        .put_f64(msg.step.timings.genpot)
+        .put_u32(u32::from(msg.converged));
+    let mut snap = Snapshot::new();
+    snap.push(SEC_DVIN, encode_field(&msg.v_in));
+    snap.push(SEC_DRHO, encode_field(&msg.rho));
+    snap.push(SEC_DSTEP, step.into_bytes());
+    snap
+}
+
+/// Parses the end-of-iteration broadcast.
+pub(crate) fn decode_vnext(snap: &Snapshot) -> Result<VnextMessage, CkptError> {
+    let v_in = decode_field(snap.require(SEC_DVIN)?)?;
+    let rho = decode_field(snap.require(SEC_DRHO)?)?;
+    let mut r = ByteReader::new(snap.require(SEC_DSTEP)?);
+    let iteration = r.get_u64("step iteration")? as usize;
+    let dv_integral = r.get_f64("step dv integral")?;
+    let worst_residual = r.get_f64("step worst residual")?;
+    let timings = StepTimings {
+        gen_vf: r.get_f64("step gen_vf seconds")?,
+        petot_f: r.get_f64("step petot_f seconds")?,
+        gen_dens: r.get_f64("step gen_dens seconds")?,
+        genpot: r.get_f64("step genpot seconds")?,
+    };
+    let converged = r.get_u32("step converged flag")? != 0;
+    Ok(VnextMessage {
+        v_in,
+        rho,
+        step: Ls3dfStep {
+            iteration,
+            dv_integral,
+            worst_residual,
+            timings,
+        },
+        converged,
+    })
+}
+
+/// Serializes indexed wavefunction blocks (snapshot-iteration gather).
+pub(crate) fn encode_psi_gather(blocks: &[(usize, &Matrix<c64>)]) -> Snapshot {
+    let mut w = ByteWriter::new();
+    w.put_u64(blocks.len() as u64);
+    for (index, psi) in blocks {
+        w.put_u64(*index as u64)
+            .put_u64(psi.rows() as u64)
+            .put_u64(psi.cols() as u64);
+        for v in psi.as_slice() {
+            w.put_f64(v.re).put_f64(v.im);
+        }
+    }
+    let mut snap = Snapshot::new();
+    snap.push(SEC_DPSI, w.into_bytes());
+    snap
+}
+
+/// Parses indexed wavefunction blocks.
+pub(crate) fn decode_psi_gather(snap: &Snapshot) -> Result<Vec<(usize, Matrix<c64>)>, CkptError> {
+    let mut r = ByteReader::new(snap.require(SEC_DPSI)?);
+    let n = r.get_count(MAX_COUNT, "psi block count")?;
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let index = r.get_u64("psi block fragment")? as usize;
+        let rows = r.get_count(MAX_COUNT, "psi block rows")?;
+        let cols = r.get_count(MAX_COUNT, "psi block cols")?;
+        let mut m = Matrix::<c64>::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            v.re = r.get_f64("psi value re")?;
+            v.im = r.get_f64("psi value im")?;
+        }
+        blocks.push((index, m));
+    }
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls3df_grid::Grid3;
+
+    fn sample_field(seed: f64) -> RealField {
+        let mut f = RealField::zeros(Grid3::cubic(3, 2.0));
+        for (i, v) in f.as_mut_slice().iter_mut().enumerate() {
+            *v = seed + i as f64 * 0.125;
+        }
+        f
+    }
+
+    #[test]
+    fn petot_report_roundtrip_is_bit_exact() {
+        let report = PetotReport {
+            worst_residual: 3.25e-4,
+            petot_seconds: 1.5,
+            flags: vec![(0, false), (3, true)],
+            faults: vec![FragmentFault {
+                fragment: 3,
+                attempt: 1,
+                action: RetryAction::FreshRandomStart,
+                detail: "injected".to_string(),
+            }],
+            quarantined: vec![QuarantineRecord {
+                fragment: 3,
+                faults: vec![FragmentFault {
+                    fragment: 3,
+                    attempt: 2,
+                    action: RetryAction::BandByBand,
+                    detail: "still bad".to_string(),
+                }],
+            }],
+            regions: vec![(0, sample_field(0.5)), (3, sample_field(-1.0))],
+        };
+        let snap = encode_petot_report(&report);
+        let bytes = snap.encode().unwrap();
+        let back = decode_petot_report(&Snapshot::decode(&bytes).unwrap()).unwrap();
+        assert_eq!(
+            back.worst_residual.to_bits(),
+            report.worst_residual.to_bits()
+        );
+        assert_eq!(back.flags, report.flags);
+        assert_eq!(back.faults.len(), 1);
+        assert_eq!(back.faults[0].action, RetryAction::FreshRandomStart);
+        assert_eq!(back.faults[0].detail, "injected");
+        assert_eq!(back.quarantined.len(), 1);
+        assert_eq!(back.quarantined[0].faults[0].detail, "still bad");
+        assert_eq!(back.regions.len(), 2);
+        assert_eq!(back.regions[1].0, 3);
+        for (a, b) in back.regions[0]
+            .1
+            .as_slice()
+            .iter()
+            .zip(report.regions[0].1.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn vnext_roundtrip_preserves_step_and_fields() {
+        let msg = VnextMessage {
+            v_in: sample_field(2.0),
+            rho: sample_field(-3.0),
+            step: Ls3dfStep {
+                iteration: 7,
+                dv_integral: 0.125,
+                worst_residual: 1e-5,
+                timings: StepTimings {
+                    gen_vf: 0.1,
+                    petot_f: 0.2,
+                    gen_dens: 0.3,
+                    genpot: 0.4,
+                },
+            },
+            converged: true,
+        };
+        let bytes = encode_vnext(&msg).encode().unwrap();
+        let back = decode_vnext(&Snapshot::decode(&bytes).unwrap()).unwrap();
+        assert_eq!(back.step.iteration, 7);
+        assert_eq!(
+            back.step.dv_integral.to_bits(),
+            msg.step.dv_integral.to_bits()
+        );
+        assert!(back.converged);
+        for (a, b) in back.v_in.as_slice().iter().zip(msg.v_in.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn psi_gather_roundtrip_preserves_blocks() {
+        let mut m = Matrix::<c64>::zeros(2, 3);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            v.re = i as f64;
+            v.im = -(i as f64) * 0.5;
+        }
+        let bytes = encode_psi_gather(&[(4, &m)]).encode().unwrap();
+        let back = decode_psi_gather(&Snapshot::decode(&bytes).unwrap()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].0, 4);
+        assert_eq!(back[0].1.rows(), 2);
+        for (a, b) in back[0].1.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_action_code_is_rejected() {
+        assert!(decode_action(9).is_err());
+        for code in 0..4 {
+            assert_eq!(action_code(decode_action(code).unwrap()), code);
+        }
+    }
+}

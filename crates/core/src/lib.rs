@@ -15,6 +15,9 @@
 //!   ΔV_F boundary potential;
 //! * [`Ls3df`] — the four-step SCF loop Gen_VF → PEtot_F → Gen_dens →
 //!   GENPOT (paper Fig. 2), fragment solves fanned out over rayon;
+//! * [`groups`] — fragment→processor-group assignment (space-filling
+//!   curve + cost-model bin-packing) for the paper's two-level
+//!   hierarchy, running over the `ls3df-dist` communicator;
 //! * [`fsm`] — the folded spectrum method for band-edge states of the
 //!   full system from the converged potential (paper §VII);
 //! * [`analysis`] — localization metrics for the oxygen-induced states
@@ -26,10 +29,12 @@
 pub mod analysis;
 pub mod check;
 mod ckpt;
+mod distrib;
 mod energy;
 mod forces;
 mod fragment;
 pub mod fsm;
+pub mod groups;
 pub mod observer;
 mod passivate;
 pub mod scf;
@@ -40,6 +45,7 @@ mod trace_observer;
 pub use energy::Ls3dfEnergy;
 pub use fragment::{Fragment, FragmentGrid, FragmentId};
 pub use fsm::{folded_spectrum, scan_band, FsmOptions, FsmState};
+pub use groups::{fragment_costs, plan_groups, GroupPlan};
 pub use scheme::{registered_schemes, FragmentError, FragmentScheme, Overlapping, SignAlternating};
 // Checkpoint configuration/error types are part of the driver's public
 // surface (builder + observer signatures), so re-export them here.

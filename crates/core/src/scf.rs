@@ -9,7 +9,9 @@
 
 use crate::check;
 use crate::ckpt;
+use crate::distrib;
 use crate::fragment::{Fragment, FragmentGrid};
+use crate::groups::{plan_groups, GroupPlan};
 use crate::observer::{ScfObserver, ScfStage, SilentObserver};
 use crate::passivate::{boundary_wall, fragment_atoms, FragmentAtoms, Passivation};
 use crate::scheme::{FragmentError, FragmentScheme, SignAlternating};
@@ -18,6 +20,7 @@ use crate::supervise::{
 };
 use ls3df_atoms::{topology_cutoff, Structure};
 use ls3df_ckpt::{read_bytes, write_rotated, CheckpointConfig, CkptError, Snapshot};
+use ls3df_dist::{CommError, Communicator};
 use ls3df_grid::{Grid3, RealField};
 use ls3df_math::{c64, Matrix};
 use ls3df_obs::{counter_add, span, Counter, Stopwatch};
@@ -237,6 +240,10 @@ pub struct Ls3df {
     ckpt: Option<CheckpointConfig>,
     /// Restored-snapshot state consumed by the next `scf_with` call.
     resume: Option<ResumeState>,
+    /// Processor-group transport (a single-process world by default).
+    comm: Arc<dyn Communicator>,
+    /// Fragment→group assignment for `comm.size()` groups.
+    plan: GroupPlan,
 }
 
 /// What a restored snapshot hands to the next SCF run (fields already
@@ -264,7 +271,14 @@ pub struct Ls3dfResult {
     pub v_eff: RealField,
     /// Fragments whose whole retry ladder failed in some iteration (their
     /// previous-iteration density was reused; empty on a healthy run).
+    /// In a multi-group run the global rank (0) holds the merged list;
+    /// workers only see their own fragments' records.
     pub quarantined: Vec<QuarantineRecord>,
+    /// PEtot_F wall seconds accumulated per processor group over the
+    /// whole run (index = group rank; one entry for a single-process
+    /// run). Workers only fill their own slot; the global rank holds
+    /// every group's total — the per-group load report.
+    pub group_petot_seconds: Vec<f64>,
 }
 
 /// Why an [`Ls3dfBuilder`] refused to assemble a calculation.
@@ -297,6 +311,12 @@ pub enum Ls3dfError {
     /// [`Ls3dfBuilder::resume_from`] could not restore the snapshot
     /// (corrupt file, wrong physics fingerprint, I/O failure…).
     Resume(CkptError),
+    /// The processor-group communicator failed (worker process down,
+    /// bounded receive timed out, malformed traffic, bootstrap failure).
+    /// The error names the rank involved. [`Ls3df::scf`] treats this as
+    /// fatal (the `MPI_ERRORS_ARE_FATAL` analogue); use
+    /// [`Ls3df::try_scf`] to handle it.
+    Comm(CommError),
 }
 
 impl std::fmt::Display for Ls3dfError {
@@ -317,6 +337,7 @@ impl std::fmt::Display for Ls3dfError {
                  the global grid {expected:?} implied by fragments × piece_pts"
             ),
             Ls3dfError::Resume(e) => write!(f, "Ls3dfBuilder: resume failed: {e}"),
+            Ls3dfError::Comm(e) => write!(f, "Ls3df: {e}"),
         }
     }
 }
@@ -326,6 +347,7 @@ impl std::error::Error for Ls3dfError {
         match self {
             Ls3dfError::Resume(e) => Some(e),
             Ls3dfError::Fragmentation(e) => Some(e),
+            Ls3dfError::Comm(e) => Some(e),
             _ => None,
         }
     }
@@ -341,6 +363,24 @@ impl From<FragmentError> for Ls3dfError {
     fn from(e: FragmentError) -> Self {
         Ls3dfError::Fragmentation(e)
     }
+}
+
+impl From<CommError> for Ls3dfError {
+    fn from(e: CommError) -> Self {
+        Ls3dfError::Comm(e)
+    }
+}
+
+/// Tag bit distinguishing the snapshot-iteration psi gather from the
+/// per-iteration PEtot report (both are worker→rank-0 sends keyed by the
+/// iteration number, and point-to-point matching is by `(from, tag)`).
+const PSI_GATHER_TAG: u32 = 0x8000_0000;
+
+/// Wire-format failures on communicator traffic are protocol errors.
+fn proto_err(e: CkptError) -> Ls3dfError {
+    Ls3dfError::Comm(CommError::Protocol {
+        detail: e.to_string(),
+    })
 }
 
 /// Fluent constructor for [`Ls3df`].
@@ -365,6 +405,7 @@ pub struct Ls3dfBuilder<'a> {
     initial_potential: Option<RealField>,
     ckpt: Option<CheckpointConfig>,
     resume_from: Option<PathBuf>,
+    groups: Option<usize>,
 }
 
 impl<'a> Ls3dfBuilder<'a> {
@@ -429,6 +470,24 @@ impl<'a> Ls3dfBuilder<'a> {
         self
     }
 
+    /// Requests `n` processor groups (the paper's two-level hierarchy,
+    /// §III): fragments are assigned to groups by the space-filling-curve
+    /// cost-model scheduler ([`crate::groups`]), each group solves its
+    /// own fragments, and the global layer patches the density and
+    /// broadcasts the GENPOT potential over the `ls3df-dist`
+    /// communicator.
+    ///
+    /// `n ≤ 1` (the default) keeps today's single-process behavior. With
+    /// `n > 1` the build spawns `n - 1` worker processes that re-exec
+    /// this executable (`mpirun` semantics — the program must be SPMD:
+    /// every process reaches the same `build()`/`scf()` calls). When not
+    /// set, the `LS3DF_GROUPS` environment variable is consulted. The
+    /// patched density is bit-identical at any group count.
+    pub fn groups(mut self, n: usize) -> Self {
+        self.groups = Some(n);
+        self
+    }
+
     /// Validates the geometry and assembles the calculation (fragment
     /// bases, projectors, ΔV_F potentials — the expensive part, fanned
     /// out over the worker pool).
@@ -454,6 +513,22 @@ impl<'a> Ls3dfBuilder<'a> {
             calc.v_in = v;
         }
         calc.ckpt = self.ckpt;
+        // Processor groups: explicit builder setting, then the env knob.
+        // In a spawned worker process `communicator` ignores the count
+        // and joins the launcher's world (`LS3DF_DIST_RANK` is set).
+        let groups = self
+            .groups
+            .or_else(|| {
+                std::env::var("LS3DF_GROUPS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(1);
+        let comm = ls3df_dist::communicator(groups)?;
+        if comm.size() > 1 {
+            calc.plan = plan_groups(&calc.fg, self.structure, comm.size());
+        }
+        calc.comm = comm;
         if let Some(path) = self.resume_from {
             calc.restore_from(&path)?;
         }
@@ -645,6 +720,7 @@ impl Ls3df {
             initial_potential: None,
             ckpt: None,
             resume_from: None,
+            groups: None,
         }
     }
 
@@ -759,6 +835,7 @@ impl Ls3df {
             .collect();
         let ewald = ls3df_pw::ewald::ewald_energy(&positions, &charges, structure.lengths);
         let fingerprint = ckpt::options_fingerprint(structure, m, &opts, fg.scheme());
+        let n_fragments = fragments.len();
         Ok(Ls3df {
             fg,
             global_grid,
@@ -774,12 +851,27 @@ impl Ls3df {
             fingerprint,
             ckpt: None,
             resume: None,
+            comm: Arc::new(ls3df_dist::SingleProcess::new()),
+            plan: GroupPlan::single(n_fragments),
         })
     }
 
     /// Ion–ion Ewald energy of the structure.
     pub fn ewald_energy(&self) -> f64 {
         self.ewald
+    }
+
+    /// The processor-group communicator this calculation runs over (a
+    /// [`ls3df_dist::SingleProcess`] world unless
+    /// [`Ls3dfBuilder::groups`] / `LS3DF_GROUPS` asked for more).
+    pub fn comm(&self) -> &Arc<dyn Communicator> {
+        &self.comm
+    }
+
+    /// The fragment→group assignment (trivial — everything in group 0 —
+    /// for a single-process world).
+    pub fn group_plan(&self) -> &GroupPlan {
+        &self.plan
     }
 
     /// The latest patched density.
@@ -873,13 +965,31 @@ impl Ls3df {
         // the burn-in budget — a fresh random block under the warm-start's
         // few steps would patch an unconverged density into Gen_dens.
         let fresh_steps = steps.max(self.opts.initial_cg_steps);
-        let outcomes: Vec<FragmentOutcome> = self
+        // In a multi-group world each rank solves only the fragments its
+        // group owns; non-owned fragments keep their state untouched (the
+        // global layer never reads it, and snapshot iterations gather the
+        // owners' blocks explicitly). With one group the filter admits
+        // everything and this is exactly the single-process stage.
+        let multi = self.plan.n_groups > 1;
+        let my_group = self.comm.rank();
+        let owner = &self.plan.owner;
+        let outcomes: Vec<Option<FragmentOutcome>> = self
             .fragments
             .par_iter_mut()
             .zip(vfs.par_iter())
             .enumerate()
             .map(|(index, (fs, vf))| {
-                supervised_solve(fs, vf, index, &solver_opts, fresh_steps, method)
+                if multi && owner[index] != my_group {
+                    return None;
+                }
+                Some(supervised_solve(
+                    fs,
+                    vf,
+                    index,
+                    &solver_opts,
+                    fresh_steps,
+                    method,
+                ))
             })
             .collect();
         // reduce-audit: `collect` returns outcomes in fragment order
@@ -889,6 +999,7 @@ impl Ls3df {
         // on the fragment list, never on LS3DF_THREADS.
         let mut out = PetotOutcome::default();
         for (index, o) in outcomes.into_iter().enumerate() {
+            let Some(o) = o else { continue };
             out.worst_residual = out.worst_residual.max(o.residual);
             if o.quarantined {
                 out.quarantined.push(QuarantineRecord {
@@ -905,12 +1016,20 @@ impl Ls3df {
     /// with the scheme's `α_F` weights, then rescales to the exact
     /// electron count.
     pub fn gen_dens(&self) -> RealField {
-        // Compute per-fragment region densities in parallel…
-        let parts: Vec<(usize, RealField)> = self
-            .fragments
+        let all: Vec<usize> = (0..self.fragments.len()).collect();
+        self.patch_density(self.gen_dens_parts(&all))
+    }
+
+    /// The parallel half of **Gen_dens**, restricted to `indices`: each
+    /// listed fragment's box density reduced to its region. In a
+    /// multi-group run every rank computes this for its owned fragments
+    /// and the global layer merges the parts; single-process runs pass
+    /// every index.
+    pub(crate) fn gen_dens_parts(&self, indices: &[usize]) -> Vec<(usize, RealField)> {
+        indices
             .par_iter()
-            .enumerate()
-            .map(|(i, fs)| {
+            .map(|&i| {
+                let fs = &self.fragments[i];
                 let rho_f = density::compute_density(&fs.basis, &fs.psi, &fs.occupations);
                 // Extract the region part of the box density.
                 let off = self.fg.region_offset_in_box();
@@ -935,12 +1054,19 @@ impl Ls3df {
                 }
                 (i, region)
             })
-            .collect();
-        // …then accumulate in fixed fragment order (the global-array
-        // reduction): `parts` is index-ordered regardless of how the
-        // parallel map was scheduled, so the summation tree is a function
-        // of the fragment list alone — the patched density is bit-identical
-        // from run to run and across LS3DF_THREADS settings.
+            .collect()
+    }
+
+    /// The sequential half of **Gen_dens**: accumulates region parts in
+    /// fixed ascending fragment order (the global-array reduction),
+    /// verifies the patching invariants, and renormalizes to the exact
+    /// electron count. `parts` must be sorted by fragment index — the
+    /// caller guarantees it (`gen_dens_parts` preserves the order of its
+    /// `indices`, and the distributed merge sorts), so the summation tree
+    /// is a function of the fragment list alone — the patched density is
+    /// bit-identical from run to run, across LS3DF_THREADS settings, and
+    /// across group counts.
+    pub(crate) fn patch_density(&self, parts: Vec<(usize, RealField)>) -> RealField {
         let mut rho = RealField::zeros(self.global_grid.clone());
         let mut signed_region_charge = 0.0;
         let mut gross_patch_scale = 0.0;
@@ -1019,15 +1145,64 @@ impl Ls3df {
     }
 
     /// Runs the full outer SCF loop.
+    ///
+    /// Communicator failures (a worker process dying, a bounded receive
+    /// timing out) are **fatal**: the process prints the error and exits —
+    /// the `MPI_ERRORS_ARE_FATAL` analogue, since a rank cannot generally
+    /// recover a collective on its own. Use [`Ls3df::try_scf`] to handle
+    /// them as typed [`Ls3dfError::Comm`] values instead.
     pub fn scf(&mut self) -> Ls3dfResult {
         self.scf_with(SilentObserver)
+    }
+
+    /// Fallible [`Ls3df::scf`]: communicator failures surface as
+    /// [`Ls3dfError::Comm`] (naming the rank involved) instead of
+    /// terminating the process. Single-process runs never return `Err`.
+    pub fn try_scf(&mut self) -> Result<Ls3dfResult, Ls3dfError> {
+        self.try_scf_with(SilentObserver)
     }
 
     /// Runs the outer SCF loop, streaming progress through an
     /// [`ScfObserver`] (stage timings, per-iteration steps, convergence).
     /// A plain `FnMut(&Ls3dfStep)` closure is accepted too — it receives
     /// the per-iteration [`ScfObserver::on_step`] events.
-    pub fn scf_with<O: ScfObserver>(&mut self, mut observer: O) -> Ls3dfResult {
+    ///
+    /// Fatal on communicator failure, like [`Ls3df::scf`]; see
+    /// [`Ls3df::try_scf_with`] for the fallible form.
+    pub fn scf_with<O: ScfObserver>(&mut self, observer: O) -> Ls3dfResult {
+        match self.try_scf_with(observer) {
+            Ok(result) => result,
+            Err(e) => {
+                // The MPI_ERRORS_ARE_FATAL analogue: a dead peer leaves
+                // the collective schedule unrecoverable from inside the
+                // loop, so the default driver surface aborts loudly. 74 is
+                // BSD's EX_IOERR, the closest sysexits code to "transport
+                // failed".
+                eprintln!("ls3df: fatal: {e}");
+                std::process::exit(74);
+            }
+        }
+    }
+
+    /// Fallible [`Ls3df::scf_with`]: the full outer SCF loop over the
+    /// processor-group communicator.
+    ///
+    /// With one group this is exactly the single-process loop. With more,
+    /// every rank runs the same loop SPMD-style: all ranks slice Gen_VF,
+    /// each rank solves only its group's fragments, workers ship their
+    /// bit-exact region densities (plus fault/quarantine events and
+    /// timings) to the global layer, rank 0 replays the sequential
+    /// patch/GENPOT/mixing exactly as a single-process run would, and
+    /// the next-iteration potential is broadcast so every rank stays in
+    /// lockstep. The patched density is bit-identical at any group count.
+    pub fn try_scf_with<O: ScfObserver>(
+        &mut self,
+        mut observer: O,
+    ) -> Result<Ls3dfResult, Ls3dfError> {
+        let comm = Arc::clone(&self.comm);
+        let multi = comm.size() > 1;
+        let rank = comm.rank();
+        let mut group_petot_seconds = vec![0.0f64; comm.size()];
         let mut mixer = MixerState::new(self.opts.mixer.clone());
         let mut history = Vec::new();
         let mut converged = false;
@@ -1062,10 +1237,100 @@ impl Ls3df {
             } else {
                 self.opts.cg_steps
             };
-            let petot = {
+            let mut petot = {
                 let _s = span!("petot_f");
                 self.petot_f_supervised(&vfs, steps)
             };
+            let local_petot = t.seconds();
+            group_petot_seconds[rank] += local_petot;
+
+            if multi && rank != 0 {
+                // Group layer (worker rank): report this group's outcome
+                // to the global layer, then adopt its broadcast state.
+                // Region densities travel bit-exact, so rank 0's patch
+                // replays the single-process accumulation unchanged.
+                timings.petot_f = local_petot;
+                observer.on_stage(iteration, ScfStage::PetotF, timings.petot_f);
+                quarantined.extend(petot.quarantined.iter().cloned());
+                let mine: Vec<usize> = self.plan.groups[rank].clone();
+                let flags: Vec<(usize, bool)> = mine
+                    .iter()
+                    .map(|&i| (i, self.fragments[i].quarantined))
+                    .collect();
+                let regions = {
+                    let _s = span!("gen_dens");
+                    self.gen_dens_parts(&mine)
+                };
+                let report = distrib::PetotReport {
+                    worst_residual: petot.worst_residual,
+                    petot_seconds: local_petot,
+                    flags,
+                    faults: petot.faults,
+                    quarantined: petot.quarantined,
+                    regions,
+                };
+                comm.send_sections(0, iteration as u32, &distrib::encode_petot_report(&report))?;
+
+                // End-of-iteration broadcast: next V_in, patched ρ, and
+                // the completed step record.
+                let bytes = comm.broadcast(0, Vec::new())?;
+                let snap = Snapshot::decode(&bytes).map_err(proto_err)?;
+                let msg = distrib::decode_vnext(&snap).map_err(proto_err)?;
+                let step = msg.step;
+                self.v_in = msg.v_in;
+                self.rho = msg.rho;
+                converged = msg.converged;
+                observer.on_step(&step);
+                history.push(step);
+
+                if let Some(cfg) = &self.ckpt {
+                    if cfg.policy.wants_snapshot(iteration, converged) {
+                        // Rank 0 cuts the snapshot; this rank contributes
+                        // its owned wavefunction blocks.
+                        let blocks: Vec<(usize, &Matrix<c64>)> =
+                            mine.iter().map(|&i| (i, &self.fragments[i].psi)).collect();
+                        comm.send_sections(
+                            0,
+                            PSI_GATHER_TAG | iteration as u32,
+                            &distrib::encode_psi_gather(&blocks),
+                        )?;
+                    }
+                }
+                if converged {
+                    observer.on_converged(&step);
+                }
+                continue;
+            }
+
+            // Global layer: fold every group's report into the local
+            // outcome before the fault replay, so observer events and
+            // counters cover the whole run in merged fragment order. The
+            // PEtot_F stage time includes the wait — it is the true
+            // barrier wall time (the paper reports the stage, not a rank).
+            let mut remote_parts: Vec<(usize, RealField)> = Vec::new();
+            if multi {
+                for r in 1..comm.size() {
+                    let snap = comm.recv_sections(r, iteration as u32)?;
+                    let report = distrib::decode_petot_report(&snap).map_err(proto_err)?;
+                    petot.worst_residual = petot.worst_residual.max(report.worst_residual);
+                    group_petot_seconds[r] += report.petot_seconds;
+                    // Remote quarantine flags drive the same Gen_dens
+                    // check suspension as local ones.
+                    for (i, q) in report.flags {
+                        let Some(fs) = self.fragments.get_mut(i) else {
+                            return Err(Ls3dfError::Comm(CommError::Protocol {
+                                detail: format!("group {r} reported unknown fragment {i}"),
+                            }));
+                        };
+                        fs.quarantined = q;
+                    }
+                    petot.faults.extend(report.faults);
+                    petot.quarantined.extend(report.quarantined);
+                    remote_parts.extend(report.regions);
+                }
+                petot.faults.sort_by_key(|f| (f.fragment, f.attempt));
+                petot.quarantined.sort_by_key(|r| r.fragment);
+            }
             timings.petot_f = t.seconds();
             // Fault events replay in fragment order after the parallel
             // stage completes, so the observer stream is deterministic.
@@ -1084,7 +1349,13 @@ impl Ls3df {
             let t = Stopwatch::start();
             let rho = {
                 let _s = span!("gen_dens");
-                self.gen_dens()
+                let mut parts = self.gen_dens_parts(&self.plan.groups[0]);
+                parts.extend(remote_parts);
+                // Ascending fragment order replays the single-process
+                // accumulation sequence exactly — the bit-identity across
+                // group counts rests on this sort.
+                parts.sort_by_key(|&(i, _)| i);
+                self.patch_density(parts)
             };
             timings.gen_dens = t.seconds();
             observer.on_stage(iteration, ScfStage::GenDens, timings.gen_dens);
@@ -1115,12 +1386,60 @@ impl Ls3df {
                 worst_residual,
                 timings,
             };
+            if multi {
+                // End-of-iteration broadcast: every rank finishes the
+                // iteration with identical state and identical history.
+                let msg = distrib::VnextMessage {
+                    v_in: self.v_in.clone(),
+                    rho: self.rho.clone(),
+                    step,
+                    converged,
+                };
+                let bytes = distrib::encode_vnext(&msg).encode().map_err(proto_err)?;
+                comm.broadcast(0, bytes)?;
+            }
             observer.on_step(&step);
             history.push(step);
 
-            if let Some(cfg) = &self.ckpt {
-                if cfg.policy.wants_snapshot(iteration, converged) {
-                    let _s = span!("snapshot");
+            let wants_snapshot = self
+                .ckpt
+                .as_ref()
+                .is_some_and(|cfg| cfg.policy.wants_snapshot(iteration, converged));
+            if wants_snapshot {
+                let _s = span!("snapshot");
+                if multi {
+                    // Gather the workers' wavefunction blocks first, so
+                    // the snapshot covers every fragment — snapshots stay
+                    // group-count-independent and resumable at any
+                    // LS3DF_GROUPS.
+                    for r in 1..comm.size() {
+                        let snap = comm.recv_sections(r, PSI_GATHER_TAG | iteration as u32)?;
+                        let blocks = distrib::decode_psi_gather(&snap).map_err(proto_err)?;
+                        for (i, psi) in blocks {
+                            let Some(fs) = self.fragments.get_mut(i) else {
+                                return Err(Ls3dfError::Comm(CommError::Protocol {
+                                    detail: format!(
+                                        "psi gather from group {r} names unknown fragment {i}"
+                                    ),
+                                }));
+                            };
+                            if psi.rows() != fs.psi.rows() || psi.cols() != fs.psi.cols() {
+                                return Err(Ls3dfError::Comm(CommError::Protocol {
+                                    detail: format!(
+                                        "psi gather from group {r}: fragment {i} block is \
+                                         {}×{}, expected {}×{}",
+                                        psi.rows(),
+                                        psi.cols(),
+                                        fs.psi.rows(),
+                                        fs.psi.cols()
+                                    ),
+                                }));
+                            }
+                            fs.psi = psi;
+                        }
+                    }
+                }
+                if let Some(cfg) = &self.ckpt {
                     match self.snapshot_bytes(iteration, converged, &history, mixer.history()) {
                         Ok(bytes) => {
                             match write_rotated(&cfg.dir, iteration, &bytes, cfg.keep_last) {
@@ -1138,13 +1457,14 @@ impl Ls3df {
             }
         }
 
-        Ls3dfResult {
+        Ok(Ls3dfResult {
             history,
             converged,
             rho: self.rho.clone(),
             v_eff: self.v_in.clone(),
             quarantined,
-        }
+            group_petot_seconds,
+        })
     }
 
     /// The options fingerprint snapshots are stamped with (equal

@@ -1,0 +1,566 @@
+//! `LocalProcs`: worker processes over Unix-domain sockets.
+//!
+//! # Topology
+//!
+//! Rank 0 (the *launcher*) binds a Unix-domain socket in the temp
+//! directory, re-execs its own binary `size - 1` times with
+//! [`ENV_RANK`](crate::ENV_RANK)/[`ENV_SIZE`](crate::ENV_SIZE)/
+//! [`ENV_SOCKET`](crate::ENV_SOCKET) set, and accepts one connection per
+//! worker (each announces its rank with a `HELLO` frame). The transport
+//! is hub-and-spoke: every frame travels through rank 0. Worker→worker
+//! traffic is relayed verbatim by the hub's per-connection reader
+//! threads — the relayed bytes are the original CRC-checked frame, so
+//! corruption anywhere on the path is still caught at the destination.
+//!
+//! The SPMD model matches `mpirun` re-exec semantics: the worker runs
+//! the *same* program, and its own `communicator()` call notices
+//! [`ENV_RANK`](crate::ENV_RANK) and connects instead of spawning.
+//! Worker stdout is routed to null so rank-0 output (digest lines,
+//! bench JSON) stays unpolluted; stderr is inherited for diagnostics.
+//!
+//! # Failure semantics
+//!
+//! Every blocking receive is bounded by the configured timeout, and a
+//! connection EOF marks the peer rank *down*; both surface as typed
+//! [`CommError`]s naming the rank instead of hanging the run. A receive
+//! that times out mid-frame leaves the stream desynchronized — that is
+//! acceptable because every `CommError` is terminal for the SCF run
+//! (the `MPI_ERRORS_ARE_FATAL` analogue).
+
+use crate::wire::{self, KIND_BARRIER, KIND_BCAST, KIND_DATA, KIND_HELLO, KIND_REDUCE};
+use crate::{fixed_order_tree_sum, lock, CommError, Communicator};
+use ls3df_obs::{counter_add, Counter};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::ErrorKind;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sequence-counter slots for the three collectives.
+const SEQ_BARRIER: usize = 0;
+const SEQ_BCAST: usize = 1;
+const SEQ_REDUCE: usize = 2;
+
+/// Messages queued at the hub, keyed by `(src, kind, tag)`.
+#[derive(Default)]
+struct HubState {
+    queues: BTreeMap<(usize, u32, u32), VecDeque<Vec<u8>>>,
+    dead: BTreeSet<usize>,
+}
+
+struct HubShared {
+    state: Mutex<HubState>,
+    cv: Condvar,
+}
+
+/// Worker-side receive state: the read half of the hub connection plus
+/// messages already pulled off the wire for other `(src, kind, tag)`
+/// keys than the one currently awaited.
+struct WorkerRecv {
+    stream: UnixStream,
+    pending: BTreeMap<(usize, u32, u32), VecDeque<Vec<u8>>>,
+    hub_down: bool,
+}
+
+enum Role {
+    Hub {
+        /// Write halves to each worker; index `r - 1` holds rank `r`.
+        /// Shared with the reader threads for worker→worker relays.
+        writers: Arc<Vec<Mutex<UnixStream>>>,
+        shared: Arc<HubShared>,
+    },
+    Worker {
+        writer: Mutex<UnixStream>,
+        reader: Mutex<WorkerRecv>,
+    },
+}
+
+/// Multi-process communicator over Unix-domain sockets (hub-and-spoke,
+/// rank 0 at the hub). Built via [`communicator`](crate::communicator),
+/// never directly.
+pub struct LocalProcs {
+    rank: usize,
+    size: usize,
+    timeout: Duration,
+    /// Per-collective sequence counters used as matching tags, so every
+    /// rank's n-th barrier (broadcast, allreduce) pairs with every other
+    /// rank's n-th regardless of user-level tag traffic.
+    seqs: Mutex<[u32; 3]>,
+    role: Role,
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> CommError {
+    CommError::Io {
+        detail: format!("{context}: {e}"),
+    }
+}
+
+fn mark_dead(shared: &HubShared, rank: usize) {
+    lock(&shared.state).dead.insert(rank);
+    shared.cv.notify_all();
+}
+
+impl LocalProcs {
+    fn next_seq(&self, slot: usize) -> u32 {
+        let mut seqs = lock(&self.seqs);
+        seqs[slot] = seqs[slot].wrapping_add(1);
+        seqs[slot]
+    }
+
+    fn check_peer(&self, peer: usize, what: &str) -> Result<(), CommError> {
+        if peer == self.rank || peer >= self.size {
+            return Err(CommError::Protocol {
+                detail: format!(
+                    "{what} rank {peer} invalid from rank {} of a size-{} world",
+                    self.rank, self.size
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn send_frame(&self, dst: usize, kind: u32, tag: u32, payload: &[u8]) -> Result<(), CommError> {
+        self.check_peer(dst, "send to")?;
+        let bytes = wire::encode_frame(self.rank, dst, kind, tag, payload)?;
+        match &self.role {
+            Role::Hub { writers, shared } => {
+                if lock(&shared.state).dead.contains(&dst) {
+                    return Err(CommError::RankDown { rank: dst });
+                }
+                let mut w = lock(&writers[dst - 1]);
+                wire::write_frame(&mut *w, &bytes).map_err(|e| {
+                    mark_dead(shared, dst);
+                    if e.kind() == ErrorKind::BrokenPipe {
+                        CommError::RankDown { rank: dst }
+                    } else {
+                        io_err("hub send", &e)
+                    }
+                })
+            }
+            Role::Worker { writer, .. } => {
+                let mut w = lock(writer);
+                wire::write_frame(&mut *w, &bytes).map_err(|e| {
+                    if e.kind() == ErrorKind::BrokenPipe {
+                        CommError::RankDown { rank: 0 }
+                    } else {
+                        io_err("worker send", &e)
+                    }
+                })
+            }
+        }
+    }
+
+    fn recv_frame(&self, from: usize, kind: u32, tag: u32) -> Result<Vec<u8>, CommError> {
+        self.check_peer(from, "recv from")?;
+        let deadline = Instant::now() + self.timeout;
+        let key = (from, kind, tag);
+        match &self.role {
+            Role::Hub { shared, .. } => {
+                let mut st = lock(&shared.state);
+                loop {
+                    if let Some(msg) = st.queues.get_mut(&key).and_then(VecDeque::pop_front) {
+                        return Ok(msg);
+                    }
+                    if st.dead.contains(&from) {
+                        return Err(CommError::RankDown { rank: from });
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(CommError::Timeout {
+                            from,
+                            tag,
+                            waited_ms: self.timeout.as_millis() as u64,
+                        });
+                    }
+                    st = match shared.cv.wait_timeout(st, deadline - now) {
+                        Ok((guard, _)) => guard,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    };
+                }
+            }
+            Role::Worker { reader, .. } => {
+                let mut r = lock(reader);
+                loop {
+                    if let Some(msg) = r.pending.get_mut(&key).and_then(VecDeque::pop_front) {
+                        return Ok(msg);
+                    }
+                    if r.hub_down {
+                        return Err(CommError::RankDown {
+                            rank: if from == 0 { 0 } else { from },
+                        });
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(CommError::Timeout {
+                            from,
+                            tag,
+                            waited_ms: self.timeout.as_millis() as u64,
+                        });
+                    }
+                    r.stream
+                        .set_read_timeout(Some(deadline - now))
+                        .map_err(|e| io_err("set read timeout", &e))?;
+                    match wire::read_frame(&mut r.stream) {
+                        Ok(bytes) => {
+                            let frame = wire::decode_frame(&bytes)?;
+                            if frame.dst != self.rank {
+                                // Misrouted frame: drop, the sender's CRC
+                                // was valid so this is a relay bug, not
+                                // corruption; starving the key times out.
+                                continue;
+                            }
+                            r.pending
+                                .entry((frame.src, frame.kind, frame.tag))
+                                .or_default()
+                                .push_back(frame.payload);
+                        }
+                        Err(e)
+                            if e.kind() == ErrorKind::WouldBlock
+                                || e.kind() == ErrorKind::TimedOut =>
+                        {
+                            return Err(CommError::Timeout {
+                                from,
+                                tag,
+                                waited_ms: self.timeout.as_millis() as u64,
+                            });
+                        }
+                        Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+                            r.hub_down = true;
+                        }
+                        Err(e) => return Err(io_err("worker recv", &e)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Communicator for LocalProcs {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, to: usize, tag: u32, payload: &[u8]) -> Result<(), CommError> {
+        self.send_frame(to, KIND_DATA, tag, payload)
+    }
+
+    fn recv(&self, from: usize, tag: u32) -> Result<Vec<u8>, CommError> {
+        self.recv_frame(from, KIND_DATA, tag)
+    }
+
+    fn barrier(&self) -> Result<(), CommError> {
+        let seq = self.next_seq(SEQ_BARRIER);
+        if self.rank == 0 {
+            // Gather-then-release: no rank passes until all have arrived.
+            for r in 1..self.size {
+                self.recv_frame(r, KIND_BARRIER, seq)?;
+            }
+            for r in 1..self.size {
+                self.send_frame(r, KIND_BARRIER, seq, &[])?;
+            }
+        } else {
+            self.send_frame(0, KIND_BARRIER, seq, &[])?;
+            self.recv_frame(0, KIND_BARRIER, seq)?;
+        }
+        Ok(())
+    }
+
+    fn broadcast(&self, root: usize, payload: Vec<u8>) -> Result<Vec<u8>, CommError> {
+        if root >= self.size {
+            return Err(CommError::Protocol {
+                detail: format!(
+                    "broadcast root {root} out of range in a size-{} world",
+                    self.size
+                ),
+            });
+        }
+        let seq = self.next_seq(SEQ_BCAST);
+        if self.rank == root {
+            for r in 0..self.size {
+                if r != root {
+                    self.send_frame(r, KIND_BCAST, seq, &payload)?;
+                }
+            }
+            Ok(payload)
+        } else {
+            self.recv_frame(root, KIND_BCAST, seq)
+        }
+    }
+
+    fn allreduce_sum_f64(&self, values: &mut [f64]) -> Result<(), CommError> {
+        counter_add(Counter::CommAllreduceCalls, 1);
+        let seq = self.next_seq(SEQ_REDUCE);
+        if self.rank == 0 {
+            // Gather contributions indexed by rank, combine in the fixed
+            // rank-order tree, then hand the identical bytes back out.
+            let mut contribs = Vec::with_capacity(self.size);
+            contribs.push(values.to_vec());
+            for r in 1..self.size {
+                let bytes = self.recv_frame(r, KIND_REDUCE, seq)?;
+                contribs.push(wire::decode_f64s(&bytes, values.len())?);
+            }
+            let sum = fixed_order_tree_sum(&contribs);
+            let out = wire::encode_f64s(&sum);
+            for r in 1..self.size {
+                self.send_frame(r, KIND_REDUCE, seq, &out)?;
+            }
+            values.copy_from_slice(&sum);
+        } else {
+            self.send_frame(0, KIND_REDUCE, seq, &wire::encode_f64s(values))?;
+            let bytes = self.recv_frame(0, KIND_REDUCE, seq)?;
+            let sum = wire::decode_f64s(&bytes, values.len())?;
+            values.copy_from_slice(&sum);
+        }
+        Ok(())
+    }
+}
+
+/// Monotonic suffix for socket paths, so two worlds bootstrapped by one
+/// process (e.g. sequential tests) never collide.
+static SOCKET_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Spawns `groups - 1` workers and returns the hub communicator plus the
+/// child handles (for `worker_pids`/`kill_worker`).
+pub(crate) fn bootstrap_hub(
+    groups: usize,
+    timeout: Duration,
+) -> Result<(LocalProcs, Vec<(usize, Child)>), CommError> {
+    let boot = |detail: String| CommError::Bootstrap { detail };
+    let exe = std::env::current_exe().map_err(|e| boot(format!("current_exe: {e}")))?;
+    let socket_path = std::env::temp_dir().join(format!(
+        "ls3df-dist-{}-{}.sock",
+        std::process::id(),
+        SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    // A stale path from a crashed earlier run with the same pid would
+    // fail the bind; clear it.
+    let _ = std::fs::remove_file(&socket_path);
+    let listener = UnixListener::bind(&socket_path)
+        .map_err(|e| boot(format!("bind {}: {e}", socket_path.display())))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| boot(format!("listener nonblocking: {e}")))?;
+
+    // SPMD re-exec: same binary, same CLI args, ranked environment.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(groups - 1);
+    for rank in 1..groups {
+        let spawned = Command::new(&exe)
+            .args(&args)
+            .env(crate::ENV_RANK, rank.to_string())
+            .env(crate::ENV_SIZE, groups.to_string())
+            .env(crate::ENV_SOCKET, &socket_path)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn();
+        match spawned {
+            Ok(child) => children.push((rank, child)),
+            Err(e) => {
+                for (_, mut c) in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                let _ = std::fs::remove_file(&socket_path);
+                return Err(boot(format!("spawn worker rank {rank}: {e}")));
+            }
+        }
+    }
+
+    // Accept one connection per worker; each opens with a HELLO frame
+    // carrying its rank, so connection order does not matter.
+    let deadline = Instant::now() + timeout;
+    let mut slots: Vec<Option<UnixStream>> = (1..groups).map(|_| None).collect();
+    let mut connected = 0usize;
+    let accept_result: Result<(), CommError> = (|| {
+        while connected < groups - 1 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| boot(format!("stream blocking: {e}")))?;
+                    stream
+                        .set_read_timeout(Some(
+                            deadline
+                                .saturating_duration_since(Instant::now())
+                                .max(Duration::from_millis(1)),
+                        ))
+                        .map_err(|e| boot(format!("hello timeout: {e}")))?;
+                    let mut s = &stream;
+                    let bytes =
+                        wire::read_frame(&mut s).map_err(|e| boot(format!("read hello: {e}")))?;
+                    let hello = wire::decode_frame(&bytes)?;
+                    if hello.kind != KIND_HELLO || hello.src == 0 || hello.src >= groups {
+                        return Err(boot(format!(
+                            "bad hello (kind {}, claimed rank {})",
+                            hello.kind, hello.src
+                        )));
+                    }
+                    let slot = &mut slots[hello.src - 1];
+                    if slot.is_some() {
+                        return Err(boot(format!("rank {} connected twice", hello.src)));
+                    }
+                    *slot = Some(stream);
+                    connected += 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(boot(format!(
+                            "timed out waiting for workers ({connected}/{} connected)",
+                            groups - 1
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(boot(format!("accept: {e}"))),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = accept_result {
+        for (_, c) in children.iter_mut() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        let _ = std::fs::remove_file(&socket_path);
+        return Err(e);
+    }
+    // Everyone is connected; the filesystem name is no longer needed.
+    let _ = std::fs::remove_file(&socket_path);
+
+    let shared = Arc::new(HubShared {
+        state: Mutex::new(HubState::default()),
+        cv: Condvar::new(),
+    });
+    let mut writers = Vec::with_capacity(groups - 1);
+    let mut read_halves = Vec::with_capacity(groups - 1);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let rank = i + 1;
+        let stream = slot.ok_or_else(|| boot(format!("rank {rank} never connected")))?;
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| boot(format!("clear read timeout: {e}")))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| boot(format!("clone stream for rank {rank}: {e}")))?;
+        writers.push(Mutex::new(stream));
+        read_halves.push((rank, read_half));
+    }
+    let writers = Arc::new(writers);
+
+    // One reader thread per worker. Readers block indefinitely — bounded
+    // waiting lives at the recv() condvar, so an idle connection is never
+    // mistaken for a dead one.
+    for (rank, mut stream) in read_halves {
+        let shared = Arc::clone(&shared);
+        let writers = Arc::clone(&writers);
+        std::thread::Builder::new()
+            .name(format!("ls3df-dist-reader-{rank}"))
+            .spawn(move || loop {
+                let bytes = match wire::read_frame(&mut stream) {
+                    Ok(b) => b,
+                    Err(_) => {
+                        mark_dead(&shared, rank);
+                        break;
+                    }
+                };
+                match wire::decode_frame(&bytes) {
+                    Ok(frame) if frame.dst == 0 => {
+                        lock(&shared.state)
+                            .queues
+                            .entry((frame.src, frame.kind, frame.tag))
+                            .or_default()
+                            .push_back(frame.payload);
+                        shared.cv.notify_all();
+                    }
+                    Ok(frame) => {
+                        // Worker→worker relay: forward the original
+                        // CRC-checked bytes untouched.
+                        if frame.dst >= 1 && frame.dst <= writers.len() {
+                            let mut w = lock(&writers[frame.dst - 1]);
+                            if wire::write_frame(&mut *w, &bytes).is_err() {
+                                mark_dead(&shared, frame.dst);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Corrupt traffic: treat the connection as lost.
+                        mark_dead(&shared, rank);
+                        break;
+                    }
+                }
+            })
+            .map_err(|e| boot(format!("spawn reader thread: {e}")))?;
+    }
+
+    let hub = LocalProcs {
+        rank: 0,
+        size: groups,
+        timeout,
+        seqs: Mutex::new([0; 3]),
+        role: Role::Hub { writers, shared },
+    };
+    Ok((hub, children))
+}
+
+/// Connects back to the launcher using the ranked environment.
+pub(crate) fn bootstrap_worker(timeout: Duration) -> Result<LocalProcs, CommError> {
+    let boot = |detail: String| CommError::Bootstrap { detail };
+    let env_num = |key: &str| -> Result<usize, CommError> {
+        std::env::var(key)
+            .map_err(|_| boot(format!("{key} not set")))?
+            .parse::<usize>()
+            .map_err(|e| boot(format!("{key}: {e}")))
+    };
+    let rank = env_num(crate::ENV_RANK)?;
+    let size = env_num(crate::ENV_SIZE)?;
+    if rank == 0 || rank >= size {
+        return Err(boot(format!(
+            "worker rank {rank} out of range for size {size}"
+        )));
+    }
+    let path = std::env::var(crate::ENV_SOCKET)
+        .map_err(|_| boot(format!("{} not set", crate::ENV_SOCKET)))?;
+
+    // The launcher binds before spawning, so the first attempt normally
+    // succeeds; retry briefly to absorb filesystem races.
+    let deadline = Instant::now() + timeout;
+    let stream = loop {
+        match UnixStream::connect(&path) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(boot(format!("connect {path}: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    let reader = stream
+        .try_clone()
+        .map_err(|e| boot(format!("clone worker stream: {e}")))?;
+    let worker = LocalProcs {
+        rank,
+        size,
+        timeout,
+        seqs: Mutex::new([0; 3]),
+        role: Role::Worker {
+            writer: Mutex::new(stream),
+            reader: Mutex::new(WorkerRecv {
+                stream: reader,
+                pending: BTreeMap::new(),
+                hub_down: false,
+            }),
+        },
+    };
+    // Announce our rank so the hub can slot the connection.
+    worker
+        .send_frame(0, KIND_HELLO, 0, &[])
+        .map_err(|e| boot(format!("hello: {e}")))?;
+    Ok(worker)
+}

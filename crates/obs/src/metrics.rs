@@ -47,11 +47,17 @@ pub enum Counter {
     Quarantines,
     /// Supervised fragment solves (one per fragment per PEtot_F pass).
     FragmentSolves,
+    /// Bytes written to communicator transports (frames + length prefixes).
+    CommBytesSent,
+    /// Bytes read from communicator transports (frames + length prefixes).
+    CommBytesReceived,
+    /// Collective allreduce operations entered on this rank.
+    CommAllreduceCalls,
 }
 
 impl Counter {
     /// Every counter, in reporting order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::FftLinesTrivial,
         Counter::FftLinesRadix2,
         Counter::FftLinesBluestein,
@@ -66,6 +72,9 @@ impl Counter {
         Counter::RetryRungs,
         Counter::Quarantines,
         Counter::FragmentSolves,
+        Counter::CommBytesSent,
+        Counter::CommBytesReceived,
+        Counter::CommAllreduceCalls,
     ];
 
     /// Stable snake_case identifier (JSON report key).
@@ -85,6 +94,9 @@ impl Counter {
             Counter::RetryRungs => "retry_rungs",
             Counter::Quarantines => "quarantines",
             Counter::FragmentSolves => "fragment_solves",
+            Counter::CommBytesSent => "comm_bytes_sent",
+            Counter::CommBytesReceived => "comm_bytes_received",
+            Counter::CommAllreduceCalls => "comm_allreduce_calls",
         }
     }
 }

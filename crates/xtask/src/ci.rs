@@ -35,15 +35,24 @@
 //!    arithmetic (`LS3DF_KERNELS=fast`: packed r2c transforms, radix-4
 //!    butterflies, the GEMM microkernel) must stay within the pinned
 //!    per-kernel bounds of the reference arithmetic (DESIGN.md §6d).
-//! 10. `cargo test -p xtask -q` — the lint engine's own gate: lexer and
+//! 10. `cargo test -p ls3df --test group_balance --test dist_digest
+//!     --test dist_fault -q` — the two-level distributed-execution gate:
+//!     the fragment→group balancer properties (exactly-once assignment,
+//!     heaviest-fragment imbalance bound, determinism), the subprocess
+//!     digest matrix proving the SCF density bit-identical across
+//!     `LS3DF_GROUPS ∈ {1, 2, 4}` × `LS3DF_THREADS ∈ {1, max}` against
+//!     the pinned single-process golden, and the worker-kill robustness
+//!     check (a dead rank surfaces as a typed `Ls3dfError::Comm` naming
+//!     it, never a hang).
+//! 11. `cargo test -p xtask -q` — the lint engine's own gate: lexer and
 //!     rule unit tests plus the fixture corpus in
 //!     `crates/xtask/tests/fixtures/` (known-positive snippets must fire
 //!     exactly their golden violations; known-negative snippets — unsafe
 //!     in string literals, `Ordering::` in doc comments, raw strings —
 //!     must stay silent).
-//! 11. `cargo xtask schedules` (in-process) — pool suite + SCF digest
+//! 12. `cargo xtask schedules` (in-process) — pool suite + SCF digest
 //!     matrix under every adversarial work-stealing schedule.
-//! 12. `cargo xtask miri` (in-process) — the curated unsafe-core filter
+//! 13. `cargo xtask miri` (in-process) — the curated unsafe-core filter
 //!     under Miri; reported as a loud SKIP when the nightly component is
 //!     unavailable (the offline container cannot install it).
 //!
@@ -76,7 +85,7 @@ pub fn run(root: &Path) -> bool {
     let mut all_ok = true;
     let mut summary: Vec<(String, StepResult, f64)> = Vec::new();
 
-    let steps: [(&str, &[&str]); 9] = [
+    let steps: [(&str, &[&str]); 10] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -143,6 +152,21 @@ pub fn run(root: &Path) -> bool {
         (
             "kernel-tol",
             &["test", "-p", "ls3df", "--test", "kernel_tol", "-q"],
+        ),
+        (
+            "dist",
+            &[
+                "test",
+                "-p",
+                "ls3df",
+                "--test",
+                "group_balance",
+                "--test",
+                "dist_digest",
+                "--test",
+                "dist_fault",
+                "-q",
+            ],
         ),
     ];
 
@@ -233,6 +257,17 @@ pub fn run(root: &Path) -> bool {
         }
         summary.push((format!("cargo {name}"), res, secs));
     }
+
+    // The two-level distributed-execution gate (balancer properties,
+    // cross-process digest matrix, worker-kill robustness). The digest
+    // test pins its own LS3DF_GROUPS × LS3DF_THREADS matrix in the
+    // subprocess legs, so one invocation covers every regime.
+    let (_, dist_args) = steps[9];
+    let (res, secs) = run_cargo_step(root, "dist", dist_args, &[]);
+    if matches!(res, StepResult::Fail) {
+        all_ok = false;
+    }
+    summary.push(("cargo dist".to_string(), res, secs));
 
     // The kernel tolerance gate (tests/kernel_tol.rs): the fast-kernel
     // arithmetic (packed r2c 3-D transform, radix-4 butterflies, GEMM

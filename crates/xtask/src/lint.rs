@@ -71,6 +71,16 @@
 //!   reproducibility. Use `BTreeMap`/`BTreeSet` or an index-keyed `Vec`.
 //!   Escape: `// hash-audit:` in the 3-line window (for maps that are
 //!   provably never iterated). Test code is exempt.
+//! * `comm-audit` — no raw process/socket primitives (`Command`, `Stdio`,
+//!   `UnixStream`, `UnixListener`, `TcpStream`, `TcpListener`) outside
+//!   the communication surface: `crates/dist/src/` (the transport + the
+//!   worker launcher) and `crates/xtask/src/` (the CI driver). Everything
+//!   else must go through the `ls3df-dist` communicator, or the
+//!   processor-group determinism story fragments into ad-hoc side
+//!   channels the digest gates can't see. Escape: `// comm-audit:` in
+//!   the 3-line window (e.g. a bench driver re-execing itself to get an
+//!   isolated measurement process). Test code is exempt — the SPMD
+//!   subprocess tests re-exec the test binary by design.
 //! * `forbid-unsafe` — the workspace's unsafe surface is exactly three
 //!   places: `shims/rayon` (the work-stealing pool), `crates/obs`
 //!   (reserved for future probe internals), and the `ls3df` facade
@@ -97,7 +107,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Every rule id, in reporting order.
-pub const RULES: [&str; 11] = [
+pub const RULES: [&str; 12] = [
     "no-unwrap",
     "no-float-eq",
     "unsafe-comment",
@@ -108,6 +118,7 @@ pub const RULES: [&str; 11] = [
     "atomic-ordering",
     "float-reduce",
     "hash-iter",
+    "comm-audit",
     "forbid-unsafe",
 ];
 
@@ -158,6 +169,28 @@ const HASH_ITER_SCOPE: [&str; 7] = [
 fn in_hash_iter_scope(path: &str) -> bool {
     HASH_ITER_SCOPE.iter().any(|p| path.starts_with(p))
 }
+
+/// The sanctioned communication surface: the `ls3df-dist` transport (it
+/// owns the sockets and the worker launcher) and the xtask CI driver
+/// (it shells out to cargo). Raw process/socket primitives anywhere else
+/// need a `// comm-audit:` justification.
+const COMM_SURFACE: [&str; 2] = ["crates/dist/src/", "crates/xtask/src/"];
+
+fn in_comm_surface(path: &str) -> bool {
+    COMM_SURFACE.iter().any(|p| path.starts_with(p))
+}
+
+/// The primitives `comm-audit` polices: process spawning and raw
+/// sockets. Exact identifier matches — `CommandLine` or a string literal
+/// containing "Command" never fire.
+const COMM_IDENTS: [&str; 6] = [
+    "Command",
+    "Stdio",
+    "UnixStream",
+    "UnixListener",
+    "TcpStream",
+    "TcpListener",
+];
 
 /// Crates allowed to contain `unsafe` (root must `#![deny(unsafe_code)]`
 /// and every site needs `#[allow]` + `SAFETY:`). Everything else must
@@ -317,6 +350,7 @@ pub fn lint_source(path: &str, content: &str) -> FileReport {
     rule_atomic_ordering(&file, &mut report);
     rule_float_reduce(&file, &mut report);
     rule_hash_iter(&file, &mut report);
+    rule_comm_audit(&file, &mut report);
     rule_forbid_unsafe(&file, &mut report);
     report
 }
@@ -858,6 +892,34 @@ fn rule_hash_iter(f: &FileCtx<'_>, out: &mut FileReport) {
     }
 }
 
+fn rule_comm_audit(f: &FileCtx<'_>, out: &mut FileReport) {
+    if in_comm_surface(f.path) || f.path_exempt {
+        return;
+    }
+    for t in &f.toks {
+        if f.in_test(t.line) {
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && COMM_IDENTS.contains(&t.text)
+            && !f.window_has(t.line, 3, "comm-audit:")
+        {
+            f.report(
+                out,
+                t.line,
+                "comm-audit",
+                format!(
+                    "`{}` outside the communication surface (crates/dist, \
+                     crates/xtask) — inter-process traffic must flow through \
+                     the ls3df-dist communicator, or justify with a \
+                     `// comm-audit:` comment on it or the 3 lines above",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
 fn rule_forbid_unsafe(f: &FileCtx<'_>, out: &mut FileReport) {
     let designated = in_unsafe_crate(f.path);
     if is_crate_root(f.path) {
@@ -1295,6 +1357,31 @@ mod tests {
         // Audited: fine.
         let ok = "// hash-audit: lookup-only, never iterated\nuse std::collections::HashMap;";
         assert!(!rules_hit("crates/pw/src/scf.rs", ok).contains(&"hash-iter"));
+    }
+
+    #[test]
+    fn comm_audit_scoping_and_escape() {
+        let spawn = "fn f() { let c = std::process::Command::new(\"cargo\"); }";
+        // Outside the surface, raw process/socket primitives fire.
+        assert!(rules_hit("crates/core/src/scf.rs", spawn).contains(&"comm-audit"));
+        assert!(rules_hit(
+            "crates/hpc/src/launch.rs",
+            "use std::os::unix::net::UnixStream;\nfn f() {}"
+        )
+        .contains(&"comm-audit"));
+        // The transport and the CI driver are the sanctioned surface.
+        assert!(!rules_hit("crates/dist/src/local.rs", spawn).contains(&"comm-audit"));
+        assert!(!rules_hit("crates/xtask/src/ci.rs", spawn).contains(&"comm-audit"));
+        // Tests re-exec the binary by design (SPMD child pattern).
+        assert!(!rules_hit("tests/dist_digest.rs", spawn).contains(&"comm-audit"));
+        // The escape comment within its 3-line window silences the rule.
+        let ok = "// comm-audit: isolated measurement process per point\n\
+                  fn f() { let c = std::process::Command::new(exe); }";
+        assert!(!rules_hit("crates/bench/src/bin/petot_scaling.rs", ok).contains(&"comm-audit"));
+        // Exact ident match only: `CommandLine` and string literals stay
+        // silent.
+        let near = "fn f() { let c = CommandLine::parse(\"Command\"); }";
+        assert!(!rules_hit("crates/core/src/scf.rs", near).contains(&"comm-audit"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod alloc_count;
 pub use ls3df_atoms as atoms;
 pub use ls3df_ckpt as ckpt;
 pub use ls3df_core as core;
+pub use ls3df_dist as dist;
 pub use ls3df_fft as fft;
 pub use ls3df_grid as grid;
 pub use ls3df_hpc as hpc;
@@ -34,10 +35,12 @@ pub use ls3df_pw as pw;
 pub use ls3df_atoms::Structure;
 pub use ls3df_ckpt::{CheckpointConfig, CheckpointPolicy, CkptError, CkptErrorKind};
 pub use ls3df_core::{
-    registered_schemes, Fragment, FragmentError, FragmentFault, FragmentGrid, FragmentId,
-    FragmentScheme, InjectedFault, Ls3df, Ls3dfBuilder, Ls3dfError, Ls3dfOptions, Ls3dfResult,
-    Ls3dfStep, Overlapping, Passivation, QuarantineRecord, RetryAction, ScfObserver, ScfStage,
-    SignAlternating, SilentObserver, StepTimings, TraceObserver,
+    fragment_costs, plan_groups, registered_schemes, Fragment, FragmentError, FragmentFault,
+    FragmentGrid, FragmentId, FragmentScheme, GroupPlan, InjectedFault, Ls3df, Ls3dfBuilder,
+    Ls3dfError, Ls3dfOptions, Ls3dfResult, Ls3dfStep, Overlapping, Passivation, QuarantineRecord,
+    RetryAction, ScfObserver, ScfStage, SignAlternating, SilentObserver, StepTimings,
+    TraceObserver,
 };
+pub use ls3df_dist::{CommError, Communicator};
 pub use ls3df_pseudo::PseudoTable;
 pub use ls3df_pw::Mixer;

@@ -1,0 +1,135 @@
+//! Property tests for the fragment→group load balancer
+//! (`ls3df_core::groups`): the space-filling-curve + cost-model
+//! bin-packing behind the paper's two-level processor-group hierarchy.
+//!
+//! Three properties over group counts 1..=8 and piece decompositions
+//! `m ∈ {2,3,4}³` with randomized atom placements:
+//!
+//! 1. **Exactly-once**: every fragment appears in exactly one group, and
+//!    the `owner` array agrees with the per-group member lists.
+//! 2. **Imbalance bound**: the heaviest group's modeled cost never
+//!    exceeds `ceil(total/M) + heaviest single fragment` — i.e. the
+//!    max/mean imbalance is bounded by the heaviest fragment over the
+//!    mean (checked in exact integer arithmetic).
+//! 3. **Determinism**: planning twice over the same inputs yields the
+//!    identical `GroupPlan` (the assignment feeds cross-process digests,
+//!    so platform- and run-independence is a correctness property).
+
+use ls3df::atoms::{Atom, Species};
+use ls3df::grid::Grid3;
+use ls3df::{fragment_costs, plan_groups, FragmentGrid, Structure};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random structure: `n_atoms` atoms scattered in a
+/// box sized to the decomposition (LCG from `seed`, no external RNG).
+fn model_structure(m: [usize; 3], n_atoms: usize, seed: u64) -> Structure {
+    let lengths = [m[0] as f64 * 5.0, m[1] as f64 * 5.0, m[2] as f64 * 5.0];
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    let atoms = (0..n_atoms)
+        .map(|i| Atom {
+            species: if i % 2 == 0 { Species::Zn } else { Species::Te },
+            pos: [
+                next() * lengths[0],
+                next() * lengths[1],
+                next() * lengths[2],
+            ],
+        })
+        .collect();
+    Structure::new(lengths, atoms)
+}
+
+/// The shared fixture: a decomposition with 4 grid points per piece per
+/// axis (geometry only — no planewave machinery is built here).
+fn fixture(m: [usize; 3], n_atoms: usize, seed: u64) -> (FragmentGrid, Structure) {
+    let s = model_structure(m, n_atoms, seed);
+    let global = Grid3::new([m[0] * 4, m[1] * 4, m[2] * 4], s.lengths);
+    let fg = FragmentGrid::new(m, &global, [1, 1, 1]).expect("valid decomposition");
+    (fg, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_fragment_assigned_exactly_once(
+        mx in 2usize..5,
+        my in 2usize..5,
+        mz in 2usize..5,
+        n_groups in 1usize..9,
+        n_atoms in 0usize..48,
+        seed in 0u64..1000,
+    ) {
+        let (fg, s) = fixture([mx, my, mz], n_atoms, seed);
+        let plan = plan_groups(&fg, &s, n_groups);
+        let n = fg.n_fragments();
+        prop_assert_eq!(plan.n_groups, n_groups);
+        prop_assert_eq!(plan.owner.len(), n);
+        prop_assert_eq!(plan.groups.len(), n_groups);
+        let mut seen = vec![0usize; n];
+        for (g, members) in plan.groups.iter().enumerate() {
+            for &f in members {
+                prop_assert!(f < n, "group {} names unknown fragment {}", g, f);
+                seen[f] += 1;
+                prop_assert_eq!(
+                    plan.owner[f], g,
+                    "owner array disagrees with group {} membership", g
+                );
+            }
+        }
+        for (f, &count) in seen.iter().enumerate() {
+            prop_assert_eq!(count, 1, "fragment {} assigned {} times", f, count);
+        }
+    }
+
+    #[test]
+    fn imbalance_bounded_by_heaviest_fragment(
+        mx in 2usize..5,
+        my in 2usize..5,
+        mz in 2usize..5,
+        n_groups in 1usize..9,
+        n_atoms in 0usize..48,
+        seed in 0u64..1000,
+    ) {
+        let (fg, s) = fixture([mx, my, mz], n_atoms, seed);
+        let plan = plan_groups(&fg, &s, n_groups);
+        let costs = fragment_costs(&fg, &s);
+        // Per-group bookkeeping is consistent with the per-fragment model.
+        for (gi, members) in plan.groups.iter().enumerate() {
+            let sum: u64 = members.iter().map(|&f| costs[f]).sum();
+            prop_assert_eq!(sum, plan.costs[gi], "group {} cost mismatch", gi);
+        }
+        let total: u64 = costs.iter().sum();
+        let heaviest = costs.iter().copied().max().unwrap_or(0);
+        let max_group = plan.costs.iter().copied().max().unwrap_or(0);
+        let g = n_groups as u64;
+        // max ≤ ceil(total/M) + heaviest, exactly, in integers:
+        // M·max ≤ total + (M−1) + M·heaviest. Dividing by M·mean gives
+        // the advertised bound max/mean − 1 ≤ heaviest/mean (+ rounding).
+        prop_assert!(
+            g * max_group <= total + (g - 1) + g * heaviest,
+            "imbalance bound violated: groups={}, max_group={}, total={}, heaviest={}",
+            n_groups, max_group, total, heaviest
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic(
+        mx in 2usize..5,
+        my in 2usize..5,
+        mz in 2usize..5,
+        n_groups in 1usize..9,
+        n_atoms in 0usize..48,
+        seed in 0u64..1000,
+    ) {
+        let (fg, s) = fixture([mx, my, mz], n_atoms, seed);
+        let p1 = plan_groups(&fg, &s, n_groups);
+        let p2 = plan_groups(&fg, &s, n_groups);
+        prop_assert_eq!(p1, p2);
+    }
+}
