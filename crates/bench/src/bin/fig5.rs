@@ -75,11 +75,25 @@ fn child() {
         .build()
         .expect("valid measured-leg geometry");
     if calc.comm().rank() != 0 {
-        // Worker rank: participate in the SCF, say nothing.
+        // Worker rank: participate in the SCF, say nothing. (With obs
+        // on, the driver's telemetry epilogue ships this rank's spans
+        // and counters to rank 0 before returning.)
         let _ = calc.try_scf();
         return;
     }
-    let res = calc.try_scf().expect("measured fig5 SCF must complete");
+    let groups = calc.comm().size();
+    let predicted_costs = calc.group_plan().costs.clone();
+    // Rank 0 collects the full observability record: with obs on, the
+    // merged schema-v2 report (one `ranks` section per group) and a
+    // chrome://tracing file with one lane per rank land next to
+    // BENCH_fig5.json.
+    let mut tracer = ls3df_core::TraceObserver::new("fig5-measured");
+    if ls3df_obs::ENABLED {
+        tracer = tracer.with_trace_file(format!("TRACE_fig5_groups{groups}.json"));
+    }
+    let res = calc
+        .try_scf_with(&mut tracer)
+        .expect("measured fig5 SCF must complete");
     let petot: f64 = res.history.iter().map(|h| h.timings.petot_f).sum();
     let total: f64 = res
         .history
@@ -94,11 +108,40 @@ fn child() {
         .iter()
         .copied()
         .fold(0.0f64, f64::max);
+    let min_group = res
+        .group_petot_seconds
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let imbalance = max_over_mean(&res.group_petot_seconds);
+    let predicted: Vec<f64> = predicted_costs.iter().map(|&c| c as f64).collect();
+    let predicted_imbalance = max_over_mean(&predicted);
     println!(
-        "FIG5_RESULT groups={} petot={petot:.6} total={total:.6} maxgroup={max_group:.6} digest={:016x}",
+        "FIG5_RESULT groups={} petot={petot:.6} total={total:.6} maxgroup={max_group:.6} \
+         imb={imbalance:.6} predimb={predicted_imbalance:.6} straggler={:.6} digest={:016x}",
         res.group_petot_seconds.len(),
+        (max_group - min_group).max(0.0),
         density_digest(&res)
     );
+    if ls3df_obs::ENABLED {
+        let report = tracer.finish();
+        let path = format!("BENCH_fig5_rankreport_groups{groups}.json");
+        match report.write(Path::new(&path)) {
+            Ok(()) => println!("rank report -> {path}"),
+            Err(e) => eprintln!("rank report write failed: {e}"),
+        }
+    }
+}
+
+/// Load-imbalance ratio max/mean; 1.0 for empty or all-zero input (a
+/// single group, or the scheduler's trivial `costs: [0]` plan).
+fn max_over_mean(values: &[f64]) -> f64 {
+    let sum: f64 = values.iter().sum();
+    if values.is_empty() || sum <= 0.0 {
+        return 1.0;
+    }
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    max * values.len() as f64 / sum
 }
 
 struct Measured {
@@ -106,6 +149,9 @@ struct Measured {
     petot: f64,
     total: f64,
     max_group: f64,
+    imbalance: f64,
+    predicted_imbalance: f64,
+    straggler: f64,
     digest: String,
 }
 
@@ -120,6 +166,9 @@ fn parse_measured(stdout: &str) -> Option<Measured> {
         petot: field("petot=")?.parse().ok()?,
         total: field("total=")?.parse().ok()?,
         max_group: field("maxgroup=")?.parse().ok()?,
+        imbalance: field("imb=")?.parse().ok()?,
+        predicted_imbalance: field("predimb=")?.parse().ok()?,
+        straggler: field("straggler=")?.parse().ok()?,
         digest: field("digest=")?.to_string(),
     })
 }
@@ -250,18 +299,26 @@ fn main() {
     if let Some(groups) = requested {
         println!("\nmeasured two-level runs on this host (LS3DF_GROUPS={groups}):");
         println!(
-            "{:>8} {:>12} {:>10} {:>14} {:>18}",
-            "groups", "PEtot_F (s)", "speedup", "max group (s)", "density digest"
+            "{:>8} {:>12} {:>10} {:>14} {:>10} {:>14} {:>18}",
+            "groups",
+            "PEtot_F (s)",
+            "speedup",
+            "max group (s)",
+            "imbalance",
+            "straggler (s)",
+            "density digest"
         );
         let rows = run_measured(groups);
         let base = rows[0].petot;
         for r in &rows {
             println!(
-                "{:>8} {:>12.3} {:>9.2}\u{d7} {:>14.3} {:>18}",
+                "{:>8} {:>12.3} {:>9.2}\u{d7} {:>14.3} {:>10.3} {:>14.3} {:>18}",
                 r.groups,
                 r.petot,
                 base / r.petot.max(1e-12),
                 r.max_group,
+                r.imbalance,
+                r.straggler,
                 r.digest
             );
         }
@@ -278,6 +335,12 @@ fn main() {
                     ("petot_seconds", Json::num(r.petot)),
                     ("total_seconds", Json::num(r.total)),
                     ("max_group_seconds", Json::num(r.max_group)),
+                    ("imbalance_ratio", Json::num(r.imbalance)),
+                    (
+                        "predicted_imbalance_ratio",
+                        Json::num(r.predicted_imbalance),
+                    ),
+                    ("straggler_gap_seconds", Json::num(r.straggler)),
                     ("digest", Json::str(r.digest.clone())),
                     ("provenance", Json::str("measured")),
                 ])

@@ -383,6 +383,18 @@ fn proto_err(e: CkptError) -> Ls3dfError {
     })
 }
 
+/// Stable kind string for a [`CommError`], stamped on `down` rank
+/// sections in merged run reports.
+fn comm_error_kind(e: &CommError) -> &'static str {
+    match e {
+        CommError::RankDown { .. } => "rank_down",
+        CommError::Timeout { .. } => "timeout",
+        CommError::Protocol { .. } => "protocol",
+        CommError::Io { .. } => "io",
+        CommError::Bootstrap { .. } => "bootstrap",
+    }
+}
+
 /// Fluent constructor for [`Ls3df`].
 ///
 /// ```ignore
@@ -1202,6 +1214,13 @@ impl Ls3df {
         let comm = Arc::clone(&self.comm);
         let multi = comm.size() > 1;
         let rank = comm.rank();
+        // Stamp the world coordinates into the obs sink so this rank's
+        // harvest is attributable, and hand the scheduler's predicted
+        // cost bins to the report merge for the imbalance section.
+        ls3df_obs::telemetry::set_rank(rank, comm.size());
+        if ls3df_obs::ENABLED && rank == 0 {
+            ls3df_obs::telemetry::set_predicted_costs(self.plan.costs.clone());
+        }
         let mut group_petot_seconds = vec![0.0f64; comm.size()];
         let mut mixer = MixerState::new(self.opts.mixer.clone());
         let mut history = Vec::new();
@@ -1216,246 +1235,338 @@ impl Ls3df {
             observer.on_snapshot_restored(start_iteration);
         }
 
-        for iteration in (start_iteration + 1)..=self.opts.max_scf {
-            if converged {
-                break;
-            }
-            let mut timings = StepTimings::default();
-            let _iter_span = span!("scf_iter", iteration);
+        // The iteration loop runs inside a closure so a communicator
+        // failure mid-run still reaches the telemetry epilogue below:
+        // rank 0 can then mark the culprit rank `down` in the merged
+        // report instead of losing every rank's sections.
+        let loop_result: Result<(), Ls3dfError> = (|| {
+            for iteration in (start_iteration + 1)..=self.opts.max_scf {
+                if converged {
+                    break;
+                }
+                let mut timings = StepTimings::default();
+                let _iter_span = span!("scf_iter", iteration);
 
-            let t = Stopwatch::start();
-            let vfs = {
-                let _s = span!("gen_vf");
-                self.gen_vf()
-            };
-            timings.gen_vf = t.seconds();
-            observer.on_stage(iteration, ScfStage::GenVf, timings.gen_vf);
+                let t = Stopwatch::start();
+                let vfs = {
+                    let _s = span!("gen_vf");
+                    self.gen_vf()
+                };
+                timings.gen_vf = t.seconds();
+                observer.on_stage(iteration, ScfStage::GenVf, timings.gen_vf);
 
-            let t = Stopwatch::start();
-            let steps = if iteration == 1 {
-                self.opts.initial_cg_steps.max(self.opts.cg_steps)
-            } else {
-                self.opts.cg_steps
-            };
-            let mut petot = {
-                let _s = span!("petot_f");
-                self.petot_f_supervised(&vfs, steps)
-            };
-            let local_petot = t.seconds();
-            group_petot_seconds[rank] += local_petot;
+                let t = Stopwatch::start();
+                let steps = if iteration == 1 {
+                    self.opts.initial_cg_steps.max(self.opts.cg_steps)
+                } else {
+                    self.opts.cg_steps
+                };
+                let mut petot = {
+                    let _s = span!("petot_f");
+                    self.petot_f_supervised(&vfs, steps)
+                };
+                let local_petot = t.seconds();
+                group_petot_seconds[rank] += local_petot;
 
-            if multi && rank != 0 {
-                // Group layer (worker rank): report this group's outcome
-                // to the global layer, then adopt its broadcast state.
-                // Region densities travel bit-exact, so rank 0's patch
-                // replays the single-process accumulation unchanged.
-                timings.petot_f = local_petot;
+                if multi && rank != 0 {
+                    // Group layer (worker rank): report this group's outcome
+                    // to the global layer, then adopt its broadcast state.
+                    // Region densities travel bit-exact, so rank 0's patch
+                    // replays the single-process accumulation unchanged.
+                    timings.petot_f = local_petot;
+                    observer.on_stage(iteration, ScfStage::PetotF, timings.petot_f);
+                    quarantined.extend(petot.quarantined.iter().cloned());
+                    let mine: Vec<usize> = self.plan.groups[rank].clone();
+                    let flags: Vec<(usize, bool)> = mine
+                        .iter()
+                        .map(|&i| (i, self.fragments[i].quarantined))
+                        .collect();
+                    let regions = {
+                        let _s = span!("gen_dens");
+                        self.gen_dens_parts(&mine)
+                    };
+                    let report = distrib::PetotReport {
+                        worst_residual: petot.worst_residual,
+                        petot_seconds: local_petot,
+                        flags,
+                        faults: petot.faults,
+                        quarantined: petot.quarantined,
+                        regions,
+                    };
+                    comm.send_sections(
+                        0,
+                        iteration as u32,
+                        &distrib::encode_petot_report(&report),
+                    )?;
+
+                    // End-of-iteration broadcast: next V_in, patched ρ, and
+                    // the completed step record.
+                    let bytes = comm.broadcast(0, Vec::new())?;
+                    let snap = Snapshot::decode(&bytes).map_err(proto_err)?;
+                    let msg = distrib::decode_vnext(&snap).map_err(proto_err)?;
+                    let step = msg.step;
+                    self.v_in = msg.v_in;
+                    self.rho = msg.rho;
+                    converged = msg.converged;
+                    observer.on_step(&step);
+                    history.push(step);
+
+                    if let Some(cfg) = &self.ckpt {
+                        if cfg.policy.wants_snapshot(iteration, converged) {
+                            // Rank 0 cuts the snapshot; this rank contributes
+                            // its owned wavefunction blocks.
+                            let blocks: Vec<(usize, &Matrix<c64>)> =
+                                mine.iter().map(|&i| (i, &self.fragments[i].psi)).collect();
+                            comm.send_sections(
+                                0,
+                                PSI_GATHER_TAG | iteration as u32,
+                                &distrib::encode_psi_gather(&blocks),
+                            )?;
+                        }
+                    }
+                    if converged {
+                        observer.on_converged(&step);
+                    }
+                    continue;
+                }
+
+                // Global layer: fold every group's report into the local
+                // outcome before the fault replay, so observer events and
+                // counters cover the whole run in merged fragment order. The
+                // PEtot_F stage time includes the wait — it is the true
+                // barrier wall time (the paper reports the stage, not a rank).
+                let mut remote_parts: Vec<(usize, RealField)> = Vec::new();
+                if multi {
+                    for r in 1..comm.size() {
+                        let snap = comm.recv_sections(r, iteration as u32)?;
+                        let report = distrib::decode_petot_report(&snap).map_err(proto_err)?;
+                        petot.worst_residual = petot.worst_residual.max(report.worst_residual);
+                        group_petot_seconds[r] += report.petot_seconds;
+                        // Remote quarantine flags drive the same Gen_dens
+                        // check suspension as local ones.
+                        for (i, q) in report.flags {
+                            let Some(fs) = self.fragments.get_mut(i) else {
+                                return Err(Ls3dfError::Comm(CommError::Protocol {
+                                    detail: format!("group {r} reported unknown fragment {i}"),
+                                }));
+                            };
+                            fs.quarantined = q;
+                        }
+                        petot.faults.extend(report.faults);
+                        petot.quarantined.extend(report.quarantined);
+                        remote_parts.extend(report.regions);
+                    }
+                    petot.faults.sort_by_key(|f| (f.fragment, f.attempt));
+                    petot.quarantined.sort_by_key(|r| r.fragment);
+                }
+                timings.petot_f = t.seconds();
+                // Fault events replay in fragment order after the parallel
+                // stage completes, so the observer stream is deterministic.
+                counter_add(Counter::RetryRungs, petot.faults.len() as u64);
+                counter_add(Counter::Quarantines, petot.quarantined.len() as u64);
+                for fault in &petot.faults {
+                    observer.on_fragment_retry(iteration, fault);
+                }
+                for record in &petot.quarantined {
+                    observer.on_fragment_quarantined(iteration, record);
+                }
+                let worst_residual = petot.worst_residual;
+                quarantined.extend(petot.quarantined);
                 observer.on_stage(iteration, ScfStage::PetotF, timings.petot_f);
-                quarantined.extend(petot.quarantined.iter().cloned());
-                let mine: Vec<usize> = self.plan.groups[rank].clone();
-                let flags: Vec<(usize, bool)> = mine
-                    .iter()
-                    .map(|&i| (i, self.fragments[i].quarantined))
-                    .collect();
-                let regions = {
-                    let _s = span!("gen_dens");
-                    self.gen_dens_parts(&mine)
-                };
-                let report = distrib::PetotReport {
-                    worst_residual: petot.worst_residual,
-                    petot_seconds: local_petot,
-                    flags,
-                    faults: petot.faults,
-                    quarantined: petot.quarantined,
-                    regions,
-                };
-                comm.send_sections(0, iteration as u32, &distrib::encode_petot_report(&report))?;
 
-                // End-of-iteration broadcast: next V_in, patched ρ, and
-                // the completed step record.
-                let bytes = comm.broadcast(0, Vec::new())?;
-                let snap = Snapshot::decode(&bytes).map_err(proto_err)?;
-                let msg = distrib::decode_vnext(&snap).map_err(proto_err)?;
-                let step = msg.step;
-                self.v_in = msg.v_in;
-                self.rho = msg.rho;
-                converged = msg.converged;
+                let t = Stopwatch::start();
+                let rho = {
+                    let _s = span!("gen_dens");
+                    let mut parts = self.gen_dens_parts(&self.plan.groups[0]);
+                    parts.extend(remote_parts);
+                    // Ascending fragment order replays the single-process
+                    // accumulation sequence exactly — the bit-identity across
+                    // group counts rests on this sort.
+                    parts.sort_by_key(|&(i, _)| i);
+                    self.patch_density(parts)
+                };
+                timings.gen_dens = t.seconds();
+                observer.on_stage(iteration, ScfStage::GenDens, timings.gen_dens);
+
+                let t = Stopwatch::start();
+                let (v_out, dv_integral, mixed) = {
+                    let _s = span!("genpot");
+                    let v_out = self.genpot(&rho);
+                    let dv_integral = v_out.diff(&self.v_in).integrate_abs();
+                    let mixed = {
+                        let _m = span!("mix");
+                        mixer.mix(&self.v_in, &v_out, self.global_basis.fft())
+                    };
+                    (v_out, dv_integral, mixed)
+                };
+                timings.genpot = t.seconds();
+                observer.on_stage(iteration, ScfStage::Genpot, timings.genpot);
+
+                self.rho = rho;
+                converged = dv_integral < self.opts.tol;
+                // V_in becomes the *next* iteration's input before any
+                // snapshot is cut, so a resumed run starts from exactly the
+                // potential an uninterrupted run would have used.
+                self.v_in = if converged { v_out } else { mixed };
+                let step = Ls3dfStep {
+                    iteration,
+                    dv_integral,
+                    worst_residual,
+                    timings,
+                };
+                if multi {
+                    // End-of-iteration broadcast: every rank finishes the
+                    // iteration with identical state and identical history.
+                    let msg = distrib::VnextMessage {
+                        v_in: self.v_in.clone(),
+                        rho: self.rho.clone(),
+                        step,
+                        converged,
+                    };
+                    let bytes = distrib::encode_vnext(&msg).encode().map_err(proto_err)?;
+                    comm.broadcast(0, bytes)?;
+                }
                 observer.on_step(&step);
                 history.push(step);
 
-                if let Some(cfg) = &self.ckpt {
-                    if cfg.policy.wants_snapshot(iteration, converged) {
-                        // Rank 0 cuts the snapshot; this rank contributes
-                        // its owned wavefunction blocks.
-                        let blocks: Vec<(usize, &Matrix<c64>)> =
-                            mine.iter().map(|&i| (i, &self.fragments[i].psi)).collect();
-                        comm.send_sections(
-                            0,
-                            PSI_GATHER_TAG | iteration as u32,
-                            &distrib::encode_psi_gather(&blocks),
-                        )?;
+                let wants_snapshot = self
+                    .ckpt
+                    .as_ref()
+                    .is_some_and(|cfg| cfg.policy.wants_snapshot(iteration, converged));
+                if wants_snapshot {
+                    let _s = span!("snapshot");
+                    if multi {
+                        // Gather the workers' wavefunction blocks first, so
+                        // the snapshot covers every fragment — snapshots stay
+                        // group-count-independent and resumable at any
+                        // LS3DF_GROUPS.
+                        for r in 1..comm.size() {
+                            let snap = comm.recv_sections(r, PSI_GATHER_TAG | iteration as u32)?;
+                            let blocks = distrib::decode_psi_gather(&snap).map_err(proto_err)?;
+                            for (i, psi) in blocks {
+                                let Some(fs) = self.fragments.get_mut(i) else {
+                                    return Err(Ls3dfError::Comm(CommError::Protocol {
+                                        detail: format!(
+                                            "psi gather from group {r} names unknown fragment {i}"
+                                        ),
+                                    }));
+                                };
+                                if psi.rows() != fs.psi.rows() || psi.cols() != fs.psi.cols() {
+                                    return Err(Ls3dfError::Comm(CommError::Protocol {
+                                        detail: format!(
+                                            "psi gather from group {r}: fragment {i} block is \
+                                         {}×{}, expected {}×{}",
+                                            psi.rows(),
+                                            psi.cols(),
+                                            fs.psi.rows(),
+                                            fs.psi.cols()
+                                        ),
+                                    }));
+                                }
+                                fs.psi = psi;
+                            }
+                        }
+                    }
+                    if let Some(cfg) = &self.ckpt {
+                        match self.snapshot_bytes(iteration, converged, &history, mixer.history()) {
+                            Ok(bytes) => {
+                                match write_rotated(&cfg.dir, iteration, &bytes, cfg.keep_last) {
+                                    Ok(path) => observer.on_snapshot_written(iteration, &path),
+                                    Err(e) => observer.on_snapshot_failed(iteration, &e),
+                                }
+                            }
+                            Err(e) => observer.on_snapshot_failed(iteration, &e),
+                        }
                     }
                 }
+
                 if converged {
                     observer.on_converged(&step);
                 }
-                continue;
             }
+            Ok(())
+        })();
 
-            // Global layer: fold every group's report into the local
-            // outcome before the fault replay, so observer events and
-            // counters cover the whole run in merged fragment order. The
-            // PEtot_F stage time includes the wait — it is the true
-            // barrier wall time (the paper reports the stage, not a rank).
-            let mut remote_parts: Vec<(usize, RealField)> = Vec::new();
-            if multi {
-                for r in 1..comm.size() {
-                    let snap = comm.recv_sections(r, iteration as u32)?;
-                    let report = distrib::decode_petot_report(&snap).map_err(proto_err)?;
-                    petot.worst_residual = petot.worst_residual.max(report.worst_residual);
-                    group_petot_seconds[r] += report.petot_seconds;
-                    // Remote quarantine flags drive the same Gen_dens
-                    // check suspension as local ones.
-                    for (i, q) in report.flags {
-                        let Some(fs) = self.fragments.get_mut(i) else {
-                            return Err(Ls3dfError::Comm(CommError::Protocol {
-                                detail: format!("group {r} reported unknown fragment {i}"),
-                            }));
-                        };
-                        fs.quarantined = q;
-                    }
-                    petot.faults.extend(report.faults);
-                    petot.quarantined.extend(report.quarantined);
-                    remote_parts.extend(report.regions);
+        // Telemetry epilogue: after the final iteration, worker ranks
+        // ship their harvested spans/counters/comm histograms to rank 0
+        // on a disjoint tag; rank 0 stashes each payload for the report
+        // merge. Every failure mode degrades to a `Missing`/`Down`
+        // payload (⇒ `telemetry_incomplete` in the report) — it never
+        // becomes an error and never hangs (receives stay bounded by
+        // the communicator's timeout).
+        if ls3df_obs::ENABLED && multi {
+            if rank != 0 {
+                if loop_result.is_ok() {
+                    let data = ls3df_obs::harvest();
+                    let t = ls3df_obs::RankTelemetry {
+                        rank,
+                        size: comm.size(),
+                        spans: data.spans,
+                        threads: data.threads,
+                        counters: data
+                            .counters
+                            .into_iter()
+                            .map(|(name, value)| (name.to_string(), value))
+                            .collect(),
+                        comm: ls3df_dist::drain_telemetry(),
+                    };
+                    // Best-effort: if rank 0 is already gone there is
+                    // nobody left to read the report anyway.
+                    let _ = comm.send_sections(
+                        0,
+                        ls3df_dist::TELEMETRY_TAG,
+                        &distrib::encode_obstelem(&t),
+                    );
                 }
-                petot.faults.sort_by_key(|f| (f.fragment, f.attempt));
-                petot.quarantined.sort_by_key(|r| r.fragment);
-            }
-            timings.petot_f = t.seconds();
-            // Fault events replay in fragment order after the parallel
-            // stage completes, so the observer stream is deterministic.
-            counter_add(Counter::RetryRungs, petot.faults.len() as u64);
-            counter_add(Counter::Quarantines, petot.quarantined.len() as u64);
-            for fault in &petot.faults {
-                observer.on_fragment_retry(iteration, fault);
-            }
-            for record in &petot.quarantined {
-                observer.on_fragment_quarantined(iteration, record);
-            }
-            let worst_residual = petot.worst_residual;
-            quarantined.extend(petot.quarantined);
-            observer.on_stage(iteration, ScfStage::PetotF, timings.petot_f);
-
-            let t = Stopwatch::start();
-            let rho = {
-                let _s = span!("gen_dens");
-                let mut parts = self.gen_dens_parts(&self.plan.groups[0]);
-                parts.extend(remote_parts);
-                // Ascending fragment order replays the single-process
-                // accumulation sequence exactly — the bit-identity across
-                // group counts rests on this sort.
-                parts.sort_by_key(|&(i, _)| i);
-                self.patch_density(parts)
-            };
-            timings.gen_dens = t.seconds();
-            observer.on_stage(iteration, ScfStage::GenDens, timings.gen_dens);
-
-            let t = Stopwatch::start();
-            let (v_out, dv_integral, mixed) = {
-                let _s = span!("genpot");
-                let v_out = self.genpot(&rho);
-                let dv_integral = v_out.diff(&self.v_in).integrate_abs();
-                let mixed = {
-                    let _m = span!("mix");
-                    mixer.mix(&self.v_in, &v_out, self.global_basis.fft())
-                };
-                (v_out, dv_integral, mixed)
-            };
-            timings.genpot = t.seconds();
-            observer.on_stage(iteration, ScfStage::Genpot, timings.genpot);
-
-            self.rho = rho;
-            converged = dv_integral < self.opts.tol;
-            // V_in becomes the *next* iteration's input before any
-            // snapshot is cut, so a resumed run starts from exactly the
-            // potential an uninterrupted run would have used.
-            self.v_in = if converged { v_out } else { mixed };
-            let step = Ls3dfStep {
-                iteration,
-                dv_integral,
-                worst_residual,
-                timings,
-            };
-            if multi {
-                // End-of-iteration broadcast: every rank finishes the
-                // iteration with identical state and identical history.
-                let msg = distrib::VnextMessage {
-                    v_in: self.v_in.clone(),
-                    rho: self.rho.clone(),
-                    step,
-                    converged,
-                };
-                let bytes = distrib::encode_vnext(&msg).encode().map_err(proto_err)?;
-                comm.broadcast(0, bytes)?;
-            }
-            observer.on_step(&step);
-            history.push(step);
-
-            let wants_snapshot = self
-                .ckpt
-                .as_ref()
-                .is_some_and(|cfg| cfg.policy.wants_snapshot(iteration, converged));
-            if wants_snapshot {
-                let _s = span!("snapshot");
-                if multi {
-                    // Gather the workers' wavefunction blocks first, so
-                    // the snapshot covers every fragment — snapshots stay
-                    // group-count-independent and resumable at any
-                    // LS3DF_GROUPS.
-                    for r in 1..comm.size() {
-                        let snap = comm.recv_sections(r, PSI_GATHER_TAG | iteration as u32)?;
-                        let blocks = distrib::decode_psi_gather(&snap).map_err(proto_err)?;
-                        for (i, psi) in blocks {
-                            let Some(fs) = self.fragments.get_mut(i) else {
-                                return Err(Ls3dfError::Comm(CommError::Protocol {
-                                    detail: format!(
-                                        "psi gather from group {r} names unknown fragment {i}"
-                                    ),
-                                }));
+            } else {
+                match &loop_result {
+                    Ok(()) => {
+                        for r in 1..comm.size() {
+                            let payload = match comm.recv_sections(r, ls3df_dist::TELEMETRY_TAG) {
+                                Ok(snap) => match distrib::decode_obstelem(&snap) {
+                                    Ok(t) if t.rank == r && t.size == comm.size() => {
+                                        ls3df_obs::RankPayload::Telemetry(t)
+                                    }
+                                    // Shape mismatch or codec error:
+                                    // drop the payload, keep the run.
+                                    _ => ls3df_obs::RankPayload::Missing { rank: r },
+                                },
+                                Err(CommError::RankDown { .. }) => ls3df_obs::RankPayload::Down {
+                                    rank: r,
+                                    kind: "rank_down".to_string(),
+                                },
+                                Err(_) => ls3df_obs::RankPayload::Missing { rank: r },
                             };
-                            if psi.rows() != fs.psi.rows() || psi.cols() != fs.psi.cols() {
-                                return Err(Ls3dfError::Comm(CommError::Protocol {
-                                    detail: format!(
-                                        "psi gather from group {r}: fragment {i} block is \
-                                         {}×{}, expected {}×{}",
-                                        psi.rows(),
-                                        psi.cols(),
-                                        fs.psi.rows(),
-                                        fs.psi.cols()
-                                    ),
-                                }));
-                            }
-                            fs.psi = psi;
+                            ls3df_obs::telemetry::submit_remote(payload);
                         }
                     }
-                }
-                if let Some(cfg) = &self.ckpt {
-                    match self.snapshot_bytes(iteration, converged, &history, mixer.history()) {
-                        Ok(bytes) => {
-                            match write_rotated(&cfg.dir, iteration, &bytes, cfg.keep_last) {
-                                Ok(path) => observer.on_snapshot_written(iteration, &path),
-                                Err(e) => observer.on_snapshot_failed(iteration, &e),
-                            }
+                    Err(Ls3dfError::Comm(e)) => {
+                        // The run died on a communicator fault: mark the
+                        // culprit rank down (typed by the error kind) and
+                        // everyone else missing — no further receives.
+                        let culprit = match e {
+                            CommError::RankDown { rank } => Some(*rank),
+                            CommError::Timeout { from, .. } => Some(*from),
+                            _ => None,
+                        };
+                        for r in 1..comm.size() {
+                            let payload = if Some(r) == culprit {
+                                ls3df_obs::RankPayload::Down {
+                                    rank: r,
+                                    kind: comm_error_kind(e).to_string(),
+                                }
+                            } else {
+                                ls3df_obs::RankPayload::Missing { rank: r }
+                            };
+                            ls3df_obs::telemetry::submit_remote(payload);
                         }
-                        Err(e) => observer.on_snapshot_failed(iteration, &e),
                     }
+                    Err(_) => {}
                 }
-            }
-
-            if converged {
-                observer.on_converged(&step);
             }
         }
+
+        loop_result?;
 
         Ok(Ls3dfResult {
             history,

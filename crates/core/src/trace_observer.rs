@@ -24,6 +24,7 @@ use crate::observer::{ScfObserver, ScfStage};
 use crate::scf::Ls3dfStep;
 use crate::supervise::{FragmentFault, QuarantineRecord};
 use ls3df_obs::report::{StageRow, StepRow};
+use ls3df_obs::trace::TraceLane;
 use ls3df_obs::{Json, MachineRef, Report, Stopwatch};
 use std::path::PathBuf;
 
@@ -70,6 +71,9 @@ impl TraceObserver {
     /// `"command"` field). Resets the global span/counter state.
     pub fn new(command: impl Into<String>) -> Self {
         ls3df_obs::reset();
+        // Also drain the communicator histograms so comm rows harvested
+        // at `finish` are attributable to this run alone.
+        let _ = ls3df_dist::drain_telemetry();
         TraceObserver {
             stopwatch: Stopwatch::start(),
             command: command.into(),
@@ -138,8 +142,41 @@ impl TraceObserver {
                 Json::num(self.quarantines as f64),
             ));
         }
+        // Rank-aware assembly: when the run was distributed, rank 0's
+        // SCF epilogue stashed every worker's telemetry payload (or a
+        // `Down`/`Missing` marker) for us to fold into the schema-v2
+        // `ranks` section. The trace then gets one lane per rank
+        // (`pid` = rank) instead of a single flat process.
+        let rank = ls3df_obs::telemetry::rank();
+        let multi = ls3df_obs::ENABLED && ls3df_obs::telemetry::world_size() > 1;
+        let (remote, predicted_costs) = if multi && rank == 0 {
+            ls3df_obs::telemetry::take_stash()
+        } else {
+            (Vec::new(), Vec::new())
+        };
         if let Some(path) = &self.trace_path {
-            match ls3df_obs::trace::write_chrome_trace(path, &data.spans, &data.threads) {
+            let written = if multi {
+                let mut lanes = vec![TraceLane {
+                    pid: rank as u64,
+                    name: format!("rank {rank}"),
+                    spans: &data.spans,
+                    threads: &data.threads,
+                }];
+                for payload in &remote {
+                    if let ls3df_obs::RankPayload::Telemetry(t) = payload {
+                        lanes.push(TraceLane {
+                            pid: t.rank as u64,
+                            name: format!("rank {}", t.rank),
+                            spans: &t.spans,
+                            threads: &t.threads,
+                        });
+                    }
+                }
+                ls3df_obs::trace::write_chrome_trace_lanes(path, &lanes)
+            } else {
+                ls3df_obs::trace::write_chrome_trace(path, &data.spans, &data.threads)
+            };
+            match written {
                 Ok(()) => report.extra.push((
                     "trace_file".to_string(),
                     Json::str(path.display().to_string()),
@@ -148,6 +185,21 @@ impl TraceObserver {
                     .extra
                     .push(("trace_file_error".to_string(), Json::str(e.to_string()))),
             }
+        }
+        if multi && rank == 0 {
+            let local = ls3df_obs::RankTelemetry {
+                rank: 0,
+                size: ls3df_obs::telemetry::world_size(),
+                spans: data.spans,
+                threads: data.threads,
+                counters: data
+                    .counters
+                    .into_iter()
+                    .map(|(name, value)| (name.to_string(), value))
+                    .collect(),
+                comm: ls3df_dist::drain_telemetry(),
+            };
+            ls3df_obs::telemetry::merge_ranks(&mut report, local, remote, &predicted_costs);
         }
         report
     }

@@ -40,10 +40,12 @@
 
 mod local;
 mod single;
+mod telemetry;
 pub(crate) mod wire;
 
 pub use local::LocalProcs;
 pub use single::SingleProcess;
+pub use telemetry::drain_telemetry;
 
 use ls3df_ckpt::Snapshot;
 use std::process::Child;
@@ -64,6 +66,12 @@ pub const ENV_TIMEOUT_MS: &str = "LS3DF_DIST_TIMEOUT_MS";
 /// Default bounded-receive timeout (two minutes — generous next to any
 /// in-repo solve, tiny next to a hung CI job).
 pub const DEFAULT_TIMEOUT_MS: u64 = 120_000;
+
+/// Tag bit reserved for post-run telemetry shipment (workers → rank 0).
+/// Disjoint from the SCF's plain iteration tags and from the psi-gather
+/// bit (bit 31), so a late telemetry frame can never be mistaken for
+/// SCF data; the transport's histograms also use it to classify frames.
+pub const TELEMETRY_TAG: u32 = 0x4000_0000;
 
 /// Transport-layer failure, always naming the peer rank where one is
 /// involved.

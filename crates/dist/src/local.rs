@@ -27,15 +27,19 @@
 //! acceptable because every `CommError` is terminal for the SCF run
 //! (the `MPI_ERRORS_ARE_FATAL` analogue).
 
+use crate::telemetry::{record_frame, DIR_RECV, DIR_SEND};
 use crate::wire::{self, KIND_BARRIER, KIND_BCAST, KIND_DATA, KIND_HELLO, KIND_REDUCE};
 use crate::{fixed_order_tree_sum, lock, CommError, Communicator};
-use ls3df_obs::{counter_add, Counter};
+use ls3df_obs::clock::epoch_nanos;
+use ls3df_obs::{counter_add, span, Counter};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::ErrorKind;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+// obs-audit: deadline/timeout bookkeeping only — comm *measurement*
+// goes through ls3df-obs spans and the telemetry histograms.
 use std::time::{Duration, Instant};
 
 /// Sequence-counter slots for the three collectives.
@@ -121,7 +125,30 @@ impl LocalProcs {
         Ok(())
     }
 
+    /// Sends one frame, feeding the transport histograms (payload size
+    /// and blocking time of the write) when observability is on.
     fn send_frame(&self, dst: usize, kind: u32, tag: u32, payload: &[u8]) -> Result<(), CommError> {
+        let t0 = if ls3df_obs::ENABLED { epoch_nanos() } else { 0 };
+        let result = self.send_frame_inner(dst, kind, tag, payload);
+        if ls3df_obs::ENABLED && result.is_ok() {
+            record_frame(
+                DIR_SEND,
+                kind,
+                tag,
+                payload.len() as u64,
+                epoch_nanos().saturating_sub(t0),
+            );
+        }
+        result
+    }
+
+    fn send_frame_inner(
+        &self,
+        dst: usize,
+        kind: u32,
+        tag: u32,
+        payload: &[u8],
+    ) -> Result<(), CommError> {
         self.check_peer(dst, "send to")?;
         let bytes = wire::encode_frame(self.rank, dst, kind, tag, payload)?;
         match &self.role {
@@ -152,8 +179,28 @@ impl LocalProcs {
         }
     }
 
+    /// Receives one frame, feeding the transport histograms (payload
+    /// size and blocking wait time) when observability is on.
     fn recv_frame(&self, from: usize, kind: u32, tag: u32) -> Result<Vec<u8>, CommError> {
+        let t0 = if ls3df_obs::ENABLED { epoch_nanos() } else { 0 };
+        let result = self.recv_frame_inner(from, kind, tag);
+        if ls3df_obs::ENABLED {
+            if let Ok(payload) = &result {
+                record_frame(
+                    DIR_RECV,
+                    kind,
+                    tag,
+                    payload.len() as u64,
+                    epoch_nanos().saturating_sub(t0),
+                );
+            }
+        }
+        result
+    }
+
+    fn recv_frame_inner(&self, from: usize, kind: u32, tag: u32) -> Result<Vec<u8>, CommError> {
         self.check_peer(from, "recv from")?;
+        // obs-audit: bounded-receive deadline, not a measurement.
         let deadline = Instant::now() + self.timeout;
         let key = (from, kind, tag);
         match &self.role {
@@ -166,6 +213,7 @@ impl LocalProcs {
                     if st.dead.contains(&from) {
                         return Err(CommError::RankDown { rank: from });
                     }
+                    // obs-audit: deadline arithmetic, not a measurement.
                     let now = Instant::now();
                     if now >= deadline {
                         return Err(CommError::Timeout {
@@ -191,6 +239,7 @@ impl LocalProcs {
                             rank: if from == 0 { 0 } else { from },
                         });
                     }
+                    // obs-audit: deadline arithmetic, not a measurement.
                     let now = Instant::now();
                     if now >= deadline {
                         return Err(CommError::Timeout {
@@ -247,14 +296,17 @@ impl Communicator for LocalProcs {
     }
 
     fn send(&self, to: usize, tag: u32, payload: &[u8]) -> Result<(), CommError> {
+        let _span = span!("comm_send");
         self.send_frame(to, KIND_DATA, tag, payload)
     }
 
     fn recv(&self, from: usize, tag: u32) -> Result<Vec<u8>, CommError> {
+        let _span = span!("comm_recv");
         self.recv_frame(from, KIND_DATA, tag)
     }
 
     fn barrier(&self) -> Result<(), CommError> {
+        let _span = span!("comm_barrier");
         let seq = self.next_seq(SEQ_BARRIER);
         if self.rank == 0 {
             // Gather-then-release: no rank passes until all have arrived.
@@ -280,6 +332,7 @@ impl Communicator for LocalProcs {
                 ),
             });
         }
+        let _span = span!("comm_bcast");
         let seq = self.next_seq(SEQ_BCAST);
         if self.rank == root {
             for r in 0..self.size {
@@ -294,6 +347,7 @@ impl Communicator for LocalProcs {
     }
 
     fn allreduce_sum_f64(&self, values: &mut [f64]) -> Result<(), CommError> {
+        let _span = span!("comm_allreduce");
         counter_add(Counter::CommAllreduceCalls, 1);
         let seq = self.next_seq(SEQ_REDUCE);
         if self.rank == 0 {
@@ -374,6 +428,7 @@ pub(crate) fn bootstrap_hub(
 
     // Accept one connection per worker; each opens with a HELLO frame
     // carrying its rank, so connection order does not matter.
+    // obs-audit: bootstrap deadline bookkeeping, not a measurement.
     let deadline = Instant::now() + timeout;
     let mut slots: Vec<Option<UnixStream>> = (1..groups).map(|_| None).collect();
     let mut connected = 0usize;
@@ -387,6 +442,7 @@ pub(crate) fn bootstrap_hub(
                     stream
                         .set_read_timeout(Some(
                             deadline
+                                // obs-audit: remaining-deadline math.
                                 .saturating_duration_since(Instant::now())
                                 .max(Duration::from_millis(1)),
                         ))
@@ -409,6 +465,7 @@ pub(crate) fn bootstrap_hub(
                     connected += 1;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    // obs-audit: bootstrap deadline check, not a measurement.
                     if Instant::now() >= deadline {
                         return Err(boot(format!(
                             "timed out waiting for workers ({connected}/{} connected)",
@@ -529,11 +586,13 @@ pub(crate) fn bootstrap_worker(timeout: Duration) -> Result<LocalProcs, CommErro
 
     // The launcher binds before spawning, so the first attempt normally
     // succeeds; retry briefly to absorb filesystem races.
+    // obs-audit: connect-retry deadline bookkeeping, not a measurement.
     let deadline = Instant::now() + timeout;
     let stream = loop {
         match UnixStream::connect(&path) {
             Ok(s) => break s,
             Err(e) => {
+                // obs-audit: deadline check, not a measurement.
                 if Instant::now() >= deadline {
                     return Err(boot(format!("connect {path}: {e}")));
                 }

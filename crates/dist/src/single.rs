@@ -1,7 +1,7 @@
 //! The default backend: a world of one process.
 
 use crate::{CommError, Communicator};
-use ls3df_obs::{counter_add, Counter};
+use ls3df_obs::{counter_add, span, Counter};
 
 /// A size-1 world. Collectives are no-ops (a barrier over one rank is
 /// trivially satisfied; an allreduce of one contribution is identity),
@@ -52,6 +52,9 @@ impl Communicator for SingleProcess {
     }
 
     fn allreduce_sum_f64(&self, _values: &mut [f64]) -> Result<(), CommError> {
+        // Same span label as the multi-process backend, so reports
+        // attribute collectives identically at any group count.
+        let _span = span!("comm_allreduce");
         counter_add(Counter::CommAllreduceCalls, 1);
         Ok(())
     }

@@ -44,13 +44,18 @@ mod json;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod telemetry;
 pub mod trace;
 
 pub use clock::Stopwatch;
 pub use json::Json;
 pub use metrics::{counter_add, set_alloc_probe, Counter};
-pub use report::{Attribution, FlopReport, MachineRef, Report, SCHEMA_NAME, SCHEMA_VERSION};
+pub use report::{
+    Attribution, FlopReport, MachineRef, RankSection, RankStatus, Report, SCHEMA_NAME,
+    SCHEMA_VERSION,
+};
 pub use span::{flush_thread, FinishedSpan, NO_INDEX};
+pub use telemetry::{set_rank, CommRow, RankPayload, RankTelemetry};
 
 /// Whether span/counter collection is compiled in (`enabled` feature).
 pub const ENABLED: bool = cfg!(feature = "enabled");
@@ -84,11 +89,13 @@ pub fn harvest() -> RunData {
     }
 }
 
-/// Clears all recorded spans and zeroes every counter. For tests and for
-/// bench bins that time several independent runs in one process.
+/// Clears all recorded spans, zeroes every counter, and drops any
+/// stashed rank telemetry. For tests and for bench bins that time
+/// several independent runs in one process.
 pub fn reset() {
     span::clear();
     metrics::reset();
+    telemetry::clear_stash();
 }
 
 #[cfg(test)]

@@ -211,6 +211,35 @@ mod tests {
     }
 
     #[test]
+    fn names_are_a_stable_golden_list() {
+        // Report consumers (merged multi-rank reports, EXPERIMENTS.md
+        // tooling) key on these exact strings. Renaming or reordering a
+        // counter is a report-schema change: update the golden list
+        // here AND document the delta in EXPERIMENTS.md.
+        const GOLDEN: [&str; 17] = [
+            "fft_lines_trivial",
+            "fft_lines_radix2",
+            "fft_lines_bluestein",
+            "fft_lines_radix4",
+            "fft_lines_real",
+            "fft3_transforms",
+            "fft_flops",
+            "fft_gather_scatter_bytes",
+            "cg_band_iterations",
+            "hartree_solves",
+            "mixer_applies",
+            "retry_rungs",
+            "quarantines",
+            "fragment_solves",
+            "comm_bytes_sent",
+            "comm_bytes_received",
+            "comm_allreduce_calls",
+        ];
+        let names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, GOLDEN);
+    }
+
+    #[test]
     fn add_is_observable_exactly_when_enabled() {
         let before = counter_value(Counter::MixerApplies);
         counter_add(Counter::MixerApplies, 5);

@@ -29,7 +29,13 @@ use std::path::Path;
 pub const SCHEMA_NAME: &str = "ls3df-run-report";
 
 /// Current schema version; see the module docs for the bump policy.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 adds the rank-aware sections: `ranks` (per-rank counters, span
+/// aggregates, per-iteration `PEtot_F` times, comm-wait/compute split,
+/// transport histograms, and an `up`/`down`/`missing` status) and the
+/// `telemetry_incomplete` flag. [`validate_report_str`] still accepts
+/// v1 (rank-less) documents for backward compatibility.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The machine model a report rates itself against (name + peak rate).
 /// Bench bins build this from `ls3df_hpc::MachineSpec`; obs itself
@@ -90,6 +96,43 @@ pub struct FragmentRow {
     pub seconds: f64,
 }
 
+/// Liveness of one rank in the merged report's `ranks` section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RankStatus {
+    /// The rank shipped a well-formed telemetry payload.
+    Up,
+    /// The rank is known dead; `kind` is the stable comm-error kind
+    /// string (`rank_down`, `timeout`, `protocol`, `io`, `bootstrap`).
+    Down {
+        /// Stable comm-error kind string.
+        kind: String,
+    },
+    /// No usable payload arrived (late, malformed, or CRC-corrupt).
+    Missing,
+}
+
+/// One rank's contribution to a merged multi-rank report (schema v2).
+#[derive(Clone, Debug)]
+pub struct RankSection {
+    /// World rank.
+    pub rank: usize,
+    /// Whether the rank's telemetry arrived.
+    pub status: RankStatus,
+    /// The rank's counter snapshot (nonzero entries).
+    pub counters: Vec<(String, u64)>,
+    /// The rank's span aggregates by hierarchical path.
+    pub spans: Vec<SpanRow>,
+    /// `(iteration, seconds)` of `PEtot_F` time per SCF iteration —
+    /// the straggler-gap series input.
+    pub petot_iterations: Vec<(u64, f64)>,
+    /// Seconds inside `comm_*` transport spans (blocking wait).
+    pub comm_wait_seconds: f64,
+    /// Seconds inside `PEtot_F` fragment-solve spans (compute).
+    pub compute_seconds: f64,
+    /// Transport histogram rows drained from the communicator.
+    pub comm: Vec<crate::telemetry::CommRow>,
+}
+
 /// How much of the wall clock the named spans account for.
 #[derive(Clone, Debug)]
 pub struct Attribution {
@@ -138,6 +181,13 @@ pub struct Report {
     pub attribution: Option<Attribution>,
     /// Counter-derived flop rates.
     pub flops: Option<FlopReport>,
+    /// Per-rank sections of a merged multi-rank report (schema v2).
+    /// Single-process reports carry one entry when merged, none when
+    /// the producer never merges.
+    pub ranks: Vec<RankSection>,
+    /// Whether any rank's telemetry was lost (down/missing rank) —
+    /// the degradation flag, never an error.
+    pub telemetry_incomplete: bool,
     /// Free-form producer-specific extras (digest, thread counts, …).
     pub extra: Vec<(String, Json)>,
 }
@@ -158,6 +208,8 @@ impl Report {
             fragments: Vec::new(),
             attribution: None,
             flops: None,
+            ranks: Vec::new(),
+            telemetry_incomplete: false,
             extra: Vec::new(),
         }
     }
@@ -312,6 +364,7 @@ impl Report {
                 ),
             ])
         });
+        let ranks = Json::Arr(self.ranks.iter().map(rank_section_json).collect());
         Json::obj(vec![
             ("schema", Json::str(SCHEMA_NAME)),
             ("schema_version", Json::num(SCHEMA_VERSION as f64)),
@@ -327,6 +380,11 @@ impl Report {
             ("fragments", fragments),
             ("attribution", attribution),
             ("flops", flops),
+            ("ranks", ranks),
+            (
+                "telemetry_incomplete",
+                Json::Bool(self.telemetry_incomplete),
+            ),
             ("extra", Json::Obj(self.extra.to_vec())),
         ])
     }
@@ -393,6 +451,80 @@ impl Report {
         }
         out
     }
+}
+
+fn span_row_json(s: &SpanRow) -> Json {
+    Json::obj(vec![
+        ("path", Json::str(&*s.path)),
+        ("count", Json::num(s.count as f64)),
+        ("total_seconds", Json::num(s.total_seconds)),
+        ("self_seconds", Json::num(s.self_seconds)),
+    ])
+}
+
+fn bucket_json(buckets: &[u64]) -> Json {
+    // Trailing zero buckets carry no information; trim them.
+    let last = buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+    Json::Arr(
+        buckets[..last]
+            .iter()
+            .map(|&b| Json::num(b as f64))
+            .collect(),
+    )
+}
+
+fn rank_section_json(s: &RankSection) -> Json {
+    let (status, error_kind) = match &s.status {
+        RankStatus::Up => ("up", Json::Null),
+        RankStatus::Down { kind } => ("down", Json::str(&**kind)),
+        RankStatus::Missing => ("missing", Json::Null),
+    };
+    let counters = Json::Obj(
+        s.counters
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::num(*value as f64)))
+            .collect(),
+    );
+    let spans = Json::Arr(s.spans.iter().map(span_row_json).collect());
+    let petot = Json::Arr(
+        s.petot_iterations
+            .iter()
+            .map(|&(it, sec)| {
+                Json::obj(vec![
+                    ("iteration", Json::num(it as f64)),
+                    ("seconds", Json::num(sec)),
+                ])
+            })
+            .collect(),
+    );
+    let comm = Json::Arr(
+        s.comm
+            .iter()
+            .map(|row| {
+                Json::obj(vec![
+                    ("op", Json::str(&*row.op)),
+                    ("kind", Json::str(&*row.kind)),
+                    ("tag_class", Json::str(&*row.tag_class)),
+                    ("frames", Json::num(row.frames as f64)),
+                    ("bytes", Json::num(row.bytes as f64)),
+                    ("latency_ns", Json::num(row.latency_ns as f64)),
+                    ("size_log2", bucket_json(&row.size_buckets)),
+                    ("latency_log2", bucket_json(&row.latency_buckets)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("rank", Json::num(s.rank as f64)),
+        ("status", Json::str(status)),
+        ("error_kind", error_kind),
+        ("counters", counters),
+        ("spans", spans),
+        ("petot_iterations", petot),
+        ("comm_wait_seconds", Json::num(s.comm_wait_seconds)),
+        ("compute_seconds", Json::num(s.compute_seconds)),
+        ("comm", comm),
+    ])
 }
 
 /// Aggregates raw spans into per-path rows (hierarchy reconstructed per
@@ -589,6 +721,63 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    // The rank-aware sections arrived in schema v2; v1 (rank-less)
+    // documents remain valid without them.
+    if version >= 2.0 {
+        for rank in expect_arr(field(doc, "ranks")?, "ranks")? {
+            expect_num(field(rank, "rank")?, "ranks[].rank")?;
+            let status = expect_str(field(rank, "status")?, "ranks[].status")?;
+            if !matches!(status, "up" | "down" | "missing") {
+                return Err(format!("ranks[].status {status:?} unknown"));
+            }
+            match field(rank, "error_kind")? {
+                Json::Null if status != "down" => {}
+                Json::Str(_) if status == "down" => {}
+                _ => {
+                    return Err(
+                        "ranks[].error_kind must be a string exactly for down ranks".to_string()
+                    )
+                }
+            }
+            let counters = field(rank, "counters")?
+                .as_object()
+                .ok_or("ranks[].counters must be an object")?;
+            for (name, value) in counters {
+                expect_num(value, name)?;
+            }
+            for span in expect_arr(field(rank, "spans")?, "ranks[].spans")? {
+                expect_str(field(span, "path")?, "ranks[].spans[].path")?;
+                expect_num(field(span, "count")?, "ranks[].spans[].count")?;
+                expect_num(
+                    field(span, "total_seconds")?,
+                    "ranks[].spans[].total_seconds",
+                )?;
+                expect_num(field(span, "self_seconds")?, "ranks[].spans[].self_seconds")?;
+            }
+            for step in expect_arr(field(rank, "petot_iterations")?, "ranks[].petot_iterations")? {
+                expect_num(field(step, "iteration")?, "petot_iterations[].iteration")?;
+                expect_num(field(step, "seconds")?, "petot_iterations[].seconds")?;
+            }
+            expect_num(
+                field(rank, "comm_wait_seconds")?,
+                "ranks[].comm_wait_seconds",
+            )?;
+            expect_num(field(rank, "compute_seconds")?, "ranks[].compute_seconds")?;
+            for row in expect_arr(field(rank, "comm")?, "ranks[].comm")? {
+                expect_str(field(row, "op")?, "comm[].op")?;
+                expect_str(field(row, "kind")?, "comm[].kind")?;
+                expect_str(field(row, "tag_class")?, "comm[].tag_class")?;
+                expect_num(field(row, "frames")?, "comm[].frames")?;
+                expect_num(field(row, "bytes")?, "comm[].bytes")?;
+                expect_num(field(row, "latency_ns")?, "comm[].latency_ns")?;
+                expect_arr(field(row, "size_log2")?, "comm[].size_log2")?;
+                expect_arr(field(row, "latency_log2")?, "comm[].latency_log2")?;
+            }
+        }
+        field(doc, "telemetry_incomplete")?
+            .as_bool()
+            .ok_or("telemetry_incomplete must be a bool")?;
+    }
     field(doc, "extra")?
         .as_object()
         .ok_or("extra must be an object")?;
@@ -692,6 +881,85 @@ mod tests {
         let bad = good.replace("ls3df-run-report", "other-schema");
         assert!(validate_report_str(&bad).is_err());
         let bad = good.replace("\"fraction\": 0.5", "\"fraction\": 1.5");
+        assert!(validate_report_str(&bad).is_err());
+    }
+
+    #[test]
+    fn v1_rankless_documents_are_still_accepted() {
+        // A v2 writer output with the rank sections stripped and the
+        // version set back to 1 — the shape every committed pre-v2
+        // BENCH file has.
+        let report = Report::new("legacy", 1.0);
+        let text = report
+            .to_json()
+            .render()
+            .replace("\"schema_version\": 2", "\"schema_version\": 1")
+            .replace("\"ranks\": [],\n", "")
+            .replace("\"telemetry_incomplete\": false,\n", "");
+        assert!(
+            !text.contains("ranks") && !text.contains("telemetry_incomplete"),
+            "test must exercise a genuinely rank-less document"
+        );
+        validate_report_str(&text).expect("v1 documents stay valid");
+        // The same rank-less shape at version 2 must be rejected.
+        let v2 = text.replace("\"schema_version\": 1", "\"schema_version\": 2");
+        assert!(validate_report_str(&v2).is_err());
+    }
+
+    #[test]
+    fn v2_validation_checks_rank_sections() {
+        let mut report = Report::new("ranked", 1.0);
+        report.ranks.push(RankSection {
+            rank: 0,
+            status: RankStatus::Up,
+            counters: vec![("fragment_solves".to_string(), 4)],
+            spans: vec![SpanRow {
+                path: "scf_iter/petot_f".to_string(),
+                count: 2,
+                total_seconds: 0.5,
+                self_seconds: 0.5,
+            }],
+            petot_iterations: vec![(1, 0.25), (2, 0.25)],
+            comm_wait_seconds: 0.01,
+            compute_seconds: 0.5,
+            comm: vec![crate::telemetry::CommRow {
+                op: "recv".to_string(),
+                kind: "data".to_string(),
+                tag_class: "user".to_string(),
+                frames: 2,
+                bytes: 128,
+                latency_ns: 900,
+                size_buckets: vec![0, 0, 0, 2],
+                latency_buckets: vec![2],
+            }],
+        });
+        report.ranks.push(RankSection {
+            rank: 1,
+            status: RankStatus::Down {
+                kind: "rank_down".to_string(),
+            },
+            counters: Vec::new(),
+            spans: Vec::new(),
+            petot_iterations: Vec::new(),
+            comm_wait_seconds: 0.0,
+            compute_seconds: 0.0,
+            comm: Vec::new(),
+        });
+        report.telemetry_incomplete = true;
+        let text = report.to_json().render();
+        let doc = validate_report_str(&text).expect("ranked report valid");
+        let ranks = doc.get("ranks").and_then(Json::as_array).expect("ranks");
+        assert_eq!(ranks.len(), 2);
+        assert_eq!(ranks[1].get("status").and_then(Json::as_str), Some("down"));
+        assert_eq!(
+            ranks[1].get("error_kind").and_then(Json::as_str),
+            Some("rank_down")
+        );
+        // A down rank without a kind string is a schema error.
+        let bad = text.replace("\"error_kind\": \"rank_down\"", "\"error_kind\": null");
+        assert!(validate_report_str(&bad).is_err());
+        // An unknown status is a schema error.
+        let bad = text.replace("\"status\": \"down\"", "\"status\": \"gone\"");
         assert!(validate_report_str(&bad).is_err());
     }
 

@@ -44,15 +44,24 @@
 //!     the pinned single-process golden, and the worker-kill robustness
 //!     check (a dead rank surfaces as a typed `Ls3dfError::Comm` naming
 //!     it, never a hang).
-//! 11. `cargo test -p xtask -q` — the lint engine's own gate: lexer and
+//! 11. `cargo test -p ls3df --features obs,alloc-count --test
+//!     obs_dist_report --test dist_fault -q` — the rank-aware
+//!     observability gate: an obs-enabled multi-group SCF must produce
+//!     one merged schema-v2 report whose per-rank `fragment_solves`
+//!     counters sum to the single-process total at `LS3DF_GROUPS ∈
+//!     {1, 2, 4}`, a killed worker must surface as a `down` rank
+//!     section (typed comm-error kind) with `telemetry_incomplete`
+//!     set, and the committed `BENCH_fig5.json` must stay
+//!     schema-valid.
+//! 12. `cargo test -p xtask -q` — the lint engine's own gate: lexer and
 //!     rule unit tests plus the fixture corpus in
 //!     `crates/xtask/tests/fixtures/` (known-positive snippets must fire
 //!     exactly their golden violations; known-negative snippets — unsafe
 //!     in string literals, `Ordering::` in doc comments, raw strings —
 //!     must stay silent).
-//! 12. `cargo xtask schedules` (in-process) — pool suite + SCF digest
+//! 13. `cargo xtask schedules` (in-process) — pool suite + SCF digest
 //!     matrix under every adversarial work-stealing schedule.
-//! 13. `cargo xtask miri` (in-process) — the curated unsafe-core filter
+//! 14. `cargo xtask miri` (in-process) — the curated unsafe-core filter
 //!     under Miri; reported as a loud SKIP when the nightly component is
 //!     unavailable (the offline container cannot install it).
 //!
@@ -85,7 +94,7 @@ pub fn run(root: &Path) -> bool {
     let mut all_ok = true;
     let mut summary: Vec<(String, StepResult, f64)> = Vec::new();
 
-    let steps: [(&str, &[&str]); 10] = [
+    let steps: [(&str, &[&str]); 11] = [
         ("fmt", &["fmt", "--all", "--", "--check"]),
         (
             "clippy",
@@ -163,6 +172,21 @@ pub fn run(root: &Path) -> bool {
                 "group_balance",
                 "--test",
                 "dist_digest",
+                "--test",
+                "dist_fault",
+                "-q",
+            ],
+        ),
+        (
+            "obs-dist",
+            &[
+                "test",
+                "-p",
+                "ls3df",
+                "--features",
+                "obs,alloc-count",
+                "--test",
+                "obs_dist_report",
                 "--test",
                 "dist_fault",
                 "-q",
@@ -268,6 +292,18 @@ pub fn run(root: &Path) -> bool {
         all_ok = false;
     }
     summary.push(("cargo dist".to_string(), res, secs));
+
+    // The rank-aware observability gate: obs-enabled multi-group runs
+    // must produce one merged schema-v2 report (per-rank counters
+    // summing to the single-process total, straggler/imbalance/comm
+    // sections), a killed worker must land as a `down` rank section,
+    // and the committed BENCH_fig5.json must stay schema-valid.
+    let (_, obs_dist_args) = steps[10];
+    let (res, secs) = run_cargo_step(root, "obs-dist", obs_dist_args, &[]);
+    if matches!(res, StepResult::Fail) {
+        all_ok = false;
+    }
+    summary.push(("cargo obs-dist".to_string(), res, secs));
 
     // The kernel tolerance gate (tests/kernel_tol.rs): the fast-kernel
     // arithmetic (packed r2c 3-D transform, radix-4 butterflies, GEMM

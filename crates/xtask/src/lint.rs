@@ -39,9 +39,9 @@
 //!   `// ckpt-audit:` escape. Test code is exempt: deliberately writing
 //!   damaged snapshots is how the corruption tests work.
 //! * `raw-timer` — no ad-hoc `std::time::Instant` in the instrumented
-//!   crates (`crates/fft`, `crates/pw`, `crates/core`): timing must flow
-//!   through `ls3df-obs` so every measurement lands in the run report.
-//!   Escape: `// obs-audit:` in the 3-line window.
+//!   crates (`crates/fft`, `crates/pw`, `crates/core`, `crates/dist`):
+//!   timing must flow through `ls3df-obs` so every measurement lands in
+//!   the run report. Escape: `// obs-audit:` in the 3-line window.
 //! * `atomic-ordering` — every `Ordering::{Relaxed, Acquire, Release,
 //!   AcqRel, SeqCst}` in the unsafe/concurrency pool (`shims/rayon/src/`,
 //!   `crates/obs/src/`, `src/`) must carry an `// ORDERING:` comment on
@@ -659,13 +659,19 @@ fn rule_ckpt_atomic(f: &FileCtx<'_>, out: &mut FileReport) {
     }
 }
 
-/// Files where timing must flow through ls3df-obs: the three
-/// instrumented crates. `ls3df-obs` itself (crates/obs) owns the raw
-/// clock and is out of scope by construction.
+/// Files where timing must flow through ls3df-obs: the four
+/// instrumented crates (the transport layer records send/recv latency
+/// histograms, so its timing is report-bearing too). `ls3df-obs` itself
+/// (crates/obs) owns the raw clock and is out of scope by construction.
 fn raw_timer_in_scope(path: &str) -> bool {
-    ["crates/fft/src/", "crates/pw/src/", "crates/core/src/"]
-        .iter()
-        .any(|p| path.starts_with(p))
+    [
+        "crates/fft/src/",
+        "crates/pw/src/",
+        "crates/core/src/",
+        "crates/dist/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
 }
 
 fn rule_raw_timer(f: &FileCtx<'_>, out: &mut FileReport) {
@@ -1263,6 +1269,18 @@ mod tests {
         let v = rules_hit(
             "crates/hpc/src/machine.rs",
             "fn f() { let t = Instant::now(); }",
+        );
+        assert!(!v.contains(&"raw-timer"));
+        // The transport layer is in scope (latency histograms are
+        // report-bearing timing), with the same escape hatch.
+        let v = rules_hit(
+            "crates/dist/src/local.rs",
+            "fn f() { let deadline = Instant::now(); }",
+        );
+        assert!(v.contains(&"raw-timer"));
+        let v = rules_hit(
+            "crates/dist/src/local.rs",
+            "// obs-audit: socket bookkeeping, not a measurement\nfn f() { let deadline = Instant::now(); }",
         );
         assert!(!v.contains(&"raw-timer"));
     }

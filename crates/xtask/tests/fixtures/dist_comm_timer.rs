@@ -1,0 +1,16 @@
+//! lint-path: crates/dist/src/local.rs
+//!
+//! raw-timer in the transport layer: `crates/dist` is instrumented
+//! (send/recv latency histograms feed the run report), so ad-hoc
+//! clocks fire there like in the other instrumented crates.
+
+fn unaudited_deadline() {
+    let t = Instant::now(); //~ ERROR raw-timer
+    drop(t);
+}
+
+fn audited_bookkeeping() {
+    // obs-audit: socket read deadline, not a report-bearing measurement.
+    let deadline = std::time::Instant::now();
+    drop(deadline);
+}

@@ -141,3 +141,96 @@ fn killed_worker_surfaces_as_typed_error_naming_the_rank() {
         "typed error must name the dead rank: {line}"
     );
 }
+
+/// Child half of the observability leg (inert under a plain
+/// `cargo test`): the same kill scenario collected through a
+/// [`ls3df::core::TraceObserver`] — the merged schema-v2 report must
+/// carry a `ranks` section where the dead rank is `down` with a typed
+/// comm-error kind, and `telemetry_incomplete` must be set.
+#[test]
+fn dist_fault_obs_child() {
+    if std::env::var("LS3DF_DIST_FAULT_OBS_CHILD").is_err() {
+        return;
+    }
+    let s = model_crystal([2, 2, 2], 6.5);
+    let mut calc = Ls3df::builder(&s)
+        .fragments([2, 2, 2])
+        .options(small_opts())
+        .groups(2)
+        .build()
+        .expect("2-group world must bootstrap");
+    if calc.comm().rank() != 0 {
+        let _ = calc.try_scf();
+        return;
+    }
+    let mut tracer = ls3df::core::TraceObserver::new("dist-fault-obs");
+    // The kill hook and the collector ride the same observer slot.
+    struct KillAndTrace<'a> {
+        kill: KillWorkerMidIteration,
+        tracer: &'a mut ls3df::core::TraceObserver,
+    }
+    impl ScfObserver for KillAndTrace<'_> {
+        fn on_stage(&mut self, iteration: usize, stage: ScfStage, seconds: f64) {
+            self.kill.on_stage(iteration, stage, seconds);
+            let mut t = &mut *self.tracer;
+            t.on_stage(iteration, stage, seconds);
+        }
+    }
+    let err = match calc.try_scf_with(KillAndTrace {
+        kill: KillWorkerMidIteration { killed: false },
+        tracer: &mut tracer,
+    }) {
+        Err(e) => e,
+        Ok(_) => panic!("SCF must fail, not hang, when a worker dies"),
+    };
+    assert!(
+        matches!(err, Ls3dfError::Comm(_)),
+        "typed Comm error: {err}"
+    );
+    let report = tracer.finish();
+    assert!(
+        report.telemetry_incomplete,
+        "a dead worker must flag the merged report incomplete"
+    );
+    assert_eq!(report.ranks.len(), 2, "one rank section per group");
+    let kind = match &report.ranks[1].status {
+        ls3df::obs::RankStatus::Down { kind } => kind.clone(),
+        other => panic!("rank 1 must be down in the merged report, got {other:?}"),
+    };
+    assert!(
+        kind == "rank_down" || kind == "timeout",
+        "down kind must be a typed comm-error kind: {kind}"
+    );
+    // The assembled document still validates against the v2 schema.
+    let text = report.to_json().render();
+    ls3df::obs::report::validate_report_str(&text).expect("fault report must stay schema-valid");
+    println!("LS3DF_FAULT_OBS_OK={kind}");
+}
+
+/// Parent gate for the observability leg: only meaningful when spans
+/// and counters are compiled in.
+#[test]
+fn killed_worker_lands_down_in_merged_report() {
+    if !ls3df::obs::ENABLED {
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(&exe)
+        .args(["--exact", "dist_fault_obs_child", "--nocapture"])
+        .env("LS3DF_DIST_FAULT_OBS_CHILD", "1")
+        .env("LS3DF_DIST_TIMEOUT_MS", "15000")
+        .env("LS3DF_THREADS", "2")
+        .env("LS3DF_KERNELS", "reference")
+        .output()
+        .expect("spawn dist_fault_obs_child");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "obs fault child failed:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.lines().any(|l| l.contains("LS3DF_FAULT_OBS_OK=")),
+        "no LS3DF_FAULT_OBS_OK line:\n{stdout}\n{stderr}"
+    );
+}
